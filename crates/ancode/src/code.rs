@@ -1,0 +1,428 @@
+//! The AN-code itself: encoding, decoding, residue checks and closed
+//! arithmetic operations.
+
+use crate::error::AnCodeError;
+
+/// A 32-bit word that is (claimed to be) a valid AN-code word.
+///
+/// `CodeWord` is a thin newtype over `u32`; it deliberately does **not**
+/// guarantee validity — faults can corrupt code words, and the whole point of
+/// the scheme is that corrupted words are *detected later* by residue checks
+/// or by the encoded comparison. Use [`AnCode::check`] to validate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct CodeWord(pub u32);
+
+impl CodeWord {
+    /// Returns the raw 32-bit representation of the code word.
+    #[must_use]
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// Flips the given bit (0-based, 0..32) of the code word.
+    ///
+    /// This models a single-bit fault on the register or memory cell holding
+    /// the word and is used by the fault-injection campaigns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit >= 32`.
+    #[must_use]
+    pub fn with_bit_flipped(self, bit: u32) -> CodeWord {
+        assert!(bit < 32, "bit index {bit} out of range for a 32-bit word");
+        CodeWord(self.0 ^ (1u32 << bit))
+    }
+
+    /// XORs an arbitrary fault mask into the word (multi-bit fault model).
+    #[must_use]
+    pub fn with_fault_mask(self, mask: u32) -> CodeWord {
+        CodeWord(self.0 ^ mask)
+    }
+}
+
+impl From<CodeWord> for u32 {
+    fn from(word: CodeWord) -> u32 {
+        word.0
+    }
+}
+
+impl std::fmt::Display for CodeWord {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:#010x}", self.0)
+    }
+}
+
+impl std::fmt::LowerHex for CodeWord {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        std::fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl std::fmt::UpperHex for CodeWord {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        std::fmt::UpperHex::fmt(&self.0, f)
+    }
+}
+
+impl std::fmt::Binary for CodeWord {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        std::fmt::Binary::fmt(&self.0, f)
+    }
+}
+
+/// An arithmetic AN-code over 32-bit machine words.
+///
+/// Code words have the form `nc = A * n` where `A` is the encoding constant
+/// and `n` the functional value. All multiples of `A` are valid code words;
+/// the congruence `nc mod A == 0` validates a word. The code is closed under
+/// addition and subtraction (Equation 1 of the paper); multiplication needs a
+/// correction step.
+///
+/// The functional range is limited so that every reachable code word (and the
+/// intermediate values of the encoded comparison) still fits into 32 bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AnCode {
+    a: u32,
+    functional_max_exclusive: u32,
+}
+
+impl AnCode {
+    /// Creates an AN-code with encoding constant `a` and the largest
+    /// functional range that both stays below `a` (required to preserve the
+    /// error-detection capability) and keeps code words within 32 bits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnCodeError::InvalidConstant`] if `a < 2`.
+    pub fn new(a: u32) -> Result<Self, AnCodeError> {
+        if a < 2 {
+            return Err(AnCodeError::InvalidConstant {
+                a,
+                reason: "the encoding constant must be at least 2",
+            });
+        }
+        let by_width = u32::MAX / a + 1; // largest n with a*n <= u32::MAX, +1 for exclusive bound
+        let functional_max_exclusive = by_width.min(a);
+        Ok(AnCode {
+            a,
+            functional_max_exclusive,
+        })
+    }
+
+    /// Creates an AN-code whose functional range is additionally capped at
+    /// `2^bits` functional values (e.g. `bits = 16` for the paper's setup).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnCodeError::InvalidConstant`] if `a < 2` or if `bits > 32`.
+    pub fn with_functional_bits(a: u32, bits: u32) -> Result<Self, AnCodeError> {
+        if bits > 32 {
+            return Err(AnCodeError::InvalidConstant {
+                a,
+                reason: "functional width cannot exceed 32 bits",
+            });
+        }
+        let base = Self::new(a)?;
+        let cap = if bits == 32 { u32::MAX } else { 1u32 << bits };
+        Ok(AnCode {
+            a,
+            functional_max_exclusive: base.functional_max_exclusive.min(cap),
+        })
+    }
+
+    /// The encoding constant `A`.
+    #[must_use]
+    pub fn constant(&self) -> u32 {
+        self.a
+    }
+
+    /// Exclusive upper bound of the functional range.
+    #[must_use]
+    pub fn functional_max_exclusive(&self) -> u32 {
+        self.functional_max_exclusive
+    }
+
+    /// Encodes a functional value into a code word (`nc = A * n`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnCodeError::ValueOutOfRange`] if `value` is outside the
+    /// functional range of the code.
+    pub fn encode(&self, value: u32) -> Result<CodeWord, AnCodeError> {
+        if value >= self.functional_max_exclusive {
+            return Err(AnCodeError::ValueOutOfRange {
+                value,
+                max_exclusive: self.functional_max_exclusive,
+            });
+        }
+        Ok(CodeWord(self.a * value))
+    }
+
+    /// Checks the AN-code congruence `0 == nc mod A`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnCodeError::InvalidCodeWord`] with the residue if the check
+    /// fails.
+    pub fn check(&self, word: CodeWord) -> Result<(), AnCodeError> {
+        let residue = word.0 % self.a;
+        if residue == 0 {
+            Ok(())
+        } else {
+            Err(AnCodeError::InvalidCodeWord {
+                word: word.0,
+                residue,
+            })
+        }
+    }
+
+    /// Returns `true` if the word satisfies the AN-code congruence.
+    #[must_use]
+    pub fn is_valid(&self, word: CodeWord) -> bool {
+        word.0 % self.a == 0
+    }
+
+    /// Decodes a code word back to its functional value, validating it first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnCodeError::InvalidCodeWord`] if the congruence fails.
+    pub fn decode(&self, word: CodeWord) -> Result<u32, AnCodeError> {
+        self.check(word)?;
+        Ok(word.0 / self.a)
+    }
+
+    /// Decodes without validating (used to model the *unprotected* path in
+    /// baselines and in fault experiments).
+    #[must_use]
+    pub fn decode_unchecked(&self, word: CodeWord) -> u32 {
+        word.0 / self.a
+    }
+
+    /// Encoded addition: `zc = xc + yc` encodes `x + y` (Equation 1).
+    ///
+    /// The addition is performed with wrapping semantics, exactly as the
+    /// 32-bit hardware would; validity of the result is only guaranteed if
+    /// `x + y` stays inside the functional range.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnCodeError::FunctionalOverflow`] if the functional sum of
+    /// two *valid* operands would leave the functional range. Invalid
+    /// (faulted) operands are propagated without an error so that faults stay
+    /// detectable downstream.
+    pub fn add(&self, xc: CodeWord, yc: CodeWord) -> Result<CodeWord, AnCodeError> {
+        if self.is_valid(xc) && self.is_valid(yc) {
+            let x = self.decode_unchecked(xc) as u64;
+            let y = self.decode_unchecked(yc) as u64;
+            if x + y >= u64::from(self.functional_max_exclusive) {
+                return Err(AnCodeError::FunctionalOverflow { operation: "add" });
+            }
+        }
+        Ok(CodeWord(xc.0.wrapping_add(yc.0)))
+    }
+
+    /// Encoded subtraction: `zc = xc - yc` encodes `x - y` in two's-complement
+    /// (signed) representation. The result of subtracting a larger from a
+    /// smaller value is the wrapped representation `2^32 + A*(x - y)` that the
+    /// encoded comparison exploits (Equation 4).
+    #[must_use]
+    pub fn sub(&self, xc: CodeWord, yc: CodeWord) -> CodeWord {
+        CodeWord(xc.0.wrapping_sub(yc.0))
+    }
+
+    /// Encoded multiplication by an (unencoded) functional constant:
+    /// `zc = xc * k` encodes `x * k` and stays a valid code word.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnCodeError::FunctionalOverflow`] if the functional product
+    /// of a *valid* operand would leave the functional range.
+    pub fn mul_const(&self, xc: CodeWord, k: u32) -> Result<CodeWord, AnCodeError> {
+        if self.is_valid(xc) {
+            let x = self.decode_unchecked(xc) as u64;
+            if x * u64::from(k) >= u64::from(self.functional_max_exclusive) {
+                return Err(AnCodeError::FunctionalOverflow { operation: "mul" });
+            }
+        }
+        Ok(CodeWord(xc.0.wrapping_mul(k)))
+    }
+
+    /// Encoded multiplication of two code words with the correction step
+    /// `zc = (xc * yc) / A`, computed in 64-bit intermediate precision as the
+    /// AN-encoding compilers do.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnCodeError::FunctionalOverflow`] if the functional product
+    /// of two *valid* operands would leave the functional range.
+    pub fn mul(&self, xc: CodeWord, yc: CodeWord) -> Result<CodeWord, AnCodeError> {
+        if self.is_valid(xc) && self.is_valid(yc) {
+            let x = self.decode_unchecked(xc) as u64;
+            let y = self.decode_unchecked(yc) as u64;
+            if x * y >= u64::from(self.functional_max_exclusive) {
+                return Err(AnCodeError::FunctionalOverflow { operation: "mul" });
+            }
+        }
+        let wide = u64::from(xc.0).wrapping_mul(u64::from(yc.0)) / u64::from(self.a);
+        Ok(CodeWord(wide as u32))
+    }
+
+    /// The residue `word mod A` (0 for valid code words). Exposed because the
+    /// security evaluation inspects residues of faulted intermediates.
+    #[must_use]
+    pub fn residue(&self, word: CodeWord) -> u32 {
+        word.0 % self.a
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const A: u32 = 63877;
+
+    fn code() -> AnCode {
+        AnCode::with_functional_bits(A, 16).expect("valid code")
+    }
+
+    #[test]
+    fn new_rejects_degenerate_constants() {
+        assert!(AnCode::new(0).is_err());
+        assert!(AnCode::new(1).is_err());
+        assert!(AnCode::new(2).is_ok());
+    }
+
+    #[test]
+    fn functional_range_is_capped_by_constant_and_width() {
+        let c = AnCode::new(3).expect("valid");
+        // With A = 3 the limiting factor is A itself (n < A).
+        assert_eq!(c.functional_max_exclusive(), 3);
+
+        let c = AnCode::new(A).expect("valid");
+        assert_eq!(c.functional_max_exclusive(), A.min(u32::MAX / A + 1));
+
+        let c = AnCode::with_functional_bits(A, 8).expect("valid");
+        assert_eq!(c.functional_max_exclusive(), 256);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let c = code();
+        for v in [0u32, 1, 2, 41, 255, 1000, 65_535.min(c.functional_max_exclusive() - 1)] {
+            let w = c.encode(v).expect("in range");
+            assert_eq!(w.raw(), A * v);
+            assert!(c.is_valid(w));
+            assert_eq!(c.decode(w).expect("valid"), v);
+        }
+    }
+
+    #[test]
+    fn encode_rejects_out_of_range() {
+        let c = code();
+        let max = c.functional_max_exclusive();
+        assert!(matches!(
+            c.encode(max),
+            Err(AnCodeError::ValueOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn check_detects_single_bit_flips() {
+        let c = code();
+        let w = c.encode(1234).expect("in range");
+        for bit in 0..32 {
+            let faulted = w.with_bit_flipped(bit);
+            assert!(
+                c.check(faulted).is_err(),
+                "single-bit flip at bit {bit} must be detected"
+            );
+        }
+    }
+
+    #[test]
+    fn addition_is_closed() {
+        let c = code();
+        let x = c.encode(100).expect("in range");
+        let y = c.encode(4000).expect("in range");
+        let z = c.add(x, y).expect("no overflow");
+        assert_eq!(c.decode(z).expect("valid"), 4100);
+    }
+
+    #[test]
+    fn addition_reports_functional_overflow() {
+        let c = code();
+        let max = c.functional_max_exclusive();
+        let x = c.encode(max - 1).expect("in range");
+        let y = c.encode(2).expect("in range");
+        assert!(matches!(
+            c.add(x, y),
+            Err(AnCodeError::FunctionalOverflow { .. })
+        ));
+    }
+
+    #[test]
+    fn addition_propagates_faulted_operands() {
+        let c = code();
+        let x = c.encode(100).expect("in range").with_bit_flipped(3);
+        let y = c.encode(4000).expect("in range");
+        let z = c.add(x, y).expect("faulted operands pass through");
+        assert!(c.check(z).is_err(), "fault must stay detectable");
+    }
+
+    #[test]
+    fn subtraction_matches_signed_semantics() {
+        let c = code();
+        let x = c.encode(10).expect("in range");
+        let y = c.encode(3).expect("in range");
+        assert_eq!(c.decode(c.sub(x, y)).expect("valid"), 7);
+
+        // Negative difference: the wrapped representation is 2^32 + A*(x-y).
+        let d = c.sub(y, x);
+        let expected = (1u64 << 32) - u64::from(A) * 7;
+        assert_eq!(u64::from(d.raw()), expected);
+    }
+
+    #[test]
+    fn mul_const_scales_functional_value() {
+        let c = code();
+        let x = c.encode(21).expect("in range");
+        let z = c.mul_const(x, 3).expect("no overflow");
+        assert_eq!(c.decode(z).expect("valid"), 63);
+    }
+
+    #[test]
+    fn mul_applies_correction() {
+        let c = code();
+        let x = c.encode(12).expect("in range");
+        let y = c.encode(11).expect("in range");
+        let z = c.mul(x, y).expect("no overflow");
+        assert_eq!(c.decode(z).expect("valid"), 132);
+    }
+
+    #[test]
+    fn mul_detects_overflow() {
+        let c = code();
+        let x = c.encode(60_000).expect("in range");
+        let y = c.encode(2).expect("in range");
+        assert!(matches!(
+            c.mul(x, y),
+            Err(AnCodeError::FunctionalOverflow { .. })
+        ));
+    }
+
+    #[test]
+    fn code_word_formatting() {
+        let w = CodeWord(0xABCD);
+        assert_eq!(format!("{w}"), "0x0000abcd");
+        assert_eq!(format!("{w:x}"), "abcd");
+        assert_eq!(format!("{w:X}"), "ABCD");
+        assert_eq!(format!("{w:b}"), "1010101111001101");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bit_flip_panics_on_out_of_range_bit() {
+        let _ = CodeWord(0).with_bit_flipped(32);
+    }
+}

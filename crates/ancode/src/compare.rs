@@ -1,0 +1,435 @@
+//! Redundantly encoded comparisons (Section IV of the paper).
+//!
+//! A conventional comparison of two AN-coded operands collapses all
+//! redundancy into a 1-bit CPU flag — the single point of failure identified
+//! by Hoffmann et al. during fault simulation. The encoded comparison instead
+//! computes the condition *arithmetically* so that the result is one of two
+//! redundant symbols `C1`/`C2` whose Hamming distance is at least the
+//! security level `D` of the data encoding and the CFI scheme:
+//!
+//! * **Algorithm 1** (`<, <=, >, >=`): subtract the operands with wrapping
+//!   (two's-complement) semantics, add the condition constant `C`, and reduce
+//!   modulo `A`. A negative difference intentionally destroys the AN-code
+//!   congruence through the unsigned reinterpretation (`2^32 + A*(x-y)`), so
+//!   the remainder separates the two cases: `2^32 % A + C` versus `C`
+//!   (Table I).
+//! * **Algorithm 2** (`==, !=`): combine the `<=` and `>=` conditions by
+//!   adding their remainders; equality yields `2*C`, inequality
+//!   `2^32 % A + 2*C`.
+//!
+//! Faults on the operands that invalidate their AN-code produce a condition
+//! value that is *neither* symbol, which the CFI linkage then detects.
+
+use crate::code::CodeWord;
+use crate::params::Parameters;
+
+/// Comparison predicates supported by the encoded comparison.
+///
+/// The functional values of the paper's pipeline are unsigned, so the
+/// relational predicates carry a `U` prefix mirroring LLVM's `icmp`
+/// nomenclature.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Predicate {
+    /// Equality (`==`).
+    Eq,
+    /// Inequality (`!=`).
+    Ne,
+    /// Unsigned less-than (`<`).
+    Ult,
+    /// Unsigned less-or-equal (`<=`).
+    Ule,
+    /// Unsigned greater-than (`>`).
+    Ugt,
+    /// Unsigned greater-or-equal (`>=`).
+    Uge,
+}
+
+impl Predicate {
+    /// All predicates, in the order used by the paper's tables.
+    pub const ALL: [Predicate; 6] = [
+        Predicate::Ugt,
+        Predicate::Uge,
+        Predicate::Ult,
+        Predicate::Ule,
+        Predicate::Eq,
+        Predicate::Ne,
+    ];
+
+    /// Returns `true` for the equality class (`==`, `!=`) which uses
+    /// Algorithm 2, and `false` for the ordering class which uses Algorithm 1.
+    #[must_use]
+    pub fn is_equality_class(self) -> bool {
+        matches!(self, Predicate::Eq | Predicate::Ne)
+    }
+
+    /// The predicate with operands swapped (`a P b` ⇔ `b P.swapped() a`).
+    #[must_use]
+    pub fn swapped(self) -> Predicate {
+        match self {
+            Predicate::Eq => Predicate::Eq,
+            Predicate::Ne => Predicate::Ne,
+            Predicate::Ult => Predicate::Ugt,
+            Predicate::Ule => Predicate::Uge,
+            Predicate::Ugt => Predicate::Ult,
+            Predicate::Uge => Predicate::Ule,
+        }
+    }
+
+    /// The logical negation of the predicate (`!(a P b)` ⇔ `a P.negated() b`).
+    #[must_use]
+    pub fn negated(self) -> Predicate {
+        match self {
+            Predicate::Eq => Predicate::Ne,
+            Predicate::Ne => Predicate::Eq,
+            Predicate::Ult => Predicate::Uge,
+            Predicate::Ule => Predicate::Ugt,
+            Predicate::Ugt => Predicate::Ule,
+            Predicate::Uge => Predicate::Ult,
+        }
+    }
+
+    /// Evaluates the predicate on plain (functional) values — the reference
+    /// semantics the encoded comparison must agree with.
+    #[must_use]
+    pub fn evaluate(self, x: u32, y: u32) -> bool {
+        match self {
+            Predicate::Eq => x == y,
+            Predicate::Ne => x != y,
+            Predicate::Ult => x < y,
+            Predicate::Ule => x <= y,
+            Predicate::Ugt => x > y,
+            Predicate::Uge => x >= y,
+        }
+    }
+
+    /// Human-readable operator symbol.
+    #[must_use]
+    pub fn symbol(self) -> &'static str {
+        match self {
+            Predicate::Eq => "==",
+            Predicate::Ne => "!=",
+            Predicate::Ult => "<",
+            Predicate::Ule => "<=",
+            Predicate::Ugt => ">",
+            Predicate::Uge => ">=",
+        }
+    }
+}
+
+impl std::fmt::Display for Predicate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.symbol())
+    }
+}
+
+/// The two redundant condition symbols a protected comparison can produce
+/// (Table I): one for the *true* outcome, one for the *false* outcome.
+///
+/// Any other value signals that a fault corrupted the computation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ConditionSymbols {
+    true_value: u32,
+    false_value: u32,
+}
+
+impl ConditionSymbols {
+    /// Creates a symbol pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two symbols are identical — such a pair cannot encode a
+    /// decision.
+    #[must_use]
+    pub fn new(true_value: u32, false_value: u32) -> Self {
+        assert_ne!(
+            true_value, false_value,
+            "condition symbols must be distinct"
+        );
+        ConditionSymbols {
+            true_value,
+            false_value,
+        }
+    }
+
+    /// Symbol produced when the comparison holds.
+    #[must_use]
+    pub fn true_value(&self) -> u32 {
+        self.true_value
+    }
+
+    /// Symbol produced when the comparison does not hold.
+    #[must_use]
+    pub fn false_value(&self) -> u32 {
+        self.false_value
+    }
+
+    /// Hamming distance between the two symbols — the security level `D` of
+    /// the protected branch.
+    #[must_use]
+    pub fn hamming_distance(&self) -> u32 {
+        (self.true_value ^ self.false_value).count_ones()
+    }
+
+    /// Classifies a raw condition value.
+    #[must_use]
+    pub fn classify(&self, value: u32) -> ConditionOutcome {
+        if value == self.true_value {
+            ConditionOutcome::True
+        } else if value == self.false_value {
+            ConditionOutcome::False
+        } else {
+            ConditionOutcome::Invalid
+        }
+    }
+}
+
+/// Outcome of classifying a raw condition value against a symbol pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ConditionOutcome {
+    /// The value equals the *true* symbol.
+    True,
+    /// The value equals the *false* symbol.
+    False,
+    /// The value is neither symbol — a fault corrupted the computation.
+    Invalid,
+}
+
+impl ConditionOutcome {
+    /// `true` if the value was one of the two valid symbols.
+    #[must_use]
+    pub fn is_valid(self) -> bool {
+        !matches!(self, ConditionOutcome::Invalid)
+    }
+}
+
+/// Algorithm 1: AN-encoded ordering comparison kernel.
+///
+/// Computes `cond = ((unsigned)(lhs - rhs) + C) mod A`. The caller selects
+/// which operand order and which expected symbols realise the desired
+/// predicate (Table I); [`encoded_compare`] does this automatically.
+#[must_use]
+pub fn ordering_kernel(a: u32, c: u32, lhs: CodeWord, rhs: CodeWord) -> u32 {
+    let diff = lhs.raw().wrapping_sub(rhs.raw()).wrapping_add(c);
+    diff % a
+}
+
+/// Algorithm 2: AN-encoded equality comparison kernel.
+///
+/// Combines the `<=` and `>=` remainders by addition: equality yields `2*C`,
+/// inequality `2^32 mod A + 2*C`.
+#[must_use]
+pub fn equality_kernel(a: u32, c: u32, lhs: CodeWord, rhs: CodeWord) -> u32 {
+    let rem1 = lhs.raw().wrapping_sub(rhs.raw()).wrapping_add(c) % a;
+    let rem2 = rhs.raw().wrapping_sub(lhs.raw()).wrapping_add(c) % a;
+    rem1.wrapping_add(rem2)
+}
+
+/// Computes the encoded comparison `xc P yc` and returns the raw condition
+/// value (one of the two symbols of [`Parameters::symbols`] when no fault
+/// occurred).
+///
+/// This is the software reference implementation; the code generator emits
+/// the equivalent `SUB/ADD/UDIV/MLS` sequence (Table II).
+#[must_use]
+pub fn encoded_compare(params: &Parameters, predicate: Predicate, xc: CodeWord, yc: CodeWord) -> u32 {
+    let a = params.code().constant();
+    match predicate {
+        Predicate::Eq | Predicate::Ne => equality_kernel(a, params.equality_constant(), xc, yc),
+        // Table I: the subtraction order selects the predicate; the symbol
+        // assignment (true/false) is handled by `Parameters::symbols`.
+        Predicate::Ult | Predicate::Uge => {
+            ordering_kernel(a, params.ordering_constant(), xc, yc)
+        }
+        Predicate::Ugt | Predicate::Ule => {
+            ordering_kernel(a, params.ordering_constant(), yc, xc)
+        }
+    }
+}
+
+/// Convenience wrapper: runs the encoded comparison and classifies the result
+/// against the expected symbols.
+#[must_use]
+pub fn encoded_compare_outcome(
+    params: &Parameters,
+    predicate: Predicate,
+    xc: CodeWord,
+    yc: CodeWord,
+) -> ConditionOutcome {
+    let value = encoded_compare(params, predicate, xc, yc);
+    params.symbols(predicate).classify(value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::Parameters;
+
+    fn params() -> Parameters {
+        Parameters::paper_defaults()
+    }
+
+    #[test]
+    fn predicate_reference_semantics() {
+        assert!(Predicate::Eq.evaluate(3, 3));
+        assert!(!Predicate::Eq.evaluate(3, 4));
+        assert!(Predicate::Ne.evaluate(3, 4));
+        assert!(Predicate::Ult.evaluate(3, 4));
+        assert!(!Predicate::Ult.evaluate(4, 4));
+        assert!(Predicate::Ule.evaluate(4, 4));
+        assert!(Predicate::Ugt.evaluate(5, 4));
+        assert!(Predicate::Uge.evaluate(4, 4));
+    }
+
+    #[test]
+    fn predicate_negation_and_swap_are_involutions() {
+        for p in Predicate::ALL {
+            assert_eq!(p.negated().negated(), p);
+            assert_eq!(p.swapped().swapped(), p);
+            for (x, y) in [(1u32, 2u32), (2, 1), (7, 7)] {
+                assert_eq!(p.evaluate(x, y), !p.negated().evaluate(x, y));
+                assert_eq!(p.evaluate(x, y), p.swapped().evaluate(y, x));
+            }
+        }
+    }
+
+    #[test]
+    fn table_one_symbol_values() {
+        // Table I with A = 63877, C = 29982: true/false condition values for
+        // the ordering predicates; 2^32 mod A = 5570.
+        let p = params();
+        let wrap = p.wraparound_residue();
+        assert_eq!(wrap, 5570);
+        let lt = p.symbols(Predicate::Ult);
+        assert_eq!(lt.true_value(), 5570 + 29982);
+        assert_eq!(lt.false_value(), 29982);
+        let ge = p.symbols(Predicate::Uge);
+        assert_eq!(ge.true_value(), 29982);
+        assert_eq!(ge.false_value(), 5570 + 29982);
+        // Equality class with C = 14991: equal -> 2C, not equal -> wrap + 2C.
+        let eq = p.symbols(Predicate::Eq);
+        assert_eq!(eq.true_value(), 2 * 14991);
+        assert_eq!(eq.false_value(), 5570 + 2 * 14991);
+        let ne = p.symbols(Predicate::Ne);
+        assert_eq!(ne.true_value(), 5570 + 2 * 14991);
+        assert_eq!(ne.false_value(), 2 * 14991);
+    }
+
+    #[test]
+    fn symbols_reach_fifteen_bit_distance() {
+        // "With both constants, we reach a maximum Hamming distance D of
+        // 15-bit between the comparison values."
+        let p = params();
+        for pred in Predicate::ALL {
+            assert_eq!(p.symbols(pred).hamming_distance(), 15, "{pred}");
+        }
+    }
+
+    #[test]
+    fn encoded_compare_agrees_with_reference_on_a_grid() {
+        let p = params();
+        let code = p.code();
+        let interesting = [0u32, 1, 2, 3, 41, 255, 256, 1000, 32_767, 63_876];
+        for &x in &interesting {
+            for &y in &interesting {
+                let xc = code.encode(x).expect("in range");
+                let yc = code.encode(y).expect("in range");
+                for pred in Predicate::ALL {
+                    let outcome = encoded_compare_outcome(&p, pred, xc, yc);
+                    let expected = if pred.evaluate(x, y) {
+                        ConditionOutcome::True
+                    } else {
+                        ConditionOutcome::False
+                    };
+                    assert_eq!(outcome, expected, "{x} {pred} {y}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn faulted_operand_never_flips_the_decision() {
+        // The security property of the encoded comparison: a fault on an
+        // operand can never produce the *wrong valid* symbol. For the
+        // ordering class (Algorithm 1) the fault residue survives into the
+        // remainder, so the fault is detected outright. For the equality
+        // class (Algorithm 2) the two remainders cancel the residue when the
+        // operands are unequal, so the fault may be *masked* (the correct
+        // "not equal" symbol is produced) — but the decision still cannot be
+        // flipped.
+        let p = params();
+        let code = p.code();
+        let xc = code.encode(100).expect("in range");
+        let yc = code.encode(200).expect("in range");
+        for bit in 0..32 {
+            let fx = xc.with_bit_flipped(bit);
+            for pred in Predicate::ALL {
+                let correct = if pred.evaluate(100, 200) {
+                    ConditionOutcome::True
+                } else {
+                    ConditionOutcome::False
+                };
+                let wrong = match correct {
+                    ConditionOutcome::True => ConditionOutcome::False,
+                    _ => ConditionOutcome::True,
+                };
+                let outcome = encoded_compare_outcome(&p, pred, fx, yc);
+                assert_ne!(outcome, wrong, "bit {bit}, predicate {pred}");
+                if !pred.is_equality_class() {
+                    assert_eq!(
+                        outcome,
+                        ConditionOutcome::Invalid,
+                        "ordering-class faults must be detected (bit {bit}, {pred})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn faulted_condition_value_needs_many_bits_to_reach_other_symbol() {
+        let p = params();
+        let s = p.symbols(Predicate::Ult);
+        assert_eq!(
+            (s.true_value() ^ s.false_value()).count_ones(),
+            15,
+            "flipping the decision requires 15 precise bit flips"
+        );
+    }
+
+    #[test]
+    fn classification_rejects_all_zero_and_all_one() {
+        // The parameter selection must avoid the all-zero / all-one condition
+        // values that are easy to force in hardware.
+        let p = params();
+        for pred in Predicate::ALL {
+            let s = p.symbols(pred);
+            assert_eq!(s.classify(0), ConditionOutcome::Invalid);
+            assert_eq!(s.classify(u32::MAX), ConditionOutcome::Invalid);
+        }
+    }
+
+    #[test]
+    fn kernels_are_branch_free_functions_of_inputs() {
+        // Same inputs -> same outputs (pure), different order -> the swapped
+        // kernel for ordering.
+        let p = params();
+        let code = p.code();
+        let a = code.constant();
+        let x = code.encode(10).expect("in range");
+        let y = code.encode(20).expect("in range");
+        assert_eq!(
+            ordering_kernel(a, p.ordering_constant(), x, y),
+            ordering_kernel(a, p.ordering_constant(), x, y)
+        );
+        assert_eq!(
+            equality_kernel(a, p.equality_constant(), x, y),
+            equality_kernel(a, p.equality_constant(), y, x)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct")]
+    fn identical_symbols_are_rejected() {
+        let _ = ConditionSymbols::new(5, 5);
+    }
+}

@@ -1,0 +1,98 @@
+//! Error type of the AN-code crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when constructing or operating on AN-codes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum AnCodeError {
+    /// The encoding constant `A` is invalid (zero, one, or too large for the
+    /// configured functional range to fit in 32 bits).
+    InvalidConstant {
+        /// The offending constant.
+        a: u32,
+        /// Human-readable reason.
+        reason: &'static str,
+    },
+    /// A functional value is outside the representable range of the code.
+    ValueOutOfRange {
+        /// The offending functional value.
+        value: u32,
+        /// The exclusive upper bound of the functional range.
+        max_exclusive: u32,
+    },
+    /// A word claimed to be a code word fails the AN-code congruence
+    /// `0 == nc mod A`.
+    InvalidCodeWord {
+        /// The offending raw word.
+        word: u32,
+        /// The residue `word % A`.
+        residue: u32,
+    },
+    /// The condition constant `C` is invalid (`0 < C < A` is required).
+    InvalidConditionConstant {
+        /// The offending constant.
+        c: u32,
+        /// The encoding constant it was paired with.
+        a: u32,
+    },
+    /// An arithmetic operation would leave the functional range of the code
+    /// (e.g. the sum of two functional values no longer fits).
+    FunctionalOverflow {
+        /// Description of the operation that overflowed.
+        operation: &'static str,
+    },
+}
+
+impl fmt::Display for AnCodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnCodeError::InvalidConstant { a, reason } => {
+                write!(f, "invalid encoding constant A = {a}: {reason}")
+            }
+            AnCodeError::ValueOutOfRange {
+                value,
+                max_exclusive,
+            } => write!(
+                f,
+                "functional value {value} is outside the range 0..{max_exclusive}"
+            ),
+            AnCodeError::InvalidCodeWord { word, residue } => write!(
+                f,
+                "word {word:#010x} is not a valid code word (residue {residue})"
+            ),
+            AnCodeError::InvalidConditionConstant { c, a } => {
+                write!(f, "condition constant C = {c} must satisfy 0 < C < A = {a}")
+            }
+            AnCodeError::FunctionalOverflow { operation } => {
+                write!(f, "functional overflow in encoded {operation}")
+            }
+        }
+    }
+}
+
+impl Error for AnCodeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let e = AnCodeError::InvalidCodeWord {
+            word: 0x1234,
+            residue: 7,
+        };
+        let s = e.to_string();
+        assert!(s.contains("0x00001234"));
+        assert!(s.contains("residue 7"));
+        assert!(!s.ends_with('.'));
+    }
+
+    #[test]
+    fn errors_are_std_errors() {
+        let e: Box<dyn Error> = Box::new(AnCodeError::FunctionalOverflow { operation: "add" });
+        assert!(e.to_string().contains("add"));
+    }
+}

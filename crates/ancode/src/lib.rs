@@ -1,0 +1,72 @@
+//! AN-code arithmetic and redundantly encoded comparisons.
+//!
+//! This crate implements the data-encoding substrate of *Securing Conditional
+//! Branches in the Presence of Fault Attacks* (Schilling, Werner, Mangard —
+//! DATE 2018):
+//!
+//! * [`AnCode`] — an arithmetic AN-code with encoding constant `A`
+//!   (code words are `nc = A * n`), including encoding, decoding, residue
+//!   checks and the arithmetic operations that are closed under the code
+//!   (addition, subtraction, multiplication with correction).
+//! * [`compare`] — the paper's novel *encoded comparison* operations
+//!   (Algorithm 1 for `<, <=, >, >=`, Algorithm 2 for `==, !=`): they compare
+//!   two code words and produce a *redundant* condition symbol instead of an
+//!   unprotected 1-bit flag, preserving the fault-detection capability of the
+//!   encoding throughout the whole conditional branch (Table I of the paper).
+//! * [`params`] — parameter selection: the paper's constants
+//!   (`A = 63877`, `C = 29982` / `14991`) and search routines that recompute
+//!   them (maximising the Hamming distance between the two condition symbols).
+//! * [`hamming`] — Hamming-distance analysis of AN-codes (minimum code
+//!   distance, symbol distance) used both by parameter selection and by the
+//!   security evaluation (Section VI).
+//!
+//! # Quick start
+//!
+//! ```
+//! use secbranch_ancode::{Predicate, Parameters};
+//!
+//! # fn main() -> Result<(), secbranch_ancode::AnCodeError> {
+//! let params = Parameters::paper_defaults();
+//! let code = params.code();
+//!
+//! // Encode two functional values.
+//! let x = code.encode(41)?;
+//! let y = code.encode(1000)?;
+//!
+//! // Redundantly encoded `<` comparison (Algorithm 1).
+//! let symbols = params.symbols(Predicate::Ult);
+//! let cond = secbranch_ancode::compare::encoded_compare(&params, Predicate::Ult, x, y);
+//! assert_eq!(cond, symbols.true_value());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod code;
+mod error;
+pub mod compare;
+pub mod hamming;
+pub mod params;
+
+pub use code::{AnCode, CodeWord};
+pub use compare::{encoded_compare, ConditionSymbols, Predicate};
+pub use error::AnCodeError;
+pub use params::Parameters;
+
+#[cfg(test)]
+mod crate_tests {
+    use super::*;
+
+    #[test]
+    fn public_types_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<AnCode>();
+        assert_send_sync::<CodeWord>();
+        assert_send_sync::<Parameters>();
+        assert_send_sync::<ConditionSymbols>();
+        assert_send_sync::<Predicate>();
+        assert_send_sync::<AnCodeError>();
+    }
+}

@@ -1,0 +1,195 @@
+//! The cycle model.
+//!
+//! The model follows the Cortex-M3/M4 timing facts the paper's cost analysis
+//! relies on:
+//!
+//! * data-processing instructions, `MOV` and `CMP`: 1 cycle,
+//! * `MUL`: 1 cycle, `MLS`: 2 cycles,
+//! * `UDIV`: 2–12 cycles depending on the operand values (the hardware
+//!   terminates early based on the number of significant quotient bits),
+//! * loads and stores: 2 cycles,
+//! * taken branches: 2 cycles (pipeline refill), not-taken conditional
+//!   branches: 1 cycle, `BL`/`BX`: 3 cycles,
+//! * `PUSH`/`POP`: 1 + number of registers (+2 extra when `POP` writes the
+//!   program counter).
+//!
+//! With these values the paper's Table II ranges are reproduced exactly: the
+//! ordering-class encoded compare (`SUB`, `ADD`, `UDIV`, `MLS`) costs
+//! 1 + 1 + (2..=12) + 2 = 6..=16 cycles.
+
+use crate::instr::{Instr, Reg};
+
+/// Cycles consumed by a `UDIV` with the given operand values.
+///
+/// Model: 2 base cycles plus one cycle per 3 significant quotient bits,
+/// clamped to the architectural 2–12 range. Division by zero takes the
+/// minimum (the hardware raises a configurable fault or returns zero; the
+/// simulator returns zero).
+#[must_use]
+pub fn udiv_cycles(dividend: u32, divisor: u32) -> u64 {
+    if divisor == 0 {
+        return 2;
+    }
+    let quotient = dividend / divisor;
+    let significant = 32 - quotient.leading_zeros();
+    (2 + u64::from(significant) / 3).clamp(2, 12)
+}
+
+/// The minimum and maximum cycle count a `UDIV` can take.
+pub const UDIV_CYCLES_RANGE: (u64, u64) = (2, 12);
+
+/// Cycles consumed by an instruction.
+///
+/// `branch_taken` reports whether a conditional branch was taken;
+/// `udiv_operands` carries the operand values of a `UDIV` (cycle count is
+/// data dependent).
+#[must_use]
+pub fn instruction_cycles(
+    instr: &Instr,
+    branch_taken: bool,
+    udiv_operands: Option<(u32, u32)>,
+) -> u64 {
+    match instr {
+        Instr::MovImm { imm, .. } => {
+            if *imm > 0xFFFF {
+                2 // MOVW + MOVT pair
+            } else {
+                1
+            }
+        }
+        Instr::Mov { .. }
+        | Instr::Add { .. }
+        | Instr::Sub { .. }
+        | Instr::And { .. }
+        | Instr::Orr { .. }
+        | Instr::Eor { .. }
+        | Instr::Lsl { .. }
+        | Instr::Lsr { .. }
+        | Instr::Asr { .. }
+        | Instr::Cmp { .. }
+        | Instr::Nop => 1,
+        Instr::Mul { .. } => 1,
+        Instr::Mls { .. } => 2,
+        Instr::Udiv { .. } => match udiv_operands {
+            Some((n, d)) => udiv_cycles(n, d),
+            None => UDIV_CYCLES_RANGE.1,
+        },
+        Instr::B { .. } => 2,
+        Instr::BCond { .. } => {
+            if branch_taken {
+                2
+            } else {
+                1
+            }
+        }
+        Instr::Bl { .. } | Instr::Bx { .. } => 3,
+        Instr::Ldr { .. } | Instr::Str { .. } | Instr::Ldrb { .. } | Instr::Strb { .. } => 2,
+        Instr::Push { regs } => 1 + regs.len() as u64,
+        Instr::Pop { regs } => {
+            let base = 1 + regs.len() as u64;
+            if regs.contains(&Reg::Pc) {
+                base + 2
+            } else {
+                base
+            }
+        }
+    }
+}
+
+/// Static lower and upper bounds on the cycles of an instruction, independent
+/// of operand values (used for the qualitative Table II analysis).
+#[must_use]
+pub fn instruction_cycle_bounds(instr: &Instr) -> (u64, u64) {
+    match instr {
+        Instr::Udiv { .. } => UDIV_CYCLES_RANGE,
+        Instr::BCond { .. } => (1, 2),
+        other => {
+            let c = instruction_cycles(other, true, None);
+            (c, c)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::{Operand2, Target};
+
+    #[test]
+    fn udiv_cycles_are_data_dependent_and_bounded() {
+        assert_eq!(udiv_cycles(0, 5), 2);
+        assert_eq!(udiv_cycles(7, 3), 2);
+        assert!(udiv_cycles(1 << 20, 3) > udiv_cycles(1 << 4, 3));
+        assert_eq!(udiv_cycles(u32::MAX, 1), 12);
+        assert_eq!(udiv_cycles(123, 0), 2);
+        for (n, d) in [(0u32, 1u32), (5, 5), (1 << 31, 1), (999_999, 7)] {
+            let c = udiv_cycles(n, d);
+            assert!((2..=12).contains(&c));
+        }
+    }
+
+    #[test]
+    fn encoded_compare_cycle_range_matches_table_two() {
+        // SUB + ADD + UDIV + MLS = 6 .. 16 cycles.
+        let seq = [
+            Instr::Sub {
+                rd: Reg::R2,
+                rn: Reg::R0,
+                op2: Operand2::Reg(Reg::R1),
+            },
+            Instr::Add {
+                rd: Reg::R2,
+                rn: Reg::R2,
+                op2: Operand2::Reg(Reg::R3),
+            },
+            Instr::Udiv {
+                rd: Reg::R4,
+                rn: Reg::R2,
+                rm: Reg::R5,
+            },
+            Instr::Mls {
+                rd: Reg::R0,
+                rn: Reg::R4,
+                rm: Reg::R5,
+                ra: Reg::R2,
+            },
+        ];
+        let min: u64 = seq.iter().map(|i| instruction_cycle_bounds(i).0).sum();
+        let max: u64 = seq.iter().map(|i| instruction_cycle_bounds(i).1).sum();
+        assert_eq!((min, max), (6, 16));
+    }
+
+    #[test]
+    fn branch_cycles_depend_on_direction() {
+        let b = Instr::BCond {
+            cond: crate::instr::Cond::Eq,
+            target: Target::Resolved(0),
+        };
+        assert_eq!(instruction_cycles(&b, true, None), 2);
+        assert_eq!(instruction_cycles(&b, false, None), 1);
+        assert_eq!(instruction_cycle_bounds(&b), (1, 2));
+    }
+
+    #[test]
+    fn pop_of_pc_costs_a_pipeline_refill() {
+        let pop = Instr::Pop {
+            regs: vec![Reg::R4, Reg::Pc],
+        };
+        assert_eq!(instruction_cycles(&pop, false, None), 5);
+        let pop = Instr::Pop {
+            regs: vec![Reg::R4, Reg::R5],
+        };
+        assert_eq!(instruction_cycles(&pop, false, None), 3);
+    }
+
+    #[test]
+    fn wide_immediate_moves_cost_two_cycles() {
+        let narrow = Instr::MovImm { rd: Reg::R0, imm: 10 };
+        let wide = Instr::MovImm {
+            rd: Reg::R0,
+            imm: 0xDEAD_BEEF,
+        };
+        assert_eq!(instruction_cycles(&narrow, false, None), 1);
+        assert_eq!(instruction_cycles(&wide, false, None), 2);
+    }
+}

@@ -1,0 +1,105 @@
+//! Error type of the ARMv7-M simulator crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while assembling or executing programs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// A branch or call targets a label that was never defined.
+    UndefinedLabel {
+        /// The missing label.
+        label: String,
+    },
+    /// A label was defined more than once.
+    DuplicateLabel {
+        /// The duplicated label.
+        label: String,
+    },
+    /// Execution started from a label that does not exist.
+    UnknownEntryPoint {
+        /// The requested entry label.
+        label: String,
+    },
+    /// A memory access fell outside the guest memory (and outside the MMIO
+    /// window).
+    MemoryFault {
+        /// The faulting byte address.
+        address: u32,
+        /// Access size in bytes.
+        size: u32,
+        /// `true` for stores, `false` for loads.
+        is_store: bool,
+    },
+    /// The program counter left the program (e.g. a corrupted return
+    /// address).
+    PcOutOfRange {
+        /// The faulting instruction index.
+        pc: u64,
+    },
+    /// The step limit was exceeded before the program halted.
+    StepLimitExceeded {
+        /// The limit that was hit.
+        limit: u64,
+    },
+    /// An instruction still contained an unresolved label at execution time.
+    UnresolvedTarget,
+    /// A call passed more arguments than fit the r0–r3 calling convention.
+    TooManyArguments {
+        /// Number of arguments passed.
+        count: usize,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::UndefinedLabel { label } => write!(f, "undefined label '{label}'"),
+            SimError::DuplicateLabel { label } => write!(f, "duplicate label '{label}'"),
+            SimError::UnknownEntryPoint { label } => {
+                write!(f, "unknown entry point '{label}'")
+            }
+            SimError::MemoryFault {
+                address,
+                size,
+                is_store,
+            } => write!(
+                f,
+                "{} of {size} bytes at {address:#010x} is out of bounds",
+                if *is_store { "store" } else { "load" }
+            ),
+            SimError::PcOutOfRange { pc } => write!(f, "program counter {pc} left the program"),
+            SimError::StepLimitExceeded { limit } => {
+                write!(f, "step limit of {limit} instructions exceeded")
+            }
+            SimError::UnresolvedTarget => write!(f, "unresolved branch target at execution time"),
+            SimError::TooManyArguments { count } => write!(
+                f,
+                "{count} arguments passed but only r0-r3 are used for arguments"
+            ),
+        }
+    }
+}
+
+impl Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = SimError::MemoryFault {
+            address: 0x1234,
+            size: 4,
+            is_store: true,
+        };
+        assert!(e.to_string().contains("store"));
+        assert!(e.to_string().contains("0x00001234"));
+        let e = SimError::UndefinedLabel {
+            label: "memcmp".to_string(),
+        };
+        assert!(e.to_string().contains("memcmp"));
+    }
+}

@@ -1,0 +1,709 @@
+//! Registers, condition codes and the Thumb-2 instruction subset with its
+//! size model.
+
+use std::fmt;
+
+/// Core registers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[allow(missing_docs)]
+pub enum Reg {
+    R0,
+    R1,
+    R2,
+    R3,
+    R4,
+    R5,
+    R6,
+    R7,
+    R8,
+    R9,
+    R10,
+    R11,
+    R12,
+    /// Stack pointer.
+    Sp,
+    /// Link register.
+    Lr,
+    /// Program counter (only meaningful as a `POP` destination).
+    Pc,
+}
+
+impl Reg {
+    /// All sixteen registers in index order.
+    pub const ALL: [Reg; 16] = [
+        Reg::R0,
+        Reg::R1,
+        Reg::R2,
+        Reg::R3,
+        Reg::R4,
+        Reg::R5,
+        Reg::R6,
+        Reg::R7,
+        Reg::R8,
+        Reg::R9,
+        Reg::R10,
+        Reg::R11,
+        Reg::R12,
+        Reg::Sp,
+        Reg::Lr,
+        Reg::Pc,
+    ];
+
+    /// The architectural register index (0–15).
+    #[must_use]
+    pub fn index(self) -> usize {
+        Reg::ALL.iter().position(|r| *r == self).expect("member of ALL")
+    }
+
+    /// `true` for r0–r7 (encodable in most 16-bit Thumb instructions).
+    #[must_use]
+    pub fn is_low(self) -> bool {
+        self.index() < 8
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Reg::Sp => write!(f, "sp"),
+            Reg::Lr => write!(f, "lr"),
+            Reg::Pc => write!(f, "pc"),
+            other => write!(f, "r{}", other.index()),
+        }
+    }
+}
+
+/// Condition codes for conditional branches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Cond {
+    /// Equal (Z set).
+    Eq,
+    /// Not equal (Z clear).
+    Ne,
+    /// Unsigned lower (C clear).
+    Lo,
+    /// Unsigned higher or same (C set).
+    Hs,
+    /// Unsigned higher (C set and Z clear).
+    Hi,
+    /// Unsigned lower or same (C clear or Z set).
+    Ls,
+}
+
+impl Cond {
+    /// All condition codes.
+    pub const ALL: [Cond; 6] = [Cond::Eq, Cond::Ne, Cond::Lo, Cond::Hs, Cond::Hi, Cond::Ls];
+
+    /// The inverse condition.
+    #[must_use]
+    pub fn inverted(self) -> Cond {
+        match self {
+            Cond::Eq => Cond::Ne,
+            Cond::Ne => Cond::Eq,
+            Cond::Lo => Cond::Hs,
+            Cond::Hs => Cond::Lo,
+            Cond::Hi => Cond::Ls,
+            Cond::Ls => Cond::Hi,
+        }
+    }
+}
+
+impl fmt::Display for Cond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Cond::Eq => "eq",
+            Cond::Ne => "ne",
+            Cond::Lo => "lo",
+            Cond::Hs => "hs",
+            Cond::Hi => "hi",
+            Cond::Ls => "ls",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The flexible second operand of data-processing instructions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Operand2 {
+    /// A register operand.
+    Reg(Reg),
+    /// An immediate operand.
+    Imm(u32),
+}
+
+impl fmt::Display for Operand2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand2::Reg(r) => write!(f, "{r}"),
+            Operand2::Imm(i) => write!(f, "#{i}"),
+        }
+    }
+}
+
+/// A branch / call target: a label before assembly, an instruction index
+/// afterwards.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Target {
+    /// Unresolved symbolic target.
+    Label(String),
+    /// Resolved instruction index.
+    Resolved(usize),
+}
+
+impl Target {
+    /// Convenience constructor from a label name.
+    #[must_use]
+    pub fn label(name: impl Into<String>) -> Self {
+        Target::Label(name.into())
+    }
+
+    /// The resolved index, if resolved.
+    #[must_use]
+    pub fn index(&self) -> Option<usize> {
+        match self {
+            Target::Resolved(i) => Some(*i),
+            Target::Label(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for Target {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Target::Label(l) => write!(f, "{l}"),
+            Target::Resolved(i) => write!(f, "@{i}"),
+        }
+    }
+}
+
+/// The Thumb-2 instruction subset emitted by the secbranch back end.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Instr {
+    /// Load a 32-bit immediate into a register (assembled as `MOVS`, `MOVW`
+    /// or `MOVW`+`MOVT` depending on the value).
+    MovImm {
+        /// Destination.
+        rd: Reg,
+        /// Immediate value.
+        imm: u32,
+    },
+    /// Register move.
+    Mov {
+        /// Destination.
+        rd: Reg,
+        /// Source.
+        rm: Reg,
+    },
+    /// Addition.
+    Add {
+        /// Destination.
+        rd: Reg,
+        /// First operand.
+        rn: Reg,
+        /// Second operand.
+        op2: Operand2,
+    },
+    /// Subtraction.
+    Sub {
+        /// Destination.
+        rd: Reg,
+        /// First operand.
+        rn: Reg,
+        /// Second operand.
+        op2: Operand2,
+    },
+    /// Multiplication (low 32 bits).
+    Mul {
+        /// Destination.
+        rd: Reg,
+        /// First operand.
+        rn: Reg,
+        /// Second operand.
+        rm: Reg,
+    },
+    /// Multiply and subtract: `rd = ra - rn * rm`.
+    Mls {
+        /// Destination.
+        rd: Reg,
+        /// Multiplicand.
+        rn: Reg,
+        /// Multiplier.
+        rm: Reg,
+        /// Minuend.
+        ra: Reg,
+    },
+    /// Unsigned division (division by zero yields zero).
+    Udiv {
+        /// Destination.
+        rd: Reg,
+        /// Dividend.
+        rn: Reg,
+        /// Divisor.
+        rm: Reg,
+    },
+    /// Bitwise AND.
+    And {
+        /// Destination.
+        rd: Reg,
+        /// First operand.
+        rn: Reg,
+        /// Second operand.
+        op2: Operand2,
+    },
+    /// Bitwise OR.
+    Orr {
+        /// Destination.
+        rd: Reg,
+        /// First operand.
+        rn: Reg,
+        /// Second operand.
+        op2: Operand2,
+    },
+    /// Bitwise exclusive OR.
+    Eor {
+        /// Destination.
+        rd: Reg,
+        /// First operand.
+        rn: Reg,
+        /// Second operand.
+        op2: Operand2,
+    },
+    /// Logical shift left.
+    Lsl {
+        /// Destination.
+        rd: Reg,
+        /// Value to shift.
+        rn: Reg,
+        /// Shift amount.
+        op2: Operand2,
+    },
+    /// Logical shift right.
+    Lsr {
+        /// Destination.
+        rd: Reg,
+        /// Value to shift.
+        rn: Reg,
+        /// Shift amount.
+        op2: Operand2,
+    },
+    /// Arithmetic shift right.
+    Asr {
+        /// Destination.
+        rd: Reg,
+        /// Value to shift.
+        rn: Reg,
+        /// Shift amount.
+        op2: Operand2,
+    },
+    /// Compare (sets NZCV from `rn - op2`).
+    Cmp {
+        /// First operand.
+        rn: Reg,
+        /// Second operand.
+        op2: Operand2,
+    },
+    /// Unconditional branch.
+    B {
+        /// Branch target.
+        target: Target,
+    },
+    /// Conditional branch.
+    BCond {
+        /// Condition under which the branch is taken.
+        cond: Cond,
+        /// Branch target.
+        target: Target,
+    },
+    /// Branch with link (call).
+    Bl {
+        /// Call target.
+        target: Target,
+    },
+    /// Branch to a register value (function return via `BX LR`).
+    Bx {
+        /// Register holding the destination.
+        rm: Reg,
+    },
+    /// Word load: `rt = mem32[rn + offset]`.
+    Ldr {
+        /// Destination.
+        rt: Reg,
+        /// Base register.
+        rn: Reg,
+        /// Byte offset.
+        offset: i32,
+    },
+    /// Word store: `mem32[rn + offset] = rt`.
+    Str {
+        /// Source.
+        rt: Reg,
+        /// Base register.
+        rn: Reg,
+        /// Byte offset.
+        offset: i32,
+    },
+    /// Byte load (zero-extended).
+    Ldrb {
+        /// Destination.
+        rt: Reg,
+        /// Base register.
+        rn: Reg,
+        /// Byte offset.
+        offset: i32,
+    },
+    /// Byte store.
+    Strb {
+        /// Source.
+        rt: Reg,
+        /// Base register.
+        rn: Reg,
+        /// Byte offset.
+        offset: i32,
+    },
+    /// Push registers onto the stack.
+    Push {
+        /// Registers to push (stored in register-number order).
+        regs: Vec<Reg>,
+    },
+    /// Pop registers from the stack (popping `PC` returns).
+    Pop {
+        /// Registers to pop.
+        regs: Vec<Reg>,
+    },
+    /// No operation.
+    Nop,
+}
+
+impl Instr {
+    /// Code size of the instruction in bytes under the simplified Thumb-2
+    /// encoding model:
+    ///
+    /// * 16-bit (2-byte) encodings for the narrow forms: register ALU
+    ///   operations on low registers, small immediates (< 256), small
+    ///   load/store offsets, compare, unconditional/conditional branches,
+    ///   push/pop of low registers (+ LR/PC), `BX`, `NOP`;
+    /// * 32-bit (4-byte) encodings otherwise (`MOVW`, `MLS`, `UDIV`, wide
+    ///   immediates, wide offsets, high registers);
+    /// * `MovImm` of a value above 16 bits needs a `MOVW`+`MOVT` pair
+    ///   (8 bytes).
+    ///
+    /// This mirrors the arithmetic behind the paper's Table II (e.g. the
+    /// `ADD + SUB + UDIV + MLS` encoded compare occupies 2+2+4+4 = 12 bytes).
+    #[must_use]
+    pub fn size_bytes(&self) -> u32 {
+        match self {
+            Instr::MovImm { imm, .. } => {
+                if *imm < 256 {
+                    2
+                } else if *imm <= 0xFFFF {
+                    4
+                } else {
+                    8
+                }
+            }
+            Instr::Mov { .. } => 2,
+            Instr::Add { rd, rn, op2 } | Instr::Sub { rd, rn, op2 } => {
+                narrow_alu_size(*rd, *rn, *op2)
+            }
+            Instr::And { rd, rn, op2 }
+            | Instr::Orr { rd, rn, op2 }
+            | Instr::Eor { rd, rn, op2 } => match op2 {
+                Operand2::Reg(rm) if rd.is_low() && rn.is_low() && rm.is_low() && rd == rn => 2,
+                _ => 4,
+            },
+            Instr::Lsl { rd, rn, op2 } | Instr::Lsr { rd, rn, op2 } | Instr::Asr { rd, rn, op2 } => {
+                match op2 {
+                    Operand2::Imm(i) if rd.is_low() && rn.is_low() && *i < 32 => 2,
+                    Operand2::Reg(_) if rd.is_low() && rn.is_low() && rd == rn => 2,
+                    _ => 4,
+                }
+            }
+            Instr::Mul { rd, rn, rm } => {
+                if rd.is_low() && rn.is_low() && rm.is_low() && (rd == rn || rd == rm) {
+                    2
+                } else {
+                    4
+                }
+            }
+            Instr::Mls { .. } | Instr::Udiv { .. } => 4,
+            Instr::Cmp { rn, op2 } => match op2 {
+                Operand2::Reg(rm) if rn.is_low() && rm.is_low() => 2,
+                Operand2::Imm(i) if rn.is_low() && *i < 256 => 2,
+                _ => 4,
+            },
+            Instr::B { .. } | Instr::BCond { .. } => 2,
+            Instr::Bl { .. } => 4,
+            Instr::Bx { .. } => 2,
+            Instr::Ldr { rt, rn, offset } | Instr::Str { rt, rn, offset } => {
+                if rt.is_low()
+                    && (rn.is_low() || *rn == Reg::Sp)
+                    && *offset >= 0
+                    && *offset < 128
+                    && offset % 4 == 0
+                {
+                    2
+                } else {
+                    4
+                }
+            }
+            Instr::Ldrb { rt, rn, offset } | Instr::Strb { rt, rn, offset } => {
+                if rt.is_low() && rn.is_low() && *offset >= 0 && *offset < 32 {
+                    2
+                } else {
+                    4
+                }
+            }
+            Instr::Push { regs } | Instr::Pop { regs } => {
+                if regs
+                    .iter()
+                    .all(|r| r.is_low() || *r == Reg::Lr || *r == Reg::Pc)
+                {
+                    2
+                } else {
+                    4
+                }
+            }
+            Instr::Nop => 2,
+        }
+    }
+
+    /// The branch/call target of control-transfer instructions.
+    #[must_use]
+    pub fn target(&self) -> Option<&Target> {
+        match self {
+            Instr::B { target } | Instr::BCond { target, .. } | Instr::Bl { target } => {
+                Some(target)
+            }
+            _ => None,
+        }
+    }
+
+    /// Mutable access to the branch/call target (used by the assembler to
+    /// resolve labels).
+    #[must_use]
+    pub fn target_mut(&mut self) -> Option<&mut Target> {
+        match self {
+            Instr::B { target } | Instr::BCond { target, .. } | Instr::Bl { target } => {
+                Some(target)
+            }
+            _ => None,
+        }
+    }
+}
+
+fn narrow_alu_size(rd: Reg, rn: Reg, op2: Operand2) -> u32 {
+    match op2 {
+        Operand2::Reg(rm) => {
+            if (rd.is_low() && rn.is_low() && rm.is_low()) || rd == rn {
+                2
+            } else {
+                4
+            }
+        }
+        Operand2::Imm(i) => {
+            if rd.is_low() && rn.is_low() && (i < 8 || (rd == rn && i < 256)) {
+                2
+            } else if (rd == Reg::Sp || rn == Reg::Sp) && rd == rn && i < 512 {
+                2
+            } else {
+                4
+            }
+        }
+    }
+}
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Instr::MovImm { rd, imm } => write!(f, "mov {rd}, #{imm}"),
+            Instr::Mov { rd, rm } => write!(f, "mov {rd}, {rm}"),
+            Instr::Add { rd, rn, op2 } => write!(f, "add {rd}, {rn}, {op2}"),
+            Instr::Sub { rd, rn, op2 } => write!(f, "sub {rd}, {rn}, {op2}"),
+            Instr::Mul { rd, rn, rm } => write!(f, "mul {rd}, {rn}, {rm}"),
+            Instr::Mls { rd, rn, rm, ra } => write!(f, "mls {rd}, {rn}, {rm}, {ra}"),
+            Instr::Udiv { rd, rn, rm } => write!(f, "udiv {rd}, {rn}, {rm}"),
+            Instr::And { rd, rn, op2 } => write!(f, "and {rd}, {rn}, {op2}"),
+            Instr::Orr { rd, rn, op2 } => write!(f, "orr {rd}, {rn}, {op2}"),
+            Instr::Eor { rd, rn, op2 } => write!(f, "eor {rd}, {rn}, {op2}"),
+            Instr::Lsl { rd, rn, op2 } => write!(f, "lsl {rd}, {rn}, {op2}"),
+            Instr::Lsr { rd, rn, op2 } => write!(f, "lsr {rd}, {rn}, {op2}"),
+            Instr::Asr { rd, rn, op2 } => write!(f, "asr {rd}, {rn}, {op2}"),
+            Instr::Cmp { rn, op2 } => write!(f, "cmp {rn}, {op2}"),
+            Instr::B { target } => write!(f, "b {target}"),
+            Instr::BCond { cond, target } => write!(f, "b{cond} {target}"),
+            Instr::Bl { target } => write!(f, "bl {target}"),
+            Instr::Bx { rm } => write!(f, "bx {rm}"),
+            Instr::Ldr { rt, rn, offset } => write!(f, "ldr {rt}, [{rn}, #{offset}]"),
+            Instr::Str { rt, rn, offset } => write!(f, "str {rt}, [{rn}, #{offset}]"),
+            Instr::Ldrb { rt, rn, offset } => write!(f, "ldrb {rt}, [{rn}, #{offset}]"),
+            Instr::Strb { rt, rn, offset } => write!(f, "strb {rt}, [{rn}, #{offset}]"),
+            Instr::Push { regs } => write!(f, "push {{{}}}", reg_list(regs)),
+            Instr::Pop { regs } => write!(f, "pop {{{}}}", reg_list(regs)),
+            Instr::Nop => write!(f, "nop"),
+        }
+    }
+}
+
+fn reg_list(regs: &[Reg]) -> String {
+    regs.iter()
+        .map(|r| r.to_string())
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_indices_and_classes() {
+        assert_eq!(Reg::R0.index(), 0);
+        assert_eq!(Reg::Sp.index(), 13);
+        assert_eq!(Reg::Lr.index(), 14);
+        assert_eq!(Reg::Pc.index(), 15);
+        assert!(Reg::R7.is_low());
+        assert!(!Reg::R8.is_low());
+        assert_eq!(format!("{} {} {}", Reg::R3, Reg::Sp, Reg::Pc), "r3 sp pc");
+    }
+
+    #[test]
+    fn condition_inversion_is_an_involution() {
+        for c in Cond::ALL {
+            assert_eq!(c.inverted().inverted(), c);
+        }
+    }
+
+    #[test]
+    fn encoded_compare_building_block_is_twelve_bytes() {
+        // Table II: ADD + SUB + UDIV + MLS = 12 bytes.
+        let seq = [
+            Instr::Sub {
+                rd: Reg::R2,
+                rn: Reg::R0,
+                op2: Operand2::Reg(Reg::R1),
+            },
+            Instr::Add {
+                rd: Reg::R2,
+                rn: Reg::R2,
+                op2: Operand2::Reg(Reg::R3),
+            },
+            Instr::Udiv {
+                rd: Reg::R4,
+                rn: Reg::R2,
+                rm: Reg::R5,
+            },
+            Instr::Mls {
+                rd: Reg::R0,
+                rn: Reg::R4,
+                rm: Reg::R5,
+                ra: Reg::R2,
+            },
+        ];
+        let total: u32 = seq.iter().map(Instr::size_bytes).sum();
+        assert_eq!(total, 12);
+    }
+
+    #[test]
+    fn size_model_distinguishes_narrow_and_wide_forms() {
+        assert_eq!(Instr::MovImm { rd: Reg::R0, imm: 5 }.size_bytes(), 2);
+        assert_eq!(Instr::MovImm { rd: Reg::R0, imm: 300 }.size_bytes(), 4);
+        assert_eq!(
+            Instr::MovImm {
+                rd: Reg::R0,
+                imm: 0x1234_5678
+            }
+            .size_bytes(),
+            8
+        );
+        assert_eq!(
+            Instr::Add {
+                rd: Reg::R0,
+                rn: Reg::R0,
+                op2: Operand2::Imm(100)
+            }
+            .size_bytes(),
+            2
+        );
+        assert_eq!(
+            Instr::Add {
+                rd: Reg::R8,
+                rn: Reg::R1,
+                op2: Operand2::Imm(100)
+            }
+            .size_bytes(),
+            4
+        );
+        assert_eq!(
+            Instr::Ldr {
+                rt: Reg::R0,
+                rn: Reg::Sp,
+                offset: 8
+            }
+            .size_bytes(),
+            2
+        );
+        assert_eq!(
+            Instr::Ldr {
+                rt: Reg::R0,
+                rn: Reg::R1,
+                offset: 260
+            }
+            .size_bytes(),
+            4
+        );
+        assert_eq!(
+            Instr::Push {
+                regs: vec![Reg::R4, Reg::Lr]
+            }
+            .size_bytes(),
+            2
+        );
+        assert_eq!(
+            Instr::Push {
+                regs: vec![Reg::R8, Reg::Lr]
+            }
+            .size_bytes(),
+            4
+        );
+        assert_eq!(Instr::Bl { target: Target::label("f") }.size_bytes(), 4);
+        assert_eq!(Instr::B { target: Target::label("f") }.size_bytes(), 2);
+    }
+
+    #[test]
+    fn targets_are_accessible_and_mutable() {
+        let mut i = Instr::BCond {
+            cond: Cond::Eq,
+            target: Target::label("then"),
+        };
+        assert_eq!(i.target(), Some(&Target::label("then")));
+        *i.target_mut().expect("has target") = Target::Resolved(42);
+        assert_eq!(i.target().and_then(Target::index), Some(42));
+        assert_eq!(Instr::Nop.target(), None);
+    }
+
+    #[test]
+    fn display_produces_assembly_like_text() {
+        let i = Instr::Mls {
+            rd: Reg::R0,
+            rn: Reg::R1,
+            rm: Reg::R2,
+            ra: Reg::R3,
+        };
+        assert_eq!(i.to_string(), "mls r0, r1, r2, r3");
+        let i = Instr::Ldr {
+            rt: Reg::R0,
+            rn: Reg::Sp,
+            offset: 4,
+        };
+        assert_eq!(i.to_string(), "ldr r0, [sp, #4]");
+        let i = Instr::Push {
+            regs: vec![Reg::R4, Reg::R5, Reg::Lr],
+        };
+        assert_eq!(i.to_string(), "push {r4, r5, lr}");
+        let i = Instr::BCond {
+            cond: Cond::Lo,
+            target: Target::label("loop"),
+        };
+        assert_eq!(i.to_string(), "blo loop");
+    }
+}

@@ -1,0 +1,331 @@
+//! The machine state: registers, flags, memory and the memory-mapped CFI
+//! unit.
+
+use secbranch_cfi::CfiMonitor;
+
+use crate::error::SimError;
+use crate::instr::Reg;
+
+/// Base address of the memory-mapped CFI unit.
+pub const CFI_BASE: u32 = 0xE000_0000;
+/// Store address: XOR the stored value into the CFI state (edge updates,
+/// justifying values and merged condition values).
+pub const CFI_UPDATE_ADDR: u32 = CFI_BASE;
+/// Store address: check the CFI state against the stored expected signature.
+pub const CFI_CHECK_ADDR: u32 = CFI_BASE + 4;
+/// Store address: replace the CFI state with the stored value (used at
+/// function entry).
+pub const CFI_REPLACE_ADDR: u32 = CFI_BASE + 8;
+/// Load address: the current CFI state.
+pub const CFI_STATE_ADDR: u32 = CFI_BASE + 12;
+/// Load address: the number of CFI violations latched so far.
+pub const CFI_VIOLATIONS_ADDR: u32 = CFI_BASE + 16;
+
+/// The magic link-register value that terminates execution when branched to
+/// (the simulator's "return to the test harness" address).
+pub const RETURN_MAGIC: u32 = 0xFFFF_FFF1;
+
+/// NZCV condition flags.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Flags {
+    /// Negative.
+    pub n: bool,
+    /// Zero.
+    pub z: bool,
+    /// Carry (for `CMP`: no borrow, i.e. `lhs >= rhs` unsigned).
+    pub c: bool,
+    /// Overflow.
+    pub v: bool,
+}
+
+impl Flags {
+    /// Sets the flags from the comparison `lhs - rhs` (as `CMP` does).
+    pub fn set_from_cmp(&mut self, lhs: u32, rhs: u32) {
+        let (result, borrow) = lhs.overflowing_sub(rhs);
+        self.n = (result as i32) < 0;
+        self.z = result == 0;
+        self.c = !borrow;
+        self.v = ((lhs ^ rhs) & (lhs ^ result)) >> 31 == 1;
+    }
+
+    /// Packs the flags into the upper bits of an APSR-style word
+    /// (N=31, Z=30, C=29, V=28). Used by fault models that flip flag bits.
+    #[must_use]
+    pub fn to_bits(self) -> u32 {
+        (u32::from(self.n) << 31)
+            | (u32::from(self.z) << 30)
+            | (u32::from(self.c) << 29)
+            | (u32::from(self.v) << 28)
+    }
+
+    /// Restores flags from a packed APSR-style word.
+    #[must_use]
+    pub fn from_bits(bits: u32) -> Self {
+        Flags {
+            n: bits >> 31 & 1 == 1,
+            z: bits >> 30 & 1 == 1,
+            c: bits >> 29 & 1 == 1,
+            v: bits >> 28 & 1 == 1,
+        }
+    }
+}
+
+/// Registers, flags, memory and the CFI unit of the simulated core.
+#[derive(Debug, Clone)]
+pub struct Machine {
+    regs: [u32; 16],
+    /// Condition flags.
+    pub flags: Flags,
+    memory: Vec<u8>,
+    /// The memory-mapped CFI unit.
+    pub cfi: CfiMonitor,
+}
+
+impl Machine {
+    /// Creates a machine with `memory_size` bytes of RAM, all registers
+    /// zeroed and the stack pointer at the top of memory.
+    #[must_use]
+    pub fn new(memory_size: u32) -> Self {
+        let mut regs = [0u32; 16];
+        regs[Reg::Sp.index()] = memory_size & !7;
+        Machine {
+            regs,
+            flags: Flags::default(),
+            memory: vec![0u8; memory_size as usize],
+            cfi: CfiMonitor::new(0),
+        }
+    }
+
+    /// Reads a register.
+    #[must_use]
+    pub fn reg(&self, r: Reg) -> u32 {
+        self.regs[r.index()]
+    }
+
+    /// Writes a register.
+    pub fn set_reg(&mut self, r: Reg, value: u32) {
+        self.regs[r.index()] = value;
+    }
+
+    /// Size of RAM in bytes.
+    #[must_use]
+    pub fn memory_size(&self) -> u32 {
+        self.memory.len() as u32
+    }
+
+    /// Reads a 32-bit word (little endian). Addresses in the CFI window read
+    /// the unit's registers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::MemoryFault`] for out-of-bounds accesses.
+    pub fn load_word(&mut self, addr: u32) -> Result<u32, SimError> {
+        if addr >= CFI_BASE {
+            return Ok(match addr {
+                CFI_STATE_ADDR => self.cfi.state(),
+                CFI_VIOLATIONS_ADDR => self.cfi.violations(),
+                _ => 0,
+            });
+        }
+        let end = addr as usize + 4;
+        if end > self.memory.len() {
+            return Err(SimError::MemoryFault {
+                address: addr,
+                size: 4,
+                is_store: false,
+            });
+        }
+        Ok(u32::from_le_bytes(
+            self.memory[addr as usize..end]
+                .try_into()
+                .expect("length checked"),
+        ))
+    }
+
+    /// Writes a 32-bit word. Addresses in the CFI window drive the unit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::MemoryFault`] for out-of-bounds accesses.
+    pub fn store_word(&mut self, addr: u32, value: u32) -> Result<(), SimError> {
+        if addr >= CFI_BASE {
+            match addr {
+                CFI_UPDATE_ADDR => self.cfi.update(value),
+                CFI_CHECK_ADDR => self.cfi.check(value),
+                CFI_REPLACE_ADDR => self.cfi.replace(value),
+                _ => {}
+            }
+            return Ok(());
+        }
+        let end = addr as usize + 4;
+        if end > self.memory.len() {
+            return Err(SimError::MemoryFault {
+                address: addr,
+                size: 4,
+                is_store: true,
+            });
+        }
+        self.memory[addr as usize..end].copy_from_slice(&value.to_le_bytes());
+        Ok(())
+    }
+
+    /// Reads a byte (zero-extended).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::MemoryFault`] for out-of-bounds accesses.
+    pub fn load_byte(&mut self, addr: u32) -> Result<u32, SimError> {
+        if addr >= CFI_BASE {
+            return Ok(0);
+        }
+        self.memory
+            .get(addr as usize)
+            .map(|b| u32::from(*b))
+            .ok_or(SimError::MemoryFault {
+                address: addr,
+                size: 1,
+                is_store: false,
+            })
+    }
+
+    /// Writes a byte.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::MemoryFault`] for out-of-bounds accesses.
+    pub fn store_byte(&mut self, addr: u32, value: u32) -> Result<(), SimError> {
+        if addr >= CFI_BASE {
+            return Ok(());
+        }
+        match self.memory.get_mut(addr as usize) {
+            Some(b) => {
+                *b = value as u8;
+                Ok(())
+            }
+            None => Err(SimError::MemoryFault {
+                address: addr,
+                size: 1,
+                is_store: true,
+            }),
+        }
+    }
+
+    /// Copies bytes into RAM (workload setup).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn write_bytes(&mut self, addr: u32, data: &[u8]) {
+        self.memory[addr as usize..addr as usize + data.len()].copy_from_slice(data);
+    }
+
+    /// Reads bytes from RAM (result inspection).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    #[must_use]
+    pub fn read_bytes(&self, addr: u32, len: u32) -> &[u8] {
+        &self.memory[addr as usize..(addr + len) as usize]
+    }
+
+    /// Flips a single bit of a register (fault model).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit >= 32`.
+    pub fn flip_register_bit(&mut self, r: Reg, bit: u32) {
+        assert!(bit < 32, "bit index {bit} out of range");
+        self.regs[r.index()] ^= 1 << bit;
+    }
+
+    /// Flips a single bit of a memory byte (fault model).
+    pub fn flip_memory_bit(&mut self, addr: u32, bit: u32) -> Result<(), SimError> {
+        let byte = self.load_byte(addr)?;
+        self.store_byte(addr, byte ^ (1 << (bit & 7)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flags_from_cmp() {
+        let mut f = Flags::default();
+        f.set_from_cmp(5, 5);
+        assert!(f.z && f.c && !f.n);
+        f.set_from_cmp(4, 5);
+        assert!(!f.z && !f.c && f.n);
+        f.set_from_cmp(6, 5);
+        assert!(!f.z && f.c && !f.n);
+        // Signed overflow: i32::MIN - 1 overflows.
+        f.set_from_cmp(0x8000_0000, 1);
+        assert!(f.v);
+    }
+
+    #[test]
+    fn flags_pack_and_unpack() {
+        let f = Flags {
+            n: true,
+            z: false,
+            c: true,
+            v: false,
+        };
+        assert_eq!(Flags::from_bits(f.to_bits()), f);
+        assert_eq!(f.to_bits() & 0x0FFF_FFFF, 0);
+    }
+
+    #[test]
+    fn registers_and_stack_pointer_initialisation() {
+        let m = Machine::new(64 * 1024);
+        assert_eq!(m.reg(Reg::Sp), 64 * 1024);
+        assert_eq!(m.reg(Reg::R0), 0);
+        assert_eq!(m.memory_size(), 64 * 1024);
+    }
+
+    #[test]
+    fn word_and_byte_memory_accesses() {
+        let mut m = Machine::new(1024);
+        m.store_word(16, 0xDEAD_BEEF).expect("in range");
+        assert_eq!(m.load_word(16).expect("in range"), 0xDEAD_BEEF);
+        assert_eq!(m.load_byte(16).expect("in range"), 0xEF, "little endian");
+        m.store_byte(16, 0x12).expect("in range");
+        assert_eq!(m.load_word(16).expect("in range"), 0xDEAD_BE12);
+        assert!(m.load_word(1022).is_err());
+        assert!(m.store_word(4096, 1).is_err());
+        assert!(m.load_byte(4096).is_err());
+    }
+
+    #[test]
+    fn cfi_unit_is_memory_mapped() {
+        let mut m = Machine::new(1024);
+        m.cfi.replace(0x1111);
+        m.store_word(CFI_UPDATE_ADDR, 0x1111 ^ 0x2222).expect("mmio");
+        assert_eq!(m.load_word(CFI_STATE_ADDR).expect("mmio"), 0x2222);
+        m.store_word(CFI_CHECK_ADDR, 0x2222).expect("mmio");
+        assert_eq!(m.load_word(CFI_VIOLATIONS_ADDR).expect("mmio"), 0);
+        m.store_word(CFI_CHECK_ADDR, 0x9999).expect("mmio");
+        assert_eq!(m.load_word(CFI_VIOLATIONS_ADDR).expect("mmio"), 1);
+        m.store_word(CFI_REPLACE_ADDR, 0xABCD).expect("mmio");
+        assert_eq!(m.cfi.state(), 0xABCD);
+    }
+
+    #[test]
+    fn fault_helpers_flip_bits() {
+        let mut m = Machine::new(1024);
+        m.set_reg(Reg::R3, 0b100);
+        m.flip_register_bit(Reg::R3, 0);
+        assert_eq!(m.reg(Reg::R3), 0b101);
+        m.store_byte(10, 0).expect("in range");
+        m.flip_memory_bit(10, 3).expect("in range");
+        assert_eq!(m.load_byte(10).expect("in range"), 8);
+    }
+
+    #[test]
+    fn byte_copy_roundtrip() {
+        let mut m = Machine::new(1024);
+        m.write_bytes(100, &[1, 2, 3, 4, 5]);
+        assert_eq!(m.read_bytes(100, 5), &[1, 2, 3, 4, 5]);
+    }
+}

@@ -1,0 +1,302 @@
+//! Program construction and assembly (label resolution, size accounting).
+
+use std::collections::HashMap;
+
+use crate::error::SimError;
+use crate::instr::{Instr, Target};
+
+/// An assembled program: instructions with resolved branch targets plus the
+/// label map and the code-size accounting derived from the Thumb-2 size
+/// model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Program {
+    instrs: Vec<Instr>,
+    labels: HashMap<String, usize>,
+    sizes: Vec<u32>,
+    label_of_instr: Vec<Option<String>>,
+}
+
+impl Program {
+    /// The instructions of the program.
+    #[must_use]
+    pub fn instructions(&self) -> &[Instr] {
+        &self.instrs
+    }
+
+    /// Number of instructions.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// `true` if the program contains no instructions.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+
+    /// The instruction index a label points at.
+    #[must_use]
+    pub fn label(&self, name: &str) -> Option<usize> {
+        self.labels.get(name).copied()
+    }
+
+    /// All labels and their instruction indices.
+    #[must_use]
+    pub fn labels(&self) -> &HashMap<String, usize> {
+        &self.labels
+    }
+
+    /// Total code size in bytes (sum of the per-instruction Thumb-2 sizes).
+    #[must_use]
+    pub fn code_size_bytes(&self) -> u32 {
+        self.sizes.iter().sum()
+    }
+
+    /// Code size of the instruction range `[start, end)` in bytes. Used to
+    /// report per-function and per-snippet sizes (Tables II and III).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    #[must_use]
+    pub fn code_size_of_range(&self, start: usize, end: usize) -> u32 {
+        self.sizes[start..end].iter().sum()
+    }
+
+    /// Code size in bytes of the function starting at `label` and extending
+    /// to the next label (or the end of the program).
+    #[must_use]
+    pub fn code_size_of_function(&self, label: &str) -> Option<u32> {
+        let start = self.label(label)?;
+        let end = self
+            .labels
+            .values()
+            .copied()
+            .filter(|&i| i > start)
+            .min()
+            .unwrap_or(self.instrs.len());
+        Some(self.code_size_of_range(start, end))
+    }
+
+    /// The label placed exactly at instruction `index`, if any.
+    #[must_use]
+    pub fn label_at(&self, index: usize) -> Option<&str> {
+        self.label_of_instr
+            .get(index)
+            .and_then(|l| l.as_deref())
+    }
+
+    /// A plain-text listing of the program (label lines plus one instruction
+    /// per line) for debugging and golden tests.
+    #[must_use]
+    pub fn listing(&self) -> String {
+        let mut out = String::new();
+        for (i, instr) in self.instrs.iter().enumerate() {
+            if let Some(label) = self.label_at(i) {
+                out.push_str(label);
+                out.push_str(":\n");
+            }
+            out.push_str(&format!("  {:4}  {}\n", i, instr));
+        }
+        out
+    }
+}
+
+/// Builder collecting labels and instructions before assembly.
+#[derive(Debug, Clone, Default)]
+pub struct ProgramBuilder {
+    items: Vec<Item>,
+}
+
+#[derive(Debug, Clone)]
+enum Item {
+    Label(String),
+    Instr(Instr),
+}
+
+impl ProgramBuilder {
+    /// Creates an empty builder.
+    #[must_use]
+    pub fn new() -> Self {
+        ProgramBuilder::default()
+    }
+
+    /// Defines a label at the current position.
+    pub fn label(&mut self, name: impl Into<String>) {
+        self.items.push(Item::Label(name.into()));
+    }
+
+    /// Appends an instruction.
+    pub fn push(&mut self, instr: Instr) {
+        self.items.push(Item::Instr(instr));
+    }
+
+    /// Appends all instructions of an iterator.
+    pub fn extend(&mut self, instrs: impl IntoIterator<Item = Instr>) {
+        for i in instrs {
+            self.push(i);
+        }
+    }
+
+    /// Number of instructions appended so far.
+    #[must_use]
+    pub fn instr_count(&self) -> usize {
+        self.items
+            .iter()
+            .filter(|i| matches!(i, Item::Instr(_)))
+            .count()
+    }
+
+    /// Resolves labels and produces an executable [`Program`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::DuplicateLabel`] or [`SimError::UndefinedLabel`].
+    pub fn assemble(self) -> Result<Program, SimError> {
+        let mut labels: HashMap<String, usize> = HashMap::new();
+        let mut instrs: Vec<Instr> = Vec::new();
+        let mut label_of_instr: Vec<Option<String>> = Vec::new();
+        let mut pending_labels: Vec<String> = Vec::new();
+        for item in self.items {
+            match item {
+                Item::Label(name) => {
+                    if labels.contains_key(&name) {
+                        return Err(SimError::DuplicateLabel { label: name });
+                    }
+                    labels.insert(name.clone(), instrs.len());
+                    pending_labels.push(name);
+                }
+                Item::Instr(i) => {
+                    instrs.push(i);
+                    label_of_instr.push(pending_labels.first().cloned());
+                    pending_labels.clear();
+                }
+            }
+        }
+        // Labels at the very end of the program point one past the last
+        // instruction; that is allowed (e.g. an `end` marker) but they cannot
+        // be attached to an instruction.
+
+        for instr in &mut instrs {
+            if let Some(target) = instr.target_mut() {
+                if let Target::Label(name) = target {
+                    let Some(&index) = labels.get(name.as_str()) else {
+                        return Err(SimError::UndefinedLabel {
+                            label: name.clone(),
+                        });
+                    };
+                    *target = Target::Resolved(index);
+                }
+            }
+        }
+
+        let sizes = instrs.iter().map(Instr::size_bytes).collect();
+        Ok(Program {
+            instrs,
+            labels,
+            sizes,
+            label_of_instr,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::{Cond, Operand2, Reg};
+
+    fn sample_builder() -> ProgramBuilder {
+        let mut p = ProgramBuilder::new();
+        p.label("start");
+        p.push(Instr::MovImm { rd: Reg::R0, imm: 0 });
+        p.label("loop");
+        p.push(Instr::Add {
+            rd: Reg::R0,
+            rn: Reg::R0,
+            op2: Operand2::Imm(1),
+        });
+        p.push(Instr::Cmp {
+            rn: Reg::R0,
+            op2: Operand2::Imm(10),
+        });
+        p.push(Instr::BCond {
+            cond: Cond::Lo,
+            target: Target::label("loop"),
+        });
+        p.push(Instr::Bx { rm: Reg::Lr });
+        p
+    }
+
+    #[test]
+    fn assembly_resolves_labels() {
+        let program = sample_builder().assemble().expect("assembles");
+        assert_eq!(program.len(), 5);
+        assert_eq!(program.label("start"), Some(0));
+        assert_eq!(program.label("loop"), Some(1));
+        assert_eq!(program.label("missing"), None);
+        let branch = &program.instructions()[3];
+        assert_eq!(branch.target().and_then(Target::index), Some(1));
+        assert_eq!(program.label_at(0), Some("start"));
+        assert_eq!(program.label_at(1), Some("loop"));
+        assert_eq!(program.label_at(2), None);
+    }
+
+    #[test]
+    fn code_size_accounting() {
+        let program = sample_builder().assemble().expect("assembles");
+        // mov#0 (2) + add#1 (2) + cmp#10 (2) + blo (2) + bx (2) = 10 bytes.
+        assert_eq!(program.code_size_bytes(), 10);
+        assert_eq!(program.code_size_of_range(0, 1), 2);
+        assert_eq!(
+            program.code_size_of_function("start"),
+            Some(2),
+            "'start' extends to the next label 'loop'"
+        );
+        assert_eq!(program.code_size_of_function("loop"), Some(8));
+    }
+
+    #[test]
+    fn duplicate_and_undefined_labels_are_rejected() {
+        let mut p = ProgramBuilder::new();
+        p.label("x");
+        p.push(Instr::Nop);
+        p.label("x");
+        assert!(matches!(
+            p.assemble(),
+            Err(SimError::DuplicateLabel { .. })
+        ));
+
+        let mut p = ProgramBuilder::new();
+        p.push(Instr::B {
+            target: Target::label("nowhere"),
+        });
+        assert!(matches!(
+            p.assemble(),
+            Err(SimError::UndefinedLabel { .. })
+        ));
+    }
+
+    #[test]
+    fn listing_contains_labels_and_instructions() {
+        let program = sample_builder().assemble().expect("assembles");
+        let listing = program.listing();
+        assert!(listing.contains("start:"));
+        assert!(listing.contains("loop:"));
+        assert!(listing.contains("blo"));
+    }
+
+    #[test]
+    fn empty_program_is_valid() {
+        let program = ProgramBuilder::new().assemble().expect("assembles");
+        assert!(program.is_empty());
+        assert_eq!(program.code_size_bytes(), 0);
+    }
+
+    #[test]
+    fn extend_appends_instructions() {
+        let mut p = ProgramBuilder::new();
+        p.extend([Instr::Nop, Instr::Nop, Instr::Bx { rm: Reg::Lr }]);
+        assert_eq!(p.instr_count(), 3);
+    }
+}

@@ -1,0 +1,634 @@
+//! The execution engine: runs assembled programs on a [`Machine`], counts
+//! cycles and retired instructions, and exposes fault-injection hooks.
+
+use crate::cycles::instruction_cycles;
+use crate::error::SimError;
+use crate::instr::{Cond, Instr, Operand2, Reg, Target};
+use crate::machine::{Machine, RETURN_MAGIC};
+use crate::program::Program;
+
+/// Result of running a program until it returned to the harness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecResult {
+    /// The value left in `r0` when the program returned.
+    pub return_value: u32,
+    /// Total consumed cycles according to the cycle model.
+    pub cycles: u64,
+    /// Number of retired (executed, not skipped) instructions.
+    pub instructions: u64,
+    /// Number of CFI checks executed.
+    pub cfi_checks: u32,
+    /// Number of CFI violations latched.
+    pub cfi_violations: u32,
+}
+
+impl ExecResult {
+    /// `true` if the CFI unit observed no violation.
+    #[must_use]
+    pub fn cfi_clean(&self) -> bool {
+        self.cfi_violations == 0
+    }
+}
+
+/// What a fault hook asks the simulator to do with the instruction that is
+/// about to execute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Execute the instruction normally (possibly after the hook mutated the
+    /// machine state).
+    Continue,
+    /// Skip the instruction (the instruction-skip fault model); the program
+    /// counter advances and the skipped instruction costs one cycle.
+    Skip,
+}
+
+/// A fault-injection hook consulted before every instruction.
+///
+/// Implementations may mutate the [`Machine`] (flip register, memory or flag
+/// bits — the fault models of Section II) and decide whether the instruction
+/// executes or is skipped.
+pub trait FaultHook {
+    /// Called before executing the instruction at index `pc` as dynamic
+    /// instruction number `step`.
+    fn before_execute(
+        &mut self,
+        step: u64,
+        pc: usize,
+        instr: &Instr,
+        machine: &mut Machine,
+    ) -> FaultAction;
+}
+
+/// The no-op hook used for fault-free runs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoFaults;
+
+impl FaultHook for NoFaults {
+    fn before_execute(&mut self, _: u64, _: usize, _: &Instr, _: &mut Machine) -> FaultAction {
+        FaultAction::Continue
+    }
+}
+
+/// A simulator instance: an assembled program plus machine state.
+#[derive(Debug, Clone)]
+pub struct Simulator {
+    program: Program,
+    machine: Machine,
+}
+
+impl Simulator {
+    /// Creates a simulator with `memory_size` bytes of RAM.
+    #[must_use]
+    pub fn new(program: Program, memory_size: u32) -> Self {
+        Simulator {
+            program,
+            machine: Machine::new(memory_size),
+        }
+    }
+
+    /// The program being executed.
+    #[must_use]
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// The machine state (for workload setup and result inspection).
+    #[must_use]
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    /// Mutable machine state.
+    #[must_use]
+    pub fn machine_mut(&mut self) -> &mut Machine {
+        &mut self.machine
+    }
+
+    /// Calls the function at `entry` with up to four arguments in r0–r3,
+    /// running until it returns to the harness or `max_steps` instructions
+    /// have retired. Registers r0–r3, the flags and the stack pointer are
+    /// reset for the call; memory and the CFI unit are left as they are.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] for unknown entry points, too many arguments,
+    /// memory faults, runaway programs and exceeded step limits.
+    pub fn call(&mut self, entry: &str, args: &[u32], max_steps: u64) -> Result<ExecResult, SimError> {
+        self.call_with_faults(entry, args, max_steps, &mut NoFaults)
+    }
+
+    /// Like [`Simulator::call`], but consults `faults` before every
+    /// instruction.
+    ///
+    /// # Errors
+    ///
+    /// See [`Simulator::call`].
+    pub fn call_with_faults(
+        &mut self,
+        entry: &str,
+        args: &[u32],
+        max_steps: u64,
+        faults: &mut dyn FaultHook,
+    ) -> Result<ExecResult, SimError> {
+        if args.len() > 4 {
+            return Err(SimError::TooManyArguments { count: args.len() });
+        }
+        let entry_index = self
+            .program
+            .label(entry)
+            .ok_or_else(|| SimError::UnknownEntryPoint {
+                label: entry.to_string(),
+            })?;
+        for (i, reg) in [Reg::R0, Reg::R1, Reg::R2, Reg::R3].iter().enumerate() {
+            self.machine.set_reg(*reg, args.get(i).copied().unwrap_or(0));
+        }
+        self.machine
+            .set_reg(Reg::Sp, self.machine.memory_size() & !7);
+        self.machine.set_reg(Reg::Lr, RETURN_MAGIC);
+
+        let checks_before = self.machine.cfi.checks();
+        let violations_before = self.machine.cfi.violations();
+        let mut pc = entry_index as u64;
+        let mut cycles: u64 = 0;
+        let mut retired: u64 = 0;
+        let mut steps: u64 = 0;
+
+        loop {
+            if steps >= max_steps {
+                return Err(SimError::StepLimitExceeded { limit: max_steps });
+            }
+            if pc as usize >= self.program.len() {
+                return Err(SimError::PcOutOfRange { pc });
+            }
+            let index = pc as usize;
+            // Clone the instruction so the fault hook can borrow the machine
+            // mutably; instructions are small.
+            let instr = self.program.instructions()[index].clone();
+            steps += 1;
+            match faults.before_execute(steps, index, &instr, &mut self.machine) {
+                FaultAction::Skip => {
+                    pc += 1;
+                    cycles += 1;
+                    continue;
+                }
+                FaultAction::Continue => {}
+            }
+            retired += 1;
+            let mut next_pc = pc + 1;
+            let mut branch_taken = false;
+            let mut udiv_operands = None;
+            let mut halted = false;
+
+            match &instr {
+                Instr::MovImm { rd, imm } => self.machine.set_reg(*rd, *imm),
+                Instr::Mov { rd, rm } => {
+                    let v = self.machine.reg(*rm);
+                    self.machine.set_reg(*rd, v);
+                }
+                Instr::Add { rd, rn, op2 } => {
+                    let v = self.machine.reg(*rn).wrapping_add(self.op2(*op2));
+                    self.machine.set_reg(*rd, v);
+                }
+                Instr::Sub { rd, rn, op2 } => {
+                    let v = self.machine.reg(*rn).wrapping_sub(self.op2(*op2));
+                    self.machine.set_reg(*rd, v);
+                }
+                Instr::Mul { rd, rn, rm } => {
+                    let v = self.machine.reg(*rn).wrapping_mul(self.machine.reg(*rm));
+                    self.machine.set_reg(*rd, v);
+                }
+                Instr::Mls { rd, rn, rm, ra } => {
+                    let v = self
+                        .machine
+                        .reg(*ra)
+                        .wrapping_sub(self.machine.reg(*rn).wrapping_mul(self.machine.reg(*rm)));
+                    self.machine.set_reg(*rd, v);
+                }
+                Instr::Udiv { rd, rn, rm } => {
+                    let n = self.machine.reg(*rn);
+                    let d = self.machine.reg(*rm);
+                    udiv_operands = Some((n, d));
+                    self.machine.set_reg(*rd, if d == 0 { 0 } else { n / d });
+                }
+                Instr::And { rd, rn, op2 } => {
+                    let v = self.machine.reg(*rn) & self.op2(*op2);
+                    self.machine.set_reg(*rd, v);
+                }
+                Instr::Orr { rd, rn, op2 } => {
+                    let v = self.machine.reg(*rn) | self.op2(*op2);
+                    self.machine.set_reg(*rd, v);
+                }
+                Instr::Eor { rd, rn, op2 } => {
+                    let v = self.machine.reg(*rn) ^ self.op2(*op2);
+                    self.machine.set_reg(*rd, v);
+                }
+                Instr::Lsl { rd, rn, op2 } => {
+                    let v = self.machine.reg(*rn).wrapping_shl(self.op2(*op2) & 31);
+                    self.machine.set_reg(*rd, v);
+                }
+                Instr::Lsr { rd, rn, op2 } => {
+                    let v = self.machine.reg(*rn).wrapping_shr(self.op2(*op2) & 31);
+                    self.machine.set_reg(*rd, v);
+                }
+                Instr::Asr { rd, rn, op2 } => {
+                    let v = (self.machine.reg(*rn) as i32).wrapping_shr(self.op2(*op2) & 31) as u32;
+                    self.machine.set_reg(*rd, v);
+                }
+                Instr::Cmp { rn, op2 } => {
+                    let lhs = self.machine.reg(*rn);
+                    let rhs = self.op2(*op2);
+                    self.machine.flags.set_from_cmp(lhs, rhs);
+                }
+                Instr::B { target } => {
+                    next_pc = resolve(target)? as u64;
+                    branch_taken = true;
+                }
+                Instr::BCond { cond, target } => {
+                    if self.condition_holds(*cond) {
+                        next_pc = resolve(target)? as u64;
+                        branch_taken = true;
+                    }
+                }
+                Instr::Bl { target } => {
+                    self.machine.set_reg(Reg::Lr, (pc + 1) as u32);
+                    next_pc = resolve(target)? as u64;
+                    branch_taken = true;
+                }
+                Instr::Bx { rm } => {
+                    let dest = self.machine.reg(*rm);
+                    if dest == RETURN_MAGIC {
+                        halted = true;
+                    } else {
+                        next_pc = u64::from(dest);
+                    }
+                    branch_taken = true;
+                }
+                Instr::Ldr { rt, rn, offset } => {
+                    let addr = self.machine.reg(*rn).wrapping_add(*offset as u32);
+                    let v = self.machine.load_word(addr)?;
+                    self.machine.set_reg(*rt, v);
+                }
+                Instr::Str { rt, rn, offset } => {
+                    let addr = self.machine.reg(*rn).wrapping_add(*offset as u32);
+                    let v = self.machine.reg(*rt);
+                    self.machine.store_word(addr, v)?;
+                }
+                Instr::Ldrb { rt, rn, offset } => {
+                    let addr = self.machine.reg(*rn).wrapping_add(*offset as u32);
+                    let v = self.machine.load_byte(addr)?;
+                    self.machine.set_reg(*rt, v);
+                }
+                Instr::Strb { rt, rn, offset } => {
+                    let addr = self.machine.reg(*rn).wrapping_add(*offset as u32);
+                    let v = self.machine.reg(*rt);
+                    self.machine.store_byte(addr, v)?;
+                }
+                Instr::Push { regs } => {
+                    let mut sp = self.machine.reg(Reg::Sp);
+                    sp = sp.wrapping_sub(4 * regs.len() as u32);
+                    self.machine.set_reg(Reg::Sp, sp);
+                    let mut sorted = regs.clone();
+                    sorted.sort_by_key(|r| r.index());
+                    for (i, r) in sorted.iter().enumerate() {
+                        let v = self.machine.reg(*r);
+                        self.machine.store_word(sp + 4 * i as u32, v)?;
+                    }
+                }
+                Instr::Pop { regs } => {
+                    let sp = self.machine.reg(Reg::Sp);
+                    let mut sorted = regs.clone();
+                    sorted.sort_by_key(|r| r.index());
+                    for (i, r) in sorted.iter().enumerate() {
+                        let v = self.machine.load_word(sp + 4 * i as u32)?;
+                        if *r == Reg::Pc {
+                            if v == RETURN_MAGIC {
+                                halted = true;
+                            } else {
+                                next_pc = u64::from(v);
+                                branch_taken = true;
+                            }
+                        } else {
+                            self.machine.set_reg(*r, v);
+                        }
+                    }
+                    self.machine
+                        .set_reg(Reg::Sp, sp.wrapping_add(4 * regs.len() as u32));
+                }
+                Instr::Nop => {}
+            }
+
+            cycles += instruction_cycles(&instr, branch_taken, udiv_operands);
+            if halted {
+                return Ok(ExecResult {
+                    return_value: self.machine.reg(Reg::R0),
+                    cycles,
+                    instructions: retired,
+                    cfi_checks: self.machine.cfi.checks() - checks_before,
+                    cfi_violations: self.machine.cfi.violations() - violations_before,
+                });
+            }
+            pc = next_pc;
+        }
+    }
+
+    fn op2(&self, op2: Operand2) -> u32 {
+        match op2 {
+            Operand2::Reg(r) => self.machine.reg(r),
+            Operand2::Imm(i) => i,
+        }
+    }
+
+    fn condition_holds(&self, cond: Cond) -> bool {
+        let f = self.machine.flags;
+        match cond {
+            Cond::Eq => f.z,
+            Cond::Ne => !f.z,
+            Cond::Lo => !f.c,
+            Cond::Hs => f.c,
+            Cond::Hi => f.c && !f.z,
+            Cond::Ls => !f.c || f.z,
+        }
+    }
+}
+
+fn resolve(target: &Target) -> Result<usize, SimError> {
+    target.index().ok_or(SimError::UnresolvedTarget)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::{CFI_CHECK_ADDR, CFI_UPDATE_ADDR};
+    use crate::program::ProgramBuilder;
+
+    /// A small program: `max(a, b)` followed by a CFI-checked epilogue.
+    fn max_program() -> Program {
+        let mut p = ProgramBuilder::new();
+        p.label("max");
+        p.push(Instr::Cmp {
+            rn: Reg::R0,
+            op2: Operand2::Reg(Reg::R1),
+        });
+        p.push(Instr::BCond {
+            cond: Cond::Hs,
+            target: Target::label("done"),
+        });
+        p.push(Instr::Mov {
+            rd: Reg::R0,
+            rm: Reg::R1,
+        });
+        p.label("done");
+        p.push(Instr::Bx { rm: Reg::Lr });
+        p.assemble().expect("assembles")
+    }
+
+    #[test]
+    fn max_computes_correctly_both_ways() {
+        let mut sim = Simulator::new(max_program(), 4096);
+        assert_eq!(sim.call("max", &[7, 3], 100).expect("runs").return_value, 7);
+        assert_eq!(sim.call("max", &[3, 7], 100).expect("runs").return_value, 7);
+        assert_eq!(sim.call("max", &[5, 5], 100).expect("runs").return_value, 5);
+    }
+
+    #[test]
+    fn cycles_and_instruction_counts_are_reported() {
+        let mut sim = Simulator::new(max_program(), 4096);
+        let taken = sim.call("max", &[7, 3], 100).expect("runs");
+        let not_taken = sim.call("max", &[3, 7], 100).expect("runs");
+        // Taken path: cmp(1) + bhs taken(2) + bx(3) = 6 cycles, 3 instructions.
+        assert_eq!(taken.instructions, 3);
+        assert_eq!(taken.cycles, 6);
+        // Not-taken path: cmp(1) + bhs not taken(1) + mov(1) + bx(3) = 6 cycles.
+        assert_eq!(not_taken.instructions, 4);
+        assert_eq!(not_taken.cycles, 6);
+    }
+
+    #[test]
+    fn loop_with_memory_and_call() {
+        // sum(n): r0 = 0 + 1 + ... + (n-1), using a helper `add` function.
+        let mut p = ProgramBuilder::new();
+        p.label("add");
+        p.push(Instr::Add {
+            rd: Reg::R0,
+            rn: Reg::R0,
+            op2: Operand2::Reg(Reg::R1),
+        });
+        p.push(Instr::Bx { rm: Reg::Lr });
+
+        p.label("sum");
+        p.push(Instr::Push {
+            regs: vec![Reg::R4, Reg::R5, Reg::Lr],
+        });
+        p.push(Instr::Mov { rd: Reg::R4, rm: Reg::R0 }); // n
+        p.push(Instr::MovImm { rd: Reg::R5, imm: 0 }); // i
+        p.push(Instr::MovImm { rd: Reg::R0, imm: 0 }); // acc
+        p.label("loop");
+        p.push(Instr::Cmp {
+            rn: Reg::R5,
+            op2: Operand2::Reg(Reg::R4),
+        });
+        p.push(Instr::BCond {
+            cond: Cond::Hs,
+            target: Target::label("exit"),
+        });
+        p.push(Instr::Mov { rd: Reg::R1, rm: Reg::R5 });
+        p.push(Instr::Bl {
+            target: Target::label("add"),
+        });
+        p.push(Instr::Add {
+            rd: Reg::R5,
+            rn: Reg::R5,
+            op2: Operand2::Imm(1),
+        });
+        p.push(Instr::B {
+            target: Target::label("loop"),
+        });
+        p.label("exit");
+        p.push(Instr::Pop {
+            regs: vec![Reg::R4, Reg::R5, Reg::Pc],
+        });
+        let program = p.assemble().expect("assembles");
+
+        let mut sim = Simulator::new(program, 16 * 1024);
+        let r = sim.call("sum", &[10], 10_000).expect("runs");
+        assert_eq!(r.return_value, 45);
+        assert!(r.cycles > r.instructions, "multi-cycle instructions exist");
+    }
+
+    #[test]
+    fn memory_instructions_access_ram() {
+        let mut p = ProgramBuilder::new();
+        p.label("store_load");
+        p.push(Instr::Str {
+            rt: Reg::R1,
+            rn: Reg::R0,
+            offset: 0,
+        });
+        p.push(Instr::Ldrb {
+            rt: Reg::R2,
+            rn: Reg::R0,
+            offset: 1,
+        });
+        p.push(Instr::Mov { rd: Reg::R0, rm: Reg::R2 });
+        p.push(Instr::Bx { rm: Reg::Lr });
+        let mut sim = Simulator::new(p.assemble().expect("assembles"), 4096);
+        let r = sim
+            .call("store_load", &[100, 0xAABB_CCDD], 100)
+            .expect("runs");
+        assert_eq!(r.return_value, 0xCC);
+        assert_eq!(sim.machine().read_bytes(100, 4), &[0xDD, 0xCC, 0xBB, 0xAA]);
+    }
+
+    #[test]
+    fn udiv_and_mls_compute_a_remainder() {
+        // r0 = r0 % r1 via UDIV + MLS (the encoded-compare lowering).
+        let mut p = ProgramBuilder::new();
+        p.label("urem");
+        p.push(Instr::Udiv {
+            rd: Reg::R2,
+            rn: Reg::R0,
+            rm: Reg::R1,
+        });
+        p.push(Instr::Mls {
+            rd: Reg::R0,
+            rn: Reg::R2,
+            rm: Reg::R1,
+            ra: Reg::R0,
+        });
+        p.push(Instr::Bx { rm: Reg::Lr });
+        let mut sim = Simulator::new(p.assemble().expect("assembles"), 4096);
+        assert_eq!(
+            sim.call("urem", &[63_877 * 3 + 123, 63_877], 100)
+                .expect("runs")
+                .return_value,
+            123
+        );
+    }
+
+    #[test]
+    fn cfi_unit_is_driven_by_stores() {
+        let mut p = ProgramBuilder::new();
+        p.label("cfi_demo");
+        // r1 = CFI update address; r2 = value
+        p.push(Instr::MovImm {
+            rd: Reg::R1,
+            imm: CFI_UPDATE_ADDR,
+        });
+        p.push(Instr::Str {
+            rt: Reg::R0,
+            rn: Reg::R1,
+            offset: 0,
+        });
+        p.push(Instr::MovImm {
+            rd: Reg::R1,
+            imm: CFI_CHECK_ADDR,
+        });
+        p.push(Instr::MovImm {
+            rd: Reg::R2,
+            imm: 0x55,
+        });
+        p.push(Instr::Str {
+            rt: Reg::R2,
+            rn: Reg::R1,
+            offset: 0,
+        });
+        p.push(Instr::Bx { rm: Reg::Lr });
+        let program = p.assemble().expect("assembles");
+
+        let mut sim = Simulator::new(program.clone(), 4096);
+        let ok = sim.call("cfi_demo", &[0x55], 100).expect("runs");
+        assert_eq!(ok.cfi_checks, 1);
+        assert!(ok.cfi_clean());
+
+        let mut sim = Simulator::new(program, 4096);
+        let bad = sim.call("cfi_demo", &[0x54], 100).expect("runs");
+        assert_eq!(bad.cfi_violations, 1);
+        assert!(!bad.cfi_clean());
+    }
+
+    #[test]
+    fn instruction_skip_fault_changes_the_result() {
+        struct SkipAt(u64);
+        impl FaultHook for SkipAt {
+            fn before_execute(
+                &mut self,
+                step: u64,
+                _: usize,
+                _: &Instr,
+                _: &mut Machine,
+            ) -> FaultAction {
+                if step == self.0 {
+                    FaultAction::Skip
+                } else {
+                    FaultAction::Continue
+                }
+            }
+        }
+        let mut sim = Simulator::new(max_program(), 4096);
+        // Skipping the conditional branch (step 2) on the "taken" input makes
+        // the fall-through MOV overwrite r0 with the smaller value.
+        let faulted = sim
+            .call_with_faults("max", &[7, 3], 100, &mut SkipAt(2))
+            .expect("runs");
+        assert_eq!(faulted.return_value, 3, "the fault corrupted the result");
+    }
+
+    #[test]
+    fn register_bit_flip_fault_changes_the_comparison() {
+        struct FlipR0BeforeCmp;
+        impl FaultHook for FlipR0BeforeCmp {
+            fn before_execute(
+                &mut self,
+                step: u64,
+                _: usize,
+                _: &Instr,
+                machine: &mut Machine,
+            ) -> FaultAction {
+                if step == 1 {
+                    machine.flip_register_bit(Reg::R0, 31);
+                }
+                FaultAction::Continue
+            }
+        }
+        let mut sim = Simulator::new(max_program(), 4096);
+        let faulted = sim
+            .call_with_faults("max", &[7, 3], 100, &mut FlipR0BeforeCmp)
+            .expect("runs");
+        assert_eq!(faulted.return_value, 7 | (1 << 31));
+    }
+
+    #[test]
+    fn error_paths_are_reported() {
+        let mut sim = Simulator::new(max_program(), 4096);
+        assert!(matches!(
+            sim.call("nope", &[], 10),
+            Err(SimError::UnknownEntryPoint { .. })
+        ));
+        assert!(matches!(
+            sim.call("max", &[1, 2, 3, 4, 5], 10),
+            Err(SimError::TooManyArguments { .. })
+        ));
+
+        // An infinite loop hits the step limit.
+        let mut p = ProgramBuilder::new();
+        p.label("spin");
+        p.push(Instr::B {
+            target: Target::label("spin"),
+        });
+        let mut sim = Simulator::new(p.assemble().expect("assembles"), 1024);
+        assert!(matches!(
+            sim.call("spin", &[], 100),
+            Err(SimError::StepLimitExceeded { .. })
+        ));
+
+        // Falling off the end of the program is detected.
+        let mut p = ProgramBuilder::new();
+        p.label("off_end");
+        p.push(Instr::Nop);
+        let mut sim = Simulator::new(p.assemble().expect("assembles"), 1024);
+        assert!(matches!(
+            sim.call("off_end", &[], 10),
+            Err(SimError::PcOutOfRange { .. })
+        ));
+    }
+}

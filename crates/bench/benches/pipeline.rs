@@ -1,0 +1,26 @@
+//! Criterion benches of the compilation pipeline (passes + back end).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use secbranch::programs::{memcmp_module, password_check_module};
+use secbranch::{build, ProtectionVariant};
+
+fn bench_pipeline(c: &mut Criterion) {
+    let memcmp = memcmp_module(128);
+    let password = password_check_module(16);
+
+    c.bench_function("pipeline/memcmp/cfi_only", |b| {
+        b.iter(|| build(&memcmp, ProtectionVariant::CfiOnly).expect("builds"))
+    });
+    c.bench_function("pipeline/memcmp/prototype", |b| {
+        b.iter(|| build(&memcmp, ProtectionVariant::AnCode).expect("builds"))
+    });
+    c.bench_function("pipeline/memcmp/duplication_x6", |b| {
+        b.iter(|| build(&memcmp, ProtectionVariant::Duplication(6)).expect("builds"))
+    });
+    c.bench_function("pipeline/password_check/prototype", |b| {
+        b.iter(|| build(&password, ProtectionVariant::AnCode).expect("builds"))
+    });
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

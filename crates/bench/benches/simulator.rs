@@ -1,0 +1,30 @@
+//! Criterion benches of the ARMv7-M simulator executing the protected
+//! workloads (host time per guest run).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use secbranch::programs::memcmp_module;
+use secbranch::{build, ProtectionVariant};
+
+fn bench_simulator(c: &mut Criterion) {
+    let module = memcmp_module(128);
+    let cfi = build(&module, ProtectionVariant::CfiOnly).expect("builds");
+    let prototype = build(&module, ProtectionVariant::AnCode).expect("builds");
+
+    c.bench_function("simulator/memcmp128/cfi_only", |b| {
+        let sim = cfi.clone().into_simulator(1 << 20);
+        b.iter(|| {
+            let mut sim = sim.clone();
+            sim.call("memcmp_bench", &[], 10_000_000).expect("runs")
+        })
+    });
+    c.bench_function("simulator/memcmp128/prototype", |b| {
+        let sim = prototype.clone().into_simulator(1 << 20);
+        b.iter(|| {
+            let mut sim = sim.clone();
+            sim.call("memcmp_bench", &[], 10_000_000).expect("runs")
+        })
+    });
+}
+
+criterion_group!(benches, bench_simulator);
+criterion_main!(benches);

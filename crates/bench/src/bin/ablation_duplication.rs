@@ -1,0 +1,49 @@
+//! Ablation: overhead of the duplication baseline as a function of its order
+//! (the paper fixes the order at six to match the 6-bit Hamming distance of
+//! the AN-code).
+
+use secbranch::programs::memcmp_module;
+use secbranch::{measure, ProtectionVariant};
+
+fn main() {
+    println!("Ablation — duplication order vs overhead (memcmp, 128 elements)");
+    println!();
+    let module = memcmp_module(128);
+    let baseline = measure(&module, ProtectionVariant::CfiOnly, "memcmp_bench", &[])
+        .expect("baseline");
+    let prototype = measure(&module, ProtectionVariant::AnCode, "memcmp_bench", &[])
+        .expect("prototype");
+    println!(
+        "{:>12} {:>12} {:>12} {:>12} {:>12}",
+        "variant", "size/B", "size +%", "cycles", "cycles +%"
+    );
+    println!(
+        "{:>12} {:>12} {:>12} {:>12} {:>12}",
+        "cfi", baseline.code_size_bytes, "-", baseline.result.cycles, "-"
+    );
+    for order in [2u32, 3, 4, 6, 8] {
+        let m = measure(
+            &module,
+            ProtectionVariant::Duplication(order),
+            "memcmp_bench",
+            &[],
+        )
+        .expect("duplication");
+        println!(
+            "{:>12} {:>12} {:>12.2} {:>12} {:>12.2}",
+            format!("dup x{order}"),
+            m.code_size_bytes,
+            m.size_overhead_percent(&baseline),
+            m.result.cycles,
+            m.runtime_overhead_percent(&baseline)
+        );
+    }
+    println!(
+        "{:>12} {:>12} {:>12.2} {:>12} {:>12.2}",
+        "prototype",
+        prototype.code_size_bytes,
+        prototype.size_overhead_percent(&baseline),
+        prototype.result.cycles,
+        prototype.runtime_overhead_percent(&baseline)
+    );
+}

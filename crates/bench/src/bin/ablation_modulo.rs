@@ -1,0 +1,37 @@
+//! Ablation: sensitivity of the encoded-compare runtime to the cost of the
+//! modulo operation (the paper notes that "hardware support for a fast modulo
+//! instruction would considerably reduce this overhead").
+
+use secbranch_ancode::Parameters;
+use secbranch_codegen::snippet::{encoded_compare_operations, sequence_cost};
+use secbranch_ir::Predicate;
+
+fn main() {
+    let params = Parameters::paper_defaults();
+    let a = params.code().constant();
+    println!("Ablation — encoded-compare cycles vs modulo cost");
+    println!();
+    println!(
+        "{:>18} {:>22} {:>22}",
+        "UDIV cycles", "ordering compare", "equality compare"
+    );
+    let ord = encoded_compare_operations(Predicate::Ult, a, params.ordering_constant());
+    let eq = encoded_compare_operations(Predicate::Eq, a, params.equality_constant());
+    let ord_base = sequence_cost(&ord);
+    let eq_base = sequence_cost(&eq);
+    // The sequences contain one (ordering) or two (equality) UDIV+MLS pairs;
+    // sweep the division cost from the architectural minimum to the maximum,
+    // plus a hypothetical single-cycle hardware modulo that replaces the
+    // UDIV+MLS pair entirely.
+    for udiv in 1..=12u64 {
+        let ord_cycles = ord_base.min_cycles - 2 + udiv; // one UDIV at 2 in the min bound
+        let eq_cycles = eq_base.min_cycles - 4 + 2 * udiv;
+        println!("{udiv:>18} {ord_cycles:>22} {eq_cycles:>22}");
+    }
+    let ord_fast = ord_base.min_cycles - 2 - 2 + 1; // drop UDIV(2)+MLS(2), add 1-cycle modulo
+    let eq_fast = eq_base.min_cycles - 4 - 4 + 2;
+    println!(
+        "{:>18} {:>22} {:>22}",
+        "1-cycle modulo", ord_fast, eq_fast
+    );
+}

@@ -1,0 +1,26 @@
+//! Regenerates Table I: condition values for the encoded comparisons.
+
+use secbranch_ancode::{Parameters, Predicate};
+
+fn main() {
+    let params = Parameters::paper_defaults();
+    println!("Table I — condition values (A = {}, C_ord = {}, C_eq = {})",
+        params.code().constant(),
+        params.ordering_constant(),
+        params.equality_constant());
+    println!("2^32 mod A = {}", params.wraparound_residue());
+    println!();
+    println!("{:<10} {:<28} {:>12} {:>12} {:>10}", "predicate", "subtraction", "true", "false", "distance");
+    for pred in Predicate::ALL {
+        let row = params.table_one_row(pred);
+        let symbols = params.symbols(pred);
+        println!(
+            "{:<10} {:<28} {:>12} {:>12} {:>10}",
+            pred.symbol(),
+            row.subtraction,
+            row.true_value,
+            row.false_value,
+            symbols.hamming_distance()
+        );
+    }
+}

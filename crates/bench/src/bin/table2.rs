@@ -1,0 +1,51 @@
+//! Regenerates Table II: qualitative overhead of the building blocks
+//! (instruction mix, code size, cycle bounds of the encoded compare and the
+//! CFI state update).
+
+use secbranch_ancode::Parameters;
+use secbranch_codegen::snippet::{
+    encoded_compare_operations, sequence_cost, state_update_sequence,
+};
+use secbranch_ir::Predicate;
+
+fn mix(ops: &[secbranch_armv7m::Instr]) -> String {
+    use secbranch_armv7m::Instr;
+    let count = |f: fn(&Instr) -> bool| ops.iter().filter(|i| f(i)).count();
+    format!(
+        "{} ADD, {} SUB, {} UDIV, {} MLS",
+        count(|i| matches!(i, Instr::Add { .. })),
+        count(|i| matches!(i, Instr::Sub { .. })),
+        count(|i| matches!(i, Instr::Udiv { .. })),
+        count(|i| matches!(i, Instr::Mls { .. }))
+    )
+}
+
+fn main() {
+    let params = Parameters::paper_defaults();
+    let a = params.code().constant();
+    println!("Table II — building-block overhead (ARMv7-M size/cycle model)");
+    println!();
+    println!("{:<14} {:<28} {:>8} {:>12}", "predicate", "instructions", "size/B", "cycles");
+    for (label, pred, c) in [
+        (">, >=, <, <=", Predicate::Ult, params.ordering_constant()),
+        ("==, !=", Predicate::Eq, params.equality_constant()),
+    ] {
+        let ops = encoded_compare_operations(pred, a, c);
+        let cost = sequence_cost(&ops);
+        println!(
+            "{:<14} {:<28} {:>8} {:>9}-{:<3}",
+            label,
+            mix(&ops),
+            cost.size_bytes,
+            cost.min_cycles,
+            cost.max_cycles
+        );
+    }
+    let update = state_update_sequence();
+    let cost = sequence_cost(&update);
+    println!();
+    println!(
+        "CFI state update per protected-branch successor: {} instructions, {} bytes, {}-{} cycles",
+        cost.instructions, cost.size_bytes, cost.min_cycles, cost.max_cycles
+    );
+}

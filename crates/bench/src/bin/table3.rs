@@ -1,0 +1,50 @@
+//! Regenerates Table III: size and runtime overhead of the branch-protection
+//! variants on the integer-compare and memcmp micro-benchmarks and the
+//! secure-bootloader macro-benchmark.
+
+use secbranch::programs::{bootloader_module, integer_compare_module, memcmp_module, BootImage};
+use secbranch::{measure, ProtectionVariant};
+use secbranch_bench::print_table3_block;
+
+fn main() {
+    println!("Table III — size and runtime of CFI baseline vs duplication (x6) vs prototype");
+    println!("(columns: CFI absolute | duplication abs (+%) | prototype abs (+%))");
+    println!();
+
+    let variants = ProtectionVariant::TABLE_THREE;
+
+    // integer compare micro-benchmark.
+    let module = integer_compare_module();
+    let rows: Vec<_> = variants
+        .iter()
+        .map(|v| measure(&module, *v, "integer_compare", &[1234, 1234]).expect("integer compare"))
+        .collect();
+    print_table3_block("integer compare", &rows[0], &[&rows[1], &rows[2]]);
+
+    // memcmp with 128 elements.
+    let module = memcmp_module(128);
+    let rows: Vec<_> = variants
+        .iter()
+        .map(|v| measure(&module, *v, "memcmp_bench", &[]).expect("memcmp"))
+        .collect();
+    print_table3_block("memcmp (128)", &rows[0], &[&rows[1], &rows[2]]);
+
+    // Secure bootloader macro-benchmark (4 KiB firmware image). The paper
+    // reports only CFI and prototype for the bootloader.
+    let image = BootImage::generate(4096, 2018);
+    let module = bootloader_module(&image);
+    let baseline =
+        measure(&module, ProtectionVariant::CfiOnly, "bootloader", &[]).expect("bootloader cfi");
+    let prototype =
+        measure(&module, ProtectionVariant::AnCode, "bootloader", &[]).expect("bootloader an");
+    print_table3_block("bootloader", &baseline, &[&prototype]);
+
+    assert_eq!(baseline.result.return_value, secbranch::programs::BOOT_OK);
+    assert_eq!(prototype.result.return_value, secbranch::programs::BOOT_OK);
+    println!();
+    println!(
+        "bootloader prototype overhead: size {:+.3}%, runtime {:+.4}%",
+        prototype.size_overhead_percent(&baseline),
+        prototype.runtime_overhead_percent(&baseline)
+    );
+}

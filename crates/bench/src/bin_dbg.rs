@@ -1,0 +1,28 @@
+use secbranch_codegen::{compile, CfiLevel, CodegenOptions};
+use secbranch_passes::{standard_protection_pipeline, AnCoderConfig};
+use secbranch_programs::integer_compare_module;
+fn main() {
+    let mut module = integer_compare_module();
+    standard_protection_pipeline(AnCoderConfig::default()).run(&mut module).unwrap();
+    let compiled = compile(&module, &CodegenOptions { cfi: CfiLevel::Full }).unwrap();
+    let sim0 = compiled.into_simulator(64 * 1024);
+    let mut rsim = sim0.clone();
+    let reference = rsim.call("integer_compare", &[1234, 4321], 1_000_000).unwrap();
+    println!("ref = {:?}", reference);
+    println!("{}", rsim.program().listing());
+    for step in 1..=reference.instructions {
+        struct SkipAt(u64);
+        impl secbranch_armv7m::FaultHook for SkipAt {
+            fn before_execute(&mut self, step: u64, _: usize, _: &secbranch_armv7m::Instr, _: &mut secbranch_armv7m::Machine) -> secbranch_armv7m::FaultAction {
+                if step == self.0 { secbranch_armv7m::FaultAction::Skip } else { secbranch_armv7m::FaultAction::Continue }
+            }
+        }
+        let mut sim = sim0.clone();
+        let r = sim.call_with_faults("integer_compare", &[1234, 4321], 1_000_000, &mut SkipAt(step));
+        if let Ok(r) = r {
+            if r.cfi_violations == 0 && r.return_value != reference.return_value {
+                println!("step {} -> wrong undetected, ret {}", step, r.return_value);
+            }
+        }
+    }
+}

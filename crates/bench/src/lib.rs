@@ -1,0 +1,54 @@
+//! Shared helpers for the table-regeneration binaries of the benchmark
+//! harness (`table1`, `table2`, `table3`, `security`, `ablation_modulo`,
+//! `ablation_duplication`). See `EXPERIMENTS.md` for the mapping between
+//! binaries and the paper's tables/figures.
+
+#![forbid(unsafe_code)]
+
+use secbranch::Measurement;
+
+/// Formats one Table III style cell: absolute value plus overhead percentage
+/// against the CFI baseline.
+#[must_use]
+pub fn overhead_cell(value: f64, baseline: f64) -> String {
+    if baseline == 0.0 {
+        format!("{value:.0}")
+    } else {
+        format!("{value:.0} ({:+.3}%)", (value - baseline) / baseline * 100.0)
+    }
+}
+
+/// Prints a Table III block (size and runtime rows) for one benchmark.
+pub fn print_table3_block(benchmark: &str, baseline: &Measurement, others: &[&Measurement]) {
+    let mut size_row = format!(
+        "{benchmark:<16} size/B    {:>10}",
+        baseline.code_size_bytes
+    );
+    let mut time_row = format!(
+        "{benchmark:<16} cycles    {:>10}",
+        baseline.result.cycles
+    );
+    for m in others {
+        size_row.push_str(&format!(
+            " | {:>22}",
+            overhead_cell(m.code_size_bytes as f64, baseline.code_size_bytes as f64)
+        ));
+        time_row.push_str(&format!(
+            " | {:>22}",
+            overhead_cell(m.result.cycles as f64, baseline.result.cycles as f64)
+        ));
+    }
+    println!("{size_row}");
+    println!("{time_row}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overhead_cell_formats_percentages() {
+        assert_eq!(overhead_cell(110.0, 100.0), "110 (+10.000%)");
+        assert_eq!(overhead_cell(50.0, 0.0), "50");
+    }
+}

@@ -1,0 +1,98 @@
+//! A software-centred GPSA-style control-flow-integrity (CFI) scheme.
+//!
+//! The paper assumes "an instruction-granular CFI protection scheme,
+//! protecting the execution of instructions and the selection of the
+//! operands" and evaluates with "a software-centered GPSA CFI scheme similar
+//! to the one in [Werner et al., CARDIS 2015]". This crate provides the
+//! architecture-independent half of such a scheme at basic-block granularity:
+//!
+//! * [`SignatureAssignment`] — deterministic, distinct, non-zero signatures
+//!   for the blocks of a function (general path signature analysis assigns
+//!   each vertex of the CFG a signature the runtime state must reproduce),
+//! * edge-update calculus ([`edge_update`], [`protected_edge_update`],
+//!   [`justifying_update`]) — the XOR correction constants instrumented code
+//!   applies when following a CFG edge, including the paper's novel linking
+//!   of the *redundant condition value* of a protected branch into the CFI
+//!   state (Section III: "merge this value as part of the CFI state update
+//!   into the redundancy of the CFI scheme"), and
+//! * [`CfiMonitor`] — the runtime state automaton (modelling the memory
+//!   mapped CFI unit of the evaluation platform): `update` XORs a value into
+//!   the state, `check` compares the state against an expected signature and
+//!   latches violations, `replace` implements the state-replacement technique
+//!   used at function boundaries.
+//!
+//! The ARMv7-M simulator exposes a [`CfiMonitor`] behind MMIO registers; the
+//! back end's CFI instrumentation emits the stores that drive it.
+//!
+//! # Example
+//!
+//! ```
+//! use secbranch_cfi::{edge_update, protected_edge_update, CfiMonitor, SignatureAssignment};
+//!
+//! let sigs = SignatureAssignment::derive("check_password", 3);
+//! let mut monitor = CfiMonitor::new(sigs.signature(0));
+//!
+//! // Fall through a normal edge 0 -> 2.
+//! monitor.update(edge_update(sigs.signature(0), sigs.signature(2)));
+//! monitor.check(sigs.signature(2));
+//! assert!(monitor.is_clean());
+//!
+//! // A protected edge also merges the encoded condition value (here the
+//! // expected `true` symbol 35552 of Table I).
+//! monitor.update(protected_edge_update(sigs.signature(2), sigs.signature(1), 35_552));
+//! monitor.update(35_552); // the condition value computed at run time
+//! monitor.check(sigs.signature(1));
+//! assert!(monitor.is_clean());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod monitor;
+mod signature;
+
+pub use monitor::{CfiMonitor, Violation};
+pub use signature::{
+    edge_update, justifying_update, protected_edge_update, SignatureAssignment,
+};
+
+#[cfg(test)]
+mod crate_tests {
+    use super::*;
+
+    #[test]
+    fn public_types_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CfiMonitor>();
+        assert_send_sync::<Violation>();
+        assert_send_sync::<SignatureAssignment>();
+    }
+
+    #[test]
+    fn wrong_edge_is_detected_end_to_end() {
+        let sigs = SignatureAssignment::derive("f", 4);
+        let mut monitor = CfiMonitor::new(sigs.signature(0));
+        // Instrumentation intended for edge 0 -> 1 but control flow actually
+        // reaches block 2 (whose check expects signature(2)).
+        monitor.update(edge_update(sigs.signature(0), sigs.signature(1)));
+        monitor.check(sigs.signature(2));
+        assert!(!monitor.is_clean());
+    }
+
+    #[test]
+    fn faulted_condition_value_is_detected_end_to_end() {
+        let sigs = SignatureAssignment::derive("f", 2);
+        let mut monitor = CfiMonitor::new(sigs.signature(0));
+        let true_symbol = 35_552;
+        monitor.update(protected_edge_update(
+            sigs.signature(0),
+            sigs.signature(1),
+            true_symbol,
+        ));
+        // The attacker managed to flip the raw condition into the *other*
+        // valid symbol — the state no longer matches the expected signature.
+        monitor.update(29_982);
+        monitor.check(sigs.signature(1));
+        assert!(!monitor.is_clean());
+    }
+}

@@ -1,0 +1,162 @@
+//! Block-signature assignment and the edge-update calculus.
+
+/// Deterministically derived per-block signatures for one function.
+///
+/// Signatures are non-zero, pairwise distinct and derived from the function
+/// name and block index with a small mixing function, so rebuilding the same
+/// program yields the same signatures (important for reproducible code-size
+/// numbers) while different blocks of different functions get well-spread
+/// values.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SignatureAssignment {
+    signatures: Vec<u32>,
+}
+
+impl SignatureAssignment {
+    /// Derives signatures for `block_count` blocks of the named function.
+    #[must_use]
+    pub fn derive(function_name: &str, block_count: usize) -> Self {
+        let mut seed = 0xcbf2_9ce4_8422_2325u64; // FNV offset basis
+        for byte in function_name.bytes() {
+            seed ^= u64::from(byte);
+            seed = seed.wrapping_mul(0x0000_0100_0000_01B3); // FNV prime
+        }
+        let mut signatures = Vec::with_capacity(block_count);
+        let mut state = seed | 1;
+        while signatures.len() < block_count {
+            // xorshift64* mixing
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            let candidate = (state.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 32) as u32;
+            if candidate != 0 && candidate != u32::MAX && !signatures.contains(&candidate) {
+                signatures.push(candidate);
+            }
+        }
+        SignatureAssignment { signatures }
+    }
+
+    /// The signature of block `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    #[must_use]
+    pub fn signature(&self, index: usize) -> u32 {
+        self.signatures[index]
+    }
+
+    /// Number of blocks covered by this assignment.
+    #[must_use]
+    pub fn block_count(&self) -> usize {
+        self.signatures.len()
+    }
+
+    /// All signatures in block order.
+    #[must_use]
+    pub fn as_slice(&self) -> &[u32] {
+        &self.signatures
+    }
+}
+
+/// The XOR constant instrumented code applies when following the ordinary CFG
+/// edge `pred -> succ`: it moves a correct state from `sig(pred)` to
+/// `sig(succ)`.
+#[must_use]
+pub fn edge_update(sig_pred: u32, sig_succ: u32) -> u32 {
+    sig_pred ^ sig_succ
+}
+
+/// The XOR constant for an edge out of a *protected* conditional branch
+/// (Section III of the paper): besides moving the state from `sig(pred)` to
+/// `sig(succ)`, the successor merges the redundant condition value into the
+/// state, so the constant also cancels the symbol `expected_symbol` that the
+/// encoded comparison produces on this edge when everything is correct.
+///
+/// The runtime sequence on the edge is therefore:
+///
+/// ```text
+/// state ^= protected_edge_update(sig_pred, sig_succ, expected_symbol);
+/// state ^= condition_value;             // stored to the CFI unit at run time
+/// // state == sig_succ  ⇔  condition_value == expected_symbol
+/// ```
+#[must_use]
+pub fn protected_edge_update(sig_pred: u32, sig_succ: u32, expected_symbol: u32) -> u32 {
+    sig_pred ^ sig_succ ^ expected_symbol
+}
+
+/// The justifying value that makes a secondary predecessor `pred` of a merge
+/// block look like the primary predecessor `primary_pred` (the classic GPSA
+/// correction for control-flow merges).
+#[must_use]
+pub fn justifying_update(sig_pred: u32, sig_primary_pred: u32) -> u32 {
+    sig_pred ^ sig_primary_pred
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn signatures_are_distinct_nonzero_and_deterministic() {
+        let a = SignatureAssignment::derive("bootloader", 64);
+        let b = SignatureAssignment::derive("bootloader", 64);
+        assert_eq!(a, b);
+        assert_eq!(a.block_count(), 64);
+        for i in 0..64 {
+            assert_ne!(a.signature(i), 0);
+            assert_ne!(a.signature(i), u32::MAX);
+            for j in (i + 1)..64 {
+                assert_ne!(a.signature(i), a.signature(j), "blocks {i} and {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn different_functions_get_different_signatures() {
+        let a = SignatureAssignment::derive("f", 8);
+        let b = SignatureAssignment::derive("g", 8);
+        assert_ne!(a.as_slice(), b.as_slice());
+    }
+
+    #[test]
+    fn edge_update_moves_state_between_signatures() {
+        let sigs = SignatureAssignment::derive("f", 2);
+        let (p, s) = (sigs.signature(0), sigs.signature(1));
+        assert_eq!(p ^ edge_update(p, s), s);
+    }
+
+    #[test]
+    fn protected_edge_update_cancels_the_expected_symbol() {
+        let sigs = SignatureAssignment::derive("f", 2);
+        let (p, s) = (sigs.signature(0), sigs.signature(1));
+        let symbol = 35_552;
+        let state = p ^ protected_edge_update(p, s, symbol) ^ symbol;
+        assert_eq!(state, s);
+        // With the wrong symbol the state misses the target by the symbol
+        // distance, which is exactly what the check detects.
+        let bad = p ^ protected_edge_update(p, s, symbol) ^ 29_982;
+        assert_ne!(bad, s);
+        assert_eq!((bad ^ s).count_ones(), (35_552u32 ^ 29_982).count_ones());
+    }
+
+    #[test]
+    fn justifying_update_aligns_secondary_predecessors() {
+        let sigs = SignatureAssignment::derive("f", 3);
+        let primary = sigs.signature(0);
+        let secondary = sigs.signature(1);
+        let merged = sigs.signature(2);
+        // The secondary predecessor first justifies to the primary's
+        // signature, then the ordinary edge update for primary -> merge works
+        // for both.
+        let state = secondary ^ justifying_update(secondary, primary) ^ edge_update(primary, merged);
+        assert_eq!(state, merged);
+    }
+
+    #[test]
+    fn empty_assignment_is_allowed() {
+        let sigs = SignatureAssignment::derive("f", 0);
+        assert_eq!(sigs.block_count(), 0);
+        assert!(sigs.as_slice().is_empty());
+    }
+}

@@ -1,0 +1,74 @@
+//! Error type of the back end.
+
+use std::error::Error;
+use std::fmt;
+
+use secbranch_armv7m::SimError;
+
+/// Errors produced during code generation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CodegenError {
+    /// The module references a global that does not exist.
+    UnknownGlobal {
+        /// The missing global.
+        name: String,
+        /// The function referencing it.
+        function: String,
+    },
+    /// The IR contains a construct the back end does not support
+    /// (e.g. a `switch` terminator that was not lowered first).
+    Unsupported {
+        /// The function containing the construct.
+        function: String,
+        /// Human-readable description.
+        message: String,
+    },
+    /// Assembling the generated program failed (duplicate or missing labels
+    /// indicate a code-generator bug).
+    Assembly(SimError),
+}
+
+impl fmt::Display for CodegenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodegenError::UnknownGlobal { name, function } => {
+                write!(f, "function '{function}' references unknown global '{name}'")
+            }
+            CodegenError::Unsupported { function, message } => {
+                write!(f, "unsupported construct in '{function}': {message}")
+            }
+            CodegenError::Assembly(e) => write!(f, "assembly failed: {e}"),
+        }
+    }
+}
+
+impl Error for CodegenError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CodegenError::Assembly(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SimError> for CodegenError {
+    fn from(e: SimError) -> Self {
+        CodegenError::Assembly(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = CodegenError::Unsupported {
+            function: "f".to_string(),
+            message: "switch terminators must be lowered".to_string(),
+        };
+        assert!(e.to_string().contains('f'));
+        assert!(e.to_string().contains("switch"));
+    }
+}

@@ -1,0 +1,905 @@
+//! Instruction selection, frame layout and CFI instrumentation.
+
+use std::collections::HashMap;
+
+use secbranch_armv7m::machine::{CFI_CHECK_ADDR, CFI_REPLACE_ADDR, CFI_UPDATE_ADDR};
+use secbranch_armv7m::{Cond, Instr, Operand2, Program, ProgramBuilder, Reg, Simulator, Target};
+use secbranch_cfi::{edge_update, protected_edge_update, SignatureAssignment};
+use secbranch_ir::{
+    BinOp, BlockId, Function, LocalId, MemWidth, Module, Op, Operand, Predicate, Terminator,
+    ValueId,
+};
+
+use crate::error::CodegenError;
+
+/// Base address where module globals are placed in guest memory (matches the
+/// IR interpreter's layout so pointer-passing tests line up).
+pub const GLOBAL_BASE: u32 = 0x1000;
+
+/// How much CFI instrumentation the back end emits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CfiLevel {
+    /// No CFI instrumentation (the unprotected baseline).
+    None,
+    /// Full GPSA instrumentation: state replacement at function entry, an XOR
+    /// update on every CFG edge, condition-value merges on protected-branch
+    /// edges, and a state check before every return.
+    #[default]
+    Full,
+}
+
+/// Code-generation options.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CodegenOptions {
+    /// CFI instrumentation level.
+    pub cfi: CfiLevel,
+}
+
+/// The output of the back end: an assembled program plus the data-layout
+/// information needed to run and measure it.
+#[derive(Debug, Clone)]
+pub struct CompiledModule {
+    /// The assembled program.
+    pub program: Program,
+    /// Addresses assigned to module globals.
+    pub global_addresses: HashMap<String, u32>,
+    /// Initial memory image: `(address, bytes)` pairs for the globals.
+    pub global_image: Vec<(u32, Vec<u8>)>,
+    /// Code size of each function in bytes (Thumb-2 size model).
+    pub function_sizes: HashMap<String, u32>,
+}
+
+impl CompiledModule {
+    /// Total code size of the program in bytes.
+    #[must_use]
+    pub fn code_size_bytes(&self) -> u32 {
+        self.program.code_size_bytes()
+    }
+
+    /// Code size of one function in bytes.
+    #[must_use]
+    pub fn function_size(&self, name: &str) -> Option<u32> {
+        self.function_sizes.get(name).copied()
+    }
+
+    /// The address a global was placed at.
+    #[must_use]
+    pub fn global_address(&self, name: &str) -> Option<u32> {
+        self.global_addresses.get(name).copied()
+    }
+
+    /// Creates a simulator with `memory_size` bytes of RAM and the globals
+    /// written to their assigned addresses.
+    #[must_use]
+    pub fn into_simulator(self, memory_size: u32) -> Simulator {
+        let mut sim = Simulator::new(self.program, memory_size);
+        for (addr, data) in &self.global_image {
+            sim.machine_mut().write_bytes(*addr, data);
+        }
+        sim
+    }
+}
+
+/// Compiles a module to the ARMv7-M-like target.
+///
+/// # Errors
+///
+/// Returns [`CodegenError`] for unknown globals, unsupported constructs
+/// (un-lowered `switch`/`select`) and internal assembly failures.
+pub fn compile(module: &Module, options: &CodegenOptions) -> Result<CompiledModule, CodegenError> {
+    // Lay out globals.
+    let mut global_addresses = HashMap::new();
+    let mut global_image = Vec::new();
+    let mut cursor = GLOBAL_BASE;
+    for global in &module.globals {
+        global_addresses.insert(global.name.clone(), cursor);
+        global_image.push((cursor, global.data.clone()));
+        cursor += ((global.data.len() as u32 + 3) & !3).max(4);
+    }
+
+    let mut builder = ProgramBuilder::new();
+    let mut function_ranges: Vec<(String, usize, usize)> = Vec::new();
+    for function in &module.functions {
+        let start = builder.instr_count();
+        let mut fc = FunctionCompiler::new(function, options, &global_addresses);
+        fc.emit(&mut builder)?;
+        let end = builder.instr_count();
+        function_ranges.push((function.name.clone(), start, end));
+    }
+    let program = builder.assemble()?;
+    let function_sizes = function_ranges
+        .into_iter()
+        .map(|(name, start, end)| (name, program.code_size_of_range(start, end)))
+        .collect();
+
+    Ok(CompiledModule {
+        program,
+        global_addresses,
+        global_image,
+        function_sizes,
+    })
+}
+
+/// Per-function code generator.
+struct FunctionCompiler<'a> {
+    function: &'a Function,
+    options: &'a CodegenOptions,
+    globals: &'a HashMap<String, u32>,
+    signatures: SignatureAssignment,
+    local_offsets: Vec<u32>,
+    spill_base: u32,
+    frame_size: u32,
+    label_counter: u32,
+}
+
+impl<'a> FunctionCompiler<'a> {
+    fn new(
+        function: &'a Function,
+        options: &'a CodegenOptions,
+        globals: &'a HashMap<String, u32>,
+    ) -> Self {
+        let mut local_offsets = Vec::with_capacity(function.locals.len());
+        let mut cursor = 0u32;
+        for local in &function.locals {
+            local_offsets.push(cursor);
+            cursor += (local.size_bytes + 3) & !3;
+        }
+        let spill_base = cursor;
+        let frame_size = (spill_base + 4 * function.value_count() + 7) & !7;
+        FunctionCompiler {
+            function,
+            options,
+            globals,
+            signatures: SignatureAssignment::derive(&function.name, function.blocks.len()),
+            local_offsets,
+            spill_base,
+            frame_size,
+            label_counter: 0,
+        }
+    }
+
+    fn cfi_enabled(&self) -> bool {
+        matches!(self.options.cfi, CfiLevel::Full)
+    }
+
+    fn slot(&self, value: ValueId) -> u32 {
+        self.spill_base + 4 * value.0
+    }
+
+    fn local_offset(&self, local: LocalId) -> u32 {
+        self.local_offsets[local.0 as usize]
+    }
+
+    fn block_label(&self, block: BlockId) -> String {
+        format!("{}.bb{}", self.function.name, block.0)
+    }
+
+    fn fresh_label(&mut self, hint: &str) -> String {
+        self.label_counter += 1;
+        format!("{}.{}{}", self.function.name, hint, self.label_counter)
+    }
+
+    /// Loads a 32-bit immediate into a register.
+    fn emit_mov_imm(&self, p: &mut ProgramBuilder, rd: Reg, imm: u32) {
+        p.push(Instr::MovImm { rd, imm });
+    }
+
+    /// Loads the value at `[sp + offset]` into `rt`, handling offsets beyond
+    /// the LDR immediate range through the scratch register `r12`.
+    fn emit_sp_load(&self, p: &mut ProgramBuilder, rt: Reg, offset: u32) {
+        if offset < 4096 {
+            p.push(Instr::Ldr {
+                rt,
+                rn: Reg::Sp,
+                offset: offset as i32,
+            });
+        } else {
+            self.emit_mov_imm(p, Reg::R12, offset);
+            p.push(Instr::Add {
+                rd: Reg::R12,
+                rn: Reg::Sp,
+                op2: Operand2::Reg(Reg::R12),
+            });
+            p.push(Instr::Ldr {
+                rt,
+                rn: Reg::R12,
+                offset: 0,
+            });
+        }
+    }
+
+    /// Stores `rt` at `[sp + offset]`.
+    fn emit_sp_store(&self, p: &mut ProgramBuilder, rt: Reg, offset: u32) {
+        if offset < 4096 {
+            p.push(Instr::Str {
+                rt,
+                rn: Reg::Sp,
+                offset: offset as i32,
+            });
+        } else {
+            self.emit_mov_imm(p, Reg::R12, offset);
+            p.push(Instr::Add {
+                rd: Reg::R12,
+                rn: Reg::Sp,
+                op2: Operand2::Reg(Reg::R12),
+            });
+            p.push(Instr::Str {
+                rt,
+                rn: Reg::R12,
+                offset: 0,
+            });
+        }
+    }
+
+    /// Materialises an IR operand into a register.
+    fn emit_operand(&self, p: &mut ProgramBuilder, rd: Reg, operand: Operand) {
+        match operand {
+            Operand::Const(c) => self.emit_mov_imm(p, rd, c),
+            Operand::Value(v) => self.emit_sp_load(p, rd, self.slot(v)),
+        }
+    }
+
+    /// Stores an instruction result from `rs` into its spill slot.
+    fn emit_result(&self, p: &mut ProgramBuilder, rs: Reg, result: Option<ValueId>) {
+        if let Some(v) = result {
+            self.emit_sp_store(p, rs, self.slot(v));
+        }
+    }
+
+    /// Writes `value` to a CFI unit register (`r3` and `r12` are clobbered).
+    fn emit_cfi_write_const(&self, p: &mut ProgramBuilder, unit_addr: u32, value: u32) {
+        self.emit_mov_imm(p, Reg::R3, value);
+        self.emit_mov_imm(p, Reg::R12, unit_addr);
+        p.push(Instr::Str {
+            rt: Reg::R3,
+            rn: Reg::R12,
+            offset: 0,
+        });
+    }
+
+    /// Writes register `rs` to a CFI unit register (`r12` is clobbered).
+    fn emit_cfi_write_reg(&self, p: &mut ProgramBuilder, unit_addr: u32, rs: Reg) {
+        self.emit_mov_imm(p, Reg::R12, unit_addr);
+        p.push(Instr::Str {
+            rt: rs,
+            rn: Reg::R12,
+            offset: 0,
+        });
+    }
+
+    fn emit(&mut self, p: &mut ProgramBuilder) -> Result<(), CodegenError> {
+        p.label(self.function.name.clone());
+
+        // Prologue: save LR, allocate the frame, spill parameters.
+        p.push(Instr::Push { regs: vec![Reg::Lr] });
+        if self.frame_size < 4096 {
+            p.push(Instr::Sub {
+                rd: Reg::Sp,
+                rn: Reg::Sp,
+                op2: Operand2::Imm(self.frame_size),
+            });
+        } else {
+            self.emit_mov_imm(p, Reg::R3, self.frame_size);
+            p.push(Instr::Sub {
+                rd: Reg::Sp,
+                rn: Reg::Sp,
+                op2: Operand2::Reg(Reg::R3),
+            });
+        }
+        let param_regs = [Reg::R0, Reg::R1, Reg::R2, Reg::R3];
+        for (i, param) in self.function.params.iter().enumerate().take(4) {
+            self.emit_sp_store(p, param_regs[i], self.slot(*param));
+        }
+        if self.cfi_enabled() {
+            self.emit_cfi_write_const(p, CFI_REPLACE_ADDR, self.signatures.signature(0));
+        }
+        p.push(Instr::B {
+            target: Target::label(self.block_label(self.function.entry())),
+        });
+
+        // Blocks.
+        let mut edge_stubs: Vec<(String, Vec<Instr>, String)> = Vec::new();
+        for (block_id, block) in self.function.iter_blocks() {
+            p.label(self.block_label(block_id));
+            for inst in &block.insts {
+                self.emit_inst(p, &inst.op, inst.result, block_id)?;
+            }
+            let Some(term) = &block.terminator else {
+                return Err(CodegenError::Unsupported {
+                    function: self.function.name.clone(),
+                    message: format!("block '{}' has no terminator", block.name),
+                });
+            };
+            self.emit_terminator(p, block_id, term, &mut edge_stubs)?;
+        }
+
+        // Edge stubs (CFI updates on CFG edges).
+        for (label, body, target) in edge_stubs {
+            p.label(label);
+            p.extend(body);
+            p.push(Instr::B {
+                target: Target::label(target),
+            });
+        }
+        Ok(())
+    }
+
+    fn emit_inst(
+        &mut self,
+        p: &mut ProgramBuilder,
+        op: &Op,
+        result: Option<ValueId>,
+        block: BlockId,
+    ) -> Result<(), CodegenError> {
+        match op {
+            Op::Bin { op, lhs, rhs } => {
+                self.emit_operand(p, Reg::R0, *lhs);
+                self.emit_operand(p, Reg::R1, *rhs);
+                match op {
+                    BinOp::Add => p.push(Instr::Add {
+                        rd: Reg::R2,
+                        rn: Reg::R0,
+                        op2: Operand2::Reg(Reg::R1),
+                    }),
+                    BinOp::Sub => p.push(Instr::Sub {
+                        rd: Reg::R2,
+                        rn: Reg::R0,
+                        op2: Operand2::Reg(Reg::R1),
+                    }),
+                    BinOp::Mul => p.push(Instr::Mul {
+                        rd: Reg::R2,
+                        rn: Reg::R0,
+                        rm: Reg::R1,
+                    }),
+                    BinOp::UDiv => p.push(Instr::Udiv {
+                        rd: Reg::R2,
+                        rn: Reg::R0,
+                        rm: Reg::R1,
+                    }),
+                    BinOp::URem => {
+                        p.push(Instr::Udiv {
+                            rd: Reg::R2,
+                            rn: Reg::R0,
+                            rm: Reg::R1,
+                        });
+                        p.push(Instr::Mls {
+                            rd: Reg::R2,
+                            rn: Reg::R2,
+                            rm: Reg::R1,
+                            ra: Reg::R0,
+                        });
+                    }
+                    BinOp::And => p.push(Instr::And {
+                        rd: Reg::R2,
+                        rn: Reg::R0,
+                        op2: Operand2::Reg(Reg::R1),
+                    }),
+                    BinOp::Or => p.push(Instr::Orr {
+                        rd: Reg::R2,
+                        rn: Reg::R0,
+                        op2: Operand2::Reg(Reg::R1),
+                    }),
+                    BinOp::Xor => p.push(Instr::Eor {
+                        rd: Reg::R2,
+                        rn: Reg::R0,
+                        op2: Operand2::Reg(Reg::R1),
+                    }),
+                    BinOp::Shl => p.push(Instr::Lsl {
+                        rd: Reg::R2,
+                        rn: Reg::R0,
+                        op2: Operand2::Reg(Reg::R1),
+                    }),
+                    BinOp::LShr => p.push(Instr::Lsr {
+                        rd: Reg::R2,
+                        rn: Reg::R0,
+                        op2: Operand2::Reg(Reg::R1),
+                    }),
+                    BinOp::AShr => p.push(Instr::Asr {
+                        rd: Reg::R2,
+                        rn: Reg::R0,
+                        op2: Operand2::Reg(Reg::R1),
+                    }),
+                }
+                self.emit_result(p, Reg::R2, result);
+            }
+            Op::Cmp { pred, lhs, rhs } => {
+                self.emit_operand(p, Reg::R0, *lhs);
+                self.emit_operand(p, Reg::R1, *rhs);
+                p.push(Instr::Cmp {
+                    rn: Reg::R0,
+                    op2: Operand2::Reg(Reg::R1),
+                });
+                let done = self.fresh_label("cmp");
+                self.emit_mov_imm(p, Reg::R2, 1);
+                p.push(Instr::BCond {
+                    cond: cond_for(*pred),
+                    target: Target::label(done.clone()),
+                });
+                self.emit_mov_imm(p, Reg::R2, 0);
+                p.label(done);
+                self.emit_result(p, Reg::R2, result);
+            }
+            Op::Select {
+                cond,
+                if_true,
+                if_false,
+            } => {
+                self.emit_operand(p, Reg::R0, *cond);
+                self.emit_operand(p, Reg::R1, *if_true);
+                self.emit_operand(p, Reg::R2, *if_false);
+                p.push(Instr::Cmp {
+                    rn: Reg::R0,
+                    op2: Operand2::Imm(0),
+                });
+                let done = self.fresh_label("sel");
+                p.push(Instr::BCond {
+                    cond: Cond::Ne,
+                    target: Target::label(done.clone()),
+                });
+                p.push(Instr::Mov {
+                    rd: Reg::R1,
+                    rm: Reg::R2,
+                });
+                p.label(done);
+                self.emit_result(p, Reg::R1, result);
+            }
+            Op::Load { addr, width } => {
+                self.emit_operand(p, Reg::R0, *addr);
+                match width {
+                    MemWidth::Word => p.push(Instr::Ldr {
+                        rt: Reg::R2,
+                        rn: Reg::R0,
+                        offset: 0,
+                    }),
+                    MemWidth::Byte => p.push(Instr::Ldrb {
+                        rt: Reg::R2,
+                        rn: Reg::R0,
+                        offset: 0,
+                    }),
+                }
+                self.emit_result(p, Reg::R2, result);
+            }
+            Op::Store { addr, value, width } => {
+                self.emit_operand(p, Reg::R0, *addr);
+                self.emit_operand(p, Reg::R1, *value);
+                match width {
+                    MemWidth::Word => p.push(Instr::Str {
+                        rt: Reg::R1,
+                        rn: Reg::R0,
+                        offset: 0,
+                    }),
+                    MemWidth::Byte => p.push(Instr::Strb {
+                        rt: Reg::R1,
+                        rn: Reg::R0,
+                        offset: 0,
+                    }),
+                }
+            }
+            Op::LocalAddr { local } => {
+                let offset = self.local_offset(*local);
+                if offset < 4096 {
+                    p.push(Instr::Add {
+                        rd: Reg::R2,
+                        rn: Reg::Sp,
+                        op2: Operand2::Imm(offset),
+                    });
+                } else {
+                    self.emit_mov_imm(p, Reg::R2, offset);
+                    p.push(Instr::Add {
+                        rd: Reg::R2,
+                        rn: Reg::Sp,
+                        op2: Operand2::Reg(Reg::R2),
+                    });
+                }
+                self.emit_result(p, Reg::R2, result);
+            }
+            Op::GlobalAddr { name } => {
+                let addr =
+                    self.globals
+                        .get(name)
+                        .copied()
+                        .ok_or_else(|| CodegenError::UnknownGlobal {
+                            name: name.clone(),
+                            function: self.function.name.clone(),
+                        })?;
+                self.emit_mov_imm(p, Reg::R2, addr);
+                self.emit_result(p, Reg::R2, result);
+            }
+            Op::Call { callee, args } => {
+                if args.len() > 4 {
+                    return Err(CodegenError::Unsupported {
+                        function: self.function.name.clone(),
+                        message: format!("call to '{callee}' passes more than 4 arguments"),
+                    });
+                }
+                let regs = [Reg::R0, Reg::R1, Reg::R2, Reg::R3];
+                for (i, arg) in args.iter().enumerate() {
+                    self.emit_operand(p, regs[i], *arg);
+                }
+                p.push(Instr::Bl {
+                    target: Target::label(callee.clone()),
+                });
+                // The callee replaced the CFI state; restore this block's
+                // signature (the state-replacement technique at call
+                // boundaries).
+                if self.cfi_enabled() {
+                    self.emit_cfi_write_const(
+                        p,
+                        CFI_REPLACE_ADDR,
+                        self.signatures.signature(block.0 as usize),
+                    );
+                }
+                self.emit_result(p, Reg::R0, result);
+            }
+            Op::EncodedCompare {
+                pred,
+                lhs,
+                rhs,
+                a,
+                c,
+            } => {
+                // Operand order realises the predicate (Table I).
+                let (first, second) = match pred {
+                    Predicate::Ult | Predicate::Uge | Predicate::Eq | Predicate::Ne => (*lhs, *rhs),
+                    Predicate::Ugt | Predicate::Ule => (*rhs, *lhs),
+                };
+                self.emit_operand(p, Reg::R0, first);
+                self.emit_operand(p, Reg::R1, second);
+                p.extend(crate::snippet::encoded_compare_core(*pred, *a, *c));
+                self.emit_result(p, Reg::R2, result);
+            }
+        }
+        Ok(())
+    }
+
+    fn emit_terminator(
+        &mut self,
+        p: &mut ProgramBuilder,
+        block: BlockId,
+        term: &Terminator,
+        edge_stubs: &mut Vec<(String, Vec<Instr>, String)>,
+    ) -> Result<(), CodegenError> {
+        match term {
+            Terminator::Jump(target) => {
+                let dest = self.edge(block, *target, None, None, edge_stubs);
+                p.push(Instr::B {
+                    target: Target::label(dest),
+                });
+            }
+            Terminator::Branch {
+                cond,
+                if_true,
+                if_false,
+                protection,
+            } => {
+                self.emit_operand(p, Reg::R0, *cond);
+                p.push(Instr::Cmp {
+                    rn: Reg::R0,
+                    op2: Operand2::Imm(0),
+                });
+                let (true_sym, false_sym, cond_value) = match protection {
+                    Some(prot) => (
+                        Some(prot.true_symbol),
+                        Some(prot.false_symbol),
+                        Some(prot.condition),
+                    ),
+                    None => (None, None, None),
+                };
+                let true_dest = self.edge(
+                    block,
+                    *if_true,
+                    true_sym.map(|s| (s, cond_value.expect("protected"))),
+                    Some("t"),
+                    edge_stubs,
+                );
+                let false_dest = self.edge(
+                    block,
+                    *if_false,
+                    false_sym.map(|s| (s, cond_value.expect("protected"))),
+                    Some("f"),
+                    edge_stubs,
+                );
+                p.push(Instr::BCond {
+                    cond: Cond::Ne,
+                    target: Target::label(true_dest),
+                });
+                p.push(Instr::B {
+                    target: Target::label(false_dest),
+                });
+            }
+            Terminator::Switch { .. } => {
+                return Err(CodegenError::Unsupported {
+                    function: self.function.name.clone(),
+                    message: "switch terminators must be lowered before code generation"
+                        .to_string(),
+                });
+            }
+            Terminator::Ret(value) => {
+                if let Some(v) = value {
+                    self.emit_operand(p, Reg::R0, *v);
+                }
+                if self.cfi_enabled() {
+                    self.emit_cfi_write_const(
+                        p,
+                        CFI_CHECK_ADDR,
+                        self.signatures.signature(block.0 as usize),
+                    );
+                }
+                if self.frame_size < 4096 {
+                    p.push(Instr::Add {
+                        rd: Reg::Sp,
+                        rn: Reg::Sp,
+                        op2: Operand2::Imm(self.frame_size),
+                    });
+                } else {
+                    self.emit_mov_imm(p, Reg::R3, self.frame_size);
+                    p.push(Instr::Add {
+                        rd: Reg::Sp,
+                        rn: Reg::Sp,
+                        op2: Operand2::Reg(Reg::R3),
+                    });
+                }
+                p.push(Instr::Pop {
+                    regs: vec![Reg::Pc],
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Returns the label a control transfer on the edge `from -> to` should
+    /// target. Without CFI this is the successor block itself; with CFI a
+    /// per-edge stub applies the GPSA update (and, for protected edges, the
+    /// merge of the condition value) before continuing.
+    fn edge(
+        &mut self,
+        from: BlockId,
+        to: BlockId,
+        protection: Option<(u32, Operand)>,
+        kind: Option<&str>,
+        edge_stubs: &mut Vec<(String, Vec<Instr>, String)>,
+    ) -> String {
+        if !self.cfi_enabled() {
+            return self.block_label(to);
+        }
+        let label = format!(
+            "{}.e{}_{}{}",
+            self.function.name,
+            from.0,
+            to.0,
+            kind.unwrap_or("j")
+        );
+        if edge_stubs.iter().any(|(l, _, _)| *l == label) {
+            return label;
+        }
+        let sig_from = self.signatures.signature(from.0 as usize);
+        let sig_to = self.signatures.signature(to.0 as usize);
+        let mut body = Vec::new();
+        let mut stub = ProgramBuilder::new();
+        match protection {
+            None => {
+                self.emit_cfi_write_const(&mut stub, CFI_UPDATE_ADDR, edge_update(sig_from, sig_to));
+            }
+            Some((expected_symbol, condition)) => {
+                // Merge the runtime condition value and the edge constant
+                // that cancels the expected symbol (Section III).
+                self.emit_operand(&mut stub, Reg::R2, condition);
+                self.emit_cfi_write_reg(&mut stub, CFI_UPDATE_ADDR, Reg::R2);
+                self.emit_cfi_write_const(
+                    &mut stub,
+                    CFI_UPDATE_ADDR,
+                    protected_edge_update(sig_from, sig_to, expected_symbol),
+                );
+            }
+        }
+        // Extract the raw instructions out of the temporary builder.
+        let assembled = stub.assemble().expect("stub has no labels to resolve");
+        body.extend(assembled.instructions().iter().cloned());
+        edge_stubs.push((label.clone(), body, self.block_label(to)));
+        label
+    }
+}
+
+fn cond_for(pred: Predicate) -> Cond {
+    match pred {
+        Predicate::Eq => Cond::Eq,
+        Predicate::Ne => Cond::Ne,
+        Predicate::Ult => Cond::Lo,
+        Predicate::Ule => Cond::Ls,
+        Predicate::Ugt => Cond::Hi,
+        Predicate::Uge => Cond::Hs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use secbranch_ir::builder::FunctionBuilder;
+    use secbranch_ir::{interp, Module as IrModule};
+
+    fn compile_and_run(
+        module: &IrModule,
+        options: &CodegenOptions,
+        entry: &str,
+        args: &[u32],
+    ) -> secbranch_armv7m::ExecResult {
+        let compiled = compile(module, options).expect("compiles");
+        let mut sim = compiled.into_simulator(256 * 1024);
+        sim.call(entry, args, 10_000_000).expect("runs")
+    }
+
+    fn abs_diff_module() -> IrModule {
+        let mut b = FunctionBuilder::new("abs_diff", 2);
+        let (x, y) = (b.param(0), b.param(1));
+        let t = b.create_block("t");
+        let e = b.create_block("e");
+        let c = b.cmp(Predicate::Uge, x, y);
+        b.branch(c, t, e);
+        b.switch_to(t);
+        let d = b.bin(BinOp::Sub, x, y);
+        b.ret(Some(d));
+        b.switch_to(e);
+        let d = b.bin(BinOp::Sub, y, x);
+        b.ret(Some(d));
+        let mut m = IrModule::new();
+        m.add_function(b.finish());
+        m
+    }
+
+    #[test]
+    fn generated_code_matches_the_interpreter() {
+        let m = abs_diff_module();
+        for (x, y) in [(9u32, 3u32), (3, 9), (7, 7), (0, 65_535)] {
+            let expected = interp::run(&m, "abs_diff", &[x, y]).unwrap().return_value;
+            for cfi in [CfiLevel::None, CfiLevel::Full] {
+                let r = compile_and_run(&m, &CodegenOptions { cfi }, "abs_diff", &[x, y]);
+                assert_eq!(Some(r.return_value), expected, "{x},{y} cfi={cfi:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn cfi_instrumentation_is_clean_on_fault_free_runs() {
+        let m = abs_diff_module();
+        let r = compile_and_run(
+            &m,
+            &CodegenOptions { cfi: CfiLevel::Full },
+            "abs_diff",
+            &[10, 3],
+        );
+        assert!(r.cfi_checks >= 1);
+        assert_eq!(r.cfi_violations, 0);
+    }
+
+    #[test]
+    fn cfi_increases_code_size() {
+        let m = abs_diff_module();
+        let plain = compile(&m, &CodegenOptions { cfi: CfiLevel::None }).expect("compiles");
+        let cfi = compile(&m, &CodegenOptions { cfi: CfiLevel::Full }).expect("compiles");
+        assert!(cfi.code_size_bytes() > plain.code_size_bytes());
+        assert!(plain.function_size("abs_diff").expect("present") > 0);
+    }
+
+    #[test]
+    fn loops_globals_and_calls_work() {
+        // Build: sum_table(n) = sum of the first n words of @table, via a
+        // callee that adds one element.
+        let mut m = IrModule::new();
+        let words: Vec<u8> = (1u32..=8).flat_map(|w| w.to_le_bytes()).collect();
+        m.add_global("table", words, false);
+
+        let mut add = FunctionBuilder::new("accum", 2);
+        let s = add.bin(BinOp::Add, add.param(0), add.param(1));
+        add.ret(Some(s));
+        m.add_function(add.finish());
+
+        let mut b = FunctionBuilder::new("sum_table", 1);
+        let n = b.param(0);
+        let i = b.local("i", 4);
+        let acc = b.local("acc", 4);
+        b.store_local(i, 0u32);
+        b.store_local(acc, 0u32);
+        let header = b.create_block("header");
+        let body = b.create_block("body");
+        let exit = b.create_block("exit");
+        b.jump(header);
+        b.switch_to(header);
+        let iv = b.load_local(i);
+        let c = b.cmp(Predicate::Ult, iv, n);
+        b.branch(c, body, exit);
+        b.switch_to(body);
+        let iv = b.load_local(i);
+        let base = b.global_addr("table");
+        let off = b.bin(BinOp::Mul, iv, 4u32);
+        let addr = b.bin(BinOp::Add, base, off);
+        let w = b.load(addr);
+        let a = b.load_local(acc);
+        let a2 = b.call("accum", &[a, w]);
+        b.store_local(acc, a2);
+        let i2 = b.bin(BinOp::Add, iv, 1u32);
+        b.store_local(i, i2);
+        b.jump(header);
+        b.switch_to(exit);
+        let a = b.load_local(acc);
+        b.ret(Some(a));
+        m.add_function(b.finish());
+
+        for cfi in [CfiLevel::None, CfiLevel::Full] {
+            let r = compile_and_run(&m, &CodegenOptions { cfi }, "sum_table", &[8]);
+            assert_eq!(r.return_value, 36, "cfi={cfi:?}");
+            if matches!(cfi, CfiLevel::Full) {
+                assert_eq!(r.cfi_violations, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn protected_branches_execute_cleanly_and_detect_symbol_corruption() {
+        use secbranch_passes::{standard_protection_pipeline, AnCoderConfig};
+
+        let mut b = FunctionBuilder::new("check", 2);
+        b.protect_branches();
+        let grant = b.create_block("grant");
+        let deny = b.create_block("deny");
+        let cond = b.cmp(Predicate::Eq, b.param(0), b.param(1));
+        b.branch(cond, grant, deny);
+        b.switch_to(grant);
+        b.ret(Some(1u32.into()));
+        b.switch_to(deny);
+        b.ret(Some(0u32.into()));
+        let mut m = IrModule::new();
+        m.add_function(b.finish());
+        standard_protection_pipeline(AnCoderConfig::default())
+            .run(&mut m)
+            .expect("pipeline");
+
+        // Fault-free: correct result, clean CFI.
+        for (x, y, expect) in [(5u32, 5u32, 1u32), (5, 6, 0)] {
+            let r = compile_and_run(
+                &m,
+                &CodegenOptions { cfi: CfiLevel::Full },
+                "check",
+                &[x, y],
+            );
+            assert_eq!(r.return_value, expect);
+            assert_eq!(r.cfi_violations, 0);
+        }
+
+        // Unprotected variant (CFI off) still computes correctly.
+        let r = compile_and_run(&m, &CodegenOptions { cfi: CfiLevel::None }, "check", &[7, 7]);
+        assert_eq!(r.return_value, 1);
+    }
+
+    #[test]
+    fn unlowered_switch_is_rejected() {
+        let mut b = FunctionBuilder::new("sw", 1);
+        let a = b.create_block("a");
+        let d = b.create_block("d");
+        b.switch(b.param(0), d, &[(1, a)]);
+        b.switch_to(a);
+        b.ret(Some(1u32.into()));
+        b.switch_to(d);
+        b.ret(Some(0u32.into()));
+        let mut m = IrModule::new();
+        m.add_function(b.finish());
+        assert!(matches!(
+            compile(&m, &CodegenOptions::default()),
+            Err(CodegenError::Unsupported { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_global_is_rejected() {
+        let mut b = FunctionBuilder::new("g", 0);
+        let a = b.global_addr("missing");
+        b.ret(Some(a));
+        let mut m = IrModule::new();
+        m.add_function(b.finish());
+        // The verifier would also reject this, but the back end must not
+        // panic when handed an unverified module.
+        assert!(matches!(
+            compile(&m, &CodegenOptions::default()),
+            Err(CodegenError::UnknownGlobal { .. })
+        ));
+    }
+}

@@ -1,0 +1,61 @@
+//! The secbranch back end: instruction selection from the IR to the
+//! ARMv7-M-like target, a simple stack-based register allocation, and the
+//! CFI instrumentation that links protected branches into the CFI state
+//! (the architecture/CFI-specific part of the paper's Figure 3 pipeline).
+//!
+//! The code generator is deliberately simple (every IR value lives in a stack
+//! slot, instructions load their operands into scratch registers and store
+//! their result back). This inflates absolute code size and cycle counts
+//! uniformly across all protection variants, so the *relative* overheads the
+//! paper reports (CFI baseline vs. duplication vs. the AN-code prototype)
+//! remain meaningful — see `EXPERIMENTS.md` for the measured numbers.
+//!
+//! CFI instrumentation follows the GPSA model of `secbranch-cfi`: every CFG
+//! edge gets a small stub that applies the edge's XOR update to the
+//! memory-mapped CFI unit; edges leaving a *protected* branch additionally
+//! store the redundant condition value, so only the correct symbol on the
+//! correct edge reproduces the successor's signature (Section III of the
+//! paper). Function entries replace the state, returns check it.
+//!
+//! # Example
+//!
+//! ```
+//! use secbranch_codegen::{compile, CodegenOptions};
+//! use secbranch_ir::{builder::FunctionBuilder, BinOp, Module};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut b = FunctionBuilder::new("triple", 1);
+//! let r = b.bin(BinOp::Mul, b.param(0), 3u32);
+//! b.ret(Some(r));
+//! let mut module = Module::new();
+//! module.add_function(b.finish());
+//!
+//! let compiled = compile(&module, &CodegenOptions::default())?;
+//! let mut sim = compiled.into_simulator(64 * 1024);
+//! assert_eq!(sim.call("triple", &[14], 10_000)?.return_value, 42);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod isel;
+pub mod snippet;
+
+pub use error::CodegenError;
+pub use isel::{compile, CfiLevel, CodegenOptions, CompiledModule};
+
+#[cfg(test)]
+mod crate_tests {
+    use super::*;
+
+    #[test]
+    fn public_types_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CodegenError>();
+        assert_send_sync::<CodegenOptions>();
+        assert_send_sync::<CompiledModule>();
+    }
+}

@@ -1,0 +1,319 @@
+//! `secbranch` — protected conditional branches against fault attacks.
+//!
+//! This is the facade crate of the reproduction of *Securing Conditional
+//! Branches in the Presence of Fault Attacks* (Schilling, Werner, Mangard —
+//! DATE 2018). It ties the substrate crates together into the end-to-end
+//! pipeline of the paper's Figure 3 and exposes the measurement interface
+//! used by the benchmark harness:
+//!
+//! * [`ProtectionVariant`] — the countermeasure configurations compared in
+//!   the evaluation: unprotected, CFI only, N-fold branch duplication, and
+//!   the AN-code protected prototype.
+//! * [`build`] — runs the middle-end passes and the back end for a variant
+//!   and returns the compiled module.
+//! * [`measure`] — compiles and executes a workload on the ARMv7-M simulator
+//!   and reports code size, cycles and CFI statistics (the quantities of
+//!   Table III).
+//!
+//! The individual building blocks are re-exported under their own names
+//! ([`ancode`], [`ir`], [`passes`], [`cfi`], [`armv7m`], [`codegen`],
+//! [`fault`], [`programs`]).
+//!
+//! # Example: protecting a password check
+//!
+//! ```
+//! use secbranch::{build, measure, ProtectionVariant};
+//! use secbranch::programs::password_check_module;
+//!
+//! # fn main() -> Result<(), secbranch::BuildError> {
+//! let module = password_check_module(8);
+//! let protected = measure(&module, ProtectionVariant::AnCode, "password_check", &[])?;
+//! let baseline = measure(&module, ProtectionVariant::CfiOnly, "password_check", &[])?;
+//! assert_eq!(protected.result.return_value, baseline.result.return_value);
+//! assert!(protected.code_size_bytes > baseline.code_size_bytes);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::error::Error;
+use std::fmt;
+
+pub use secbranch_ancode as ancode;
+pub use secbranch_armv7m as armv7m;
+pub use secbranch_cfi as cfi;
+pub use secbranch_codegen as codegen;
+pub use secbranch_fault as fault;
+pub use secbranch_ir as ir;
+pub use secbranch_passes as passes;
+pub use secbranch_programs as programs;
+
+use secbranch_armv7m::ExecResult;
+use secbranch_codegen::{compile, CfiLevel, CodegenOptions, CompiledModule};
+use secbranch_passes::{
+    duplication_pipeline, standard_protection_pipeline, AnCoderConfig, DuplicationConfig,
+};
+
+/// The protection configurations the evaluation compares (Table III).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProtectionVariant {
+    /// No countermeasure at all (not part of Table III, but useful as an
+    /// absolute reference).
+    Unprotected,
+    /// Only the GPSA CFI instrumentation (the paper's "CFI" baseline column).
+    CfiOnly,
+    /// CFI plus the state-of-the-art duplication countermeasure with the
+    /// given order (the paper uses 6).
+    Duplication(u32),
+    /// CFI plus the paper's AN-code branch protection (the "Prototype"
+    /// column).
+    AnCode,
+}
+
+impl ProtectionVariant {
+    /// The variants of Table III in column order.
+    pub const TABLE_THREE: [ProtectionVariant; 3] = [
+        ProtectionVariant::CfiOnly,
+        ProtectionVariant::Duplication(6),
+        ProtectionVariant::AnCode,
+    ];
+
+    /// A short human-readable label.
+    #[must_use]
+    pub fn label(&self) -> String {
+        match self {
+            ProtectionVariant::Unprotected => "unprotected".to_string(),
+            ProtectionVariant::CfiOnly => "cfi".to_string(),
+            ProtectionVariant::Duplication(order) => format!("duplication(x{order})"),
+            ProtectionVariant::AnCode => "prototype".to_string(),
+        }
+    }
+}
+
+/// Errors produced while building or measuring a variant.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum BuildError {
+    /// A middle-end pass failed.
+    Pass(secbranch_passes::PassError),
+    /// The back end failed.
+    Codegen(secbranch_codegen::CodegenError),
+    /// The simulator failed to execute the workload.
+    Simulation(secbranch_armv7m::SimError),
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::Pass(e) => write!(f, "pass pipeline failed: {e}"),
+            BuildError::Codegen(e) => write!(f, "code generation failed: {e}"),
+            BuildError::Simulation(e) => write!(f, "simulation failed: {e}"),
+        }
+    }
+}
+
+impl Error for BuildError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            BuildError::Pass(e) => Some(e),
+            BuildError::Codegen(e) => Some(e),
+            BuildError::Simulation(e) => Some(e),
+        }
+    }
+}
+
+impl From<secbranch_passes::PassError> for BuildError {
+    fn from(e: secbranch_passes::PassError) -> Self {
+        BuildError::Pass(e)
+    }
+}
+
+impl From<secbranch_codegen::CodegenError> for BuildError {
+    fn from(e: secbranch_codegen::CodegenError) -> Self {
+        BuildError::Codegen(e)
+    }
+}
+
+impl From<secbranch_armv7m::SimError> for BuildError {
+    fn from(e: secbranch_armv7m::SimError) -> Self {
+        BuildError::Simulation(e)
+    }
+}
+
+/// Applies the middle-end passes of the given variant to a copy of `module`
+/// and compiles it.
+///
+/// # Errors
+///
+/// Returns [`BuildError`] if a pass or the back end fails.
+pub fn build(
+    module: &ir::Module,
+    variant: ProtectionVariant,
+) -> Result<CompiledModule, BuildError> {
+    let mut module = module.clone();
+    let cfi = match variant {
+        ProtectionVariant::Unprotected => CfiLevel::None,
+        ProtectionVariant::CfiOnly => CfiLevel::Full,
+        ProtectionVariant::Duplication(order) => {
+            duplication_pipeline(DuplicationConfig {
+                order,
+                ..DuplicationConfig::default()
+            })
+            .run(&mut module)?;
+            CfiLevel::Full
+        }
+        ProtectionVariant::AnCode => {
+            standard_protection_pipeline(AnCoderConfig::default()).run(&mut module)?;
+            CfiLevel::Full
+        }
+    };
+    Ok(compile(&module, &CodegenOptions { cfi })?)
+}
+
+/// The measurement record of one workload under one variant (the quantities
+/// reported in Table III).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Measurement {
+    /// The variant that was measured.
+    pub variant_label: String,
+    /// Total code size of the compiled module in bytes.
+    pub code_size_bytes: u32,
+    /// Code size of the entry function alone.
+    pub entry_size_bytes: u32,
+    /// The execution result (return value, cycles, instructions, CFI
+    /// statistics).
+    pub result: ExecResult,
+}
+
+impl Measurement {
+    /// Relative overhead of this measurement's code size against a baseline,
+    /// in percent.
+    #[must_use]
+    pub fn size_overhead_percent(&self, baseline: &Measurement) -> f64 {
+        overhead_percent(self.code_size_bytes as f64, baseline.code_size_bytes as f64)
+    }
+
+    /// Relative overhead of this measurement's cycle count against a
+    /// baseline, in percent.
+    #[must_use]
+    pub fn runtime_overhead_percent(&self, baseline: &Measurement) -> f64 {
+        overhead_percent(self.result.cycles as f64, baseline.result.cycles as f64)
+    }
+}
+
+fn overhead_percent(value: f64, baseline: f64) -> f64 {
+    if baseline == 0.0 {
+        0.0
+    } else {
+        (value - baseline) / baseline * 100.0
+    }
+}
+
+/// Default guest memory size used by [`measure`] (enough for the bootloader
+/// image plus stack).
+pub const DEFAULT_MEMORY_SIZE: u32 = 1 << 20;
+
+/// Default dynamic instruction budget used by [`measure`].
+pub const DEFAULT_MAX_STEPS: u64 = 500_000_000;
+
+/// Builds the variant, runs `entry(args)` on the simulator and reports the
+/// measurement.
+///
+/// # Errors
+///
+/// Returns [`BuildError`] if building or executing the workload fails.
+pub fn measure(
+    module: &ir::Module,
+    variant: ProtectionVariant,
+    entry: &str,
+    args: &[u32],
+) -> Result<Measurement, BuildError> {
+    let compiled = build(module, variant)?;
+    let code_size_bytes = compiled.code_size_bytes();
+    let entry_size_bytes = compiled.function_size(entry).unwrap_or(0);
+    let mut sim = compiled.into_simulator(DEFAULT_MEMORY_SIZE);
+    let result = sim.call(entry, args, DEFAULT_MAX_STEPS)?;
+    Ok(Measurement {
+        variant_label: variant.label(),
+        code_size_bytes,
+        entry_size_bytes,
+        result,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use secbranch_programs::{integer_compare_module, memcmp_module, GRANT};
+
+    #[test]
+    fn variants_have_labels_and_table_order() {
+        assert_eq!(ProtectionVariant::CfiOnly.label(), "cfi");
+        assert_eq!(ProtectionVariant::Duplication(6).label(), "duplication(x6)");
+        assert_eq!(ProtectionVariant::AnCode.label(), "prototype");
+        assert_eq!(ProtectionVariant::TABLE_THREE.len(), 3);
+    }
+
+    #[test]
+    fn all_variants_produce_the_same_functional_result() {
+        let module = integer_compare_module();
+        for variant in [
+            ProtectionVariant::Unprotected,
+            ProtectionVariant::CfiOnly,
+            ProtectionVariant::Duplication(6),
+            ProtectionVariant::AnCode,
+        ] {
+            let equal = measure(&module, variant, "integer_compare", &[500, 500]).expect("runs");
+            let unequal = measure(&module, variant, "integer_compare", &[500, 501]).expect("runs");
+            assert_eq!(equal.result.return_value, 1, "{variant:?}");
+            assert_eq!(unequal.result.return_value, 0, "{variant:?}");
+            if variant != ProtectionVariant::Unprotected {
+                assert_eq!(equal.result.cfi_violations, 0, "{variant:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn protection_adds_measurable_overhead_over_the_cfi_baseline() {
+        let module = memcmp_module(16);
+        let baseline =
+            measure(&module, ProtectionVariant::CfiOnly, "memcmp_bench", &[]).expect("runs");
+        let duplication =
+            measure(&module, ProtectionVariant::Duplication(6), "memcmp_bench", &[]).expect("runs");
+        let prototype =
+            measure(&module, ProtectionVariant::AnCode, "memcmp_bench", &[]).expect("runs");
+        assert_eq!(baseline.result.return_value, 1);
+        assert_eq!(duplication.result.return_value, 1);
+        assert_eq!(prototype.result.return_value, 1);
+        assert!(duplication.size_overhead_percent(&baseline) > 0.0);
+        assert!(prototype.size_overhead_percent(&baseline) > 0.0);
+        assert!(prototype.runtime_overhead_percent(&baseline) > 0.0);
+    }
+
+    #[test]
+    fn password_check_example_from_the_crate_docs_works() {
+        let module = secbranch_programs::password_check_module(8);
+        let m = measure(&module, ProtectionVariant::AnCode, "password_check", &[]).expect("runs");
+        assert_eq!(m.result.return_value, GRANT);
+        assert!(m.result.cfi_clean());
+    }
+
+    #[test]
+    fn overhead_percent_handles_zero_baseline() {
+        let a = Measurement {
+            variant_label: "a".to_string(),
+            code_size_bytes: 10,
+            entry_size_bytes: 10,
+            result: ExecResult {
+                return_value: 0,
+                cycles: 0,
+                instructions: 0,
+                cfi_checks: 0,
+                cfi_violations: 0,
+            },
+        };
+        assert_eq!(a.runtime_overhead_percent(&a), 0.0);
+    }
+}

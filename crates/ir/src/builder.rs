@@ -1,0 +1,396 @@
+//! A convenience builder for constructing IR functions.
+//!
+//! The builder keeps track of the "current" block; instruction-emitting
+//! methods append to it and return the defined value. Terminator methods
+//! close the current block. See the crate-level example.
+
+use crate::function::Function;
+use crate::inst::{
+    BinOp, BlockId, BranchProtection, Inst, LocalId, MemWidth, Op, Operand, Predicate, Terminator,
+    ValueId,
+};
+
+/// Builder for a single [`Function`].
+#[derive(Debug)]
+pub struct FunctionBuilder {
+    function: Function,
+    current: BlockId,
+}
+
+impl FunctionBuilder {
+    /// Starts building a function with `param_count` parameters; the current
+    /// block is the entry block.
+    #[must_use]
+    pub fn new(name: impl Into<String>, param_count: usize) -> Self {
+        let function = Function::new(name, param_count);
+        let current = function.entry();
+        FunctionBuilder { function, current }
+    }
+
+    /// Marks the function with the paper's `protect_branches` attribute.
+    pub fn protect_branches(&mut self) -> &mut Self {
+        self.function.attrs.protect_branches = true;
+        self
+    }
+
+    /// The `index`-th parameter as an operand.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    #[must_use]
+    pub fn param(&self, index: usize) -> Operand {
+        Operand::Value(self.function.params[index])
+    }
+
+    /// Declares a stack slot of `size_bytes` bytes.
+    pub fn local(&mut self, name: impl Into<String>, size_bytes: u32) -> LocalId {
+        self.function.add_local(name, size_bytes)
+    }
+
+    /// Creates a new block (does not switch to it).
+    pub fn create_block(&mut self, name: impl Into<String>) -> BlockId {
+        self.function.add_block(name)
+    }
+
+    /// Makes `block` the current insertion point.
+    pub fn switch_to(&mut self, block: BlockId) {
+        self.current = block;
+    }
+
+    /// The current insertion block.
+    #[must_use]
+    pub fn current_block(&self) -> BlockId {
+        self.current
+    }
+
+    fn push(&mut self, op: Op) -> ValueId {
+        let result = self.function.fresh_value();
+        self.function.block_mut(self.current).insts.push(Inst {
+            result: Some(result),
+            op,
+        });
+        result
+    }
+
+    fn push_void(&mut self, op: Op) {
+        self.function
+            .block_mut(self.current)
+            .insts
+            .push(Inst { result: None, op });
+    }
+
+    /// Emits a binary operation and returns its result.
+    pub fn bin(&mut self, op: BinOp, lhs: impl Into<Operand>, rhs: impl Into<Operand>) -> Operand {
+        Operand::Value(self.push(Op::Bin {
+            op,
+            lhs: lhs.into(),
+            rhs: rhs.into(),
+        }))
+    }
+
+    /// Emits a comparison producing 0 or 1.
+    pub fn cmp(
+        &mut self,
+        pred: Predicate,
+        lhs: impl Into<Operand>,
+        rhs: impl Into<Operand>,
+    ) -> Operand {
+        Operand::Value(self.push(Op::Cmp {
+            pred,
+            lhs: lhs.into(),
+            rhs: rhs.into(),
+        }))
+    }
+
+    /// Emits a select.
+    pub fn select(
+        &mut self,
+        cond: impl Into<Operand>,
+        if_true: impl Into<Operand>,
+        if_false: impl Into<Operand>,
+    ) -> Operand {
+        Operand::Value(self.push(Op::Select {
+            cond: cond.into(),
+            if_true: if_true.into(),
+            if_false: if_false.into(),
+        }))
+    }
+
+    /// Emits a word load.
+    pub fn load(&mut self, addr: impl Into<Operand>) -> Operand {
+        Operand::Value(self.push(Op::Load {
+            addr: addr.into(),
+            width: MemWidth::Word,
+        }))
+    }
+
+    /// Emits a byte load.
+    pub fn load_byte(&mut self, addr: impl Into<Operand>) -> Operand {
+        Operand::Value(self.push(Op::Load {
+            addr: addr.into(),
+            width: MemWidth::Byte,
+        }))
+    }
+
+    /// Emits a word store.
+    pub fn store(&mut self, addr: impl Into<Operand>, value: impl Into<Operand>) {
+        self.push_void(Op::Store {
+            addr: addr.into(),
+            value: value.into(),
+            width: MemWidth::Word,
+        });
+    }
+
+    /// Emits a byte store.
+    pub fn store_byte(&mut self, addr: impl Into<Operand>, value: impl Into<Operand>) {
+        self.push_void(Op::Store {
+            addr: addr.into(),
+            value: value.into(),
+            width: MemWidth::Byte,
+        });
+    }
+
+    /// Emits the address of a stack slot.
+    pub fn local_addr(&mut self, local: LocalId) -> Operand {
+        Operand::Value(self.push(Op::LocalAddr { local }))
+    }
+
+    /// Emits the address of a module global.
+    pub fn global_addr(&mut self, name: impl Into<String>) -> Operand {
+        Operand::Value(self.push(Op::GlobalAddr { name: name.into() }))
+    }
+
+    /// Emits a call; the result is the callee's return value.
+    pub fn call(&mut self, callee: impl Into<String>, args: &[Operand]) -> Operand {
+        Operand::Value(self.push(Op::Call {
+            callee: callee.into(),
+            args: args.to_vec(),
+        }))
+    }
+
+    /// Emits the paper's encoded comparison (normally inserted by the AN
+    /// Coder pass, but exposed for hand-written protected code and tests).
+    pub fn encoded_compare(
+        &mut self,
+        pred: Predicate,
+        lhs: impl Into<Operand>,
+        rhs: impl Into<Operand>,
+        a: u32,
+        c: u32,
+    ) -> Operand {
+        Operand::Value(self.push(Op::EncodedCompare {
+            pred,
+            lhs: lhs.into(),
+            rhs: rhs.into(),
+            a,
+            c,
+        }))
+    }
+
+    /// Convenience: loads a local scalar (word) variable.
+    pub fn load_local(&mut self, local: LocalId) -> Operand {
+        let addr = self.local_addr(local);
+        self.load(addr)
+    }
+
+    /// Convenience: stores to a local scalar (word) variable.
+    pub fn store_local(&mut self, local: LocalId, value: impl Into<Operand>) {
+        let addr = self.local_addr(local);
+        self.store(addr, value);
+    }
+
+    /// Terminates the current block with an unconditional jump.
+    pub fn jump(&mut self, target: BlockId) {
+        self.terminate(Terminator::Jump(target));
+    }
+
+    /// Terminates the current block with a conditional branch.
+    pub fn branch(&mut self, cond: impl Into<Operand>, if_true: BlockId, if_false: BlockId) {
+        self.terminate(Terminator::Branch {
+            cond: cond.into(),
+            if_true,
+            if_false,
+            protection: None,
+        });
+    }
+
+    /// Terminates the current block with a *protected* conditional branch
+    /// (used by hand-written protected code and tests; the AN Coder pass
+    /// produces the same shape automatically).
+    pub fn protected_branch(
+        &mut self,
+        cond: impl Into<Operand>,
+        if_true: BlockId,
+        if_false: BlockId,
+        protection: BranchProtection,
+    ) {
+        self.terminate(Terminator::Branch {
+            cond: cond.into(),
+            if_true,
+            if_false,
+            protection: Some(protection),
+        });
+    }
+
+    /// Terminates the current block with a switch.
+    pub fn switch(
+        &mut self,
+        value: impl Into<Operand>,
+        default: BlockId,
+        cases: &[(u32, BlockId)],
+    ) {
+        self.terminate(Terminator::Switch {
+            value: value.into(),
+            default,
+            cases: cases.to_vec(),
+        });
+    }
+
+    /// Terminates the current block with a return.
+    pub fn ret(&mut self, value: Option<Operand>) {
+        self.terminate(Terminator::Ret(value));
+    }
+
+    fn terminate(&mut self, terminator: Terminator) {
+        let block = self.function.block_mut(self.current);
+        assert!(
+            block.terminator.is_none(),
+            "block '{}' already has a terminator",
+            block.name
+        );
+        block.terminator = Some(terminator);
+    }
+
+    /// Finishes building and returns the function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any block is missing a terminator — such a function would be
+    /// rejected by the verifier anyway, and panicking here points at the
+    /// builder call site instead.
+    #[must_use]
+    pub fn finish(self) -> Function {
+        for block in &self.function.blocks {
+            assert!(
+                block.terminator.is_some(),
+                "block '{}' of function '{}' has no terminator",
+                block.name,
+                self.function.name
+            );
+        }
+        self.function
+    }
+
+    /// Finishes building without the terminator check (for tests that
+    /// deliberately construct malformed functions).
+    #[must_use]
+    pub fn finish_unchecked(self) -> Function {
+        self.function
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn straight_line_function() {
+        let mut b = FunctionBuilder::new("addmul", 2);
+        let (x, y) = (b.param(0), b.param(1));
+        let s = b.bin(BinOp::Add, x, y);
+        let p = b.bin(BinOp::Mul, s, 3u32);
+        b.ret(Some(p));
+        let f = b.finish();
+        assert_eq!(f.name, "addmul");
+        assert_eq!(f.blocks.len(), 1);
+        assert_eq!(f.inst_count(), 2);
+    }
+
+    #[test]
+    fn loop_with_local_counter() {
+        // for (i = 0; i < 10; i++) {}
+        let mut b = FunctionBuilder::new("count", 0);
+        let i = b.local("i", 4);
+        b.store_local(i, 0u32);
+        let header = b.create_block("header");
+        let body = b.create_block("body");
+        let exit = b.create_block("exit");
+        b.jump(header);
+        b.switch_to(header);
+        let iv = b.load_local(i);
+        let c = b.cmp(Predicate::Ult, iv, 10u32);
+        b.branch(c, body, exit);
+        b.switch_to(body);
+        let iv = b.load_local(i);
+        let next = b.bin(BinOp::Add, iv, 1u32);
+        b.store_local(i, next);
+        b.jump(header);
+        b.switch_to(exit);
+        b.ret(None);
+        let f = b.finish();
+        assert_eq!(f.blocks.len(), 4);
+        assert_eq!(f.conditional_branches().len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "already has a terminator")]
+    fn double_termination_panics() {
+        let mut b = FunctionBuilder::new("f", 0);
+        b.ret(None);
+        b.ret(None);
+    }
+
+    #[test]
+    #[should_panic(expected = "no terminator")]
+    fn finish_checks_termination() {
+        let mut b = FunctionBuilder::new("f", 0);
+        let _ = b.create_block("dangling");
+        b.ret(None);
+        let _ = b.finish();
+    }
+
+    #[test]
+    fn finish_unchecked_allows_malformed() {
+        let mut b = FunctionBuilder::new("f", 0);
+        let _ = b.create_block("dangling");
+        b.ret(None);
+        let f = b.finish_unchecked();
+        assert_eq!(f.blocks.len(), 2);
+    }
+
+    #[test]
+    fn protected_branch_carries_metadata() {
+        let mut b = FunctionBuilder::new("f", 2);
+        let (x, y) = (b.param(0), b.param(1));
+        let t = b.create_block("t");
+        let e = b.create_block("e");
+        let cond = b.encoded_compare(Predicate::Eq, x, y, 63_877, 14_991);
+        let flag = b.cmp(Predicate::Eq, cond, 29_982u32);
+        b.protected_branch(
+            flag,
+            t,
+            e,
+            BranchProtection {
+                condition: cond,
+                true_symbol: 29_982,
+                false_symbol: 35_552,
+            },
+        );
+        b.switch_to(t);
+        b.ret(Some(Operand::Const(1)));
+        b.switch_to(e);
+        b.ret(Some(Operand::Const(0)));
+        let f = b.finish();
+        match &f.block(BlockId(0)).terminator {
+            Some(Terminator::Branch {
+                protection: Some(p),
+                ..
+            }) => {
+                assert_eq!(p.true_symbol, 29_982);
+                assert_eq!(p.false_symbol, 35_552);
+            }
+            other => panic!("expected protected branch, found {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,342 @@
+//! Control-flow-graph utilities: successor/predecessor maps, reverse
+//! post-order and dominators.
+//!
+//! These analyses are shared by the verifier (definitions must dominate
+//! uses), the middle-end passes (loop detection for the Loop Decoupler) and
+//! the back end's CFI instrumentation (justifying values are computed per
+//! CFG edge).
+
+use std::collections::HashMap;
+
+use crate::function::Function;
+use crate::inst::BlockId;
+
+/// Successor and predecessor maps of a function's CFG.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cfg {
+    successors: Vec<Vec<BlockId>>,
+    predecessors: Vec<Vec<BlockId>>,
+}
+
+impl Cfg {
+    /// Builds the CFG of a function. Blocks without a terminator contribute
+    /// no edges (the verifier rejects such functions separately).
+    #[must_use]
+    pub fn new(function: &Function) -> Self {
+        let n = function.blocks.len();
+        let mut successors = vec![Vec::new(); n];
+        let mut predecessors = vec![Vec::new(); n];
+        for (id, block) in function.iter_blocks() {
+            if let Some(term) = &block.terminator {
+                for succ in term.successors() {
+                    successors[id.0 as usize].push(succ);
+                    if (succ.0 as usize) < n {
+                        predecessors[succ.0 as usize].push(id);
+                    }
+                }
+            }
+        }
+        Cfg {
+            successors,
+            predecessors,
+        }
+    }
+
+    /// Number of blocks.
+    #[must_use]
+    pub fn block_count(&self) -> usize {
+        self.successors.len()
+    }
+
+    /// Successors of a block (in edge order, duplicates possible for
+    /// switches with repeated targets).
+    #[must_use]
+    pub fn successors(&self, block: BlockId) -> &[BlockId] {
+        &self.successors[block.0 as usize]
+    }
+
+    /// Predecessors of a block.
+    #[must_use]
+    pub fn predecessors(&self, block: BlockId) -> &[BlockId] {
+        &self.predecessors[block.0 as usize]
+    }
+
+    /// Blocks reachable from the entry, in reverse post-order (a topological
+    /// order ignoring back edges).
+    #[must_use]
+    pub fn reverse_post_order(&self) -> Vec<BlockId> {
+        let n = self.block_count();
+        let mut visited = vec![false; n];
+        let mut post = Vec::with_capacity(n);
+        // Iterative DFS with an explicit stack of (block, next-successor-index).
+        let mut stack: Vec<(BlockId, usize)> = Vec::new();
+        if n == 0 {
+            return post;
+        }
+        visited[0] = true;
+        stack.push((BlockId(0), 0));
+        while let Some((block, idx)) = stack.pop() {
+            let succs = self.successors(block);
+            if idx < succs.len() {
+                stack.push((block, idx + 1));
+                let next = succs[idx];
+                let ni = next.0 as usize;
+                if ni < n && !visited[ni] {
+                    visited[ni] = true;
+                    stack.push((next, 0));
+                }
+            } else {
+                post.push(block);
+            }
+        }
+        post.reverse();
+        post
+    }
+
+    /// Blocks unreachable from the entry.
+    #[must_use]
+    pub fn unreachable_blocks(&self) -> Vec<BlockId> {
+        let reachable: Vec<BlockId> = self.reverse_post_order();
+        let mut seen = vec![false; self.block_count()];
+        for b in &reachable {
+            seen[b.0 as usize] = true;
+        }
+        (0..self.block_count())
+            .filter(|i| !seen[*i])
+            .map(|i| BlockId(i as u32))
+            .collect()
+    }
+}
+
+/// Immediate-dominator tree of the reachable part of a CFG, computed with the
+/// Cooper–Harvey–Kennedy iterative algorithm.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Dominators {
+    /// `idom[b]` is the immediate dominator of `b`; the entry's idom is the
+    /// entry itself. Unreachable blocks are absent.
+    idom: HashMap<BlockId, BlockId>,
+    rpo_index: HashMap<BlockId, usize>,
+}
+
+impl Dominators {
+    /// Computes the dominator tree of the reachable blocks.
+    #[must_use]
+    pub fn new(cfg: &Cfg) -> Self {
+        let rpo = cfg.reverse_post_order();
+        let mut rpo_index = HashMap::new();
+        for (i, b) in rpo.iter().enumerate() {
+            rpo_index.insert(*b, i);
+        }
+        let mut idom: HashMap<BlockId, BlockId> = HashMap::new();
+        if rpo.is_empty() {
+            return Dominators { idom, rpo_index };
+        }
+        let entry = rpo[0];
+        idom.insert(entry, entry);
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in rpo.iter().skip(1) {
+                // First processed predecessor that already has an idom.
+                let mut new_idom: Option<BlockId> = None;
+                for &p in cfg.predecessors(b) {
+                    if !rpo_index.contains_key(&p) {
+                        continue; // unreachable predecessor
+                    }
+                    if idom.contains_key(&p) {
+                        new_idom = Some(match new_idom {
+                            None => p,
+                            Some(cur) => intersect(&idom, &rpo_index, cur, p),
+                        });
+                    }
+                }
+                if let Some(ni) = new_idom {
+                    if idom.get(&b) != Some(&ni) {
+                        idom.insert(b, ni);
+                        changed = true;
+                    }
+                }
+            }
+        }
+        Dominators { idom, rpo_index }
+    }
+
+    /// Returns `true` if `a` dominates `b` (every path from the entry to `b`
+    /// passes through `a`). A block dominates itself. Returns `false` if
+    /// either block is unreachable.
+    #[must_use]
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        if !self.idom.contains_key(&a) || !self.idom.contains_key(&b) {
+            return false;
+        }
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            let parent = self.idom[&cur];
+            if parent == cur {
+                return false; // reached the entry
+            }
+            cur = parent;
+        }
+    }
+
+    /// The immediate dominator of a reachable, non-entry block.
+    #[must_use]
+    pub fn immediate_dominator(&self, block: BlockId) -> Option<BlockId> {
+        let d = *self.idom.get(&block)?;
+        if d == block {
+            None
+        } else {
+            Some(d)
+        }
+    }
+
+    /// Whether the block is reachable from the entry.
+    #[must_use]
+    pub fn is_reachable(&self, block: BlockId) -> bool {
+        self.idom.contains_key(&block)
+    }
+}
+
+fn intersect(
+    idom: &HashMap<BlockId, BlockId>,
+    rpo_index: &HashMap<BlockId, usize>,
+    mut a: BlockId,
+    mut b: BlockId,
+) -> BlockId {
+    while a != b {
+        while rpo_index[&a] > rpo_index[&b] {
+            a = idom[&a];
+        }
+        while rpo_index[&b] > rpo_index[&a] {
+            b = idom[&b];
+        }
+    }
+    a
+}
+
+/// Detects natural-loop back edges: edges `tail -> head` where `head`
+/// dominates `tail`. Returns `(tail, head)` pairs.
+#[must_use]
+pub fn back_edges(cfg: &Cfg, doms: &Dominators) -> Vec<(BlockId, BlockId)> {
+    let mut edges = Vec::new();
+    for b in 0..cfg.block_count() {
+        let tail = BlockId(b as u32);
+        if !doms.is_reachable(tail) {
+            continue;
+        }
+        for &head in cfg.successors(tail) {
+            if doms.dominates(head, tail) {
+                edges.push((tail, head));
+            }
+        }
+    }
+    edges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::inst::Predicate;
+
+    /// Builds a diamond: entry -> {then, else} -> merge -> ret.
+    fn diamond() -> Function {
+        let mut b = FunctionBuilder::new("diamond", 1);
+        let x = b.param(0);
+        let then_bb = b.create_block("then");
+        let else_bb = b.create_block("else");
+        let merge = b.create_block("merge");
+        let c = b.cmp(Predicate::Ne, x, 0u32);
+        b.branch(c, then_bb, else_bb);
+        b.switch_to(then_bb);
+        b.jump(merge);
+        b.switch_to(else_bb);
+        b.jump(merge);
+        b.switch_to(merge);
+        b.ret(None);
+        b.finish()
+    }
+
+    /// Builds a loop: entry -> header -> {body -> header, exit}.
+    fn simple_loop() -> Function {
+        let mut b = FunctionBuilder::new("loop", 1);
+        let n = b.param(0);
+        let i = b.local("i", 4);
+        b.store_local(i, 0u32);
+        let header = b.create_block("header");
+        let body = b.create_block("body");
+        let exit = b.create_block("exit");
+        b.jump(header);
+        b.switch_to(header);
+        let iv = b.load_local(i);
+        let c = b.cmp(Predicate::Ult, iv, n);
+        b.branch(c, body, exit);
+        b.switch_to(body);
+        let iv = b.load_local(i);
+        let next = b.bin(crate::inst::BinOp::Add, iv, 1u32);
+        b.store_local(i, next);
+        b.jump(header);
+        b.switch_to(exit);
+        b.ret(None);
+        b.finish()
+    }
+
+    #[test]
+    fn diamond_edges() {
+        let f = diamond();
+        let cfg = Cfg::new(&f);
+        assert_eq!(cfg.successors(BlockId(0)).len(), 2);
+        assert_eq!(cfg.predecessors(BlockId(3)).len(), 2);
+        assert!(cfg.unreachable_blocks().is_empty());
+        let rpo = cfg.reverse_post_order();
+        assert_eq!(rpo.len(), 4);
+        assert_eq!(rpo[0], BlockId(0));
+        // merge must come after both then and else in RPO.
+        let pos = |b: BlockId| rpo.iter().position(|x| *x == b).expect("reachable");
+        assert!(pos(BlockId(3)) > pos(BlockId(1)));
+        assert!(pos(BlockId(3)) > pos(BlockId(2)));
+    }
+
+    #[test]
+    fn diamond_dominators() {
+        let f = diamond();
+        let cfg = Cfg::new(&f);
+        let doms = Dominators::new(&cfg);
+        let entry = BlockId(0);
+        for b in 0..4 {
+            assert!(doms.dominates(entry, BlockId(b)));
+        }
+        // Neither arm dominates the merge.
+        assert!(!doms.dominates(BlockId(1), BlockId(3)));
+        assert!(!doms.dominates(BlockId(2), BlockId(3)));
+        assert_eq!(doms.immediate_dominator(BlockId(3)), Some(entry));
+        assert_eq!(doms.immediate_dominator(entry), None);
+    }
+
+    #[test]
+    fn loop_back_edge_detection() {
+        let f = simple_loop();
+        let cfg = Cfg::new(&f);
+        let doms = Dominators::new(&cfg);
+        let edges = back_edges(&cfg, &doms);
+        assert_eq!(edges, vec![(BlockId(2), BlockId(1))]);
+    }
+
+    #[test]
+    fn unreachable_blocks_are_reported_and_not_dominated() {
+        let mut b = FunctionBuilder::new("f", 0);
+        let dead = b.create_block("dead");
+        b.ret(None);
+        b.switch_to(dead);
+        b.ret(None);
+        let f = b.finish();
+        let cfg = Cfg::new(&f);
+        assert_eq!(cfg.unreachable_blocks(), vec![dead]);
+        let doms = Dominators::new(&cfg);
+        assert!(!doms.is_reachable(dead));
+        assert!(!doms.dominates(BlockId(0), dead));
+    }
+}

@@ -1,0 +1,87 @@
+//! Error type shared by the IR verifier, interpreter and parser.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the IR crate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum IrError {
+    /// A structural verification failure (definition does not dominate a use,
+    /// dangling block target, malformed function, …).
+    Verification {
+        /// The function in which the problem was found.
+        function: String,
+        /// Human-readable description of the problem.
+        message: String,
+    },
+    /// The interpreter encountered a runtime problem (missing function,
+    /// out-of-bounds memory access, call depth exceeded, …).
+    Interpretation {
+        /// Human-readable description of the problem.
+        message: String,
+    },
+    /// The textual parser rejected its input.
+    Parse {
+        /// 1-based line number of the offending input line.
+        line: usize,
+        /// Human-readable description of the problem.
+        message: String,
+    },
+}
+
+impl IrError {
+    /// Convenience constructor for verification errors.
+    #[must_use]
+    pub fn verification(function: impl Into<String>, message: impl Into<String>) -> Self {
+        IrError::Verification {
+            function: function.into(),
+            message: message.into(),
+        }
+    }
+
+    /// Convenience constructor for interpreter errors.
+    #[must_use]
+    pub fn interp(message: impl Into<String>) -> Self {
+        IrError::Interpretation {
+            message: message.into(),
+        }
+    }
+
+    /// Convenience constructor for parse errors.
+    #[must_use]
+    pub fn parse(line: usize, message: impl Into<String>) -> Self {
+        IrError::Parse {
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for IrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IrError::Verification { function, message } => {
+                write!(f, "verification of function '{function}' failed: {message}")
+            }
+            IrError::Interpretation { message } => write!(f, "interpretation failed: {message}"),
+            IrError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+        }
+    }
+}
+
+impl Error for IrError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_context() {
+        let e = IrError::verification("main", "use before definition of %3");
+        assert!(e.to_string().contains("main"));
+        assert!(e.to_string().contains("%3"));
+        let e = IrError::parse(7, "unknown mnemonic");
+        assert!(e.to_string().contains("line 7"));
+    }
+}

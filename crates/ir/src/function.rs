@@ -1,0 +1,358 @@
+//! Functions, basic blocks, locals, globals and modules.
+
+use crate::inst::{BlockId, Inst, LocalId, Operand, Terminator, ValueId};
+
+/// A function-local stack slot (the IR's `alloca`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Local {
+    /// Human-readable name (for printing only).
+    pub name: String,
+    /// Size of the slot in bytes (word-aligned by the back end).
+    pub size_bytes: u32,
+}
+
+/// Attributes controlling how the pipeline treats a function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FunctionAttrs {
+    /// The paper's `protect_branches` attribute: the AN Coder pass protects
+    /// the conditional branches of annotated functions.
+    pub protect_branches: bool,
+}
+
+/// A basic block: a straight-line instruction sequence ending in a single
+/// terminator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Block {
+    /// Human-readable label.
+    pub name: String,
+    /// The block body.
+    pub insts: Vec<Inst>,
+    /// The terminator; `None` only while the block is still being built.
+    pub terminator: Option<Terminator>,
+}
+
+impl Block {
+    /// Creates an empty, unterminated block.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        Block {
+            name: name.into(),
+            insts: Vec::new(),
+            terminator: None,
+        }
+    }
+}
+
+/// A function: parameters, locals, basic blocks (block 0 is the entry).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Function {
+    /// Function name (call target).
+    pub name: String,
+    /// Parameter values (`%0 .. %n-1`).
+    pub params: Vec<ValueId>,
+    /// Stack slots.
+    pub locals: Vec<Local>,
+    /// Basic blocks; index 0 is the entry block.
+    pub blocks: Vec<Block>,
+    /// Pipeline attributes.
+    pub attrs: FunctionAttrs,
+    next_value: u32,
+}
+
+impl Function {
+    /// Creates a function with `param_count` parameters and an empty entry
+    /// block named `entry`.
+    #[must_use]
+    pub fn new(name: impl Into<String>, param_count: usize) -> Self {
+        let params: Vec<ValueId> = (0..param_count as u32).map(ValueId).collect();
+        Function {
+            name: name.into(),
+            params,
+            locals: Vec::new(),
+            blocks: vec![Block::new("entry")],
+            attrs: FunctionAttrs::default(),
+            next_value: param_count as u32,
+        }
+    }
+
+    /// The entry block id (always block 0).
+    #[must_use]
+    pub fn entry(&self) -> BlockId {
+        BlockId(0)
+    }
+
+    /// Allocates a fresh value id.
+    pub fn fresh_value(&mut self) -> ValueId {
+        let v = ValueId(self.next_value);
+        self.next_value += 1;
+        v
+    }
+
+    /// Number of value ids allocated so far (parameters included).
+    #[must_use]
+    pub fn value_count(&self) -> u32 {
+        self.next_value
+    }
+
+    /// Ensures the internal value counter is at least `n`. Used by the parser
+    /// which learns value ids from the text.
+    pub fn reserve_values(&mut self, n: u32) {
+        self.next_value = self.next_value.max(n);
+    }
+
+    /// Adds a new (empty, unterminated) block and returns its id.
+    pub fn add_block(&mut self, name: impl Into<String>) -> BlockId {
+        let id = BlockId(self.blocks.len() as u32);
+        self.blocks.push(Block::new(name));
+        id
+    }
+
+    /// Adds a stack slot and returns its id.
+    pub fn add_local(&mut self, name: impl Into<String>, size_bytes: u32) -> LocalId {
+        let id = LocalId(self.locals.len() as u32);
+        self.locals.push(Local {
+            name: name.into(),
+            size_bytes,
+        });
+        id
+    }
+
+    /// Shared access to a block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block id does not belong to this function.
+    #[must_use]
+    pub fn block(&self, id: BlockId) -> &Block {
+        &self.blocks[id.0 as usize]
+    }
+
+    /// Exclusive access to a block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block id does not belong to this function.
+    #[must_use]
+    pub fn block_mut(&mut self, id: BlockId) -> &mut Block {
+        &mut self.blocks[id.0 as usize]
+    }
+
+    /// Iterates over `(BlockId, &Block)` pairs in definition order.
+    pub fn iter_blocks(&self) -> impl Iterator<Item = (BlockId, &Block)> {
+        self.blocks
+            .iter()
+            .enumerate()
+            .map(|(i, b)| (BlockId(i as u32), b))
+    }
+
+    /// Total number of instructions (terminators excluded).
+    #[must_use]
+    pub fn inst_count(&self) -> usize {
+        self.blocks.iter().map(|b| b.insts.len()).sum()
+    }
+
+    /// Returns every conditional-branch terminator's block id.
+    #[must_use]
+    pub fn conditional_branches(&self) -> Vec<BlockId> {
+        self.iter_blocks()
+            .filter(|(_, b)| matches!(b.terminator, Some(Terminator::Branch { .. })))
+            .map(|(id, _)| id)
+            .collect()
+    }
+}
+
+/// A module global: named, initialised byte data placed in guest memory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Global {
+    /// Name used by `GlobalAddr` operations.
+    pub name: String,
+    /// Initial contents.
+    pub data: Vec<u8>,
+    /// Whether guest code may write to it.
+    pub mutable: bool,
+}
+
+/// A compilation unit: functions plus globals.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Module {
+    /// The functions of the module.
+    pub functions: Vec<Function>,
+    /// The globals of the module.
+    pub globals: Vec<Global>,
+}
+
+impl Module {
+    /// Creates an empty module.
+    #[must_use]
+    pub fn new() -> Self {
+        Module::default()
+    }
+
+    /// Adds a function (replacing any previous function of the same name).
+    pub fn add_function(&mut self, function: Function) {
+        if let Some(existing) = self.functions.iter_mut().find(|f| f.name == function.name) {
+            *existing = function;
+        } else {
+            self.functions.push(function);
+        }
+    }
+
+    /// Adds a global (replacing any previous global of the same name) and
+    /// returns its name for convenience.
+    pub fn add_global(&mut self, name: impl Into<String>, data: Vec<u8>, mutable: bool) -> String {
+        let name = name.into();
+        let global = Global {
+            name: name.clone(),
+            data,
+            mutable,
+        };
+        if let Some(existing) = self.globals.iter_mut().find(|g| g.name == name) {
+            *existing = global;
+        } else {
+            self.globals.push(global);
+        }
+        name
+    }
+
+    /// Looks up a function by name.
+    #[must_use]
+    pub fn function(&self, name: &str) -> Option<&Function> {
+        self.functions.iter().find(|f| f.name == name)
+    }
+
+    /// Looks up a function by name, mutably.
+    #[must_use]
+    pub fn function_mut(&mut self, name: &str) -> Option<&mut Function> {
+        self.functions.iter_mut().find(|f| f.name == name)
+    }
+
+    /// Looks up a global by name.
+    #[must_use]
+    pub fn global(&self, name: &str) -> Option<&Global> {
+        self.globals.iter().find(|g| g.name == name)
+    }
+
+    /// Total instruction count over all functions (a rough size metric used
+    /// in reports and tests).
+    #[must_use]
+    pub fn inst_count(&self) -> usize {
+        self.functions.iter().map(Function::inst_count).sum()
+    }
+}
+
+/// Helper for passes: iterate over all operands used in a function (including
+/// terminator operands).
+#[must_use]
+pub fn all_operands(function: &Function) -> Vec<Operand> {
+    let mut ops = Vec::new();
+    for block in &function.blocks {
+        for inst in &block.insts {
+            ops.extend(inst.op.operands());
+        }
+        if let Some(term) = &block.terminator {
+            ops.extend(term.operands());
+        }
+    }
+    ops
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::{BinOp, Op};
+
+    #[test]
+    fn function_creation_allocates_params() {
+        let f = Function::new("f", 3);
+        assert_eq!(f.params, vec![ValueId(0), ValueId(1), ValueId(2)]);
+        assert_eq!(f.value_count(), 3);
+        assert_eq!(f.entry(), BlockId(0));
+        assert_eq!(f.blocks.len(), 1);
+    }
+
+    #[test]
+    fn fresh_values_are_unique() {
+        let mut f = Function::new("f", 1);
+        let a = f.fresh_value();
+        let b = f.fresh_value();
+        assert_ne!(a, b);
+        assert_eq!(f.value_count(), 3);
+        f.reserve_values(10);
+        assert_eq!(f.value_count(), 10);
+        f.reserve_values(5);
+        assert_eq!(f.value_count(), 10, "reserve never shrinks");
+    }
+
+    #[test]
+    fn blocks_and_locals_get_sequential_ids() {
+        let mut f = Function::new("f", 0);
+        let b1 = f.add_block("loop");
+        let b2 = f.add_block("exit");
+        assert_eq!(b1, BlockId(1));
+        assert_eq!(b2, BlockId(2));
+        let l0 = f.add_local("i", 4);
+        let l1 = f.add_local("buf", 64);
+        assert_eq!(l0, LocalId(0));
+        assert_eq!(l1, LocalId(1));
+        assert_eq!(f.locals[1].size_bytes, 64);
+    }
+
+    #[test]
+    fn module_replaces_functions_and_globals_by_name() {
+        let mut m = Module::new();
+        m.add_function(Function::new("f", 1));
+        m.add_function(Function::new("f", 2));
+        assert_eq!(m.functions.len(), 1);
+        assert_eq!(m.function("f").expect("present").params.len(), 2);
+
+        m.add_global("g", vec![1, 2, 3], false);
+        m.add_global("g", vec![9], true);
+        assert_eq!(m.globals.len(), 1);
+        assert_eq!(m.global("g").expect("present").data, vec![9]);
+        assert!(m.global("missing").is_none());
+    }
+
+    #[test]
+    fn inst_count_sums_blocks() {
+        let mut f = Function::new("f", 0);
+        let v = f.fresh_value();
+        f.block_mut(BlockId(0)).insts.push(Inst {
+            result: Some(v),
+            op: Op::Bin {
+                op: BinOp::Add,
+                lhs: Operand::Const(1),
+                rhs: Operand::Const(2),
+            },
+        });
+        let b = f.add_block("next");
+        let w = f.fresh_value();
+        f.block_mut(b).insts.push(Inst {
+            result: Some(w),
+            op: Op::Bin {
+                op: BinOp::Sub,
+                lhs: Operand::Value(v),
+                rhs: Operand::Const(1),
+            },
+        });
+        assert_eq!(f.inst_count(), 2);
+        let mut m = Module::new();
+        m.add_function(f);
+        assert_eq!(m.inst_count(), 2);
+    }
+
+    #[test]
+    fn conditional_branch_listing() {
+        let mut f = Function::new("f", 1);
+        let t = f.add_block("t");
+        let e = f.add_block("e");
+        f.block_mut(BlockId(0)).terminator = Some(Terminator::Branch {
+            cond: Operand::Value(ValueId(0)),
+            if_true: t,
+            if_false: e,
+            protection: None,
+        });
+        f.block_mut(t).terminator = Some(Terminator::Ret(None));
+        f.block_mut(e).terminator = Some(Terminator::Ret(None));
+        assert_eq!(f.conditional_branches(), vec![BlockId(0)]);
+    }
+}

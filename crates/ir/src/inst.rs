@@ -1,0 +1,675 @@
+//! Instruction set of the IR: identifiers, operands, operations and
+//! terminators.
+
+use std::fmt;
+
+/// Identifier of an SSA-style virtual value (an instruction result or a
+/// function parameter).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ValueId(pub u32);
+
+/// Identifier of a basic block within a function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlockId(pub u32);
+
+/// Identifier of a function-local stack slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LocalId(pub u32);
+
+impl fmt::Display for ValueId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "%{}", self.0)
+    }
+}
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bb{}", self.0)
+    }
+}
+
+impl fmt::Display for LocalId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "$l{}", self.0)
+    }
+}
+
+/// An instruction operand: either a virtual value or an immediate constant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Operand {
+    /// A previously defined value.
+    Value(ValueId),
+    /// A 32-bit immediate constant.
+    Const(u32),
+}
+
+impl Operand {
+    /// Returns the value id if this operand is a value.
+    #[must_use]
+    pub fn as_value(self) -> Option<ValueId> {
+        match self {
+            Operand::Value(v) => Some(v),
+            Operand::Const(_) => None,
+        }
+    }
+
+    /// Returns the constant if this operand is an immediate.
+    #[must_use]
+    pub fn as_const(self) -> Option<u32> {
+        match self {
+            Operand::Value(_) => None,
+            Operand::Const(c) => Some(c),
+        }
+    }
+}
+
+impl From<ValueId> for Operand {
+    fn from(v: ValueId) -> Self {
+        Operand::Value(v)
+    }
+}
+
+impl From<u32> for Operand {
+    fn from(c: u32) -> Self {
+        Operand::Const(c)
+    }
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Value(v) => write!(f, "{v}"),
+            Operand::Const(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+/// Binary arithmetic and bitwise operations (all on 32-bit words, wrapping).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Wrapping multiplication.
+    Mul,
+    /// Unsigned division (division by zero yields zero, as on ARMv7-M).
+    UDiv,
+    /// Unsigned remainder (modulo zero yields the dividend).
+    URem,
+    /// Bitwise AND.
+    And,
+    /// Bitwise OR.
+    Or,
+    /// Bitwise XOR.
+    Xor,
+    /// Logical shift left (shift amounts are taken modulo 32).
+    Shl,
+    /// Logical shift right.
+    LShr,
+    /// Arithmetic shift right.
+    AShr,
+}
+
+impl BinOp {
+    /// All binary operations.
+    pub const ALL: [BinOp; 11] = [
+        BinOp::Add,
+        BinOp::Sub,
+        BinOp::Mul,
+        BinOp::UDiv,
+        BinOp::URem,
+        BinOp::And,
+        BinOp::Or,
+        BinOp::Xor,
+        BinOp::Shl,
+        BinOp::LShr,
+        BinOp::AShr,
+    ];
+
+    /// Evaluates the operation on two 32-bit values with the IR's reference
+    /// semantics (wrapping arithmetic, ARMv7-M-style division by zero).
+    #[must_use]
+    pub fn evaluate(self, lhs: u32, rhs: u32) -> u32 {
+        match self {
+            BinOp::Add => lhs.wrapping_add(rhs),
+            BinOp::Sub => lhs.wrapping_sub(rhs),
+            BinOp::Mul => lhs.wrapping_mul(rhs),
+            BinOp::UDiv => {
+                if rhs == 0 {
+                    0
+                } else {
+                    lhs / rhs
+                }
+            }
+            BinOp::URem => {
+                if rhs == 0 {
+                    lhs
+                } else {
+                    lhs % rhs
+                }
+            }
+            BinOp::And => lhs & rhs,
+            BinOp::Or => lhs | rhs,
+            BinOp::Xor => lhs ^ rhs,
+            BinOp::Shl => lhs.wrapping_shl(rhs & 31),
+            BinOp::LShr => lhs.wrapping_shr(rhs & 31),
+            BinOp::AShr => (lhs as i32).wrapping_shr(rhs & 31) as u32,
+        }
+    }
+
+    /// The textual mnemonic used by the printer and parser.
+    #[must_use]
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            BinOp::Add => "add",
+            BinOp::Sub => "sub",
+            BinOp::Mul => "mul",
+            BinOp::UDiv => "udiv",
+            BinOp::URem => "urem",
+            BinOp::And => "and",
+            BinOp::Or => "or",
+            BinOp::Xor => "xor",
+            BinOp::Shl => "shl",
+            BinOp::LShr => "lshr",
+            BinOp::AShr => "ashr",
+        }
+    }
+
+    /// Parses a mnemonic produced by [`BinOp::mnemonic`].
+    #[must_use]
+    pub fn from_mnemonic(s: &str) -> Option<BinOp> {
+        BinOp::ALL.into_iter().find(|op| op.mnemonic() == s)
+    }
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// Comparison predicates of the IR `cmp` instruction (unsigned, mirroring the
+/// functional values of the AN-coded pipeline).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Predicate {
+    /// Equality.
+    Eq,
+    /// Inequality.
+    Ne,
+    /// Unsigned less-than.
+    Ult,
+    /// Unsigned less-or-equal.
+    Ule,
+    /// Unsigned greater-than.
+    Ugt,
+    /// Unsigned greater-or-equal.
+    Uge,
+}
+
+impl Predicate {
+    /// All predicates.
+    pub const ALL: [Predicate; 6] = [
+        Predicate::Eq,
+        Predicate::Ne,
+        Predicate::Ult,
+        Predicate::Ule,
+        Predicate::Ugt,
+        Predicate::Uge,
+    ];
+
+    /// Evaluates the predicate on two unsigned 32-bit values.
+    #[must_use]
+    pub fn evaluate(self, lhs: u32, rhs: u32) -> bool {
+        match self {
+            Predicate::Eq => lhs == rhs,
+            Predicate::Ne => lhs != rhs,
+            Predicate::Ult => lhs < rhs,
+            Predicate::Ule => lhs <= rhs,
+            Predicate::Ugt => lhs > rhs,
+            Predicate::Uge => lhs >= rhs,
+        }
+    }
+
+    /// The logically negated predicate.
+    #[must_use]
+    pub fn negated(self) -> Predicate {
+        match self {
+            Predicate::Eq => Predicate::Ne,
+            Predicate::Ne => Predicate::Eq,
+            Predicate::Ult => Predicate::Uge,
+            Predicate::Ule => Predicate::Ugt,
+            Predicate::Ugt => Predicate::Ule,
+            Predicate::Uge => Predicate::Ult,
+        }
+    }
+
+    /// The textual mnemonic used by the printer and parser.
+    #[must_use]
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            Predicate::Eq => "eq",
+            Predicate::Ne => "ne",
+            Predicate::Ult => "ult",
+            Predicate::Ule => "ule",
+            Predicate::Ugt => "ugt",
+            Predicate::Uge => "uge",
+        }
+    }
+
+    /// Parses a mnemonic produced by [`Predicate::mnemonic`].
+    #[must_use]
+    pub fn from_mnemonic(s: &str) -> Option<Predicate> {
+        Predicate::ALL.into_iter().find(|p| p.mnemonic() == s)
+    }
+}
+
+impl fmt::Display for Predicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// Width of a memory access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemWidth {
+    /// 8-bit access (`load.b` / `store.b`).
+    Byte,
+    /// 32-bit access (`load.w` / `store.w`).
+    Word,
+}
+
+impl MemWidth {
+    /// The access size in bytes.
+    #[must_use]
+    pub fn bytes(self) -> u32 {
+        match self {
+            MemWidth::Byte => 1,
+            MemWidth::Word => 4,
+        }
+    }
+}
+
+/// The operation performed by an [`Inst`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Op {
+    /// Binary arithmetic / bitwise operation.
+    Bin {
+        /// The operation.
+        op: BinOp,
+        /// Left operand.
+        lhs: Operand,
+        /// Right operand.
+        rhs: Operand,
+    },
+    /// Plain comparison producing 0 or 1.
+    Cmp {
+        /// The predicate.
+        pred: Predicate,
+        /// Left operand.
+        lhs: Operand,
+        /// Right operand.
+        rhs: Operand,
+    },
+    /// Conditional select: `cond != 0 ? if_true : if_false`.
+    Select {
+        /// The selector (0 = false, anything else = true).
+        cond: Operand,
+        /// Value when the selector is true.
+        if_true: Operand,
+        /// Value when the selector is false.
+        if_false: Operand,
+    },
+    /// Memory load from an address.
+    Load {
+        /// Byte address to load from.
+        addr: Operand,
+        /// Access width.
+        width: MemWidth,
+    },
+    /// Memory store to an address.
+    Store {
+        /// Byte address to store to.
+        addr: Operand,
+        /// Value to store (truncated for byte stores).
+        value: Operand,
+        /// Access width.
+        width: MemWidth,
+    },
+    /// Address of a function-local stack slot.
+    LocalAddr {
+        /// The stack slot.
+        local: LocalId,
+    },
+    /// Address of a module global.
+    GlobalAddr {
+        /// Name of the global.
+        name: String,
+    },
+    /// Call to another function in the module (by name). Arguments are
+    /// passed by value; the result is the callee's return value (0 if the
+    /// callee returns nothing).
+    Call {
+        /// Callee name.
+        callee: String,
+        /// Argument list.
+        args: Vec<Operand>,
+    },
+    /// The paper's redundantly encoded comparison (Section IV), inserted by
+    /// the AN Coder pass. Operands are AN-coded; the result is the raw
+    /// condition value (one of the two symbols of Table I when fault-free).
+    ///
+    /// The encoding parameters are embedded so the instruction is
+    /// self-contained for the interpreter and the back end.
+    EncodedCompare {
+        /// The comparison predicate.
+        pred: Predicate,
+        /// Left AN-coded operand.
+        lhs: Operand,
+        /// Right AN-coded operand.
+        rhs: Operand,
+        /// The AN-code constant `A`.
+        a: u32,
+        /// The condition constant `C` for this predicate class.
+        c: u32,
+    },
+}
+
+impl Op {
+    /// Whether this operation produces a result value.
+    #[must_use]
+    pub fn has_result(&self) -> bool {
+        !matches!(self, Op::Store { .. })
+    }
+
+    /// The operands read by this operation, in a fixed order.
+    #[must_use]
+    pub fn operands(&self) -> Vec<Operand> {
+        match self {
+            Op::Bin { lhs, rhs, .. } | Op::Cmp { lhs, rhs, .. } => vec![*lhs, *rhs],
+            Op::EncodedCompare { lhs, rhs, .. } => vec![*lhs, *rhs],
+            Op::Select {
+                cond,
+                if_true,
+                if_false,
+            } => vec![*cond, *if_true, *if_false],
+            Op::Load { addr, .. } => vec![*addr],
+            Op::Store { addr, value, .. } => vec![*addr, *value],
+            Op::LocalAddr { .. } | Op::GlobalAddr { .. } => vec![],
+            Op::Call { args, .. } => args.clone(),
+        }
+    }
+
+    /// Rewrites every operand of the operation through `f`.
+    pub fn map_operands(&mut self, mut f: impl FnMut(Operand) -> Operand) {
+        match self {
+            Op::Bin { lhs, rhs, .. } | Op::Cmp { lhs, rhs, .. } => {
+                *lhs = f(*lhs);
+                *rhs = f(*rhs);
+            }
+            Op::EncodedCompare { lhs, rhs, .. } => {
+                *lhs = f(*lhs);
+                *rhs = f(*rhs);
+            }
+            Op::Select {
+                cond,
+                if_true,
+                if_false,
+            } => {
+                *cond = f(*cond);
+                *if_true = f(*if_true);
+                *if_false = f(*if_false);
+            }
+            Op::Load { addr, .. } => *addr = f(*addr),
+            Op::Store { addr, value, .. } => {
+                *addr = f(*addr);
+                *value = f(*value);
+            }
+            Op::LocalAddr { .. } | Op::GlobalAddr { .. } => {}
+            Op::Call { args, .. } => {
+                for a in args {
+                    *a = f(*a);
+                }
+            }
+        }
+    }
+}
+
+/// A single IR instruction: an operation plus its (optional) result value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Inst {
+    /// The value defined by this instruction, if any.
+    pub result: Option<ValueId>,
+    /// The operation performed.
+    pub op: Op,
+}
+
+/// Metadata attached to a protected conditional branch by the AN Coder pass:
+/// the redundant condition value and the two symbols it is checked against.
+/// The back end's CFI instrumentation uses this to merge the condition value
+/// into the CFI state of the successor blocks (Section III).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BranchProtection {
+    /// The encoded condition value (result of an `EncodedCompare`).
+    pub condition: Operand,
+    /// Symbol expected on the taken (`if_true`) edge.
+    pub true_symbol: u32,
+    /// Symbol expected on the fall-through (`if_false`) edge.
+    pub false_symbol: u32,
+}
+
+/// Block terminators.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Terminator {
+    /// Unconditional jump.
+    Jump(BlockId),
+    /// Conditional branch on a boolean (0/1) condition.
+    Branch {
+        /// The branch condition (0 = fall through to `if_false`).
+        cond: Operand,
+        /// Target when the condition is non-zero.
+        if_true: BlockId,
+        /// Target when the condition is zero.
+        if_false: BlockId,
+        /// Present when the branch is protected by the paper's scheme.
+        protection: Option<BranchProtection>,
+    },
+    /// Multi-way switch on a 32-bit value.
+    Switch {
+        /// The scrutinee.
+        value: Operand,
+        /// Target when no case matches.
+        default: BlockId,
+        /// `(case value, target)` pairs.
+        cases: Vec<(u32, BlockId)>,
+    },
+    /// Return from the function.
+    Ret(Option<Operand>),
+}
+
+impl Terminator {
+    /// The successor blocks of this terminator, in edge order.
+    #[must_use]
+    pub fn successors(&self) -> Vec<BlockId> {
+        match self {
+            Terminator::Jump(t) => vec![*t],
+            Terminator::Branch {
+                if_true, if_false, ..
+            } => vec![*if_true, *if_false],
+            Terminator::Switch { default, cases, .. } => {
+                let mut s = vec![*default];
+                s.extend(cases.iter().map(|(_, b)| *b));
+                s
+            }
+            Terminator::Ret(_) => vec![],
+        }
+    }
+
+    /// The operands read by the terminator.
+    #[must_use]
+    pub fn operands(&self) -> Vec<Operand> {
+        match self {
+            Terminator::Jump(_) => vec![],
+            Terminator::Branch {
+                cond, protection, ..
+            } => {
+                let mut ops = vec![*cond];
+                if let Some(p) = protection {
+                    ops.push(p.condition);
+                }
+                ops
+            }
+            Terminator::Switch { value, .. } => vec![*value],
+            Terminator::Ret(v) => v.iter().copied().collect(),
+        }
+    }
+
+    /// Rewrites every block target through `f`.
+    pub fn map_targets(&mut self, mut f: impl FnMut(BlockId) -> BlockId) {
+        match self {
+            Terminator::Jump(t) => *t = f(*t),
+            Terminator::Branch {
+                if_true, if_false, ..
+            } => {
+                *if_true = f(*if_true);
+                *if_false = f(*if_false);
+            }
+            Terminator::Switch { default, cases, .. } => {
+                *default = f(*default);
+                for (_, b) in cases {
+                    *b = f(*b);
+                }
+            }
+            Terminator::Ret(_) => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binop_reference_semantics() {
+        assert_eq!(BinOp::Add.evaluate(u32::MAX, 1), 0);
+        assert_eq!(BinOp::Sub.evaluate(0, 1), u32::MAX);
+        assert_eq!(BinOp::Mul.evaluate(3, 7), 21);
+        assert_eq!(BinOp::UDiv.evaluate(7, 2), 3);
+        assert_eq!(BinOp::UDiv.evaluate(7, 0), 0, "ARMv7-M division by zero");
+        assert_eq!(BinOp::URem.evaluate(7, 3), 1);
+        assert_eq!(BinOp::URem.evaluate(7, 0), 7);
+        assert_eq!(BinOp::And.evaluate(0b1100, 0b1010), 0b1000);
+        assert_eq!(BinOp::Or.evaluate(0b1100, 0b1010), 0b1110);
+        assert_eq!(BinOp::Xor.evaluate(0b1100, 0b1010), 0b0110);
+        assert_eq!(BinOp::Shl.evaluate(1, 4), 16);
+        assert_eq!(BinOp::LShr.evaluate(0x8000_0000, 31), 1);
+        assert_eq!(BinOp::AShr.evaluate(0x8000_0000, 31), u32::MAX);
+    }
+
+    #[test]
+    fn binop_mnemonics_roundtrip() {
+        for op in BinOp::ALL {
+            assert_eq!(BinOp::from_mnemonic(op.mnemonic()), Some(op));
+        }
+        assert_eq!(BinOp::from_mnemonic("bogus"), None);
+    }
+
+    #[test]
+    fn predicate_mnemonics_roundtrip_and_negation() {
+        for p in Predicate::ALL {
+            assert_eq!(Predicate::from_mnemonic(p.mnemonic()), Some(p));
+            assert_eq!(p.negated().negated(), p);
+            for (x, y) in [(1u32, 2u32), (5, 5), (9, 3)] {
+                assert_eq!(p.evaluate(x, y), !p.negated().evaluate(x, y));
+            }
+        }
+    }
+
+    #[test]
+    fn operand_conversions() {
+        let v: Operand = ValueId(3).into();
+        assert_eq!(v.as_value(), Some(ValueId(3)));
+        assert_eq!(v.as_const(), None);
+        let c: Operand = 7u32.into();
+        assert_eq!(c.as_const(), Some(7));
+        assert_eq!(c.as_value(), None);
+        assert_eq!(format!("{v} {c}"), "%3 7");
+    }
+
+    #[test]
+    fn op_operand_traversal_and_rewrite() {
+        let mut op = Op::Select {
+            cond: Operand::Value(ValueId(0)),
+            if_true: Operand::Const(1),
+            if_false: Operand::Value(ValueId(2)),
+        };
+        assert_eq!(op.operands().len(), 3);
+        op.map_operands(|o| match o {
+            Operand::Value(v) => Operand::Value(ValueId(v.0 + 10)),
+            c => c,
+        });
+        assert_eq!(
+            op.operands(),
+            vec![
+                Operand::Value(ValueId(10)),
+                Operand::Const(1),
+                Operand::Value(ValueId(12))
+            ]
+        );
+    }
+
+    #[test]
+    fn store_has_no_result() {
+        let store = Op::Store {
+            addr: Operand::Const(0),
+            value: Operand::Const(0),
+            width: MemWidth::Word,
+        };
+        assert!(!store.has_result());
+        let load = Op::Load {
+            addr: Operand::Const(0),
+            width: MemWidth::Byte,
+        };
+        assert!(load.has_result());
+    }
+
+    #[test]
+    fn terminator_successors_and_targets() {
+        let mut t = Terminator::Switch {
+            value: Operand::Const(3),
+            default: BlockId(0),
+            cases: vec![(1, BlockId(1)), (2, BlockId(2))],
+        };
+        assert_eq!(
+            t.successors(),
+            vec![BlockId(0), BlockId(1), BlockId(2)]
+        );
+        t.map_targets(|b| BlockId(b.0 + 5));
+        assert_eq!(
+            t.successors(),
+            vec![BlockId(5), BlockId(6), BlockId(7)]
+        );
+        assert!(Terminator::Ret(None).successors().is_empty());
+    }
+
+    #[test]
+    fn protected_branch_reports_condition_operand() {
+        let t = Terminator::Branch {
+            cond: Operand::Value(ValueId(1)),
+            if_true: BlockId(1),
+            if_false: BlockId(2),
+            protection: Some(BranchProtection {
+                condition: Operand::Value(ValueId(0)),
+                true_symbol: 35_552,
+                false_symbol: 29_982,
+            }),
+        };
+        assert_eq!(t.operands().len(), 2);
+    }
+
+    #[test]
+    fn mem_width_sizes() {
+        assert_eq!(MemWidth::Byte.bytes(), 1);
+        assert_eq!(MemWidth::Word.bytes(), 4);
+    }
+}

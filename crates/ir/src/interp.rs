@@ -1,0 +1,654 @@
+//! Reference interpreter for the IR.
+//!
+//! The interpreter defines the ground-truth semantics of the IR. It is used
+//! to validate the middle-end passes (a transformed module must behave like
+//! the original) and the ARMv7-M back end (the simulator must compute the
+//! same results as the interpreter).
+//!
+//! Memory model: a flat little-endian byte array. Globals are laid out from
+//! [`GLOBAL_BASE`] upwards; the call stack grows downwards from the end of
+//! memory and hosts the function-local stack slots.
+
+use std::collections::HashMap;
+
+use crate::error::IrError;
+use crate::function::{Function, Module};
+use crate::inst::{MemWidth, Op, Operand, Predicate, Terminator, ValueId};
+
+/// Base address where globals are placed.
+pub const GLOBAL_BASE: u32 = 0x1000;
+
+/// Configuration of an interpreter run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InterpOptions {
+    /// Size of guest memory in bytes.
+    pub memory_size: u32,
+    /// Maximum number of executed instructions before aborting.
+    pub max_steps: u64,
+    /// Maximum call depth before aborting.
+    pub max_call_depth: u32,
+}
+
+impl Default for InterpOptions {
+    fn default() -> Self {
+        InterpOptions {
+            memory_size: 1 << 20,
+            max_steps: 200_000_000,
+            max_call_depth: 128,
+        }
+    }
+}
+
+/// Result of executing a function to completion.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunResult {
+    /// The value returned by the function (if it returned one).
+    pub return_value: Option<u32>,
+    /// Number of IR instructions executed (terminators included).
+    pub steps: u64,
+}
+
+/// An interpreter instance holding guest memory across calls.
+#[derive(Debug)]
+pub struct Interpreter<'m> {
+    module: &'m Module,
+    memory: Vec<u8>,
+    global_addrs: HashMap<String, u32>,
+    stack_top: u32,
+    steps: u64,
+    options: InterpOptions,
+}
+
+impl<'m> Interpreter<'m> {
+    /// Creates an interpreter, laying out the module's globals in memory.
+    #[must_use]
+    pub fn new(module: &'m Module, options: InterpOptions) -> Self {
+        let mut memory = vec![0u8; options.memory_size as usize];
+        let mut global_addrs = HashMap::new();
+        let mut cursor = GLOBAL_BASE;
+        for global in &module.globals {
+            let addr = cursor;
+            let end = (addr as usize + global.data.len()).min(memory.len());
+            memory[addr as usize..end].copy_from_slice(&global.data[..end - addr as usize]);
+            global_addrs.insert(global.name.clone(), addr);
+            // Word-align the next global.
+            cursor = addr + ((global.data.len() as u32 + 3) & !3).max(4);
+        }
+        let stack_top = options.memory_size;
+        Interpreter {
+            module,
+            memory,
+            global_addrs,
+            stack_top,
+            steps: 0,
+            options,
+        }
+    }
+
+    /// The address a global was placed at.
+    #[must_use]
+    pub fn global_address(&self, name: &str) -> Option<u32> {
+        self.global_addrs.get(name).copied()
+    }
+
+    /// Reads `len` bytes of guest memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    #[must_use]
+    pub fn read_memory(&self, addr: u32, len: u32) -> &[u8] {
+        &self.memory[addr as usize..(addr + len) as usize]
+    }
+
+    /// Writes bytes into guest memory (e.g. to set up workload inputs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn write_memory(&mut self, addr: u32, data: &[u8]) {
+        self.memory[addr as usize..addr as usize + data.len()].copy_from_slice(data);
+    }
+
+    /// Number of IR instructions executed so far.
+    #[must_use]
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Calls a function by name with the given arguments.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::Interpretation`] for missing functions, bad memory
+    /// accesses, step/recursion limits and malformed code.
+    pub fn call(&mut self, name: &str, args: &[u32]) -> Result<RunResult, IrError> {
+        let start = self.steps;
+        let ret = self.call_function(name, args, 0)?;
+        Ok(RunResult {
+            return_value: ret,
+            steps: self.steps - start,
+        })
+    }
+
+    fn call_function(
+        &mut self,
+        name: &str,
+        args: &[u32],
+        depth: u32,
+    ) -> Result<Option<u32>, IrError> {
+        if depth > self.options.max_call_depth {
+            return Err(IrError::interp(format!(
+                "call depth limit exceeded while calling '{name}'"
+            )));
+        }
+        let function = self
+            .module
+            .function(name)
+            .ok_or_else(|| IrError::interp(format!("function '{name}' not found")))?;
+        if args.len() != function.params.len() {
+            return Err(IrError::interp(format!(
+                "function '{name}' expects {} arguments, got {}",
+                function.params.len(),
+                args.len()
+            )));
+        }
+
+        // Allocate this frame's locals on the downward-growing stack.
+        let frame_size: u32 = function
+            .locals
+            .iter()
+            .map(|l| (l.size_bytes + 3) & !3)
+            .sum();
+        if frame_size > self.stack_top || self.stack_top - frame_size < GLOBAL_BASE {
+            return Err(IrError::interp("stack overflow".to_string()));
+        }
+        let saved_stack_top = self.stack_top;
+        self.stack_top -= frame_size;
+        let frame_base = self.stack_top;
+        let mut local_addrs = Vec::with_capacity(function.locals.len());
+        let mut cursor = frame_base;
+        for local in &function.locals {
+            local_addrs.push(cursor);
+            cursor += (local.size_bytes + 3) & !3;
+        }
+
+        let mut values: HashMap<ValueId, u32> = HashMap::new();
+        for (param, arg) in function.params.iter().zip(args) {
+            values.insert(*param, *arg);
+        }
+
+        let result = self.exec_blocks(function, &mut values, &local_addrs, depth);
+        self.stack_top = saved_stack_top;
+        result
+    }
+
+    fn exec_blocks(
+        &mut self,
+        function: &Function,
+        values: &mut HashMap<ValueId, u32>,
+        local_addrs: &[u32],
+        depth: u32,
+    ) -> Result<Option<u32>, IrError> {
+        let mut block = function.entry();
+        loop {
+            let b = function.block(block);
+            for inst in &b.insts {
+                self.bump_steps(function)?;
+                let value = self.exec_op(function, &inst.op, values, local_addrs, depth)?;
+                if let Some(result) = inst.result {
+                    values.insert(result, value.unwrap_or(0));
+                }
+            }
+            self.bump_steps(function)?;
+            let Some(term) = &b.terminator else {
+                return Err(IrError::interp(format!(
+                    "block '{}' of '{}' has no terminator",
+                    b.name, function.name
+                )));
+            };
+            match term {
+                Terminator::Jump(t) => block = *t,
+                Terminator::Branch {
+                    cond,
+                    if_true,
+                    if_false,
+                    ..
+                } => {
+                    let c = self.operand(cond, values, &function.name)?;
+                    block = if c != 0 { *if_true } else { *if_false };
+                }
+                Terminator::Switch {
+                    value,
+                    default,
+                    cases,
+                } => {
+                    let v = self.operand(value, values, &function.name)?;
+                    block = cases
+                        .iter()
+                        .find(|(case, _)| *case == v)
+                        .map(|(_, b)| *b)
+                        .unwrap_or(*default);
+                }
+                Terminator::Ret(v) => {
+                    return match v {
+                        Some(op) => Ok(Some(self.operand(op, values, &function.name)?)),
+                        None => Ok(None),
+                    };
+                }
+            }
+            if block.0 as usize >= function.blocks.len() {
+                return Err(IrError::interp(format!(
+                    "jump to non-existent block {block} in '{}'",
+                    function.name
+                )));
+            }
+        }
+    }
+
+    fn bump_steps(&mut self, function: &Function) -> Result<(), IrError> {
+        self.steps += 1;
+        if self.steps > self.options.max_steps {
+            return Err(IrError::interp(format!(
+                "step limit exceeded in '{}'",
+                function.name
+            )));
+        }
+        Ok(())
+    }
+
+    fn operand(
+        &self,
+        operand: &Operand,
+        values: &HashMap<ValueId, u32>,
+        function: &str,
+    ) -> Result<u32, IrError> {
+        match operand {
+            Operand::Const(c) => Ok(*c),
+            Operand::Value(v) => values.get(v).copied().ok_or_else(|| {
+                IrError::interp(format!("use of undefined value {v} in '{function}'"))
+            }),
+        }
+    }
+
+    fn exec_op(
+        &mut self,
+        function: &Function,
+        op: &Op,
+        values: &HashMap<ValueId, u32>,
+        local_addrs: &[u32],
+        depth: u32,
+    ) -> Result<Option<u32>, IrError> {
+        let fname = &function.name;
+        match op {
+            Op::Bin { op, lhs, rhs } => {
+                let l = self.operand(lhs, values, fname)?;
+                let r = self.operand(rhs, values, fname)?;
+                Ok(Some(op.evaluate(l, r)))
+            }
+            Op::Cmp { pred, lhs, rhs } => {
+                let l = self.operand(lhs, values, fname)?;
+                let r = self.operand(rhs, values, fname)?;
+                Ok(Some(u32::from(pred.evaluate(l, r))))
+            }
+            Op::Select {
+                cond,
+                if_true,
+                if_false,
+            } => {
+                let c = self.operand(cond, values, fname)?;
+                let t = self.operand(if_true, values, fname)?;
+                let f = self.operand(if_false, values, fname)?;
+                Ok(Some(if c != 0 { t } else { f }))
+            }
+            Op::Load { addr, width } => {
+                let a = self.operand(addr, values, fname)?;
+                Ok(Some(self.load(a, *width, fname)?))
+            }
+            Op::Store { addr, value, width } => {
+                let a = self.operand(addr, values, fname)?;
+                let v = self.operand(value, values, fname)?;
+                self.store(a, v, *width, fname)?;
+                Ok(None)
+            }
+            Op::LocalAddr { local } => {
+                local_addrs
+                    .get(local.0 as usize)
+                    .copied()
+                    .map(Some)
+                    .ok_or_else(|| {
+                        IrError::interp(format!("unknown local {local} in '{fname}'"))
+                    })
+            }
+            Op::GlobalAddr { name } => self
+                .global_address(name)
+                .map(Some)
+                .ok_or_else(|| IrError::interp(format!("unknown global '{name}' in '{fname}'"))),
+            Op::Call { callee, args } => {
+                let mut argv = Vec::with_capacity(args.len());
+                for a in args {
+                    argv.push(self.operand(a, values, fname)?);
+                }
+                let r = self.call_function(callee, &argv, depth + 1)?;
+                Ok(Some(r.unwrap_or(0)))
+            }
+            Op::EncodedCompare {
+                pred,
+                lhs,
+                rhs,
+                a,
+                c,
+            } => {
+                let l = self.operand(lhs, values, fname)?;
+                let r = self.operand(rhs, values, fname)?;
+                Ok(Some(encoded_compare_value(*pred, l, r, *a, *c)))
+            }
+        }
+    }
+
+    fn load(&self, addr: u32, width: MemWidth, function: &str) -> Result<u32, IrError> {
+        let size = width.bytes();
+        let end = addr as usize + size as usize;
+        if end > self.memory.len() {
+            return Err(IrError::interp(format!(
+                "out-of-bounds load of {size} bytes at {addr:#x} in '{function}'"
+            )));
+        }
+        Ok(match width {
+            MemWidth::Byte => u32::from(self.memory[addr as usize]),
+            MemWidth::Word => u32::from_le_bytes(
+                self.memory[addr as usize..end]
+                    .try_into()
+                    .expect("slice length checked"),
+            ),
+        })
+    }
+
+    fn store(&mut self, addr: u32, value: u32, width: MemWidth, function: &str) -> Result<(), IrError> {
+        let size = width.bytes();
+        let end = addr as usize + size as usize;
+        if end > self.memory.len() {
+            return Err(IrError::interp(format!(
+                "out-of-bounds store of {size} bytes at {addr:#x} in '{function}'"
+            )));
+        }
+        match width {
+            MemWidth::Byte => self.memory[addr as usize] = value as u8,
+            MemWidth::Word => {
+                self.memory[addr as usize..end].copy_from_slice(&value.to_le_bytes());
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The arithmetic of the paper's encoded comparison, as executed by the
+/// interpreter (identical to the kernels in `secbranch-ancode`; duplicated
+/// here so the IR crate stays dependency-free — the equivalence is checked by
+/// an integration test).
+#[must_use]
+pub fn encoded_compare_value(pred: Predicate, lhs: u32, rhs: u32, a: u32, c: u32) -> u32 {
+    let ordering = |l: u32, r: u32| l.wrapping_sub(r).wrapping_add(c) % a;
+    match pred {
+        Predicate::Eq | Predicate::Ne => ordering(lhs, rhs).wrapping_add(ordering(rhs, lhs)),
+        Predicate::Ult | Predicate::Uge => ordering(lhs, rhs),
+        Predicate::Ugt | Predicate::Ule => ordering(rhs, lhs),
+    }
+}
+
+/// Convenience wrapper: builds a fresh interpreter with default options and
+/// calls `name` once.
+///
+/// # Errors
+///
+/// Propagates any [`IrError`] from interpretation.
+pub fn run(module: &Module, name: &str, args: &[u32]) -> Result<RunResult, IrError> {
+    Interpreter::new(module, InterpOptions::default()).call(name, args)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::inst::BinOp;
+
+    #[test]
+    fn arithmetic_and_return() {
+        let mut b = FunctionBuilder::new("f", 2);
+        let (x, y) = (b.param(0), b.param(1));
+        let s = b.bin(BinOp::Add, x, y);
+        let d = b.bin(BinOp::Mul, s, 10u32);
+        b.ret(Some(d));
+        let mut m = Module::new();
+        m.add_function(b.finish());
+        let r = run(&m, "f", &[3, 4]).expect("runs");
+        assert_eq!(r.return_value, Some(70));
+        assert!(r.steps > 0);
+    }
+
+    #[test]
+    fn branch_and_select() {
+        let mut b = FunctionBuilder::new("abs_diff", 2);
+        let (x, y) = (b.param(0), b.param(1));
+        let t = b.create_block("t");
+        let e = b.create_block("e");
+        let c = b.cmp(Predicate::Uge, x, y);
+        b.branch(c, t, e);
+        b.switch_to(t);
+        let d = b.bin(BinOp::Sub, x, y);
+        b.ret(Some(d));
+        b.switch_to(e);
+        let d = b.bin(BinOp::Sub, y, x);
+        b.ret(Some(d));
+        let mut m = Module::new();
+        m.add_function(b.finish());
+        assert_eq!(run(&m, "abs_diff", &[9, 3]).unwrap().return_value, Some(6));
+        assert_eq!(run(&m, "abs_diff", &[3, 9]).unwrap().return_value, Some(6));
+    }
+
+    #[test]
+    fn loop_sums_global_words() {
+        let mut m = Module::new();
+        let data: Vec<u8> = [1u32, 2, 3, 4, 5]
+            .iter()
+            .flat_map(|w| w.to_le_bytes())
+            .collect();
+        m.add_global("data", data, false);
+
+        let mut b = FunctionBuilder::new("sum", 1);
+        let n = b.param(0);
+        let i = b.local("i", 4);
+        let acc = b.local("acc", 4);
+        b.store_local(i, 0u32);
+        b.store_local(acc, 0u32);
+        let header = b.create_block("header");
+        let body = b.create_block("body");
+        let exit = b.create_block("exit");
+        b.jump(header);
+        b.switch_to(header);
+        let iv = b.load_local(i);
+        let c = b.cmp(Predicate::Ult, iv, n);
+        b.branch(c, body, exit);
+        b.switch_to(body);
+        let iv = b.load_local(i);
+        let base = b.global_addr("data");
+        let off = b.bin(BinOp::Mul, iv, 4u32);
+        let addr = b.bin(BinOp::Add, base, off);
+        let w = b.load(addr);
+        let a = b.load_local(acc);
+        let a2 = b.bin(BinOp::Add, a, w);
+        b.store_local(acc, a2);
+        let i2 = b.bin(BinOp::Add, iv, 1u32);
+        b.store_local(i, i2);
+        b.jump(header);
+        b.switch_to(exit);
+        let a = b.load_local(acc);
+        b.ret(Some(a));
+        m.add_function(b.finish());
+
+        crate::verify::verify_module(&m).expect("verifies");
+        assert_eq!(run(&m, "sum", &[5]).unwrap().return_value, Some(15));
+        assert_eq!(run(&m, "sum", &[3]).unwrap().return_value, Some(6));
+        assert_eq!(run(&m, "sum", &[0]).unwrap().return_value, Some(0));
+    }
+
+    #[test]
+    fn switch_dispatch() {
+        let mut b = FunctionBuilder::new("classify", 1);
+        let x = b.param(0);
+        let one = b.create_block("one");
+        let two = b.create_block("two");
+        let other = b.create_block("other");
+        b.switch(x, other, &[(1, one), (2, two)]);
+        b.switch_to(one);
+        b.ret(Some(Operand::Const(100)));
+        b.switch_to(two);
+        b.ret(Some(Operand::Const(200)));
+        b.switch_to(other);
+        b.ret(Some(Operand::Const(0)));
+        let mut m = Module::new();
+        m.add_function(b.finish());
+        assert_eq!(run(&m, "classify", &[1]).unwrap().return_value, Some(100));
+        assert_eq!(run(&m, "classify", &[2]).unwrap().return_value, Some(200));
+        assert_eq!(run(&m, "classify", &[9]).unwrap().return_value, Some(0));
+    }
+
+    #[test]
+    fn calls_pass_arguments_and_return_values() {
+        let mut sq = FunctionBuilder::new("square", 1);
+        let x = sq.param(0);
+        let r = sq.bin(BinOp::Mul, x, x);
+        sq.ret(Some(r));
+
+        let mut f = FunctionBuilder::new("sum_of_squares", 2);
+        let (a, b2) = (f.param(0), f.param(1));
+        let sa = f.call("square", &[a]);
+        let sb = f.call("square", &[b2]);
+        let s = f.bin(BinOp::Add, sa, sb);
+        f.ret(Some(s));
+
+        let mut m = Module::new();
+        m.add_function(sq.finish());
+        m.add_function(f.finish());
+        assert_eq!(
+            run(&m, "sum_of_squares", &[3, 4]).unwrap().return_value,
+            Some(25)
+        );
+    }
+
+    #[test]
+    fn byte_memory_accesses() {
+        let mut m = Module::new();
+        m.add_global("buf", vec![0; 4], true);
+        let mut b = FunctionBuilder::new("f", 0);
+        let addr = b.global_addr("buf");
+        b.store_byte(addr, 0xAAu32);
+        let one = b.bin(BinOp::Add, addr, 1u32);
+        b.store_byte(one, 0xBBu32);
+        let w = b.load(addr);
+        b.ret(Some(w));
+        m.add_function(b.finish());
+        assert_eq!(run(&m, "f", &[]).unwrap().return_value, Some(0xBBAA));
+    }
+
+    #[test]
+    fn encoded_compare_semantics_match_table_one() {
+        // 41 < 1000 with the paper's parameters: symbol 2^32%A + C = 35552.
+        let a = 63_877u32;
+        let c = 29_982u32;
+        assert_eq!(
+            encoded_compare_value(Predicate::Ult, 41 * a, 1000 * a, a, c),
+            35_552
+        );
+        assert_eq!(
+            encoded_compare_value(Predicate::Ult, 1000 * a, 41 * a, a, c),
+            29_982
+        );
+        let ce = 14_991u32;
+        assert_eq!(
+            encoded_compare_value(Predicate::Eq, 7 * a, 7 * a, a, ce),
+            2 * ce
+        );
+        assert_eq!(
+            encoded_compare_value(Predicate::Eq, 7 * a, 8 * a, a, ce),
+            5_570 + 2 * ce
+        );
+    }
+
+    #[test]
+    fn step_limit_stops_infinite_loops() {
+        let mut b = FunctionBuilder::new("spin", 0);
+        let looper = b.create_block("loop");
+        b.jump(looper);
+        b.switch_to(looper);
+        b.jump(looper);
+        let mut m = Module::new();
+        m.add_function(b.finish());
+        let mut interp = Interpreter::new(
+            &m,
+            InterpOptions {
+                max_steps: 1000,
+                ..InterpOptions::default()
+            },
+        );
+        let e = interp.call("spin", &[]).expect_err("must hit the limit");
+        assert!(e.to_string().contains("step limit"));
+    }
+
+    #[test]
+    fn recursion_depth_is_limited() {
+        let mut b = FunctionBuilder::new("rec", 0);
+        let r = b.call("rec", &[]);
+        b.ret(Some(r));
+        let mut m = Module::new();
+        m.add_function(b.finish());
+        let e = run(&m, "rec", &[]).expect_err("must hit the limit");
+        assert!(e.to_string().contains("call depth"));
+    }
+
+    #[test]
+    fn out_of_bounds_access_is_an_error() {
+        let mut b = FunctionBuilder::new("f", 0);
+        let v = b.load(0xFFFF_FFFFu32);
+        b.ret(Some(v));
+        let mut m = Module::new();
+        m.add_function(b.finish());
+        let e = run(&m, "f", &[]).expect_err("must fail");
+        assert!(e.to_string().contains("out-of-bounds"));
+    }
+
+    #[test]
+    fn missing_function_and_bad_arity_are_errors() {
+        let m = Module::new();
+        assert!(run(&m, "nope", &[]).is_err());
+
+        let mut b = FunctionBuilder::new("f", 2);
+        b.ret(None);
+        let mut m = Module::new();
+        m.add_function(b.finish());
+        let e = run(&m, "f", &[1]).expect_err("must fail");
+        assert!(e.to_string().contains("expects 2"));
+    }
+
+    #[test]
+    fn interpreter_exposes_global_memory() {
+        let mut m = Module::new();
+        m.add_global("out", vec![0; 8], true);
+        let mut b = FunctionBuilder::new("write", 1);
+        let v = b.param(0);
+        let addr = b.global_addr("out");
+        b.store(addr, v);
+        b.ret(None);
+        m.add_function(b.finish());
+
+        let mut interp = Interpreter::new(&m, InterpOptions::default());
+        let addr = interp.global_address("out").expect("global exists");
+        interp.call("write", &[0xDEAD_BEEF]).expect("runs");
+        assert_eq!(
+            interp.read_memory(addr, 4),
+            0xDEAD_BEEFu32.to_le_bytes().as_slice()
+        );
+        interp.write_memory(addr, &[1, 2, 3, 4]);
+        assert_eq!(interp.read_memory(addr, 4), &[1, 2, 3, 4]);
+    }
+}

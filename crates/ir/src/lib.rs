@@ -1,0 +1,93 @@
+//! A small compiler intermediate representation (IR) for the secbranch
+//! pipeline.
+//!
+//! The paper implements its transformations as LLVM passes; this crate
+//! provides the minimal substrate those transformations actually need
+//! (see `DESIGN.md` for the substitution rationale):
+//!
+//! * a register-style IR with unlimited virtual values, explicit basic
+//!   blocks, conditional branches, switches, selects and memory operations
+//!   through function-local stack slots and module globals
+//!   ([`Module`], [`Function`], [`Block`], [`Inst`]),
+//! * a [`builder`] API for constructing functions programmatically (used by
+//!   the guest workloads in `secbranch-programs`),
+//! * a [`verify`] pass checking structural well-formedness (definitions
+//!   dominate uses, terminators target existing blocks, …),
+//! * a reference [`interp`]reter giving the IR its ground-truth semantics,
+//!   used to cross-check both the transformation passes and the ARMv7-M
+//!   back end,
+//! * a textual [`printer`] and [`parser`] for a human-readable exchange
+//!   format, and
+//! * [`cfg`] utilities (successors, predecessors, reverse post-order,
+//!   dominators) shared by the passes and the CFI instrumentation.
+//!
+//! The IR deliberately models an *unoptimised* (`-O0`-style) program: local
+//! variables live in stack slots and loops update them through load/store,
+//! which is the shape the paper's Loop Decoupler and AN Coder passes operate
+//! on.
+//!
+//! # Example
+//!
+//! ```
+//! use secbranch_ir::builder::FunctionBuilder;
+//! use secbranch_ir::{BinOp, Module, Operand, Predicate};
+//!
+//! # fn main() -> Result<(), secbranch_ir::IrError> {
+//! // fn max_plus_one(a, b) { if a > b { a + 1 } else { b + 1 } }
+//! let mut b = FunctionBuilder::new("max_plus_one", 2);
+//! let (a, x) = (b.param(0), b.param(1));
+//! let then_bb = b.create_block("then");
+//! let else_bb = b.create_block("else");
+//! let cond = b.cmp(Predicate::Ugt, a, x);
+//! b.branch(cond, then_bb, else_bb);
+//! b.switch_to(then_bb);
+//! let r = b.bin(BinOp::Add, a, Operand::Const(1));
+//! b.ret(Some(r));
+//! b.switch_to(else_bb);
+//! let r = b.bin(BinOp::Add, x, Operand::Const(1));
+//! b.ret(Some(r));
+//!
+//! let mut module = Module::new();
+//! module.add_function(b.finish());
+//! secbranch_ir::verify::verify_module(&module)?;
+//!
+//! let result = secbranch_ir::interp::run(&module, "max_plus_one", &[41, 7])?;
+//! assert_eq!(result.return_value, Some(42));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod cfg;
+mod error;
+mod function;
+mod inst;
+pub mod interp;
+pub mod parser;
+pub mod printer;
+pub mod verify;
+
+pub use error::IrError;
+pub use function::{all_operands, Block, Function, FunctionAttrs, Global, Local, Module};
+pub use inst::{
+    BinOp, BlockId, BranchProtection, Inst, LocalId, MemWidth, Op, Operand, Predicate, Terminator,
+    ValueId,
+};
+
+#[cfg(test)]
+mod crate_tests {
+    use super::*;
+
+    #[test]
+    fn public_types_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Module>();
+        assert_send_sync::<Function>();
+        assert_send_sync::<Inst>();
+        assert_send_sync::<Terminator>();
+        assert_send_sync::<IrError>();
+    }
+}

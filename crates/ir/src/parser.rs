@@ -1,0 +1,606 @@
+//! Parser for the textual IR format produced by [`crate::printer`].
+//!
+//! The grammar is line-oriented:
+//!
+//! ```text
+//! global @name (mutable|const) <hex bytes or '-'>
+//! func @name(%0, %1, ...) [protect_branches] {
+//!   local $l<N> <size> "<name>"
+//! bb<N>:  ; optional comment
+//!   %<N> = <op> ...
+//!   <terminator>
+//! }
+//! ```
+
+use std::collections::HashMap;
+
+use crate::error::IrError;
+use crate::function::{Function, Module};
+use crate::inst::{
+    BinOp, BlockId, BranchProtection, Inst, LocalId, MemWidth, Op, Operand, Predicate, Terminator,
+    ValueId,
+};
+
+/// Parses a module from its textual representation.
+///
+/// # Errors
+///
+/// Returns [`IrError::Parse`] with a line number and message on malformed
+/// input.
+pub fn parse_module(text: &str) -> Result<Module, IrError> {
+    Parser::new(text).parse_module()
+}
+
+struct Parser<'a> {
+    lines: Vec<(usize, &'a str)>,
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        let lines = text
+            .lines()
+            .enumerate()
+            .map(|(i, l)| {
+                let no_comment = match l.find(';') {
+                    Some(idx) => &l[..idx],
+                    None => l,
+                };
+                (i + 1, no_comment.trim())
+            })
+            .filter(|(_, l)| !l.is_empty())
+            .collect();
+        Parser { lines, pos: 0 }
+    }
+
+    fn peek(&self) -> Option<(usize, &'a str)> {
+        self.lines.get(self.pos).copied()
+    }
+
+    fn next(&mut self) -> Option<(usize, &'a str)> {
+        let item = self.peek();
+        if item.is_some() {
+            self.pos += 1;
+        }
+        item
+    }
+
+    fn parse_module(&mut self) -> Result<Module, IrError> {
+        let mut module = Module::new();
+        while let Some((line_no, line)) = self.peek() {
+            if let Some(rest) = line.strip_prefix("global ") {
+                self.pos += 1;
+                let (name, data, mutable) = parse_global(line_no, rest)?;
+                module.add_global(name, data, mutable);
+            } else if line.starts_with("func ") {
+                let function = self.parse_function()?;
+                module.add_function(function);
+            } else {
+                return Err(IrError::parse(
+                    line_no,
+                    format!("expected 'global' or 'func', found '{line}'"),
+                ));
+            }
+        }
+        Ok(module)
+    }
+
+    fn parse_function(&mut self) -> Result<Function, IrError> {
+        let (line_no, header) = self.next().expect("caller checked");
+        let rest = header
+            .strip_prefix("func @")
+            .ok_or_else(|| IrError::parse(line_no, "malformed function header"))?;
+        let open_paren = rest
+            .find('(')
+            .ok_or_else(|| IrError::parse(line_no, "missing '(' in function header"))?;
+        let close_paren = rest
+            .find(')')
+            .ok_or_else(|| IrError::parse(line_no, "missing ')' in function header"))?;
+        let name = &rest[..open_paren];
+        let params_str = &rest[open_paren + 1..close_paren];
+        let tail = rest[close_paren + 1..].trim();
+        let protect = tail.starts_with("protect_branches");
+        if !tail.ends_with('{') {
+            return Err(IrError::parse(line_no, "function header must end with '{'"));
+        }
+        let param_count = if params_str.trim().is_empty() {
+            0
+        } else {
+            params_str.split(',').count()
+        };
+        let mut function = Function::new(name, param_count);
+        function.attrs.protect_branches = protect;
+
+        let mut current_block: Option<BlockId> = None;
+        let mut max_value = param_count as u32;
+        let mut block_names: HashMap<BlockId, String> = HashMap::new();
+
+        loop {
+            let Some((line_no, line)) = self.next() else {
+                return Err(IrError::parse(0, "unexpected end of input inside function"));
+            };
+            if line == "}" {
+                break;
+            }
+            if let Some(rest) = line.strip_prefix("local ") {
+                let (size, lname) = parse_local(line_no, rest)?;
+                function.add_local(lname, size);
+                continue;
+            }
+            if let Some(label) = line.strip_suffix(':') {
+                let id = parse_block_label(line_no, label)?;
+                while function.blocks.len() <= id.0 as usize {
+                    function.add_block(format!("bb{}", function.blocks.len()));
+                }
+                block_names.insert(id, label.to_string());
+                current_block = Some(id);
+                continue;
+            }
+            let Some(block) = current_block else {
+                return Err(IrError::parse(
+                    line_no,
+                    "instruction outside of a block label",
+                ));
+            };
+            while function.blocks.len() <= block.0 as usize {
+                function.add_block(format!("bb{}", function.blocks.len()));
+            }
+            if let Some(term) = try_parse_terminator(line_no, line)? {
+                ensure_blocks(&mut function, &term);
+                function.block_mut(block).terminator = Some(term);
+            } else {
+                let inst = parse_inst(line_no, line, &mut max_value)?;
+                function.block_mut(block).insts.push(inst);
+            }
+        }
+        for (id, name) in block_names {
+            if (id.0 as usize) < function.blocks.len() {
+                function.block_mut(id).name = name;
+            }
+        }
+        function.reserve_values(max_value);
+        Ok(function)
+    }
+}
+
+fn ensure_blocks(function: &mut Function, term: &Terminator) {
+    let max_target = term.successors().iter().map(|b| b.0).max().unwrap_or(0);
+    while function.blocks.len() <= max_target as usize {
+        function.add_block(format!("bb{}", function.blocks.len()));
+    }
+}
+
+fn parse_global(line_no: usize, rest: &str) -> Result<(String, Vec<u8>, bool), IrError> {
+    let mut parts = rest.split_whitespace();
+    let name = parts
+        .next()
+        .and_then(|n| n.strip_prefix('@'))
+        .ok_or_else(|| IrError::parse(line_no, "global name must start with '@'"))?;
+    let kind = parts
+        .next()
+        .ok_or_else(|| IrError::parse(line_no, "missing global kind"))?;
+    let mutable = match kind {
+        "mutable" => true,
+        "const" => false,
+        other => {
+            return Err(IrError::parse(
+                line_no,
+                format!("global kind must be 'mutable' or 'const', found '{other}'"),
+            ))
+        }
+    };
+    let data_str = parts
+        .next()
+        .ok_or_else(|| IrError::parse(line_no, "missing global data"))?;
+    let data = if data_str == "-" {
+        Vec::new()
+    } else {
+        if data_str.len() % 2 != 0 {
+            return Err(IrError::parse(line_no, "global data must be whole bytes"));
+        }
+        (0..data_str.len())
+            .step_by(2)
+            .map(|i| {
+                u8::from_str_radix(&data_str[i..i + 2], 16)
+                    .map_err(|_| IrError::parse(line_no, "invalid hex byte in global data"))
+            })
+            .collect::<Result<Vec<u8>, IrError>>()?
+    };
+    Ok((name.to_string(), data, mutable))
+}
+
+fn parse_local(line_no: usize, rest: &str) -> Result<(u32, String), IrError> {
+    // $l<N> <size> "<name>"
+    let mut parts = rest.split_whitespace();
+    let _slot = parts.next();
+    let size = parts
+        .next()
+        .and_then(|s| s.parse::<u32>().ok())
+        .ok_or_else(|| IrError::parse(line_no, "missing local size"))?;
+    let name = rest
+        .find('"')
+        .and_then(|start| {
+            let tail = &rest[start + 1..];
+            tail.find('"').map(|end| tail[..end].to_string())
+        })
+        .unwrap_or_else(|| "local".to_string());
+    Ok((size, name))
+}
+
+fn parse_block_label(line_no: usize, label: &str) -> Result<BlockId, IrError> {
+    label
+        .strip_prefix("bb")
+        .and_then(|n| n.parse::<u32>().ok())
+        .map(BlockId)
+        .ok_or_else(|| IrError::parse(line_no, format!("invalid block label '{label}'")))
+}
+
+fn parse_value(line_no: usize, token: &str) -> Result<ValueId, IrError> {
+    token
+        .strip_prefix('%')
+        .and_then(|n| n.parse::<u32>().ok())
+        .map(ValueId)
+        .ok_or_else(|| IrError::parse(line_no, format!("invalid value '{token}'")))
+}
+
+fn parse_operand(line_no: usize, token: &str) -> Result<Operand, IrError> {
+    let token = token.trim().trim_end_matches(',');
+    if token.starts_with('%') {
+        return Ok(Operand::Value(parse_value(line_no, token)?));
+    }
+    let value = if let Some(hex) = token.strip_prefix("0x") {
+        u32::from_str_radix(hex, 16).ok()
+    } else {
+        token.parse::<u32>().ok()
+    };
+    value
+        .map(Operand::Const)
+        .ok_or_else(|| IrError::parse(line_no, format!("invalid operand '{token}'")))
+}
+
+fn split_args(s: &str) -> Vec<&str> {
+    s.split(',')
+        .map(str::trim)
+        .filter(|p| !p.is_empty())
+        .collect()
+}
+
+fn try_parse_terminator(line_no: usize, line: &str) -> Result<Option<Terminator>, IrError> {
+    if let Some(rest) = line.strip_prefix("jmp ") {
+        return Ok(Some(Terminator::Jump(parse_block_label(
+            line_no,
+            rest.trim(),
+        )?)));
+    }
+    if line == "ret" {
+        return Ok(Some(Terminator::Ret(None)));
+    }
+    if let Some(rest) = line.strip_prefix("ret ") {
+        return Ok(Some(Terminator::Ret(Some(parse_operand(
+            line_no,
+            rest.trim(),
+        )?))));
+    }
+    if let Some(rest) = line.strip_prefix("br ") {
+        // br <cond>, bbT, bbF [, protect(<cond>, t, f)]
+        let (core, protect) = match rest.find("protect(") {
+            Some(idx) => {
+                let inner = &rest[idx + "protect(".len()..];
+                let close = inner
+                    .find(')')
+                    .ok_or_else(|| IrError::parse(line_no, "missing ')' in protect clause"))?;
+                (rest[..idx].trim_end_matches([',', ' ']), Some(&inner[..close]))
+            }
+            None => (rest.trim(), None),
+        };
+        let parts = split_args(core);
+        if parts.len() != 3 {
+            return Err(IrError::parse(line_no, "br expects 'cond, bbT, bbF'"));
+        }
+        let cond = parse_operand(line_no, parts[0])?;
+        let if_true = parse_block_label(line_no, parts[1])?;
+        let if_false = parse_block_label(line_no, parts[2])?;
+        let protection = match protect {
+            None => None,
+            Some(p) => {
+                let parts = split_args(p);
+                if parts.len() != 3 {
+                    return Err(IrError::parse(
+                        line_no,
+                        "protect clause expects 'cond, true_symbol, false_symbol'",
+                    ));
+                }
+                Some(BranchProtection {
+                    condition: parse_operand(line_no, parts[0])?,
+                    true_symbol: parse_operand(line_no, parts[1])?
+                        .as_const()
+                        .ok_or_else(|| IrError::parse(line_no, "true symbol must be a constant"))?,
+                    false_symbol: parse_operand(line_no, parts[2])?
+                        .as_const()
+                        .ok_or_else(|| IrError::parse(line_no, "false symbol must be a constant"))?,
+                })
+            }
+        };
+        return Ok(Some(Terminator::Branch {
+            cond,
+            if_true,
+            if_false,
+            protection,
+        }));
+    }
+    if let Some(rest) = line.strip_prefix("switch ") {
+        // switch <value>, bbDefault, [v1: bb1, v2: bb2]
+        let bracket = rest
+            .find('[')
+            .ok_or_else(|| IrError::parse(line_no, "switch expects a '[...]' case list"))?;
+        let close = rest
+            .rfind(']')
+            .ok_or_else(|| IrError::parse(line_no, "missing ']' in switch"))?;
+        let head = split_args(rest[..bracket].trim_end_matches([',', ' ']));
+        if head.len() != 2 {
+            return Err(IrError::parse(line_no, "switch expects 'value, default'"));
+        }
+        let value = parse_operand(line_no, head[0])?;
+        let default = parse_block_label(line_no, head[1])?;
+        let mut cases = Vec::new();
+        for case in split_args(&rest[bracket + 1..close]) {
+            let (v, b) = case
+                .split_once(':')
+                .ok_or_else(|| IrError::parse(line_no, "switch case must be 'value: block'"))?;
+            let v = parse_operand(line_no, v.trim())?
+                .as_const()
+                .ok_or_else(|| IrError::parse(line_no, "switch case value must be a constant"))?;
+            cases.push((v, parse_block_label(line_no, b.trim())?));
+        }
+        return Ok(Some(Terminator::Switch {
+            value,
+            default,
+            cases,
+        }));
+    }
+    Ok(None)
+}
+
+fn parse_inst(line_no: usize, line: &str, max_value: &mut u32) -> Result<Inst, IrError> {
+    // Either "%N = <op...>" or a void op ("store.*").
+    let (result, body) = match line.split_once('=') {
+        Some((lhs, rhs)) if lhs.trim().starts_with('%') => {
+            let v = parse_value(line_no, lhs.trim())?;
+            *max_value = (*max_value).max(v.0 + 1);
+            (Some(v), rhs.trim())
+        }
+        _ => (None, line),
+    };
+    let (mnemonic, rest) = body.split_once(' ').unwrap_or((body, ""));
+    let rest = rest.trim();
+    let op = match mnemonic {
+        "cmp" => {
+            let (pred, args) = rest
+                .split_once(' ')
+                .ok_or_else(|| IrError::parse(line_no, "cmp expects a predicate"))?;
+            let pred = Predicate::from_mnemonic(pred)
+                .ok_or_else(|| IrError::parse(line_no, format!("unknown predicate '{pred}'")))?;
+            let parts = split_args(args);
+            if parts.len() != 2 {
+                return Err(IrError::parse(line_no, "cmp expects two operands"));
+            }
+            Op::Cmp {
+                pred,
+                lhs: parse_operand(line_no, parts[0])?,
+                rhs: parse_operand(line_no, parts[1])?,
+            }
+        }
+        "enccmp" => {
+            let (pred, args) = rest
+                .split_once(' ')
+                .ok_or_else(|| IrError::parse(line_no, "enccmp expects a predicate"))?;
+            let pred = Predicate::from_mnemonic(pred)
+                .ok_or_else(|| IrError::parse(line_no, format!("unknown predicate '{pred}'")))?;
+            let parts = split_args(args);
+            if parts.len() != 4 {
+                return Err(IrError::parse(
+                    line_no,
+                    "enccmp expects 'lhs, rhs, A, C'",
+                ));
+            }
+            Op::EncodedCompare {
+                pred,
+                lhs: parse_operand(line_no, parts[0])?,
+                rhs: parse_operand(line_no, parts[1])?,
+                a: parse_operand(line_no, parts[2])?
+                    .as_const()
+                    .ok_or_else(|| IrError::parse(line_no, "A must be a constant"))?,
+                c: parse_operand(line_no, parts[3])?
+                    .as_const()
+                    .ok_or_else(|| IrError::parse(line_no, "C must be a constant"))?,
+            }
+        }
+        "select" => {
+            let parts = split_args(rest);
+            if parts.len() != 3 {
+                return Err(IrError::parse(line_no, "select expects three operands"));
+            }
+            Op::Select {
+                cond: parse_operand(line_no, parts[0])?,
+                if_true: parse_operand(line_no, parts[1])?,
+                if_false: parse_operand(line_no, parts[2])?,
+            }
+        }
+        "load.w" | "load.b" => Op::Load {
+            addr: parse_operand(line_no, rest)?,
+            width: if mnemonic.ends_with('b') {
+                MemWidth::Byte
+            } else {
+                MemWidth::Word
+            },
+        },
+        "store.w" | "store.b" => {
+            let parts = split_args(rest);
+            if parts.len() != 2 {
+                return Err(IrError::parse(line_no, "store expects 'addr, value'"));
+            }
+            Op::Store {
+                addr: parse_operand(line_no, parts[0])?,
+                value: parse_operand(line_no, parts[1])?,
+                width: if mnemonic.ends_with('b') {
+                    MemWidth::Byte
+                } else {
+                    MemWidth::Word
+                },
+            }
+        }
+        "localaddr" => Op::LocalAddr {
+            local: rest
+                .strip_prefix("$l")
+                .and_then(|n| n.parse::<u32>().ok())
+                .map(LocalId)
+                .ok_or_else(|| IrError::parse(line_no, format!("invalid local '{rest}'")))?,
+        },
+        "globaladdr" => Op::GlobalAddr {
+            name: rest
+                .strip_prefix('@')
+                .ok_or_else(|| IrError::parse(line_no, "global name must start with '@'"))?
+                .to_string(),
+        },
+        "call" => {
+            let open = rest
+                .find('(')
+                .ok_or_else(|| IrError::parse(line_no, "call expects '(args)'"))?;
+            let close = rest
+                .rfind(')')
+                .ok_or_else(|| IrError::parse(line_no, "missing ')' in call"))?;
+            let callee = rest[..open]
+                .trim()
+                .strip_prefix('@')
+                .ok_or_else(|| IrError::parse(line_no, "callee must start with '@'"))?;
+            let args = split_args(&rest[open + 1..close])
+                .into_iter()
+                .map(|a| parse_operand(line_no, a))
+                .collect::<Result<Vec<Operand>, IrError>>()?;
+            Op::Call {
+                callee: callee.to_string(),
+                args,
+            }
+        }
+        other => {
+            let op = BinOp::from_mnemonic(other).ok_or_else(|| {
+                IrError::parse(line_no, format!("unknown instruction mnemonic '{other}'"))
+            })?;
+            let parts = split_args(rest);
+            if parts.len() != 2 {
+                return Err(IrError::parse(line_no, "binary op expects two operands"));
+            }
+            Op::Bin {
+                op,
+                lhs: parse_operand(line_no, parts[0])?,
+                rhs: parse_operand(line_no, parts[1])?,
+            }
+        }
+    };
+    if op.has_result() != result.is_some() {
+        return Err(IrError::parse(
+            line_no,
+            "result assignment does not match the instruction kind",
+        ));
+    }
+    Ok(Inst { result, op })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::printer::print_module;
+
+    const SAMPLE: &str = r#"
+global @key const deadbeef
+global @scratch mutable -
+
+func @callee(%0) {
+bb0:
+  ret %0
+}
+
+func @main(%0, %1) protect_branches {
+  local $l0 4 "i"
+bb0:
+  %2 = add %0, %1
+  %3 = cmp ult %2, 0x10
+  %4 = localaddr $l0
+  store.w %4, %2
+  %5 = load.w %4
+  %6 = globaladdr @key
+  %7 = load.b %6
+  %8 = select %3, %5, %7
+  %9 = call @callee(%8)
+  %10 = enccmp eq %9, %2, 63877, 14991
+  %11 = cmp eq %10, 29982
+  br %11, bb1, bb2, protect(%10, 29982, 35552)
+bb1:
+  jmp bb3
+bb2:
+  switch %2, bb3, [1: bb1, 2: bb3]
+bb3:
+  ret %2
+}
+"#;
+
+    #[test]
+    fn parses_the_sample_module() {
+        let m = parse_module(SAMPLE).expect("parses");
+        assert_eq!(m.globals.len(), 2);
+        assert_eq!(m.global("key").expect("present").data, vec![0xDE, 0xAD, 0xBE, 0xEF]);
+        assert!(m.global("scratch").expect("present").data.is_empty());
+        let main = m.function("main").expect("present");
+        assert!(main.attrs.protect_branches);
+        assert_eq!(main.params.len(), 2);
+        assert_eq!(main.locals.len(), 1);
+        assert_eq!(main.blocks.len(), 4);
+        crate::verify::verify_module(&m).expect("verifies");
+    }
+
+    #[test]
+    fn parsed_module_round_trips_through_the_printer() {
+        let m1 = parse_module(SAMPLE).expect("parses");
+        let printed = print_module(&m1);
+        let m2 = parse_module(&printed).expect("re-parses");
+        assert_eq!(m1.globals, m2.globals);
+        assert_eq!(m1.functions.len(), m2.functions.len());
+        for (f1, f2) in m1.functions.iter().zip(&m2.functions) {
+            assert_eq!(f1.name, f2.name);
+            assert_eq!(f1.params, f2.params);
+            assert_eq!(f1.attrs, f2.attrs);
+            for (b1, b2) in f1.blocks.iter().zip(&f2.blocks) {
+                assert_eq!(b1.insts, b2.insts);
+                assert_eq!(b1.terminator, b2.terminator);
+            }
+        }
+    }
+
+    #[test]
+    fn parsed_module_executes() {
+        let m = parse_module(SAMPLE).expect("parses");
+        let r = crate::interp::run(&m, "main", &[3, 4]).expect("runs");
+        assert_eq!(r.return_value, Some(7));
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(parse_module("bogus line").is_err());
+        assert!(parse_module("global @g maybe aa").is_err());
+        assert!(parse_module("func @f() {\nbb0:\n  %1 = frobnicate 1, 2\n}").is_err());
+        assert!(parse_module("func @f() {\n  %1 = add 1, 2\n}").is_err(), "inst before label");
+        assert!(parse_module("func @f() {\nbb0:\n  br 1, bb1\n}").is_err());
+        assert!(parse_module("func @f() {\nbb0:\n  store.w 4\n}").is_err());
+        assert!(parse_module("func @f() {\nbb0:\n  %1 = cmp zz 1, 2\n}").is_err());
+    }
+
+    #[test]
+    fn reports_line_numbers() {
+        let text = "global @g const aa\nfunc @f() {\nbb0:\n  %1 = cmp zz 1, 2\n}";
+        let err = parse_module(text).expect_err("must fail");
+        match err {
+            IrError::Parse { line, .. } => assert_eq!(line, 4),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,223 @@
+//! Textual printer for IR modules.
+//!
+//! The format is line-based and intentionally simple; it round-trips through
+//! the [`crate::parser`]. Blocks are labelled `bb<N>:` where `N` is the block
+//! index, so parsed modules have stable block ids.
+
+use std::fmt::Write as _;
+
+use crate::function::{Function, Module};
+use crate::inst::{MemWidth, Op, Operand, Terminator};
+
+/// Prints a whole module.
+#[must_use]
+pub fn print_module(module: &Module) -> String {
+    let mut out = String::new();
+    for global in &module.globals {
+        let kind = if global.mutable { "mutable" } else { "const" };
+        let data = if global.data.is_empty() {
+            "-".to_string()
+        } else {
+            global.data.iter().map(|b| format!("{b:02x}")).collect()
+        };
+        let _ = writeln!(out, "global @{} {} {}", global.name, kind, data);
+    }
+    if !module.globals.is_empty() {
+        out.push('\n');
+    }
+    for (i, function) in module.functions.iter().enumerate() {
+        if i > 0 {
+            out.push('\n');
+        }
+        out.push_str(&print_function(function));
+    }
+    out
+}
+
+/// Prints a single function.
+#[must_use]
+pub fn print_function(function: &Function) -> String {
+    let mut out = String::new();
+    let params: Vec<String> = function.params.iter().map(|p| format!("{p}")).collect();
+    let attr = if function.attrs.protect_branches {
+        " protect_branches"
+    } else {
+        ""
+    };
+    let _ = writeln!(
+        out,
+        "func @{}({}){} {{",
+        function.name,
+        params.join(", "),
+        attr
+    );
+    for (i, local) in function.locals.iter().enumerate() {
+        let _ = writeln!(out, "  local $l{} {} \"{}\"", i, local.size_bytes, local.name);
+    }
+    for (bid, block) in function.iter_blocks() {
+        let _ = writeln!(out, "{bid}:  ; {}", block.name);
+        for inst in &block.insts {
+            let _ = writeln!(out, "  {}", print_inst_op(inst.result.map(|r| format!("{r}")), &inst.op));
+        }
+        if let Some(term) = &block.terminator {
+            let _ = writeln!(out, "  {}", print_terminator(term));
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn width_suffix(width: MemWidth) -> &'static str {
+    match width {
+        MemWidth::Byte => "b",
+        MemWidth::Word => "w",
+    }
+}
+
+fn print_inst_op(result: Option<String>, op: &Op) -> String {
+    let rhs = match op {
+        Op::Bin { op, lhs, rhs } => format!("{} {}, {}", op.mnemonic(), lhs, rhs),
+        Op::Cmp { pred, lhs, rhs } => format!("cmp {} {}, {}", pred.mnemonic(), lhs, rhs),
+        Op::Select {
+            cond,
+            if_true,
+            if_false,
+        } => format!("select {cond}, {if_true}, {if_false}"),
+        Op::Load { addr, width } => format!("load.{} {}", width_suffix(*width), addr),
+        Op::Store { addr, value, width } => {
+            format!("store.{} {}, {}", width_suffix(*width), addr, value)
+        }
+        Op::LocalAddr { local } => format!("localaddr {local}"),
+        Op::GlobalAddr { name } => format!("globaladdr @{name}"),
+        Op::Call { callee, args } => {
+            let args: Vec<String> = args.iter().map(|a| format!("{a}")).collect();
+            format!("call @{}({})", callee, args.join(", "))
+        }
+        Op::EncodedCompare {
+            pred,
+            lhs,
+            rhs,
+            a,
+            c,
+        } => format!("enccmp {} {}, {}, {}, {}", pred.mnemonic(), lhs, rhs, a, c),
+    };
+    match result {
+        Some(r) => format!("{r} = {rhs}"),
+        None => rhs,
+    }
+}
+
+fn print_terminator(term: &Terminator) -> String {
+    match term {
+        Terminator::Jump(t) => format!("jmp {t}"),
+        Terminator::Branch {
+            cond,
+            if_true,
+            if_false,
+            protection,
+        } => match protection {
+            None => format!("br {cond}, {if_true}, {if_false}"),
+            Some(p) => format!(
+                "br {cond}, {if_true}, {if_false}, protect({}, {}, {})",
+                p.condition, p.true_symbol, p.false_symbol
+            ),
+        },
+        Terminator::Switch {
+            value,
+            default,
+            cases,
+        } => {
+            let cases: Vec<String> = cases.iter().map(|(v, b)| format!("{v}: {b}")).collect();
+            format!("switch {value}, {default}, [{}]", cases.join(", "))
+        }
+        Terminator::Ret(None) => "ret".to_string(),
+        Terminator::Ret(Some(v)) => format!("ret {v}"),
+    }
+}
+
+/// Prints one operand (used in diagnostics and tests).
+#[must_use]
+pub fn print_operand(op: &Operand) -> String {
+    format!("{op}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::inst::{BinOp, Predicate};
+    use crate::Module;
+
+    #[test]
+    fn prints_function_with_all_constructs() {
+        let mut m = Module::new();
+        m.add_global("table", vec![0xDE, 0xAD], false);
+        m.add_global("scratch", vec![], true);
+
+        let mut callee = FunctionBuilder::new("callee", 1);
+        callee.ret(Some(callee.param(0)));
+        m.add_function(callee.finish());
+
+        let mut b = FunctionBuilder::new("main", 2);
+        b.protect_branches();
+        let (x, y) = (b.param(0), b.param(1));
+        let slot = b.local("tmp", 8);
+        let t = b.create_block("then");
+        let e = b.create_block("else");
+        let s = b.bin(BinOp::Add, x, y);
+        let la = b.local_addr(slot);
+        b.store(la, s);
+        let ga = b.global_addr("table");
+        let byte = b.load_byte(ga);
+        let sel = b.select(byte, x, y);
+        let called = b.call("callee", &[sel]);
+        let enc = b.encoded_compare(Predicate::Eq, called, s, 63_877, 14_991);
+        let flag = b.cmp(Predicate::Eq, enc, 29_982u32);
+        b.branch(flag, t, e);
+        b.switch_to(t);
+        b.ret(Some(s));
+        b.switch_to(e);
+        b.ret(None);
+        m.add_function(b.finish());
+
+        let text = print_module(&m);
+        assert!(text.contains("global @table const dead"));
+        assert!(text.contains("global @scratch mutable -"));
+        assert!(text.contains("func @main(%0, %1) protect_branches {"));
+        assert!(text.contains("local $l0 8 \"tmp\""));
+        assert!(text.contains("store.w"));
+        assert!(text.contains("load.b"));
+        assert!(text.contains("enccmp eq"));
+        assert!(text.contains("call @callee("));
+        assert!(text.contains("br %"));
+        assert!(text.contains("ret %"));
+    }
+
+    #[test]
+    fn prints_switch_and_protected_branch() {
+        let mut b = FunctionBuilder::new("f", 1);
+        let x = b.param(0);
+        let a = b.create_block("a");
+        let c = b.create_block("c");
+        b.switch(x, a, &[(1, c), (2, a)]);
+        b.switch_to(a);
+        let enc = b.encoded_compare(Predicate::Ult, x, 5u32, 63_877, 29_982);
+        let flag = b.cmp(Predicate::Eq, enc, 35_552u32);
+        b.protected_branch(
+            flag,
+            c,
+            a,
+            crate::inst::BranchProtection {
+                condition: enc,
+                true_symbol: 35_552,
+                false_symbol: 29_982,
+            },
+        );
+        b.switch_to(c);
+        b.ret(None);
+        let f = b.finish_unchecked();
+        let text = print_function(&f);
+        assert!(text.contains("switch %0, bb1, [1: bb2, 2: bb1]"));
+        assert!(text.contains("protect(%1, 35552, 29982)"));
+    }
+}

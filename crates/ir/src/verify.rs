@@ -1,0 +1,360 @@
+//! Structural verification of IR modules.
+//!
+//! The verifier checks the invariants the rest of the pipeline relies on:
+//!
+//! * every block has exactly one terminator and all targets exist,
+//! * every used value is defined (by a parameter or an instruction) and its
+//!   definition dominates the use,
+//! * values are defined at most once,
+//! * locals and globals referenced by instructions exist,
+//! * calls target functions that exist in the module and pass the right
+//!   number of arguments,
+//! * protected branches reference a condition value that is defined.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::cfg::{Cfg, Dominators};
+use crate::error::IrError;
+use crate::function::{Function, Module};
+use crate::inst::{BlockId, Op, Operand, Terminator, ValueId};
+
+/// Verifies a whole module.
+///
+/// # Errors
+///
+/// Returns the first [`IrError::Verification`] found.
+pub fn verify_module(module: &Module) -> Result<(), IrError> {
+    for function in &module.functions {
+        verify_function(module, function)?;
+    }
+    Ok(())
+}
+
+/// Verifies a single function against its containing module.
+///
+/// # Errors
+///
+/// Returns the first [`IrError::Verification`] found.
+pub fn verify_function(module: &Module, function: &Function) -> Result<(), IrError> {
+    let err = |msg: String| Err(IrError::verification(&function.name, msg));
+
+    if function.blocks.is_empty() {
+        return err("function has no blocks".to_string());
+    }
+
+    // Pass 1: collect definitions and check blocks/terminators.
+    let mut def_block: HashMap<ValueId, BlockId> = HashMap::new();
+    let mut def_index: HashMap<ValueId, usize> = HashMap::new();
+    for &p in &function.params {
+        def_block.insert(p, function.entry());
+        def_index.insert(p, 0);
+    }
+    let block_count = function.blocks.len() as u32;
+    for (bid, block) in function.iter_blocks() {
+        for (i, inst) in block.insts.iter().enumerate() {
+            if inst.op.has_result() != inst.result.is_some() {
+                return err(format!(
+                    "instruction {i} in block '{}' has a result mismatch",
+                    block.name
+                ));
+            }
+            if let Some(r) = inst.result {
+                if def_block.insert(r, bid).is_some() {
+                    return err(format!("value {r} is defined more than once"));
+                }
+                def_index.insert(r, i + 1);
+            }
+        }
+        let Some(term) = &block.terminator else {
+            return err(format!("block '{}' has no terminator", block.name));
+        };
+        for target in term.successors() {
+            if target.0 >= block_count {
+                return err(format!(
+                    "block '{}' branches to non-existent block {target}",
+                    block.name
+                ));
+            }
+        }
+    }
+
+    // Pass 2: uses — check existence, local/global/call validity and
+    // dominance of definitions over uses.
+    let cfg = Cfg::new(function);
+    let doms = Dominators::new(&cfg);
+    let local_count = function.locals.len() as u32;
+    let global_names: HashSet<&str> = module.globals.iter().map(|g| g.name.as_str()).collect();
+
+    let check_operand = |operand: Operand,
+                         use_block: BlockId,
+                         use_index: usize|
+     -> Result<(), IrError> {
+        let Operand::Value(v) = operand else {
+            return Ok(());
+        };
+        let Some(&dblock) = def_block.get(&v) else {
+            return Err(IrError::verification(
+                &function.name,
+                format!("use of undefined value {v}"),
+            ));
+        };
+        let dindex = def_index[&v];
+        let dominates = if dblock == use_block {
+            dindex <= use_index
+        } else {
+            doms.dominates(dblock, use_block)
+        };
+        if !dominates && doms.is_reachable(use_block) {
+            return Err(IrError::verification(
+                &function.name,
+                format!("definition of {v} does not dominate its use in {use_block}"),
+            ));
+        }
+        Ok(())
+    };
+
+    for (bid, block) in function.iter_blocks() {
+        for (i, inst) in block.insts.iter().enumerate() {
+            for operand in inst.op.operands() {
+                check_operand(operand, bid, i)?;
+            }
+            match &inst.op {
+                Op::LocalAddr { local } => {
+                    if local.0 >= local_count {
+                        return err(format!("reference to non-existent local {local}"));
+                    }
+                }
+                Op::GlobalAddr { name } => {
+                    if !global_names.contains(name.as_str()) {
+                        return err(format!("reference to non-existent global '{name}'"));
+                    }
+                }
+                Op::Call { callee, args } => {
+                    let Some(target) = module.function(callee) else {
+                        return err(format!("call to non-existent function '{callee}'"));
+                    };
+                    if target.params.len() != args.len() {
+                        return err(format!(
+                            "call to '{callee}' passes {} arguments, expected {}",
+                            args.len(),
+                            target.params.len()
+                        ));
+                    }
+                }
+                _ => {}
+            }
+        }
+        if let Some(term) = &block.terminator {
+            let term_index = block.insts.len();
+            for operand in term.operands() {
+                check_operand(operand, bid, term_index)?;
+            }
+            if let Terminator::Branch {
+                protection: Some(p),
+                ..
+            } = term
+            {
+                if p.true_symbol == p.false_symbol {
+                    return err(format!(
+                        "protected branch in block '{}' has identical condition symbols",
+                        block.name
+                    ));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::inst::{BinOp, Inst, Predicate};
+
+    fn module_with(f: Function) -> Module {
+        let mut m = Module::new();
+        m.add_function(f);
+        m
+    }
+
+    #[test]
+    fn accepts_well_formed_function() {
+        let mut b = FunctionBuilder::new("ok", 2);
+        let (x, y) = (b.param(0), b.param(1));
+        let s = b.bin(BinOp::Add, x, y);
+        b.ret(Some(s));
+        assert!(verify_module(&module_with(b.finish())).is_ok());
+    }
+
+    #[test]
+    fn rejects_missing_terminator() {
+        let mut b = FunctionBuilder::new("f", 0);
+        let dangling = b.create_block("dangling");
+        b.ret(None);
+        b.switch_to(dangling);
+        let f = b.finish_unchecked();
+        let e = verify_module(&module_with(f)).expect_err("must fail");
+        assert!(e.to_string().contains("no terminator"));
+    }
+
+    #[test]
+    fn rejects_use_of_undefined_value() {
+        let mut b = FunctionBuilder::new("f", 0);
+        b.ret(Some(Operand::Value(ValueId(99))));
+        let e = verify_module(&module_with(b.finish())).expect_err("must fail");
+        assert!(e.to_string().contains("undefined value"));
+    }
+
+    #[test]
+    fn rejects_use_before_definition_in_same_block() {
+        let mut f = Function::new("f", 0);
+        let v = f.fresh_value();
+        let w = f.fresh_value();
+        let entry = f.entry();
+        // %w = add %v, 1   (uses %v before it is defined)
+        // %v = add 1, 1
+        f.block_mut(entry).insts.push(Inst {
+            result: Some(w),
+            op: Op::Bin {
+                op: BinOp::Add,
+                lhs: Operand::Value(v),
+                rhs: Operand::Const(1),
+            },
+        });
+        f.block_mut(entry).insts.push(Inst {
+            result: Some(v),
+            op: Op::Bin {
+                op: BinOp::Add,
+                lhs: Operand::Const(1),
+                rhs: Operand::Const(1),
+            },
+        });
+        f.block_mut(entry).terminator = Some(Terminator::Ret(None));
+        let e = verify_module(&module_with(f)).expect_err("must fail");
+        assert!(e.to_string().contains("does not dominate"));
+    }
+
+    #[test]
+    fn rejects_definition_that_does_not_dominate_cross_block_use() {
+        // entry branches to {a, b}; a defines %v; b uses %v.
+        let mut b = FunctionBuilder::new("f", 1);
+        let p = b.param(0);
+        let a_bb = b.create_block("a");
+        let b_bb = b.create_block("b");
+        let c = b.cmp(Predicate::Ne, p, 0u32);
+        b.branch(c, a_bb, b_bb);
+        b.switch_to(a_bb);
+        let v = b.bin(BinOp::Add, p, 1u32);
+        b.ret(Some(v));
+        b.switch_to(b_bb);
+        b.ret(Some(v));
+        let e = verify_module(&module_with(b.finish())).expect_err("must fail");
+        assert!(e.to_string().contains("does not dominate"));
+    }
+
+    #[test]
+    fn accepts_definition_dominating_both_arms() {
+        let mut b = FunctionBuilder::new("f", 1);
+        let p = b.param(0);
+        let a_bb = b.create_block("a");
+        let b_bb = b.create_block("b");
+        let v = b.bin(BinOp::Add, p, 1u32);
+        let c = b.cmp(Predicate::Ne, p, 0u32);
+        b.branch(c, a_bb, b_bb);
+        b.switch_to(a_bb);
+        b.ret(Some(v));
+        b.switch_to(b_bb);
+        b.ret(Some(v));
+        assert!(verify_module(&module_with(b.finish())).is_ok());
+    }
+
+    #[test]
+    fn rejects_dangling_block_target() {
+        let mut f = Function::new("f", 0);
+        f.block_mut(BlockId(0)).terminator = Some(Terminator::Jump(BlockId(7)));
+        let e = verify_module(&module_with(f)).expect_err("must fail");
+        assert!(e.to_string().contains("non-existent block"));
+    }
+
+    #[test]
+    fn rejects_unknown_local_global_and_call() {
+        let mut b = FunctionBuilder::new("f", 0);
+        let _ = b.local_addr(crate::inst::LocalId(3));
+        b.ret(None);
+        let e = verify_module(&module_with(b.finish())).expect_err("must fail");
+        assert!(e.to_string().contains("non-existent local"));
+
+        let mut b = FunctionBuilder::new("f", 0);
+        let _ = b.global_addr("nope");
+        b.ret(None);
+        let e = verify_module(&module_with(b.finish())).expect_err("must fail");
+        assert!(e.to_string().contains("non-existent global"));
+
+        let mut b = FunctionBuilder::new("f", 0);
+        let _ = b.call("missing", &[]);
+        b.ret(None);
+        let e = verify_module(&module_with(b.finish())).expect_err("must fail");
+        assert!(e.to_string().contains("non-existent function"));
+    }
+
+    #[test]
+    fn rejects_call_arity_mismatch() {
+        let mut callee = FunctionBuilder::new("callee", 2);
+        callee.ret(None);
+        let mut caller = FunctionBuilder::new("caller", 0);
+        let _ = caller.call("callee", &[Operand::Const(1)]);
+        caller.ret(None);
+        let mut m = Module::new();
+        m.add_function(callee.finish());
+        m.add_function(caller.finish());
+        let e = verify_module(&m).expect_err("must fail");
+        assert!(e.to_string().contains("expected 2"));
+    }
+
+    #[test]
+    fn rejects_double_definition() {
+        let mut f = Function::new("f", 0);
+        let v = f.fresh_value();
+        let entry = f.entry();
+        for _ in 0..2 {
+            f.block_mut(entry).insts.push(Inst {
+                result: Some(v),
+                op: Op::Bin {
+                    op: BinOp::Add,
+                    lhs: Operand::Const(1),
+                    rhs: Operand::Const(1),
+                },
+            });
+        }
+        f.block_mut(entry).terminator = Some(Terminator::Ret(None));
+        let e = verify_module(&module_with(f)).expect_err("must fail");
+        assert!(e.to_string().contains("more than once"));
+    }
+
+    #[test]
+    fn rejects_protected_branch_with_identical_symbols() {
+        let mut b = FunctionBuilder::new("f", 2);
+        let (x, y) = (b.param(0), b.param(1));
+        let t = b.create_block("t");
+        let e_bb = b.create_block("e");
+        let cond = b.encoded_compare(Predicate::Eq, x, y, 63_877, 14_991);
+        let flag = b.cmp(Predicate::Eq, cond, 29_982u32);
+        b.protected_branch(
+            flag,
+            t,
+            e_bb,
+            crate::inst::BranchProtection {
+                condition: cond,
+                true_symbol: 1,
+                false_symbol: 1,
+            },
+        );
+        b.switch_to(t);
+        b.ret(None);
+        b.switch_to(e_bb);
+        b.ret(None);
+        let e = verify_module(&module_with(b.finish())).expect_err("must fail");
+        assert!(e.to_string().contains("identical condition symbols"));
+    }
+}

@@ -1,0 +1,574 @@
+//! The AN Coder pass — the paper's central transformation.
+//!
+//! For every conditional branch of a function annotated `protect_branches`
+//! the pass:
+//!
+//! 1. finds the comparison that produces the branch condition and its
+//!    backward *comparison slice* (the additions, subtractions and
+//!    multiplications by constants that feed it),
+//! 2. rebuilds that slice in the AN-code domain (`xc = A * x`): slice leaves
+//!    (loads, parameters, results of non-arithmetic operations) are encoded
+//!    with an explicit multiplication, constants become encoded constants,
+//!    and additions/subtractions are replayed on the encoded values
+//!    (AN-codes are closed under them, Equation 1),
+//! 3. replaces the plain comparison with the *redundantly encoded comparison*
+//!    (Algorithm 1 / Algorithm 2, represented by the IR's `enccmp`
+//!    instruction), and
+//! 4. turns the branch into a *protected branch*: the branch itself still
+//!    compares the condition value against the expected `true` symbol of
+//!    Table I, and the attached [`secbranch_ir::BranchProtection`] tells the
+//!    back end which symbols to link into the CFI state of the successors
+//!    (Section III).
+//!
+//! Branches whose condition cannot be traced to a comparison, or whose slice
+//! contains constants outside the functional range of the code, are left
+//! unprotected and counted in [`AnCoderStats::skipped_branches`].
+//!
+//! Like the paper's scheme, the encoded comparison assumes the compared
+//! functional values stay within the code's functional range (16-bit data for
+//! the default `A = 63877`); the guest workloads uphold this by comparing
+//! bytes or 16-bit quantities.
+
+use std::collections::HashMap;
+
+use secbranch_ancode::{Parameters, Predicate as AnPredicate};
+use secbranch_ir::cfg::Cfg;
+use secbranch_ir::{
+    BinOp, BlockId, BranchProtection, Function, Inst, Module, Op, Operand, Predicate, Terminator,
+    ValueId,
+};
+
+use crate::error::PassError;
+use crate::manager::Pass;
+use crate::util::{comparison_slice, value_definitions, InstLoc};
+
+/// Configuration of the AN Coder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AnCoderConfig {
+    /// The AN-code and condition-constant parameters (defaults to the
+    /// paper's `A = 63877`, `C = 29982` / `14991`).
+    pub params: Parameters,
+    /// Whether only functions annotated `protect_branches` are transformed.
+    pub only_protected_functions: bool,
+}
+
+impl Default for AnCoderConfig {
+    fn default() -> Self {
+        AnCoderConfig {
+            params: Parameters::paper_defaults(),
+            only_protected_functions: true,
+        }
+    }
+}
+
+/// Statistics reported by [`AnCoder::run_with_stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AnCoderStats {
+    /// Conditional branches that were protected.
+    pub protected_branches: usize,
+    /// Conditional branches that could not be protected (no traceable
+    /// comparison, out-of-range constants, or already protected).
+    pub skipped_branches: usize,
+    /// Instructions added for the encoded comparison slices (encoding
+    /// multiplications, replayed arithmetic, encoded compares and symbol
+    /// checks).
+    pub added_instructions: usize,
+}
+
+/// The AN Coder pass.
+#[derive(Debug, Clone, Copy)]
+pub struct AnCoder {
+    config: AnCoderConfig,
+}
+
+impl AnCoder {
+    /// Creates the pass with the given configuration.
+    #[must_use]
+    pub fn new(config: AnCoderConfig) -> Self {
+        AnCoder { config }
+    }
+
+    /// Runs the pass and reports what it did.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible, but returns a [`PassError`] for interface
+    /// consistency with [`Pass::run`].
+    pub fn run_with_stats(&self, module: &mut Module) -> Result<AnCoderStats, PassError> {
+        let mut stats = AnCoderStats::default();
+        for function in &mut module.functions {
+            if self.config.only_protected_functions && !function.attrs.protect_branches {
+                continue;
+            }
+            protect_function(function, &self.config.params, &mut stats);
+        }
+        Ok(stats)
+    }
+}
+
+impl Pass for AnCoder {
+    fn name(&self) -> &'static str {
+        "an-coder"
+    }
+
+    fn run(&self, module: &mut Module) -> Result<(), PassError> {
+        self.run_with_stats(module).map(|_| ())
+    }
+}
+
+/// Maps the IR predicate onto the AN-code predicate.
+fn an_predicate(pred: Predicate) -> AnPredicate {
+    match pred {
+        Predicate::Eq => AnPredicate::Eq,
+        Predicate::Ne => AnPredicate::Ne,
+        Predicate::Ult => AnPredicate::Ult,
+        Predicate::Ule => AnPredicate::Ule,
+        Predicate::Ugt => AnPredicate::Ugt,
+        Predicate::Uge => AnPredicate::Uge,
+    }
+}
+
+fn protect_function(function: &mut Function, params: &Parameters, stats: &mut AnCoderStats) {
+    let branch_blocks: Vec<BlockId> = function.conditional_branches();
+    for block in branch_blocks {
+        match protect_branch(function, block, params) {
+            Ok(added) => {
+                stats.protected_branches += 1;
+                stats.added_instructions += added;
+            }
+            Err(()) => stats.skipped_branches += 1,
+        }
+    }
+}
+
+/// Attempts to protect the conditional branch terminating `block`; returns
+/// the number of added instructions, or `Err(())` if the branch must stay
+/// unprotected.
+fn protect_branch(
+    function: &mut Function,
+    block: BlockId,
+    params: &Parameters,
+) -> Result<usize, ()> {
+    let Some(Terminator::Branch {
+        cond,
+        if_true,
+        if_false,
+        protection,
+    }) = function.block(block).terminator.clone()
+    else {
+        return Err(());
+    };
+    if protection.is_some() {
+        return Err(());
+    }
+    let cond_value = cond.as_value().ok_or(())?;
+
+    let defs = value_definitions(function);
+    let cmp_loc = *defs.get(&cond_value).ok_or(())?;
+    let Op::Cmp { pred, lhs, rhs } =
+        function.block(cmp_loc.block).insts[cmp_loc.index].op.clone()
+    else {
+        return Err(());
+    };
+
+    // Build the encoded twin of the comparison slice.
+    let slice = comparison_slice(function, &[lhs, rhs]);
+    let order = slice_topological_order(function, &defs, &slice.internal);
+    let code = params.code();
+    let a = code.constant();
+
+    let mut new_insts: Vec<Inst> = Vec::new();
+    let mut encoded: HashMap<ValueId, Operand> = HashMap::new();
+
+    // A helper closure cannot borrow `function` mutably while we also push
+    // fresh values, so encoding is done in two explicit steps.
+    let encode_operand = |function: &mut Function,
+                              new_insts: &mut Vec<Inst>,
+                              encoded: &mut HashMap<ValueId, Operand>,
+                              operand: Operand|
+     -> Result<Operand, ()> {
+        match operand {
+            Operand::Const(c) => {
+                if c >= code.functional_max_exclusive() {
+                    return Err(());
+                }
+                Ok(Operand::Const(a * c))
+            }
+            Operand::Value(v) => {
+                if let Some(e) = encoded.get(&v) {
+                    return Ok(*e);
+                }
+                // A leaf: encode with an explicit multiplication by A.
+                let enc = function.fresh_value();
+                new_insts.push(Inst {
+                    result: Some(enc),
+                    op: Op::Bin {
+                        op: BinOp::Mul,
+                        lhs: Operand::Value(v),
+                        rhs: Operand::Const(a),
+                    },
+                });
+                let enc_op = Operand::Value(enc);
+                encoded.insert(v, enc_op);
+                Ok(enc_op)
+            }
+        }
+    };
+
+    // Replay the slice-internal arithmetic on encoded operands, in
+    // definition order.
+    for v in order {
+        let loc = defs[&v];
+        let op = function.block(loc.block).insts[loc.index].op.clone();
+        let twin_op = match op {
+            Op::Bin {
+                op: bin @ (BinOp::Add | BinOp::Sub),
+                lhs,
+                rhs,
+            } => {
+                let l = encode_operand(function, &mut new_insts, &mut encoded, lhs)?;
+                let r = encode_operand(function, &mut new_insts, &mut encoded, rhs)?;
+                Op::Bin {
+                    op: bin,
+                    lhs: l,
+                    rhs: r,
+                }
+            }
+            Op::Bin {
+                op: BinOp::Mul,
+                lhs,
+                rhs,
+            } => {
+                // Exactly one operand is a constant (slice membership rule);
+                // the constant stays plain and scales the encoded operand.
+                let (value_op, const_op) = match (lhs, rhs) {
+                    (Operand::Const(c), other) => (other, c),
+                    (other, Operand::Const(c)) => (other, c),
+                    _ => return Err(()),
+                };
+                let v_enc = encode_operand(function, &mut new_insts, &mut encoded, value_op)?;
+                Op::Bin {
+                    op: BinOp::Mul,
+                    lhs: v_enc,
+                    rhs: Operand::Const(const_op),
+                }
+            }
+            _ => return Err(()),
+        };
+        let twin = function.fresh_value();
+        new_insts.push(Inst {
+            result: Some(twin),
+            op: twin_op,
+        });
+        encoded.insert(v, Operand::Value(twin));
+    }
+
+    let lhs_enc = encode_operand(function, &mut new_insts, &mut encoded, lhs)?;
+    let rhs_enc = encode_operand(function, &mut new_insts, &mut encoded, rhs)?;
+
+    // The encoded comparison and the symbol check.
+    let an_pred = an_predicate(pred);
+    let class_constant = if an_pred.is_equality_class() {
+        params.equality_constant()
+    } else {
+        params.ordering_constant()
+    };
+    let symbols = params.symbols(an_pred);
+
+    let enc_cond = function.fresh_value();
+    new_insts.push(Inst {
+        result: Some(enc_cond),
+        op: Op::EncodedCompare {
+            pred,
+            lhs: lhs_enc,
+            rhs: rhs_enc,
+            a,
+            c: class_constant,
+        },
+    });
+    let flag = function.fresh_value();
+    new_insts.push(Inst {
+        result: Some(flag),
+        op: Op::Cmp {
+            pred: Predicate::Eq,
+            lhs: Operand::Value(enc_cond),
+            rhs: Operand::Const(symbols.true_value()),
+        },
+    });
+
+    let added = new_insts.len();
+    function.block_mut(block).insts.extend(new_insts);
+    function.block_mut(block).terminator = Some(Terminator::Branch {
+        cond: Operand::Value(flag),
+        if_true,
+        if_false,
+        protection: Some(BranchProtection {
+            condition: Operand::Value(enc_cond),
+            true_symbol: symbols.true_value(),
+            false_symbol: symbols.false_value(),
+        }),
+    });
+    Ok(added)
+}
+
+/// Orders the slice-internal values so every definition precedes its uses:
+/// blocks in reverse post-order, instructions in block order.
+fn slice_topological_order(
+    function: &Function,
+    defs: &HashMap<ValueId, InstLoc>,
+    internal: &std::collections::HashSet<ValueId>,
+) -> Vec<ValueId> {
+    let cfg = Cfg::new(function);
+    let rpo = cfg.reverse_post_order();
+    let block_rank: HashMap<BlockId, usize> =
+        rpo.iter().enumerate().map(|(i, b)| (*b, i)).collect();
+    let mut values: Vec<ValueId> = internal.iter().copied().collect();
+    values.sort_by_key(|v| {
+        let loc = defs[v];
+        (
+            block_rank.get(&loc.block).copied().unwrap_or(usize::MAX),
+            loc.index,
+        )
+    });
+    values
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use secbranch_ir::builder::FunctionBuilder;
+    use secbranch_ir::{interp, verify, Module};
+
+    fn password_module() -> Module {
+        let mut b = FunctionBuilder::new("check", 2);
+        b.protect_branches();
+        let grant = b.create_block("grant");
+        let deny = b.create_block("deny");
+        let cond = b.cmp(Predicate::Eq, b.param(0), b.param(1));
+        b.branch(cond, grant, deny);
+        b.switch_to(grant);
+        b.ret(Some(1u32.into()));
+        b.switch_to(deny);
+        b.ret(Some(0u32.into()));
+        let mut m = Module::new();
+        m.add_function(b.finish());
+        m
+    }
+
+    fn arithmetic_module() -> Module {
+        // if (x + 3) - y < 40 { 1 } else { 0 }
+        let mut b = FunctionBuilder::new("range_check", 2);
+        b.protect_branches();
+        let t = b.create_block("t");
+        let f = b.create_block("f");
+        let sum = b.bin(BinOp::Add, b.param(0), 3u32);
+        let diff = b.bin(BinOp::Sub, sum, b.param(1));
+        let cond = b.cmp(Predicate::Ult, diff, 40u32);
+        b.branch(cond, t, f);
+        b.switch_to(t);
+        b.ret(Some(1u32.into()));
+        b.switch_to(f);
+        b.ret(Some(0u32.into()));
+        let mut m = Module::new();
+        m.add_function(b.finish());
+        m
+    }
+
+    fn run_coder(m: &mut Module) -> AnCoderStats {
+        let coder = AnCoder::new(AnCoderConfig::default());
+        let stats = coder.run_with_stats(m).expect("runs");
+        verify::verify_module(m).expect("valid after an-coder");
+        stats
+    }
+
+    #[test]
+    fn equality_branch_is_protected_and_semantics_preserved() {
+        let mut m = password_module();
+        let stats = run_coder(&mut m);
+        assert_eq!(stats.protected_branches, 1);
+        assert_eq!(stats.skipped_branches, 0);
+        assert!(stats.added_instructions >= 3);
+
+        for (x, y, expect) in [(5u32, 5u32, 1u32), (5, 6, 0), (0, 0, 1), (65_000, 64_999, 0)] {
+            assert_eq!(
+                interp::run(&m, "check", &[x, y]).unwrap().return_value,
+                Some(expect),
+                "{x} == {y}"
+            );
+        }
+    }
+
+    #[test]
+    fn protected_branch_carries_table_one_symbols() {
+        let mut m = password_module();
+        run_coder(&mut m);
+        let f = m.function("check").expect("present");
+        let Some(Terminator::Branch {
+            protection: Some(p),
+            ..
+        }) = &f.block(f.entry()).terminator
+        else {
+            panic!("branch must be protected");
+        };
+        assert_eq!(p.true_symbol, 2 * 14_991);
+        assert_eq!(p.false_symbol, 5_570 + 2 * 14_991);
+    }
+
+    #[test]
+    fn arithmetic_slice_is_replayed_in_the_encoded_domain() {
+        let mut m = arithmetic_module();
+        let stats = run_coder(&mut m);
+        assert_eq!(stats.protected_branches, 1);
+
+        // Semantics across the boundary (39 < 40, 40 !< 40).
+        for (x, y, expect) in [(40u32, 4u32, 1u32), (41, 4, 0), (45, 10, 1), (60, 3, 0)] {
+            assert_eq!(
+                interp::run(&m, "range_check", &[x, y]).unwrap().return_value,
+                Some(expect),
+                "({x} + 3) - {y} < 40"
+            );
+        }
+
+        // The protected function contains an encoded compare and encoded
+        // constants (A * 3, A * 40 appear as immediates).
+        let f = m.function("range_check").expect("present");
+        let has_enccmp = f
+            .blocks
+            .iter()
+            .flat_map(|b| &b.insts)
+            .any(|i| matches!(i.op, Op::EncodedCompare { .. }));
+        assert!(has_enccmp);
+        let a = Parameters::paper_defaults().code().constant();
+        let has_encoded_const = f
+            .blocks
+            .iter()
+            .flat_map(|b| &b.insts)
+            .flat_map(|i| i.op.operands())
+            .any(|o| o == Operand::Const(a * 3));
+        assert!(has_encoded_const, "slice constants must be encoded");
+    }
+
+    #[test]
+    fn unprotectable_branches_are_skipped() {
+        // The branch condition is a parameter, not a comparison result.
+        let mut b = FunctionBuilder::new("flagged", 1);
+        b.protect_branches();
+        let t = b.create_block("t");
+        let f = b.create_block("f");
+        b.branch(b.param(0), t, f);
+        b.switch_to(t);
+        b.ret(Some(1u32.into()));
+        b.switch_to(f);
+        b.ret(Some(0u32.into()));
+        let mut m = Module::new();
+        m.add_function(b.finish());
+        let stats = run_coder(&mut m);
+        assert_eq!(stats.protected_branches, 0);
+        assert_eq!(stats.skipped_branches, 1);
+    }
+
+    #[test]
+    fn out_of_range_constants_prevent_protection() {
+        let mut b = FunctionBuilder::new("big", 1);
+        b.protect_branches();
+        let t = b.create_block("t");
+        let f = b.create_block("f");
+        let cond = b.cmp(Predicate::Ult, b.param(0), 1_000_000u32);
+        b.branch(cond, t, f);
+        b.switch_to(t);
+        b.ret(Some(1u32.into()));
+        b.switch_to(f);
+        b.ret(Some(0u32.into()));
+        let mut m = Module::new();
+        m.add_function(b.finish());
+        let stats = run_coder(&mut m);
+        assert_eq!(stats.protected_branches, 0);
+        assert_eq!(stats.skipped_branches, 1);
+        // The function still behaves correctly.
+        assert_eq!(
+            interp::run(&m, "big", &[5]).unwrap().return_value,
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn unannotated_functions_are_untouched_unless_configured() {
+        let mut b = FunctionBuilder::new("plain", 2);
+        let t = b.create_block("t");
+        let f = b.create_block("f");
+        let cond = b.cmp(Predicate::Eq, b.param(0), b.param(1));
+        b.branch(cond, t, f);
+        b.switch_to(t);
+        b.ret(Some(1u32.into()));
+        b.switch_to(f);
+        b.ret(Some(0u32.into()));
+        let mut m = Module::new();
+        m.add_function(b.finish());
+
+        let stats = AnCoder::new(AnCoderConfig::default())
+            .run_with_stats(&mut m)
+            .expect("runs");
+        assert_eq!(stats.protected_branches, 0);
+
+        let stats = AnCoder::new(AnCoderConfig {
+            only_protected_functions: false,
+            ..AnCoderConfig::default()
+        })
+        .run_with_stats(&mut m)
+        .expect("runs");
+        assert_eq!(stats.protected_branches, 1);
+    }
+
+    #[test]
+    fn full_pipeline_with_dce_removes_the_plain_comparison() {
+        let mut m = password_module();
+        let pm = crate::standard_protection_pipeline(AnCoderConfig::default());
+        pm.run(&mut m).expect("pipeline runs");
+        let f = m.function("check").expect("present");
+        // The original plain `cmp eq %0, %1` is dead after protection (its
+        // only consumer was the branch) and must have been removed; the
+        // remaining comparison is the symbol check against Table I's value.
+        let plain_cmps: Vec<_> = f
+            .blocks
+            .iter()
+            .flat_map(|b| &b.insts)
+            .filter(|i| matches!(i.op, Op::Cmp { .. }))
+            .collect();
+        assert_eq!(plain_cmps.len(), 1);
+        assert!(matches!(
+            plain_cmps[0].op,
+            Op::Cmp {
+                rhs: Operand::Const(29_982),
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn all_predicates_are_supported() {
+        for pred in Predicate::ALL {
+            let mut b = FunctionBuilder::new("p", 2);
+            b.protect_branches();
+            let t = b.create_block("t");
+            let f = b.create_block("f");
+            let cond = b.cmp(pred, b.param(0), b.param(1));
+            b.branch(cond, t, f);
+            b.switch_to(t);
+            b.ret(Some(1u32.into()));
+            b.switch_to(f);
+            b.ret(Some(0u32.into()));
+            let mut m = Module::new();
+            m.add_function(b.finish());
+            let stats = run_coder(&mut m);
+            assert_eq!(stats.protected_branches, 1, "{pred}");
+            for (x, y) in [(3u32, 7u32), (7, 3), (5, 5)] {
+                let expect = u32::from(pred.evaluate(x, y));
+                assert_eq!(
+                    interp::run(&m, "p", &[x, y]).unwrap().return_value,
+                    Some(expect),
+                    "{x} {pred} {y}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! Dead-code elimination.
+
+use secbranch_ir::{Module, Op};
+
+use crate::error::PassError;
+use crate::manager::Pass;
+use crate::util::value_use_counts;
+
+/// Removes side-effect-free instructions whose results are never used.
+///
+/// The AN Coder leaves the original comparison slice in place; when the slice
+/// had no other consumers it becomes dead and this pass removes it, so the
+/// protected program does not pay for both the plain and the encoded
+/// computation.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DeadCodeElimination;
+
+impl DeadCodeElimination {
+    /// Creates the pass.
+    #[must_use]
+    pub fn new() -> Self {
+        DeadCodeElimination
+    }
+}
+
+fn has_side_effects(op: &Op) -> bool {
+    matches!(op, Op::Store { .. } | Op::Call { .. })
+}
+
+impl Pass for DeadCodeElimination {
+    fn name(&self) -> &'static str {
+        "dce"
+    }
+
+    fn run(&self, module: &mut Module) -> Result<(), PassError> {
+        for function in &mut module.functions {
+            // Iterate to a fixed point: removing one dead instruction can
+            // make its operands dead too.
+            loop {
+                let uses = value_use_counts(function);
+                let mut removed_any = false;
+                for block in &mut function.blocks {
+                    let before = block.insts.len();
+                    block.insts.retain(|inst| {
+                        let dead = !has_side_effects(&inst.op)
+                            && inst
+                                .result
+                                .map(|r| !uses.contains_key(&r))
+                                .unwrap_or(false);
+                        !dead
+                    });
+                    if block.insts.len() != before {
+                        removed_any = true;
+                    }
+                }
+                if !removed_any {
+                    break;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use secbranch_ir::builder::FunctionBuilder;
+    use secbranch_ir::{BinOp, Module};
+
+    #[test]
+    fn removes_unused_chains_but_keeps_side_effects() {
+        let mut b = FunctionBuilder::new("f", 1);
+        let p = b.param(0);
+        // Dead chain: d1 -> d2 (never used).
+        let d1 = b.bin(BinOp::Add, p, 1u32);
+        let _d2 = b.bin(BinOp::Mul, d1, 3u32);
+        // Live value.
+        let live = b.bin(BinOp::Add, p, 2u32);
+        // Store is kept even though its "result" does not exist.
+        let slot = b.local("slot", 4);
+        b.store_local(slot, live);
+        b.ret(Some(live));
+        let mut m = Module::new();
+        m.add_function(b.finish());
+
+        let before = m.inst_count();
+        DeadCodeElimination::new().run(&mut m).expect("runs");
+        let after = m.inst_count();
+        assert!(after < before);
+        let f = m.function("f").expect("present");
+        // live add, localaddr, store remain; the two dead arithmetic
+        // instructions are gone.
+        assert_eq!(f.inst_count(), 3);
+        secbranch_ir::verify::verify_module(&m).expect("still valid");
+    }
+
+    #[test]
+    fn dead_loads_are_removed_but_calls_are_not() {
+        let mut callee = FunctionBuilder::new("callee", 0);
+        callee.ret(None);
+
+        let mut b = FunctionBuilder::new("f", 0);
+        let g = b.create_block("next");
+        let addr = b.global_addr("data");
+        let _unused_load = b.load(addr);
+        let _call = b.call("callee", &[]);
+        b.jump(g);
+        b.switch_to(g);
+        b.ret(None);
+
+        let mut m = Module::new();
+        m.add_global("data", vec![0; 4], false);
+        m.add_function(callee.finish());
+        m.add_function(b.finish());
+
+        DeadCodeElimination::new().run(&mut m).expect("runs");
+        let f = m.function("f").expect("present");
+        // Only the call remains (globaladdr + load were dead).
+        assert_eq!(f.inst_count(), 1);
+        assert!(matches!(
+            f.block(f.entry()).insts[0].op,
+            Op::Call { .. }
+        ));
+    }
+
+    #[test]
+    fn idempotent_on_clean_code() {
+        let mut b = FunctionBuilder::new("f", 2);
+        let s = b.bin(BinOp::Add, b.param(0), b.param(1));
+        b.ret(Some(s));
+        let mut m = Module::new();
+        m.add_function(b.finish());
+        DeadCodeElimination::new().run(&mut m).expect("runs");
+        let first = m.clone();
+        DeadCodeElimination::new().run(&mut m).expect("runs");
+        assert_eq!(m, first);
+    }
+}

@@ -1,0 +1,317 @@
+//! The duplication baseline (Section II-C): conditional branches of protected
+//! functions are re-checked multiple times in a comparison tree.
+//!
+//! This is the state-of-the-art software countermeasure the paper compares
+//! against in Table III. It re-executes the comparison after the branch has
+//! been taken: on the taken path the condition must still hold, on the
+//! fall-through path it must still not hold; a disagreement diverts to a
+//! fault handler. The check is repeated `order` times (the paper uses six to
+//! match the 6-bit Hamming distance of the AN-code), and — as the paper
+//! points out — it protects only the branch itself, not the data or the
+//! arithmetic feeding it, and can be defeated by inducing the same fault
+//! repeatedly.
+
+use secbranch_ir::{
+    BlockId, Function, Inst, Module, Op, Operand, Predicate, Terminator, ValueId,
+};
+
+use crate::error::PassError;
+use crate::manager::Pass;
+
+/// The return value produced when a duplicated check detects a disagreement
+/// (the "fault detected" handler of the baseline).
+pub const FAULT_DETECTED_RETURN: u32 = 0xFDFD_FDFD;
+
+/// Configuration of the duplication baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DuplicationConfig {
+    /// How many times the branch decision is checked in total (the original
+    /// branch plus `order - 1` re-checks). The paper uses 6.
+    pub order: u32,
+    /// Whether only functions annotated `protect_branches` are transformed
+    /// (mirrors the AN Coder's opt-in behaviour).
+    pub only_protected_functions: bool,
+}
+
+impl Default for DuplicationConfig {
+    fn default() -> Self {
+        DuplicationConfig {
+            order: 6,
+            only_protected_functions: true,
+        }
+    }
+}
+
+/// The duplication pass.
+#[derive(Debug, Clone, Copy)]
+pub struct Duplication {
+    config: DuplicationConfig,
+}
+
+impl Duplication {
+    /// Creates the pass with the given configuration.
+    #[must_use]
+    pub fn new(config: DuplicationConfig) -> Self {
+        Duplication { config }
+    }
+}
+
+impl Pass for Duplication {
+    fn name(&self) -> &'static str {
+        "duplication"
+    }
+
+    fn run(&self, module: &mut Module) -> Result<(), PassError> {
+        if self.config.order < 2 {
+            return Ok(());
+        }
+        for function in &mut module.functions {
+            if self.config.only_protected_functions && !function.attrs.protect_branches {
+                continue;
+            }
+            duplicate_branches(function, self.config.order);
+        }
+        Ok(())
+    }
+}
+
+fn duplicate_branches(function: &mut Function, order: u32) {
+    // Collect the branches up front; the transformation adds blocks but the
+    // original branch blocks keep their ids.
+    let branches: Vec<BlockId> = function.conditional_branches();
+    if branches.is_empty() {
+        return;
+    }
+    let handler = add_fault_handler(function);
+    for block in branches {
+        let Some(Terminator::Branch {
+            cond,
+            if_true,
+            if_false,
+            protection,
+        }) = function.block(block).terminator.clone()
+        else {
+            continue;
+        };
+        if protection.is_some() {
+            // Already protected by the AN-code scheme; the baselines are not
+            // meant to be combined.
+            continue;
+        }
+        // Find the comparison that produced the condition so the re-checks
+        // recompute it instead of re-reading a (possibly faulted) flag.
+        let recheck = cond
+            .as_value()
+            .and_then(|v| find_cmp(function, v))
+            .unwrap_or(RecheckKind::Flag(cond));
+
+        // Build `order - 1` re-check blocks on each edge.
+        let true_entry = build_chain(function, &recheck, order - 1, if_true, handler, true);
+        let false_entry = build_chain(function, &recheck, order - 1, if_false, handler, false);
+        function.block_mut(block).terminator = Some(Terminator::Branch {
+            cond,
+            if_true: true_entry,
+            if_false: false_entry,
+            protection: None,
+        });
+    }
+}
+
+/// How a re-check reproduces the branch decision.
+#[derive(Debug, Clone)]
+enum RecheckKind {
+    /// Re-execute the original comparison.
+    Cmp {
+        pred: Predicate,
+        lhs: Operand,
+        rhs: Operand,
+    },
+    /// The condition was not produced by a comparison in this function;
+    /// re-test the flag value itself.
+    Flag(Operand),
+}
+
+fn find_cmp(function: &Function, value: ValueId) -> Option<RecheckKind> {
+    for (_, block) in function.iter_blocks() {
+        for inst in &block.insts {
+            if inst.result == Some(value) {
+                if let Op::Cmp { pred, lhs, rhs } = inst.op {
+                    return Some(RecheckKind::Cmp { pred, lhs, rhs });
+                }
+                return None;
+            }
+        }
+    }
+    None
+}
+
+fn add_fault_handler(function: &mut Function) -> BlockId {
+    let handler = function.add_block("fault.detected");
+    function.block_mut(handler).terminator = Some(Terminator::Ret(Some(Operand::Const(
+        FAULT_DETECTED_RETURN,
+    ))));
+    handler
+}
+
+/// Builds a chain of `count` re-check blocks that finally reaches `target`.
+/// On the `expect_taken` edge the re-checks must agree the condition holds;
+/// on the other edge they must agree it does not. Disagreement diverts to
+/// `handler`. Returns the entry block of the chain (or `target` directly when
+/// `count` is zero).
+fn build_chain(
+    function: &mut Function,
+    recheck: &RecheckKind,
+    count: u32,
+    target: BlockId,
+    handler: BlockId,
+    expect_taken: bool,
+) -> BlockId {
+    let mut next = target;
+    for i in 0..count {
+        let name = format!(
+            "recheck.{}.{}/{}",
+            if expect_taken { "t" } else { "f" },
+            count - i,
+            count
+        );
+        let block = function.add_block(name);
+        let flag = function.fresh_value();
+        let op = match recheck {
+            RecheckKind::Cmp { pred, lhs, rhs } => Op::Cmp {
+                pred: *pred,
+                lhs: *lhs,
+                rhs: *rhs,
+            },
+            RecheckKind::Flag(operand) => Op::Cmp {
+                pred: Predicate::Ne,
+                lhs: *operand,
+                rhs: Operand::Const(0),
+            },
+        };
+        function.block_mut(block).insts.push(Inst {
+            result: Some(flag),
+            op,
+        });
+        let (if_true, if_false) = if expect_taken {
+            (next, handler)
+        } else {
+            (handler, next)
+        };
+        function.block_mut(block).terminator = Some(Terminator::Branch {
+            cond: Operand::Value(flag),
+            if_true,
+            if_false,
+            protection: None,
+        });
+        next = block;
+    }
+    next
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use secbranch_ir::builder::FunctionBuilder;
+    use secbranch_ir::{interp, verify, Module};
+
+    fn password_module(protect: bool) -> Module {
+        let mut b = FunctionBuilder::new("check", 2);
+        if protect {
+            b.protect_branches();
+        }
+        let grant = b.create_block("grant");
+        let deny = b.create_block("deny");
+        let cond = b.cmp(Predicate::Eq, b.param(0), b.param(1));
+        b.branch(cond, grant, deny);
+        b.switch_to(grant);
+        b.ret(Some(1u32.into()));
+        b.switch_to(deny);
+        b.ret(Some(0u32.into()));
+        let mut m = Module::new();
+        m.add_function(b.finish());
+        m
+    }
+
+    #[test]
+    fn semantics_are_preserved_for_fault_free_execution() {
+        let mut m = password_module(true);
+        Duplication::new(DuplicationConfig::default())
+            .run(&mut m)
+            .expect("runs");
+        verify::verify_module(&m).expect("valid");
+        assert_eq!(interp::run(&m, "check", &[5, 5]).unwrap().return_value, Some(1));
+        assert_eq!(interp::run(&m, "check", &[5, 6]).unwrap().return_value, Some(0));
+    }
+
+    #[test]
+    fn six_fold_duplication_creates_the_expected_comparison_tree() {
+        let mut m = password_module(true);
+        let before = m.function("check").unwrap().conditional_branches().len();
+        Duplication::new(DuplicationConfig::default())
+            .run(&mut m)
+            .expect("runs");
+        let f = m.function("check").expect("present");
+        // Original branch + 5 re-checks per edge.
+        assert_eq!(f.conditional_branches().len(), before + 2 * 5);
+        // The comparison is actually re-executed, not just the flag reused.
+        let cmps = f
+            .blocks
+            .iter()
+            .flat_map(|b| &b.insts)
+            .filter(|i| matches!(i.op, Op::Cmp { .. }))
+            .count();
+        assert_eq!(cmps, 1 + 2 * 5);
+    }
+
+    #[test]
+    fn unannotated_functions_are_left_alone_by_default() {
+        let mut m = password_module(false);
+        let before = m.clone();
+        Duplication::new(DuplicationConfig::default())
+            .run(&mut m)
+            .expect("runs");
+        assert_eq!(m, before);
+
+        // …but are transformed when opting into whole-module protection.
+        Duplication::new(DuplicationConfig {
+            only_protected_functions: false,
+            ..DuplicationConfig::default()
+        })
+        .run(&mut m)
+        .expect("runs");
+        assert_ne!(m, before);
+    }
+
+    #[test]
+    fn order_below_two_is_a_no_op() {
+        let mut m = password_module(true);
+        let before = m.clone();
+        Duplication::new(DuplicationConfig {
+            order: 1,
+            ..DuplicationConfig::default()
+        })
+        .run(&mut m)
+        .expect("runs");
+        assert_eq!(m, before);
+    }
+
+    #[test]
+    fn order_scales_the_number_of_rechecks() {
+        for order in [2u32, 3, 6, 8] {
+            let mut m = password_module(true);
+            Duplication::new(DuplicationConfig {
+                order,
+                ..DuplicationConfig::default()
+            })
+            .run(&mut m)
+            .expect("runs");
+            let f = m.function("check").expect("present");
+            assert_eq!(
+                f.conditional_branches().len() as u32,
+                1 + 2 * (order - 1),
+                "order {order}"
+            );
+            verify::verify_module(&m).expect("valid");
+        }
+    }
+}

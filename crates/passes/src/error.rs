@@ -1,0 +1,72 @@
+//! Error type of the pass infrastructure.
+
+use std::error::Error;
+use std::fmt;
+
+use secbranch_ir::IrError;
+
+/// Errors produced while running passes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PassError {
+    /// A pass produced IR that fails verification.
+    VerificationAfterPass {
+        /// Name of the offending pass.
+        pass: String,
+        /// The underlying verifier error.
+        source: IrError,
+    },
+    /// A pass could not be applied to the module.
+    Transform {
+        /// Name of the pass.
+        pass: String,
+        /// Human-readable description.
+        message: String,
+    },
+}
+
+impl fmt::Display for PassError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PassError::VerificationAfterPass { pass, source } => {
+                write!(f, "pass '{pass}' produced invalid IR: {source}")
+            }
+            PassError::Transform { pass, message } => {
+                write!(f, "pass '{pass}' failed: {message}")
+            }
+        }
+    }
+}
+
+impl Error for PassError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            PassError::VerificationAfterPass { source, .. } => Some(source),
+            PassError::Transform { .. } => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_pass() {
+        let e = PassError::Transform {
+            pass: "an-coder".to_string(),
+            message: "constant too large to encode".to_string(),
+        };
+        assert!(e.to_string().contains("an-coder"));
+        assert!(e.to_string().contains("constant"));
+    }
+
+    #[test]
+    fn verification_errors_expose_their_source() {
+        let e = PassError::VerificationAfterPass {
+            pass: "dce".to_string(),
+            source: IrError::verification("f", "boom"),
+        };
+        assert!(e.source().is_some());
+    }
+}

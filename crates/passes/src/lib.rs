@@ -1,0 +1,125 @@
+//! Middle-end transformation passes of the secbranch pipeline.
+//!
+//! The paper (Figure 3) inserts four passes between the regular IR optimisers
+//! and the back end; this crate implements them, plus the state-of-the-art
+//! duplication baseline the evaluation compares against and a small cleanup
+//! pass:
+//!
+//! * [`LowerSelect`] — rewrites `select` instructions into explicit
+//!   conditional branches so the AN Coder only has to deal with branches.
+//! * [`LowerSwitch`] — rewrites `switch` terminators into chains of
+//!   conditional branches for the same reason.
+//! * [`LoopDecoupler`] — separates loop induction variables that feed both a
+//!   protected comparison and address arithmetic by giving the comparison its
+//!   own shadow counter.
+//! * [`AnCoder`] — the paper's pass: for every conditional branch of a
+//!   function marked `protect_branches` it rebuilds the comparison slice in
+//!   the AN-code domain, inserts the redundantly encoded comparison
+//!   (Algorithms 1 and 2) and turns the branch into a *protected branch*
+//!   carrying the condition symbols the back end links into the CFI state.
+//! * [`Duplication`] — the baseline countermeasure: the conditional branch is
+//!   re-checked N times in a comparison tree (the paper duplicates six times
+//!   to match the 6-bit Hamming distance of the AN-code).
+//! * [`DeadCodeElimination`] — removes side-effect-free instructions whose
+//!   results are no longer used (e.g. comparison slices fully replaced by
+//!   their encoded twins).
+//!
+//! Passes implement the [`Pass`] trait and are usually run through a
+//! [`PassManager`], which verifies the module between passes.
+//!
+//! ```
+//! use secbranch_passes::{standard_protection_pipeline, PassManager};
+//! use secbranch_ir::{builder::FunctionBuilder, Module, Predicate};
+//!
+//! # fn main() -> Result<(), secbranch_passes::PassError> {
+//! let mut b = FunctionBuilder::new("check", 2);
+//! b.protect_branches();
+//! let t = b.create_block("grant");
+//! let f = b.create_block("deny");
+//! let cond = b.cmp(Predicate::Eq, b.param(0), b.param(1));
+//! b.branch(cond, t, f);
+//! b.switch_to(t);
+//! b.ret(Some(1u32.into()));
+//! b.switch_to(f);
+//! b.ret(Some(0u32.into()));
+//! let mut module = Module::new();
+//! module.add_function(b.finish());
+//!
+//! let mut pm = standard_protection_pipeline(Default::default());
+//! pm.run(&mut module)?;
+//! assert_eq!(module.function("check").unwrap().conditional_branches().len(), 1);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod an_coder;
+mod dce;
+mod duplication;
+mod error;
+mod loop_decoupler;
+mod lower_select;
+mod lower_switch;
+mod manager;
+pub mod util;
+
+pub use an_coder::{AnCoder, AnCoderConfig, AnCoderStats};
+pub use dce::DeadCodeElimination;
+pub use duplication::{Duplication, DuplicationConfig};
+pub use error::PassError;
+pub use loop_decoupler::LoopDecoupler;
+pub use lower_select::LowerSelect;
+pub use lower_switch::LowerSwitch;
+pub use manager::{Pass, PassManager};
+
+/// The paper's protection pipeline (Figure 3 middle end): Loop Decoupler,
+/// Lower Select, Lower Switch, AN Coder, followed by dead-code elimination.
+#[must_use]
+pub fn standard_protection_pipeline(config: AnCoderConfig) -> PassManager {
+    let mut pm = PassManager::new();
+    pm.add(LoopDecoupler::new());
+    pm.add(LowerSelect::new());
+    pm.add(LowerSwitch::new());
+    pm.add(AnCoder::new(config));
+    pm.add(DeadCodeElimination::new());
+    pm
+}
+
+/// The baseline pipeline used for the duplication comparison: Lower Select,
+/// Lower Switch, N-fold branch duplication.
+#[must_use]
+pub fn duplication_pipeline(config: DuplicationConfig) -> PassManager {
+    let mut pm = PassManager::new();
+    pm.add(LowerSelect::new());
+    pm.add(LowerSwitch::new());
+    pm.add(Duplication::new(config));
+    pm
+}
+
+#[cfg(test)]
+mod crate_tests {
+    use super::*;
+
+    #[test]
+    fn pipelines_list_their_passes() {
+        let pm = standard_protection_pipeline(AnCoderConfig::default());
+        let names = pm.pass_names();
+        assert_eq!(
+            names,
+            vec![
+                "loop-decoupler",
+                "lower-select",
+                "lower-switch",
+                "an-coder",
+                "dce"
+            ]
+        );
+        let pm = duplication_pipeline(DuplicationConfig::default());
+        assert_eq!(
+            pm.pass_names(),
+            vec!["lower-select", "lower-switch", "duplication"]
+        );
+    }
+}

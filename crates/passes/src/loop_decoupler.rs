@@ -1,0 +1,395 @@
+//! The Loop Decoupler pass (Figure 3): separates loop induction variables
+//! that feed both a protected comparison and address arithmetic.
+//!
+//! In the paper this preprocessing keeps induction variables out of conflicts
+//! between the AN-coded comparison domain and plain address computation. In
+//! this pipeline the same separation is realised by giving the comparison its
+//! own *shadow counter*: for every stack-slot variable that is both
+//! (a) loaded into a value feeding a conditional-branch comparison and
+//! (b) loaded into a value used for memory addressing or other non-comparison
+//! work, the pass
+//!
+//! 1. allocates a shadow slot,
+//! 2. mirrors every store of the original slot into the shadow slot, and
+//! 3. redirects the comparison's load to the shadow slot.
+//!
+//! A fault on the address copy of the counter can then no longer silently
+//! change the (protected) trip-count decision, and the AN Coder can encode the
+//! comparison chain without touching the address arithmetic.
+
+use std::collections::{HashMap, HashSet};
+
+use secbranch_ir::{
+    BlockId, Function, Inst, LocalId, MemWidth, Module, Op, Operand, Terminator, ValueId,
+};
+
+use crate::error::PassError;
+use crate::manager::Pass;
+use crate::util::{comparison_slice, value_definitions};
+
+/// The Loop Decoupler pass.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LoopDecoupler;
+
+impl LoopDecoupler {
+    /// Creates the pass.
+    #[must_use]
+    pub fn new() -> Self {
+        LoopDecoupler
+    }
+}
+
+impl Pass for LoopDecoupler {
+    fn name(&self) -> &'static str {
+        "loop-decoupler"
+    }
+
+    fn run(&self, module: &mut Module) -> Result<(), PassError> {
+        for function in &mut module.functions {
+            if !function.attrs.protect_branches {
+                continue;
+            }
+            decouple_function(function);
+        }
+        Ok(())
+    }
+}
+
+/// A `load.w` of a `localaddr` in word width: `(block, load index, local)`.
+fn scalar_local_loads(function: &Function) -> Vec<(BlockId, usize, LocalId, ValueId)> {
+    let defs = value_definitions(function);
+    let mut loads = Vec::new();
+    for (block, b) in function.iter_blocks() {
+        for (index, inst) in b.insts.iter().enumerate() {
+            let Op::Load {
+                addr: Operand::Value(addr),
+                width: MemWidth::Word,
+            } = inst.op
+            else {
+                continue;
+            };
+            let Some(addr_loc) = defs.get(&addr) else {
+                continue;
+            };
+            let addr_inst = &function.block(addr_loc.block).insts[addr_loc.index];
+            if let Op::LocalAddr { local } = addr_inst.op {
+                if let Some(result) = inst.result {
+                    loads.push((block, index, local, result));
+                }
+            }
+        }
+    }
+    loads
+}
+
+/// Values used by comparisons of conditional branches (the union of all
+/// comparison slices, leaves included).
+fn branch_comparison_values(function: &Function) -> HashSet<ValueId> {
+    let defs = value_definitions(function);
+    let mut values = HashSet::new();
+    for (_, block) in function.iter_blocks() {
+        let Some(Terminator::Branch { cond, .. }) = &block.terminator else {
+            continue;
+        };
+        let Some(cond_value) = cond.as_value() else {
+            continue;
+        };
+        values.insert(cond_value);
+        let Some(loc) = defs.get(&cond_value) else {
+            continue;
+        };
+        let cmp = &function.block(loc.block).insts[loc.index];
+        if let Op::Cmp { lhs, rhs, .. } = cmp.op {
+            let slice = comparison_slice(function, &[lhs, rhs]);
+            values.extend(slice.internal.iter().copied());
+            values.extend(slice.leaves.iter().copied());
+        }
+    }
+    values
+}
+
+/// Values used outside the comparison world: memory addressing, stored data,
+/// call arguments, returns, switch scrutinees.
+fn non_comparison_uses(function: &Function, comparison_values: &HashSet<ValueId>) -> HashSet<ValueId> {
+    let mut used = HashSet::new();
+    for (_, block) in function.iter_blocks() {
+        for inst in &block.insts {
+            let consumer_is_comparison = inst
+                .result
+                .map(|r| comparison_values.contains(&r))
+                .unwrap_or(false)
+                || matches!(inst.op, Op::Cmp { .. });
+            if consumer_is_comparison {
+                continue;
+            }
+            for operand in inst.op.operands() {
+                if let Operand::Value(v) = operand {
+                    used.insert(v);
+                }
+            }
+        }
+        if let Some(term) = &block.terminator {
+            if !matches!(term, Terminator::Branch { .. }) {
+                for operand in term.operands() {
+                    if let Operand::Value(v) = operand {
+                        used.insert(v);
+                    }
+                }
+            }
+        }
+    }
+    used
+}
+
+fn decouple_function(function: &mut Function) {
+    let comparison_values = branch_comparison_values(function);
+    let other_uses = non_comparison_uses(function, &comparison_values);
+    let loads = scalar_local_loads(function);
+
+    // A local is "coupled" if some load of it feeds a comparison and some
+    // load of it (possibly the same one) is used elsewhere.
+    let mut feeds_comparison: HashSet<LocalId> = HashSet::new();
+    let mut feeds_other: HashSet<LocalId> = HashSet::new();
+    for (_, _, local, value) in &loads {
+        if comparison_values.contains(value) {
+            feeds_comparison.insert(*local);
+        }
+        if other_uses.contains(value) {
+            feeds_other.insert(*local);
+        }
+    }
+    let coupled: Vec<LocalId> = feeds_comparison
+        .intersection(&feeds_other)
+        .copied()
+        .collect();
+    if coupled.is_empty() {
+        return;
+    }
+
+    // Allocate shadow locals.
+    let mut shadows: HashMap<LocalId, LocalId> = HashMap::new();
+    for local in &coupled {
+        let name = format!("{}.shadow", function.locals[local.0 as usize].name);
+        let size = function.locals[local.0 as usize].size_bytes;
+        shadows.insert(*local, function.add_local(name, size));
+    }
+
+    // Mirror every store to a coupled local into its shadow, and redirect the
+    // comparison-feeding loads to the shadow. Both are done by rewriting each
+    // block's instruction list. `addr_to_local` maps a `localaddr` result to
+    // its slot so the rewriting loop below does not need to re-inspect
+    // definitions while mutating the function.
+    let mut addr_to_local: HashMap<ValueId, LocalId> = HashMap::new();
+    for (_, block) in function.iter_blocks() {
+        for inst in &block.insts {
+            if let (Some(result), Op::LocalAddr { local }) = (inst.result, &inst.op) {
+                addr_to_local.insert(result, *local);
+            }
+        }
+    }
+    let local_of_addr = |addr: ValueId| -> Option<LocalId> { addr_to_local.get(&addr).copied() };
+
+    // Identify the loads whose *only* role is feeding comparisons: those are
+    // redirected. Loads that also feed other uses stay on the original local
+    // (the AN Coder will still encode their value at the slice boundary).
+    let mut redirect_loads: HashSet<ValueId> = HashSet::new();
+    for (_, _, local, value) in &loads {
+        if shadows.contains_key(local)
+            && comparison_values.contains(value)
+            && !other_uses.contains(value)
+        {
+            redirect_loads.insert(*value);
+        }
+    }
+
+    let block_count = function.blocks.len();
+    let mut pending_locals: Vec<(BlockId, usize, LocalId)> = Vec::new();
+    for bi in 0..block_count {
+        let block = BlockId(bi as u32);
+        let mut i = 0;
+        while i < function.block(block).insts.len() {
+            let inst = function.block(block).insts[i].clone();
+            match inst.op {
+                // Mirror stores.
+                Op::Store {
+                    addr: Operand::Value(addr),
+                    value,
+                    width: MemWidth::Word,
+                } => {
+                    if let Some(local) = local_of_addr(addr) {
+                        if let Some(&shadow) = shadows.get(&local) {
+                            let shadow_addr = function.fresh_value();
+                            function.block_mut(block).insts.insert(
+                                i + 1,
+                                Inst {
+                                    result: Some(shadow_addr),
+                                    op: Op::LocalAddr { local: shadow },
+                                },
+                            );
+                            function.block_mut(block).insts.insert(
+                                i + 2,
+                                Inst {
+                                    result: None,
+                                    op: Op::Store {
+                                        addr: Operand::Value(shadow_addr),
+                                        value,
+                                        width: MemWidth::Word,
+                                    },
+                                },
+                            );
+                            i += 2;
+                        }
+                    }
+                }
+                // Redirect comparison-only loads to the shadow local.
+                Op::Load {
+                    addr: Operand::Value(addr),
+                    width: MemWidth::Word,
+                } => {
+                    if let Some(result) = inst.result {
+                        if redirect_loads.contains(&result) {
+                            if let Some(local) = local_of_addr(addr) {
+                                if let Some(&shadow) = shadows.get(&local) {
+                                    pending_locals.push((block, i, shadow));
+                                }
+                            }
+                        }
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+
+    // Apply the load redirections: insert a fresh LocalAddr of the shadow
+    // right before the load and point the load at it.
+    // Process per block in descending instruction order so indices stay valid.
+    pending_locals.sort_by(|a, b| (b.0 .0, b.1).cmp(&(a.0 .0, a.1)));
+    for (block, index, shadow) in pending_locals {
+        let shadow_addr = function.fresh_value();
+        function.block_mut(block).insts.insert(
+            index,
+            Inst {
+                result: Some(shadow_addr),
+                op: Op::LocalAddr { local: shadow },
+            },
+        );
+        if let Op::Load { addr, .. } = &mut function.block_mut(block).insts[index + 1].op {
+            *addr = Operand::Value(shadow_addr);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use secbranch_ir::builder::FunctionBuilder;
+    use secbranch_ir::{interp, verify, BinOp, Predicate};
+
+    /// sum_bytes(n): iterates i = 0..n, loads `data[i]` (address use of i)
+    /// and compares i < n (comparison use of i).
+    fn coupled_loop_module(protect: bool) -> Module {
+        let mut m = Module::new();
+        m.add_global("data", (0u8..16).collect(), false);
+        let mut b = FunctionBuilder::new("sum_bytes", 1);
+        if protect {
+            b.protect_branches();
+        }
+        let n = b.param(0);
+        let i = b.local("i", 4);
+        let acc = b.local("acc", 4);
+        b.store_local(i, 0u32);
+        b.store_local(acc, 0u32);
+        let header = b.create_block("header");
+        let body = b.create_block("body");
+        let exit = b.create_block("exit");
+        b.jump(header);
+        b.switch_to(header);
+        let iv = b.load_local(i);
+        let c = b.cmp(Predicate::Ult, iv, n);
+        b.branch(c, body, exit);
+        b.switch_to(body);
+        let iv2 = b.load_local(i);
+        let base = b.global_addr("data");
+        let addr = b.bin(BinOp::Add, base, iv2);
+        let byte = b.load_byte(addr);
+        let a = b.load_local(acc);
+        let a2 = b.bin(BinOp::Add, a, byte);
+        b.store_local(acc, a2);
+        let inext = b.bin(BinOp::Add, iv2, 1u32);
+        b.store_local(i, inext);
+        b.jump(header);
+        b.switch_to(exit);
+        let a = b.load_local(acc);
+        b.ret(Some(a));
+        m.add_function(b.finish());
+        m
+    }
+
+    #[test]
+    fn semantics_are_preserved() {
+        let mut m = coupled_loop_module(true);
+        let before: Vec<_> = [0u32, 1, 5, 16]
+            .iter()
+            .map(|n| interp::run(&m, "sum_bytes", &[*n]).unwrap().return_value)
+            .collect();
+        LoopDecoupler::new().run(&mut m).expect("runs");
+        verify::verify_module(&m).expect("valid");
+        let after: Vec<_> = [0u32, 1, 5, 16]
+            .iter()
+            .map(|n| interp::run(&m, "sum_bytes", &[*n]).unwrap().return_value)
+            .collect();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn shadow_local_is_created_and_mirrored() {
+        let mut m = coupled_loop_module(true);
+        let locals_before = m.function("sum_bytes").unwrap().locals.len();
+        LoopDecoupler::new().run(&mut m).expect("runs");
+        let f = m.function("sum_bytes").expect("present");
+        assert_eq!(f.locals.len(), locals_before + 1);
+        assert!(f.locals.iter().any(|l| l.name == "i.shadow"));
+        // Every store of `i` is mirrored: two stores originally (init and
+        // increment), so two shadow stores are added.
+        let stores = f
+            .blocks
+            .iter()
+            .flat_map(|b| &b.insts)
+            .filter(|i| matches!(i.op, Op::Store { .. }))
+            .count();
+        // i(2) + i.shadow(2) + acc(2) = 6
+        assert_eq!(stores, 6);
+    }
+
+    #[test]
+    fn unprotected_functions_and_uncoupled_locals_are_untouched() {
+        let mut m = coupled_loop_module(false);
+        let before = m.clone();
+        LoopDecoupler::new().run(&mut m).expect("runs");
+        assert_eq!(m, before, "unannotated function must not change");
+
+        // A local that only ever feeds comparisons (a stored limit) is not
+        // coupled and needs no shadow.
+        let mut b = FunctionBuilder::new("check_limit", 2);
+        b.protect_branches();
+        let (x, limit_in) = (b.param(0), b.param(1));
+        let limit = b.local("limit", 4);
+        b.store_local(limit, limit_in);
+        let ok = b.create_block("ok");
+        let bad = b.create_block("bad");
+        let lv = b.load_local(limit);
+        let c = b.cmp(Predicate::Ult, x, lv);
+        b.branch(c, ok, bad);
+        b.switch_to(ok);
+        b.ret(Some(1u32.into()));
+        b.switch_to(bad);
+        b.ret(Some(0u32.into()));
+        let mut m = Module::new();
+        m.add_function(b.finish());
+        let before_locals = m.function("check_limit").unwrap().locals.len();
+        LoopDecoupler::new().run(&mut m).expect("runs");
+        assert_eq!(m.function("check_limit").unwrap().locals.len(), before_locals);
+    }
+}

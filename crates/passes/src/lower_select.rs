@@ -1,0 +1,223 @@
+//! The Lower Select pass: rewrites `select` instructions into explicit
+//! control flow so the AN Coder only has to reason about conditional
+//! branches (Figure 3).
+
+use secbranch_ir::{BlockId, Inst, MemWidth, Module, Op, Operand, Terminator};
+
+use crate::error::PassError;
+use crate::manager::Pass;
+use crate::util::split_block;
+
+/// Rewrites every `select cond, a, b` into
+///
+/// ```text
+///   br cond, then, else
+/// then:  store tmp, a ; jmp cont
+/// else:  store tmp, b ; jmp cont
+/// cont:  result = load tmp
+/// ```
+///
+/// using a fresh stack slot as the merge value (the IR has no phi nodes; an
+/// unoptimised stack slot matches the `-O0`-style shape the rest of the
+/// pipeline expects).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LowerSelect;
+
+impl LowerSelect {
+    /// Creates the pass.
+    #[must_use]
+    pub fn new() -> Self {
+        LowerSelect
+    }
+}
+
+impl Pass for LowerSelect {
+    fn name(&self) -> &'static str {
+        "lower-select"
+    }
+
+    fn run(&self, module: &mut Module) -> Result<(), PassError> {
+        for function in &mut module.functions {
+            loop {
+                let Some((block, index)) = find_select(function) else {
+                    break;
+                };
+                lower_one(function, block, index);
+            }
+        }
+        Ok(())
+    }
+}
+
+fn find_select(function: &secbranch_ir::Function) -> Option<(BlockId, usize)> {
+    for (block, b) in function.iter_blocks() {
+        for (index, inst) in b.insts.iter().enumerate() {
+            if matches!(inst.op, Op::Select { .. }) {
+                return Some((block, index));
+            }
+        }
+    }
+    None
+}
+
+fn lower_one(function: &mut secbranch_ir::Function, block: BlockId, index: usize) {
+    let inst = function.block(block).insts[index].clone();
+    let Op::Select {
+        cond,
+        if_true,
+        if_false,
+    } = inst.op
+    else {
+        unreachable!("find_select only returns selects");
+    };
+    let result = inst.result.expect("select defines a value");
+
+    // Split off everything after the select (the select itself stays in the
+    // head block and is replaced by the temporary load in the continuation).
+    let cont = split_block(function, block, index + 1);
+    // Remove the select from the head block.
+    function.block_mut(block).insts.pop();
+
+    let tmp = function.add_local("select.tmp", 4);
+    let then_bb = function.add_block("select.then");
+    let else_bb = function.add_block("select.else");
+
+    // Head block: branch on the select condition.
+    function.block_mut(block).terminator = Some(Terminator::Branch {
+        cond,
+        if_true: then_bb,
+        if_false: else_bb,
+        protection: None,
+    });
+
+    // Arms: store the chosen value into the temporary and join.
+    for (arm, value) in [(then_bb, if_true), (else_bb, if_false)] {
+        let addr = function.fresh_value();
+        function.block_mut(arm).insts.push(Inst {
+            result: Some(addr),
+            op: Op::LocalAddr { local: tmp },
+        });
+        function.block_mut(arm).insts.push(Inst {
+            result: None,
+            op: Op::Store {
+                addr: Operand::Value(addr),
+                value,
+                width: MemWidth::Word,
+            },
+        });
+        function.block_mut(arm).terminator = Some(Terminator::Jump(cont));
+    }
+
+    // Continuation: the original result value is now the loaded temporary.
+    let addr = function.fresh_value();
+    let cont_block = function.block_mut(cont);
+    cont_block.insts.insert(
+        0,
+        Inst {
+            result: Some(addr),
+            op: Op::LocalAddr { local: tmp },
+        },
+    );
+    cont_block.insts.insert(
+        1,
+        Inst {
+            result: Some(result),
+            op: Op::Load {
+                addr: Operand::Value(addr),
+                width: MemWidth::Word,
+            },
+        },
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use secbranch_ir::builder::FunctionBuilder;
+    use secbranch_ir::{interp, verify, BinOp, Predicate};
+
+    fn clamp_module() -> Module {
+        // clamp(x) = x > 100 ? 100 : x, then +1
+        let mut b = FunctionBuilder::new("clamp_inc", 1);
+        let x = b.param(0);
+        let c = b.cmp(Predicate::Ugt, x, 100u32);
+        let clamped = b.select(c, 100u32, x);
+        let r = b.bin(BinOp::Add, clamped, 1u32);
+        b.ret(Some(r));
+        let mut m = Module::new();
+        m.add_function(b.finish());
+        m
+    }
+
+    #[test]
+    fn lowering_preserves_semantics() {
+        let mut m = clamp_module();
+        let before: Vec<u32> = [0u32, 50, 100, 101, 5000]
+            .iter()
+            .map(|x| interp::run(&m, "clamp_inc", &[*x]).unwrap().return_value.unwrap())
+            .collect();
+        LowerSelect::new().run(&mut m).expect("runs");
+        verify::verify_module(&m).expect("valid after lowering");
+        let after: Vec<u32> = [0u32, 50, 100, 101, 5000]
+            .iter()
+            .map(|x| interp::run(&m, "clamp_inc", &[*x]).unwrap().return_value.unwrap())
+            .collect();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn selects_are_gone_and_branches_appear() {
+        let mut m = clamp_module();
+        LowerSelect::new().run(&mut m).expect("runs");
+        let f = m.function("clamp_inc").expect("present");
+        let selects = f
+            .blocks
+            .iter()
+            .flat_map(|b| &b.insts)
+            .filter(|i| matches!(i.op, Op::Select { .. }))
+            .count();
+        assert_eq!(selects, 0);
+        assert!(!f.conditional_branches().is_empty());
+        assert!(f.blocks.len() >= 4, "head, arms and continuation exist");
+    }
+
+    #[test]
+    fn multiple_selects_in_one_block_are_lowered() {
+        let mut b = FunctionBuilder::new("pick2", 3);
+        let (s, x, y) = (b.param(0), b.param(1), b.param(2));
+        let c = b.cmp(Predicate::Ne, s, 0u32);
+        let first = b.select(c, x, y);
+        let second = b.select(c, y, x);
+        let sum = b.bin(BinOp::Add, first, second);
+        b.ret(Some(sum));
+        let mut m = Module::new();
+        m.add_function(b.finish());
+
+        let expected = interp::run(&m, "pick2", &[1, 10, 20]).unwrap().return_value;
+        LowerSelect::new().run(&mut m).expect("runs");
+        verify::verify_module(&m).expect("valid");
+        assert_eq!(
+            interp::run(&m, "pick2", &[1, 10, 20]).unwrap().return_value,
+            expected
+        );
+        let f = m.function("pick2").expect("present");
+        let selects = f
+            .blocks
+            .iter()
+            .flat_map(|b| &b.insts)
+            .filter(|i| matches!(i.op, Op::Select { .. }))
+            .count();
+        assert_eq!(selects, 0);
+    }
+
+    #[test]
+    fn module_without_selects_is_untouched() {
+        let mut b = FunctionBuilder::new("id", 1);
+        b.ret(Some(b.param(0)));
+        let mut m = Module::new();
+        m.add_function(b.finish());
+        let before = m.clone();
+        LowerSelect::new().run(&mut m).expect("runs");
+        assert_eq!(m, before);
+    }
+}

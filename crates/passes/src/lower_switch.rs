@@ -1,0 +1,177 @@
+//! The Lower Switch pass: rewrites `switch` terminators into chains of
+//! conditional branches so the AN Coder sees only two-way branches
+//! (Figure 3).
+
+use secbranch_ir::{BlockId, Function, Inst, Module, Op, Operand, Predicate, Terminator};
+
+use crate::error::PassError;
+use crate::manager::Pass;
+
+/// Rewrites every `switch v, default, [(c1, b1), (c2, b2), …]` into a chain
+///
+/// ```text
+///   cmp eq v, c1 ; br bb1, next1
+/// next1: cmp eq v, c2 ; br bb2, next2
+/// …
+/// nextN-1: cmp eq v, cN ; br bbN, default
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LowerSwitch;
+
+impl LowerSwitch {
+    /// Creates the pass.
+    #[must_use]
+    pub fn new() -> Self {
+        LowerSwitch
+    }
+}
+
+impl Pass for LowerSwitch {
+    fn name(&self) -> &'static str {
+        "lower-switch"
+    }
+
+    fn run(&self, module: &mut Module) -> Result<(), PassError> {
+        for function in &mut module.functions {
+            loop {
+                let Some(block) = find_switch(function) else {
+                    break;
+                };
+                lower_one(function, block);
+            }
+        }
+        Ok(())
+    }
+}
+
+fn find_switch(function: &Function) -> Option<BlockId> {
+    function
+        .iter_blocks()
+        .find(|(_, b)| matches!(b.terminator, Some(Terminator::Switch { .. })))
+        .map(|(id, _)| id)
+}
+
+fn lower_one(function: &mut Function, block: BlockId) {
+    let Some(Terminator::Switch {
+        value,
+        default,
+        cases,
+    }) = function.block_mut(block).terminator.take()
+    else {
+        unreachable!("find_switch only returns switches");
+    };
+
+    if cases.is_empty() {
+        function.block_mut(block).terminator = Some(Terminator::Jump(default));
+        return;
+    }
+
+    // Build the chain back to front so each comparison block knows its
+    // fall-through target.
+    let mut fallthrough = default;
+    let mut chain: Vec<BlockId> = Vec::new();
+    for (i, (case_value, target)) in cases.iter().enumerate().rev() {
+        let test_block = if i == 0 {
+            block
+        } else {
+            let b = function.add_block(format!("{}.case{}", function.block(block).name, i));
+            chain.push(b);
+            b
+        };
+        let flag = function.fresh_value();
+        function.block_mut(test_block).insts.push(Inst {
+            result: Some(flag),
+            op: Op::Cmp {
+                pred: Predicate::Eq,
+                lhs: value,
+                rhs: Operand::Const(*case_value),
+            },
+        });
+        function.block_mut(test_block).terminator = Some(Terminator::Branch {
+            cond: Operand::Value(flag),
+            if_true: *target,
+            if_false: fallthrough,
+            protection: None,
+        });
+        fallthrough = test_block;
+    }
+    let _ = chain;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use secbranch_ir::builder::FunctionBuilder;
+    use secbranch_ir::{interp, verify};
+
+    fn dispatcher() -> Module {
+        let mut b = FunctionBuilder::new("dispatch", 1);
+        let x = b.param(0);
+        let one = b.create_block("one");
+        let two = b.create_block("two");
+        let three = b.create_block("three");
+        let other = b.create_block("other");
+        b.switch(x, other, &[(1, one), (2, two), (3, three)]);
+        for (bb, v) in [(one, 111u32), (two, 222), (three, 333), (other, 0)] {
+            b.switch_to(bb);
+            b.ret(Some(v.into()));
+        }
+        let mut m = Module::new();
+        m.add_function(b.finish());
+        m
+    }
+
+    #[test]
+    fn lowering_preserves_dispatch_semantics() {
+        let mut m = dispatcher();
+        let inputs = [0u32, 1, 2, 3, 4, 99];
+        let before: Vec<_> = inputs
+            .iter()
+            .map(|x| interp::run(&m, "dispatch", &[*x]).unwrap().return_value)
+            .collect();
+        LowerSwitch::new().run(&mut m).expect("runs");
+        verify::verify_module(&m).expect("valid");
+        let after: Vec<_> = inputs
+            .iter()
+            .map(|x| interp::run(&m, "dispatch", &[*x]).unwrap().return_value)
+            .collect();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn switches_are_gone_and_branch_chain_exists() {
+        let mut m = dispatcher();
+        LowerSwitch::new().run(&mut m).expect("runs");
+        let f = m.function("dispatch").expect("present");
+        let switches = f
+            .blocks
+            .iter()
+            .filter(|b| matches!(b.terminator, Some(Terminator::Switch { .. })))
+            .count();
+        assert_eq!(switches, 0);
+        // Three cases need three conditional branches.
+        assert_eq!(f.conditional_branches().len(), 3);
+    }
+
+    #[test]
+    fn empty_switch_becomes_a_jump() {
+        let mut b = FunctionBuilder::new("f", 1);
+        let only = b.create_block("only");
+        b.switch(b.param(0), only, &[]);
+        b.switch_to(only);
+        b.ret(Some(7u32.into()));
+        let mut m = Module::new();
+        m.add_function(b.finish());
+        LowerSwitch::new().run(&mut m).expect("runs");
+        verify::verify_module(&m).expect("valid");
+        assert_eq!(
+            interp::run(&m, "f", &[3]).unwrap().return_value,
+            Some(7)
+        );
+        let f = m.function("f").expect("present");
+        assert!(matches!(
+            f.block(f.entry()).terminator,
+            Some(Terminator::Jump(_))
+        ));
+    }
+}

@@ -1,0 +1,164 @@
+//! The [`Pass`] trait and the [`PassManager`].
+
+use secbranch_ir::{verify, Module};
+
+use crate::error::PassError;
+
+/// A module-level transformation pass.
+pub trait Pass {
+    /// A short, stable, kebab-case name used in diagnostics and reports.
+    fn name(&self) -> &'static str;
+
+    /// Applies the transformation to the module.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PassError::Transform`] if the pass cannot be applied.
+    fn run(&self, module: &mut Module) -> Result<(), PassError>;
+}
+
+/// Runs a sequence of passes, verifying the module after each one.
+#[derive(Default)]
+pub struct PassManager {
+    passes: Vec<Box<dyn Pass + Send + Sync>>,
+    verify_between: bool,
+}
+
+impl PassManager {
+    /// Creates an empty manager with inter-pass verification enabled.
+    #[must_use]
+    pub fn new() -> Self {
+        PassManager {
+            passes: Vec::new(),
+            verify_between: true,
+        }
+    }
+
+    /// Disables the verifier runs between passes (used by benchmarks to
+    /// isolate transformation time).
+    pub fn without_verification(mut self) -> Self {
+        self.verify_between = false;
+        self
+    }
+
+    /// Appends a pass.
+    pub fn add(&mut self, pass: impl Pass + Send + Sync + 'static) -> &mut Self {
+        self.passes.push(Box::new(pass));
+        self
+    }
+
+    /// The names of the registered passes, in execution order.
+    #[must_use]
+    pub fn pass_names(&self) -> Vec<&'static str> {
+        self.passes.iter().map(|p| p.name()).collect()
+    }
+
+    /// Runs all passes in order.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first pass failure, or
+    /// [`PassError::VerificationAfterPass`] if a pass breaks the IR.
+    pub fn run(&self, module: &mut Module) -> Result<(), PassError> {
+        for pass in &self.passes {
+            pass.run(module)?;
+            if self.verify_between {
+                verify::verify_module(module).map_err(|source| {
+                    PassError::VerificationAfterPass {
+                        pass: pass.name().to_string(),
+                        source,
+                    }
+                })?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl std::fmt::Debug for PassManager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PassManager")
+            .field("passes", &self.pass_names())
+            .field("verify_between", &self.verify_between)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use secbranch_ir::builder::FunctionBuilder;
+    use secbranch_ir::{BinOp, Operand, Terminator, ValueId};
+
+    struct RenamePass;
+    impl Pass for RenamePass {
+        fn name(&self) -> &'static str {
+            "rename"
+        }
+        fn run(&self, module: &mut Module) -> Result<(), PassError> {
+            for f in &mut module.functions {
+                f.name = format!("{}_renamed", f.name);
+            }
+            Ok(())
+        }
+    }
+
+    struct BreakingPass;
+    impl Pass for BreakingPass {
+        fn name(&self) -> &'static str {
+            "breaking"
+        }
+        fn run(&self, module: &mut Module) -> Result<(), PassError> {
+            for f in &mut module.functions {
+                let entry = f.entry();
+                f.block_mut(entry).terminator =
+                    Some(Terminator::Ret(Some(Operand::Value(ValueId(999)))));
+            }
+            Ok(())
+        }
+    }
+
+    fn simple_module() -> Module {
+        let mut b = FunctionBuilder::new("f", 1);
+        let v = b.bin(BinOp::Add, b.param(0), 1u32);
+        b.ret(Some(v));
+        let mut m = Module::new();
+        m.add_function(b.finish());
+        m
+    }
+
+    #[test]
+    fn passes_run_in_order() {
+        let mut pm = PassManager::new();
+        pm.add(RenamePass);
+        pm.add(RenamePass);
+        let mut m = simple_module();
+        pm.run(&mut m).expect("runs");
+        assert!(m.function("f_renamed_renamed").is_some());
+        assert_eq!(pm.pass_names(), vec!["rename", "rename"]);
+    }
+
+    #[test]
+    fn broken_ir_is_caught_between_passes() {
+        let mut pm = PassManager::new();
+        pm.add(BreakingPass);
+        let mut m = simple_module();
+        let err = pm.run(&mut m).expect_err("must fail verification");
+        assert!(matches!(err, PassError::VerificationAfterPass { .. }));
+    }
+
+    #[test]
+    fn verification_can_be_disabled() {
+        let mut pm = PassManager::new().without_verification();
+        pm.add(BreakingPass);
+        let mut m = simple_module();
+        assert!(pm.run(&mut m).is_ok());
+    }
+
+    #[test]
+    fn debug_lists_passes() {
+        let mut pm = PassManager::new();
+        pm.add(RenamePass);
+        assert!(format!("{pm:?}").contains("rename"));
+    }
+}

@@ -1,0 +1,304 @@
+//! Shared analyses for the transformation passes: definition/use maps and
+//! comparison-slice computation.
+
+use std::collections::{HashMap, HashSet};
+
+use secbranch_ir::{BinOp, BlockId, Function, Op, Operand, Terminator, ValueId};
+
+/// Location of an instruction inside a function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct InstLoc {
+    /// The containing block.
+    pub block: BlockId,
+    /// The instruction index within the block.
+    pub index: usize,
+}
+
+/// Maps every defined value to the location of its defining instruction
+/// (function parameters are not included — they have no defining
+/// instruction).
+#[must_use]
+pub fn value_definitions(function: &Function) -> HashMap<ValueId, InstLoc> {
+    let mut defs = HashMap::new();
+    for (block, b) in function.iter_blocks() {
+        for (index, inst) in b.insts.iter().enumerate() {
+            if let Some(result) = inst.result {
+                defs.insert(result, InstLoc { block, index });
+            }
+        }
+    }
+    defs
+}
+
+/// Counts how many times each value is used (instruction operands and
+/// terminator operands, including protected-branch condition operands).
+#[must_use]
+pub fn value_use_counts(function: &Function) -> HashMap<ValueId, usize> {
+    let mut uses: HashMap<ValueId, usize> = HashMap::new();
+    let mut bump = |operand: Operand| {
+        if let Operand::Value(v) = operand {
+            *uses.entry(v).or_insert(0) += 1;
+        }
+    };
+    for (_, block) in function.iter_blocks() {
+        for inst in &block.insts {
+            for op in inst.op.operands() {
+                bump(op);
+            }
+        }
+        if let Some(term) = &block.terminator {
+            for op in term.operands() {
+                bump(op);
+            }
+        }
+    }
+    uses
+}
+
+/// The backward *comparison slice* of a set of root operands: every
+/// instruction reachable by walking operands backwards through the
+/// arithmetic the AN Coder can re-express in the encoded domain
+/// (`add`, `sub`, and `mul` by a constant). Other instructions (loads,
+/// calls, bitwise operations, …) are slice *leaves*: their results enter the
+/// encoded domain through an explicit encode multiplication.
+#[derive(Debug, Clone, Default)]
+pub struct ComparisonSlice {
+    /// Values defined by slice-internal (re-encodable) instructions.
+    pub internal: HashSet<ValueId>,
+    /// Values that feed the slice from outside (leaves).
+    pub leaves: HashSet<ValueId>,
+}
+
+/// Whether the AN Coder can rebuild this operation in the encoded domain.
+#[must_use]
+pub fn is_encodable(op: &Op) -> bool {
+    match op {
+        Op::Bin {
+            op: BinOp::Add | BinOp::Sub,
+            ..
+        } => true,
+        Op::Bin {
+            op: BinOp::Mul,
+            lhs,
+            rhs,
+        } => lhs.as_const().is_some() || rhs.as_const().is_some(),
+        _ => false,
+    }
+}
+
+/// Computes the comparison slice rooted at `roots` (usually the two operands
+/// of the comparison feeding a conditional branch).
+#[must_use]
+pub fn comparison_slice(function: &Function, roots: &[Operand]) -> ComparisonSlice {
+    let defs = value_definitions(function);
+    let mut slice = ComparisonSlice::default();
+    let mut worklist: Vec<ValueId> = roots.iter().filter_map(|o| o.as_value()).collect();
+    let mut visited: HashSet<ValueId> = HashSet::new();
+    while let Some(v) = worklist.pop() {
+        if !visited.insert(v) {
+            continue;
+        }
+        let Some(loc) = defs.get(&v) else {
+            // A function parameter: a leaf.
+            slice.leaves.insert(v);
+            continue;
+        };
+        let inst = &function.block(loc.block).insts[loc.index];
+        if is_encodable(&inst.op) {
+            slice.internal.insert(v);
+            for operand in inst.op.operands() {
+                if let Operand::Value(next) = operand {
+                    worklist.push(next);
+                }
+            }
+        } else {
+            slice.leaves.insert(v);
+        }
+    }
+    slice
+}
+
+/// Splits the block `block` of `function` at instruction index `at`: the
+/// instructions `[at..]` and the original terminator move to a newly created
+/// continuation block, and the original block is left *unterminated* (the
+/// caller installs a new terminator). Returns the continuation block id.
+#[must_use]
+pub fn split_block(function: &mut Function, block: BlockId, at: usize) -> BlockId {
+    let cont_name = format!("{}.cont", function.block(block).name);
+    let cont = function.add_block(cont_name);
+    let (tail, term) = {
+        let b = function.block_mut(block);
+        let tail: Vec<_> = b.insts.drain(at..).collect();
+        let term = b.terminator.take();
+        (tail, term)
+    };
+    let cont_block = function.block_mut(cont);
+    cont_block.insts = tail;
+    cont_block.terminator = term;
+    cont
+}
+
+/// Rewrites every use of `from` to `to` inside the instructions whose result
+/// value is in `within` and inside the terminator condition operands of the
+/// listed blocks (used by the Loop Decoupler to retarget comparison slices).
+pub fn replace_uses_in(
+    function: &mut Function,
+    from: ValueId,
+    to: ValueId,
+    within: &HashSet<ValueId>,
+) {
+    let rewrite = |operand: Operand| -> Operand {
+        if operand == Operand::Value(from) {
+            Operand::Value(to)
+        } else {
+            operand
+        }
+    };
+    for block in &mut function.blocks {
+        for inst in &mut block.insts {
+            let applies = inst.result.map(|r| within.contains(&r)).unwrap_or(false);
+            if applies {
+                inst.op.map_operands(rewrite);
+            }
+        }
+    }
+}
+
+/// Replaces every use of value `from` with operand `to` across the whole
+/// function (instructions and terminators).
+pub fn replace_all_uses(function: &mut Function, from: ValueId, to: Operand) {
+    let rewrite = |operand: Operand| -> Operand {
+        if operand == Operand::Value(from) {
+            to
+        } else {
+            operand
+        }
+    };
+    for block in &mut function.blocks {
+        for inst in &mut block.insts {
+            inst.op.map_operands(rewrite);
+        }
+        if let Some(term) = &mut block.terminator {
+            match term {
+                Terminator::Branch {
+                    cond, protection, ..
+                } => {
+                    *cond = rewrite(*cond);
+                    if let Some(p) = protection {
+                        p.condition = rewrite(p.condition);
+                    }
+                }
+                Terminator::Switch { value, .. } => *value = rewrite(*value),
+                Terminator::Ret(Some(v)) => *v = rewrite(*v),
+                _ => {}
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use secbranch_ir::builder::FunctionBuilder;
+    use secbranch_ir::{Module, Predicate};
+
+    fn slice_fixture() -> (Module, ValueId, ValueId) {
+        // %sum = add %p0, 5 ; %scaled = mul %sum, 3 ; %other = and %p1, 255
+        // cmp ult (%scaled + %other) ...
+        let mut b = FunctionBuilder::new("f", 2);
+        let t = b.create_block("t");
+        let e = b.create_block("e");
+        let sum = b.bin(BinOp::Add, b.param(0), 5u32);
+        let scaled = b.bin(BinOp::Mul, sum, 3u32);
+        let other = b.bin(BinOp::And, b.param(1), 255u32);
+        let mixed = b.bin(BinOp::Add, scaled, other);
+        let cond = b.cmp(Predicate::Ult, mixed, 100u32);
+        b.branch(cond, t, e);
+        b.switch_to(t);
+        b.ret(Some(1u32.into()));
+        b.switch_to(e);
+        b.ret(Some(0u32.into()));
+        let f = b.finish();
+        let mixed_v = mixed.as_value().expect("value");
+        let other_v = other.as_value().expect("value");
+        let mut m = Module::new();
+        m.add_function(f);
+        (m, mixed_v, other_v)
+    }
+
+    #[test]
+    fn definitions_and_uses_are_tracked() {
+        let (m, mixed, _) = slice_fixture();
+        let f = m.function("f").expect("present");
+        let defs = value_definitions(f);
+        assert!(defs.contains_key(&mixed));
+        assert!(!defs.contains_key(&ValueId(0)), "parameters have no def site");
+        let uses = value_use_counts(f);
+        assert_eq!(uses.get(&mixed), Some(&1));
+    }
+
+    #[test]
+    fn comparison_slice_distinguishes_internal_and_leaves() {
+        let (m, mixed, other) = slice_fixture();
+        let f = m.function("f").expect("present");
+        let slice = comparison_slice(f, &[Operand::Value(mixed), Operand::Const(100)]);
+        // add/mul-by-const chains are internal; the and-instruction and the
+        // parameter it derives from are leaves.
+        assert!(slice.internal.contains(&mixed));
+        assert!(slice.leaves.contains(&other));
+        assert!(!slice.internal.contains(&other));
+        // Parameter %0 is reached through internal adds and is a leaf.
+        assert!(slice.leaves.contains(&ValueId(0)));
+    }
+
+    #[test]
+    fn encodability_rules() {
+        assert!(is_encodable(&Op::Bin {
+            op: BinOp::Add,
+            lhs: Operand::Const(1),
+            rhs: Operand::Const(2)
+        }));
+        assert!(is_encodable(&Op::Bin {
+            op: BinOp::Mul,
+            lhs: Operand::Value(ValueId(1)),
+            rhs: Operand::Const(2)
+        }));
+        assert!(!is_encodable(&Op::Bin {
+            op: BinOp::Mul,
+            lhs: Operand::Value(ValueId(1)),
+            rhs: Operand::Value(ValueId(2))
+        }));
+        assert!(!is_encodable(&Op::Bin {
+            op: BinOp::Xor,
+            lhs: Operand::Const(1),
+            rhs: Operand::Const(2)
+        }));
+    }
+
+    #[test]
+    fn block_splitting_moves_tail_and_terminator() {
+        let (mut m, _, _) = slice_fixture();
+        let f = m.function_mut("f").expect("present");
+        let entry = f.entry();
+        let original_len = f.block(entry).insts.len();
+        let cont = split_block(f, entry, 2);
+        assert_eq!(f.block(entry).insts.len(), 2);
+        assert_eq!(f.block(cont).insts.len(), original_len - 2);
+        assert!(f.block(entry).terminator.is_none());
+        assert!(f.block(cont).terminator.is_some());
+    }
+
+    #[test]
+    fn replace_all_uses_rewrites_terminators_too() {
+        let mut b = FunctionBuilder::new("g", 1);
+        let v = b.bin(BinOp::Add, b.param(0), 1u32);
+        b.ret(Some(v));
+        let mut f = b.finish();
+        let vid = v.as_value().expect("value");
+        replace_all_uses(&mut f, vid, Operand::Const(7));
+        match &f.block(f.entry()).terminator {
+            Some(Terminator::Ret(Some(Operand::Const(7)))) => {}
+            other => panic!("unexpected terminator {other:?}"),
+        }
+    }
+}

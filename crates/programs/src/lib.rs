@@ -1,0 +1,50 @@
+//! Guest workloads for the secbranch evaluation, expressed against the
+//! secbranch IR builder.
+//!
+//! These are the programs the paper's evaluation (Section V) runs on the
+//! ARMv7-M simulator:
+//!
+//! * [`integer_compare_module`] — the `integer compare` micro-benchmark: a
+//!   single protected integer equality comparison.
+//! * [`memcmp_module`] — the `memcmp` micro-benchmark: a secure byte-wise
+//!   memory comparison over `len` elements (the paper uses 128) whose loop
+//!   branch and final decision are protected.
+//! * [`password_check_module`] — a small application scenario built on the
+//!   secure memcmp (grant/deny decision).
+//! * [`bootloader_module`] — the macro-benchmark: a secure bootloader that
+//!   hashes a firmware image with SHA-256 ([`sha256`]) and only "boots" the
+//!   image when the digest matches the expected value. The paper verifies an
+//!   ECDSA signature; this reproduction substitutes digest verification so
+//!   that the crypto still dominates code size and runtime while the
+//!   security-critical comparison and branches are identical in structure
+//!   (see `DESIGN.md`).
+//!
+//! All security-critical functions carry the `protect_branches` attribute so
+//! the AN Coder / duplication passes pick them up; the SHA-256 compression
+//! code is deliberately left unannotated (it is the bulk workload, as in the
+//! paper).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod sha256;
+mod workloads;
+
+pub use workloads::{
+    bootloader_module, integer_compare_module, memcmp_module, password_check_module,
+    BootImage, BOOT_FAIL, BOOT_OK, GRANT, DENY,
+};
+
+#[cfg(test)]
+mod crate_tests {
+    use secbranch_ir::verify;
+
+    #[test]
+    fn all_workload_modules_verify() {
+        verify::verify_module(&super::integer_compare_module()).expect("integer compare");
+        verify::verify_module(&super::memcmp_module(16)).expect("memcmp");
+        verify::verify_module(&super::password_check_module(8)).expect("password");
+        let image = super::BootImage::generate(256, 1);
+        verify::verify_module(&super::bootloader_module(&image)).expect("bootloader");
+    }
+}

@@ -1,0 +1,414 @@
+//! SHA-256: a host-side reference implementation (padding, digest) and a
+//! guest-side compression function expressed in the secbranch IR.
+//!
+//! The guest function [`add_sha256_blocks`] processes whole 64-byte blocks;
+//! padding is applied on the host with [`pad`] when the firmware image is
+//! embedded into the module (the bootloader hashes a pre-padded image, which
+//! keeps the guest code focused on the computation the evaluation measures).
+
+use secbranch_ir::builder::FunctionBuilder;
+use secbranch_ir::{BinOp, LocalId, Module, Operand, Predicate};
+
+/// SHA-256 round constants.
+pub const K: [u32; 64] = [
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4, 0xab1c5ed5,
+    0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174,
+    0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967,
+    0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85,
+    0xa2bfe8a1, 0xa81a664b, 0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+    0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
+];
+
+/// SHA-256 initial hash state.
+pub const H0: [u32; 8] = [
+    0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19,
+];
+
+/// Applies SHA-256 padding, returning a message whose length is a multiple of
+/// 64 bytes.
+#[must_use]
+pub fn pad(message: &[u8]) -> Vec<u8> {
+    let mut out = message.to_vec();
+    let bit_len = (message.len() as u64) * 8;
+    out.push(0x80);
+    while out.len() % 64 != 56 {
+        out.push(0);
+    }
+    out.extend_from_slice(&bit_len.to_be_bytes());
+    out
+}
+
+/// Host-side reference digest (used to derive expected digests and to
+/// cross-check the guest implementation).
+#[must_use]
+pub fn digest(message: &[u8]) -> [u8; 32] {
+    let padded = pad(message);
+    let mut h = H0;
+    for block in padded.chunks_exact(64) {
+        compress_reference(&mut h, block);
+    }
+    let mut out = [0u8; 32];
+    for (i, word) in h.iter().enumerate() {
+        out[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
+    }
+    out
+}
+
+fn compress_reference(h: &mut [u32; 8], block: &[u8]) {
+    let mut w = [0u32; 64];
+    for t in 0..16 {
+        w[t] = u32::from_be_bytes(block[t * 4..t * 4 + 4].try_into().expect("4 bytes"));
+    }
+    for t in 16..64 {
+        let s0 = w[t - 15].rotate_right(7) ^ w[t - 15].rotate_right(18) ^ (w[t - 15] >> 3);
+        let s1 = w[t - 2].rotate_right(17) ^ w[t - 2].rotate_right(19) ^ (w[t - 2] >> 10);
+        w[t] = w[t - 16]
+            .wrapping_add(s0)
+            .wrapping_add(w[t - 7])
+            .wrapping_add(s1);
+    }
+    let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut hh] = *h;
+    for t in 0..64 {
+        let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+        let ch = (e & f) ^ (!e & g);
+        let t1 = hh
+            .wrapping_add(s1)
+            .wrapping_add(ch)
+            .wrapping_add(K[t])
+            .wrapping_add(w[t]);
+        let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+        let maj = (a & b) ^ (a & c) ^ (b & c);
+        let t2 = s0.wrapping_add(maj);
+        hh = g;
+        g = f;
+        f = e;
+        e = d.wrapping_add(t1);
+        d = c;
+        c = b;
+        b = a;
+        a = t1.wrapping_add(t2);
+    }
+    h[0] = h[0].wrapping_add(a);
+    h[1] = h[1].wrapping_add(b);
+    h[2] = h[2].wrapping_add(c);
+    h[3] = h[3].wrapping_add(d);
+    h[4] = h[4].wrapping_add(e);
+    h[5] = h[5].wrapping_add(f);
+    h[6] = h[6].wrapping_add(g);
+    h[7] = h[7].wrapping_add(hh);
+}
+
+/// Name of the round-constant table global added by [`add_sha256_blocks`].
+pub const K_GLOBAL: &str = "sha256_k";
+
+/// Adds the guest-side `sha256_blocks(msg_ptr, num_blocks, out_ptr)` function
+/// (plus its round-constant global) to the module. The function processes
+/// `num_blocks` pre-padded 64-byte blocks and writes the 32-byte big-endian
+/// digest to `out_ptr`.
+pub fn add_sha256_blocks(module: &mut Module) {
+    if module.function("sha256_blocks").is_some() {
+        return;
+    }
+    let k_bytes: Vec<u8> = K.iter().flat_map(|w| w.to_le_bytes()).collect();
+    module.add_global(K_GLOBAL, k_bytes, false);
+
+    let mut b = FunctionBuilder::new("sha256_blocks", 3);
+    let (msg_ptr, num_blocks, out_ptr) = (b.param(0), b.param(1), b.param(2));
+
+    // State and schedule live in stack slots.
+    let state: Vec<LocalId> = (0..8).map(|i| b.local(format!("h{i}"), 4)).collect();
+    let vars: Vec<LocalId> = ["a", "b", "c", "d", "e", "f", "g", "h"]
+        .iter()
+        .map(|n| b.local(*n, 4))
+        .collect();
+    let w = b.local("w", 64 * 4);
+    let blk = b.local("blk", 4);
+    let t = b.local("t", 4);
+    let t1 = b.local("t1", 4);
+    let t2 = b.local("t2", 4);
+
+    for (i, h) in H0.iter().enumerate() {
+        b.store_local(state[i], *h);
+    }
+    b.store_local(blk, 0u32);
+
+    // Helper closures over the builder ----------------------------------
+    fn rotr(b: &mut FunctionBuilder, x: Operand, n: u32) -> Operand {
+        let right = b.bin(BinOp::LShr, x, n);
+        let left = b.bin(BinOp::Shl, x, 32 - n);
+        b.bin(BinOp::Or, right, left)
+    }
+    fn w_addr(b: &mut FunctionBuilder, w: LocalId, index: Operand) -> Operand {
+        let base = b.local_addr(w);
+        let off = b.bin(BinOp::Mul, index, 4u32);
+        b.bin(BinOp::Add, base, off)
+    }
+
+    // Outer loop over blocks.
+    let blk_header = b.create_block("blk.header");
+    let blk_body = b.create_block("blk.body");
+    let done = b.create_block("done");
+    b.jump(blk_header);
+    b.switch_to(blk_header);
+    let blk_v = b.load_local(blk);
+    let more = b.cmp(Predicate::Ult, blk_v, num_blocks);
+    b.branch(more, blk_body, done);
+
+    // Block body: load the message schedule (big-endian words).
+    b.switch_to(blk_body);
+    let blk_v = b.load_local(blk);
+    let block_off = b.bin(BinOp::Mul, blk_v, 64u32);
+    let block_base = b.bin(BinOp::Add, msg_ptr, block_off);
+    b.store_local(t, 0u32);
+    let ld_header = b.create_block("w.load.header");
+    let ld_body = b.create_block("w.load.body");
+    let ext_header = b.create_block("w.ext.header");
+    b.jump(ld_header);
+    b.switch_to(ld_header);
+    let tv = b.load_local(t);
+    let more = b.cmp(Predicate::Ult, tv, 16u32);
+    b.branch(more, ld_body, ext_header);
+    b.switch_to(ld_body);
+    let tv = b.load_local(t);
+    let byte_off = b.bin(BinOp::Mul, tv, 4u32);
+    let p0 = b.bin(BinOp::Add, block_base, byte_off);
+    let b0 = b.load_byte(p0);
+    let p1 = b.bin(BinOp::Add, p0, 1u32);
+    let b1 = b.load_byte(p1);
+    let p2 = b.bin(BinOp::Add, p0, 2u32);
+    let b2 = b.load_byte(p2);
+    let p3 = b.bin(BinOp::Add, p0, 3u32);
+    let b3 = b.load_byte(p3);
+    let hi = b.bin(BinOp::Shl, b0, 24u32);
+    let mid = b.bin(BinOp::Shl, b1, 16u32);
+    let lo = b.bin(BinOp::Shl, b2, 8u32);
+    let acc = b.bin(BinOp::Or, hi, mid);
+    let acc = b.bin(BinOp::Or, acc, lo);
+    let word = b.bin(BinOp::Or, acc, b3);
+    let dest = w_addr(&mut b, w, tv);
+    b.store(dest, word);
+    let tn = b.bin(BinOp::Add, tv, 1u32);
+    b.store_local(t, tn);
+    b.jump(ld_header);
+
+    // Extend the schedule: t = 16..64.
+    b.switch_to(ext_header);
+    b.store_local(t, 16u32);
+    let ext_cond = b.create_block("w.ext.cond");
+    let ext_body = b.create_block("w.ext.body");
+    let round_init = b.create_block("round.init");
+    b.jump(ext_cond);
+    b.switch_to(ext_cond);
+    let tv = b.load_local(t);
+    let more = b.cmp(Predicate::Ult, tv, 64u32);
+    b.branch(more, ext_body, round_init);
+    b.switch_to(ext_body);
+    let tv = b.load_local(t);
+    let idx15 = b.bin(BinOp::Sub, tv, 15u32);
+    let a15 = w_addr(&mut b, w, idx15);
+    let w15 = b.load(a15);
+    let idx2 = b.bin(BinOp::Sub, tv, 2u32);
+    let a2 = w_addr(&mut b, w, idx2);
+    let w2 = b.load(a2);
+    let idx16 = b.bin(BinOp::Sub, tv, 16u32);
+    let a16 = w_addr(&mut b, w, idx16);
+    let w16 = b.load(a16);
+    let idx7 = b.bin(BinOp::Sub, tv, 7u32);
+    let a7 = w_addr(&mut b, w, idx7);
+    let w7 = b.load(a7);
+    let r7 = rotr(&mut b, w15, 7);
+    let r18 = rotr(&mut b, w15, 18);
+    let sh3 = b.bin(BinOp::LShr, w15, 3u32);
+    let s0 = b.bin(BinOp::Xor, r7, r18);
+    let s0 = b.bin(BinOp::Xor, s0, sh3);
+    let r17 = rotr(&mut b, w2, 17);
+    let r19 = rotr(&mut b, w2, 19);
+    let sh10 = b.bin(BinOp::LShr, w2, 10u32);
+    let s1 = b.bin(BinOp::Xor, r17, r19);
+    let s1 = b.bin(BinOp::Xor, s1, sh10);
+    let sum = b.bin(BinOp::Add, w16, s0);
+    let sum = b.bin(BinOp::Add, sum, w7);
+    let sum = b.bin(BinOp::Add, sum, s1);
+    let dest = w_addr(&mut b, w, tv);
+    b.store(dest, sum);
+    let tn = b.bin(BinOp::Add, tv, 1u32);
+    b.store_local(t, tn);
+    b.jump(ext_cond);
+
+    // Initialise the working variables from the state.
+    b.switch_to(round_init);
+    for i in 0..8 {
+        let v = b.load_local(state[i]);
+        b.store_local(vars[i], v);
+    }
+    b.store_local(t, 0u32);
+    let rd_cond = b.create_block("round.cond");
+    let rd_body = b.create_block("round.body");
+    let blk_end = b.create_block("blk.end");
+    b.jump(rd_cond);
+    b.switch_to(rd_cond);
+    let tv = b.load_local(t);
+    let more = b.cmp(Predicate::Ult, tv, 64u32);
+    b.branch(more, rd_body, blk_end);
+
+    // One compression round.
+    b.switch_to(rd_body);
+    let tv = b.load_local(t);
+    let (av, bv, cv, dv, ev, fv, gv, hv) = (
+        b.load_local(vars[0]),
+        b.load_local(vars[1]),
+        b.load_local(vars[2]),
+        b.load_local(vars[3]),
+        b.load_local(vars[4]),
+        b.load_local(vars[5]),
+        b.load_local(vars[6]),
+        b.load_local(vars[7]),
+    );
+    let r6 = rotr(&mut b, ev, 6);
+    let r11 = rotr(&mut b, ev, 11);
+    let r25 = rotr(&mut b, ev, 25);
+    let s1 = b.bin(BinOp::Xor, r6, r11);
+    let s1 = b.bin(BinOp::Xor, s1, r25);
+    let ef = b.bin(BinOp::And, ev, fv);
+    let note = b.bin(BinOp::Xor, ev, u32::MAX);
+    let neg = b.bin(BinOp::And, note, gv);
+    let ch = b.bin(BinOp::Xor, ef, neg);
+    let k_base = b.global_addr(K_GLOBAL);
+    let k_off = b.bin(BinOp::Mul, tv, 4u32);
+    let k_addr = b.bin(BinOp::Add, k_base, k_off);
+    let kt = b.load(k_addr);
+    let wt_addr = w_addr(&mut b, w, tv);
+    let wt = b.load(wt_addr);
+    let t1v = b.bin(BinOp::Add, hv, s1);
+    let t1v = b.bin(BinOp::Add, t1v, ch);
+    let t1v = b.bin(BinOp::Add, t1v, kt);
+    let t1v = b.bin(BinOp::Add, t1v, wt);
+    b.store_local(t1, t1v);
+    let r2 = rotr(&mut b, av, 2);
+    let r13 = rotr(&mut b, av, 13);
+    let r22 = rotr(&mut b, av, 22);
+    let s0 = b.bin(BinOp::Xor, r2, r13);
+    let s0 = b.bin(BinOp::Xor, s0, r22);
+    let ab = b.bin(BinOp::And, av, bv);
+    let ac = b.bin(BinOp::And, av, cv);
+    let bc = b.bin(BinOp::And, bv, cv);
+    let maj = b.bin(BinOp::Xor, ab, ac);
+    let maj = b.bin(BinOp::Xor, maj, bc);
+    let t2v = b.bin(BinOp::Add, s0, maj);
+    b.store_local(t2, t2v);
+    // Rotate the working variables.
+    b.store_local(vars[7], gv);
+    b.store_local(vars[6], fv);
+    b.store_local(vars[5], ev);
+    let t1v = b.load_local(t1);
+    let e_new = b.bin(BinOp::Add, dv, t1v);
+    b.store_local(vars[4], e_new);
+    b.store_local(vars[3], cv);
+    b.store_local(vars[2], bv);
+    b.store_local(vars[1], av);
+    let t2v = b.load_local(t2);
+    let a_new = b.bin(BinOp::Add, t1v, t2v);
+    b.store_local(vars[0], a_new);
+    let tn = b.bin(BinOp::Add, tv, 1u32);
+    b.store_local(t, tn);
+    b.jump(rd_cond);
+
+    // Fold the working variables back into the state and advance the block.
+    b.switch_to(blk_end);
+    for i in 0..8 {
+        let hv = b.load_local(state[i]);
+        let vv = b.load_local(vars[i]);
+        let sum = b.bin(BinOp::Add, hv, vv);
+        b.store_local(state[i], sum);
+    }
+    let blk_v = b.load_local(blk);
+    let bn = b.bin(BinOp::Add, blk_v, 1u32);
+    b.store_local(blk, bn);
+    b.jump(blk_header);
+
+    // Write the big-endian digest.
+    b.switch_to(done);
+    for i in 0..8u32 {
+        let hv = b.load_local(state[i as usize]);
+        for (byte, shift) in [(0u32, 24u32), (1, 16), (2, 8), (3, 0)] {
+            let v = b.bin(BinOp::LShr, hv, shift);
+            let v = b.bin(BinOp::And, v, 0xFFu32);
+            let addr = b.bin(BinOp::Add, out_ptr, i * 4 + byte);
+            b.store_byte(addr, v);
+        }
+    }
+    b.ret(None);
+
+    module.add_function(b.finish());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use secbranch_ir::interp::{Interpreter, InterpOptions};
+    use secbranch_ir::verify;
+
+    #[test]
+    fn reference_digest_matches_known_vectors() {
+        // FIPS 180-2 test vectors.
+        let abc = digest(b"abc");
+        assert_eq!(
+            hex(&abc),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        );
+        let empty = digest(b"");
+        assert_eq!(
+            hex(&empty),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+        );
+        let two_block = digest(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq");
+        assert_eq!(
+            hex(&two_block),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+        );
+    }
+
+    #[test]
+    fn padding_length_and_terminator() {
+        for len in [0usize, 1, 55, 56, 63, 64, 100] {
+            let msg = vec![0xAB; len];
+            let padded = pad(&msg);
+            assert_eq!(padded.len() % 64, 0, "len {len}");
+            assert_eq!(padded[len], 0x80);
+        }
+    }
+
+    #[test]
+    fn guest_sha256_matches_the_reference() {
+        let mut module = Module::new();
+        let message = b"The quick brown fox jumps over the lazy dog".to_vec();
+        let padded = pad(&message);
+        module.add_global("msg", padded.clone(), false);
+        module.add_global("digest_out", vec![0; 32], true);
+        add_sha256_blocks(&mut module);
+
+        // Driver: sha256_blocks(@msg, blocks, @digest_out)
+        let mut b = FunctionBuilder::new("driver", 0);
+        let msg = b.global_addr("msg");
+        let out = b.global_addr("digest_out");
+        let _ = b.call(
+            "sha256_blocks",
+            &[msg, Operand::Const((padded.len() / 64) as u32), out],
+        );
+        b.ret(None);
+        module.add_function(b.finish());
+        verify::verify_module(&module).expect("valid");
+
+        let mut interp = Interpreter::new(&module, InterpOptions::default());
+        interp.call("driver", &[]).expect("runs");
+        let out_addr = interp.global_address("digest_out").expect("present");
+        let guest = interp.read_memory(out_addr, 32).to_vec();
+        assert_eq!(guest, digest(&message).to_vec());
+    }
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+}

@@ -1,0 +1,308 @@
+//! The evaluation workloads (Section V of the paper).
+
+use secbranch_ir::builder::FunctionBuilder;
+use secbranch_ir::{BinOp, Module, Operand, Predicate};
+
+use crate::sha256;
+
+/// Return value of a successful password check / boot decision.
+pub const GRANT: u32 = 0xA5A5;
+/// Return value of a rejected password check.
+pub const DENY: u32 = 0x5A5A;
+/// Return value of the bootloader when the image is authentic.
+pub const BOOT_OK: u32 = 0xB007;
+/// Return value of the bootloader when verification fails.
+pub const BOOT_FAIL: u32 = 0xDEAD;
+
+/// The `integer compare` micro-benchmark: a single protected equality
+/// comparison. `integer_compare(x, y)` returns 1 when the values match.
+#[must_use]
+pub fn integer_compare_module() -> Module {
+    let mut b = FunctionBuilder::new("integer_compare", 2);
+    b.protect_branches();
+    let eq = b.create_block("equal");
+    let ne = b.create_block("not_equal");
+    let cond = b.cmp(Predicate::Eq, b.param(0), b.param(1));
+    b.branch(cond, eq, ne);
+    b.switch_to(eq);
+    b.ret(Some(1u32.into()));
+    b.switch_to(ne);
+    b.ret(Some(0u32.into()));
+    let mut m = Module::new();
+    m.add_function(b.finish());
+    m
+}
+
+/// Adds the secure byte-wise `memcmp_secure(a_ptr, b_ptr, len)` function:
+/// it accumulates the XOR difference of all bytes (no data-dependent early
+/// exit) and finally takes a protected branch on "all equal", returning 1 for
+/// equal buffers and 0 otherwise.
+fn add_memcmp_secure(module: &mut Module) {
+    if module.function("memcmp_secure").is_some() {
+        return;
+    }
+    let mut b = FunctionBuilder::new("memcmp_secure", 3);
+    b.protect_branches();
+    let (a_ptr, b_ptr, len) = (b.param(0), b.param(1), b.param(2));
+    let i = b.local("i", 4);
+    let diff = b.local("diff", 4);
+    b.store_local(i, 0u32);
+    b.store_local(diff, 0u32);
+    let header = b.create_block("header");
+    let body = b.create_block("body");
+    let check = b.create_block("check");
+    let equal = b.create_block("equal");
+    let not_equal = b.create_block("not_equal");
+    b.jump(header);
+    b.switch_to(header);
+    let iv = b.load_local(i);
+    let more = b.cmp(Predicate::Ult, iv, len);
+    b.branch(more, body, check);
+    b.switch_to(body);
+    let iv = b.load_local(i);
+    let pa = b.bin(BinOp::Add, a_ptr, iv);
+    let va = b.load_byte(pa);
+    let pb = b.bin(BinOp::Add, b_ptr, iv);
+    let vb = b.load_byte(pb);
+    let x = b.bin(BinOp::Xor, va, vb);
+    let d = b.load_local(diff);
+    let d2 = b.bin(BinOp::Or, d, x);
+    b.store_local(diff, d2);
+    let inext = b.bin(BinOp::Add, iv, 1u32);
+    b.store_local(i, inext);
+    b.jump(header);
+    b.switch_to(check);
+    let d = b.load_local(diff);
+    let is_equal = b.cmp(Predicate::Eq, d, 0u32);
+    b.branch(is_equal, equal, not_equal);
+    b.switch_to(equal);
+    b.ret(Some(1u32.into()));
+    b.switch_to(not_equal);
+    b.ret(Some(0u32.into()));
+    module.add_function(b.finish());
+}
+
+/// The `memcmp` micro-benchmark: compares two module-global buffers of `len`
+/// bytes through `memcmp_secure`. The driver `memcmp_bench()` takes no
+/// arguments; the buffers (`memcmp_a`, `memcmp_b`) are equal by default and
+/// can be modified in guest memory before the run.
+#[must_use]
+pub fn memcmp_module(len: u32) -> Module {
+    let mut m = Module::new();
+    let data: Vec<u8> = (0..len).map(|i| (i * 7 + 13) as u8).collect();
+    m.add_global("memcmp_a", data.clone(), true);
+    m.add_global("memcmp_b", data, true);
+    add_memcmp_secure(&mut m);
+
+    let mut b = FunctionBuilder::new("memcmp_bench", 0);
+    b.protect_branches();
+    let a = b.global_addr("memcmp_a");
+    let bb = b.global_addr("memcmp_b");
+    let r = b.call("memcmp_secure", &[a, bb, Operand::Const(len)]);
+    b.ret(Some(r));
+    m.add_function(b.finish());
+    m
+}
+
+/// The password-check scenario: `password_check()` compares a stored secret
+/// against an entered password (both module globals of `len` bytes) and
+/// returns [`GRANT`] or [`DENY`] through a protected branch.
+#[must_use]
+pub fn password_check_module(len: u32) -> Module {
+    let mut m = Module::new();
+    let secret: Vec<u8> = (0..len).map(|i| (0x41 + (i % 26)) as u8).collect();
+    m.add_global("password_stored", secret.clone(), false);
+    m.add_global("password_entered", secret, true);
+    add_memcmp_secure(&mut m);
+
+    let mut b = FunctionBuilder::new("password_check", 0);
+    b.protect_branches();
+    let grant = b.create_block("grant");
+    let deny = b.create_block("deny");
+    let stored = b.global_addr("password_stored");
+    let entered = b.global_addr("password_entered");
+    let equal = b.call("memcmp_secure", &[stored, entered, Operand::Const(len)]);
+    let cond = b.cmp(Predicate::Eq, equal, 1u32);
+    b.branch(cond, grant, deny);
+    b.switch_to(grant);
+    b.ret(Some(GRANT.into()));
+    b.switch_to(deny);
+    b.ret(Some(DENY.into()));
+    m.add_function(b.finish());
+    m
+}
+
+/// A firmware image used by the bootloader macro-benchmark.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BootImage {
+    /// The raw (unpadded) image bytes.
+    pub image: Vec<u8>,
+    /// The SHA-256 padded image that is embedded in guest memory.
+    pub padded: Vec<u8>,
+    /// The expected digest of the authentic image.
+    pub expected_digest: [u8; 32],
+}
+
+impl BootImage {
+    /// Generates a deterministic pseudo-firmware image of `size` bytes
+    /// (seeded so the evaluation is reproducible).
+    #[must_use]
+    pub fn generate(size: usize, seed: u64) -> Self {
+        let mut state = seed | 1;
+        let image: Vec<u8> = (0..size)
+            .map(|_| {
+                state ^= state >> 12;
+                state ^= state << 25;
+                state ^= state >> 27;
+                (state.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 56) as u8
+            })
+            .collect();
+        Self::from_bytes(image)
+    }
+
+    /// Wraps an existing image.
+    #[must_use]
+    pub fn from_bytes(image: Vec<u8>) -> Self {
+        let padded = sha256::pad(&image);
+        let expected_digest = sha256::digest(&image);
+        BootImage {
+            image,
+            padded,
+            expected_digest,
+        }
+    }
+
+    /// Number of 64-byte SHA-256 blocks of the padded image.
+    #[must_use]
+    pub fn block_count(&self) -> u32 {
+        (self.padded.len() / 64) as u32
+    }
+}
+
+/// The secure-bootloader macro-benchmark.
+///
+/// `bootloader()` hashes the embedded firmware image with the guest SHA-256,
+/// compares the digest against the embedded expected digest using
+/// `memcmp_secure`, and returns [`BOOT_OK`] only when they match (a protected
+/// decision). Corrupting the image in guest memory before the call makes the
+/// verification fail.
+#[must_use]
+pub fn bootloader_module(image: &BootImage) -> Module {
+    let mut m = Module::new();
+    m.add_global("boot_image", image.padded.clone(), true);
+    m.add_global("boot_expected_digest", image.expected_digest.to_vec(), false);
+    m.add_global("boot_computed_digest", vec![0; 32], true);
+    sha256::add_sha256_blocks(&mut m);
+    add_memcmp_secure(&mut m);
+
+    let mut b = FunctionBuilder::new("bootloader", 0);
+    b.protect_branches();
+    let ok = b.create_block("boot");
+    let fail = b.create_block("reject");
+    let img = b.global_addr("boot_image");
+    let out = b.global_addr("boot_computed_digest");
+    let expected = b.global_addr("boot_expected_digest");
+    let _ = b.call(
+        "sha256_blocks",
+        &[img, Operand::Const(image.block_count()), out],
+    );
+    let equal = b.call("memcmp_secure", &[out, expected, Operand::Const(32)]);
+    let cond = b.cmp(Predicate::Eq, equal, 1u32);
+    b.branch(cond, ok, fail);
+    b.switch_to(ok);
+    b.ret(Some(BOOT_OK.into()));
+    b.switch_to(fail);
+    b.ret(Some(BOOT_FAIL.into()));
+    m.add_function(b.finish());
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use secbranch_ir::interp::{Interpreter, InterpOptions};
+
+    #[test]
+    fn integer_compare_semantics() {
+        let m = integer_compare_module();
+        assert_eq!(
+            secbranch_ir::interp::run(&m, "integer_compare", &[41, 41])
+                .unwrap()
+                .return_value,
+            Some(1)
+        );
+        assert_eq!(
+            secbranch_ir::interp::run(&m, "integer_compare", &[41, 42])
+                .unwrap()
+                .return_value,
+            Some(0)
+        );
+    }
+
+    #[test]
+    fn memcmp_detects_any_single_byte_difference() {
+        let m = memcmp_module(32);
+        let mut interp = Interpreter::new(&m, InterpOptions::default());
+        assert_eq!(interp.call("memcmp_bench", &[]).unwrap().return_value, Some(1));
+
+        for position in [0u32, 1, 15, 31] {
+            let mut interp = Interpreter::new(&m, InterpOptions::default());
+            let b_addr = interp.global_address("memcmp_b").unwrap() + position;
+            let original = interp.read_memory(b_addr, 1)[0];
+            interp.write_memory(b_addr, &[original ^ 0x40]);
+            assert_eq!(
+                interp.call("memcmp_bench", &[]).unwrap().return_value,
+                Some(0),
+                "difference at byte {position}"
+            );
+        }
+    }
+
+    #[test]
+    fn password_check_grants_and_denies() {
+        let m = password_check_module(12);
+        let mut interp = Interpreter::new(&m, InterpOptions::default());
+        assert_eq!(
+            interp.call("password_check", &[]).unwrap().return_value,
+            Some(GRANT)
+        );
+        let addr = interp.global_address("password_entered").unwrap();
+        interp.write_memory(addr, b"X");
+        assert_eq!(
+            interp.call("password_check", &[]).unwrap().return_value,
+            Some(DENY)
+        );
+    }
+
+    #[test]
+    fn bootloader_accepts_authentic_and_rejects_tampered_images() {
+        let image = BootImage::generate(512, 42);
+        let m = bootloader_module(&image);
+        let mut interp = Interpreter::new(&m, InterpOptions::default());
+        assert_eq!(
+            interp.call("bootloader", &[]).unwrap().return_value,
+            Some(BOOT_OK)
+        );
+
+        // Flip one bit of the firmware image: the boot must be rejected.
+        let mut interp = Interpreter::new(&m, InterpOptions::default());
+        let addr = interp.global_address("boot_image").unwrap() + 100;
+        let original = interp.read_memory(addr, 1)[0];
+        interp.write_memory(addr, &[original ^ 1]);
+        assert_eq!(
+            interp.call("bootloader", &[]).unwrap().return_value,
+            Some(BOOT_FAIL)
+        );
+    }
+
+    #[test]
+    fn boot_image_generation_is_deterministic() {
+        let a = BootImage::generate(256, 7);
+        let b = BootImage::generate(256, 7);
+        let c = BootImage::generate(256, 8);
+        assert_eq!(a, b);
+        assert_ne!(a.expected_digest, c.expected_digest);
+        assert_eq!(a.padded.len() % 64, 0);
+        assert_eq!(a.block_count() as usize, a.padded.len() / 64);
+    }
+}

@@ -1,0 +1,46 @@
+//! The secure-bootloader macro-benchmark: SHA-256 over a firmware image, a
+//! secure digest comparison, and a protected boot decision.
+//!
+//! Run with `cargo run --release --example bootloader`.
+
+use secbranch::programs::{bootloader_module, BootImage, BOOT_FAIL, BOOT_OK};
+use secbranch::{build, measure, ProtectionVariant};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let image = BootImage::generate(4096, 2018);
+    let module = bootloader_module(&image);
+
+    let baseline = measure(&module, ProtectionVariant::CfiOnly, "bootloader", &[])?;
+    let prototype = measure(&module, ProtectionVariant::AnCode, "bootloader", &[])?;
+    assert_eq!(baseline.result.return_value, BOOT_OK);
+    assert_eq!(prototype.result.return_value, BOOT_OK);
+
+    println!("secure bootloader, 4 KiB firmware image");
+    println!(
+        "  CFI baseline : {:>6} bytes, {:>9} cycles",
+        baseline.code_size_bytes, baseline.result.cycles
+    );
+    println!(
+        "  prototype    : {:>6} bytes, {:>9} cycles  (size {:+.3}%, runtime {:+.4}%)",
+        prototype.code_size_bytes,
+        prototype.result.cycles,
+        prototype.size_overhead_percent(&baseline),
+        prototype.runtime_overhead_percent(&baseline)
+    );
+
+    // A tampered image must be rejected.
+    let compiled = build(&module, ProtectionVariant::AnCode)?;
+    let image_addr = compiled.global_address("boot_image").expect("global");
+    let mut sim = compiled.into_simulator(1 << 20);
+    let mut byte = sim.machine().read_bytes(image_addr + 100, 1)[0];
+    byte ^= 0x01;
+    sim.machine_mut().write_bytes(image_addr + 100, &[byte]);
+    let tampered = sim.call("bootloader", &[], 500_000_000)?;
+    println!(
+        "  tampered image -> {:#x} (BOOT_FAIL = {BOOT_FAIL:#x}), CFI clean: {}",
+        tampered.return_value,
+        tampered.cfi_clean()
+    );
+    assert_eq!(tampered.return_value, BOOT_FAIL);
+    Ok(())
+}

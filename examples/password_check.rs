@@ -1,0 +1,44 @@
+//! The password-check scenario: a secure memcmp feeding a protected
+//! grant/deny decision, compared across the protection variants.
+//!
+//! Run with `cargo run --example password_check`.
+
+use secbranch::programs::{password_check_module, DENY, GRANT};
+use secbranch::{build, measure, ProtectionVariant};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let module = password_check_module(16);
+
+    println!("password check with a 16-byte secret\n");
+    for variant in [
+        ProtectionVariant::Unprotected,
+        ProtectionVariant::CfiOnly,
+        ProtectionVariant::Duplication(6),
+        ProtectionVariant::AnCode,
+    ] {
+        let m = measure(&module, variant, "password_check", &[])?;
+        assert_eq!(m.result.return_value, GRANT);
+        println!(
+            "{:<16} code {:>6} B, {:>6} cycles, CFI checks {}, violations {}",
+            m.variant_label,
+            m.code_size_bytes,
+            m.result.cycles,
+            m.result.cfi_checks,
+            m.result.cfi_violations
+        );
+    }
+
+    // Tampering with the entered password in guest memory flips the decision
+    // to DENY — and the protected variant reaches it with a clean CFI state.
+    let compiled = build(&module, ProtectionVariant::AnCode)?;
+    let entered = compiled
+        .global_address("password_entered")
+        .expect("global exists");
+    let mut sim = compiled.into_simulator(1 << 20);
+    sim.machine_mut().write_bytes(entered, b"wrong password!!");
+    let result = sim.call("password_check", &[], 10_000_000)?;
+    println!("\ntampered password -> {:#x} (DENY = {:#x}), CFI clean: {}",
+        result.return_value, DENY, result.cfi_clean());
+    assert_eq!(result.return_value, DENY);
+    Ok(())
+}

@@ -1,0 +1,45 @@
+//! Quickstart: protect the conditional branches of a small function and run
+//! it on the ARMv7-M simulator.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use secbranch::ir::builder::FunctionBuilder;
+use secbranch::ir::{Module, Predicate};
+use secbranch::{measure, ProtectionVariant};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A tiny security-critical function: unlock(entered_pin, stored_pin).
+    let mut b = FunctionBuilder::new("unlock", 2);
+    b.protect_branches();
+    let grant = b.create_block("grant");
+    let deny = b.create_block("deny");
+    let cond = b.cmp(Predicate::Eq, b.param(0), b.param(1));
+    b.branch(cond, grant, deny);
+    b.switch_to(grant);
+    b.ret(Some(1u32.into()));
+    b.switch_to(deny);
+    b.ret(Some(0u32.into()));
+    let mut module = Module::new();
+    module.add_function(b.finish());
+
+    println!("IR before protection:\n{}", secbranch::ir::printer::print_module(&module));
+
+    for variant in [
+        ProtectionVariant::CfiOnly,
+        ProtectionVariant::Duplication(6),
+        ProtectionVariant::AnCode,
+    ] {
+        let ok = measure(&module, variant, "unlock", &[1234, 1234])?;
+        let bad = measure(&module, variant, "unlock", &[1111, 1234])?;
+        println!(
+            "{:<16} code {:>5} B, correct PIN -> {}, wrong PIN -> {}, cycles {:>4}, CFI clean: {}",
+            ok.variant_label,
+            ok.code_size_bytes,
+            ok.result.return_value,
+            bad.result.return_value,
+            ok.result.cycles,
+            ok.result.cfi_clean()
+        );
+    }
+    Ok(())
+}

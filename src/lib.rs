@@ -1,0 +1,8 @@
+//! Workspace root package for the `secbranch` reproduction of
+//! *Securing Conditional Branches in the Presence of Fault Attacks* (DATE 2018).
+//!
+//! This crate only hosts the workspace-level examples (`examples/`) and the
+//! cross-crate integration tests (`tests/`). The actual library lives in the
+//! [`secbranch`] facade crate and the substrate crates it re-exports.
+
+pub use secbranch as facade;

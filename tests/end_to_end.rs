@@ -1,0 +1,139 @@
+//! Cross-crate integration tests: the full pipeline from IR workloads through
+//! the protection passes, code generation, and execution on the simulator,
+//! cross-checked against the IR interpreter and the AN-code reference
+//! implementation.
+
+use secbranch::ancode::{compare, Parameters};
+use secbranch::ir::interp;
+use secbranch::programs::{
+    bootloader_module, integer_compare_module, memcmp_module, password_check_module, BootImage,
+    BOOT_OK, GRANT,
+};
+use secbranch::{build, measure, ProtectionVariant};
+
+/// The encoded-comparison arithmetic agrees across its three implementations:
+/// the `secbranch-ancode` reference, the IR interpreter's `enccmp`, and the
+/// code generated for the ARMv7-M simulator.
+#[test]
+fn encoded_compare_implementations_agree() {
+    use secbranch::ir::builder::FunctionBuilder;
+    use secbranch::ir::{Module, Predicate as IrPredicate};
+
+    let params = Parameters::paper_defaults();
+    let code = params.code();
+    let pairs = [(41u32, 1000u32), (1000, 41), (500, 500), (0, 63_000)];
+    for (ir_pred, an_pred, c) in [
+        (IrPredicate::Ult, compare::Predicate::Ult, params.ordering_constant()),
+        (IrPredicate::Eq, compare::Predicate::Eq, params.equality_constant()),
+        (IrPredicate::Uge, compare::Predicate::Uge, params.ordering_constant()),
+    ] {
+        for (x, y) in pairs {
+            let reference = compare::encoded_compare(
+                &params,
+                an_pred,
+                code.encode(x).expect("in range"),
+                code.encode(y).expect("in range"),
+            );
+
+            // IR interpreter.
+            let mut b = FunctionBuilder::new("enc", 2);
+            let xe = b.bin(secbranch::ir::BinOp::Mul, b.param(0), code.constant());
+            let ye = b.bin(secbranch::ir::BinOp::Mul, b.param(1), code.constant());
+            let cond = b.encoded_compare(ir_pred, xe, ye, code.constant(), c);
+            b.ret(Some(cond));
+            let mut m = Module::new();
+            m.add_function(b.finish());
+            let interp_value = interp::run(&m, "enc", &[x, y]).expect("runs").return_value;
+            assert_eq!(interp_value, Some(reference), "interp {x} {ir_pred:?} {y}");
+
+            // Generated ARMv7-M code.
+            let compiled = build(&m, ProtectionVariant::Unprotected).expect("compiles");
+            let mut sim = compiled.into_simulator(64 * 1024);
+            let sim_value = sim.call("enc", &[x, y], 100_000).expect("runs").return_value;
+            assert_eq!(sim_value, reference, "simulator {x} {ir_pred:?} {y}");
+        }
+    }
+}
+
+/// Every protection variant preserves the functional behaviour of every
+/// workload, and the fault-free CFI state stays clean.
+#[test]
+fn all_variants_preserve_workload_semantics() {
+    let variants = [
+        ProtectionVariant::Unprotected,
+        ProtectionVariant::CfiOnly,
+        ProtectionVariant::Duplication(6),
+        ProtectionVariant::AnCode,
+    ];
+
+    let integer = integer_compare_module();
+    let memcmp = memcmp_module(32);
+    let password = password_check_module(12);
+    for variant in variants {
+        let eq = measure(&integer, variant, "integer_compare", &[7, 7]).expect("runs");
+        assert_eq!(eq.result.return_value, 1, "{variant:?}");
+        let ne = measure(&integer, variant, "integer_compare", &[7, 9]).expect("runs");
+        assert_eq!(ne.result.return_value, 0, "{variant:?}");
+        let mc = measure(&memcmp, variant, "memcmp_bench", &[]).expect("runs");
+        assert_eq!(mc.result.return_value, 1, "{variant:?}");
+        let pw = measure(&password, variant, "password_check", &[]).expect("runs");
+        assert_eq!(pw.result.return_value, GRANT, "{variant:?}");
+        if variant != ProtectionVariant::Unprotected {
+            for m in [&eq, &ne, &mc, &pw] {
+                assert_eq!(m.result.cfi_violations, 0, "{variant:?} must stay CFI-clean");
+            }
+        }
+    }
+}
+
+/// The interpreter and the simulator agree on the bootloader macro-benchmark,
+/// and the prototype overhead over the CFI baseline is small (the Table III
+/// "bootloader" row: ~2.4 % size, ~0.001 % runtime in the paper).
+#[test]
+fn bootloader_end_to_end_shape_matches_the_paper() {
+    let image = BootImage::generate(1024, 99);
+    let module = bootloader_module(&image);
+
+    // Ground truth from the interpreter.
+    let interp_result = interp::run(&module, "bootloader", &[]).expect("runs");
+    assert_eq!(interp_result.return_value, Some(BOOT_OK));
+
+    let baseline = measure(&module, ProtectionVariant::CfiOnly, "bootloader", &[]).expect("runs");
+    let prototype = measure(&module, ProtectionVariant::AnCode, "bootloader", &[]).expect("runs");
+    assert_eq!(baseline.result.return_value, BOOT_OK);
+    assert_eq!(prototype.result.return_value, BOOT_OK);
+    assert_eq!(prototype.result.cfi_violations, 0);
+
+    let size_overhead = prototype.size_overhead_percent(&baseline);
+    let runtime_overhead = prototype.runtime_overhead_percent(&baseline);
+    assert!(
+        size_overhead > 0.0 && size_overhead < 25.0,
+        "bootloader size overhead should be small, got {size_overhead:.2}%"
+    );
+    assert!(
+        runtime_overhead >= 0.0 && runtime_overhead < 5.0,
+        "bootloader runtime overhead should be negligible, got {runtime_overhead:.3}%"
+    );
+}
+
+/// The micro-benchmark shape of Table III: the prototype's code-size overhead
+/// over the CFI baseline stays below the duplication baseline's on the
+/// memcmp workload (the paper reports 306 % vs 300 % absolute size but a
+/// lower runtime, and for integer compare a clear win; our naive register
+/// allocator shifts the absolute numbers, the ordering of runtime overheads
+/// is preserved).
+#[test]
+fn prototype_runtime_beats_duplication_on_memcmp() {
+    let module = memcmp_module(128);
+    let baseline = measure(&module, ProtectionVariant::CfiOnly, "memcmp_bench", &[]).expect("runs");
+    let duplication =
+        measure(&module, ProtectionVariant::Duplication(6), "memcmp_bench", &[]).expect("runs");
+    let prototype = measure(&module, ProtectionVariant::AnCode, "memcmp_bench", &[]).expect("runs");
+    assert!(
+        prototype.runtime_overhead_percent(&baseline)
+            < duplication.runtime_overhead_percent(&baseline),
+        "prototype {:.1}% vs duplication {:.1}%",
+        prototype.runtime_overhead_percent(&baseline),
+        duplication.runtime_overhead_percent(&baseline)
+    );
+}
