@@ -179,7 +179,7 @@ impl AnCode {
     /// Returns `true` if the word satisfies the AN-code congruence.
     #[must_use]
     pub fn is_valid(&self, word: CodeWord) -> bool {
-        word.0 % self.a == 0
+        word.0.is_multiple_of(self.a)
     }
 
     /// Decodes a code word back to its functional value, validating it first.
@@ -309,7 +309,15 @@ mod tests {
     #[test]
     fn encode_decode_roundtrip() {
         let c = code();
-        for v in [0u32, 1, 2, 41, 255, 1000, 65_535.min(c.functional_max_exclusive() - 1)] {
+        for v in [
+            0u32,
+            1,
+            2,
+            41,
+            255,
+            1000,
+            65_535.min(c.functional_max_exclusive() - 1),
+        ] {
             let w = c.encode(v).expect("in range");
             assert_eq!(w.raw(), A * v);
             assert!(c.is_valid(w));

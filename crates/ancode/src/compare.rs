@@ -231,18 +231,19 @@ pub fn equality_kernel(a: u32, c: u32, lhs: CodeWord, rhs: CodeWord) -> u32 {
 /// This is the software reference implementation; the code generator emits
 /// the equivalent `SUB/ADD/UDIV/MLS` sequence (Table II).
 #[must_use]
-pub fn encoded_compare(params: &Parameters, predicate: Predicate, xc: CodeWord, yc: CodeWord) -> u32 {
+pub fn encoded_compare(
+    params: &Parameters,
+    predicate: Predicate,
+    xc: CodeWord,
+    yc: CodeWord,
+) -> u32 {
     let a = params.code().constant();
     match predicate {
         Predicate::Eq | Predicate::Ne => equality_kernel(a, params.equality_constant(), xc, yc),
         // Table I: the subtraction order selects the predicate; the symbol
         // assignment (true/false) is handled by `Parameters::symbols`.
-        Predicate::Ult | Predicate::Uge => {
-            ordering_kernel(a, params.ordering_constant(), xc, yc)
-        }
-        Predicate::Ugt | Predicate::Ule => {
-            ordering_kernel(a, params.ordering_constant(), yc, xc)
-        }
+        Predicate::Ult | Predicate::Uge => ordering_kernel(a, params.ordering_constant(), xc, yc),
+        Predicate::Ugt | Predicate::Ule => ordering_kernel(a, params.ordering_constant(), yc, xc),
     }
 }
 

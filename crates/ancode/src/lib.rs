@@ -45,8 +45,8 @@
 #![warn(missing_docs)]
 
 mod code;
-mod error;
 pub mod compare;
+mod error;
 pub mod hamming;
 pub mod params;
 

@@ -46,7 +46,7 @@ impl Parameters {
     /// [`AnCodeError::InvalidConditionConstant`] for a bad `C`.
     pub fn new(a: u32, c_ordering: u32, c_equality: u32) -> Result<Self, AnCodeError> {
         let code = AnCode::with_functional_bits(a, 16)?;
-        if (1u64 << 32) % u64::from(a) == 0 {
+        if (1u64 << 32).is_multiple_of(u64::from(a)) {
             return Err(AnCodeError::InvalidConstant {
                 a,
                 reason: "A divides 2^32, so the wrapped (negative) difference \
@@ -116,12 +116,8 @@ impl Parameters {
         match predicate {
             // Ordering class, Algorithm 1. The subtraction order is chosen by
             // `encoded_compare`; here only the symbol assignment matters.
-            Predicate::Ult | Predicate::Ugt => {
-                ConditionSymbols::new(ord_wrapped, self.c_ordering)
-            }
-            Predicate::Ule | Predicate::Uge => {
-                ConditionSymbols::new(self.c_ordering, ord_wrapped)
-            }
+            Predicate::Ult | Predicate::Ugt => ConditionSymbols::new(ord_wrapped, self.c_ordering),
+            Predicate::Ule | Predicate::Uge => ConditionSymbols::new(self.c_ordering, ord_wrapped),
             // Equality class, Algorithm 2.
             Predicate::Eq => ConditionSymbols::new(eq_equal, eq_unequal),
             Predicate::Ne => ConditionSymbols::new(eq_unequal, eq_equal),

@@ -1,97 +1,137 @@
 //! Property-based tests for the AN-code algebra and the encoded comparisons.
+//!
+//! Originally written against `proptest`; the offline build environment has
+//! no registry access, so the properties are exercised with a deterministic
+//! sampling loop over the workspace `rand` shim instead. Every test draws a
+//! few thousand cases from a fixed seed, which keeps failures reproducible.
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use secbranch_ancode::compare::{encoded_compare_outcome, ConditionOutcome};
 use secbranch_ancode::{AnCode, Parameters, Predicate};
 
-fn functional() -> impl Strategy<Value = u32> {
-    0u32..63_877
+const CASES: u32 = 2_000;
+
+fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
 }
 
-fn small_functional() -> impl Strategy<Value = u32> {
-    0u32..30_000
+fn functional(rng: &mut StdRng) -> u32 {
+    rng.gen_range(0u32..63_877)
 }
 
-fn any_predicate() -> impl Strategy<Value = Predicate> {
-    prop_oneof![
-        Just(Predicate::Eq),
-        Just(Predicate::Ne),
-        Just(Predicate::Ult),
-        Just(Predicate::Ule),
-        Just(Predicate::Ugt),
-        Just(Predicate::Uge),
-    ]
+fn small_functional(rng: &mut StdRng) -> u32 {
+    rng.gen_range(0u32..30_000)
 }
 
-proptest! {
-    /// Encode/decode round-trips for every in-range functional value.
-    #[test]
-    fn encode_decode_roundtrip(v in functional()) {
-        let code = AnCode::with_functional_bits(63_877, 16).unwrap();
+fn any_predicate(rng: &mut StdRng) -> Predicate {
+    const ALL: [Predicate; 6] = [
+        Predicate::Eq,
+        Predicate::Ne,
+        Predicate::Ult,
+        Predicate::Ule,
+        Predicate::Ugt,
+        Predicate::Uge,
+    ];
+    ALL[rng.gen_range(0..ALL.len())]
+}
+
+/// Encode/decode round-trips for every in-range functional value.
+#[test]
+fn encode_decode_roundtrip() {
+    let code = AnCode::with_functional_bits(63_877, 16).unwrap();
+    let mut rng = rng(0x01);
+    for _ in 0..CASES {
+        let v = functional(&mut rng);
         let w = code.encode(v).unwrap();
-        prop_assert!(code.is_valid(w));
-        prop_assert_eq!(code.decode(w).unwrap(), v);
+        assert!(code.is_valid(w));
+        assert_eq!(code.decode(w).unwrap(), v);
     }
+}
 
-    /// The code is closed under addition (Equation 1).
-    #[test]
-    fn addition_is_closed(x in small_functional(), y in small_functional()) {
-        let code = AnCode::with_functional_bits(63_877, 16).unwrap();
+/// The code is closed under addition (Equation 1).
+#[test]
+fn addition_is_closed() {
+    let code = AnCode::with_functional_bits(63_877, 16).unwrap();
+    let mut rng = rng(0x02);
+    for _ in 0..CASES {
+        let x = small_functional(&mut rng);
+        let y = small_functional(&mut rng);
         let xc = code.encode(x).unwrap();
         let yc = code.encode(y).unwrap();
         if x + y < code.functional_max_exclusive() {
             let z = code.add(xc, yc).unwrap();
-            prop_assert_eq!(code.decode(z).unwrap(), x + y);
+            assert_eq!(code.decode(z).unwrap(), x + y);
         }
     }
+}
 
-    /// Subtraction of a smaller from a larger value decodes correctly.
-    #[test]
-    fn subtraction_is_closed(x in functional(), y in functional()) {
-        let code = AnCode::with_functional_bits(63_877, 16).unwrap();
+/// Subtraction of a smaller from a larger value decodes correctly.
+#[test]
+fn subtraction_is_closed() {
+    let code = AnCode::with_functional_bits(63_877, 16).unwrap();
+    let mut rng = rng(0x03);
+    for _ in 0..CASES {
+        let x = functional(&mut rng);
+        let y = functional(&mut rng);
         let (hi, lo) = if x >= y { (x, y) } else { (y, x) };
         let hic = code.encode(hi).unwrap();
         let loc = code.encode(lo).unwrap();
         let z = code.sub(hic, loc);
-        prop_assert_eq!(code.decode(z).unwrap(), hi - lo);
+        assert_eq!(code.decode(z).unwrap(), hi - lo);
     }
+}
 
-    /// Any single-bit fault on a code word is detected by the residue check.
-    #[test]
-    fn single_bit_faults_are_detected(v in functional(), bit in 0u32..32) {
-        let code = AnCode::with_functional_bits(63_877, 16).unwrap();
+/// Any single-bit fault on a code word is detected by the residue check.
+#[test]
+fn single_bit_faults_are_detected() {
+    let code = AnCode::with_functional_bits(63_877, 16).unwrap();
+    let mut rng = rng(0x04);
+    for _ in 0..CASES {
+        let v = functional(&mut rng);
+        let bit = rng.gen_range(0u32..32);
         let w = code.encode(v).unwrap().with_bit_flipped(bit);
-        prop_assert!(code.check(w).is_err());
+        assert!(code.check(w).is_err());
     }
+}
 
-    /// Faults of up to 5 bits on a single code word are always detected
-    /// (minimum Hamming distance 6 of the paper's super-A).
-    #[test]
-    fn up_to_five_bit_faults_on_one_word_are_detected(
-        v in functional(),
-        bits in proptest::collection::hash_set(0u32..32, 1..=5),
-    ) {
-        let code = AnCode::with_functional_bits(63_877, 16).unwrap();
+/// Faults of up to 5 bits on a single code word are always detected
+/// (minimum Hamming distance 6 of the paper's super-A).
+#[test]
+fn up_to_five_bit_faults_on_one_word_are_detected() {
+    let code = AnCode::with_functional_bits(63_877, 16).unwrap();
+    let mut rng = rng(0x05);
+    for _ in 0..CASES {
+        let v = functional(&mut rng);
+        let count = rng.gen_range(1usize..=5);
+        let mut bits = std::collections::HashSet::new();
+        while bits.len() < count {
+            bits.insert(rng.gen_range(0u32..32));
+        }
         let mut w = code.encode(v).unwrap();
         for b in &bits {
             w = w.with_bit_flipped(*b);
         }
-        prop_assert!(
+        assert!(
             code.check(w).is_err(),
-            "a {}-bit fault went undetected on word {:#010x}", bits.len(), w.raw()
+            "a {}-bit fault went undetected on word {:#010x}",
+            bits.len(),
+            w.raw()
         );
     }
+}
 
-    /// The encoded comparison agrees with the plain comparison for every
-    /// predicate and every pair of in-range operands.
-    #[test]
-    fn encoded_compare_matches_reference(
-        x in functional(),
-        y in functional(),
-        pred in any_predicate(),
-    ) {
-        let params = Parameters::paper_defaults();
-        let code = params.code();
+/// The encoded comparison agrees with the plain comparison for every
+/// predicate and every pair of in-range operands.
+#[test]
+fn encoded_compare_matches_reference() {
+    let params = Parameters::paper_defaults();
+    let code = params.code();
+    let mut rng = rng(0x06);
+    for _ in 0..CASES {
+        let x = functional(&mut rng);
+        let y = functional(&mut rng);
+        let pred = any_predicate(&mut rng);
         let xc = code.encode(x).unwrap();
         let yc = code.encode(y).unwrap();
         let outcome = encoded_compare_outcome(&params, pred, xc, yc);
@@ -100,27 +140,29 @@ proptest! {
         } else {
             ConditionOutcome::False
         };
-        prop_assert_eq!(outcome, expected);
+        assert_eq!(outcome, expected, "{x} {pred:?} {y}");
     }
+}
 
-    /// A single-bit fault on either comparison operand never produces the
-    /// *wrong valid* condition symbol: the decision cannot be flipped. The
-    /// ordering class detects the fault outright; the equality class may mask
-    /// it (Algorithm 2 cancels the residue for unequal operands) but still
-    /// never flips the decision.
-    #[test]
-    fn operand_faults_never_flip_the_decision_undetected(
-        x in functional(),
-        y in functional(),
-        pred in any_predicate(),
-        bit in 0u32..32,
-        which in any::<bool>(),
-    ) {
-        let params = Parameters::paper_defaults();
-        let code = params.code();
+/// A single-bit fault on either comparison operand never produces the
+/// *wrong valid* condition symbol: the decision cannot be flipped. The
+/// ordering class detects the fault outright; the equality class may mask
+/// it (Algorithm 2 cancels the residue for unequal operands) but still
+/// never flips the decision.
+#[test]
+fn operand_faults_never_flip_the_decision_undetected() {
+    let params = Parameters::paper_defaults();
+    let code = params.code();
+    let mut rng = rng(0x07);
+    for _ in 0..CASES {
+        let x = functional(&mut rng);
+        let y = functional(&mut rng);
+        let pred = any_predicate(&mut rng);
+        let bit = rng.gen_range(0u32..32);
+        let which: usize = rng.gen_range(0..2);
         let mut xc = code.encode(x).unwrap();
         let mut yc = code.encode(y).unwrap();
-        if which {
+        if which == 0 {
             xc = xc.with_bit_flipped(bit);
         } else {
             yc = yc.with_bit_flipped(bit);
@@ -131,21 +173,23 @@ proptest! {
             ConditionOutcome::True
         };
         let outcome = encoded_compare_outcome(&params, pred, xc, yc);
-        prop_assert_ne!(outcome, wrong);
+        assert_ne!(outcome, wrong, "{x} {pred:?} {y} bit {bit}");
         if !pred.is_equality_class() {
-            prop_assert_eq!(outcome, ConditionOutcome::Invalid);
+            assert_eq!(outcome, ConditionOutcome::Invalid);
         }
     }
+}
 
-    /// Negating the predicate always swaps the outcome on fault-free inputs.
-    #[test]
-    fn negated_predicate_swaps_outcome(
-        x in functional(),
-        y in functional(),
-        pred in any_predicate(),
-    ) {
-        let params = Parameters::paper_defaults();
-        let code = params.code();
+/// Negating the predicate always swaps the outcome on fault-free inputs.
+#[test]
+fn negated_predicate_swaps_outcome() {
+    let params = Parameters::paper_defaults();
+    let code = params.code();
+    let mut rng = rng(0x08);
+    for _ in 0..CASES {
+        let x = functional(&mut rng);
+        let y = functional(&mut rng);
+        let pred = any_predicate(&mut rng);
         let xc = code.encode(x).unwrap();
         let yc = code.encode(y).unwrap();
         let a = encoded_compare_outcome(&params, pred, xc, yc);
@@ -153,25 +197,26 @@ proptest! {
         match (a, b) {
             (ConditionOutcome::True, ConditionOutcome::False)
             | (ConditionOutcome::False, ConditionOutcome::True) => {}
-            other => prop_assert!(false, "unexpected outcome pair {:?}", other),
+            other => panic!("unexpected outcome pair {other:?}"),
         }
     }
+}
 
-    /// Parameter sets constructed from searched constants keep the reference
-    /// semantics for arbitrary alternative encoding constants.
-    #[test]
-    fn searched_parameters_remain_correct(
-        a in 3u32..5_000,
-        x in 0u32..1_000,
-        y in 0u32..1_000,
-        pred in any_predicate(),
-    ) {
+/// Parameter sets constructed from searched constants keep the reference
+/// semantics for arbitrary alternative encoding constants.
+#[test]
+fn searched_parameters_remain_correct() {
+    let mut rng = rng(0x09);
+    for _ in 0..500 {
+        let a = rng.gen_range(3u32..5_000);
+        let pred = any_predicate(&mut rng);
         let c_ord = secbranch_ancode::params::select_ordering_constant(a);
         let c_eq = secbranch_ancode::params::select_equality_constant(a);
         if let Ok(params) = Parameters::new(a, c_ord, c_eq) {
             let code = params.code();
             let max = code.functional_max_exclusive();
-            let (x, y) = (x % max, y % max);
+            let x = rng.gen_range(0u32..1_000) % max;
+            let y = rng.gen_range(0u32..1_000) % max;
             let xc = code.encode(x).unwrap();
             let yc = code.encode(y).unwrap();
             let outcome = encoded_compare_outcome(&params, pred, xc, yc);
@@ -180,7 +225,7 @@ proptest! {
             } else {
                 ConditionOutcome::False
             };
-            prop_assert_eq!(outcome, expected);
+            assert_eq!(outcome, expected, "A={a} {x} {pred:?} {y}");
         }
     }
 }

@@ -184,7 +184,10 @@ mod tests {
 
     #[test]
     fn wide_immediate_moves_cost_two_cycles() {
-        let narrow = Instr::MovImm { rd: Reg::R0, imm: 10 };
+        let narrow = Instr::MovImm {
+            rd: Reg::R0,
+            imm: 10,
+        };
         let wide = Instr::MovImm {
             rd: Reg::R0,
             imm: 0xDEAD_BEEF,

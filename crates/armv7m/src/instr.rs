@@ -52,7 +52,10 @@ impl Reg {
     /// The architectural register index (0–15).
     #[must_use]
     pub fn index(self) -> usize {
-        Reg::ALL.iter().position(|r| *r == self).expect("member of ALL")
+        Reg::ALL
+            .iter()
+            .position(|r| *r == self)
+            .expect("member of ALL")
     }
 
     /// `true` for r0–r7 (encodable in most 16-bit Thumb instructions).
@@ -411,13 +414,13 @@ impl Instr {
                 Operand2::Reg(rm) if rd.is_low() && rn.is_low() && rm.is_low() && rd == rn => 2,
                 _ => 4,
             },
-            Instr::Lsl { rd, rn, op2 } | Instr::Lsr { rd, rn, op2 } | Instr::Asr { rd, rn, op2 } => {
-                match op2 {
-                    Operand2::Imm(i) if rd.is_low() && rn.is_low() && *i < 32 => 2,
-                    Operand2::Reg(_) if rd.is_low() && rn.is_low() && rd == rn => 2,
-                    _ => 4,
-                }
-            }
+            Instr::Lsl { rd, rn, op2 }
+            | Instr::Lsr { rd, rn, op2 }
+            | Instr::Asr { rd, rn, op2 } => match op2 {
+                Operand2::Imm(i) if rd.is_low() && rn.is_low() && *i < 32 => 2,
+                Operand2::Reg(_) if rd.is_low() && rn.is_low() && rd == rn => 2,
+                _ => 4,
+            },
             Instr::Mul { rd, rn, rm } => {
                 if rd.is_low() && rn.is_low() && rm.is_low() && (rd == rn || rd == rm) {
                     2
@@ -501,9 +504,9 @@ fn narrow_alu_size(rd: Reg, rn: Reg, op2: Operand2) -> u32 {
             }
         }
         Operand2::Imm(i) => {
-            if rd.is_low() && rn.is_low() && (i < 8 || (rd == rn && i < 256)) {
-                2
-            } else if (rd == Reg::Sp || rn == Reg::Sp) && rd == rn && i < 512 {
+            let narrow = (rd.is_low() && rn.is_low() && (i < 8 || (rd == rn && i < 256)))
+                || (rd == Reg::Sp && rn == Reg::Sp && i < 512);
+            if narrow {
                 2
             } else {
                 4
@@ -605,8 +608,22 @@ mod tests {
 
     #[test]
     fn size_model_distinguishes_narrow_and_wide_forms() {
-        assert_eq!(Instr::MovImm { rd: Reg::R0, imm: 5 }.size_bytes(), 2);
-        assert_eq!(Instr::MovImm { rd: Reg::R0, imm: 300 }.size_bytes(), 4);
+        assert_eq!(
+            Instr::MovImm {
+                rd: Reg::R0,
+                imm: 5
+            }
+            .size_bytes(),
+            2
+        );
+        assert_eq!(
+            Instr::MovImm {
+                rd: Reg::R0,
+                imm: 300
+            }
+            .size_bytes(),
+            4
+        );
         assert_eq!(
             Instr::MovImm {
                 rd: Reg::R0,
@@ -665,8 +682,20 @@ mod tests {
             .size_bytes(),
             4
         );
-        assert_eq!(Instr::Bl { target: Target::label("f") }.size_bytes(), 4);
-        assert_eq!(Instr::B { target: Target::label("f") }.size_bytes(), 2);
+        assert_eq!(
+            Instr::Bl {
+                target: Target::label("f")
+            }
+            .size_bytes(),
+            4
+        );
+        assert_eq!(
+            Instr::B {
+                target: Target::label("f")
+            }
+            .size_bytes(),
+            2
+        );
     }
 
     #[test]

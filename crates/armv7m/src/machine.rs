@@ -301,7 +301,8 @@ mod tests {
     fn cfi_unit_is_memory_mapped() {
         let mut m = Machine::new(1024);
         m.cfi.replace(0x1111);
-        m.store_word(CFI_UPDATE_ADDR, 0x1111 ^ 0x2222).expect("mmio");
+        m.store_word(CFI_UPDATE_ADDR, 0x1111 ^ 0x2222)
+            .expect("mmio");
         assert_eq!(m.load_word(CFI_STATE_ADDR).expect("mmio"), 0x2222);
         m.store_word(CFI_CHECK_ADDR, 0x2222).expect("mmio");
         assert_eq!(m.load_word(CFI_VIOLATIONS_ADDR).expect("mmio"), 0);

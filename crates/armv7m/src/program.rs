@@ -82,9 +82,7 @@ impl Program {
     /// The label placed exactly at instruction `index`, if any.
     #[must_use]
     pub fn label_at(&self, index: usize) -> Option<&str> {
-        self.label_of_instr
-            .get(index)
-            .and_then(|l| l.as_deref())
+        self.label_of_instr.get(index).and_then(|l| l.as_deref())
     }
 
     /// A plain-text listing of the program (label lines plus one instruction
@@ -209,7 +207,10 @@ mod tests {
     fn sample_builder() -> ProgramBuilder {
         let mut p = ProgramBuilder::new();
         p.label("start");
-        p.push(Instr::MovImm { rd: Reg::R0, imm: 0 });
+        p.push(Instr::MovImm {
+            rd: Reg::R0,
+            imm: 0,
+        });
         p.label("loop");
         p.push(Instr::Add {
             rd: Reg::R0,
@@ -262,19 +263,13 @@ mod tests {
         p.label("x");
         p.push(Instr::Nop);
         p.label("x");
-        assert!(matches!(
-            p.assemble(),
-            Err(SimError::DuplicateLabel { .. })
-        ));
+        assert!(matches!(p.assemble(), Err(SimError::DuplicateLabel { .. })));
 
         let mut p = ProgramBuilder::new();
         p.push(Instr::B {
             target: Target::label("nowhere"),
         });
-        assert!(matches!(
-            p.assemble(),
-            Err(SimError::UndefinedLabel { .. })
-        ));
+        assert!(matches!(p.assemble(), Err(SimError::UndefinedLabel { .. })));
     }
 
     #[test]

@@ -113,7 +113,12 @@ impl Simulator {
     ///
     /// Returns [`SimError`] for unknown entry points, too many arguments,
     /// memory faults, runaway programs and exceeded step limits.
-    pub fn call(&mut self, entry: &str, args: &[u32], max_steps: u64) -> Result<ExecResult, SimError> {
+    pub fn call(
+        &mut self,
+        entry: &str,
+        args: &[u32],
+        max_steps: u64,
+    ) -> Result<ExecResult, SimError> {
         self.call_with_faults(entry, args, max_steps, &mut NoFaults)
     }
 
@@ -140,7 +145,8 @@ impl Simulator {
                 label: entry.to_string(),
             })?;
         for (i, reg) in [Reg::R0, Reg::R1, Reg::R2, Reg::R3].iter().enumerate() {
-            self.machine.set_reg(*reg, args.get(i).copied().unwrap_or(0));
+            self.machine
+                .set_reg(*reg, args.get(i).copied().unwrap_or(0));
         }
         self.machine
             .set_reg(Reg::Sp, self.machine.memory_size() & !7);
@@ -208,7 +214,7 @@ impl Simulator {
                     let n = self.machine.reg(*rn);
                     let d = self.machine.reg(*rm);
                     udiv_operands = Some((n, d));
-                    self.machine.set_reg(*rd, if d == 0 { 0 } else { n / d });
+                    self.machine.set_reg(*rd, n.checked_div(d).unwrap_or(0));
                 }
                 Instr::And { rd, rn, op2 } => {
                     let v = self.machine.reg(*rn) & self.op2(*op2);
@@ -419,9 +425,18 @@ mod tests {
         p.push(Instr::Push {
             regs: vec![Reg::R4, Reg::R5, Reg::Lr],
         });
-        p.push(Instr::Mov { rd: Reg::R4, rm: Reg::R0 }); // n
-        p.push(Instr::MovImm { rd: Reg::R5, imm: 0 }); // i
-        p.push(Instr::MovImm { rd: Reg::R0, imm: 0 }); // acc
+        p.push(Instr::Mov {
+            rd: Reg::R4,
+            rm: Reg::R0,
+        }); // n
+        p.push(Instr::MovImm {
+            rd: Reg::R5,
+            imm: 0,
+        }); // i
+        p.push(Instr::MovImm {
+            rd: Reg::R0,
+            imm: 0,
+        }); // acc
         p.label("loop");
         p.push(Instr::Cmp {
             rn: Reg::R5,
@@ -431,7 +446,10 @@ mod tests {
             cond: Cond::Hs,
             target: Target::label("exit"),
         });
-        p.push(Instr::Mov { rd: Reg::R1, rm: Reg::R5 });
+        p.push(Instr::Mov {
+            rd: Reg::R1,
+            rm: Reg::R5,
+        });
         p.push(Instr::Bl {
             target: Target::label("add"),
         });
@@ -469,7 +487,10 @@ mod tests {
             rn: Reg::R0,
             offset: 1,
         });
-        p.push(Instr::Mov { rd: Reg::R0, rm: Reg::R2 });
+        p.push(Instr::Mov {
+            rd: Reg::R0,
+            rm: Reg::R2,
+        });
         p.push(Instr::Bx { rm: Reg::Lr });
         let mut sim = Simulator::new(p.assemble().expect("assembles"), 4096);
         let r = sim

@@ -1,32 +1,29 @@
-//! Criterion benches of the AN-code primitives (host-side performance of the
-//! library itself, complementing the guest-side cycle model of Table II).
+//! Host-side micro-benchmarks of the AN-code primitives (complementing the
+//! guest-side cycle model of Table II). Uses the harness in
+//! `secbranch_bench::micro` — the offline build has no criterion.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
 use secbranch_ancode::{compare, Parameters, Predicate};
+use secbranch_bench::micro::bench;
 
-fn bench_encoded_compare(c: &mut Criterion) {
+fn main() {
     let params = Parameters::paper_defaults();
     let code = params.code();
     let x = code.encode(12_345).expect("in range");
     let y = code.encode(54_321).expect("in range");
 
-    c.bench_function("ancode/encode", |b| {
-        b.iter(|| code.encode(black_box(12_345)).expect("in range"))
+    bench("ancode/encode", || {
+        code.encode(black_box(12_345)).expect("in range")
     });
-    c.bench_function("ancode/check", |b| b.iter(|| code.check(black_box(x))));
-    c.bench_function("ancode/encoded_compare/lt", |b| {
-        b.iter(|| compare::encoded_compare(&params, Predicate::Ult, black_box(x), black_box(y)))
+    bench("ancode/check", || code.check(black_box(x)));
+    bench("ancode/encoded_compare/lt", || {
+        compare::encoded_compare(&params, Predicate::Ult, black_box(x), black_box(y))
     });
-    c.bench_function("ancode/encoded_compare/eq", |b| {
-        b.iter(|| compare::encoded_compare(&params, Predicate::Eq, black_box(x), black_box(y)))
+    bench("ancode/encoded_compare/eq", || {
+        compare::encoded_compare(&params, Predicate::Eq, black_box(x), black_box(y))
     });
-}
-
-fn bench_parameter_search(c: &mut Criterion) {
-    c.bench_function("ancode/select_ordering_constant/a=4093", |b| {
-        b.iter(|| secbranch_ancode::params::select_ordering_constant(black_box(4093)))
+    bench("ancode/select_ordering_constant/a=4093", || {
+        secbranch_ancode::params::select_ordering_constant(black_box(4093))
     });
 }
-
-criterion_group!(benches, bench_encoded_compare, bench_parameter_search);
-criterion_main!(benches);

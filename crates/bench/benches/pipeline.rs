@@ -1,26 +1,29 @@
-//! Criterion benches of the compilation pipeline (passes + back end).
+//! Host-side micro-benchmarks of the compilation pipeline (passes + back
+//! end), on the build-once `Pipeline` API. Uses the harness in
+//! `secbranch_bench::micro` — the offline build has no criterion.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use secbranch::programs::{memcmp_module, password_check_module};
-use secbranch::{build, ProtectionVariant};
+use secbranch::{Pipeline, ProtectionVariant};
+use secbranch_bench::micro::bench;
 
-fn bench_pipeline(c: &mut Criterion) {
+fn main() {
     let memcmp = memcmp_module(128);
     let password = password_check_module(16);
 
-    c.bench_function("pipeline/memcmp/cfi_only", |b| {
-        b.iter(|| build(&memcmp, ProtectionVariant::CfiOnly).expect("builds"))
+    let cfi = Pipeline::for_variant(ProtectionVariant::CfiOnly);
+    let prototype = Pipeline::for_variant(ProtectionVariant::AnCode);
+    let duplication = Pipeline::for_variant(ProtectionVariant::Duplication(6));
+
+    bench("pipeline/memcmp/cfi_only", || {
+        cfi.build(&memcmp).expect("builds")
     });
-    c.bench_function("pipeline/memcmp/prototype", |b| {
-        b.iter(|| build(&memcmp, ProtectionVariant::AnCode).expect("builds"))
+    bench("pipeline/memcmp/prototype", || {
+        prototype.build(&memcmp).expect("builds")
     });
-    c.bench_function("pipeline/memcmp/duplication_x6", |b| {
-        b.iter(|| build(&memcmp, ProtectionVariant::Duplication(6)).expect("builds"))
+    bench("pipeline/memcmp/duplication_x6", || {
+        duplication.build(&memcmp).expect("builds")
     });
-    c.bench_function("pipeline/password_check/prototype", |b| {
-        b.iter(|| build(&password, ProtectionVariant::AnCode).expect("builds"))
+    bench("pipeline/password_check/prototype", || {
+        prototype.build(&password).expect("builds")
     });
 }
-
-criterion_group!(benches, bench_pipeline);
-criterion_main!(benches);

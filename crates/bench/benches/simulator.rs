@@ -1,30 +1,27 @@
-//! Criterion benches of the ARMv7-M simulator executing the protected
-//! workloads (host time per guest run).
+//! Host-side micro-benchmarks of the ARMv7-M simulator executing the
+//! protected workloads (host time per guest run): one `Artifact` per
+//! variant, many executions — the build-once/run-many contract. Uses the
+//! harness in `secbranch_bench::micro` — the offline build has no criterion.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use secbranch::programs::memcmp_module;
-use secbranch::{build, ProtectionVariant};
+use secbranch::{Pipeline, ProtectionVariant};
+use secbranch_bench::micro::bench;
 
-fn bench_simulator(c: &mut Criterion) {
+fn main() {
     let module = memcmp_module(128);
-    let cfi = build(&module, ProtectionVariant::CfiOnly).expect("builds");
-    let prototype = build(&module, ProtectionVariant::AnCode).expect("builds");
+    let cfi = Pipeline::for_variant(ProtectionVariant::CfiOnly)
+        .with_max_steps(10_000_000)
+        .build(&module)
+        .expect("builds");
+    let prototype = Pipeline::for_variant(ProtectionVariant::AnCode)
+        .with_max_steps(10_000_000)
+        .build(&module)
+        .expect("builds");
 
-    c.bench_function("simulator/memcmp128/cfi_only", |b| {
-        let sim = cfi.clone().into_simulator(1 << 20);
-        b.iter(|| {
-            let mut sim = sim.clone();
-            sim.call("memcmp_bench", &[], 10_000_000).expect("runs")
-        })
+    bench("simulator/memcmp128/cfi_only", || {
+        cfi.run("memcmp_bench", &[]).expect("runs")
     });
-    c.bench_function("simulator/memcmp128/prototype", |b| {
-        let sim = prototype.clone().into_simulator(1 << 20);
-        b.iter(|| {
-            let mut sim = sim.clone();
-            sim.call("memcmp_bench", &[], 10_000_000).expect("runs")
-        })
+    bench("simulator/memcmp128/prototype", || {
+        prototype.run("memcmp_bench", &[]).expect("runs")
     });
 }
-
-criterion_group!(benches, bench_simulator);
-criterion_main!(benches);

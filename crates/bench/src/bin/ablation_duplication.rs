@@ -2,48 +2,61 @@
 //! (the paper fixes the order at six to match the 6-bit Hamming distance of
 //! the AN-code).
 
+use secbranch::passes::DuplicationConfig;
 use secbranch::programs::memcmp_module;
-use secbranch::{measure, ProtectionVariant};
+use secbranch::{Pipeline, ProtectionVariant, Session, Workload};
 
 fn main() {
     println!("Ablation — duplication order vs overhead (memcmp, 128 elements)");
     println!();
-    let module = memcmp_module(128);
-    let baseline = measure(&module, ProtectionVariant::CfiOnly, "memcmp_bench", &[])
-        .expect("baseline");
-    let prototype = measure(&module, ProtectionVariant::AnCode, "memcmp_bench", &[])
-        .expect("prototype");
+
+    let mut pipelines = vec![Pipeline::for_variant(ProtectionVariant::CfiOnly)];
+    for order in [2u32, 3, 4, 6, 8] {
+        pipelines.push(
+            Pipeline::new()
+                .with_full_cfi()
+                .with_duplication(DuplicationConfig {
+                    order,
+                    ..DuplicationConfig::default()
+                })
+                .with_label(format!("dup x{order}")),
+        );
+    }
+    pipelines.push(Pipeline::for_variant(ProtectionVariant::AnCode));
+
+    let workloads = [Workload::new(
+        "memcmp",
+        memcmp_module(128),
+        "memcmp_bench",
+        &[],
+    )];
+    let mut session = Session::new();
+    let report = session
+        .run_matrix(&workloads, &pipelines)
+        .expect("matrix runs");
+
     println!(
         "{:>12} {:>12} {:>12} {:>12} {:>12}",
         "variant", "size/B", "size +%", "cycles", "cycles +%"
     );
-    println!(
-        "{:>12} {:>12} {:>12} {:>12} {:>12}",
-        "cfi", baseline.code_size_bytes, "-", baseline.result.cycles, "-"
-    );
-    for order in [2u32, 3, 4, 6, 8] {
-        let m = measure(
-            &module,
-            ProtectionVariant::Duplication(order),
-            "memcmp_bench",
-            &[],
-        )
-        .expect("duplication");
+    for cell in &report.cells {
+        let fmt_pct = |p: Option<f64>| match p {
+            Some(p) => format!("{p:.2}"),
+            None => "-".to_string(),
+        };
         println!(
-            "{:>12} {:>12} {:>12.2} {:>12} {:>12.2}",
-            format!("dup x{order}"),
-            m.code_size_bytes,
-            m.size_overhead_percent(&baseline),
-            m.result.cycles,
-            m.runtime_overhead_percent(&baseline)
+            "{:>12} {:>12} {:>12} {:>12} {:>12}",
+            cell.pipeline,
+            cell.measurement.code_size_bytes,
+            fmt_pct(cell.size_overhead_percent),
+            cell.measurement.result.cycles,
+            fmt_pct(cell.runtime_overhead_percent),
         );
     }
+    println!();
     println!(
-        "{:>12} {:>12} {:>12.2} {:>12} {:>12.2}",
-        "prototype",
-        prototype.code_size_bytes,
-        prototype.size_overhead_percent(&baseline),
-        prototype.result.cycles,
-        prototype.runtime_overhead_percent(&baseline)
+        "{} cells from {} compilations (memcmp compiled once per pipeline)",
+        report.cells.len(),
+        session.builds(),
     );
 }

@@ -30,8 +30,5 @@ fn main() {
     }
     let ord_fast = ord_base.min_cycles - 2 - 2 + 1; // drop UDIV(2)+MLS(2), add 1-cycle modulo
     let eq_fast = eq_base.min_cycles - 4 - 4 + 2;
-    println!(
-        "{:>18} {:>22} {:>22}",
-        "1-cycle modulo", ord_fast, eq_fast
-    );
+    println!("{:>18} {:>22} {:>22}", "1-cycle modulo", ord_fast, eq_fast);
 }

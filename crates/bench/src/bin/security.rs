@@ -26,7 +26,10 @@ fn main() {
     println!();
 
     let trials = 2_000_000;
-    println!("multi-location fault simulation ({} trials per row, bits spread over the whole", trials);
+    println!(
+        "multi-location fault simulation ({} trials per row, bits spread over the whole",
+        trials
+    );
     println!("condition computation; paper: <=3 bits always detected, 4 bits -> 0.0002% flips)");
     println!();
     println!(

@@ -4,13 +4,18 @@ use secbranch_ancode::{Parameters, Predicate};
 
 fn main() {
     let params = Parameters::paper_defaults();
-    println!("Table I — condition values (A = {}, C_ord = {}, C_eq = {})",
+    println!(
+        "Table I — condition values (A = {}, C_ord = {}, C_eq = {})",
         params.code().constant(),
         params.ordering_constant(),
-        params.equality_constant());
+        params.equality_constant()
+    );
     println!("2^32 mod A = {}", params.wraparound_residue());
     println!();
-    println!("{:<10} {:<28} {:>12} {:>12} {:>10}", "predicate", "subtraction", "true", "false", "distance");
+    println!(
+        "{:<10} {:<28} {:>12} {:>12} {:>10}",
+        "predicate", "subtraction", "true", "false", "distance"
+    );
     for pred in Predicate::ALL {
         let row = params.table_one_row(pred);
         let symbols = params.symbols(pred);

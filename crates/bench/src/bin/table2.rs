@@ -25,7 +25,10 @@ fn main() {
     let a = params.code().constant();
     println!("Table II — building-block overhead (ARMv7-M size/cycle model)");
     println!();
-    println!("{:<14} {:<28} {:>8} {:>12}", "predicate", "instructions", "size/B", "cycles");
+    println!(
+        "{:<14} {:<28} {:>8} {:>12}",
+        "predicate", "instructions", "size/B", "cycles"
+    );
     for (label, pred, c) in [
         (">, >=, <, <=", Predicate::Ult, params.ordering_constant()),
         ("==, !=", Predicate::Eq, params.equality_constant()),

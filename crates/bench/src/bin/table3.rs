@@ -1,50 +1,78 @@
 //! Regenerates Table III: size and runtime overhead of the branch-protection
-//! variants on the integer-compare and memcmp micro-benchmarks and the
-//! secure-bootloader macro-benchmark.
+//! variants on the integer-compare and memcmp micro-benchmarks, the password
+//! check and the secure-bootloader macro-benchmark.
+//!
+//! Variants can be passed as CLI arguments (`cfi`, `"duplication(x6)"`,
+//! `prototype`, ...); the first one is the overhead baseline. Pass `--json`
+//! to additionally dump the structured report.
 
-use secbranch::programs::{bootloader_module, integer_compare_module, memcmp_module, BootImage};
-use secbranch::{measure, ProtectionVariant};
-use secbranch_bench::print_table3_block;
+use secbranch::programs::{
+    bootloader_module, integer_compare_module, memcmp_module, password_check_module, BootImage,
+    BOOT_OK,
+};
+use secbranch::{Pipeline, ProtectionVariant, Session, Workload};
+use secbranch_bench::variants_from_args;
 
 fn main() {
-    println!("Table III — size and runtime of CFI baseline vs duplication (x6) vs prototype");
-    println!("(columns: CFI absolute | duplication abs (+%) | prototype abs (+%))");
-    println!();
+    let variants = variants_from_args(&ProtectionVariant::TABLE_THREE, &["--json"]);
+    let pipelines: Vec<Pipeline> = variants.iter().map(|v| Pipeline::for_variant(*v)).collect();
 
-    let variants = ProtectionVariant::TABLE_THREE;
-
-    // integer compare micro-benchmark.
-    let module = integer_compare_module();
-    let rows: Vec<_> = variants
-        .iter()
-        .map(|v| measure(&module, *v, "integer_compare", &[1234, 1234]).expect("integer compare"))
-        .collect();
-    print_table3_block("integer compare", &rows[0], &[&rows[1], &rows[2]]);
-
-    // memcmp with 128 elements.
-    let module = memcmp_module(128);
-    let rows: Vec<_> = variants
-        .iter()
-        .map(|v| measure(&module, *v, "memcmp_bench", &[]).expect("memcmp"))
-        .collect();
-    print_table3_block("memcmp (128)", &rows[0], &[&rows[1], &rows[2]]);
-
-    // Secure bootloader macro-benchmark (4 KiB firmware image). The paper
-    // reports only CFI and prototype for the bootloader.
     let image = BootImage::generate(4096, 2018);
-    let module = bootloader_module(&image);
-    let baseline =
-        measure(&module, ProtectionVariant::CfiOnly, "bootloader", &[]).expect("bootloader cfi");
-    let prototype =
-        measure(&module, ProtectionVariant::AnCode, "bootloader", &[]).expect("bootloader an");
-    print_table3_block("bootloader", &baseline, &[&prototype]);
+    let workloads = [
+        Workload::new(
+            "integer compare",
+            integer_compare_module(),
+            "integer_compare",
+            &[1234, 1234],
+        ),
+        Workload::new("memcmp (128)", memcmp_module(128), "memcmp_bench", &[]),
+        Workload::new(
+            "password (16)",
+            password_check_module(16),
+            "password_check",
+            &[],
+        ),
+        Workload::new("bootloader", bootloader_module(&image), "bootloader", &[]),
+    ];
 
-    assert_eq!(baseline.result.return_value, secbranch::programs::BOOT_OK);
-    assert_eq!(prototype.result.return_value, secbranch::programs::BOOT_OK);
+    let mut session = Session::new();
+    let report = session
+        .run_matrix(&workloads, &pipelines)
+        .expect("matrix runs");
+
+    let labels: Vec<String> = variants.iter().map(|v| v.label()).collect();
+    println!("Table III — size and runtime, baseline = {}", labels[0]);
+    println!("(columns: baseline absolute | others absolute (+overhead%))");
+    println!("variants: {}", labels.join(" | "));
+    println!();
+    print!("{}", report.render_table());
     println!();
     println!(
-        "bootloader prototype overhead: size {:+.3}%, runtime {:+.4}%",
-        prototype.size_overhead_percent(&baseline),
-        prototype.runtime_overhead_percent(&baseline)
+        "{} modules x {} pipelines = {} cells from {} compilations ({} cache hits)",
+        workloads.len(),
+        pipelines.len(),
+        report.cells.len(),
+        session.builds(),
+        session.cache_hits(),
     );
+
+    let boot = report
+        .cell("bootloader", &labels[0])
+        .expect("bootloader baseline cell");
+    assert_eq!(boot.measurement.result.return_value, BOOT_OK);
+    if let Some(prototype) = report.cell("bootloader", "prototype") {
+        assert_eq!(prototype.measurement.result.return_value, BOOT_OK);
+        // Baseline cells carry no overheads (prototype may *be* the baseline).
+        if let (Some(size), Some(runtime)) = (
+            prototype.size_overhead_percent,
+            prototype.runtime_overhead_percent,
+        ) {
+            println!("bootloader prototype overhead: size {size:+.3}%, runtime {runtime:+.4}%");
+        }
+    }
+
+    if std::env::args().any(|a| a == "--json") {
+        println!();
+        println!("{}", report.to_json());
+    }
 }

@@ -52,9 +52,7 @@ mod monitor;
 mod signature;
 
 pub use monitor::{CfiMonitor, Violation};
-pub use signature::{
-    edge_update, justifying_update, protected_edge_update, SignatureAssignment,
-};
+pub use signature::{edge_update, justifying_update, protected_edge_update, SignatureAssignment};
 
 #[cfg(test)]
 mod crate_tests {

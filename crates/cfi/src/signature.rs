@@ -149,7 +149,8 @@ mod tests {
         // The secondary predecessor first justifies to the primary's
         // signature, then the ordinary edge update for primary -> merge works
         // for both.
-        let state = secondary ^ justifying_update(secondary, primary) ^ edge_update(primary, merged);
+        let state =
+            secondary ^ justifying_update(secondary, primary) ^ edge_update(primary, merged);
         assert_eq!(state, merged);
     }
 

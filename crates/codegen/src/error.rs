@@ -33,7 +33,10 @@ impl fmt::Display for CodegenError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CodegenError::UnknownGlobal { name, function } => {
-                write!(f, "function '{function}' references unknown global '{name}'")
+                write!(
+                    f,
+                    "function '{function}' references unknown global '{name}'"
+                )
             }
             CodegenError::Unsupported { function, message } => {
                 write!(f, "unsupported construct in '{function}': {message}")

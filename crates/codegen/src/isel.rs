@@ -78,6 +78,14 @@ impl CompiledModule {
         }
         sim
     }
+
+    /// Like [`CompiledModule::into_simulator`], but borrows the module so one
+    /// compilation can feed many independent simulator instances (the
+    /// build-once/run-many contract of the facade's `Artifact`).
+    #[must_use]
+    pub fn simulator(&self, memory_size: u32) -> Simulator {
+        self.clone().into_simulator(memory_size)
+    }
 }
 
 /// Compiles a module to the ARMv7-M-like target.
@@ -271,7 +279,9 @@ impl<'a> FunctionCompiler<'a> {
         p.label(self.function.name.clone());
 
         // Prologue: save LR, allocate the frame, spill parameters.
-        p.push(Instr::Push { regs: vec![Reg::Lr] });
+        p.push(Instr::Push {
+            regs: vec![Reg::Lr],
+        });
         if self.frame_size < 4096 {
             p.push(Instr::Sub {
                 rd: Reg::Sp,
@@ -678,7 +688,11 @@ impl<'a> FunctionCompiler<'a> {
         let mut stub = ProgramBuilder::new();
         match protection {
             None => {
-                self.emit_cfi_write_const(&mut stub, CFI_UPDATE_ADDR, edge_update(sig_from, sig_to));
+                self.emit_cfi_write_const(
+                    &mut stub,
+                    CFI_UPDATE_ADDR,
+                    edge_update(sig_from, sig_to),
+                );
             }
             Some((expected_symbol, condition)) => {
                 // Merge the runtime condition value and the edge constant
@@ -763,7 +777,9 @@ mod tests {
         let m = abs_diff_module();
         let r = compile_and_run(
             &m,
-            &CodegenOptions { cfi: CfiLevel::Full },
+            &CodegenOptions {
+                cfi: CfiLevel::Full,
+            },
             "abs_diff",
             &[10, 3],
         );
@@ -774,8 +790,20 @@ mod tests {
     #[test]
     fn cfi_increases_code_size() {
         let m = abs_diff_module();
-        let plain = compile(&m, &CodegenOptions { cfi: CfiLevel::None }).expect("compiles");
-        let cfi = compile(&m, &CodegenOptions { cfi: CfiLevel::Full }).expect("compiles");
+        let plain = compile(
+            &m,
+            &CodegenOptions {
+                cfi: CfiLevel::None,
+            },
+        )
+        .expect("compiles");
+        let cfi = compile(
+            &m,
+            &CodegenOptions {
+                cfi: CfiLevel::Full,
+            },
+        )
+        .expect("compiles");
         assert!(cfi.code_size_bytes() > plain.code_size_bytes());
         assert!(plain.function_size("abs_diff").expect("present") > 0);
     }
@@ -857,7 +885,9 @@ mod tests {
         for (x, y, expect) in [(5u32, 5u32, 1u32), (5, 6, 0)] {
             let r = compile_and_run(
                 &m,
-                &CodegenOptions { cfi: CfiLevel::Full },
+                &CodegenOptions {
+                    cfi: CfiLevel::Full,
+                },
                 "check",
                 &[x, y],
             );
@@ -866,7 +896,14 @@ mod tests {
         }
 
         // Unprotected variant (CFI off) still computes correctly.
-        let r = compile_and_run(&m, &CodegenOptions { cfi: CfiLevel::None }, "check", &[7, 7]);
+        let r = compile_and_run(
+            &m,
+            &CodegenOptions {
+                cfi: CfiLevel::None,
+            },
+            "check",
+            &[7, 7],
+        );
         assert_eq!(r.return_value, 1);
     }
 

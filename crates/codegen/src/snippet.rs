@@ -22,7 +22,10 @@ pub fn encoded_compare_core(pred: Predicate, a: u32, c: u32) -> Vec<Instr> {
     let mut seq = Vec::new();
     if matches!(pred, Predicate::Eq | Predicate::Ne) {
         // Algorithm 2: both subtraction directions, two remainders, summed.
-        seq.push(Instr::MovImm { rd: Reg::R3, imm: c });
+        seq.push(Instr::MovImm {
+            rd: Reg::R3,
+            imm: c,
+        });
         seq.push(Instr::Sub {
             rd: Reg::R2,
             rn: Reg::R0,
@@ -43,7 +46,10 @@ pub fn encoded_compare_core(pred: Predicate, a: u32, c: u32) -> Vec<Instr> {
             rn: Reg::R1,
             op2: Operand2::Reg(Reg::R3),
         });
-        seq.push(Instr::MovImm { rd: Reg::R3, imm: a });
+        seq.push(Instr::MovImm {
+            rd: Reg::R3,
+            imm: a,
+        });
         // rem1 = r2 % A
         seq.push(Instr::Udiv {
             rd: Reg::R0,
@@ -77,7 +83,10 @@ pub fn encoded_compare_core(pred: Predicate, a: u32, c: u32) -> Vec<Instr> {
     } else {
         // Algorithm 1: one subtraction direction (the caller already ordered
         // the operands for the predicate), one remainder.
-        seq.push(Instr::MovImm { rd: Reg::R3, imm: c });
+        seq.push(Instr::MovImm {
+            rd: Reg::R3,
+            imm: c,
+        });
         seq.push(Instr::Sub {
             rd: Reg::R2,
             rn: Reg::R0,
@@ -88,7 +97,10 @@ pub fn encoded_compare_core(pred: Predicate, a: u32, c: u32) -> Vec<Instr> {
             rn: Reg::R2,
             op2: Operand2::Reg(Reg::R3),
         });
-        seq.push(Instr::MovImm { rd: Reg::R3, imm: a });
+        seq.push(Instr::MovImm {
+            rd: Reg::R3,
+            imm: a,
+        });
         seq.push(Instr::Udiv {
             rd: Reg::R0,
             rn: Reg::R2,
@@ -181,10 +193,22 @@ mod tests {
         assert_eq!(ops.len(), 4);
         assert_eq!(cost.size_bytes, 12);
         assert_eq!((cost.min_cycles, cost.max_cycles), (6, 16));
-        let adds = ops.iter().filter(|i| matches!(i, Instr::Add { .. })).count();
-        let subs = ops.iter().filter(|i| matches!(i, Instr::Sub { .. })).count();
-        let divs = ops.iter().filter(|i| matches!(i, Instr::Udiv { .. })).count();
-        let mlss = ops.iter().filter(|i| matches!(i, Instr::Mls { .. })).count();
+        let adds = ops
+            .iter()
+            .filter(|i| matches!(i, Instr::Add { .. }))
+            .count();
+        let subs = ops
+            .iter()
+            .filter(|i| matches!(i, Instr::Sub { .. }))
+            .count();
+        let divs = ops
+            .iter()
+            .filter(|i| matches!(i, Instr::Udiv { .. }))
+            .count();
+        let mlss = ops
+            .iter()
+            .filter(|i| matches!(i, Instr::Mls { .. }))
+            .count();
         assert_eq!((adds, subs, divs, mlss), (1, 1, 1, 1));
     }
 
@@ -196,10 +220,22 @@ mod tests {
         assert_eq!(ops.len(), 9);
         assert_eq!(cost.size_bytes, 26);
         assert_eq!((cost.min_cycles, cost.max_cycles), (13, 33));
-        let adds = ops.iter().filter(|i| matches!(i, Instr::Add { .. })).count();
-        let subs = ops.iter().filter(|i| matches!(i, Instr::Sub { .. })).count();
-        let divs = ops.iter().filter(|i| matches!(i, Instr::Udiv { .. })).count();
-        let mlss = ops.iter().filter(|i| matches!(i, Instr::Mls { .. })).count();
+        let adds = ops
+            .iter()
+            .filter(|i| matches!(i, Instr::Add { .. }))
+            .count();
+        let subs = ops
+            .iter()
+            .filter(|i| matches!(i, Instr::Sub { .. }))
+            .count();
+        let divs = ops
+            .iter()
+            .filter(|i| matches!(i, Instr::Udiv { .. }))
+            .count();
+        let mlss = ops
+            .iter()
+            .filter(|i| matches!(i, Instr::Mls { .. }))
+            .count();
         assert_eq!((adds, subs, divs, mlss), (3, 2, 2, 2));
     }
 

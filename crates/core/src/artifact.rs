@@ -1,0 +1,152 @@
+//! The [`Artifact`]: one compilation, many executions and fault campaigns.
+
+use secbranch_armv7m::{ExecResult, Simulator};
+use secbranch_codegen::CompiledModule;
+use secbranch_fault::{InstructionSkipSweep, RegisterBitFlipCampaign, SweepReport};
+
+use crate::{BuildError, Measurement, SimConfig};
+
+/// A compiled module plus the metadata needed to run and measure it.
+///
+/// Artifacts are produced by [`crate::Pipeline::build`] and own the
+/// build-once/run-many contract of the facade: every [`Artifact::run`],
+/// [`Artifact::measure`] or fault campaign starts from a fresh simulator
+/// over the *same* compilation, so results are independent of call order
+/// and nothing is ever recompiled.
+#[derive(Debug, Clone)]
+pub struct Artifact {
+    pipeline_label: String,
+    fingerprint: String,
+    compiled: CompiledModule,
+    sim: SimConfig,
+}
+
+impl Artifact {
+    pub(crate) fn new(
+        pipeline_label: String,
+        fingerprint: String,
+        compiled: CompiledModule,
+        sim: SimConfig,
+    ) -> Self {
+        Artifact {
+            pipeline_label,
+            fingerprint,
+            compiled,
+            sim,
+        }
+    }
+
+    /// The label of the pipeline that built this artifact.
+    #[must_use]
+    pub fn pipeline_label(&self) -> &str {
+        &self.pipeline_label
+    }
+
+    /// The fingerprint of the pipeline that built this artifact.
+    #[must_use]
+    pub fn fingerprint(&self) -> &str {
+        &self.fingerprint
+    }
+
+    /// The simulator configuration executions of this artifact use.
+    #[must_use]
+    pub fn sim(&self) -> SimConfig {
+        self.sim
+    }
+
+    /// The underlying compiled module.
+    #[must_use]
+    pub fn compiled(&self) -> &CompiledModule {
+        &self.compiled
+    }
+
+    /// Consumes the artifact and hands out the compiled module by move
+    /// (used by the legacy `build` wrapper, which only wants the module).
+    #[must_use]
+    pub fn into_compiled(self) -> CompiledModule {
+        self.compiled
+    }
+
+    /// Total code size in bytes.
+    #[must_use]
+    pub fn code_size_bytes(&self) -> u32 {
+        self.compiled.code_size_bytes()
+    }
+
+    /// Code size of one function in bytes.
+    #[must_use]
+    pub fn function_size(&self, name: &str) -> Option<u32> {
+        self.compiled.function_size(name)
+    }
+
+    /// The guest address a global was placed at.
+    #[must_use]
+    pub fn global_address(&self, name: &str) -> Option<u32> {
+        self.compiled.global_address(name)
+    }
+
+    /// A fresh simulator over this artifact (globals initialised, nothing
+    /// executed yet). Useful for campaigns that tamper with guest memory
+    /// before running.
+    #[must_use]
+    pub fn simulator(&self) -> Simulator {
+        self.compiled.simulator(self.sim.memory_size)
+    }
+
+    /// Runs `entry(args)` on a fresh simulator.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError::Simulation`] if the execution fails.
+    pub fn run(&self, entry: &str, args: &[u32]) -> Result<ExecResult, BuildError> {
+        let mut sim = self.simulator();
+        Ok(sim.call(entry, args, self.sim.max_steps)?)
+    }
+
+    /// Runs `entry(args)` and reports the Table III quantities (code size,
+    /// cycles, CFI statistics) under this artifact's pipeline label.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError::Simulation`] if the execution fails.
+    pub fn measure(&self, entry: &str, args: &[u32]) -> Result<Measurement, BuildError> {
+        let result = self.run(entry, args)?;
+        Ok(Measurement {
+            variant_label: self.pipeline_label.clone(),
+            code_size_bytes: self.code_size_bytes(),
+            entry_size_bytes: self.function_size(entry).unwrap_or(0),
+            result,
+        })
+    }
+
+    /// Runs the exhaustive single-instruction-skip sweep of the fault
+    /// analysis on this artifact: every dynamic instruction of the reference
+    /// execution of `entry(args)` is skipped once.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError::Simulation`] if the fault-free reference run
+    /// fails (individual faulted runs are classified, not propagated).
+    pub fn skip_sweep(&self, entry: &str, args: &[u32]) -> Result<SweepReport, BuildError> {
+        let sweep = InstructionSkipSweep::new(entry, args, self.sim.max_steps);
+        Ok(sweep.run(&self.simulator())?)
+    }
+
+    /// Runs a Monte-Carlo register-bit-flip campaign with `trials`
+    /// injections and a deterministic `seed` on this artifact.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError::Simulation`] if the fault-free reference run
+    /// fails.
+    pub fn register_flip_campaign(
+        &self,
+        entry: &str,
+        args: &[u32],
+        seed: u64,
+        trials: u64,
+    ) -> Result<SweepReport, BuildError> {
+        let mut campaign = RegisterBitFlipCampaign::new(entry, args, self.sim.max_steps, seed);
+        Ok(campaign.run(&self.simulator(), trials)?)
+    }
+}

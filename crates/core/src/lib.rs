@@ -3,17 +3,25 @@
 //! This is the facade crate of the reproduction of *Securing Conditional
 //! Branches in the Presence of Fault Attacks* (Schilling, Werner, Mangard —
 //! DATE 2018). It ties the substrate crates together into the end-to-end
-//! pipeline of the paper's Figure 3 and exposes the measurement interface
-//! used by the benchmark harness:
+//! pipeline of the paper's Figure 3 and exposes a build-once/run-many
+//! measurement interface structured in three layers:
 //!
-//! * [`ProtectionVariant`] — the countermeasure configurations compared in
-//!   the evaluation: unprotected, CFI only, N-fold branch duplication, and
-//!   the AN-code protected prototype.
-//! * [`build`] — runs the middle-end passes and the back end for a variant
-//!   and returns the compiled module.
-//! * [`measure`] — compiles and executes a workload on the ARMv7-M simulator
-//!   and reports code size, cycles and CFI statistics (the quantities of
-//!   Table III).
+//! * [`Pipeline`] — a reusable builder owning every knob of the compilation:
+//!   AN-code parameters, duplication order, CFI level, custom middle-end
+//!   passes and the simulator configuration ([`SimConfig`]).
+//!   [`Pipeline::for_variant`] keeps the named Table III configurations
+//!   ([`ProtectionVariant`]) one-liners.
+//! * [`Artifact`] — the output of one compilation. One artifact feeds any
+//!   number of executions ([`Artifact::run`]), measurements
+//!   ([`Artifact::measure`]) and fault campaigns ([`Artifact::skip_sweep`],
+//!   [`Artifact::register_flip_campaign`]) without recompiling.
+//! * [`Session`] — the matrix runner: workloads × pipelines in one
+//!   [`Session::run_matrix`] call, with an internal build cache keyed by
+//!   (module name, pipeline fingerprint) and a structured, serialisable
+//!   [`Report`] of per-cell size/cycles/CFI/overhead numbers.
+//!
+//! The historical free functions [`build`] and [`measure`] remain as thin
+//! wrappers over [`Pipeline`] for existing call sites.
 //!
 //! The individual building blocks are re-exported under their own names
 //! ([`ancode`], [`ir`], [`passes`], [`cfi`], [`armv7m`], [`codegen`],
@@ -22,13 +30,17 @@
 //! # Example: protecting a password check
 //!
 //! ```
-//! use secbranch::{build, measure, ProtectionVariant};
+//! use secbranch::{Pipeline, ProtectionVariant};
 //! use secbranch::programs::password_check_module;
 //!
 //! # fn main() -> Result<(), secbranch::BuildError> {
 //! let module = password_check_module(8);
-//! let protected = measure(&module, ProtectionVariant::AnCode, "password_check", &[])?;
-//! let baseline = measure(&module, ProtectionVariant::CfiOnly, "password_check", &[])?;
+//! let protected = Pipeline::for_variant(ProtectionVariant::AnCode)
+//!     .build(&module)?
+//!     .measure("password_check", &[])?;
+//! let baseline = Pipeline::for_variant(ProtectionVariant::CfiOnly)
+//!     .build(&module)?
+//!     .measure("password_check", &[])?;
 //! assert_eq!(protected.result.return_value, baseline.result.return_value);
 //! assert!(protected.code_size_bytes > baseline.code_size_bytes);
 //! # Ok(())
@@ -40,6 +52,7 @@
 
 use std::error::Error;
 use std::fmt;
+use std::str::FromStr;
 
 pub use secbranch_ancode as ancode;
 pub use secbranch_armv7m as armv7m;
@@ -50,14 +63,21 @@ pub use secbranch_ir as ir;
 pub use secbranch_passes as passes;
 pub use secbranch_programs as programs;
 
+mod artifact;
+mod pipeline;
+mod report;
+mod session;
+
+pub use artifact::Artifact;
+pub use pipeline::{Pipeline, SimConfig};
+pub use report::{overhead_cell, Report, ReportCell};
+pub use session::{Session, Workload};
+
 use secbranch_armv7m::ExecResult;
-use secbranch_codegen::{compile, CfiLevel, CodegenOptions, CompiledModule};
-use secbranch_passes::{
-    duplication_pipeline, standard_protection_pipeline, AnCoderConfig, DuplicationConfig,
-};
+use secbranch_codegen::CompiledModule;
 
 /// The protection configurations the evaluation compares (Table III).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ProtectionVariant {
     /// No countermeasure at all (not part of Table III, but useful as an
     /// absolute reference).
@@ -80,14 +100,72 @@ impl ProtectionVariant {
         ProtectionVariant::AnCode,
     ];
 
-    /// A short human-readable label.
+    /// A short human-readable label (the [`fmt::Display`] form).
     #[must_use]
     pub fn label(&self) -> String {
+        self.to_string()
+    }
+}
+
+impl fmt::Display for ProtectionVariant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ProtectionVariant::Unprotected => "unprotected".to_string(),
-            ProtectionVariant::CfiOnly => "cfi".to_string(),
-            ProtectionVariant::Duplication(order) => format!("duplication(x{order})"),
-            ProtectionVariant::AnCode => "prototype".to_string(),
+            ProtectionVariant::Unprotected => f.write_str("unprotected"),
+            ProtectionVariant::CfiOnly => f.write_str("cfi"),
+            ProtectionVariant::Duplication(order) => write!(f, "duplication(x{order})"),
+            ProtectionVariant::AnCode => f.write_str("prototype"),
+        }
+    }
+}
+
+/// Error returned by [`ProtectionVariant::from_str`] for unrecognised labels.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseVariantError {
+    input: String,
+}
+
+impl fmt::Display for ParseVariantError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown protection variant {:?} (expected \"unprotected\", \"cfi\", \
+             \"duplication(xN)\" or \"prototype\")",
+            self.input
+        )
+    }
+}
+
+impl Error for ParseVariantError {}
+
+impl FromStr for ProtectionVariant {
+    type Err = ParseVariantError;
+
+    /// Parses the [`fmt::Display`] labels back into variants, so benchmark
+    /// binaries can take variants as CLI arguments. `"ancode"` and
+    /// `"an-code"` are accepted as aliases of `"prototype"`, and a bare
+    /// `"duplication"` means the paper's order 6. Duplication orders below 2
+    /// are rejected: the pass would silently no-op and the column would be a
+    /// mislabelled CFI baseline.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = || ParseVariantError {
+            input: s.to_string(),
+        };
+        match s.trim() {
+            "unprotected" => Ok(ProtectionVariant::Unprotected),
+            "cfi" => Ok(ProtectionVariant::CfiOnly),
+            "prototype" | "ancode" | "an-code" => Ok(ProtectionVariant::AnCode),
+            "duplication" => Ok(ProtectionVariant::Duplication(6)),
+            s => {
+                let order = s
+                    .strip_prefix("duplication(x")
+                    .and_then(|rest| rest.strip_suffix(')'))
+                    .ok_or_else(err)?;
+                let order: u32 = order.parse().map_err(|_| err())?;
+                if order < 2 {
+                    return Err(err());
+                }
+                Ok(ProtectionVariant::Duplication(order))
+            }
         }
     }
 }
@@ -142,41 +220,11 @@ impl From<secbranch_armv7m::SimError> for BuildError {
     }
 }
 
-/// Applies the middle-end passes of the given variant to a copy of `module`
-/// and compiles it.
-///
-/// # Errors
-///
-/// Returns [`BuildError`] if a pass or the back end fails.
-pub fn build(
-    module: &ir::Module,
-    variant: ProtectionVariant,
-) -> Result<CompiledModule, BuildError> {
-    let mut module = module.clone();
-    let cfi = match variant {
-        ProtectionVariant::Unprotected => CfiLevel::None,
-        ProtectionVariant::CfiOnly => CfiLevel::Full,
-        ProtectionVariant::Duplication(order) => {
-            duplication_pipeline(DuplicationConfig {
-                order,
-                ..DuplicationConfig::default()
-            })
-            .run(&mut module)?;
-            CfiLevel::Full
-        }
-        ProtectionVariant::AnCode => {
-            standard_protection_pipeline(AnCoderConfig::default()).run(&mut module)?;
-            CfiLevel::Full
-        }
-    };
-    Ok(compile(&module, &CodegenOptions { cfi })?)
-}
-
 /// The measurement record of one workload under one variant (the quantities
 /// reported in Table III).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Measurement {
-    /// The variant that was measured.
+    /// The pipeline/variant label that was measured.
     pub variant_label: String,
     /// Total code size of the compiled module in bytes.
     pub code_size_bytes: u32,
@@ -192,7 +240,10 @@ impl Measurement {
     /// in percent.
     #[must_use]
     pub fn size_overhead_percent(&self, baseline: &Measurement) -> f64 {
-        overhead_percent(self.code_size_bytes as f64, baseline.code_size_bytes as f64)
+        overhead_percent(
+            f64::from(self.code_size_bytes),
+            f64::from(baseline.code_size_bytes),
+        )
     }
 
     /// Relative overhead of this measurement's cycle count against a
@@ -203,7 +254,7 @@ impl Measurement {
     }
 }
 
-fn overhead_percent(value: f64, baseline: f64) -> f64 {
+pub(crate) fn overhead_percent(value: f64, baseline: f64) -> f64 {
     if baseline == 0.0 {
         0.0
     } else {
@@ -211,15 +262,40 @@ fn overhead_percent(value: f64, baseline: f64) -> f64 {
     }
 }
 
-/// Default guest memory size used by [`measure`] (enough for the bootloader
+/// Default guest memory size of [`SimConfig`] (enough for the bootloader
 /// image plus stack).
 pub const DEFAULT_MEMORY_SIZE: u32 = 1 << 20;
 
-/// Default dynamic instruction budget used by [`measure`].
+/// Default dynamic instruction budget of [`SimConfig`].
 pub const DEFAULT_MAX_STEPS: u64 = 500_000_000;
+
+/// Applies the middle-end passes of the given variant to a copy of `module`
+/// and compiles it.
+///
+/// **Deprecated shape**: this is a thin wrapper over
+/// `Pipeline::for_variant(variant).build(module)` kept for existing call
+/// sites; it discards the artifact metadata. Prefer [`Pipeline::build`] and
+/// work with the returned [`Artifact`].
+///
+/// # Errors
+///
+/// Returns [`BuildError`] if a pass or the back end fails.
+pub fn build(
+    module: &ir::Module,
+    variant: ProtectionVariant,
+) -> Result<CompiledModule, BuildError> {
+    Ok(Pipeline::for_variant(variant)
+        .build(module)?
+        .into_compiled())
+}
 
 /// Builds the variant, runs `entry(args)` on the simulator and reports the
 /// measurement.
+///
+/// **Deprecated shape**: this recompiles the module on every call. It is a
+/// thin wrapper over `Pipeline::for_variant(variant).measure(...)` kept for
+/// existing call sites; prefer building an [`Artifact`] once (or using a
+/// [`Session`], which caches builds) when measuring more than once.
 ///
 /// # Errors
 ///
@@ -230,17 +306,7 @@ pub fn measure(
     entry: &str,
     args: &[u32],
 ) -> Result<Measurement, BuildError> {
-    let compiled = build(module, variant)?;
-    let code_size_bytes = compiled.code_size_bytes();
-    let entry_size_bytes = compiled.function_size(entry).unwrap_or(0);
-    let mut sim = compiled.into_simulator(DEFAULT_MEMORY_SIZE);
-    let result = sim.call(entry, args, DEFAULT_MAX_STEPS)?;
-    Ok(Measurement {
-        variant_label: variant.label(),
-        code_size_bytes,
-        entry_size_bytes,
-        result,
-    })
+    Pipeline::for_variant(variant).measure(module, entry, args)
 }
 
 #[cfg(test)]
@@ -254,6 +320,56 @@ mod tests {
         assert_eq!(ProtectionVariant::Duplication(6).label(), "duplication(x6)");
         assert_eq!(ProtectionVariant::AnCode.label(), "prototype");
         assert_eq!(ProtectionVariant::TABLE_THREE.len(), 3);
+    }
+
+    #[test]
+    fn variant_labels_round_trip_through_from_str() {
+        let variants = [
+            ProtectionVariant::Unprotected,
+            ProtectionVariant::CfiOnly,
+            ProtectionVariant::Duplication(2),
+            ProtectionVariant::Duplication(6),
+            ProtectionVariant::Duplication(17),
+            ProtectionVariant::AnCode,
+        ];
+        for variant in variants {
+            let label = variant.to_string();
+            assert_eq!(label.parse::<ProtectionVariant>(), Ok(variant), "{label}");
+        }
+    }
+
+    #[test]
+    fn variant_parsing_accepts_aliases_and_rejects_garbage() {
+        assert_eq!(
+            "ancode".parse::<ProtectionVariant>(),
+            Ok(ProtectionVariant::AnCode)
+        );
+        assert_eq!(
+            "an-code".parse::<ProtectionVariant>(),
+            Ok(ProtectionVariant::AnCode)
+        );
+        assert_eq!(
+            "duplication".parse::<ProtectionVariant>(),
+            Ok(ProtectionVariant::Duplication(6))
+        );
+        assert_eq!(
+            " cfi ".parse::<ProtectionVariant>(),
+            Ok(ProtectionVariant::CfiOnly)
+        );
+        // Orders below 2 are rejected: the duplication pass no-ops there,
+        // which would mislabel a CFI-only build as a duplication variant.
+        for bad in [
+            "",
+            "cfa",
+            "duplication(x)",
+            "duplication(xfive)",
+            "dup(6)",
+            "duplication(x0)",
+            "duplication(x1)",
+        ] {
+            let err = bad.parse::<ProtectionVariant>().expect_err(bad);
+            assert!(err.to_string().contains("unknown protection variant"));
+        }
     }
 
     #[test]
@@ -280,8 +396,13 @@ mod tests {
         let module = memcmp_module(16);
         let baseline =
             measure(&module, ProtectionVariant::CfiOnly, "memcmp_bench", &[]).expect("runs");
-        let duplication =
-            measure(&module, ProtectionVariant::Duplication(6), "memcmp_bench", &[]).expect("runs");
+        let duplication = measure(
+            &module,
+            ProtectionVariant::Duplication(6),
+            "memcmp_bench",
+            &[],
+        )
+        .expect("runs");
         let prototype =
             measure(&module, ProtectionVariant::AnCode, "memcmp_bench", &[]).expect("runs");
         assert_eq!(baseline.result.return_value, 1);
@@ -315,5 +436,108 @@ mod tests {
             },
         };
         assert_eq!(a.runtime_overhead_percent(&a), 0.0);
+    }
+
+    #[test]
+    fn pipeline_for_variant_matches_the_free_functions() {
+        let module = integer_compare_module();
+        for variant in [
+            ProtectionVariant::Unprotected,
+            ProtectionVariant::CfiOnly,
+            ProtectionVariant::Duplication(6),
+            ProtectionVariant::AnCode,
+        ] {
+            let legacy = measure(&module, variant, "integer_compare", &[3, 9]).expect("runs");
+            let artifact = Pipeline::for_variant(variant)
+                .build(&module)
+                .expect("builds");
+            let modern = artifact.measure("integer_compare", &[3, 9]).expect("runs");
+            assert_eq!(legacy, modern, "{variant:?}");
+        }
+    }
+
+    #[test]
+    fn pipeline_fingerprints_separate_configurations_but_not_labels() {
+        let a = Pipeline::for_variant(ProtectionVariant::AnCode);
+        let b = Pipeline::for_variant(ProtectionVariant::AnCode).with_label("renamed");
+        let c = Pipeline::for_variant(ProtectionVariant::CfiOnly);
+        let d = Pipeline::for_variant(ProtectionVariant::AnCode).with_max_steps(1);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_ne!(a.fingerprint(), c.fingerprint());
+        assert_ne!(a.fingerprint(), d.fingerprint());
+        assert_ne!(
+            Pipeline::for_variant(ProtectionVariant::Duplication(2)).fingerprint(),
+            Pipeline::for_variant(ProtectionVariant::Duplication(6)).fingerprint(),
+        );
+    }
+
+    #[test]
+    fn artifact_runs_many_times_from_one_build() {
+        let module = integer_compare_module();
+        let artifact = Pipeline::for_variant(ProtectionVariant::AnCode)
+            .build(&module)
+            .expect("builds");
+        let eq = artifact.run("integer_compare", &[11, 11]).expect("runs");
+        let ne = artifact.run("integer_compare", &[11, 12]).expect("runs");
+        assert_eq!(eq.return_value, 1);
+        assert_eq!(ne.return_value, 0);
+        // Executions are order-independent: a fresh simulator per call.
+        let eq_again = artifact.run("integer_compare", &[11, 11]).expect("runs");
+        assert_eq!(eq, eq_again);
+    }
+
+    #[test]
+    fn custom_pass_fingerprints_include_their_configuration() {
+        use secbranch_passes::{Duplication, DuplicationConfig};
+
+        // `Duplication` overrides `Pass::fingerprint`, so two
+        // differently-configured instances inserted via `with_pass` must not
+        // share a build-cache identity.
+        let dup = |order: u32| {
+            Pipeline::new()
+                .with_full_cfi()
+                .with_pass(Duplication::new(DuplicationConfig {
+                    order,
+                    ..DuplicationConfig::default()
+                }))
+        };
+        assert_ne!(dup(2).fingerprint(), dup(6).fingerprint());
+        assert_eq!(dup(6).fingerprint(), dup(6).fingerprint());
+    }
+
+    #[test]
+    fn custom_passes_compose_with_the_standard_sequence() {
+        use secbranch_passes::{Pass, PassError};
+
+        struct MarkAllProtected;
+        impl Pass for MarkAllProtected {
+            fn name(&self) -> &'static str {
+                "mark-all-protected"
+            }
+            fn run(&self, module: &mut ir::Module) -> Result<(), PassError> {
+                for f in &mut module.functions {
+                    f.attrs.protect_branches = true;
+                }
+                Ok(())
+            }
+        }
+
+        let module = integer_compare_module();
+        let plain = Pipeline::for_variant(ProtectionVariant::AnCode);
+        let custom = Pipeline::new()
+            .with_full_cfi()
+            .with_pass(MarkAllProtected)
+            .with_an_code(Default::default())
+            .with_label("prototype+mark");
+        assert_ne!(plain.fingerprint(), custom.fingerprint());
+        assert_eq!(
+            custom.pass_names().first().copied(),
+            Some("mark-all-protected")
+        );
+        let m = custom
+            .measure(&module, "integer_compare", &[5, 5])
+            .expect("runs");
+        assert_eq!(m.result.return_value, 1);
+        assert_eq!(m.variant_label, "prototype+mark");
     }
 }

@@ -1,0 +1,278 @@
+//! The [`Pipeline`] builder: every knob of the build pipeline made
+//! first-class, replacing the hard-coded configuration of the historical
+//! `build`/`measure` free functions.
+
+use secbranch_codegen::{compile, CfiLevel, CodegenOptions};
+use secbranch_ir::Module;
+use secbranch_passes::{
+    add_duplication_passes, add_standard_protection_passes, AnCoder, AnCoderConfig, Duplication,
+    DuplicationConfig, Pass, PassManager,
+};
+
+use crate::{Artifact, BuildError, Measurement, ProtectionVariant};
+
+/// Simulator configuration of a pipeline: how much guest memory an execution
+/// gets and how many dynamic instructions it may retire.
+///
+/// The defaults match the historical `measure` constants
+/// ([`crate::DEFAULT_MEMORY_SIZE`], [`crate::DEFAULT_MAX_STEPS`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimConfig {
+    /// Guest memory size in bytes (code is separate; this covers globals and
+    /// stack).
+    pub memory_size: u32,
+    /// Dynamic instruction budget per execution.
+    pub max_steps: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            memory_size: crate::DEFAULT_MEMORY_SIZE,
+            max_steps: crate::DEFAULT_MAX_STEPS,
+        }
+    }
+}
+
+/// A reusable, fully configurable build pipeline: middle-end passes, CFI
+/// level and simulator configuration.
+///
+/// A `Pipeline` is built once and then applied to any number of modules;
+/// each [`Pipeline::build`] call produces an [`Artifact`] that can run many
+/// executions and fault campaigns without recompiling. Construction is by
+/// builder methods:
+///
+/// ```
+/// use secbranch::{Pipeline, SimConfig};
+/// use secbranch::passes::AnCoderConfig;
+/// use secbranch::programs::password_check_module;
+///
+/// # fn main() -> Result<(), secbranch::BuildError> {
+/// let pipeline = Pipeline::new()
+///     .with_full_cfi()
+///     .with_an_code(AnCoderConfig::default())
+///     .with_sim(SimConfig { memory_size: 1 << 18, max_steps: 10_000_000 });
+/// let artifact = pipeline.build(&password_check_module(8))?;
+/// let first = artifact.run("password_check", &[])?;
+/// let second = artifact.run("password_check", &[])?; // no recompilation
+/// assert_eq!(first.return_value, second.return_value);
+/// # Ok(())
+/// # }
+/// ```
+///
+/// The [`ProtectionVariant`] convenience constructor keeps the historical
+/// call sites one-liners: `Pipeline::for_variant(variant)`.
+#[derive(Debug)]
+pub struct Pipeline {
+    label: String,
+    passes: PassManager,
+    /// Stable description of each configured middle-end component, in order;
+    /// the raw material of [`Pipeline::fingerprint`].
+    components: Vec<String>,
+    cfi: CfiLevel,
+    sim: SimConfig,
+}
+
+impl Default for Pipeline {
+    fn default() -> Self {
+        Pipeline::new()
+    }
+}
+
+impl Pipeline {
+    /// An empty pipeline: no middle-end passes, no CFI instrumentation,
+    /// default simulator configuration — the `unprotected` baseline.
+    #[must_use]
+    pub fn new() -> Self {
+        Pipeline {
+            label: "unprotected".to_string(),
+            passes: PassManager::new(),
+            components: Vec::new(),
+            cfi: CfiLevel::None,
+            sim: SimConfig::default(),
+        }
+    }
+
+    /// The pipeline of a named protection variant (the Table III columns),
+    /// with default pass configurations and simulator settings.
+    #[must_use]
+    pub fn for_variant(variant: ProtectionVariant) -> Self {
+        let pipeline = match variant {
+            ProtectionVariant::Unprotected => Pipeline::new(),
+            ProtectionVariant::CfiOnly => Pipeline::new().with_full_cfi(),
+            ProtectionVariant::Duplication(order) => Pipeline::new()
+                .with_full_cfi()
+                .with_duplication(DuplicationConfig {
+                    order,
+                    ..DuplicationConfig::default()
+                }),
+            ProtectionVariant::AnCode => Pipeline::new()
+                .with_full_cfi()
+                .with_an_code(AnCoderConfig::default()),
+        };
+        pipeline.with_label(variant.label())
+    }
+
+    /// Overrides the human-readable label (reported in [`Measurement`]s and
+    /// [`crate::Report`] columns). Labels do not affect the fingerprint.
+    #[must_use]
+    pub fn with_label(mut self, label: impl Into<String>) -> Self {
+        self.label = label.into();
+        self
+    }
+
+    /// Sets the CFI instrumentation level of the back end.
+    #[must_use]
+    pub fn with_cfi(mut self, cfi: CfiLevel) -> Self {
+        self.cfi = cfi;
+        self
+    }
+
+    /// Shorthand for `with_cfi(CfiLevel::Full)`.
+    #[must_use]
+    pub fn with_full_cfi(self) -> Self {
+        self.with_cfi(CfiLevel::Full)
+    }
+
+    /// Appends the paper's protection sequence (Loop Decoupler, Lower
+    /// Select, Lower Switch, AN Coder, DCE) with the given AN-code
+    /// configuration.
+    #[must_use]
+    pub fn with_an_code(mut self, config: AnCoderConfig) -> Self {
+        add_standard_protection_passes(&mut self.passes, config);
+        // The pass's own fingerprint is the single home of the config
+        // identity string; duplicating its fields here would let the two
+        // drift and silently conflate cache entries.
+        self.components
+            .push(format!("standard:{}", AnCoder::new(config).fingerprint()));
+        self
+    }
+
+    /// Appends the duplication-baseline sequence (Lower Select, Lower
+    /// Switch, N-fold duplication) with the given configuration.
+    #[must_use]
+    pub fn with_duplication(mut self, config: DuplicationConfig) -> Self {
+        add_duplication_passes(&mut self.passes, config);
+        self.components.push(format!(
+            "baseline:{}",
+            Duplication::new(config).fingerprint()
+        ));
+        self
+    }
+
+    /// Appends a custom pass at the current position of the pass sequence.
+    ///
+    /// The pass's [`Pass::fingerprint`] (name plus configuration) becomes
+    /// part of the pipeline fingerprint, so two pipelines that interleave
+    /// different custom passes, the same pass at different positions, or
+    /// differently-configured instances of one pass are cached separately by
+    /// a [`crate::Session`] — provided the pass overrides
+    /// [`Pass::fingerprint`] when it carries configuration (the default is
+    /// the bare name).
+    #[must_use]
+    pub fn with_pass(mut self, pass: impl Pass + Send + Sync + 'static) -> Self {
+        self.components
+            .push(format!("custom:{}", pass.fingerprint()));
+        self.passes.add(pass);
+        self
+    }
+
+    /// Sets the simulator configuration of the pipeline's artifacts.
+    #[must_use]
+    pub fn with_sim(mut self, sim: SimConfig) -> Self {
+        self.sim = sim;
+        self
+    }
+
+    /// Sets only the guest memory size.
+    #[must_use]
+    pub fn with_memory_size(mut self, memory_size: u32) -> Self {
+        self.sim.memory_size = memory_size;
+        self
+    }
+
+    /// Sets only the dynamic instruction budget.
+    #[must_use]
+    pub fn with_max_steps(mut self, max_steps: u64) -> Self {
+        self.sim.max_steps = max_steps;
+        self
+    }
+
+    /// The pipeline's label.
+    #[must_use]
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// The simulator configuration artifacts of this pipeline will use.
+    #[must_use]
+    pub fn sim(&self) -> SimConfig {
+        self.sim
+    }
+
+    /// The CFI level the back end will emit.
+    #[must_use]
+    pub fn cfi(&self) -> CfiLevel {
+        self.cfi
+    }
+
+    /// The names of the configured middle-end passes, in execution order.
+    #[must_use]
+    pub fn pass_names(&self) -> Vec<&'static str> {
+        self.passes.pass_names()
+    }
+
+    /// A stable identity string covering everything that influences the
+    /// produced artifact: the middle-end components with their full
+    /// configuration, the CFI level and the simulator configuration.
+    ///
+    /// Two pipelines with equal fingerprints produce interchangeable
+    /// artifacts for the same module; [`crate::Session`] uses the
+    /// fingerprint (together with the module name) as its build-cache key.
+    /// The label is deliberately *not* part of the fingerprint.
+    #[must_use]
+    pub fn fingerprint(&self) -> String {
+        format!(
+            "cfi={:?};passes=[{}];mem={};steps={}",
+            self.cfi,
+            self.components.join(","),
+            self.sim.memory_size,
+            self.sim.max_steps,
+        )
+    }
+
+    /// Runs the middle-end passes on a copy of `module` and compiles the
+    /// result into a reusable [`Artifact`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError`] if a pass or the back end fails.
+    pub fn build(&self, module: &Module) -> Result<Artifact, BuildError> {
+        let mut module = module.clone();
+        self.passes.run(&mut module)?;
+        let compiled = compile(&module, &CodegenOptions { cfi: self.cfi })?;
+        Ok(Artifact::new(
+            self.label.clone(),
+            self.fingerprint(),
+            compiled,
+            self.sim,
+        ))
+    }
+
+    /// Convenience: build the module and measure one execution of
+    /// `entry(args)` — the build-per-call shape of the historical `measure`
+    /// free function. Prefer [`Pipeline::build`] plus [`Artifact::measure`]
+    /// when running more than one execution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError`] if building or executing fails.
+    pub fn measure(
+        &self,
+        module: &Module,
+        entry: &str,
+        args: &[u32],
+    ) -> Result<Measurement, BuildError> {
+        self.build(module)?.measure(entry, args)
+    }
+}

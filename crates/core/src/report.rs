@@ -1,0 +1,214 @@
+//! The structured result of a [`crate::Session`] matrix run, plus the shared
+//! overhead formatting used by the benchmark harness.
+
+use std::fmt::Write as _;
+
+use crate::Measurement;
+
+/// Formats one Table III style cell: absolute value plus overhead percentage
+/// against a baseline (`"110 (+10.000%)"`), or just the absolute value when
+/// the baseline is zero.
+///
+/// This is the single home of the evaluation's overhead formatting; the
+/// percentage itself comes from the same formula as
+/// [`Measurement::size_overhead_percent`] and
+/// [`Measurement::runtime_overhead_percent`].
+#[must_use]
+pub fn overhead_cell(value: f64, baseline: f64) -> String {
+    if baseline == 0.0 {
+        format!("{value:.0}")
+    } else {
+        format!(
+            "{value:.0} ({:+.3}%)",
+            crate::overhead_percent(value, baseline)
+        )
+    }
+}
+
+/// One cell of a measurement matrix: one workload under one pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReportCell {
+    /// The workload name.
+    pub workload: String,
+    /// The pipeline label.
+    pub pipeline: String,
+    /// The measured quantities.
+    pub measurement: Measurement,
+    /// Code-size overhead against the baseline pipeline (the matrix's first
+    /// pipeline), in percent. `None` for the baseline cells themselves.
+    pub size_overhead_percent: Option<f64>,
+    /// Cycle-count overhead against the baseline pipeline, in percent.
+    /// `None` for the baseline cells themselves.
+    pub runtime_overhead_percent: Option<f64>,
+}
+
+/// The structured, serialisable result of [`crate::Session::run_matrix`]:
+/// workloads × pipelines, with per-cell size/cycles/CFI statistics and
+/// overheads against the first (baseline) pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Report {
+    /// Workload names, in matrix order.
+    pub workloads: Vec<String>,
+    /// Pipeline labels, in matrix order. The first label is the overhead
+    /// baseline.
+    pub pipelines: Vec<String>,
+    /// All cells, in workload-major order.
+    pub cells: Vec<ReportCell>,
+}
+
+impl Report {
+    /// Looks up the cell of one workload under one pipeline label.
+    #[must_use]
+    pub fn cell(&self, workload: &str, pipeline: &str) -> Option<&ReportCell> {
+        self.cells
+            .iter()
+            .find(|c| c.workload == workload && c.pipeline == pipeline)
+    }
+
+    /// The baseline pipeline label (the matrix's first pipeline), if any.
+    #[must_use]
+    pub fn baseline(&self) -> Option<&str> {
+        self.pipelines.first().map(String::as_str)
+    }
+
+    /// Renders the matrix as a Table III style text block: per workload one
+    /// size row and one cycles row, baseline absolute plus
+    /// `absolute (+overhead%)` cells for every other pipeline.
+    #[must_use]
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        for workload in &self.workloads {
+            let Some(base) = self.baseline().and_then(|label| self.cell(workload, label)) else {
+                continue;
+            };
+            let mut size_row = format!(
+                "{workload:<16} size/B    {:>10}",
+                base.measurement.code_size_bytes
+            );
+            let mut time_row = format!(
+                "{workload:<16} cycles    {:>10}",
+                base.measurement.result.cycles
+            );
+            for pipeline in self.pipelines.iter().skip(1) {
+                let Some(cell) = self.cell(workload, pipeline) else {
+                    continue;
+                };
+                let _ = write!(
+                    size_row,
+                    " | {:>22}",
+                    overhead_cell(
+                        f64::from(cell.measurement.code_size_bytes),
+                        f64::from(base.measurement.code_size_bytes),
+                    )
+                );
+                let _ = write!(
+                    time_row,
+                    " | {:>22}",
+                    overhead_cell(
+                        cell.measurement.result.cycles as f64,
+                        base.measurement.result.cycles as f64,
+                    )
+                );
+            }
+            out.push_str(&size_row);
+            out.push('\n');
+            out.push_str(&time_row);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Serialises the report as a self-contained JSON document (hand-rolled:
+    /// the offline build has no serde).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        let _ = write!(out, "\"workloads\":{},", json_string_array(&self.workloads));
+        let _ = write!(out, "\"pipelines\":{},", json_string_array(&self.pipelines));
+        out.push_str("\"cells\":[");
+        for (i, cell) in self.cells.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let m = &cell.measurement;
+            let _ = write!(
+                out,
+                "{{\"workload\":{},\"pipeline\":{},\"code_size_bytes\":{},\
+                 \"entry_size_bytes\":{},\"return_value\":{},\"cycles\":{},\
+                 \"instructions\":{},\"cfi_checks\":{},\"cfi_violations\":{},\
+                 \"size_overhead_percent\":{},\"runtime_overhead_percent\":{}}}",
+                json_string(&cell.workload),
+                json_string(&cell.pipeline),
+                m.code_size_bytes,
+                m.entry_size_bytes,
+                m.result.return_value,
+                m.result.cycles,
+                m.result.instructions,
+                m.result.cfi_checks,
+                m.result.cfi_violations,
+                json_opt_f64(cell.size_overhead_percent),
+                json_opt_f64(cell.runtime_overhead_percent),
+            );
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_string_array(items: &[String]) -> String {
+    let mut out = String::from("[");
+    for (i, item) in items.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&json_string(item));
+    }
+    out.push(']');
+    out
+}
+
+fn json_opt_f64(v: Option<f64>) -> String {
+    match v {
+        // JSON has no NaN/Infinity; overheads are finite by construction but
+        // guard anyway.
+        Some(v) if v.is_finite() => format!("{v:.6}"),
+        Some(_) | None => "null".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overhead_cell_formats_percentages() {
+        assert_eq!(overhead_cell(110.0, 100.0), "110 (+10.000%)");
+        assert_eq!(overhead_cell(50.0, 0.0), "50");
+    }
+
+    #[test]
+    fn json_strings_are_escaped() {
+        assert_eq!(json_string("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(json_string("tab\there"), "\"tab\\there\"");
+    }
+}

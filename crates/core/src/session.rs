@@ -1,0 +1,260 @@
+//! The [`Session`] matrix runner: workloads × pipelines with a build cache.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{HashMap, HashSet};
+use std::hash::{Hash, Hasher};
+
+use secbranch_ir::Module;
+
+use crate::{Artifact, BuildError, Measurement, Pipeline, Report, ReportCell};
+
+/// A named executable workload: an IR module plus the entry point and
+/// arguments the evaluation calls.
+///
+/// The name labels the module in a [`Session`]'s build cache and reports;
+/// the cache additionally keys on the module's printed content, so two
+/// different modules accidentally sharing a name are still compiled (and
+/// measured) separately.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// The workload name (a Table III row).
+    pub name: String,
+    /// The IR module.
+    pub module: Module,
+    /// The entry function.
+    pub entry: String,
+    /// The call arguments.
+    pub args: Vec<u32>,
+}
+
+impl Workload {
+    /// Creates a named workload.
+    #[must_use]
+    pub fn new(
+        name: impl Into<String>,
+        module: Module,
+        entry: impl Into<String>,
+        args: &[u32],
+    ) -> Self {
+        Workload {
+            name: name.into(),
+            module,
+            entry: entry.into(),
+            args: args.to_vec(),
+        }
+    }
+}
+
+/// A measurement session with an internal build cache.
+///
+/// The cache is keyed by `(module name, module content hash, pipeline
+/// fingerprint)`: within one session each module is compiled exactly once
+/// per distinct pipeline configuration, no matter how many executions,
+/// measurements or fault campaigns are run on it — and a stale artifact can
+/// never be served for a *different* module that happens to share a name.
+/// [`Session::run_matrix`] evaluates a full workloads × pipelines matrix in
+/// one call and returns a structured [`Report`].
+///
+/// ```
+/// use secbranch::{Pipeline, ProtectionVariant, Session, Workload};
+/// use secbranch::programs::integer_compare_module;
+///
+/// # fn main() -> Result<(), secbranch::BuildError> {
+/// let mut session = Session::new();
+/// let workloads = [Workload::new(
+///     "integer compare",
+///     integer_compare_module(),
+///     "integer_compare",
+///     &[7, 7],
+/// )];
+/// let pipelines: Vec<_> = ProtectionVariant::TABLE_THREE
+///     .iter()
+///     .map(|v| Pipeline::for_variant(*v))
+///     .collect();
+/// let report = session.run_matrix(&workloads, &pipelines)?;
+/// assert_eq!(report.cells.len(), 3);
+/// assert_eq!(session.builds(), 3);
+/// // Re-running the matrix hits the cache instead of recompiling.
+/// session.run_matrix(&workloads, &pipelines)?;
+/// assert_eq!(session.builds(), 3);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Default)]
+pub struct Session {
+    artifacts: HashMap<(String, u64, String), Artifact>,
+    builds: u64,
+    cache_hits: u64,
+}
+
+/// A stable identity of the module's *content*, independent of the caller's
+/// naming: a hash of the printed IR. Printing is linear in module size and
+/// only paid per artifact request, which the build cache keeps rare.
+fn module_content_hash(module: &Module) -> u64 {
+    let mut hasher = DefaultHasher::new();
+    secbranch_ir::printer::print_module(module).hash(&mut hasher);
+    hasher.finish()
+}
+
+impl Session {
+    /// Creates an empty session.
+    #[must_use]
+    pub fn new() -> Self {
+        Session::default()
+    }
+
+    /// How many compilations this session has performed (cache misses).
+    #[must_use]
+    pub fn builds(&self) -> u64 {
+        self.builds
+    }
+
+    /// How many artifact requests were served from the cache.
+    #[must_use]
+    pub fn cache_hits(&self) -> u64 {
+        self.cache_hits
+    }
+
+    fn cached_artifact(
+        &mut self,
+        module_name: &str,
+        module: &Module,
+        pipeline: &Pipeline,
+    ) -> Result<&Artifact, BuildError> {
+        let key = (
+            module_name.to_string(),
+            module_content_hash(module),
+            pipeline.fingerprint(),
+        );
+        // `entry().or_insert_with` cannot propagate build errors, hence the
+        // explicit two-step lookup.
+        if !self.artifacts.contains_key(&key) {
+            let artifact = pipeline.build(module)?;
+            self.builds += 1;
+            self.artifacts.insert(key.clone(), artifact);
+        } else {
+            self.cache_hits += 1;
+        }
+        Ok(&self.artifacts[&key])
+    }
+
+    /// The artifact of `module` under `pipeline`, compiled on first request
+    /// and served from the cache afterwards.
+    ///
+    /// `module_name` labels the module in the cache key; the module's
+    /// content is hashed alongside it, so a name reused for a different
+    /// module triggers a fresh compilation rather than a stale artifact.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError`] if the pipeline fails on a cache miss.
+    pub fn artifact(
+        &mut self,
+        module_name: &str,
+        module: &Module,
+        pipeline: &Pipeline,
+    ) -> Result<Artifact, BuildError> {
+        Ok(self.cached_artifact(module_name, module, pipeline)?.clone())
+    }
+
+    /// Measures one workload under one pipeline, reusing the cached artifact
+    /// when available. The reported label is the pipeline's label even on a
+    /// cache hit from a differently-labelled pipeline with the same
+    /// fingerprint.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError`] if building or executing fails.
+    pub fn measure(
+        &mut self,
+        workload: &Workload,
+        pipeline: &Pipeline,
+    ) -> Result<Measurement, BuildError> {
+        let artifact = self.cached_artifact(&workload.name, &workload.module, pipeline)?;
+        let mut measurement = artifact.measure(&workload.entry, &workload.args)?;
+        measurement.variant_label = pipeline.label().to_string();
+        Ok(measurement)
+    }
+
+    /// Runs the full workloads × pipelines matrix and returns the structured
+    /// report. The first pipeline is the overhead baseline; every module is
+    /// compiled exactly once per distinct pipeline fingerprint.
+    ///
+    /// Duplicate pipeline labels are disambiguated in the report with a
+    /// ` (2)`, ` (3)`, ... suffix so [`Report::cell`] lookups stay
+    /// unambiguous (the build cache still shares one compilation when the
+    /// fingerprints match).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`BuildError`] encountered; cells measured before
+    /// the failure are discarded.
+    pub fn run_matrix(
+        &mut self,
+        workloads: &[Workload],
+        pipelines: &[Pipeline],
+    ) -> Result<Report, BuildError> {
+        let labels = disambiguated(pipelines.iter().map(Pipeline::label));
+        // Workload names get the same treatment: duplicate names would make
+        // the second workload's cells unreachable through `Report::cell`.
+        let workload_names = disambiguated(workloads.iter().map(|w| w.name.as_str()));
+        let mut cells = Vec::with_capacity(workloads.len() * pipelines.len());
+        for (workload, workload_name) in workloads.iter().zip(&workload_names) {
+            let mut baseline: Option<Measurement> = None;
+            for (pipeline, label) in pipelines.iter().zip(&labels) {
+                let mut measurement = self.measure(workload, pipeline)?;
+                measurement.variant_label = label.clone();
+                let (size_overhead, runtime_overhead) = match &baseline {
+                    Some(base) => (
+                        Some(measurement.size_overhead_percent(base)),
+                        Some(measurement.runtime_overhead_percent(base)),
+                    ),
+                    None => (None, None),
+                };
+                if baseline.is_none() {
+                    baseline = Some(measurement.clone());
+                }
+                cells.push(ReportCell {
+                    workload: workload_name.clone(),
+                    pipeline: label.clone(),
+                    measurement,
+                    size_overhead_percent: size_overhead,
+                    runtime_overhead_percent: runtime_overhead,
+                });
+            }
+        }
+        Ok(Report {
+            workloads: workload_names,
+            pipelines: labels,
+            cells,
+        })
+    }
+}
+
+/// The given labels with duplicates made unique by a ` (N)` suffix, so
+/// label-keyed report lookups are unambiguous. The suffix counter skips
+/// values that collide with labels the caller chose literally (e.g. a
+/// pipeline already named `"x (2)"`).
+fn disambiguated<'a>(labels: impl Iterator<Item = &'a str>) -> Vec<String> {
+    let mut assigned: Vec<String> = labels.map(str::to_string).collect();
+    let literal: HashSet<String> = assigned.iter().cloned().collect();
+    let mut used: HashSet<String> = HashSet::new();
+    for label in &mut assigned {
+        if used.insert(label.clone()) {
+            continue; // first holder of a label keeps it verbatim
+        }
+        let base = label.clone();
+        let mut n = 2u32;
+        loop {
+            let candidate = format!("{base} ({n})");
+            // Suffixes that some pipeline carries as its *literal* label are
+            // reserved for that pipeline.
+            if !literal.contains(&candidate) && used.insert(candidate.clone()) {
+                *label = candidate;
+                break;
+            }
+            n += 1;
+        }
+    }
+    assigned
+}

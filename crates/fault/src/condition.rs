@@ -115,7 +115,9 @@ impl ConditionCampaign {
     /// Runs the sweep the paper reports: `bits = 1..=max_bits`, each with
     /// `trials` experiments, returning `(bits, counts)` rows.
     pub fn sweep(&mut self, max_bits: u32, trials: u64) -> Vec<(u32, ConditionOutcomeCounts)> {
-        (1..=max_bits).map(|bits| (bits, self.run(bits, trials))).collect()
+        (1..=max_bits)
+            .map(|bits| (bits, self.run(bits, trials)))
+            .collect()
     }
 
     fn single_experiment(
@@ -160,20 +162,14 @@ impl ConditionCampaign {
             _ => (xc, yc),
         };
         let cond = if self.predicate.is_equality_class() {
-            let diff1 = first
-                .raw()
-                .wrapping_sub(second.raw())
-                .wrapping_add(c)
+            let diff1 = first.raw().wrapping_sub(second.raw()).wrapping_add(c)
                 ^ mask(FaultLocation::Difference);
             let rem1 = (diff1 % a) ^ mask(FaultLocation::Remainder);
             let diff2 = second.raw().wrapping_sub(first.raw()).wrapping_add(c);
             let rem2 = diff2 % a;
             rem1.wrapping_add(rem2) ^ mask(FaultLocation::Condition)
         } else {
-            let diff = first
-                .raw()
-                .wrapping_sub(second.raw())
-                .wrapping_add(c)
+            let diff = first.raw().wrapping_sub(second.raw()).wrapping_add(c)
                 ^ mask(FaultLocation::Difference);
             let rem = (diff % a) ^ mask(FaultLocation::Remainder);
             rem ^ mask(FaultLocation::Condition)
@@ -276,8 +272,7 @@ mod tests {
 
     #[test]
     fn sweep_produces_one_row_per_bit_count() {
-        let mut campaign =
-            ConditionCampaign::new(Parameters::paper_defaults(), Predicate::Eq, 1);
+        let mut campaign = ConditionCampaign::new(Parameters::paper_defaults(), Predicate::Eq, 1);
         let rows = campaign.sweep(4, 1_000);
         assert_eq!(rows.len(), 4);
         assert_eq!(rows[0].0, 1);

@@ -156,8 +156,12 @@ impl InstructionSkipSweep {
         let mut counts = OutcomeCounts::default();
         for step in 1..=reference.instructions {
             let mut sim = simulator.clone();
-            let result =
-                sim.call_with_faults(&self.entry, &self.args, self.max_steps, &mut SkipAt { step });
+            let result = sim.call_with_faults(
+                &self.entry,
+                &self.args,
+                self.max_steps,
+                &mut SkipAt { step },
+            );
             counts.record(classify(&reference, result));
         }
         Ok(SweepReport { reference, counts })
@@ -199,13 +203,7 @@ impl RegisterBitFlipCampaign {
     ) -> Result<SweepReport, secbranch_armv7m::SimError> {
         let mut reference_sim = simulator.clone();
         let reference = reference_sim.call(&self.entry, &self.args, self.max_steps)?;
-        let registers = [
-            Reg::R0,
-            Reg::R1,
-            Reg::R2,
-            Reg::R3,
-            Reg::R12,
-        ];
+        let registers = [Reg::R0, Reg::R1, Reg::R2, Reg::R3, Reg::R12];
         let mut counts = OutcomeCounts::default();
         for _ in 0..trials {
             let step = self.rng.gen_range(1..=reference.instructions);
@@ -236,16 +234,26 @@ mod tests {
         standard_protection_pipeline(AnCoderConfig::default())
             .run(&mut module)
             .expect("pipeline");
-        compile(&module, &CodegenOptions { cfi: CfiLevel::Full })
-            .expect("compiles")
-            .into_simulator(64 * 1024)
+        compile(
+            &module,
+            &CodegenOptions {
+                cfi: CfiLevel::Full,
+            },
+        )
+        .expect("compiles")
+        .into_simulator(64 * 1024)
     }
 
     fn unprotected_simulator() -> Simulator {
         let module = integer_compare_module();
-        compile(&module, &CodegenOptions { cfi: CfiLevel::None })
-            .expect("compiles")
-            .into_simulator(64 * 1024)
+        compile(
+            &module,
+            &CodegenOptions {
+                cfi: CfiLevel::None,
+            },
+        )
+        .expect("compiles")
+        .into_simulator(64 * 1024)
     }
 
     #[test]

@@ -135,13 +135,7 @@ impl BinOp {
             BinOp::Add => lhs.wrapping_add(rhs),
             BinOp::Sub => lhs.wrapping_sub(rhs),
             BinOp::Mul => lhs.wrapping_mul(rhs),
-            BinOp::UDiv => {
-                if rhs == 0 {
-                    0
-                } else {
-                    lhs / rhs
-                }
-            }
+            BinOp::UDiv => lhs.checked_div(rhs).unwrap_or(0),
             BinOp::URem => {
                 if rhs == 0 {
                     lhs
@@ -640,15 +634,9 @@ mod tests {
             default: BlockId(0),
             cases: vec![(1, BlockId(1)), (2, BlockId(2))],
         };
-        assert_eq!(
-            t.successors(),
-            vec![BlockId(0), BlockId(1), BlockId(2)]
-        );
+        assert_eq!(t.successors(), vec![BlockId(0), BlockId(1), BlockId(2)]);
         t.map_targets(|b| BlockId(b.0 + 5));
-        assert_eq!(
-            t.successors(),
-            vec![BlockId(5), BlockId(6), BlockId(7)]
-        );
+        assert_eq!(t.successors(), vec![BlockId(5), BlockId(6), BlockId(7)]);
         assert!(Terminator::Ret(None).successors().is_empty());
     }
 

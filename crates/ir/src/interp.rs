@@ -311,15 +311,11 @@ impl<'m> Interpreter<'m> {
                 self.store(a, v, *width, fname)?;
                 Ok(None)
             }
-            Op::LocalAddr { local } => {
-                local_addrs
-                    .get(local.0 as usize)
-                    .copied()
-                    .map(Some)
-                    .ok_or_else(|| {
-                        IrError::interp(format!("unknown local {local} in '{fname}'"))
-                    })
-            }
+            Op::LocalAddr { local } => local_addrs
+                .get(local.0 as usize)
+                .copied()
+                .map(Some)
+                .ok_or_else(|| IrError::interp(format!("unknown local {local} in '{fname}'"))),
             Op::GlobalAddr { name } => self
                 .global_address(name)
                 .map(Some)
@@ -364,7 +360,13 @@ impl<'m> Interpreter<'m> {
         })
     }
 
-    fn store(&mut self, addr: u32, value: u32, width: MemWidth, function: &str) -> Result<(), IrError> {
+    fn store(
+        &mut self,
+        addr: u32,
+        value: u32,
+        width: MemWidth,
+        function: &str,
+    ) -> Result<(), IrError> {
         let size = width.bytes();
         let end = addr as usize + size as usize;
         if end > self.memory.len() {

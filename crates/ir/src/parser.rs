@@ -289,7 +289,10 @@ fn try_parse_terminator(line_no: usize, line: &str) -> Result<Option<Terminator>
                 let close = inner
                     .find(')')
                     .ok_or_else(|| IrError::parse(line_no, "missing ')' in protect clause"))?;
-                (rest[..idx].trim_end_matches([',', ' ']), Some(&inner[..close]))
+                (
+                    rest[..idx].trim_end_matches([',', ' ']),
+                    Some(&inner[..close]),
+                )
             }
             None => (rest.trim(), None),
         };
@@ -315,9 +318,9 @@ fn try_parse_terminator(line_no: usize, line: &str) -> Result<Option<Terminator>
                     true_symbol: parse_operand(line_no, parts[1])?
                         .as_const()
                         .ok_or_else(|| IrError::parse(line_no, "true symbol must be a constant"))?,
-                    false_symbol: parse_operand(line_no, parts[2])?
-                        .as_const()
-                        .ok_or_else(|| IrError::parse(line_no, "false symbol must be a constant"))?,
+                    false_symbol: parse_operand(line_no, parts[2])?.as_const().ok_or_else(
+                        || IrError::parse(line_no, "false symbol must be a constant"),
+                    )?,
                 })
             }
         };
@@ -398,10 +401,7 @@ fn parse_inst(line_no: usize, line: &str, max_value: &mut u32) -> Result<Inst, I
                 .ok_or_else(|| IrError::parse(line_no, format!("unknown predicate '{pred}'")))?;
             let parts = split_args(args);
             if parts.len() != 4 {
-                return Err(IrError::parse(
-                    line_no,
-                    "enccmp expects 'lhs, rhs, A, C'",
-                ));
+                return Err(IrError::parse(line_no, "enccmp expects 'lhs, rhs, A, C'"));
             }
             Op::EncodedCompare {
                 pred,
@@ -548,7 +548,10 @@ bb3:
     fn parses_the_sample_module() {
         let m = parse_module(SAMPLE).expect("parses");
         assert_eq!(m.globals.len(), 2);
-        assert_eq!(m.global("key").expect("present").data, vec![0xDE, 0xAD, 0xBE, 0xEF]);
+        assert_eq!(
+            m.global("key").expect("present").data,
+            vec![0xDE, 0xAD, 0xBE, 0xEF]
+        );
         assert!(m.global("scratch").expect("present").data.is_empty());
         let main = m.function("main").expect("present");
         assert!(main.attrs.protect_branches);
@@ -588,7 +591,10 @@ bb3:
         assert!(parse_module("bogus line").is_err());
         assert!(parse_module("global @g maybe aa").is_err());
         assert!(parse_module("func @f() {\nbb0:\n  %1 = frobnicate 1, 2\n}").is_err());
-        assert!(parse_module("func @f() {\n  %1 = add 1, 2\n}").is_err(), "inst before label");
+        assert!(
+            parse_module("func @f() {\n  %1 = add 1, 2\n}").is_err(),
+            "inst before label"
+        );
         assert!(parse_module("func @f() {\nbb0:\n  br 1, bb1\n}").is_err());
         assert!(parse_module("func @f() {\nbb0:\n  store.w 4\n}").is_err());
         assert!(parse_module("func @f() {\nbb0:\n  %1 = cmp zz 1, 2\n}").is_err());

@@ -52,12 +52,20 @@ pub fn print_function(function: &Function) -> String {
         attr
     );
     for (i, local) in function.locals.iter().enumerate() {
-        let _ = writeln!(out, "  local $l{} {} \"{}\"", i, local.size_bytes, local.name);
+        let _ = writeln!(
+            out,
+            "  local $l{} {} \"{}\"",
+            i, local.size_bytes, local.name
+        );
     }
     for (bid, block) in function.iter_blocks() {
         let _ = writeln!(out, "{bid}:  ; {}", block.name);
         for inst in &block.insts {
-            let _ = writeln!(out, "  {}", print_inst_op(inst.result.map(|r| format!("{r}")), &inst.op));
+            let _ = writeln!(
+                out,
+                "  {}",
+                print_inst_op(inst.result.map(|r| format!("{r}")), &inst.op)
+            );
         }
         if let Some(term) = &block.terminator {
             let _ = writeln!(out, "  {}", print_terminator(term));

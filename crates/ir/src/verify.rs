@@ -85,33 +85,31 @@ pub fn verify_function(module: &Module, function: &Function) -> Result<(), IrErr
     let local_count = function.locals.len() as u32;
     let global_names: HashSet<&str> = module.globals.iter().map(|g| g.name.as_str()).collect();
 
-    let check_operand = |operand: Operand,
-                         use_block: BlockId,
-                         use_index: usize|
-     -> Result<(), IrError> {
-        let Operand::Value(v) = operand else {
-            return Ok(());
+    let check_operand =
+        |operand: Operand, use_block: BlockId, use_index: usize| -> Result<(), IrError> {
+            let Operand::Value(v) = operand else {
+                return Ok(());
+            };
+            let Some(&dblock) = def_block.get(&v) else {
+                return Err(IrError::verification(
+                    &function.name,
+                    format!("use of undefined value {v}"),
+                ));
+            };
+            let dindex = def_index[&v];
+            let dominates = if dblock == use_block {
+                dindex <= use_index
+            } else {
+                doms.dominates(dblock, use_block)
+            };
+            if !dominates && doms.is_reachable(use_block) {
+                return Err(IrError::verification(
+                    &function.name,
+                    format!("definition of {v} does not dominate its use in {use_block}"),
+                ));
+            }
+            Ok(())
         };
-        let Some(&dblock) = def_block.get(&v) else {
-            return Err(IrError::verification(
-                &function.name,
-                format!("use of undefined value {v}"),
-            ));
-        };
-        let dindex = def_index[&v];
-        let dominates = if dblock == use_block {
-            dindex <= use_index
-        } else {
-            doms.dominates(dblock, use_block)
-        };
-        if !dominates && doms.is_reachable(use_block) {
-            return Err(IrError::verification(
-                &function.name,
-                format!("definition of {v} does not dominate its use in {use_block}"),
-            ));
-        }
-        Ok(())
-    };
 
     for (bid, block) in function.iter_blocks() {
         for (i, inst) in block.insts.iter().enumerate() {
@@ -119,15 +117,11 @@ pub fn verify_function(module: &Module, function: &Function) -> Result<(), IrErr
                 check_operand(operand, bid, i)?;
             }
             match &inst.op {
-                Op::LocalAddr { local } => {
-                    if local.0 >= local_count {
-                        return err(format!("reference to non-existent local {local}"));
-                    }
+                Op::LocalAddr { local } if local.0 >= local_count => {
+                    return err(format!("reference to non-existent local {local}"));
                 }
-                Op::GlobalAddr { name } => {
-                    if !global_names.contains(name.as_str()) {
-                        return err(format!("reference to non-existent global '{name}'"));
-                    }
+                Op::GlobalAddr { name } if !global_names.contains(name.as_str()) => {
+                    return err(format!("reference to non-existent global '{name}'"));
                 }
                 Op::Call { callee, args } => {
                     let Some(target) = module.function(callee) else {

@@ -111,6 +111,17 @@ impl Pass for AnCoder {
         "an-coder"
     }
 
+    fn fingerprint(&self) -> String {
+        let params = self.config.params;
+        format!(
+            "an-coder(A={},Cord={},Ceq={},only_protected={})",
+            params.code().constant(),
+            params.ordering_constant(),
+            params.equality_constant(),
+            self.config.only_protected_functions,
+        )
+    }
+
     fn run(&self, module: &mut Module) -> Result<(), PassError> {
         self.run_with_stats(module).map(|_| ())
     }
@@ -165,8 +176,9 @@ fn protect_branch(
 
     let defs = value_definitions(function);
     let cmp_loc = *defs.get(&cond_value).ok_or(())?;
-    let Op::Cmp { pred, lhs, rhs } =
-        function.block(cmp_loc.block).insts[cmp_loc.index].op.clone()
+    let Op::Cmp { pred, lhs, rhs } = function.block(cmp_loc.block).insts[cmp_loc.index]
+        .op
+        .clone()
     else {
         return Err(());
     };
@@ -183,9 +195,9 @@ fn protect_branch(
     // A helper closure cannot borrow `function` mutably while we also push
     // fresh values, so encoding is done in two explicit steps.
     let encode_operand = |function: &mut Function,
-                              new_insts: &mut Vec<Inst>,
-                              encoded: &mut HashMap<ValueId, Operand>,
-                              operand: Operand|
+                          new_insts: &mut Vec<Inst>,
+                          encoded: &mut HashMap<ValueId, Operand>,
+                          operand: Operand|
      -> Result<Operand, ()> {
         match operand {
             Operand::Const(c) => {
@@ -389,7 +401,12 @@ mod tests {
         assert_eq!(stats.skipped_branches, 0);
         assert!(stats.added_instructions >= 3);
 
-        for (x, y, expect) in [(5u32, 5u32, 1u32), (5, 6, 0), (0, 0, 1), (65_000, 64_999, 0)] {
+        for (x, y, expect) in [
+            (5u32, 5u32, 1u32),
+            (5, 6, 0),
+            (0, 0, 1),
+            (65_000, 64_999, 0),
+        ] {
             assert_eq!(
                 interp::run(&m, "check", &[x, y]).unwrap().return_value,
                 Some(expect),
@@ -423,7 +440,9 @@ mod tests {
         // Semantics across the boundary (39 < 40, 40 !< 40).
         for (x, y, expect) in [(40u32, 4u32, 1u32), (41, 4, 0), (45, 10, 1), (60, 3, 0)] {
             assert_eq!(
-                interp::run(&m, "range_check", &[x, y]).unwrap().return_value,
+                interp::run(&m, "range_check", &[x, y])
+                    .unwrap()
+                    .return_value,
                 Some(expect),
                 "({x} + 3) - {y} < 40"
             );
@@ -485,10 +504,7 @@ mod tests {
         assert_eq!(stats.protected_branches, 0);
         assert_eq!(stats.skipped_branches, 1);
         // The function still behaves correctly.
-        assert_eq!(
-            interp::run(&m, "big", &[5]).unwrap().return_value,
-            Some(1)
-        );
+        assert_eq!(interp::run(&m, "big", &[5]).unwrap().return_value, Some(1));
     }
 
     #[test]

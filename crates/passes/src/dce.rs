@@ -43,10 +43,7 @@ impl Pass for DeadCodeElimination {
                     let before = block.insts.len();
                     block.insts.retain(|inst| {
                         let dead = !has_side_effects(&inst.op)
-                            && inst
-                                .result
-                                .map(|r| !uses.contains_key(&r))
-                                .unwrap_or(false);
+                            && inst.result.map(|r| !uses.contains_key(&r)).unwrap_or(false);
                         !dead
                     });
                     if block.insts.len() != before {
@@ -118,10 +115,7 @@ mod tests {
         let f = m.function("f").expect("present");
         // Only the call remains (globaladdr + load were dead).
         assert_eq!(f.inst_count(), 1);
-        assert!(matches!(
-            f.block(f.entry()).insts[0].op,
-            Op::Call { .. }
-        ));
+        assert!(matches!(f.block(f.entry()).insts[0].op, Op::Call { .. }));
     }
 
     #[test]

@@ -11,9 +11,7 @@
 //! arithmetic feeding it, and can be defeated by inducing the same fault
 //! repeatedly.
 
-use secbranch_ir::{
-    BlockId, Function, Inst, Module, Op, Operand, Predicate, Terminator, ValueId,
-};
+use secbranch_ir::{BlockId, Function, Inst, Module, Op, Operand, Predicate, Terminator, ValueId};
 
 use crate::error::PassError;
 use crate::manager::Pass;
@@ -59,6 +57,13 @@ impl Duplication {
 impl Pass for Duplication {
     fn name(&self) -> &'static str {
         "duplication"
+    }
+
+    fn fingerprint(&self) -> String {
+        format!(
+            "duplication(order={},only_protected={})",
+            self.config.order, self.config.only_protected_functions,
+        )
     }
 
     fn run(&self, module: &mut Module) -> Result<(), PassError> {
@@ -147,9 +152,8 @@ fn find_cmp(function: &Function, value: ValueId) -> Option<RecheckKind> {
 
 fn add_fault_handler(function: &mut Function) -> BlockId {
     let handler = function.add_block("fault.detected");
-    function.block_mut(handler).terminator = Some(Terminator::Ret(Some(Operand::Const(
-        FAULT_DETECTED_RETURN,
-    ))));
+    function.block_mut(handler).terminator =
+        Some(Terminator::Ret(Some(Operand::Const(FAULT_DETECTED_RETURN))));
     handler
 }
 
@@ -239,8 +243,14 @@ mod tests {
             .run(&mut m)
             .expect("runs");
         verify::verify_module(&m).expect("valid");
-        assert_eq!(interp::run(&m, "check", &[5, 5]).unwrap().return_value, Some(1));
-        assert_eq!(interp::run(&m, "check", &[5, 6]).unwrap().return_value, Some(0));
+        assert_eq!(
+            interp::run(&m, "check", &[5, 5]).unwrap().return_value,
+            Some(1)
+        );
+        assert_eq!(
+            interp::run(&m, "check", &[5, 6]).unwrap().return_value,
+            Some(0)
+        );
     }
 
     #[test]

@@ -74,16 +74,35 @@ pub use lower_select::LowerSelect;
 pub use lower_switch::LowerSwitch;
 pub use manager::{Pass, PassManager};
 
-/// The paper's protection pipeline (Figure 3 middle end): Loop Decoupler,
-/// Lower Select, Lower Switch, AN Coder, followed by dead-code elimination.
-#[must_use]
-pub fn standard_protection_pipeline(config: AnCoderConfig) -> PassManager {
-    let mut pm = PassManager::new();
+/// Appends the paper's protection passes (Figure 3 middle end) to an
+/// existing manager: Loop Decoupler, Lower Select, Lower Switch, AN Coder,
+/// followed by dead-code elimination.
+///
+/// This is the composition hook used by the `secbranch` facade's `Pipeline`
+/// builder, which may interleave its own passes before or after the standard
+/// sequence.
+pub fn add_standard_protection_passes(pm: &mut PassManager, config: AnCoderConfig) {
     pm.add(LoopDecoupler::new());
     pm.add(LowerSelect::new());
     pm.add(LowerSwitch::new());
     pm.add(AnCoder::new(config));
     pm.add(DeadCodeElimination::new());
+}
+
+/// Appends the duplication-baseline passes to an existing manager: Lower
+/// Select, Lower Switch, N-fold branch duplication.
+pub fn add_duplication_passes(pm: &mut PassManager, config: DuplicationConfig) {
+    pm.add(LowerSelect::new());
+    pm.add(LowerSwitch::new());
+    pm.add(Duplication::new(config));
+}
+
+/// The paper's protection pipeline (Figure 3 middle end): Loop Decoupler,
+/// Lower Select, Lower Switch, AN Coder, followed by dead-code elimination.
+#[must_use]
+pub fn standard_protection_pipeline(config: AnCoderConfig) -> PassManager {
+    let mut pm = PassManager::new();
+    add_standard_protection_passes(&mut pm, config);
     pm
 }
 
@@ -92,9 +111,7 @@ pub fn standard_protection_pipeline(config: AnCoderConfig) -> PassManager {
 #[must_use]
 pub fn duplication_pipeline(config: DuplicationConfig) -> PassManager {
     let mut pm = PassManager::new();
-    pm.add(LowerSelect::new());
-    pm.add(LowerSwitch::new());
-    pm.add(Duplication::new(config));
+    add_duplication_passes(&mut pm, config);
     pm
 }
 

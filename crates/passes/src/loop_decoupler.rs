@@ -110,7 +110,10 @@ fn branch_comparison_values(function: &Function) -> HashSet<ValueId> {
 
 /// Values used outside the comparison world: memory addressing, stored data,
 /// call arguments, returns, switch scrutinees.
-fn non_comparison_uses(function: &Function, comparison_values: &HashSet<ValueId>) -> HashSet<ValueId> {
+fn non_comparison_uses(
+    function: &Function,
+    comparison_values: &HashSet<ValueId>,
+) -> HashSet<ValueId> {
     let mut used = HashSet::new();
     for (_, block) in function.iter_blocks() {
         for inst in &block.insts {
@@ -265,7 +268,7 @@ fn decouple_function(function: &mut Function) {
     // Apply the load redirections: insert a fresh LocalAddr of the shadow
     // right before the load and point the load at it.
     // Process per block in descending instruction order so indices stay valid.
-    pending_locals.sort_by(|a, b| (b.0 .0, b.1).cmp(&(a.0 .0, a.1)));
+    pending_locals.sort_by_key(|&(block, index, _)| std::cmp::Reverse((block.0, index)));
     for (block, index, shadow) in pending_locals {
         let shadow_addr = function.fresh_value();
         function.block_mut(block).insts.insert(
@@ -390,6 +393,9 @@ mod tests {
         m.add_function(b.finish());
         let before_locals = m.function("check_limit").unwrap().locals.len();
         LoopDecoupler::new().run(&mut m).expect("runs");
-        assert_eq!(m.function("check_limit").unwrap().locals.len(), before_locals);
+        assert_eq!(
+            m.function("check_limit").unwrap().locals.len(),
+            before_locals
+        );
     }
 }

@@ -38,10 +38,7 @@ impl Pass for LowerSelect {
 
     fn run(&self, module: &mut Module) -> Result<(), PassError> {
         for function in &mut module.functions {
-            loop {
-                let Some((block, index)) = find_select(function) else {
-                    break;
-                };
+            while let Some((block, index)) = find_select(function) {
                 lower_one(function, block, index);
             }
         }
@@ -154,13 +151,23 @@ mod tests {
         let mut m = clamp_module();
         let before: Vec<u32> = [0u32, 50, 100, 101, 5000]
             .iter()
-            .map(|x| interp::run(&m, "clamp_inc", &[*x]).unwrap().return_value.unwrap())
+            .map(|x| {
+                interp::run(&m, "clamp_inc", &[*x])
+                    .unwrap()
+                    .return_value
+                    .unwrap()
+            })
             .collect();
         LowerSelect::new().run(&mut m).expect("runs");
         verify::verify_module(&m).expect("valid after lowering");
         let after: Vec<u32> = [0u32, 50, 100, 101, 5000]
             .iter()
-            .map(|x| interp::run(&m, "clamp_inc", &[*x]).unwrap().return_value.unwrap())
+            .map(|x| {
+                interp::run(&m, "clamp_inc", &[*x])
+                    .unwrap()
+                    .return_value
+                    .unwrap()
+            })
             .collect();
         assert_eq!(before, after);
     }

@@ -33,10 +33,7 @@ impl Pass for LowerSwitch {
 
     fn run(&self, module: &mut Module) -> Result<(), PassError> {
         for function in &mut module.functions {
-            loop {
-                let Some(block) = find_switch(function) else {
-                    break;
-                };
+            while let Some(block) = find_switch(function) {
                 lower_one(function, block);
             }
         }
@@ -164,10 +161,7 @@ mod tests {
         m.add_function(b.finish());
         LowerSwitch::new().run(&mut m).expect("runs");
         verify::verify_module(&m).expect("valid");
-        assert_eq!(
-            interp::run(&m, "f", &[3]).unwrap().return_value,
-            Some(7)
-        );
+        assert_eq!(interp::run(&m, "f", &[3]).unwrap().return_value, Some(7));
         let f = m.function("f").expect("present");
         assert!(matches!(
             f.block(f.entry()).terminator,

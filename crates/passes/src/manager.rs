@@ -9,6 +9,15 @@ pub trait Pass {
     /// A short, stable, kebab-case name used in diagnostics and reports.
     fn name(&self) -> &'static str;
 
+    /// A stable identity string covering the pass's *configuration* as well
+    /// as its name, used by build caches to tell differently-parameterised
+    /// instances of the same pass apart. Passes that carry configuration
+    /// should override this; the default is the bare name, which makes two
+    /// differently-configured instances indistinguishable to a cache.
+    fn fingerprint(&self) -> String {
+        self.name().to_string()
+    }
+
     /// Applies the transformation to the module.
     ///
     /// # Errors

@@ -232,7 +232,10 @@ mod tests {
         let f = m.function("f").expect("present");
         let defs = value_definitions(f);
         assert!(defs.contains_key(&mixed));
-        assert!(!defs.contains_key(&ValueId(0)), "parameters have no def site");
+        assert!(
+            !defs.contains_key(&ValueId(0)),
+            "parameters have no def site"
+        );
         let uses = value_use_counts(f);
         assert_eq!(uses.get(&mixed), Some(&1));
     }

@@ -31,8 +31,8 @@ pub mod sha256;
 mod workloads;
 
 pub use workloads::{
-    bootloader_module, integer_compare_module, memcmp_module, password_check_module,
-    BootImage, BOOT_FAIL, BOOT_OK, GRANT, DENY,
+    bootloader_module, integer_compare_module, memcmp_module, password_check_module, BootImage,
+    BOOT_FAIL, BOOT_OK, DENY, GRANT,
 };
 
 #[cfg(test)]

@@ -347,7 +347,7 @@ pub fn add_sha256_blocks(module: &mut Module) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use secbranch_ir::interp::{Interpreter, InterpOptions};
+    use secbranch_ir::interp::{InterpOptions, Interpreter};
     use secbranch_ir::verify;
 
     #[test]

@@ -190,7 +190,11 @@ impl BootImage {
 pub fn bootloader_module(image: &BootImage) -> Module {
     let mut m = Module::new();
     m.add_global("boot_image", image.padded.clone(), true);
-    m.add_global("boot_expected_digest", image.expected_digest.to_vec(), false);
+    m.add_global(
+        "boot_expected_digest",
+        image.expected_digest.to_vec(),
+        false,
+    );
     m.add_global("boot_computed_digest", vec![0; 32], true);
     sha256::add_sha256_blocks(&mut m);
     add_memcmp_secure(&mut m);
@@ -220,7 +224,7 @@ pub fn bootloader_module(image: &BootImage) -> Module {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use secbranch_ir::interp::{Interpreter, InterpOptions};
+    use secbranch_ir::interp::{InterpOptions, Interpreter};
 
     #[test]
     fn integer_compare_semantics() {
@@ -243,7 +247,10 @@ mod tests {
     fn memcmp_detects_any_single_byte_difference() {
         let m = memcmp_module(32);
         let mut interp = Interpreter::new(&m, InterpOptions::default());
-        assert_eq!(interp.call("memcmp_bench", &[]).unwrap().return_value, Some(1));
+        assert_eq!(
+            interp.call("memcmp_bench", &[]).unwrap().return_value,
+            Some(1)
+        );
 
         for position in [0u32, 1, 15, 31] {
             let mut interp = Interpreter::new(&m, InterpOptions::default());

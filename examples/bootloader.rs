@@ -4,14 +4,19 @@
 //! Run with `cargo run --release --example bootloader`.
 
 use secbranch::programs::{bootloader_module, BootImage, BOOT_FAIL, BOOT_OK};
-use secbranch::{build, measure, ProtectionVariant};
+use secbranch::{Pipeline, ProtectionVariant};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let image = BootImage::generate(4096, 2018);
     let module = bootloader_module(&image);
 
-    let baseline = measure(&module, ProtectionVariant::CfiOnly, "bootloader", &[])?;
-    let prototype = measure(&module, ProtectionVariant::AnCode, "bootloader", &[])?;
+    let baseline = Pipeline::for_variant(ProtectionVariant::CfiOnly)
+        .build(&module)?
+        .measure("bootloader", &[])?;
+    // One compilation of the prototype serves the measurement AND the
+    // tampering experiment below.
+    let artifact = Pipeline::for_variant(ProtectionVariant::AnCode).build(&module)?;
+    let prototype = artifact.measure("bootloader", &[])?;
     assert_eq!(baseline.result.return_value, BOOT_OK);
     assert_eq!(prototype.result.return_value, BOOT_OK);
 
@@ -28,14 +33,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         prototype.runtime_overhead_percent(&baseline)
     );
 
-    // A tampered image must be rejected.
-    let compiled = build(&module, ProtectionVariant::AnCode)?;
-    let image_addr = compiled.global_address("boot_image").expect("global");
-    let mut sim = compiled.into_simulator(1 << 20);
+    // A tampered image must be rejected — same artifact, no recompilation.
+    let image_addr = artifact.global_address("boot_image").expect("global");
+    let mut sim = artifact.simulator();
     let mut byte = sim.machine().read_bytes(image_addr + 100, 1)[0];
     byte ^= 0x01;
     sim.machine_mut().write_bytes(image_addr + 100, &[byte]);
-    let tampered = sim.call("bootloader", &[], 500_000_000)?;
+    let tampered = sim.call("bootloader", &[], artifact.sim().max_steps)?;
     println!(
         "  tampered image -> {:#x} (BOOT_FAIL = {BOOT_FAIL:#x}), CFI clean: {}",
         tampered.return_value,

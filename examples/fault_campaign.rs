@@ -1,12 +1,13 @@
 //! Fault-injection campaigns: the arithmetic-level condition-value campaign
-//! of Section VI and an instruction-skip sweep on the compiled workload.
+//! of Section VI and an instruction-skip sweep run directly on compiled
+//! `Artifact`s — one compilation per variant, no rebuilds between campaigns.
 //!
 //! Run with `cargo run --release --example fault_campaign`.
 
 use secbranch::ancode::{Parameters, Predicate};
-use secbranch::fault::{ConditionCampaign, InstructionSkipSweep};
+use secbranch::fault::ConditionCampaign;
 use secbranch::programs::integer_compare_module;
-use secbranch::{build, ProtectionVariant};
+use secbranch::{Pipeline, ProtectionVariant};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Arithmetic-level campaign over the encoded condition computation.
@@ -22,13 +23,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
 
-    // 2. Instruction-skip sweep on the compiled, protected integer compare.
+    // 2. Instruction-skip sweep on the compiled integer compare: the variant
+    // is compiled once into an artifact, and the whole sweep (one faulted
+    // execution per dynamic instruction) runs on that artifact.
     let module = integer_compare_module();
-    let sweep = InstructionSkipSweep::new("integer_compare", &[41, 999], 1_000_000);
     println!("\nsingle-instruction-skip sweep (integer compare, unequal inputs):");
     for variant in [ProtectionVariant::Unprotected, ProtectionVariant::AnCode] {
-        let sim = build(&module, variant)?.into_simulator(1 << 20);
-        let report = sweep.run(&sim)?;
+        let artifact = Pipeline::for_variant(variant)
+            .with_max_steps(1_000_000)
+            .build(&module)?;
+        let report = artifact.skip_sweep("integer_compare", &[41, 999])?;
         println!(
             "  {:<12} injections {:>3}: masked {:>3}, detected {:>3}, crashed {:>3}, successful attacks {:>3}",
             variant.label(),

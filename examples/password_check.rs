@@ -1,44 +1,73 @@
 //! The password-check scenario: a secure memcmp feeding a protected
-//! grant/deny decision, compared across the protection variants.
+//! grant/deny decision, compared across the protection variants with one
+//! `Session` matrix call.
 //!
 //! Run with `cargo run --example password_check`.
 
 use secbranch::programs::{password_check_module, DENY, GRANT};
-use secbranch::{build, measure, ProtectionVariant};
+use secbranch::{Pipeline, ProtectionVariant, Session, Workload};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let module = password_check_module(16);
 
     println!("password check with a 16-byte secret\n");
-    for variant in [
+    let pipelines: Vec<Pipeline> = [
         ProtectionVariant::Unprotected,
         ProtectionVariant::CfiOnly,
         ProtectionVariant::Duplication(6),
         ProtectionVariant::AnCode,
-    ] {
-        let m = measure(&module, variant, "password_check", &[])?;
-        assert_eq!(m.result.return_value, GRANT);
+    ]
+    .iter()
+    .map(|v| Pipeline::for_variant(*v))
+    .collect();
+    let workloads = [Workload::new(
+        "password",
+        module.clone(),
+        "password_check",
+        &[],
+    )];
+
+    let mut session = Session::new();
+    let report = session.run_matrix(&workloads, &pipelines)?;
+    for cell in &report.cells {
+        assert_eq!(cell.measurement.result.return_value, GRANT);
         println!(
             "{:<16} code {:>6} B, {:>6} cycles, CFI checks {}, violations {}",
-            m.variant_label,
-            m.code_size_bytes,
-            m.result.cycles,
-            m.result.cfi_checks,
-            m.result.cfi_violations
+            cell.pipeline,
+            cell.measurement.code_size_bytes,
+            cell.measurement.result.cycles,
+            cell.measurement.result.cfi_checks,
+            cell.measurement.result.cfi_violations
         );
     }
 
     // Tampering with the entered password in guest memory flips the decision
     // to DENY — and the protected variant reaches it with a clean CFI state.
-    let compiled = build(&module, ProtectionVariant::AnCode)?;
-    let entered = compiled
+    // The session already compiled the prototype, so this artifact request is
+    // a cache hit, not a rebuild.
+    let builds_before = session.builds();
+    let artifact = session.artifact(
+        "password",
+        &module,
+        &Pipeline::for_variant(ProtectionVariant::AnCode),
+    )?;
+    assert_eq!(
+        session.builds(),
+        builds_before,
+        "artifact came from the cache"
+    );
+    let entered = artifact
         .global_address("password_entered")
         .expect("global exists");
-    let mut sim = compiled.into_simulator(1 << 20);
+    let mut sim = artifact.simulator();
     sim.machine_mut().write_bytes(entered, b"wrong password!!");
     let result = sim.call("password_check", &[], 10_000_000)?;
-    println!("\ntampered password -> {:#x} (DENY = {:#x}), CFI clean: {}",
-        result.return_value, DENY, result.cfi_clean());
+    println!(
+        "\ntampered password -> {:#x} (DENY = {:#x}), CFI clean: {}",
+        result.return_value,
+        DENY,
+        result.cfi_clean()
+    );
     assert_eq!(result.return_value, DENY);
     Ok(())
 }

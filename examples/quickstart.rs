@@ -5,7 +5,7 @@
 
 use secbranch::ir::builder::FunctionBuilder;
 use secbranch::ir::{Module, Predicate};
-use secbranch::{measure, ProtectionVariant};
+use secbranch::{Pipeline, ProtectionVariant};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A tiny security-critical function: unlock(entered_pin, stored_pin).
@@ -22,21 +22,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut module = Module::new();
     module.add_function(b.finish());
 
-    println!("IR before protection:\n{}", secbranch::ir::printer::print_module(&module));
+    println!(
+        "IR before protection:\n{}",
+        secbranch::ir::printer::print_module(&module)
+    );
 
     for variant in [
         ProtectionVariant::CfiOnly,
         ProtectionVariant::Duplication(6),
         ProtectionVariant::AnCode,
     ] {
-        let ok = measure(&module, variant, "unlock", &[1234, 1234])?;
-        let bad = measure(&module, variant, "unlock", &[1111, 1234])?;
+        // One compilation per variant; both PIN checks run on the same artifact.
+        let artifact = Pipeline::for_variant(variant).build(&module)?;
+        let ok = artifact.measure("unlock", &[1234, 1234])?;
+        let bad = artifact.run("unlock", &[1111, 1234])?;
         println!(
             "{:<16} code {:>5} B, correct PIN -> {}, wrong PIN -> {}, cycles {:>4}, CFI clean: {}",
             ok.variant_label,
             ok.code_size_bytes,
             ok.result.return_value,
-            bad.result.return_value,
+            bad.return_value,
             ok.result.cycles,
             ok.result.cfi_clean()
         );

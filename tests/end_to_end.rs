@@ -9,11 +9,12 @@ use secbranch::programs::{
     bootloader_module, integer_compare_module, memcmp_module, password_check_module, BootImage,
     BOOT_OK, GRANT,
 };
-use secbranch::{build, measure, ProtectionVariant};
+use secbranch::{build, Pipeline, ProtectionVariant, Session, Workload};
 
 /// The encoded-comparison arithmetic agrees across its three implementations:
 /// the `secbranch-ancode` reference, the IR interpreter's `enccmp`, and the
-/// code generated for the ARMv7-M simulator.
+/// code generated for the ARMv7-M simulator. (Also exercises the legacy
+/// `build` wrapper, which must keep compiling unchanged.)
 #[test]
 fn encoded_compare_implementations_agree() {
     use secbranch::ir::builder::FunctionBuilder;
@@ -23,9 +24,21 @@ fn encoded_compare_implementations_agree() {
     let code = params.code();
     let pairs = [(41u32, 1000u32), (1000, 41), (500, 500), (0, 63_000)];
     for (ir_pred, an_pred, c) in [
-        (IrPredicate::Ult, compare::Predicate::Ult, params.ordering_constant()),
-        (IrPredicate::Eq, compare::Predicate::Eq, params.equality_constant()),
-        (IrPredicate::Uge, compare::Predicate::Uge, params.ordering_constant()),
+        (
+            IrPredicate::Ult,
+            compare::Predicate::Ult,
+            params.ordering_constant(),
+        ),
+        (
+            IrPredicate::Eq,
+            compare::Predicate::Eq,
+            params.equality_constant(),
+        ),
+        (
+            IrPredicate::Uge,
+            compare::Predicate::Uge,
+            params.ordering_constant(),
+        ),
     ] {
         for (x, y) in pairs {
             let reference = compare::encoded_compare(
@@ -46,44 +59,76 @@ fn encoded_compare_implementations_agree() {
             let interp_value = interp::run(&m, "enc", &[x, y]).expect("runs").return_value;
             assert_eq!(interp_value, Some(reference), "interp {x} {ir_pred:?} {y}");
 
-            // Generated ARMv7-M code.
+            // Generated ARMv7-M code, through the legacy free-function path.
             let compiled = build(&m, ProtectionVariant::Unprotected).expect("compiles");
             let mut sim = compiled.into_simulator(64 * 1024);
-            let sim_value = sim.call("enc", &[x, y], 100_000).expect("runs").return_value;
+            let sim_value = sim
+                .call("enc", &[x, y], 100_000)
+                .expect("runs")
+                .return_value;
             assert_eq!(sim_value, reference, "simulator {x} {ir_pred:?} {y}");
         }
     }
 }
 
 /// Every protection variant preserves the functional behaviour of every
-/// workload, and the fault-free CFI state stays clean.
+/// workload, and the fault-free CFI state stays clean. One `Session` builds
+/// each (workload, variant) cell exactly once; the second execution of the
+/// integer-compare artifact reuses the cached build.
 #[test]
 fn all_variants_preserve_workload_semantics() {
-    let variants = [
+    let pipelines: Vec<Pipeline> = [
         ProtectionVariant::Unprotected,
         ProtectionVariant::CfiOnly,
         ProtectionVariant::Duplication(6),
         ProtectionVariant::AnCode,
-    ];
+    ]
+    .iter()
+    .map(|v| Pipeline::for_variant(*v))
+    .collect();
 
     let integer = integer_compare_module();
-    let memcmp = memcmp_module(32);
-    let password = password_check_module(12);
-    for variant in variants {
-        let eq = measure(&integer, variant, "integer_compare", &[7, 7]).expect("runs");
-        assert_eq!(eq.result.return_value, 1, "{variant:?}");
-        let ne = measure(&integer, variant, "integer_compare", &[7, 9]).expect("runs");
-        assert_eq!(ne.result.return_value, 0, "{variant:?}");
-        let mc = measure(&memcmp, variant, "memcmp_bench", &[]).expect("runs");
-        assert_eq!(mc.result.return_value, 1, "{variant:?}");
-        let pw = measure(&password, variant, "password_check", &[]).expect("runs");
-        assert_eq!(pw.result.return_value, GRANT, "{variant:?}");
-        if variant != ProtectionVariant::Unprotected {
-            for m in [&eq, &ne, &mc, &pw] {
-                assert_eq!(m.result.cfi_violations, 0, "{variant:?} must stay CFI-clean");
-            }
+    let workloads = [
+        Workload::new("integer eq", integer.clone(), "integer_compare", &[7, 7]),
+        Workload::new("memcmp", memcmp_module(32), "memcmp_bench", &[]),
+        Workload::new("password", password_check_module(12), "password_check", &[]),
+    ];
+
+    let mut session = Session::new();
+    let report = session
+        .run_matrix(&workloads, &pipelines)
+        .expect("matrix runs");
+    assert_eq!(session.builds(), 12, "one compilation per cell");
+
+    for cell in &report.cells {
+        let expected = match cell.workload.as_str() {
+            "integer eq" | "memcmp" => 1,
+            "password" => GRANT,
+            other => panic!("unexpected workload {other}"),
+        };
+        assert_eq!(
+            cell.measurement.result.return_value, expected,
+            "{} under {}",
+            cell.workload, cell.pipeline
+        );
+        if cell.pipeline != "unprotected" {
+            assert_eq!(
+                cell.measurement.result.cfi_violations, 0,
+                "{} under {} must stay CFI-clean",
+                cell.workload, cell.pipeline
+            );
         }
     }
+
+    // The unequal-input check runs on the cached artifacts: no new builds.
+    for pipeline in &pipelines {
+        let artifact = session
+            .artifact("integer eq", &integer, pipeline)
+            .expect("cached artifact");
+        let ne = artifact.run("integer_compare", &[7, 9]).expect("runs");
+        assert_eq!(ne.return_value, 0, "{}", pipeline.label());
+    }
+    assert_eq!(session.builds(), 12, "re-use, not re-compilation");
 }
 
 /// The interpreter and the simulator agree on the bootloader macro-benchmark,
@@ -98,25 +143,41 @@ fn bootloader_end_to_end_shape_matches_the_paper() {
     let interp_result = interp::run(&module, "bootloader", &[]).expect("runs");
     assert_eq!(interp_result.return_value, Some(BOOT_OK));
 
-    let baseline = measure(&module, ProtectionVariant::CfiOnly, "bootloader", &[]).expect("runs");
-    let prototype = measure(&module, ProtectionVariant::AnCode, "bootloader", &[]).expect("runs");
-    assert_eq!(baseline.result.return_value, BOOT_OK);
-    assert_eq!(prototype.result.return_value, BOOT_OK);
-    assert_eq!(prototype.result.cfi_violations, 0);
+    let mut session = Session::new();
+    let workloads = [Workload::new("bootloader", module, "bootloader", &[])];
+    let pipelines = [
+        Pipeline::for_variant(ProtectionVariant::CfiOnly),
+        Pipeline::for_variant(ProtectionVariant::AnCode),
+    ];
+    let report = session
+        .run_matrix(&workloads, &pipelines)
+        .expect("matrix runs");
 
-    let size_overhead = prototype.size_overhead_percent(&baseline);
-    let runtime_overhead = prototype.runtime_overhead_percent(&baseline);
+    let baseline = report.cell("bootloader", "cfi").expect("baseline cell");
+    let prototype = report
+        .cell("bootloader", "prototype")
+        .expect("prototype cell");
+    assert_eq!(baseline.measurement.result.return_value, BOOT_OK);
+    assert_eq!(prototype.measurement.result.return_value, BOOT_OK);
+    assert_eq!(prototype.measurement.result.cfi_violations, 0);
+    assert_eq!(
+        baseline.size_overhead_percent, None,
+        "baseline has no overhead"
+    );
+
+    let size_overhead = prototype.size_overhead_percent.expect("vs baseline");
+    let runtime_overhead = prototype.runtime_overhead_percent.expect("vs baseline");
     assert!(
         size_overhead > 0.0 && size_overhead < 25.0,
         "bootloader size overhead should be small, got {size_overhead:.2}%"
     );
     assert!(
-        runtime_overhead >= 0.0 && runtime_overhead < 5.0,
+        (0.0..5.0).contains(&runtime_overhead),
         "bootloader runtime overhead should be negligible, got {runtime_overhead:.3}%"
     );
 }
 
-/// The micro-benchmark shape of Table III: the prototype's code-size overhead
+/// The micro-benchmark shape of Table III: the prototype's runtime overhead
 /// over the CFI baseline stays below the duplication baseline's on the
 /// memcmp workload (the paper reports 306 % vs 300 % absolute size but a
 /// lower runtime, and for integer compare a clear win; our naive register
@@ -124,16 +185,31 @@ fn bootloader_end_to_end_shape_matches_the_paper() {
 /// is preserved).
 #[test]
 fn prototype_runtime_beats_duplication_on_memcmp() {
-    let module = memcmp_module(128);
-    let baseline = measure(&module, ProtectionVariant::CfiOnly, "memcmp_bench", &[]).expect("runs");
-    let duplication =
-        measure(&module, ProtectionVariant::Duplication(6), "memcmp_bench", &[]).expect("runs");
-    let prototype = measure(&module, ProtectionVariant::AnCode, "memcmp_bench", &[]).expect("runs");
+    let mut session = Session::new();
+    let workloads = [Workload::new(
+        "memcmp",
+        memcmp_module(128),
+        "memcmp_bench",
+        &[],
+    )];
+    let pipelines: Vec<Pipeline> = ProtectionVariant::TABLE_THREE
+        .iter()
+        .map(|v| Pipeline::for_variant(*v))
+        .collect();
+    let report = session
+        .run_matrix(&workloads, &pipelines)
+        .expect("matrix runs");
+
+    let duplication = report
+        .cell("memcmp", "duplication(x6)")
+        .and_then(|c| c.runtime_overhead_percent)
+        .expect("duplication cell");
+    let prototype = report
+        .cell("memcmp", "prototype")
+        .and_then(|c| c.runtime_overhead_percent)
+        .expect("prototype cell");
     assert!(
-        prototype.runtime_overhead_percent(&baseline)
-            < duplication.runtime_overhead_percent(&baseline),
-        "prototype {:.1}% vs duplication {:.1}%",
-        prototype.runtime_overhead_percent(&baseline),
-        duplication.runtime_overhead_percent(&baseline)
+        prototype < duplication,
+        "prototype {prototype:.1}% vs duplication {duplication:.1}%"
     );
 }

@@ -1,0 +1,275 @@
+//! The acceptance scenario of the `Pipeline`/`Session` redesign: a single
+//! `Session` call reproduces the Table III matrix with each module compiled
+//! exactly once per pipeline fingerprint, and artifacts feed repeated
+//! executions and fault campaigns without recompiling.
+
+use secbranch::programs::{
+    bootloader_module, integer_compare_module, memcmp_module, password_check_module, BootImage,
+    BOOT_OK, GRANT,
+};
+use secbranch::{Pipeline, ProtectionVariant, Session, Workload};
+
+fn table_three_workloads() -> Vec<Workload> {
+    let image = BootImage::generate(512, 7);
+    vec![
+        Workload::new(
+            "integer compare",
+            integer_compare_module(),
+            "integer_compare",
+            &[1234, 1234],
+        ),
+        Workload::new("memcmp", memcmp_module(32), "memcmp_bench", &[]),
+        Workload::new("password", password_check_module(8), "password_check", &[]),
+        Workload::new("bootloader", bootloader_module(&image), "bootloader", &[]),
+    ]
+}
+
+/// One `run_matrix` call covers 3 variants × 4 workloads with exactly one
+/// compilation per cell, and re-running the matrix (or measuring again
+/// through the same session) compiles nothing.
+#[test]
+fn table_three_matrix_compiles_each_module_once_per_fingerprint() {
+    let workloads = table_three_workloads();
+    let pipelines: Vec<Pipeline> = ProtectionVariant::TABLE_THREE
+        .iter()
+        .map(|v| Pipeline::for_variant(*v))
+        .collect();
+
+    let mut session = Session::new();
+    let report = session
+        .run_matrix(&workloads, &pipelines)
+        .expect("matrix runs");
+
+    assert_eq!(report.cells.len(), 12);
+    assert_eq!(report.workloads.len(), 4);
+    assert_eq!(
+        report.pipelines,
+        vec!["cfi", "duplication(x6)", "prototype"]
+    );
+    assert_eq!(
+        session.builds(),
+        12,
+        "each module × fingerprint compiled exactly once"
+    );
+    assert_eq!(session.cache_hits(), 0);
+
+    // Semantic spot checks across the matrix.
+    for pipeline in &report.pipelines {
+        assert_eq!(
+            report
+                .cell("integer compare", pipeline)
+                .expect("cell")
+                .measurement
+                .result
+                .return_value,
+            1
+        );
+        assert_eq!(
+            report
+                .cell("password", pipeline)
+                .expect("cell")
+                .measurement
+                .result
+                .return_value,
+            GRANT
+        );
+        assert_eq!(
+            report
+                .cell("bootloader", pipeline)
+                .expect("cell")
+                .measurement
+                .result
+                .return_value,
+            BOOT_OK
+        );
+    }
+
+    // The full matrix again: 12 cache hits, zero new builds.
+    let again = session
+        .run_matrix(&workloads, &pipelines)
+        .expect("matrix runs");
+    assert_eq!(session.builds(), 12, "second matrix run compiles nothing");
+    assert_eq!(session.cache_hits(), 12);
+    assert_eq!(report, again, "cached matrix is bit-identical");
+}
+
+/// Pipelines with equal fingerprints share one cache entry even when their
+/// labels differ; pipelines with different configurations do not.
+#[test]
+fn cache_is_keyed_by_fingerprint_not_by_label() {
+    let workloads = [Workload::new(
+        "integer compare",
+        integer_compare_module(),
+        "integer_compare",
+        &[5, 5],
+    )];
+    let pipelines = [
+        Pipeline::for_variant(ProtectionVariant::CfiOnly),
+        Pipeline::for_variant(ProtectionVariant::CfiOnly).with_label("cfi again"),
+        Pipeline::for_variant(ProtectionVariant::AnCode),
+    ];
+
+    let mut session = Session::new();
+    let report = session
+        .run_matrix(&workloads, &pipelines)
+        .expect("matrix runs");
+    assert_eq!(report.cells.len(), 3);
+    assert_eq!(
+        session.builds(),
+        2,
+        "identical fingerprints share one compilation"
+    );
+    assert_eq!(session.cache_hits(), 1);
+    // Both labels appear in the report even though one build served them.
+    assert!(report.cell("integer compare", "cfi").is_some());
+    assert!(report.cell("integer compare", "cfi again").is_some());
+}
+
+/// Two pipelines with the *same* label get disambiguated in the report, so
+/// label-keyed cell lookups never silently return the wrong column.
+#[test]
+fn duplicate_labels_are_disambiguated_in_the_report() {
+    let workloads = [Workload::new(
+        "integer compare",
+        integer_compare_module(),
+        "integer_compare",
+        &[5, 5],
+    )];
+    // `prototype` and its alias parse to the same variant; passing both on
+    // the table3 CLI produces two identically-labelled pipelines.
+    let pipelines = [
+        Pipeline::for_variant(ProtectionVariant::CfiOnly),
+        Pipeline::for_variant(ProtectionVariant::AnCode),
+        Pipeline::for_variant(ProtectionVariant::AnCode),
+    ];
+    let mut session = Session::new();
+    let report = session
+        .run_matrix(&workloads, &pipelines)
+        .expect("matrix runs");
+    assert_eq!(report.pipelines, vec!["cfi", "prototype", "prototype (2)"]);
+    let first = report.cell("integer compare", "prototype").expect("cell");
+    let second = report
+        .cell("integer compare", "prototype (2)")
+        .expect("cell");
+    assert!(first.size_overhead_percent.is_some());
+    assert_eq!(
+        first.measurement.result, second.measurement.result,
+        "same fingerprint, same artifact, same numbers"
+    );
+    assert_eq!(session.builds(), 2, "duplicates still share the cache");
+}
+
+/// The cache keys on module *content*, not just the caller-chosen name: two
+/// different modules sharing a name are compiled (and measured) separately.
+#[test]
+fn cache_distinguishes_same_named_modules_by_content() {
+    let pipelines = [Pipeline::for_variant(ProtectionVariant::CfiOnly)];
+    let small = Workload::new("memcmp", memcmp_module(16), "memcmp_bench", &[]);
+    let large = Workload::new("memcmp", memcmp_module(64), "memcmp_bench", &[]);
+
+    let mut session = Session::new();
+    let a = session.measure(&small, &pipelines[0]).expect("runs");
+    let b = session.measure(&large, &pipelines[0]).expect("runs");
+    assert_eq!(
+        session.builds(),
+        2,
+        "same name, different content: two builds"
+    );
+    assert!(
+        b.result.cycles > a.result.cycles,
+        "the 64-element memcmp must not be served the 16-element artifact"
+    );
+    // Same name AND same content still hits the cache.
+    session.measure(&small, &pipelines[0]).expect("runs");
+    assert_eq!(session.builds(), 2);
+    assert_eq!(session.cache_hits(), 1);
+
+    // In a matrix, the duplicate workload name is disambiguated so both
+    // rows stay addressable.
+    let report = session
+        .run_matrix(&[small, large], &pipelines)
+        .expect("matrix runs");
+    assert_eq!(report.workloads, vec!["memcmp", "memcmp (2)"]);
+    let small_cell = report.cell("memcmp", "cfi").expect("cell");
+    let large_cell = report.cell("memcmp (2)", "cfi").expect("cell");
+    assert!(
+        large_cell.measurement.result.cycles > small_cell.measurement.result.cycles,
+        "each row reports its own module"
+    );
+}
+
+/// Label disambiguation never collides with a suffix a pipeline carries as
+/// its literal label.
+#[test]
+fn label_disambiguation_respects_literal_suffix_labels() {
+    let workloads = [Workload::new(
+        "integer compare",
+        integer_compare_module(),
+        "integer_compare",
+        &[5, 5],
+    )];
+    let pipelines = [
+        Pipeline::for_variant(ProtectionVariant::CfiOnly).with_label("x"),
+        Pipeline::for_variant(ProtectionVariant::AnCode).with_label("x"),
+        Pipeline::for_variant(ProtectionVariant::Duplication(6)).with_label("x (2)"),
+    ];
+    let mut session = Session::new();
+    let report = session
+        .run_matrix(&workloads, &pipelines)
+        .expect("matrix runs");
+    assert_eq!(report.pipelines, vec!["x", "x (3)", "x (2)"]);
+    // Every column resolves to its own cell.
+    let sizes: Vec<u32> = report
+        .pipelines
+        .iter()
+        .map(|p| {
+            report
+                .cell("integer compare", p)
+                .expect("cell")
+                .measurement
+                .code_size_bytes
+        })
+        .collect();
+    assert_eq!(sizes.len(), 3);
+    assert_ne!(sizes[0], sizes[1], "cfi vs prototype differ");
+    assert_ne!(sizes[1], sizes[2], "prototype vs duplication differ");
+}
+
+/// The structured report serialises to JSON with every cell present.
+#[test]
+fn report_serialises_to_json() {
+    let workloads = [Workload::new(
+        "integer compare",
+        integer_compare_module(),
+        "integer_compare",
+        &[9, 9],
+    )];
+    let pipelines = [
+        Pipeline::for_variant(ProtectionVariant::CfiOnly),
+        Pipeline::for_variant(ProtectionVariant::AnCode),
+    ];
+    let mut session = Session::new();
+    let report = session
+        .run_matrix(&workloads, &pipelines)
+        .expect("matrix runs");
+
+    let json = report.to_json();
+    assert!(json.starts_with('{') && json.ends_with('}'));
+    assert!(json.contains("\"workloads\":[\"integer compare\"]"));
+    assert!(json.contains("\"pipelines\":[\"cfi\",\"prototype\"]"));
+    assert!(json.contains("\"cfi_violations\":0"));
+    assert!(
+        json.contains("\"size_overhead_percent\":null"),
+        "baseline cell"
+    );
+    assert_eq!(
+        json.matches("\"workload\":").count(),
+        2,
+        "one object per cell"
+    );
+
+    let table = report.render_table();
+    assert!(table.contains("integer compare"));
+    assert!(table.contains("size/B"));
+    assert!(table.contains("cycles"));
+}
