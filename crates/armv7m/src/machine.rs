@@ -4,7 +4,7 @@
 use secbranch_cfi::CfiMonitor;
 
 use crate::error::SimError;
-use crate::instr::Reg;
+use crate::instr::{Cond, Reg};
 
 /// Base address of the memory-mapped CFI unit.
 pub const CFI_BASE: u32 = 0xE000_0000;
@@ -66,6 +66,21 @@ impl Flags {
             z: bits >> 30 & 1 == 1,
             c: bits >> 29 & 1 == 1,
             v: bits >> 28 & 1 == 1,
+        }
+    }
+
+    /// `true` if these flags satisfy `cond` (the branch-taken decision of
+    /// `BCond`). The single home of the condition semantics, shared by the
+    /// simulator and the fault models that tamper with flags.
+    #[must_use]
+    pub fn condition_holds(&self, cond: Cond) -> bool {
+        match cond {
+            Cond::Eq => self.z,
+            Cond::Ne => !self.z,
+            Cond::Lo => !self.c,
+            Cond::Hs => self.c,
+            Cond::Hi => self.c && !self.z,
+            Cond::Ls => !self.c || self.z,
         }
     }
 }

@@ -1,9 +1,11 @@
 //! The execution engine: runs assembled programs on a [`Machine`], counts
 //! cycles and retired instructions, and exposes fault-injection hooks.
 
+use std::sync::Arc;
+
 use crate::cycles::instruction_cycles;
 use crate::error::SimError;
-use crate::instr::{Cond, Instr, Operand2, Reg, Target};
+use crate::instr::{Instr, Operand2, Reg, Target};
 use crate::machine::{Machine, RETURN_MAGIC};
 use crate::program::Program;
 
@@ -70,9 +72,15 @@ impl FaultHook for NoFaults {
 }
 
 /// A simulator instance: an assembled program plus machine state.
+///
+/// The program is held behind an [`Arc`] and shared between simulators:
+/// cloning a simulator (or constructing one via [`Simulator::from_shared`])
+/// allocates only a fresh [`Machine`], never a copy of the code. This is
+/// what makes the fault campaigns — millions of injections, each on a
+/// pristine simulator — cheap.
 #[derive(Debug, Clone)]
 pub struct Simulator {
-    program: Program,
+    program: Arc<Program>,
     machine: Machine,
 }
 
@@ -80,6 +88,13 @@ impl Simulator {
     /// Creates a simulator with `memory_size` bytes of RAM.
     #[must_use]
     pub fn new(program: Program, memory_size: u32) -> Self {
+        Simulator::from_shared(Arc::new(program), memory_size)
+    }
+
+    /// Creates a simulator over an already-shared program: only the
+    /// [`Machine`] is allocated, the code is reference-counted.
+    #[must_use]
+    pub fn from_shared(program: Arc<Program>, memory_size: u32) -> Self {
         Simulator {
             program,
             machine: Machine::new(memory_size),
@@ -89,6 +104,13 @@ impl Simulator {
     /// The program being executed.
     #[must_use]
     pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// The shared handle to the program (for building sibling simulators
+    /// without copying the code).
+    #[must_use]
+    pub fn shared_program(&self) -> &Arc<Program> {
         &self.program
     }
 
@@ -250,7 +272,7 @@ impl Simulator {
                     branch_taken = true;
                 }
                 Instr::BCond { cond, target } => {
-                    if self.condition_holds(*cond) {
+                    if self.machine.flags.condition_holds(*cond) {
                         next_pc = resolve(target)? as u64;
                         branch_taken = true;
                     }
@@ -343,18 +365,6 @@ impl Simulator {
             Operand2::Imm(i) => i,
         }
     }
-
-    fn condition_holds(&self, cond: Cond) -> bool {
-        let f = self.machine.flags;
-        match cond {
-            Cond::Eq => f.z,
-            Cond::Ne => !f.z,
-            Cond::Lo => !f.c,
-            Cond::Hs => f.c,
-            Cond::Hi => f.c && !f.z,
-            Cond::Ls => !f.c || f.z,
-        }
-    }
 }
 
 fn resolve(target: &Target) -> Result<usize, SimError> {
@@ -364,6 +374,7 @@ fn resolve(target: &Target) -> Result<usize, SimError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::instr::Cond;
     use crate::machine::{CFI_CHECK_ADDR, CFI_UPDATE_ADDR};
     use crate::program::ProgramBuilder;
 

@@ -26,4 +26,21 @@ fn main() {
     bench("pipeline/password_check/prototype", || {
         prototype.build(&password).expect("builds")
     });
+
+    // Fresh-simulator construction from one artifact: the fault campaigns'
+    // hot path, at the campaigns' 64 KiB guest-memory configuration. With
+    // the `Arc`-shared program this allocates only a machine (plus the
+    // globals write) instead of deep-cloning the compilation; the
+    // `deep_clone` row reproduces the pre-sharing cost for comparison.
+    let artifact = prototype
+        .with_memory_size(64 * 1024)
+        .build(&memcmp)
+        .expect("builds");
+    bench("artifact/memcmp/fresh_simulator", || artifact.simulator());
+    bench("artifact/memcmp/fresh_simulator_deep_clone", || {
+        secbranch::armv7m::Simulator::new(
+            artifact.compiled().program.as_ref().clone(),
+            artifact.sim().memory_size,
+        )
+    });
 }

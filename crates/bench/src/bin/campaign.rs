@@ -1,0 +1,173 @@
+//! Regenerates the Section V security numbers through the general campaign
+//! engine: the historical instruction-skip sweep plus the richer attacker
+//! models (double skip, register/memory bit flips, conditional-branch
+//! inversion), as a variants × fault-models security matrix.
+//!
+//! ```console
+//! $ campaign                                  # default matrix on integer compare
+//! $ campaign unprotected prototype --models skip,branch-invert --trials 200
+//! $ campaign --workload password_check --heatmap
+//! $ campaign --json
+//! ```
+
+use std::process::exit;
+
+use secbranch::campaign::{
+    BranchInversion, CampaignRunner, DoubleInstructionSkip, FaultModel, InstructionSkip,
+    MemoryBitFlip, RegisterBitFlip,
+};
+use secbranch::programs::{integer_compare_module, memcmp_module, password_check_module};
+use secbranch::{Pipeline, ProtectionVariant, Session, Workload};
+
+fn usage(message: &str) -> ! {
+    eprintln!("{message}");
+    eprintln!(
+        "usage: campaign [variant labels...] [--models LIST] [--trials N] [--threads N] \
+         [--workload NAME] [--json] [--heatmap]"
+    );
+    eprintln!("  variant labels: unprotected cfi \"duplication(xN)\" prototype");
+    eprintln!("  --models: comma list of skip,double-skip,register-flip,memory-flip,branch-invert");
+    eprintln!("  --trials: injection budget of the sampling models (default 2000)");
+    eprintln!("  --threads: worker threads (default: available parallelism)");
+    eprintln!("  --workload: integer_compare (default), memcmp, password_check");
+    exit(2);
+}
+
+fn model_by_name(name: &str, trials: u64) -> Box<dyn FaultModel> {
+    match name {
+        "skip" => Box::new(InstructionSkip),
+        "double-skip" => Box::new(DoubleInstructionSkip {
+            max_injections: trials,
+            seed: 0x2FA17,
+        }),
+        "register-flip" => Box::new(RegisterBitFlip {
+            trials,
+            seed: 0xABCDEF,
+        }),
+        "memory-flip" => Box::new(MemoryBitFlip {
+            trials,
+            seed: 0xFEED,
+        }),
+        "branch-invert" => Box::new(BranchInversion),
+        other => usage(&format!("unknown fault model {other:?}")),
+    }
+}
+
+fn workload_by_name(name: &str) -> Workload {
+    match name {
+        "integer_compare" => Workload::new(
+            "integer compare",
+            integer_compare_module(),
+            "integer_compare",
+            &[1234, 4321],
+        ),
+        "memcmp" => Workload::new("memcmp x16", memcmp_module(16), "memcmp_bench", &[]),
+        "password_check" => Workload::new(
+            "password check",
+            password_check_module(8),
+            "password_check",
+            &[],
+        ),
+        other => usage(&format!("unknown workload {other:?}")),
+    }
+}
+
+fn main() {
+    let mut variants: Vec<ProtectionVariant> = Vec::new();
+    let mut model_list = "skip,double-skip,register-flip,memory-flip,branch-invert".to_string();
+    let mut trials: u64 = 2_000;
+    let mut threads: Option<usize> = None;
+    let mut workload_name = "integer_compare".to_string();
+    let mut json = false;
+    let mut heatmap = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value_of = |flag: &str| {
+            args.next()
+                .unwrap_or_else(|| usage(&format!("{flag} needs a value")))
+        };
+        match arg.as_str() {
+            "--models" => model_list = value_of("--models"),
+            "--trials" => {
+                trials = value_of("--trials")
+                    .parse()
+                    .unwrap_or_else(|_| usage("--trials needs an integer"));
+            }
+            "--threads" => {
+                threads = Some(
+                    value_of("--threads")
+                        .parse()
+                        .unwrap_or_else(|_| usage("--threads needs an integer")),
+                );
+            }
+            "--workload" => workload_name = value_of("--workload"),
+            "--json" => json = true,
+            "--heatmap" => heatmap = true,
+            flag if flag.starts_with("--") => usage(&format!("unknown flag {flag:?}")),
+            label => match label.parse::<ProtectionVariant>() {
+                Ok(variant) => variants.push(variant),
+                Err(e) => usage(&e.to_string()),
+            },
+        }
+    }
+    if variants.is_empty() {
+        variants = vec![
+            ProtectionVariant::Unprotected,
+            ProtectionVariant::CfiOnly,
+            ProtectionVariant::AnCode,
+        ];
+    }
+
+    let models: Vec<Box<dyn FaultModel>> = model_list
+        .split(',')
+        .filter(|s| !s.is_empty())
+        .map(|name| model_by_name(name.trim(), trials))
+        .collect();
+    let model_refs: Vec<&dyn FaultModel> = models.iter().map(AsRef::as_ref).collect();
+
+    let workloads = [workload_by_name(&workload_name)];
+    let pipelines: Vec<Pipeline> = variants
+        .iter()
+        .map(|v| {
+            Pipeline::for_variant(*v)
+                .with_memory_size(1 << 18)
+                .with_max_steps(10_000_000)
+        })
+        .collect();
+
+    let runner = threads.map_or_else(CampaignRunner::new, |n| {
+        CampaignRunner::new().with_threads(n)
+    });
+    let mut session = Session::new();
+    let report = session
+        .security_matrix_with(&runner, &workloads, &pipelines, &model_refs)
+        .unwrap_or_else(|e| {
+            eprintln!("campaign failed: {e}");
+            exit(1);
+        });
+
+    if json {
+        println!("{}", report.to_json());
+        return;
+    }
+    println!(
+        "Section V security matrix — {} worker thread(s), sampling budget {}",
+        runner.threads(),
+        trials
+    );
+    println!("(cells: escaped/injections (escape rate); skip column = the historical sweep)");
+    println!();
+    println!("{}", report.render_table());
+    if heatmap {
+        for cell in &report.cells {
+            if cell.report.counts.wrong_result_undetected > 0 {
+                println!(
+                    "--- {} / {} / {} ---",
+                    cell.workload, cell.pipeline, cell.model
+                );
+                println!("{}", cell.report.render_heatmap());
+            }
+        }
+    }
+}

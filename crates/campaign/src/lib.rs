@@ -1,0 +1,87 @@
+//! `secbranch-campaign` — a parallel, multi-model fault-campaign engine
+//! with per-location attribution.
+//!
+//! The paper's security argument (Section V) sweeps a fault space over a
+//! protected binary and counts the wrong results that escape detection.
+//! This crate generalises the repro's original two hard-coded sweeps into
+//! three orthogonal pieces:
+//!
+//! * **[`FaultModel`]** — an attacker model as data: it enumerates or
+//!   deterministically samples a fault space of [`FaultPoint`]s over a
+//!   recorded reference execution. Five models ship: single
+//!   [`InstructionSkip`], two-fault [`DoubleInstructionSkip`], Monte-Carlo
+//!   [`RegisterBitFlip`] and [`MemoryBitFlip`], and the paper's core
+//!   attacker, [`BranchInversion`] (every dynamic conditional branch forced
+//!   the wrong way).
+//! * **[`CampaignRunner`]** — executes the fault space on fresh simulators
+//!   from a [`SimulatorSource`], sharded across `std::thread` workers
+//!   (default: available parallelism), and merges outcomes in canonical
+//!   fault-space order, so reports are byte-identical regardless of the
+//!   thread count. Fresh simulators are cheap because the program is
+//!   `Arc`-shared ([`SharedModule`]); a million injections allocate a
+//!   million machines, not a million programs.
+//! * **[`CampaignReport`]** — aggregate [`OutcomeCounts`] plus per-location
+//!   attribution: which instruction each escaped fault was anchored at
+//!   ([`LocationReport`], [`EscapeRecord`]), a text heatmap and a
+//!   deterministic JSON serialisation.
+//!
+//! # Example
+//!
+//! ```
+//! use secbranch_armv7m::{Cond, Instr, Operand2, ProgramBuilder, Reg, Simulator, Target};
+//! use secbranch_campaign::{BranchInversion, CampaignRunner};
+//!
+//! # fn main() -> Result<(), secbranch_armv7m::SimError> {
+//! // max(a, b) — a single unprotected conditional branch.
+//! let mut p = ProgramBuilder::new();
+//! p.label("max");
+//! p.push(Instr::Cmp { rn: Reg::R0, op2: Operand2::Reg(Reg::R1) });
+//! p.push(Instr::BCond { cond: Cond::Hs, target: Target::label("done") });
+//! p.push(Instr::Mov { rd: Reg::R0, rm: Reg::R1 });
+//! p.label("done");
+//! p.push(Instr::Bx { rm: Reg::Lr });
+//! let simulator = Simulator::new(p.assemble()?, 4096);
+//!
+//! let report = CampaignRunner::new()
+//!     .with_threads(2)
+//!     .run(&simulator, "max", &[7, 3], 1_000, &BranchInversion)?;
+//! assert_eq!(report.counts.wrong_result_undetected, 1);
+//! println!("{}", report.render_heatmap());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod model;
+mod point;
+mod report;
+mod runner;
+
+pub use model::{
+    BranchInversion, CampaignContext, DoubleInstructionSkip, FaultModel, InstructionSkip,
+    MemoryBitFlip, ReferenceTrace, RegisterBitFlip, FLIP_REGISTERS,
+};
+pub use point::{FaultPoint, PointHook};
+pub use report::{
+    classify, json_string, rate, CampaignReport, EscapeRecord, LocationReport, Outcome,
+    OutcomeCounts,
+};
+pub use runner::{CampaignRunner, SharedModule, SimulatorSource};
+
+#[cfg(test)]
+mod crate_tests {
+    use super::*;
+
+    #[test]
+    fn public_types_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CampaignReport>();
+        assert_send_sync::<CampaignRunner>();
+        assert_send_sync::<FaultPoint>();
+        assert_send_sync::<OutcomeCounts>();
+        assert_send_sync::<InstructionSkip>();
+        assert_send_sync::<BranchInversion>();
+    }
+}

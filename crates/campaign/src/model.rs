@@ -1,0 +1,406 @@
+//! The [`FaultModel`] trait — an attacker model as an enumerable or
+//! samplable fault space — and the five shipped implementations.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use secbranch_armv7m::{ExecResult, Program, Reg};
+
+use crate::point::FaultPoint;
+
+/// The fault-free reference execution, recorded step by step: what the
+/// models enumerate their fault spaces over.
+#[derive(Debug, Clone)]
+pub struct ReferenceTrace {
+    /// The reference result.
+    pub result: ExecResult,
+    /// The instruction index executed at each dynamic step (`pcs[i]` is step
+    /// `i + 1`).
+    pub pcs: Vec<u32>,
+    /// The dynamic steps at which a conditional branch (`BCond`) executed.
+    pub conditional_steps: Vec<u64>,
+}
+
+impl ReferenceTrace {
+    /// Number of dynamic steps of the reference run.
+    #[must_use]
+    pub fn steps(&self) -> u64 {
+        self.pcs.len() as u64
+    }
+
+    /// The instruction index executed at 1-based `step`, if in range.
+    #[must_use]
+    pub fn pc_at(&self, step: u64) -> Option<usize> {
+        if step == 0 {
+            return None;
+        }
+        self.pcs.get(step as usize - 1).map(|&pc| pc as usize)
+    }
+}
+
+/// Everything a [`FaultModel`] may consult when building its fault space:
+/// the recorded reference execution, the static program, and the data layout
+/// of the target.
+#[derive(Debug, Clone, Copy)]
+pub struct CampaignContext<'a> {
+    /// The recorded reference execution.
+    pub trace: &'a ReferenceTrace,
+    /// The program under attack.
+    pub program: &'a Program,
+    /// `(address, length)` ranges of the module's globals in guest memory
+    /// (empty when the target carries no globals or the source cannot name
+    /// them).
+    pub global_regions: &'a [(u32, u32)],
+    /// Guest RAM size in bytes.
+    pub memory_size: u32,
+}
+
+/// An attacker model: a named fault space over one reference execution.
+///
+/// Implementations either *enumerate* the space exhaustively (instruction
+/// skip, branch inversion) or *sample* it deterministically from a seed
+/// (register/memory bit flips, sampled double skips). The returned order is
+/// the canonical fault-space order: the runner preserves it in reports, so
+/// the same model over the same trace always produces the same report,
+/// independent of worker-thread count.
+pub trait FaultModel: Sync {
+    /// The model's display name (stable; used in reports and matrix
+    /// columns).
+    fn name(&self) -> String;
+
+    /// Builds the fault space for one reference execution.
+    fn fault_points(&self, ctx: &CampaignContext<'_>) -> Vec<FaultPoint>;
+}
+
+/// Exhaustive single-instruction-skip model: every dynamic instruction of
+/// the reference execution is skipped once (Section II's instruction-skip
+/// attacker).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct InstructionSkip;
+
+impl FaultModel for InstructionSkip {
+    fn name(&self) -> String {
+        "skip".to_string()
+    }
+
+    fn fault_points(&self, ctx: &CampaignContext<'_>) -> Vec<FaultPoint> {
+        (1..=ctx.trace.steps())
+            .map(|step| FaultPoint::Skip { step })
+            .collect()
+    }
+}
+
+/// Two-fault instruction-skip model: pairs of distinct dynamic steps are
+/// both skipped — the attacker that defeats plain temporal duplication.
+///
+/// The full space is quadratic; when it exceeds `max_injections`, that many
+/// pairs are sampled deterministically from `seed` instead.
+#[derive(Debug, Clone, Copy)]
+pub struct DoubleInstructionSkip {
+    /// Upper bound on the number of injections before sampling kicks in.
+    pub max_injections: u64,
+    /// Seed of the deterministic sampler.
+    pub seed: u64,
+}
+
+impl Default for DoubleInstructionSkip {
+    fn default() -> Self {
+        DoubleInstructionSkip {
+            max_injections: 10_000,
+            seed: 0x2FA17,
+        }
+    }
+}
+
+impl FaultModel for DoubleInstructionSkip {
+    fn name(&self) -> String {
+        "double-skip".to_string()
+    }
+
+    fn fault_points(&self, ctx: &CampaignContext<'_>) -> Vec<FaultPoint> {
+        let n = ctx.trace.steps();
+        if n < 2 {
+            return Vec::new();
+        }
+        let full = n * (n - 1) / 2;
+        if full <= self.max_injections {
+            let mut points = Vec::with_capacity(full as usize);
+            for first in 1..=n {
+                for second in (first + 1)..=n {
+                    points.push(FaultPoint::DoubleSkip { first, second });
+                }
+            }
+            return points;
+        }
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        (0..self.max_injections)
+            .map(|_| {
+                // Uniform over unordered pairs: draw two distinct steps and
+                // sort (drawing `second` conditioned on `first` would
+                // oversample late-first pairs by up to (n-1)x).
+                loop {
+                    let a = rng.gen_range(1..=n);
+                    let b = rng.gen_range(1..=n);
+                    if a != b {
+                        break FaultPoint::DoubleSkip {
+                            first: a.min(b),
+                            second: a.max(b),
+                        };
+                    }
+                }
+            })
+            .collect()
+    }
+}
+
+/// The registers the Monte-Carlo register-flip model corrupts: the
+/// caller-saved data registers the workloads actually compute in.
+pub const FLIP_REGISTERS: [Reg; 5] = [Reg::R0, Reg::R1, Reg::R2, Reg::R3, Reg::R12];
+
+/// Monte-Carlo register-bit-flip model: `trials` injections, each flipping a
+/// random bit of a random data register at a random dynamic step.
+///
+/// The sampling order (step, then register, then bit) matches the historical
+/// `RegisterBitFlipCampaign`, so a given seed reproduces its exact numbers.
+#[derive(Debug, Clone, Copy)]
+pub struct RegisterBitFlip {
+    /// Number of injections.
+    pub trials: u64,
+    /// Seed of the deterministic sampler.
+    pub seed: u64,
+}
+
+impl FaultModel for RegisterBitFlip {
+    fn name(&self) -> String {
+        "register-flip".to_string()
+    }
+
+    fn fault_points(&self, ctx: &CampaignContext<'_>) -> Vec<FaultPoint> {
+        let n = ctx.trace.steps();
+        if n == 0 {
+            return Vec::new();
+        }
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        (0..self.trials)
+            .map(|_| {
+                let step = rng.gen_range(1..=n);
+                let reg = FLIP_REGISTERS[rng.gen_range(0..FLIP_REGISTERS.len())];
+                let bit = rng.gen_range(0..32);
+                FaultPoint::RegisterFlip { step, reg, bit }
+            })
+            .collect()
+    }
+}
+
+/// Monte-Carlo memory-bit-flip model: `trials` injections, each flipping a
+/// random bit of a random byte of the module's global data at a random
+/// dynamic step. For targets without globals the whole guest RAM (stack
+/// included) is the fault space instead.
+#[derive(Debug, Clone, Copy)]
+pub struct MemoryBitFlip {
+    /// Number of injections.
+    pub trials: u64,
+    /// Seed of the deterministic sampler.
+    pub seed: u64,
+}
+
+impl FaultModel for MemoryBitFlip {
+    fn name(&self) -> String {
+        "memory-flip".to_string()
+    }
+
+    fn fault_points(&self, ctx: &CampaignContext<'_>) -> Vec<FaultPoint> {
+        let n = ctx.trace.steps();
+        if n == 0 || ctx.memory_size == 0 {
+            return Vec::new();
+        }
+        let regions: Vec<(u32, u32)> = ctx
+            .global_regions
+            .iter()
+            .copied()
+            .filter(|&(_, len)| len > 0)
+            .collect();
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        (0..self.trials)
+            .map(|_| {
+                let step = rng.gen_range(1..=n);
+                let addr = if regions.is_empty() {
+                    rng.gen_range(0..ctx.memory_size)
+                } else {
+                    let (base, len) = regions[rng.gen_range(0..regions.len())];
+                    base + rng.gen_range(0..len)
+                };
+                let bit = rng.gen_range(0..8);
+                FaultPoint::MemoryFlip { step, addr, bit }
+            })
+            .collect()
+    }
+}
+
+/// Exhaustive conditional-branch-inversion model: every dynamic conditional
+/// branch of the reference execution is forced to the opposite direction
+/// once — the paper's core attacker, aimed directly at the branch decision.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BranchInversion;
+
+impl FaultModel for BranchInversion {
+    fn name(&self) -> String {
+        "branch-invert".to_string()
+    }
+
+    fn fault_points(&self, ctx: &CampaignContext<'_>) -> Vec<FaultPoint> {
+        ctx.trace
+            .conditional_steps
+            .iter()
+            .map(|&step| FaultPoint::BranchInvert { step })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use secbranch_armv7m::ProgramBuilder;
+
+    fn ctx_of(trace: &ReferenceTrace, program: &Program) -> CampaignContext<'static> {
+        // Leak for test brevity: contexts are tiny and tests are short-lived.
+        let trace = Box::leak(Box::new(trace.clone()));
+        let program = Box::leak(Box::new(program.clone()));
+        CampaignContext {
+            trace,
+            program,
+            global_regions: &[],
+            memory_size: 4096,
+        }
+    }
+
+    fn tiny_trace(steps: usize) -> (ReferenceTrace, Program) {
+        let program = ProgramBuilder::new().assemble().expect("assembles");
+        let trace = ReferenceTrace {
+            result: ExecResult {
+                return_value: 0,
+                cycles: steps as u64,
+                instructions: steps as u64,
+                cfi_checks: 0,
+                cfi_violations: 0,
+            },
+            pcs: (0..steps as u32).collect(),
+            conditional_steps: vec![2, 5],
+        };
+        (trace, program)
+    }
+
+    #[test]
+    fn skip_model_enumerates_every_step() {
+        let (trace, program) = tiny_trace(6);
+        let points = InstructionSkip.fault_points(&ctx_of(&trace, &program));
+        assert_eq!(points.len(), 6);
+        assert_eq!(points[0], FaultPoint::Skip { step: 1 });
+        assert_eq!(points[5], FaultPoint::Skip { step: 6 });
+    }
+
+    #[test]
+    fn double_skip_enumerates_or_samples() {
+        let (trace, program) = tiny_trace(5);
+        let ctx = ctx_of(&trace, &program);
+        let full = DoubleInstructionSkip {
+            max_injections: 100,
+            seed: 1,
+        }
+        .fault_points(&ctx);
+        assert_eq!(full.len(), 10, "5 choose 2");
+        for p in &full {
+            let FaultPoint::DoubleSkip { first, second } = p else {
+                panic!("wrong point kind");
+            };
+            assert!(first < second);
+        }
+        let sampled = DoubleInstructionSkip {
+            max_injections: 4,
+            seed: 1,
+        }
+        .fault_points(&ctx);
+        assert_eq!(sampled.len(), 4);
+        let again = DoubleInstructionSkip {
+            max_injections: 4,
+            seed: 1,
+        }
+        .fault_points(&ctx);
+        assert_eq!(sampled, again, "sampling is seed-deterministic");
+    }
+
+    #[test]
+    fn sampling_models_are_seed_deterministic_and_in_range() {
+        let (trace, program) = tiny_trace(9);
+        let ctx = ctx_of(&trace, &program);
+        let a = RegisterBitFlip {
+            trials: 50,
+            seed: 3,
+        }
+        .fault_points(&ctx);
+        let b = RegisterBitFlip {
+            trials: 50,
+            seed: 3,
+        }
+        .fault_points(&ctx);
+        assert_eq!(a, b);
+        for p in &a {
+            let FaultPoint::RegisterFlip { step, bit, .. } = p else {
+                panic!("wrong point kind");
+            };
+            assert!((1..=9).contains(step));
+            assert!(*bit < 32);
+        }
+        let mem = MemoryBitFlip {
+            trials: 50,
+            seed: 3,
+        }
+        .fault_points(&ctx);
+        for p in &mem {
+            let FaultPoint::MemoryFlip { addr, bit, .. } = p else {
+                panic!("wrong point kind");
+            };
+            assert!(*addr < 4096, "no globals: whole RAM is the space");
+            assert!(*bit < 8);
+        }
+    }
+
+    #[test]
+    fn memory_flips_prefer_global_regions() {
+        let (trace, program) = tiny_trace(4);
+        let trace = Box::leak(Box::new(trace));
+        let program = Box::leak(Box::new(program));
+        let ctx = CampaignContext {
+            trace,
+            program,
+            global_regions: &[(0x1000, 8), (0x1010, 4)],
+            memory_size: 1 << 16,
+        };
+        let points = MemoryBitFlip {
+            trials: 200,
+            seed: 9,
+        }
+        .fault_points(&ctx);
+        for p in &points {
+            let FaultPoint::MemoryFlip { addr, .. } = p else {
+                panic!("wrong point kind");
+            };
+            assert!(
+                (0x1000..0x1008).contains(addr) || (0x1010..0x1014).contains(addr),
+                "addr 0x{addr:x} outside the global regions"
+            );
+        }
+    }
+
+    #[test]
+    fn branch_inversion_targets_the_recorded_conditionals() {
+        let (trace, program) = tiny_trace(6);
+        let points = BranchInversion.fault_points(&ctx_of(&trace, &program));
+        assert_eq!(
+            points,
+            vec![
+                FaultPoint::BranchInvert { step: 2 },
+                FaultPoint::BranchInvert { step: 5 },
+            ]
+        );
+    }
+}

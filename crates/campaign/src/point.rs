@@ -1,0 +1,248 @@
+//! [`FaultPoint`]: one concrete injection of a fault space, and the
+//! [`FaultHook`] that applies it during a run.
+
+use std::fmt;
+
+use secbranch_armv7m::{FaultAction, FaultHook, Flags, Instr, Machine, Reg};
+
+/// One concrete fault injection: what to do, and at which dynamic step.
+///
+/// Fault points are *data* — a [`crate::FaultModel`] enumerates or samples
+/// them, the [`crate::CampaignRunner`] turns each into a [`FaultHook`] via
+/// [`FaultPoint::hook`] and executes it on a fresh simulator. Steps are
+/// 1-based dynamic instruction numbers of the reference execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultPoint {
+    /// Skip the instruction at dynamic step `step` (single instruction-skip
+    /// fault, Section II).
+    Skip {
+        /// The dynamic step to skip.
+        step: u64,
+    },
+    /// Skip the instructions at two distinct dynamic steps (the two-fault
+    /// attacker that defeats plain duplication).
+    DoubleSkip {
+        /// The first skipped step.
+        first: u64,
+        /// The second skipped step (> `first`).
+        second: u64,
+    },
+    /// Flip one bit of one register just before `step` executes.
+    RegisterFlip {
+        /// The dynamic step before which the flip lands.
+        step: u64,
+        /// The register to corrupt.
+        reg: Reg,
+        /// The bit index (0–31).
+        bit: u32,
+    },
+    /// Flip one bit of one memory byte just before `step` executes.
+    MemoryFlip {
+        /// The dynamic step before which the flip lands.
+        step: u64,
+        /// The byte address to corrupt.
+        addr: u32,
+        /// The bit index (0–7).
+        bit: u32,
+    },
+    /// Force the conditional branch executing at `step` to take the opposite
+    /// direction — the paper's core attacker: a precisely aimed fault on the
+    /// branch decision itself.
+    BranchInvert {
+        /// The dynamic step of the targeted `BCond` (from the reference
+        /// trace).
+        step: u64,
+    },
+}
+
+impl FaultPoint {
+    /// The dynamic step this fault is anchored at, used for per-location
+    /// attribution (for [`FaultPoint::DoubleSkip`], the first fault).
+    #[must_use]
+    pub fn anchor_step(&self) -> u64 {
+        match *self {
+            FaultPoint::Skip { step }
+            | FaultPoint::RegisterFlip { step, .. }
+            | FaultPoint::MemoryFlip { step, .. }
+            | FaultPoint::BranchInvert { step } => step,
+            FaultPoint::DoubleSkip { first, .. } => first,
+        }
+    }
+
+    /// Builds the [`FaultHook`] executing this injection.
+    #[must_use]
+    pub fn hook(&self) -> PointHook {
+        PointHook { point: *self }
+    }
+}
+
+impl fmt::Display for FaultPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            FaultPoint::Skip { step } => write!(f, "skip@{step}"),
+            FaultPoint::DoubleSkip { first, second } => {
+                write!(f, "double-skip@{first}+{second}")
+            }
+            FaultPoint::RegisterFlip { step, reg, bit } => {
+                write!(f, "flip {reg}[{bit}]@{step}")
+            }
+            FaultPoint::MemoryFlip { step, addr, bit } => {
+                write!(f, "flip mem[0x{addr:x}][{bit}]@{step}")
+            }
+            FaultPoint::BranchInvert { step } => write!(f, "invert-branch@{step}"),
+        }
+    }
+}
+
+/// The [`FaultHook`] of one [`FaultPoint`]. Stateless beyond the point
+/// itself: execution is deterministic up to the first injection, so the
+/// reference trace's step numbers identify the same instructions until
+/// then. Steps *after* the first fault count in the faulted run's own
+/// timeline — for [`FaultPoint::DoubleSkip`] the second skip lands at
+/// dynamic step `second` of the diverged execution (which may be a
+/// different instruction than the reference's, or never be reached if the
+/// first skip shortens the run); attribution anchors on the first fault for
+/// exactly this reason.
+#[derive(Debug, Clone, Copy)]
+pub struct PointHook {
+    point: FaultPoint,
+}
+
+impl FaultHook for PointHook {
+    fn before_execute(
+        &mut self,
+        step: u64,
+        _pc: usize,
+        instr: &Instr,
+        machine: &mut Machine,
+    ) -> FaultAction {
+        match self.point {
+            FaultPoint::Skip { step: s } => {
+                if step == s {
+                    return FaultAction::Skip;
+                }
+            }
+            FaultPoint::DoubleSkip { first, second } => {
+                if step == first || step == second {
+                    return FaultAction::Skip;
+                }
+            }
+            FaultPoint::RegisterFlip { step: s, reg, bit } => {
+                if step == s {
+                    machine.flip_register_bit(reg, bit);
+                }
+            }
+            FaultPoint::MemoryFlip { step: s, addr, bit } => {
+                if step == s {
+                    // Out-of-range addresses cannot happen for points built
+                    // from the runner's context; ignore rather than crash the
+                    // campaign if a hand-built point is off.
+                    let _ = machine.flip_memory_bit(addr, bit);
+                }
+            }
+            FaultPoint::BranchInvert { step: s } => {
+                if step == s {
+                    if let Instr::BCond { cond, .. } = instr {
+                        let inverted = !machine.flags.condition_holds(*cond);
+                        force_condition(&mut machine.flags, *cond, inverted);
+                    }
+                }
+            }
+        }
+        FaultAction::Continue
+    }
+}
+
+/// Mutates `flags` minimally so that `cond` evaluates to `value`. The
+/// corruption persists after the branch (as a real flag fault would), which
+/// later flag-reading instructions may observe.
+fn force_condition(flags: &mut Flags, cond: secbranch_armv7m::Cond, value: bool) {
+    use secbranch_armv7m::Cond;
+    match cond {
+        Cond::Eq => flags.z = value,
+        Cond::Ne => flags.z = !value,
+        Cond::Hs => flags.c = value,
+        Cond::Lo => flags.c = !value,
+        Cond::Hi => {
+            // c && !z
+            if value {
+                flags.c = true;
+                flags.z = false;
+            } else {
+                flags.c = false;
+            }
+        }
+        Cond::Ls => {
+            // !c || z
+            if value {
+                flags.c = false;
+            } else {
+                flags.c = true;
+                flags.z = false;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use secbranch_armv7m::Cond;
+
+    #[test]
+    fn force_condition_covers_every_code_and_value() {
+        for cond in Cond::ALL {
+            for value in [false, true] {
+                // Start from every flag combination that matters (z, c).
+                for bits in 0..4u32 {
+                    let mut flags = Flags {
+                        z: bits & 1 == 1,
+                        c: bits & 2 == 2,
+                        ..Flags::default()
+                    };
+                    force_condition(&mut flags, cond, value);
+                    assert_eq!(
+                        flags.condition_holds(cond),
+                        value,
+                        "{cond:?} -> {value} from z={} c={}",
+                        bits & 1 == 1,
+                        bits & 2 == 2
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fault_points_render_and_anchor() {
+        let p = FaultPoint::DoubleSkip {
+            first: 3,
+            second: 9,
+        };
+        assert_eq!(p.anchor_step(), 3);
+        assert_eq!(p.to_string(), "double-skip@3+9");
+        assert_eq!(FaultPoint::Skip { step: 12 }.to_string(), "skip@12");
+        assert_eq!(
+            FaultPoint::RegisterFlip {
+                step: 2,
+                reg: Reg::R3,
+                bit: 31
+            }
+            .to_string(),
+            "flip r3[31]@2"
+        );
+        assert_eq!(
+            FaultPoint::MemoryFlip {
+                step: 5,
+                addr: 0x1000,
+                bit: 7
+            }
+            .to_string(),
+            "flip mem[0x1000][7]@5"
+        );
+        assert_eq!(
+            FaultPoint::BranchInvert { step: 4 }.to_string(),
+            "invert-branch@4"
+        );
+    }
+}

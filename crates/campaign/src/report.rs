@@ -1,0 +1,359 @@
+//! Outcome classification, counters and the [`CampaignReport`] with its
+//! per-location attribution, text heatmap and JSON serialisation.
+
+use std::fmt::Write as _;
+
+use secbranch_armv7m::ExecResult;
+
+/// Classification of a faulted run against the fault-free reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Outcome {
+    /// Same return value as the reference, no CFI violation — the fault was
+    /// masked.
+    Masked,
+    /// The CFI unit flagged a violation (regardless of the produced result):
+    /// the fault is detected.
+    Detected,
+    /// The run crashed (memory fault, runaway program, step limit), which a
+    /// deployed system also treats as detection.
+    Crashed,
+    /// The run produced a *different* result than the reference without any
+    /// violation — a successful attack.
+    WrongResultUndetected,
+}
+
+/// `part / total` as a float, `0.0` for an empty campaign. The single home
+/// of the rate arithmetic shared by every outcome-counter type (the
+/// instruction-level [`OutcomeCounts`] here and the arithmetic-level
+/// condition counters in `secbranch-fault`).
+#[must_use]
+pub fn rate(part: u64, total: u64) -> f64 {
+    if total == 0 {
+        0.0
+    } else {
+        part as f64 / total as f64
+    }
+}
+
+/// Outcome counters of a fault campaign (or one location of it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OutcomeCounts {
+    /// Masked faults.
+    pub masked: u64,
+    /// Faults detected by the CFI/AN-code machinery.
+    pub detected: u64,
+    /// Faults that crashed the run.
+    pub crashed: u64,
+    /// Undetected wrong results (successful attacks).
+    pub wrong_result_undetected: u64,
+}
+
+impl OutcomeCounts {
+    /// Total number of injections.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.masked + self.detected + self.crashed + self.wrong_result_undetected
+    }
+
+    /// Fraction of injections that succeeded as attacks.
+    #[must_use]
+    pub fn attack_success_rate(&self) -> f64 {
+        rate(self.wrong_result_undetected, self.total())
+    }
+
+    /// Adds one classified outcome.
+    pub fn record(&mut self, outcome: Outcome) {
+        match outcome {
+            Outcome::Masked => self.masked += 1,
+            Outcome::Detected => self.detected += 1,
+            Outcome::Crashed => self.crashed += 1,
+            Outcome::WrongResultUndetected => self.wrong_result_undetected += 1,
+        }
+    }
+}
+
+/// Classifies one faulted run against the fault-free reference.
+#[must_use]
+pub fn classify(
+    reference: &ExecResult,
+    result: &Result<ExecResult, secbranch_armv7m::SimError>,
+) -> Outcome {
+    match result {
+        Err(_) => Outcome::Crashed,
+        Ok(r) => {
+            if r.cfi_violations > 0 {
+                Outcome::Detected
+            } else if r.return_value == reference.return_value {
+                Outcome::Masked
+            } else {
+                Outcome::WrongResultUndetected
+            }
+        }
+    }
+}
+
+/// Aggregated outcomes of every injection anchored at one static program
+/// location (instruction index).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LocationReport {
+    /// The instruction index the injections were anchored at.
+    pub pc: usize,
+    /// The nearest label at or before `pc`, as `label` or `label+offset`.
+    pub location: String,
+    /// The rendered instruction at `pc`.
+    pub instruction: String,
+    /// Outcome counters of the injections anchored here.
+    pub counts: OutcomeCounts,
+}
+
+/// One escaped fault: an injection that produced a wrong result without any
+/// detection, with enough context to find the weak spot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EscapeRecord {
+    /// The fault point, rendered (e.g. `skip@step 12`).
+    pub fault: String,
+    /// The dynamic step the fault was anchored at.
+    pub step: u64,
+    /// The instruction index executing at that step.
+    pub pc: usize,
+    /// The rendered instruction at `pc`.
+    pub instruction: String,
+    /// The wrong return value the faulted run produced.
+    pub return_value: u32,
+}
+
+/// The result of one campaign: one fault model swept over one entry point.
+///
+/// Beyond the aggregate counters, the report attributes every injection to
+/// the static instruction it was anchored at ([`LocationReport`]) and lists
+/// each escaped fault individually ([`EscapeRecord`]) — the data one needs
+/// to *tighten* a countermeasure rather than just score it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignReport {
+    /// The fault model's name.
+    pub model: String,
+    /// The entry point that was attacked.
+    pub entry: String,
+    /// The call arguments.
+    pub args: Vec<u32>,
+    /// The fault-free reference result.
+    pub reference: ExecResult,
+    /// Aggregate outcome counters over all injections.
+    pub counts: OutcomeCounts,
+    /// Per-location aggregation, sorted by instruction index.
+    pub locations: Vec<LocationReport>,
+    /// Every escaped fault, in deterministic fault-space order.
+    pub escapes: Vec<EscapeRecord>,
+}
+
+impl CampaignReport {
+    /// Fraction of injections that escaped (attack success rate).
+    #[must_use]
+    pub fn escape_rate(&self) -> f64 {
+        self.counts.attack_success_rate()
+    }
+
+    /// Renders a text heatmap: one row per attacked location, with outcome
+    /// counters and a bar proportional to the number of escapes there.
+    #[must_use]
+    pub fn render_heatmap(&self) -> String {
+        let mut out = format!(
+            "model {} on {}({:?}): {} injections, {} escaped ({:.4}%)\n",
+            self.model,
+            self.entry,
+            self.args,
+            self.counts.total(),
+            self.counts.wrong_result_undetected,
+            self.escape_rate() * 100.0,
+        );
+        let max_escapes = self
+            .locations
+            .iter()
+            .map(|l| l.counts.wrong_result_undetected)
+            .max()
+            .unwrap_or(0);
+        let _ = writeln!(
+            out,
+            "{:>6} {:<26} {:<24} {:>6} {:>6} {:>6} {:>7}",
+            "pc", "location", "instruction", "mask", "det", "crash", "escape"
+        );
+        for loc in &self.locations {
+            let bar_len = if max_escapes == 0 {
+                0
+            } else {
+                // 1..=20 '#' characters for any nonzero escape count.
+                (loc.counts.wrong_result_undetected * 20).div_ceil(max_escapes) as usize
+            };
+            let _ = writeln!(
+                out,
+                "{:>6} {:<26} {:<24} {:>6} {:>6} {:>6} {:>7} {}",
+                loc.pc,
+                truncated(&loc.location, 26),
+                truncated(&loc.instruction, 24),
+                loc.counts.masked,
+                loc.counts.detected,
+                loc.counts.crashed,
+                loc.counts.wrong_result_undetected,
+                "#".repeat(bar_len),
+            );
+        }
+        out
+    }
+
+    /// Serialises the report as a self-contained JSON document (hand-rolled:
+    /// the offline build has no serde). The output is fully deterministic —
+    /// the engine guarantees byte-identical reports independent of the
+    /// worker-thread count.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        let _ = write!(
+            out,
+            "\"model\":{},\"entry\":{},\"args\":[{}],",
+            json_string(&self.model),
+            json_string(&self.entry),
+            self.args
+                .iter()
+                .map(u32::to_string)
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        let _ = write!(
+            out,
+            "\"reference\":{{\"return_value\":{},\"cycles\":{},\"instructions\":{}}},",
+            self.reference.return_value, self.reference.cycles, self.reference.instructions,
+        );
+        let _ = write!(
+            out,
+            "\"counts\":{},\"escape_rate\":{:.9},",
+            json_counts(&self.counts),
+            self.escape_rate(),
+        );
+        out.push_str("\"locations\":[");
+        for (i, loc) in self.locations.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"pc\":{},\"location\":{},\"instruction\":{},\"counts\":{}}}",
+                loc.pc,
+                json_string(&loc.location),
+                json_string(&loc.instruction),
+                json_counts(&loc.counts),
+            );
+        }
+        out.push_str("],\"escapes\":[");
+        for (i, esc) in self.escapes.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"fault\":{},\"step\":{},\"pc\":{},\"instruction\":{},\"return_value\":{}}}",
+                json_string(&esc.fault),
+                esc.step,
+                esc.pc,
+                json_string(&esc.instruction),
+                esc.return_value,
+            );
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+fn truncated(s: &str, max: usize) -> String {
+    if s.chars().count() <= max {
+        s.to_string()
+    } else {
+        let cut: String = s.chars().take(max.saturating_sub(1)).collect();
+        format!("{cut}…")
+    }
+}
+
+fn json_counts(c: &OutcomeCounts) -> String {
+    format!(
+        "{{\"masked\":{},\"detected\":{},\"crashed\":{},\"wrong_result_undetected\":{}}}",
+        c.masked, c.detected, c.crashed, c.wrong_result_undetected
+    )
+}
+
+/// Escapes `s` as a JSON string literal (quotes included). Shared by every
+/// hand-rolled JSON serialiser of the workspace — the offline build has no
+/// serde.
+#[must_use]
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcome_counts_arithmetic() {
+        let mut counts = OutcomeCounts::default();
+        counts.record(Outcome::Masked);
+        counts.record(Outcome::Detected);
+        counts.record(Outcome::Crashed);
+        counts.record(Outcome::WrongResultUndetected);
+        assert_eq!(counts.total(), 4);
+        assert!((counts.attack_success_rate() - 0.25).abs() < 1e-12);
+        assert_eq!(OutcomeCounts::default().attack_success_rate(), 0.0);
+    }
+
+    #[test]
+    fn rate_handles_zero_total() {
+        assert_eq!(rate(0, 0), 0.0);
+        assert!((rate(1, 4) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn classify_matches_the_reference_contract() {
+        let reference = ExecResult {
+            return_value: 7,
+            cycles: 10,
+            instructions: 5,
+            cfi_checks: 1,
+            cfi_violations: 0,
+        };
+        let same = Ok(reference);
+        assert_eq!(classify(&reference, &same), Outcome::Masked);
+        let wrong = Ok(ExecResult {
+            return_value: 8,
+            ..reference
+        });
+        assert_eq!(classify(&reference, &wrong), Outcome::WrongResultUndetected);
+        let flagged = Ok(ExecResult {
+            return_value: 8,
+            cfi_violations: 1,
+            ..reference
+        });
+        assert_eq!(classify(&reference, &flagged), Outcome::Detected);
+        let crashed = Err(secbranch_armv7m::SimError::StepLimitExceeded { limit: 5 });
+        assert_eq!(classify(&reference, &crashed), Outcome::Crashed);
+    }
+
+    #[test]
+    fn json_strings_are_escaped() {
+        assert_eq!(json_string("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(json_string("tab\there"), "\"tab\\there\"");
+    }
+}

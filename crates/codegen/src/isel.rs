@@ -1,6 +1,7 @@
 //! Instruction selection, frame layout and CFI instrumentation.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use secbranch_armv7m::machine::{CFI_CHECK_ADDR, CFI_REPLACE_ADDR, CFI_UPDATE_ADDR};
 use secbranch_armv7m::{Cond, Instr, Operand2, Program, ProgramBuilder, Reg, Simulator, Target};
@@ -37,14 +38,22 @@ pub struct CodegenOptions {
 
 /// The output of the back end: an assembled program plus the data-layout
 /// information needed to run and measure it.
+///
+/// The program and the initial globals image are behind [`Arc`]s, so cloning
+/// a compiled module — and, more importantly, handing out simulators via
+/// [`CompiledModule::simulator`] — shares the immutable code instead of
+/// copying it. A fresh simulator costs one `Machine` allocation plus the
+/// globals write, which is what makes fault campaigns with millions of
+/// injections affordable.
 #[derive(Debug, Clone)]
 pub struct CompiledModule {
-    /// The assembled program.
-    pub program: Program,
+    /// The assembled program (shared, immutable).
+    pub program: Arc<Program>,
     /// Addresses assigned to module globals.
     pub global_addresses: HashMap<String, u32>,
-    /// Initial memory image: `(address, bytes)` pairs for the globals.
-    pub global_image: Vec<(u32, Vec<u8>)>,
+    /// Initial memory image: `(address, bytes)` pairs for the globals
+    /// (shared, immutable; written into each fresh simulator's RAM).
+    pub global_image: Arc<Vec<(u32, Vec<u8>)>>,
     /// Code size of each function in bytes (Thumb-2 size model).
     pub function_sizes: HashMap<String, u32>,
 }
@@ -72,19 +81,21 @@ impl CompiledModule {
     /// written to their assigned addresses.
     #[must_use]
     pub fn into_simulator(self, memory_size: u32) -> Simulator {
-        let mut sim = Simulator::new(self.program, memory_size);
-        for (addr, data) in &self.global_image {
-            sim.machine_mut().write_bytes(*addr, data);
-        }
-        sim
+        self.simulator(memory_size)
     }
 
     /// Like [`CompiledModule::into_simulator`], but borrows the module so one
     /// compilation can feed many independent simulator instances (the
-    /// build-once/run-many contract of the facade's `Artifact`).
+    /// build-once/run-many contract of the facade's `Artifact`). The program
+    /// is `Arc`-shared with the module, not cloned: each call allocates only
+    /// the machine state and writes the globals image.
     #[must_use]
     pub fn simulator(&self, memory_size: u32) -> Simulator {
-        self.clone().into_simulator(memory_size)
+        let mut sim = Simulator::from_shared(Arc::clone(&self.program), memory_size);
+        for (addr, data) in self.global_image.iter() {
+            sim.machine_mut().write_bytes(*addr, data);
+        }
+        sim
     }
 }
 
@@ -121,9 +132,9 @@ pub fn compile(module: &Module, options: &CodegenOptions) -> Result<CompiledModu
         .collect();
 
     Ok(CompiledModule {
-        program,
+        program: Arc::new(program),
         global_addresses,
-        global_image,
+        global_image: Arc::new(global_image),
         function_sizes,
     })
 }

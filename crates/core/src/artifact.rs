@@ -1,8 +1,11 @@
 //! The [`Artifact`]: one compilation, many executions and fault campaigns.
 
 use secbranch_armv7m::{ExecResult, Simulator};
+use secbranch_campaign::{
+    CampaignReport, CampaignRunner, FaultModel, InstructionSkip, RegisterBitFlip, SharedModule,
+};
 use secbranch_codegen::CompiledModule;
-use secbranch_fault::{InstructionSkipSweep, RegisterBitFlipCampaign, SweepReport};
+use secbranch_fault::SweepReport;
 
 use crate::{BuildError, Measurement, SimConfig};
 
@@ -119,21 +122,72 @@ impl Artifact {
         })
     }
 
+    /// Runs one fault model's campaign against `entry(args)` on this
+    /// artifact, using all available parallelism.
+    ///
+    /// Each injection executes on a fresh simulator over the `Arc`-shared
+    /// compilation; the report carries aggregate counters, per-location
+    /// attribution, a text heatmap and deterministic JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError::Simulation`] if the fault-free reference run
+    /// fails — checked before any worker thread is spawned; individual
+    /// faulted runs are classified, not propagated.
+    pub fn campaign(
+        &self,
+        entry: &str,
+        args: &[u32],
+        model: &dyn FaultModel,
+    ) -> Result<CampaignReport, BuildError> {
+        self.campaign_with(&CampaignRunner::new(), entry, args, model)
+    }
+
+    /// Like [`Artifact::campaign`], with an explicitly configured runner
+    /// (e.g. a fixed thread count for determinism tests).
+    ///
+    /// # Errors
+    ///
+    /// See [`Artifact::campaign`].
+    pub fn campaign_with(
+        &self,
+        runner: &CampaignRunner,
+        entry: &str,
+        args: &[u32],
+        model: &dyn FaultModel,
+    ) -> Result<CampaignReport, BuildError> {
+        let source = SharedModule {
+            compiled: &self.compiled,
+            memory_size: self.sim.memory_size,
+        };
+        Ok(runner.run(&source, entry, args, self.sim.max_steps, model)?)
+    }
+
     /// Runs the exhaustive single-instruction-skip sweep of the fault
     /// analysis on this artifact: every dynamic instruction of the reference
     /// execution of `entry(args)` is skipped once.
+    ///
+    /// Routed through the campaign engine ([`Artifact::campaign`] with
+    /// [`InstructionSkip`]): a failing reference returns its error without a
+    /// single injection or worker spawned.
     ///
     /// # Errors
     ///
     /// Returns [`BuildError::Simulation`] if the fault-free reference run
     /// fails (individual faulted runs are classified, not propagated).
     pub fn skip_sweep(&self, entry: &str, args: &[u32]) -> Result<SweepReport, BuildError> {
-        let sweep = InstructionSkipSweep::new(entry, args, self.sim.max_steps);
-        Ok(sweep.run(&self.simulator())?)
+        Ok(SweepReport::from(&self.campaign(
+            entry,
+            args,
+            &InstructionSkip,
+        )?))
     }
 
     /// Runs a Monte-Carlo register-bit-flip campaign with `trials`
     /// injections and a deterministic `seed` on this artifact.
+    ///
+    /// Routed through the campaign engine ([`Artifact::campaign`] with
+    /// [`RegisterBitFlip`]); a given seed reproduces the historical numbers.
     ///
     /// # Errors
     ///
@@ -146,7 +200,10 @@ impl Artifact {
         seed: u64,
         trials: u64,
     ) -> Result<SweepReport, BuildError> {
-        let mut campaign = RegisterBitFlipCampaign::new(entry, args, self.sim.max_steps, seed);
-        Ok(campaign.run(&self.simulator(), trials)?)
+        Ok(SweepReport::from(&self.campaign(
+            entry,
+            args,
+            &RegisterBitFlip { trials, seed },
+        )?))
     }
 }

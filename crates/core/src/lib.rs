@@ -13,12 +13,17 @@
 //!   ([`ProtectionVariant`]) one-liners.
 //! * [`Artifact`] — the output of one compilation. One artifact feeds any
 //!   number of executions ([`Artifact::run`]), measurements
-//!   ([`Artifact::measure`]) and fault campaigns ([`Artifact::skip_sweep`],
-//!   [`Artifact::register_flip_campaign`]) without recompiling.
+//!   ([`Artifact::measure`]) and fault campaigns ([`Artifact::campaign`]
+//!   with any [`campaign::FaultModel`], plus the historical
+//!   [`Artifact::skip_sweep`]/[`Artifact::register_flip_campaign`] shapes)
+//!   without recompiling. Fresh simulators `Arc`-share the compiled code,
+//!   so a campaign of millions of injections never copies the program.
 //! * [`Session`] — the matrix runner: workloads × pipelines in one
 //!   [`Session::run_matrix`] call, with an internal build cache keyed by
 //!   (module name, pipeline fingerprint) and a structured, serialisable
-//!   [`Report`] of per-cell size/cycles/CFI/overhead numbers.
+//!   [`Report`] of per-cell size/cycles/CFI/overhead numbers; and the
+//!   security matrix ([`Session::security_matrix`]): workloads × pipelines
+//!   × fault models into a [`SecurityReport`].
 //!
 //! The historical free functions [`build`] and [`measure`] remain as thin
 //! wrappers over [`Pipeline`] for existing call sites.
@@ -56,6 +61,7 @@ use std::str::FromStr;
 
 pub use secbranch_ancode as ancode;
 pub use secbranch_armv7m as armv7m;
+pub use secbranch_campaign as campaign;
 pub use secbranch_cfi as cfi;
 pub use secbranch_codegen as codegen;
 pub use secbranch_fault as fault;
@@ -66,11 +72,13 @@ pub use secbranch_programs as programs;
 mod artifact;
 mod pipeline;
 mod report;
+mod security;
 mod session;
 
 pub use artifact::Artifact;
 pub use pipeline::{Pipeline, SimConfig};
 pub use report::{overhead_cell, Report, ReportCell};
+pub use security::{SecurityCell, SecurityReport};
 pub use session::{Session, Workload};
 
 use secbranch_armv7m::ExecResult;

@@ -3,6 +3,8 @@
 
 use std::fmt::Write as _;
 
+use secbranch_campaign::json_string;
+
 use crate::Measurement;
 
 /// Formats one Table III style cell: absolute value plus overhead percentage
@@ -155,26 +157,6 @@ impl Report {
     }
 }
 
-fn json_string(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\t' => out.push_str("\\t"),
-            '\r' => out.push_str("\\r"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
-}
-
 fn json_string_array(items: &[String]) -> String {
     let mut out = String::from("[");
     for (i, item) in items.iter().enumerate() {
@@ -207,8 +189,10 @@ mod tests {
     }
 
     #[test]
-    fn json_strings_are_escaped() {
-        assert_eq!(json_string("a\"b\\c"), "\"a\\\"b\\\\c\"");
-        assert_eq!(json_string("tab\there"), "\"tab\\there\"");
+    fn json_string_arrays_are_escaped() {
+        assert_eq!(
+            json_string_array(&["a\"b".to_string(), "c".to_string()]),
+            "[\"a\\\"b\",\"c\"]"
+        );
     }
 }

@@ -1,0 +1,100 @@
+//! The [`SecurityReport`]: a variants × fault-models security matrix
+//! produced by [`crate::Session::security_matrix`].
+
+use std::fmt::Write as _;
+
+use secbranch_campaign::{json_string, CampaignReport};
+
+/// One cell of a security matrix: one workload under one pipeline attacked
+/// by one fault model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SecurityCell {
+    /// The workload name.
+    pub workload: String,
+    /// The pipeline label.
+    pub pipeline: String,
+    /// The fault model's name.
+    pub model: String,
+    /// The full campaign report (counters, attribution, escapes).
+    pub report: CampaignReport,
+}
+
+/// The structured result of a variants × fault-models security evaluation:
+/// for every workload, every pipeline is attacked by every model, and each
+/// cell keeps its full [`CampaignReport`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SecurityReport {
+    /// Workload names, in matrix order.
+    pub workloads: Vec<String>,
+    /// Pipeline labels, in matrix order.
+    pub pipelines: Vec<String>,
+    /// Fault-model names, in matrix order.
+    pub models: Vec<String>,
+    /// All cells, in workload-major, pipeline-then-model order.
+    pub cells: Vec<SecurityCell>,
+}
+
+impl SecurityReport {
+    /// Looks up one cell.
+    #[must_use]
+    pub fn cell(&self, workload: &str, pipeline: &str, model: &str) -> Option<&SecurityCell> {
+        self.cells
+            .iter()
+            .find(|c| c.workload == workload && c.pipeline == pipeline && c.model == model)
+    }
+
+    /// Renders the matrix as a text table: one row per workload × pipeline,
+    /// one column per fault model, each cell `escaped/total (rate%)`.
+    #[must_use]
+    pub fn render_table(&self) -> String {
+        let mut out = format!("{:<16} {:<16}", "workload", "pipeline");
+        for model in &self.models {
+            let _ = write!(out, " | {model:>20}");
+        }
+        out.push('\n');
+        for workload in &self.workloads {
+            for pipeline in &self.pipelines {
+                let _ = write!(out, "{workload:<16} {pipeline:<16}");
+                for model in &self.models {
+                    let cell_text = self.cell(workload, pipeline, model).map_or_else(
+                        || "-".to_string(),
+                        |cell| {
+                            format!(
+                                "{}/{} ({:.3}%)",
+                                cell.report.counts.wrong_result_undetected,
+                                cell.report.counts.total(),
+                                cell.report.escape_rate() * 100.0
+                            )
+                        },
+                    );
+                    let _ = write!(out, " | {cell_text:>20}");
+                }
+                out.push('\n');
+            }
+        }
+        out
+    }
+
+    /// Serialises the matrix as a self-contained JSON document; each cell
+    /// embeds its full campaign report (hand-rolled: the offline build has
+    /// no serde).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"cells\":[");
+        for (i, cell) in self.cells.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"workload\":{},\"pipeline\":{},\"model\":{},\"report\":{}}}",
+                json_string(&cell.workload),
+                json_string(&cell.pipeline),
+                json_string(&cell.model),
+                cell.report.to_json(),
+            );
+        }
+        out.push_str("]}");
+        out
+    }
+}

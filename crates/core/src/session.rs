@@ -4,9 +4,12 @@ use std::collections::hash_map::DefaultHasher;
 use std::collections::{HashMap, HashSet};
 use std::hash::{Hash, Hasher};
 
+use secbranch_campaign::{CampaignRunner, FaultModel};
 use secbranch_ir::Module;
 
-use crate::{Artifact, BuildError, Measurement, Pipeline, Report, ReportCell};
+use crate::{
+    Artifact, BuildError, Measurement, Pipeline, Report, ReportCell, SecurityCell, SecurityReport,
+};
 
 /// A named executable workload: an IR module plus the entry point and
 /// arguments the evaluation calls.
@@ -226,6 +229,64 @@ impl Session {
         Ok(Report {
             workloads: workload_names,
             pipelines: labels,
+            cells,
+        })
+    }
+
+    /// Runs the full workloads × pipelines × fault-models security matrix
+    /// with a default (fully parallel) campaign runner. Builds are cached
+    /// exactly as in [`Session::run_matrix`], so measuring performance and
+    /// security of the same matrix compiles nothing twice.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`BuildError`] encountered (a failing build or a
+    /// failing fault-free reference run).
+    pub fn security_matrix(
+        &mut self,
+        workloads: &[Workload],
+        pipelines: &[Pipeline],
+        models: &[&dyn FaultModel],
+    ) -> Result<SecurityReport, BuildError> {
+        self.security_matrix_with(&CampaignRunner::new(), workloads, pipelines, models)
+    }
+
+    /// Like [`Session::security_matrix`], with an explicitly configured
+    /// campaign runner (e.g. a fixed thread count).
+    ///
+    /// # Errors
+    ///
+    /// See [`Session::security_matrix`].
+    pub fn security_matrix_with(
+        &mut self,
+        runner: &CampaignRunner,
+        workloads: &[Workload],
+        pipelines: &[Pipeline],
+        models: &[&dyn FaultModel],
+    ) -> Result<SecurityReport, BuildError> {
+        let labels = disambiguated(pipelines.iter().map(Pipeline::label));
+        let workload_names = disambiguated(workloads.iter().map(|w| w.name.as_str()));
+        let model_names: Vec<String> = models.iter().map(|m| m.name()).collect();
+        let mut cells = Vec::with_capacity(workloads.len() * pipelines.len() * models.len());
+        for (workload, workload_name) in workloads.iter().zip(&workload_names) {
+            for (pipeline, label) in pipelines.iter().zip(&labels) {
+                let artifact = self.cached_artifact(&workload.name, &workload.module, pipeline)?;
+                for (model, model_name) in models.iter().zip(&model_names) {
+                    let report =
+                        artifact.campaign_with(runner, &workload.entry, &workload.args, *model)?;
+                    cells.push(SecurityCell {
+                        workload: workload_name.clone(),
+                        pipeline: label.clone(),
+                        model: model_name.clone(),
+                        report,
+                    });
+                }
+            }
+        }
+        Ok(SecurityReport {
+            workloads: workload_names,
+            pipelines: labels,
+            models: model_names,
             cells,
         })
     }

@@ -58,13 +58,11 @@ impl ConditionOutcomeCounts {
     }
 
     /// Fraction of experiments where the decision was flipped undetected.
+    /// Shares the rate arithmetic of [`secbranch_campaign::rate`] with the
+    /// instruction-level counters.
     #[must_use]
     pub fn undetected_rate(&self) -> f64 {
-        if self.total() == 0 {
-            0.0
-        } else {
-            self.undetected_flip as f64 / self.total() as f64
-        }
+        secbranch_campaign::rate(self.undetected_flip, self.total())
     }
 }
 

@@ -13,7 +13,10 @@
 //!   simulator through [`secbranch_armv7m::FaultHook`]s: single instruction
 //!   skips and register bit flips swept over the dynamic execution of a
 //!   compiled workload, with outcomes classified by comparing against the
-//!   fault-free run and the CFI verdict.
+//!   fault-free run and the CFI verdict. These sweeps are thin adapters over
+//!   the general multi-model campaign engine in `secbranch-campaign`, which
+//!   adds double skips, memory flips, branch inversion, multi-threaded
+//!   execution and per-location attribution.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

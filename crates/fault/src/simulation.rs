@@ -1,67 +1,23 @@
 //! Instruction-level fault injection on the ARMv7-M simulator.
+//!
+//! The sweeps here are thin adapters over the general campaign engine in
+//! `secbranch-campaign` (which adds double faults, memory flips, branch
+//! inversion, multi-threaded execution and per-location attribution); they
+//! keep the historical single-model API — and its exact numbers — for
+//! existing callers.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use secbranch_armv7m::{ExecResult, FaultAction, FaultHook, Instr, Machine, Reg, Simulator};
+use secbranch_armv7m::{ExecResult, Simulator};
+use secbranch_campaign::{CampaignRunner, InstructionSkip, RegisterBitFlip};
 
-/// Classification of a faulted run against the fault-free reference.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum Outcome {
-    /// Same return value as the reference, no CFI violation — the fault was
-    /// masked.
-    Masked,
-    /// The CFI unit flagged a violation (regardless of the produced result):
-    /// the fault is detected.
-    Detected,
-    /// The run crashed (memory fault, runaway program, step limit), which a
-    /// deployed system also treats as detection.
-    Crashed,
-    /// The run produced a *different* result than the reference without any
-    /// violation — a successful attack.
-    WrongResultUndetected,
-}
-
-/// Outcome counters of a fault-injection sweep.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub struct OutcomeCounts {
-    /// Masked faults.
-    pub masked: u64,
-    /// Faults detected by the CFI/AN-code machinery.
-    pub detected: u64,
-    /// Faults that crashed the run.
-    pub crashed: u64,
-    /// Undetected wrong results (successful attacks).
-    pub wrong_result_undetected: u64,
-}
-
-impl OutcomeCounts {
-    /// Total number of injections.
-    #[must_use]
-    pub fn total(&self) -> u64 {
-        self.masked + self.detected + self.crashed + self.wrong_result_undetected
-    }
-
-    /// Fraction of injections that succeeded as attacks.
-    #[must_use]
-    pub fn attack_success_rate(&self) -> f64 {
-        if self.total() == 0 {
-            0.0
-        } else {
-            self.wrong_result_undetected as f64 / self.total() as f64
-        }
-    }
-
-    fn record(&mut self, outcome: Outcome) {
-        match outcome {
-            Outcome::Masked => self.masked += 1,
-            Outcome::Detected => self.detected += 1,
-            Outcome::Crashed => self.crashed += 1,
-            Outcome::WrongResultUndetected => self.wrong_result_undetected += 1,
-        }
-    }
-}
+// The outcome classification lives in the campaign engine; re-exported here
+// so `secbranch_fault::{Outcome, OutcomeCounts}` keep working.
+pub use secbranch_campaign::{Outcome, OutcomeCounts};
 
 /// Report of a sweep: the reference execution plus the outcome counters.
+///
+/// The full [`secbranch_campaign::CampaignReport`] additionally attributes
+/// outcomes to program locations; this type keeps the historical aggregate
+/// shape (and flattens from a campaign report via `From`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SweepReport {
     /// The fault-free reference result.
@@ -70,62 +26,33 @@ pub struct SweepReport {
     pub counts: OutcomeCounts,
 }
 
-struct SkipAt {
-    step: u64,
-}
-
-impl FaultHook for SkipAt {
-    fn before_execute(&mut self, step: u64, _: usize, _: &Instr, _: &mut Machine) -> FaultAction {
-        if step == self.step {
-            FaultAction::Skip
-        } else {
-            FaultAction::Continue
+impl From<&secbranch_campaign::CampaignReport> for SweepReport {
+    /// The single home of the report flattening: keeps the aggregate
+    /// quantities, drops the per-location attribution.
+    fn from(report: &secbranch_campaign::CampaignReport) -> Self {
+        SweepReport {
+            reference: report.reference,
+            counts: report.counts,
         }
     }
 }
 
-struct FlipRegAt {
-    step: u64,
-    reg: Reg,
-    bit: u32,
-}
-
-impl FaultHook for FlipRegAt {
-    fn before_execute(
-        &mut self,
-        step: u64,
-        _: usize,
-        _: &Instr,
-        machine: &mut Machine,
-    ) -> FaultAction {
-        if step == self.step {
-            machine.flip_register_bit(self.reg, self.bit);
-        }
-        FaultAction::Continue
-    }
-}
-
-fn classify(
-    reference: &ExecResult,
-    result: Result<ExecResult, secbranch_armv7m::SimError>,
-) -> Outcome {
-    match result {
-        Err(_) => Outcome::Crashed,
-        Ok(r) => {
-            if r.cfi_violations > 0 {
-                Outcome::Detected
-            } else if r.return_value == reference.return_value {
-                Outcome::Masked
-            } else {
-                Outcome::WrongResultUndetected
-            }
-        }
-    }
+/// Runs one fault model through the engine on clones of `simulator`
+/// (preserving any pre-run machine tampering) and flattens the report.
+fn sweep_with(
+    simulator: &Simulator,
+    entry: &str,
+    args: &[u32],
+    max_steps: u64,
+    model: &dyn secbranch_campaign::FaultModel,
+) -> Result<SweepReport, secbranch_armv7m::SimError> {
+    let report = CampaignRunner::new().run(simulator, entry, args, max_steps, model)?;
+    Ok(SweepReport::from(&report))
 }
 
 /// Exhaustive single-instruction-skip sweep: every dynamic instruction of the
 /// reference execution is skipped once (the instruction-skip fault model of
-/// Section II).
+/// Section II). Adapter over [`secbranch_campaign::InstructionSkip`].
 #[derive(Debug, Clone)]
 pub struct InstructionSkipSweep {
     entry: String,
@@ -144,38 +71,33 @@ impl InstructionSkipSweep {
         }
     }
 
-    /// Runs the sweep on a fresh clone of `simulator` per injection.
+    /// Runs the sweep on fresh clones of `simulator` per injection.
     ///
     /// # Errors
     ///
     /// Returns the simulator error of the fault-free reference run if that
     /// fails (individual faulted runs are classified, not propagated).
     pub fn run(&self, simulator: &Simulator) -> Result<SweepReport, secbranch_armv7m::SimError> {
-        let mut reference_sim = simulator.clone();
-        let reference = reference_sim.call(&self.entry, &self.args, self.max_steps)?;
-        let mut counts = OutcomeCounts::default();
-        for step in 1..=reference.instructions {
-            let mut sim = simulator.clone();
-            let result = sim.call_with_faults(
-                &self.entry,
-                &self.args,
-                self.max_steps,
-                &mut SkipAt { step },
-            );
-            counts.record(classify(&reference, result));
-        }
-        Ok(SweepReport { reference, counts })
+        sweep_with(
+            simulator,
+            &self.entry,
+            &self.args,
+            self.max_steps,
+            &InstructionSkip,
+        )
     }
 }
 
 /// Monte-Carlo register-bit-flip campaign: at a random dynamic step, a random
-/// bit of a random low register is flipped.
+/// bit of a random low register is flipped. Adapter over
+/// [`secbranch_campaign::RegisterBitFlip`]; the *first* run of a given seed
+/// reproduces the historical numbers exactly (same sampling order).
 #[derive(Debug, Clone)]
 pub struct RegisterBitFlipCampaign {
     entry: String,
     args: Vec<u32>,
     max_steps: u64,
-    rng: StdRng,
+    seed: u64,
 }
 
 impl RegisterBitFlipCampaign {
@@ -186,11 +108,19 @@ impl RegisterBitFlipCampaign {
             entry: entry.into(),
             args: args.to_vec(),
             max_steps,
-            rng: StdRng::seed_from_u64(seed),
+            seed,
         }
     }
 
     /// Runs `trials` injections on fresh clones of `simulator`.
+    ///
+    /// The first run of a fresh campaign reproduces the historical
+    /// (persistent-RNG) implementation bit for bit. Each successful run with
+    /// a nonzero trial count then advances the campaign's seed, so repeated
+    /// runs keep drawing *fresh* deterministic schedules — but, unlike the
+    /// historical implementation, the follow-up schedules are derived from
+    /// the seed alone rather than from the RNG state the previous trials
+    /// left behind.
     ///
     /// # Errors
     ///
@@ -201,24 +131,17 @@ impl RegisterBitFlipCampaign {
         simulator: &Simulator,
         trials: u64,
     ) -> Result<SweepReport, secbranch_armv7m::SimError> {
-        let mut reference_sim = simulator.clone();
-        let reference = reference_sim.call(&self.entry, &self.args, self.max_steps)?;
-        let registers = [Reg::R0, Reg::R1, Reg::R2, Reg::R3, Reg::R12];
-        let mut counts = OutcomeCounts::default();
-        for _ in 0..trials {
-            let step = self.rng.gen_range(1..=reference.instructions);
-            let reg = registers[self.rng.gen_range(0..registers.len())];
-            let bit = self.rng.gen_range(0..32);
-            let mut sim = simulator.clone();
-            let result = sim.call_with_faults(
-                &self.entry,
-                &self.args,
-                self.max_steps,
-                &mut FlipRegAt { step, reg, bit },
-            );
-            counts.record(classify(&reference, result));
+        let model = RegisterBitFlip {
+            trials,
+            seed: self.seed,
+        };
+        let report = sweep_with(simulator, &self.entry, &self.args, self.max_steps, &model)?;
+        if trials > 0 {
+            // SplitMix64 increment: a deterministic next-seed step, taken
+            // only when injections actually ran.
+            self.seed = self.seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
         }
-        Ok(SweepReport { reference, counts })
+        Ok(report)
     }
 }
 
@@ -305,6 +228,20 @@ mod tests {
             "single register bit flips rarely defeat the protected branch: {:?}",
             report.counts
         );
+    }
+
+    #[test]
+    fn repeated_runs_on_one_campaign_advance_the_schedule() {
+        let mut campaign =
+            RegisterBitFlipCampaign::new("integer_compare", &[12, 13], 1_000_000, 42);
+        let sim = unprotected_simulator();
+        let first = campaign.run(&sim, 100).expect("runs");
+        let second = campaign.run(&sim, 100).expect("runs");
+        assert_eq!(first.counts.total(), 100);
+        assert_eq!(second.counts.total(), 100);
+        // A fresh campaign with the same seed reproduces the first run.
+        let mut fresh = RegisterBitFlipCampaign::new("integer_compare", &[12, 13], 1_000_000, 42);
+        assert_eq!(fresh.run(&sim, 100).expect("runs").counts, first.counts);
     }
 
     #[test]

@@ -43,5 +43,30 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             report.counts.wrong_result_undetected
         );
     }
+
+    // 3. The general campaign engine: the same artifacts attacked by the
+    // paper's core fault model — every dynamic conditional branch forced
+    // the wrong way — with per-location attribution of each escape.
+    use secbranch::campaign::BranchInversion;
+    println!("\nconditional-branch-inversion campaign (the paper's core attacker):");
+    for variant in [ProtectionVariant::Unprotected, ProtectionVariant::AnCode] {
+        let artifact = Pipeline::for_variant(variant)
+            .with_max_steps(1_000_000)
+            .build(&module)?;
+        let report = artifact.campaign("integer_compare", &[41, 999], &BranchInversion)?;
+        println!(
+            "  {:<12} inverted {:>2} branches: escaped {:>2} ({:.1}%)",
+            variant.label(),
+            report.counts.total(),
+            report.counts.wrong_result_undetected,
+            report.escape_rate() * 100.0
+        );
+        for escape in &report.escapes {
+            println!(
+                "    escape: {} at pc {} ({}) -> returned {}",
+                escape.fault, escape.pc, escape.instruction, escape.return_value
+            );
+        }
+    }
     Ok(())
 }

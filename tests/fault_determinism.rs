@@ -3,6 +3,10 @@
 //! security numbers of Section VI are reproducible run-to-run.
 
 use secbranch::ancode::{Parameters, Predicate};
+use secbranch::campaign::{
+    BranchInversion, CampaignRunner, DoubleInstructionSkip, FaultModel, InstructionSkip,
+    MemoryBitFlip, RegisterBitFlip,
+};
 use secbranch::fault::ConditionCampaign;
 use secbranch::programs::integer_compare_module;
 use secbranch::{Artifact, Pipeline, ProtectionVariant};
@@ -13,6 +17,118 @@ fn protected_artifact() -> Artifact {
         .with_max_steps(1_000_000)
         .build(&integer_compare_module())
         .expect("builds")
+}
+
+fn unprotected_artifact() -> Artifact {
+    Pipeline::for_variant(ProtectionVariant::Unprotected)
+        .with_memory_size(64 * 1024)
+        .with_max_steps(1_000_000)
+        .build(&integer_compare_module())
+        .expect("builds")
+}
+
+fn shipped_models() -> Vec<Box<dyn FaultModel>> {
+    vec![
+        Box::new(InstructionSkip),
+        Box::new(DoubleInstructionSkip {
+            max_injections: 300,
+            seed: 0x2FA17,
+        }),
+        Box::new(RegisterBitFlip {
+            trials: 200,
+            seed: 0xDEAD_BEEF,
+        }),
+        Box::new(MemoryBitFlip {
+            trials: 200,
+            seed: 0x0BAD_CAFE,
+        }),
+        Box::new(BranchInversion),
+    ]
+}
+
+/// The engine's merge is deterministic for every shipped fault model: the
+/// same campaign on 1, 2 and 8 worker threads produces byte-identical JSON
+/// reports (and therefore identical counters and attribution).
+#[test]
+fn campaign_reports_are_identical_across_thread_counts() {
+    let artifact = protected_artifact();
+    for model in shipped_models() {
+        let reports: Vec<String> = [1, 2, 8]
+            .into_iter()
+            .map(|threads| {
+                artifact
+                    .campaign_with(
+                        &CampaignRunner::new().with_threads(threads),
+                        "integer_compare",
+                        &[41, 999],
+                        model.as_ref(),
+                    )
+                    .expect("runs")
+                    .to_json()
+            })
+            .collect();
+        assert_eq!(reports[0], reports[1], "{}: 1 vs 2 threads", model.name());
+        assert_eq!(reports[0], reports[2], "{}: 1 vs 8 threads", model.name());
+    }
+}
+
+/// The branch-inversion attacker (the paper's core fault model) succeeds on
+/// the unprotected variant and is fully stopped — or at worst strictly
+/// reduced — by the full protection.
+#[test]
+fn branch_inversion_is_stopped_by_the_protection() {
+    let unprotected = unprotected_artifact()
+        .campaign("integer_compare", &[1234, 4321], &BranchInversion)
+        .expect("runs");
+    let protected = protected_artifact()
+        .campaign("integer_compare", &[1234, 4321], &BranchInversion)
+        .expect("runs");
+    assert!(
+        unprotected.counts.wrong_result_undetected > 0,
+        "inverting an unprotected branch must flip the decision: {:?}",
+        unprotected.counts
+    );
+    assert!(
+        protected.escape_rate() < unprotected.escape_rate(),
+        "protected {:?} vs unprotected {:?}",
+        protected.counts,
+        unprotected.counts
+    );
+    assert_eq!(
+        protected.counts.wrong_result_undetected, 0,
+        "the encoded branch decision detects every inversion: {:?}",
+        protected.counts
+    );
+}
+
+/// The thin sweep adapters and the engine agree: `Artifact::skip_sweep`
+/// reports exactly the aggregate counters of an `InstructionSkip` campaign.
+#[test]
+fn skip_sweep_adapter_matches_the_engine() {
+    let artifact = protected_artifact();
+    let sweep = artifact
+        .skip_sweep("integer_compare", &[41, 999])
+        .expect("runs");
+    let campaign = artifact
+        .campaign("integer_compare", &[41, 999], &InstructionSkip)
+        .expect("runs");
+    assert_eq!(sweep.counts, campaign.counts);
+    assert_eq!(sweep.reference, campaign.reference);
+    assert_eq!(
+        campaign.counts.total(),
+        campaign.reference.instructions,
+        "one injection per dynamic instruction"
+    );
+}
+
+/// A failing reference run surfaces its error (instead of a panic or an
+/// empty report) for both the engine and the routed legacy entry points.
+#[test]
+fn reference_errors_are_returned_not_swept() {
+    let artifact = protected_artifact();
+    assert!(artifact.campaign("nope", &[], &InstructionSkip).is_err());
+    assert!(artifact.skip_sweep("nope", &[]).is_err());
+    assert!(artifact.register_flip_campaign("nope", &[], 1, 10).is_err());
 }
 
 /// The exhaustive instruction-skip sweep is deterministic: two sweeps over

@@ -1,0 +1,106 @@
+//! The `Arc`-sharing contract of `CompiledModule::simulator`: building many
+//! simulators from one artifact shares the immutable program instead of
+//! deep-cloning it, without any observable coupling between siblings.
+
+use std::sync::Arc;
+
+use secbranch::programs::{integer_compare_module, password_check_module};
+use secbranch::{Pipeline, ProtectionVariant};
+
+/// Sibling simulators literally share one program allocation.
+#[test]
+fn simulators_share_the_program_allocation() {
+    let artifact = Pipeline::for_variant(ProtectionVariant::AnCode)
+        .build(&integer_compare_module())
+        .expect("builds");
+    let a = artifact.simulator();
+    let b = artifact.simulator();
+    assert!(
+        Arc::ptr_eq(a.shared_program(), b.shared_program()),
+        "two simulators from one artifact must share the program Arc"
+    );
+    assert!(
+        Arc::ptr_eq(a.shared_program(), &artifact.compiled().program),
+        "the simulators share the artifact's own compilation"
+    );
+}
+
+/// N simulators built from one artifact all produce the `run`/`measure`
+/// results of a freshly built artifact — sharing changes the cost, not the
+/// observable behaviour.
+#[test]
+fn shared_simulators_reproduce_run_and_measure_results() {
+    let module = integer_compare_module();
+    let pipeline = Pipeline::for_variant(ProtectionVariant::AnCode);
+    let artifact = pipeline.build(&module).expect("builds");
+
+    let expected = artifact.run("integer_compare", &[500, 501]).expect("runs");
+    for _ in 0..16 {
+        let got = artifact.run("integer_compare", &[500, 501]).expect("runs");
+        assert_eq!(got, expected);
+    }
+    let m1 = artifact.measure("integer_compare", &[7, 7]).expect("runs");
+    let m2 = artifact.measure("integer_compare", &[7, 7]).expect("runs");
+    assert_eq!(m1, m2);
+
+    // A second, independently built artifact of the same pipeline agrees.
+    let rebuilt = Pipeline::for_variant(ProtectionVariant::AnCode)
+        .build(&module)
+        .expect("builds");
+    assert_eq!(
+        rebuilt.run("integer_compare", &[500, 501]).expect("runs"),
+        expected
+    );
+}
+
+/// Mutations through one simulator's machine are invisible to a sibling:
+/// only the *code* is shared, all mutable state is per-simulator.
+#[test]
+fn machine_mutations_do_not_leak_between_siblings() {
+    let artifact = Pipeline::for_variant(ProtectionVariant::AnCode)
+        .build(&password_check_module(8))
+        .expect("builds");
+
+    let mut tampered = artifact.simulator();
+    let sibling = artifact.simulator();
+
+    // Corrupt registers and the globals image through one simulator...
+    tampered
+        .machine_mut()
+        .set_reg(secbranch::armv7m::Reg::R4, 0xDEAD_BEEF);
+    let global_addr = artifact
+        .compiled()
+        .global_image
+        .first()
+        .map(|(addr, _)| *addr)
+        .expect("password check has globals");
+    tampered.machine_mut().write_bytes(global_addr, &[0xFF; 4]);
+
+    // ...the sibling (created before the tampering) is unaffected...
+    assert_eq!(sibling.machine().reg(secbranch::armv7m::Reg::R4), 0);
+    assert_ne!(sibling.machine().read_bytes(global_addr, 4), &[0xFF; 4]);
+
+    // ...and so is a fresh one created afterwards: the shared globals image
+    // itself cannot be written through a simulator.
+    let fresh = artifact.simulator();
+    assert_ne!(fresh.machine().read_bytes(global_addr, 4), &[0xFF; 4]);
+    assert_eq!(
+        fresh.machine().read_bytes(global_addr, 4),
+        sibling.machine().read_bytes(global_addr, 4)
+    );
+
+    // The tampered simulator still runs (on its corrupted state) while the
+    // fresh one produces the reference result.
+    let max_steps = artifact.sim().max_steps;
+    let mut fresh = fresh;
+    let clean = fresh
+        .call("password_check", &[], max_steps)
+        .expect("runs clean");
+    assert_eq!(
+        clean.return_value,
+        artifact
+            .run("password_check", &[])
+            .expect("runs")
+            .return_value
+    );
+}
