@@ -51,7 +51,7 @@ mod simulator;
 
 pub use error::SimError;
 pub use instr::{Cond, Instr, Operand2, Reg, Target};
-pub use machine::{Flags, Machine};
+pub use machine::{Flags, Machine, MachineState};
 pub use program::{Program, ProgramBuilder};
 pub use simulator::{ExecResult, FaultAction, FaultHook, NoFaults, Simulator};
 

@@ -85,6 +85,47 @@ impl Flags {
     }
 }
 
+/// A compact architectural snapshot of a [`Machine`] mid-run, captured by
+/// [`Machine::snapshot`] and replayed by [`Machine::restore`].
+///
+/// Only the dirty RAM window is stored (untouched RAM is all-zero by
+/// construction), so a snapshot of a short run costs kilobytes even on a
+/// megabyte machine.
+#[derive(Debug, Clone)]
+pub struct MachineState {
+    regs: [u32; 16],
+    flags: Flags,
+    cfi: CfiMonitor,
+    /// `(base address, bytes)` of each dirty RAM window (at most
+    /// [`DIRTY_WINDOWS`]).
+    segments: Vec<(u32, Vec<u8>)>,
+}
+
+impl MachineState {
+    /// Total size of the stored dirty RAM in bytes.
+    #[must_use]
+    pub fn dirty_len(&self) -> usize {
+        self.segments.iter().map(|(_, bytes)| bytes.len()).sum()
+    }
+}
+
+/// Number of disjoint dirty windows a [`Machine`] tracks. Two matches the
+/// memory layout of compiled modules — globals near the bottom of RAM, the
+/// stack at the top — so neither scrubbing nor snapshotting ever touches
+/// the untouched gulf between them.
+pub const DIRTY_WINDOWS: usize = 2;
+
+/// Writes closer than this to an existing dirty window extend it; farther
+/// ones open a new window (while one is free). Keeps frame-local store
+/// scatter in one window without fusing the globals and stack regions.
+const DIRTY_GAP_THRESHOLD: u32 = 4096;
+
+/// A dirty address window `[lo, hi)`; `EMPTY_WINDOW` when nothing was
+/// written.
+type DirtyWindow = (u32, u32);
+
+const EMPTY_WINDOW: DirtyWindow = (u32::MAX, 0);
+
 /// Registers, flags, memory and the CFI unit of the simulated core.
 #[derive(Debug, Clone)]
 pub struct Machine {
@@ -94,6 +135,9 @@ pub struct Machine {
     memory: Vec<u8>,
     /// The memory-mapped CFI unit.
     pub cfi: CfiMonitor,
+    /// The RAM written since construction or the last [`Machine::scrub`],
+    /// as up to [`DIRTY_WINDOWS`] disjoint `[lo, hi)` windows.
+    dirty: [DirtyWindow; DIRTY_WINDOWS],
 }
 
 impl Machine {
@@ -108,7 +152,119 @@ impl Machine {
             flags: Flags::default(),
             memory: vec![0u8; memory_size as usize],
             cfi: CfiMonitor::new(0),
+            dirty: [EMPTY_WINDOW; DIRTY_WINDOWS],
         }
+    }
+
+    /// Records that `[addr, addr + len)` was written. Every RAM write goes
+    /// through this, which is what makes [`Machine::scrub`] exact. The
+    /// write extends the nearest existing window when it is close
+    /// (`DIRTY_GAP_THRESHOLD`), otherwise opens a free window; with all
+    /// windows taken, the nearest one absorbs it.
+    #[inline]
+    fn mark_dirty(&mut self, addr: u32, len: u32) {
+        if len == 0 {
+            return;
+        }
+        let hi = addr + len;
+        let mut nearest = 0usize;
+        let mut nearest_gap = u32::MAX;
+        for (index, &(w_lo, w_hi)) in self.dirty.iter().enumerate() {
+            if (w_lo, w_hi) == EMPTY_WINDOW {
+                continue;
+            }
+            // Gap between [addr, hi) and [w_lo, w_hi); 0 when they overlap
+            // or touch.
+            let gap = if addr > w_hi {
+                addr - w_hi
+            } else {
+                w_lo.saturating_sub(hi)
+            };
+            if gap < nearest_gap {
+                nearest_gap = gap;
+                nearest = index;
+            }
+        }
+        if nearest_gap > DIRTY_GAP_THRESHOLD {
+            if let Some(free) = self.dirty.iter().position(|w| *w == EMPTY_WINDOW) {
+                self.dirty[free] = (addr, hi);
+                return;
+            }
+        }
+        let window = &mut self.dirty[nearest];
+        window.0 = window.0.min(addr);
+        window.1 = window.1.max(hi);
+    }
+
+    /// The dirty windows, clamped to RAM, in storage order.
+    fn dirty_ranges(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        let len = self.memory.len();
+        self.dirty
+            .iter()
+            .filter(|w| **w != EMPTY_WINDOW)
+            .map(move |&(lo, hi)| (lo as usize, (hi as usize).min(len)))
+            .filter(|(lo, hi)| lo < hi)
+    }
+
+    /// Captures the machine's full architectural state mid-run as a compact
+    /// snapshot: registers, flags, the CFI unit, and exactly the RAM bytes
+    /// written so far (the dirty window — untouched RAM is zero by
+    /// construction and need not be copied).
+    ///
+    /// Restoring via [`Machine::restore`] reproduces the machine
+    /// bit-for-bit, which is what lets fault campaigns fast-forward
+    /// injections to a checkpoint instead of re-executing the reference
+    /// prefix.
+    #[must_use]
+    pub fn snapshot(&self) -> MachineState {
+        MachineState {
+            regs: self.regs,
+            flags: self.flags,
+            cfi: self.cfi.clone(),
+            segments: self
+                .dirty_ranges()
+                .map(|(lo, hi)| (lo as u32, self.memory[lo..hi].to_vec()))
+                .collect(),
+        }
+    }
+
+    /// Restores a state captured by [`Machine::snapshot`] (on this machine
+    /// or any machine of the same memory size): scrubs to pristine, then
+    /// replays the snapshot's registers, flags, CFI unit and dirty RAM.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot's dirty window does not fit this machine's
+    /// RAM (snapshots only make sense across equally-sized machines).
+    pub fn restore(&mut self, state: &MachineState) {
+        self.scrub();
+        for (base, bytes) in &state.segments {
+            self.write_bytes(*base, bytes);
+        }
+        self.regs = state.regs;
+        self.flags = state.flags;
+        self.cfi = state.cfi.clone();
+    }
+
+    /// Restores the machine to the state [`Machine::new`] produced, without
+    /// reallocating: zeroes exactly the RAM range written since construction
+    /// (or the previous scrub), resets registers, flags and the CFI unit.
+    ///
+    /// This is the cheap path campaign workers use to reuse one machine
+    /// across millions of injections — a short run touching a few hundred
+    /// stack bytes pays for those bytes, not for the whole RAM allocation.
+    /// Callers that seeded memory (e.g. a globals image) must rewrite it
+    /// afterwards.
+    pub fn scrub(&mut self) {
+        let ranges: Vec<(usize, usize)> = self.dirty_ranges().collect();
+        for (lo, hi) in ranges {
+            self.memory[lo..hi].fill(0);
+        }
+        self.dirty = [EMPTY_WINDOW; DIRTY_WINDOWS];
+        self.regs = [0u32; 16];
+        self.regs[Reg::Sp.index()] = self.memory_size() & !7;
+        self.flags = Flags::default();
+        self.cfi = CfiMonitor::new(0);
     }
 
     /// Reads a register.
@@ -181,6 +337,7 @@ impl Machine {
             });
         }
         self.memory[addr as usize..end].copy_from_slice(&value.to_le_bytes());
+        self.mark_dirty(addr, 4);
         Ok(())
     }
 
@@ -215,6 +372,7 @@ impl Machine {
         match self.memory.get_mut(addr as usize) {
             Some(b) => {
                 *b = value as u8;
+                self.mark_dirty(addr, 1);
                 Ok(())
             }
             None => Err(SimError::MemoryFault {
@@ -232,6 +390,7 @@ impl Machine {
     /// Panics if the range is out of bounds.
     pub fn write_bytes(&mut self, addr: u32, data: &[u8]) {
         self.memory[addr as usize..addr as usize + data.len()].copy_from_slice(data);
+        self.mark_dirty(addr, data.len() as u32);
     }
 
     /// Reads bytes from RAM (result inspection).
@@ -336,6 +495,42 @@ mod tests {
         m.store_byte(10, 0).expect("in range");
         m.flip_memory_bit(10, 3).expect("in range");
         assert_eq!(m.load_byte(10).expect("in range"), 8);
+    }
+
+    #[test]
+    fn scrub_restores_the_pristine_state() {
+        let mut m = Machine::new(1024);
+        m.set_reg(Reg::R4, 7);
+        m.flags.z = true;
+        m.store_word(64, 0xDEAD_BEEF).expect("in range");
+        m.store_byte(900, 0x5A).expect("in range");
+        m.write_bytes(4, &[1, 2, 3]);
+        m.cfi.replace(0x1234);
+        m.cfi.check(0); // latches a violation
+        m.scrub();
+
+        let fresh = Machine::new(1024);
+        assert_eq!(m.reg(Reg::R4), 0);
+        assert_eq!(m.reg(Reg::Sp), fresh.reg(Reg::Sp));
+        assert_eq!(m.flags, fresh.flags);
+        assert_eq!(m.cfi, fresh.cfi);
+        assert_eq!(m.read_bytes(0, 1024), fresh.read_bytes(0, 1024));
+        // Scrubbing an untouched machine is a no-op.
+        m.scrub();
+        assert_eq!(m.read_bytes(0, 1024), fresh.read_bytes(0, 1024));
+    }
+
+    #[test]
+    fn scrub_only_clears_what_was_written() {
+        // The dirty window is exact: writes outside it never happen, so a
+        // scrubbed machine equals a fresh one even after faults landed at
+        // far-apart addresses.
+        let mut m = Machine::new(1 << 16);
+        m.flip_memory_bit(3, 0).expect("in range");
+        m.flip_memory_bit(60_000, 7).expect("in range");
+        m.scrub();
+        let fresh = Machine::new(1 << 16);
+        assert_eq!(m.read_bytes(0, 1 << 16), fresh.read_bytes(0, 1 << 16));
     }
 
     #[test]

@@ -176,10 +176,56 @@ impl Simulator {
 
         let checks_before = self.machine.cfi.checks();
         let violations_before = self.machine.cfi.violations();
-        let mut pc = entry_index as u64;
+        self.run_from(
+            entry_index as u64,
+            0,
+            checks_before,
+            violations_before,
+            max_steps,
+            faults,
+        )
+    }
+
+    /// Resumes execution mid-call: the machine must already hold the
+    /// architectural state of a run paused before executing dynamic step
+    /// `steps_done + 1` at instruction index `pc` (normally restored from a
+    /// [`crate::MachineState`] snapshot taken during a recorded run).
+    ///
+    /// The step counter continues from `steps_done`, so fault hooks see the
+    /// same step numbers as in a full run and `max_steps` bounds the
+    /// *total* dynamic length, exactly as [`Simulator::call_with_faults`]
+    /// would. The reported CFI deltas count from the machine's zero point
+    /// (snapshots carry the prefix's counters), so a resumed run's CFI
+    /// verdict matches the full run's; `cycles`/`instructions` however
+    /// count only the resumed suffix — callers that need full-run counters
+    /// must take them from the recording.
+    ///
+    /// # Errors
+    ///
+    /// See [`Simulator::call`].
+    pub fn resume_with_faults(
+        &mut self,
+        pc: usize,
+        steps_done: u64,
+        max_steps: u64,
+        faults: &mut dyn FaultHook,
+    ) -> Result<ExecResult, SimError> {
+        self.run_from(pc as u64, steps_done, 0, 0, max_steps, faults)
+    }
+
+    /// The interpreter loop, shared by fresh calls and resumed runs.
+    fn run_from(
+        &mut self,
+        mut pc: u64,
+        start_steps: u64,
+        checks_before: u32,
+        violations_before: u32,
+        max_steps: u64,
+        faults: &mut dyn FaultHook,
+    ) -> Result<ExecResult, SimError> {
         let mut cycles: u64 = 0;
         let mut retired: u64 = 0;
-        let mut steps: u64 = 0;
+        let mut steps: u64 = start_steps;
 
         loop {
             if steps >= max_steps {
@@ -627,6 +673,135 @@ mod tests {
             .call_with_faults("max", &[7, 3], 100, &mut FlipR0BeforeCmp)
             .expect("runs");
         assert_eq!(faulted.return_value, 7 | (1 << 31));
+    }
+
+    #[test]
+    fn resume_from_snapshot_matches_the_full_run() {
+        use crate::machine::MachineState;
+
+        // Record a snapshot before step 4 of a faulty run of `sum(10)`
+        // (program from `loop_with_memory_and_call`), then resume a sibling
+        // simulator from it with the same fault hook: identical result,
+        // identical step-limit behaviour.
+        struct SnapshotAt {
+            step: u64,
+            state: Option<(MachineState, usize)>,
+        }
+        impl FaultHook for SnapshotAt {
+            fn before_execute(
+                &mut self,
+                step: u64,
+                pc: usize,
+                _: &Instr,
+                machine: &mut Machine,
+            ) -> FaultAction {
+                if step == self.step {
+                    self.state = Some((machine.snapshot(), pc));
+                }
+                FaultAction::Continue
+            }
+        }
+        struct SkipAt(u64);
+        impl FaultHook for SkipAt {
+            fn before_execute(
+                &mut self,
+                step: u64,
+                _: usize,
+                _: &Instr,
+                _: &mut Machine,
+            ) -> FaultAction {
+                if step == self.0 {
+                    FaultAction::Skip
+                } else {
+                    FaultAction::Continue
+                }
+            }
+        }
+
+        let mut p = ProgramBuilder::new();
+        p.label("sum");
+        p.push(Instr::MovImm {
+            rd: Reg::R1,
+            imm: 0,
+        });
+        p.push(Instr::MovImm {
+            rd: Reg::R2,
+            imm: 0,
+        });
+        p.label("loop");
+        p.push(Instr::Cmp {
+            rn: Reg::R2,
+            op2: Operand2::Reg(Reg::R0),
+        });
+        p.push(Instr::BCond {
+            cond: Cond::Hs,
+            target: Target::label("exit"),
+        });
+        p.push(Instr::Add {
+            rd: Reg::R1,
+            rn: Reg::R1,
+            op2: Operand2::Reg(Reg::R2),
+        });
+        p.push(Instr::Add {
+            rd: Reg::R2,
+            rn: Reg::R2,
+            op2: Operand2::Imm(1),
+        });
+        p.push(Instr::Str {
+            rt: Reg::R1,
+            rn: Reg::R3,
+            offset: 64,
+        });
+        p.push(Instr::B {
+            target: Target::label("loop"),
+        });
+        p.label("exit");
+        p.push(Instr::Mov {
+            rd: Reg::R0,
+            rm: Reg::R1,
+        });
+        p.push(Instr::Bx { rm: Reg::Lr });
+        let program = p.assemble().expect("assembles");
+
+        // Snapshot the fault-free run before step 9 (mid-loop).
+        let mut recorder = Simulator::new(program.clone(), 4096);
+        let mut snap = SnapshotAt {
+            step: 9,
+            state: None,
+        };
+        let reference = recorder
+            .call_with_faults("sum", &[10], 1_000, &mut snap)
+            .expect("runs");
+        let (state, pc) = snap.state.expect("snapshot taken");
+
+        // A fault at step 20 (after the snapshot): full run vs resumed run.
+        let mut full_sim = Simulator::new(program.clone(), 4096);
+        let full = full_sim
+            .call_with_faults("sum", &[10], 1_000, &mut SkipAt(20))
+            .expect("runs");
+        let mut resumed_sim = Simulator::new(program.clone(), 4096);
+        resumed_sim.machine_mut().restore(&state);
+        let resumed = resumed_sim
+            .resume_with_faults(pc, 8, 1_000, &mut SkipAt(20))
+            .expect("runs");
+        assert_eq!(resumed.return_value, full.return_value);
+        assert_ne!(full.return_value, reference.return_value, "fault visible");
+
+        // The step limit counts total dynamic steps, resumed or not (the
+        // skipped ADD at step 17 does not shorten the run, so both paths
+        // exhaust the 30-step budget).
+        let mut limited_full = Simulator::new(program.clone(), 4096);
+        let full_err = limited_full.call_with_faults("sum", &[10], 30, &mut SkipAt(17));
+        let mut limited_resumed = Simulator::new(program, 4096);
+        limited_resumed.machine_mut().restore(&state);
+        let resumed_err = limited_resumed.resume_with_faults(pc, 8, 30, &mut SkipAt(17));
+        match (full_err, resumed_err) {
+            (
+                Err(SimError::StepLimitExceeded { limit: a }),
+                Err(SimError::StepLimitExceeded { limit: b }),
+            ) => assert_eq!(a, b),
+            other => panic!("expected matching step-limit errors, got {other:?}"),
+        }
     }
 
     #[test]

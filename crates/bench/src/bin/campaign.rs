@@ -1,20 +1,28 @@
 //! Regenerates the Section V security numbers through the general campaign
 //! engine: the historical instruction-skip sweep plus the richer attacker
 //! models (double skip, register/memory bit flips, conditional-branch
-//! inversion), as a variants × fault-models security matrix.
+//! inversion), as a variants × fault-models security matrix executed on the
+//! global fault-space scheduler.
 //!
 //! ```console
 //! $ campaign                                  # default matrix on integer compare
 //! $ campaign unprotected prototype --models skip,branch-invert --trials 200
 //! $ campaign --workload password_check --heatmap
 //! $ campaign --json
+//! $ campaign --matrix --json                  # scheduler-vs-sequential benchmark
 //! ```
+//!
+//! `--matrix` benchmarks the matrix executor against the sequential
+//! per-cell path on a 2-workloads grid and emits machine-readable timings
+//! (cells, threads, wall time, trace-cache hits) — the source of
+//! `BENCH_matrix.json` in CI. Any failure (including a failing fault-free
+//! reference run) exits nonzero with the error on stderr.
 
 use std::process::exit;
 
 use secbranch::campaign::{
     BranchInversion, CampaignRunner, DoubleInstructionSkip, FaultModel, InstructionSkip,
-    MemoryBitFlip, RegisterBitFlip,
+    MatrixExecutor, MemoryBitFlip, RegisterBitFlip,
 };
 use secbranch::programs::{integer_compare_module, memcmp_module, password_check_module};
 use secbranch::{Pipeline, ProtectionVariant, Session, Workload};
@@ -23,13 +31,18 @@ fn usage(message: &str) -> ! {
     eprintln!("{message}");
     eprintln!(
         "usage: campaign [variant labels...] [--models LIST] [--trials N] [--threads N] \
-         [--workload NAME] [--json] [--heatmap]"
+         [--max-steps N] [--workload NAME] [--matrix] [--json] [--heatmap]"
     );
     eprintln!("  variant labels: unprotected cfi \"duplication(xN)\" prototype");
     eprintln!("  --models: comma list of skip,double-skip,register-flip,memory-flip,branch-invert");
     eprintln!("  --trials: injection budget of the sampling models (default 2000)");
     eprintln!("  --threads: worker threads (default: available parallelism)");
+    eprintln!(
+        "  --max-steps: dynamic instruction budget per run (default 10000000; 200000 \
+         under --matrix)"
+    );
     eprintln!("  --workload: integer_compare (default), memcmp, password_check");
+    eprintln!("  --matrix: benchmark the global scheduler against the sequential path");
     exit(2);
 }
 
@@ -72,15 +85,51 @@ fn workload_by_name(name: &str) -> Workload {
     }
 }
 
-fn main() {
-    let mut variants: Vec<ProtectionVariant> = Vec::new();
-    let mut model_list = "skip,double-skip,register-flip,memory-flip,branch-invert".to_string();
-    let mut trials: u64 = 2_000;
-    let mut threads: Option<usize> = None;
-    let mut workload_name = "integer_compare".to_string();
-    let mut json = false;
-    let mut heatmap = false;
+/// Exits with the error on stderr — shared by every failure path so the
+/// process never reports success for a matrix it could not run (a failing
+/// fault-free reference run included).
+fn fail(context: &str, error: &dyn std::fmt::Display) -> ! {
+    eprintln!("campaign failed ({context}): {error}");
+    exit(1);
+}
 
+struct Options {
+    variants: Vec<ProtectionVariant>,
+    model_list: String,
+    trials: u64,
+    threads: Option<usize>,
+    max_steps: Option<u64>,
+    workload_name: Option<String>,
+    matrix: bool,
+    json: bool,
+    heatmap: bool,
+}
+
+impl Options {
+    /// The per-run step budget: `--max-steps` when given, otherwise 10M for
+    /// the exploratory matrix and 200k for the `--matrix` benchmark (the
+    /// grid's reference runs are under 1k steps, so 200k is still 200×
+    /// headroom — a 10M budget would let the few runaway faulted runs burn
+    /// more cycles than the entire rest of the campaign and drown the
+    /// scheduling comparison in shared suffix work).
+    fn effective_max_steps(&self) -> u64 {
+        self.max_steps
+            .unwrap_or(if self.matrix { 200_000 } else { 10_000_000 })
+    }
+}
+
+fn parse_args() -> Options {
+    let mut options = Options {
+        variants: Vec::new(),
+        model_list: "skip,double-skip,register-flip,memory-flip,branch-invert".to_string(),
+        trials: 2_000,
+        threads: None,
+        max_steps: None,
+        workload_name: None,
+        matrix: false,
+        json: false,
+        heatmap: false,
+    };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut value_of = |flag: &str| {
@@ -88,78 +137,112 @@ fn main() {
                 .unwrap_or_else(|| usage(&format!("{flag} needs a value")))
         };
         match arg.as_str() {
-            "--models" => model_list = value_of("--models"),
+            "--models" => options.model_list = value_of("--models"),
             "--trials" => {
-                trials = value_of("--trials")
+                options.trials = value_of("--trials")
                     .parse()
                     .unwrap_or_else(|_| usage("--trials needs an integer"));
             }
             "--threads" => {
-                threads = Some(
+                options.threads = Some(
                     value_of("--threads")
                         .parse()
                         .unwrap_or_else(|_| usage("--threads needs an integer")),
                 );
             }
-            "--workload" => workload_name = value_of("--workload"),
-            "--json" => json = true,
-            "--heatmap" => heatmap = true,
+            "--max-steps" => {
+                options.max_steps = Some(
+                    value_of("--max-steps")
+                        .parse()
+                        .unwrap_or_else(|_| usage("--max-steps needs an integer")),
+                );
+            }
+            "--workload" => options.workload_name = Some(value_of("--workload")),
+            "--matrix" => options.matrix = true,
+            "--json" => options.json = true,
+            "--heatmap" => options.heatmap = true,
             flag if flag.starts_with("--") => usage(&format!("unknown flag {flag:?}")),
             label => match label.parse::<ProtectionVariant>() {
-                Ok(variant) => variants.push(variant),
+                Ok(variant) => options.variants.push(variant),
                 Err(e) => usage(&e.to_string()),
             },
         }
     }
-    if variants.is_empty() {
-        variants = vec![
+    if options.variants.is_empty() {
+        options.variants = vec![
             ProtectionVariant::Unprotected,
             ProtectionVariant::CfiOnly,
             ProtectionVariant::AnCode,
         ];
     }
+    // The benchmark grid is fixed (its numbers are comparable across runs);
+    // reject flags it would otherwise silently ignore.
+    if options.matrix && options.workload_name.is_some() {
+        usage("--matrix uses a fixed 2-workload grid; --workload does not apply");
+    }
+    if options.matrix && options.heatmap {
+        usage("--matrix emits timings, not per-location heatmaps; drop --heatmap");
+    }
+    options
+}
 
-    let models: Vec<Box<dyn FaultModel>> = model_list
-        .split(',')
-        .filter(|s| !s.is_empty())
-        .map(|name| model_by_name(name.trim(), trials))
-        .collect();
-    let model_refs: Vec<&dyn FaultModel> = models.iter().map(AsRef::as_ref).collect();
-
-    let workloads = [workload_by_name(&workload_name)];
-    let pipelines: Vec<Pipeline> = variants
+fn pipelines_for(variants: &[ProtectionVariant], max_steps: u64) -> Vec<Pipeline> {
+    variants
         .iter()
         .map(|v| {
             Pipeline::for_variant(*v)
                 .with_memory_size(1 << 18)
-                .with_max_steps(10_000_000)
+                .with_max_steps(max_steps)
         })
-        .collect();
+        .collect()
+}
 
-    let runner = threads.map_or_else(CampaignRunner::new, |n| {
-        CampaignRunner::new().with_threads(n)
+fn main() {
+    let options = parse_args();
+    let models: Vec<Box<dyn FaultModel>> = options
+        .model_list
+        .split(',')
+        .filter(|s| !s.is_empty())
+        .map(|name| model_by_name(name.trim(), options.trials))
+        .collect();
+    let model_refs: Vec<&dyn FaultModel> = models.iter().map(AsRef::as_ref).collect();
+    let pipelines = pipelines_for(&options.variants, options.effective_max_steps());
+    let executor = options.threads.map_or_else(MatrixExecutor::new, |n| {
+        MatrixExecutor::new().with_threads(n)
     });
+
+    if options.matrix {
+        run_matrix_benchmark(&options, &pipelines, &model_refs, &executor);
+        return;
+    }
+
+    let workloads = [workload_by_name(
+        options
+            .workload_name
+            .as_deref()
+            .unwrap_or("integer_compare"),
+    )];
     let mut session = Session::new();
     let report = session
-        .security_matrix_with(&runner, &workloads, &pipelines, &model_refs)
-        .unwrap_or_else(|e| {
-            eprintln!("campaign failed: {e}");
-            exit(1);
-        });
+        .security_matrix_with(&executor, &workloads, &pipelines, &model_refs)
+        .unwrap_or_else(|e| fail("security matrix", &e));
 
-    if json {
+    if options.json {
         println!("{}", report.to_json());
         return;
     }
     println!(
-        "Section V security matrix — {} worker thread(s), sampling budget {}",
-        runner.threads(),
-        trials
+        "Section V security matrix — {} worker thread(s), sampling budget {}, \
+         {} trace recording(s) for {} cell(s)",
+        executor.threads(),
+        options.trials,
+        report.stats.trace_misses,
+        report.cells.len(),
     );
     println!("(cells: escaped/injections (escape rate); skip column = the historical sweep)");
     println!();
     println!("{}", report.render_table());
-    if heatmap {
+    if options.heatmap {
         for cell in &report.cells {
             if cell.report.counts.wrong_result_undetected > 0 {
                 println!(
@@ -170,4 +253,115 @@ fn main() {
             }
         }
     }
+}
+
+/// The `--matrix` benchmark: one grid (2 workloads × variants × models),
+/// first on the sequential per-cell path, then on the global scheduler, in
+/// one session so both pay zero build time (the cache is pre-warmed) and
+/// the scheduler starts with a cold trace store.
+fn run_matrix_benchmark(
+    options: &Options,
+    pipelines: &[Pipeline],
+    models: &[&dyn FaultModel],
+    executor: &MatrixExecutor,
+) {
+    let workloads = [
+        workload_by_name("integer_compare"),
+        workload_by_name("password_check"),
+    ];
+    let mut session = Session::new();
+
+    // Warm the build cache so neither path's campaign wall time pays for
+    // compilation.
+    let build_started = std::time::Instant::now();
+    for workload in &workloads {
+        for pipeline in pipelines {
+            session
+                .artifact(&workload.name, &workload.module, pipeline)
+                .unwrap_or_else(|e| fail("build", &e));
+        }
+    }
+    let build_micros = build_started.elapsed().as_micros() as u64;
+
+    let sequential = session
+        .security_matrix_sequential_with(
+            &CampaignRunner::new().with_threads(1),
+            &workloads,
+            pipelines,
+            models,
+        )
+        .unwrap_or_else(|e| fail("sequential security matrix", &e));
+    let matrix = session
+        .security_matrix_with(executor, &workloads, pipelines, models)
+        .unwrap_or_else(|e| fail("matrix security matrix", &e));
+
+    let identical = sequential == matrix && sequential.to_json() == matrix.to_json();
+    if !identical {
+        fail(
+            "invariant",
+            &"matrix executor output differs from the sequential path",
+        );
+    }
+    let speedup = if matrix.stats.total_wall_micros == 0 {
+        0.0
+    } else {
+        sequential.stats.total_wall_micros as f64 / matrix.stats.total_wall_micros as f64
+    };
+
+    if options.json {
+        let cell_micros: Vec<String> = matrix
+            .stats
+            .cell_compute_micros
+            .iter()
+            .map(u64::to_string)
+            .collect();
+        println!(
+            "{{\"grid\":{{\"workloads\":{},\"pipelines\":{},\"models\":{},\"cells\":{}}},\
+             \"threads\":{},\"shard_size\":{},\"host_parallelism\":{},\"trials\":{},\
+             \"max_steps\":{},\"build_micros\":{},\
+             \"sequential\":{{\"wall_micros\":{},\"trace_hits\":0,\"trace_misses\":{}}},\
+             \"matrix\":{{\"wall_micros\":{},\"trace_hits\":{},\"trace_misses\":{},\
+             \"cell_compute_micros\":[{}]}},\
+             \"speedup\":{:.3},\"identical\":true}}",
+            matrix.workloads.len(),
+            matrix.pipelines.len(),
+            matrix.models.len(),
+            matrix.cells.len(),
+            executor.threads(),
+            executor.shard_size(),
+            std::thread::available_parallelism().map_or(1, usize::from),
+            options.trials,
+            options.effective_max_steps(),
+            build_micros,
+            sequential.stats.total_wall_micros,
+            sequential.stats.trace_misses,
+            matrix.stats.total_wall_micros,
+            matrix.stats.trace_hits,
+            matrix.stats.trace_misses,
+            cell_micros.join(","),
+            speedup,
+        );
+        return;
+    }
+    println!(
+        "Matrix benchmark — {} cells ({} workloads × {} pipelines × {} models), \
+         sampling budget {}",
+        matrix.cells.len(),
+        matrix.workloads.len(),
+        matrix.pipelines.len(),
+        matrix.models.len(),
+        options.trials,
+    );
+    println!(
+        "sequential path:  {:>10} µs  ({} trace recordings)",
+        sequential.stats.total_wall_micros, sequential.stats.trace_misses,
+    );
+    println!(
+        "matrix executor:  {:>10} µs  ({} threads, {} trace recordings, {} cache hits)",
+        matrix.stats.total_wall_micros,
+        executor.threads(),
+        matrix.stats.trace_misses,
+        matrix.stats.trace_hits,
+    );
+    println!("speedup: {speedup:.2}x  (reports byte-identical)");
 }

@@ -1,0 +1,448 @@
+//! The [`MatrixExecutor`]: one global fault-space scheduler for a whole
+//! security matrix.
+//!
+//! The [`crate::CampaignRunner`] parallelises *one* campaign; a security
+//! matrix (workloads × protection variants × fault models) built on it runs
+//! its cells strictly one after another, re-records the same reference trace
+//! for every model attacking the same artifact, and serialises whenever one
+//! cell's fault space dwarfs the others. The executor instead compiles the
+//! *entire* matrix down to one job graph:
+//!
+//! 1. every cell's reference trace is fetched through a [`TraceStore`]
+//!    (recorded once per distinct `(artifact, entry, args)` key),
+//! 2. every cell's fault space is flattened into fixed-size **shards**
+//!    tagged with their cell,
+//! 3. one shared worker pool self-schedules over the global shard list —
+//!    workers steal the next unclaimed shard regardless of which cell it
+//!    belongs to, so a single huge cell spreads across all workers instead
+//!    of serialising the tail of the run,
+//! 4. per-cell outcomes are stitched back together in canonical fault-space
+//!    order and assembled into ordinary [`CampaignReport`]s.
+//!
+//! The hard invariant: the assembled reports are **byte-identical** to what
+//! the sequential per-cell [`crate::CampaignRunner`] path produces, at any
+//! thread count and shard size. Scheduling only decides *who* computes an
+//! outcome, never where it lands; workers recycle simulators through
+//! [`SimulatorSource::reset`], which restores the exact pristine state a
+//! fresh simulator would have (see the [`crate::trace_store`] determinism
+//! contract).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::thread;
+use std::time::Instant;
+
+use secbranch_armv7m::{SimError, Simulator};
+
+use crate::model::{CampaignContext, FaultModel};
+use crate::point::FaultPoint;
+use crate::report::{classify, CampaignReport, Outcome};
+use crate::runner::{assemble_report, run_point, SimulatorSource};
+use crate::trace_store::{RecordedReference, TraceKey, TraceStore};
+
+/// One cell of a security matrix, described as data: which target to attack
+/// (`source` + `key`), how to call it, and with which fault model.
+pub struct MatrixJob<'a> {
+    /// The simulator source of the artifact under attack.
+    pub source: &'a dyn SimulatorSource,
+    /// The trace-store identity of this cell's reference execution. Jobs on
+    /// the same artifact/entry/args share one recording when their keys are
+    /// equal.
+    pub key: TraceKey,
+    /// The entry function.
+    pub entry: String,
+    /// The call arguments.
+    pub args: Vec<u32>,
+    /// Dynamic instruction budget per execution.
+    pub max_steps: u64,
+    /// The fault model attacking this cell.
+    pub model: &'a dyn FaultModel,
+}
+
+/// The result of one matrix cell: the ordinary campaign report plus
+/// execution metadata of the scheduler.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatrixCellResult {
+    /// The campaign report, byte-identical to the sequential path's.
+    pub report: CampaignReport,
+    /// `true` if this cell's reference trace was served from the store
+    /// instead of recorded.
+    pub trace_hit: bool,
+    /// Injection compute time attributed to this cell, in microseconds
+    /// (summed over its shards across all workers; under a shared pool the
+    /// cells overlap in wall time, so these sum to roughly
+    /// `threads × elapsed wall time`).
+    pub compute_micros: u64,
+}
+
+/// One contiguous slice of one job's fault space, the scheduling unit of
+/// the shared pool.
+#[derive(Debug, Clone, Copy)]
+struct Shard {
+    job: usize,
+    start: usize,
+    end: usize,
+}
+
+/// What one shard produces: its outcomes in fault-space order plus the
+/// microseconds its worker spent computing them.
+type ShardOutput = (Vec<(Outcome, u32)>, u64);
+
+/// Executes whole security matrices on one shared worker pool with a
+/// memoised trace store. See the [module docs](self).
+#[derive(Debug, Clone, Copy)]
+pub struct MatrixExecutor {
+    threads: usize,
+    shard_size: usize,
+}
+
+impl Default for MatrixExecutor {
+    fn default() -> Self {
+        MatrixExecutor::new()
+    }
+}
+
+impl MatrixExecutor {
+    /// Default shard size: large enough that scheduling overhead vanishes,
+    /// small enough that a big cell splits across every worker.
+    pub const DEFAULT_SHARD_SIZE: usize = 64;
+
+    /// An executor using all available parallelism.
+    #[must_use]
+    pub fn new() -> Self {
+        MatrixExecutor {
+            threads: thread::available_parallelism().map_or(1, usize::from),
+            shard_size: MatrixExecutor::DEFAULT_SHARD_SIZE,
+        }
+    }
+
+    /// Overrides the worker-thread count (minimum 1).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Overrides the shard size (minimum 1). Output-invariant: shards decide
+    /// scheduling granularity, never report contents.
+    #[must_use]
+    pub fn with_shard_size(mut self, shard_size: usize) -> Self {
+        self.shard_size = shard_size.max(1);
+        self
+    }
+
+    /// The configured worker-thread count.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The configured shard size.
+    #[must_use]
+    pub fn shard_size(&self) -> usize {
+        self.shard_size
+    }
+
+    /// Runs every job's fault space on the shared pool and returns one
+    /// result per job, in job order.
+    ///
+    /// Reference traces are fetched through `store` (and stay there: a
+    /// later matrix over the same artifacts hits the memo). Traces are
+    /// resolved in job order before any worker starts, so a failing
+    /// reference reports the *first* failing cell, exactly like the
+    /// sequential path.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`SimError`] of the first failing reference run.
+    pub fn run(
+        &self,
+        jobs: &[MatrixJob<'_>],
+        store: &TraceStore,
+    ) -> Result<Vec<MatrixCellResult>, SimError> {
+        // Phase 1: reference traces, memoised per key.
+        let mut recorded: Vec<Arc<RecordedReference>> = Vec::with_capacity(jobs.len());
+        let mut trace_hits: Vec<bool> = Vec::with_capacity(jobs.len());
+        for job in jobs {
+            let (reference, hit) = store.reference_traced(
+                &job.key,
+                job.source,
+                &job.entry,
+                &job.args,
+                job.max_steps,
+            )?;
+            recorded.push(reference);
+            trace_hits.push(hit);
+        }
+
+        // Phase 2: fault spaces, in canonical per-model order.
+        let regions: Vec<Vec<(u32, u32)>> =
+            jobs.iter().map(|j| j.source.global_regions()).collect();
+        let spaces: Vec<Vec<FaultPoint>> = jobs
+            .iter()
+            .zip(&recorded)
+            .zip(&regions)
+            .map(|((job, reference), regions)| {
+                let ctx = CampaignContext {
+                    trace: &reference.trace,
+                    program: &reference.program,
+                    global_regions: regions,
+                    memory_size: reference.memory_size,
+                };
+                job.model.fault_points(&ctx)
+            })
+            .collect();
+
+        // Phase 3: the global shard list and the pool. Shards stay grouped
+        // by job in the list; self-scheduling interleaves them across
+        // workers dynamically, which is what lets one huge cell occupy every
+        // worker while small cells drain in between.
+        let shards: Vec<Shard> = spaces
+            .iter()
+            .enumerate()
+            .flat_map(|(job, points)| {
+                (0..points.len())
+                    .step_by(self.shard_size)
+                    .map(move |start| Shard {
+                        job,
+                        start,
+                        end: (start + self.shard_size).min(points.len()),
+                    })
+            })
+            .collect();
+        let slots: Vec<OnceLock<ShardOutput>> = shards.iter().map(|_| OnceLock::new()).collect();
+        let cursor = AtomicUsize::new(0);
+
+        // Identity of each job's simulator source (data-pointer address), so
+        // workers recycle one simulator across *every* model attacking one
+        // artifact, not just across one cell's shards.
+        let source_ids: Vec<usize> = jobs
+            .iter()
+            .map(|job| std::ptr::from_ref(job.source).cast::<()>() as usize)
+            .collect();
+
+        let run_shard = |shard: Shard, sim: &mut Option<(usize, Simulator)>| {
+            let job = &jobs[shard.job];
+            // Reuse the worker's simulator when the previous shard was on
+            // the same artifact; rebuild otherwise. Reset/restore brings it
+            // back to pristine state either way.
+            match sim {
+                Some((owner, _)) if *owner == source_ids[shard.job] => {}
+                _ => *sim = Some((source_ids[shard.job], job.source.fresh_simulator())),
+            }
+            let (_, simulator) = sim.as_mut().expect("just installed");
+            let reference = &recorded[shard.job];
+            let started = Instant::now();
+            let outcomes: Vec<(Outcome, u32)> = spaces[shard.job][shard.start..shard.end]
+                .iter()
+                .map(|point| {
+                    // Fast-forward: the faulted run equals the reference up
+                    // to its anchor (hooks are inert before it), so start
+                    // from the last checkpoint before the anchor instead of
+                    // re-executing the prefix.
+                    if let Some(cp) = reference.checkpoint_before(point.anchor_step()) {
+                        simulator.machine_mut().restore(&cp.state);
+                        let mut hook = point.hook();
+                        let result = simulator.resume_with_faults(
+                            cp.pc as usize,
+                            cp.steps_done,
+                            job.max_steps,
+                            &mut hook,
+                        );
+                        let outcome = classify(&reference.trace.result, &result);
+                        (outcome, result.map_or(0, |r| r.return_value))
+                    } else {
+                        job.source.reset(simulator);
+                        run_point(
+                            simulator,
+                            &job.entry,
+                            &job.args,
+                            job.max_steps,
+                            &reference.trace.result,
+                            point,
+                        )
+                    }
+                })
+                .collect();
+            (outcomes, started.elapsed().as_micros() as u64)
+        };
+        let worker = || {
+            let mut sim = None;
+            loop {
+                let index = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(&shard) = shards.get(index) else {
+                    break;
+                };
+                let outcome = run_shard(shard, &mut sim);
+                slots[index].set(outcome).expect("shard claimed twice");
+            }
+        };
+        let workers = self.threads.min(shards.len()).max(1);
+        if workers <= 1 {
+            worker();
+        } else {
+            thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(worker);
+                }
+            });
+        }
+
+        // Phase 4: stitch outcomes back per job (shards of one job appear in
+        // fault-space order in the global list) and assemble the reports.
+        let mut outcomes: Vec<Vec<(Outcome, u32)>> =
+            spaces.iter().map(|s| Vec::with_capacity(s.len())).collect();
+        let mut compute_micros = vec![0u64; jobs.len()];
+        for (shard, slot) in shards.iter().zip(&slots) {
+            let (shard_outcomes, micros) = slot.get().expect("all shards executed");
+            outcomes[shard.job].extend_from_slice(shard_outcomes);
+            compute_micros[shard.job] += micros;
+        }
+        Ok(jobs
+            .iter()
+            .enumerate()
+            .map(|(index, job)| MatrixCellResult {
+                report: assemble_report(
+                    job.model.name(),
+                    &job.entry,
+                    &job.args,
+                    &recorded[index].trace,
+                    &recorded[index].program,
+                    &spaces[index],
+                    &outcomes[index],
+                ),
+                trace_hit: trace_hits[index],
+                compute_micros: compute_micros[index],
+            })
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{BranchInversion, InstructionSkip, RegisterBitFlip};
+    use crate::runner::CampaignRunner;
+    use secbranch_armv7m::{Cond, Instr, Operand2, ProgramBuilder, Reg, Simulator, Target};
+
+    fn max_simulator() -> Simulator {
+        let mut p = ProgramBuilder::new();
+        p.label("max");
+        p.push(Instr::Cmp {
+            rn: Reg::R0,
+            op2: Operand2::Reg(Reg::R1),
+        });
+        p.push(Instr::BCond {
+            cond: Cond::Hs,
+            target: Target::label("done"),
+        });
+        p.push(Instr::Mov {
+            rd: Reg::R0,
+            rm: Reg::R1,
+        });
+        p.label("done");
+        p.push(Instr::Bx { rm: Reg::Lr });
+        Simulator::new(p.assemble().expect("assembles"), 4096)
+    }
+
+    fn jobs_over<'a>(sim: &'a Simulator, models: &'a [&'a dyn FaultModel]) -> Vec<MatrixJob<'a>> {
+        models
+            .iter()
+            .map(|model| MatrixJob {
+                source: sim,
+                key: TraceKey::new("max-artifact", "max", &[7, 3]),
+                entry: "max".to_string(),
+                args: vec![7, 3],
+                max_steps: 100,
+                model: *model,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn executor_matches_the_sequential_runner_per_cell() {
+        let sim = max_simulator();
+        let flip = RegisterBitFlip {
+            trials: 64,
+            seed: 0xFEED,
+        };
+        let models: Vec<&dyn FaultModel> = vec![&InstructionSkip, &BranchInversion, &flip];
+        let jobs = jobs_over(&sim, &models);
+        let store = TraceStore::new();
+        for (threads, shard_size) in [(1, 1), (2, 3), (8, 64)] {
+            let results = MatrixExecutor::new()
+                .with_threads(threads)
+                .with_shard_size(shard_size)
+                .run(&jobs, &store)
+                .expect("runs");
+            let runner = CampaignRunner::new().with_threads(1);
+            for (result, model) in results.iter().zip(&models) {
+                let sequential = runner
+                    .run(&sim, "max", &[7, 3], 100, *model)
+                    .expect("sequential runs");
+                assert_eq!(
+                    result.report,
+                    sequential,
+                    "threads={threads} shard={shard_size} model={}",
+                    model.name()
+                );
+                assert_eq!(result.report.to_json(), sequential.to_json());
+            }
+        }
+    }
+
+    #[test]
+    fn shared_keys_record_the_trace_once() {
+        let sim = max_simulator();
+        let models: Vec<&dyn FaultModel> = vec![&InstructionSkip, &BranchInversion];
+        let jobs = jobs_over(&sim, &models);
+        let store = TraceStore::new();
+        let results = MatrixExecutor::new()
+            .with_threads(2)
+            .run(&jobs, &store)
+            .expect("runs");
+        assert_eq!((store.hits(), store.misses()), (1, 1));
+        assert!(!results[0].trace_hit, "first cell records");
+        assert!(results[1].trace_hit, "second cell reuses");
+        // A second matrix over the same keys is all hits.
+        let again = MatrixExecutor::new().run(&jobs, &store).expect("runs");
+        assert_eq!((store.hits(), store.misses()), (3, 1));
+        assert!(again.iter().all(|r| r.trace_hit));
+    }
+
+    #[test]
+    fn failing_reference_reports_the_first_failing_cell() {
+        let sim = max_simulator();
+        let models: Vec<&dyn FaultModel> = vec![&InstructionSkip];
+        let mut jobs = jobs_over(&sim, &models);
+        jobs[0].entry = "nope".to_string();
+        jobs[0].key = TraceKey::new("max-artifact", "nope", &[7, 3]);
+        let err = MatrixExecutor::new().run(&jobs, &TraceStore::new());
+        assert!(matches!(err, Err(SimError::UnknownEntryPoint { .. })));
+    }
+
+    #[test]
+    fn empty_fault_spaces_produce_empty_reports() {
+        // A straight-line program has no conditional branches: the
+        // branch-inversion space is empty, which must yield a zero-count
+        // report rather than a hang or a panic.
+        let mut p = ProgramBuilder::new();
+        p.label("id");
+        p.push(Instr::Bx { rm: Reg::Lr });
+        let sim = Simulator::new(p.assemble().expect("assembles"), 1024);
+        let jobs = vec![MatrixJob {
+            source: &sim,
+            key: TraceKey::new("id-artifact", "id", &[5]),
+            entry: "id".to_string(),
+            args: vec![5],
+            max_steps: 10,
+            model: &BranchInversion,
+        }];
+        let results = MatrixExecutor::new()
+            .with_threads(4)
+            .run(&jobs, &TraceStore::new())
+            .expect("runs");
+        assert_eq!(results[0].report.counts.total(), 0);
+        assert!(results[0].report.escapes.is_empty());
+    }
+}

@@ -24,6 +24,13 @@
 //!   attribution: which instruction each escaped fault was anchored at
 //!   ([`LocationReport`], [`EscapeRecord`]), a text heatmap and a
 //!   deterministic JSON serialisation.
+//! * **[`MatrixExecutor`] + [`TraceStore`]** — the matrix-scale layer: an
+//!   entire security matrix (many cells = artifact × fault-model pairs,
+//!   described as [`MatrixJob`]s) flattens into fixed-size shards scheduled
+//!   across *one* shared worker pool, with reference traces memoised per
+//!   `(artifact, entry, args)` ([`TraceKey`]) so N models attacking one
+//!   artifact record its trace once. Reports stay byte-identical to the
+//!   per-cell sequential path at any thread count.
 //!
 //! # Example
 //!
@@ -54,11 +61,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod executor;
 mod model;
 mod point;
 mod report;
 mod runner;
+pub mod trace_store;
 
+pub use executor::{MatrixCellResult, MatrixExecutor, MatrixJob};
 pub use model::{
     BranchInversion, CampaignContext, DoubleInstructionSkip, FaultModel, InstructionSkip,
     MemoryBitFlip, ReferenceTrace, RegisterBitFlip, FLIP_REGISTERS,
@@ -69,6 +79,10 @@ pub use report::{
     OutcomeCounts,
 };
 pub use runner::{CampaignRunner, SharedModule, SimulatorSource};
+pub use trace_store::{
+    record_reference, record_reference_without_checkpoints, RecordedReference, TraceCheckpoint,
+    TraceKey, TraceStore, CHECKPOINT_BUDGET,
+};
 
 #[cfg(test)]
 mod crate_tests {

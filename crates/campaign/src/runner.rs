@@ -2,10 +2,9 @@
 //! simulators, sharded across worker threads, with deterministic merging.
 
 use std::collections::BTreeMap;
-use std::sync::Arc;
 use std::thread;
 
-use secbranch_armv7m::{FaultAction, FaultHook, Instr, Machine, Program, SimError, Simulator};
+use secbranch_armv7m::{Program, SimError, Simulator};
 use secbranch_codegen::CompiledModule;
 
 use crate::model::{CampaignContext, FaultModel, ReferenceTrace};
@@ -13,6 +12,7 @@ use crate::point::FaultPoint;
 use crate::report::{
     classify, CampaignReport, EscapeRecord, LocationReport, Outcome, OutcomeCounts,
 };
+use crate::trace_store::{record_reference_without_checkpoints, RecordedReference};
 
 /// A source of pristine simulators: the campaign engine runs every injection
 /// (and the reference) on a fresh one.
@@ -21,9 +21,36 @@ use crate::report::{
 /// preserving any pre-run machine tampering the caller did) and by
 /// [`SharedModule`] (each run starts from an `Arc`-shared compilation — the
 /// cheap path).
+///
+/// # Determinism contract
+///
+/// The engine's byte-identical-reports guarantee (any thread count, shard
+/// size or execution order produces the same [`CampaignReport`]) rests on
+/// this trait: every simulator a source hands out — whether freshly built by
+/// [`SimulatorSource::fresh_simulator`] or recycled through
+/// [`SimulatorSource::reset`] — must start from the *same* machine state, so
+/// that the same [`FaultPoint`] always produces the same outcome no matter
+/// which worker executes it, and so that a memoised
+/// [`crate::TraceStore`] trace remains valid for every later injection.
+/// Implementations whose initial state changes between calls (e.g. seeding
+/// memory from a mutable external buffer) break campaign determinism
+/// silently.
 pub trait SimulatorSource: Sync {
     /// A pristine simulator for one execution.
     fn fresh_simulator(&self) -> Simulator;
+
+    /// Restores `sim` (previously obtained from this source) to the pristine
+    /// state [`SimulatorSource::fresh_simulator`] produces, so workers can
+    /// reuse one simulator across many injections instead of reallocating
+    /// guest RAM per run.
+    ///
+    /// The default simply replaces `sim` with a fresh simulator, which is
+    /// always correct; sources that can restore in place (zeroing only the
+    /// dirty RAM window, [`SharedModule`] does) should override this — it is
+    /// the hot path of the matrix executor.
+    fn reset(&self, sim: &mut Simulator) {
+        *sim = self.fresh_simulator();
+    }
 
     /// `(address, length)` ranges of the target's globals, for fault models
     /// that aim at the data section. Empty when unknown.
@@ -54,6 +81,16 @@ impl SimulatorSource for SharedModule<'_> {
         self.compiled.simulator(self.memory_size)
     }
 
+    /// In-place restore: scrub the machine's dirty RAM window and rewrite
+    /// the globals image — a few hundred bytes for a typical run, instead of
+    /// a full guest-RAM reallocation.
+    fn reset(&self, sim: &mut Simulator) {
+        sim.machine_mut().scrub();
+        for (addr, data) in self.compiled.global_image.iter() {
+            sim.machine_mut().write_bytes(*addr, data);
+        }
+    }
+
     fn global_regions(&self) -> Vec<(u32, u32)> {
         self.compiled
             .global_image
@@ -63,28 +100,22 @@ impl SimulatorSource for SharedModule<'_> {
     }
 }
 
-/// Records the reference execution: the pc of every dynamic step and the
-/// steps at which conditional branches executed.
-#[derive(Debug, Default)]
-struct TraceRecorder {
-    pcs: Vec<u32>,
-    conditional_steps: Vec<u64>,
-}
-
-impl FaultHook for TraceRecorder {
-    fn before_execute(
-        &mut self,
-        step: u64,
-        pc: usize,
-        instr: &Instr,
-        _machine: &mut Machine,
-    ) -> FaultAction {
-        self.pcs.push(pc as u32);
-        if matches!(instr, Instr::BCond { .. }) {
-            self.conditional_steps.push(step);
-        }
-        FaultAction::Continue
-    }
+/// Runs one fault point on a *pristine* simulator (freshly built or just
+/// reset): inject, execute, classify against the reference. The shared
+/// per-injection step of the [`CampaignRunner`] and the matrix executor.
+pub(crate) fn run_point(
+    sim: &mut Simulator,
+    entry: &str,
+    args: &[u32],
+    max_steps: u64,
+    reference: &secbranch_armv7m::ExecResult,
+    point: &FaultPoint,
+) -> (Outcome, u32) {
+    let mut hook = point.hook();
+    let result = sim.call_with_faults(entry, args, max_steps, &mut hook);
+    let outcome = classify(reference, &result);
+    let return_value = result.map_or(0, |r| r.return_value);
+    (outcome, return_value)
 }
 
 /// The campaign engine: shards a fault space across worker threads and
@@ -145,38 +176,65 @@ impl CampaignRunner {
         max_steps: u64,
         model: &dyn FaultModel,
     ) -> Result<CampaignReport, SimError> {
-        let mut reference_sim = source.fresh_simulator();
-        let mut recorder = TraceRecorder::default();
-        let reference = reference_sim.call_with_faults(entry, args, max_steps, &mut recorder)?;
-        let trace = ReferenceTrace {
-            result: reference,
-            pcs: recorder.pcs,
-            conditional_steps: recorder.conditional_steps,
-        };
-        let program = Arc::clone(reference_sim.shared_program());
+        // No checkpoints: this runner never fast-forwards, so it skips the
+        // snapshot cost the matrix executor's recordings pay.
+        let recorded = record_reference_without_checkpoints(source, entry, args, max_steps)?;
+        Ok(self.run_recorded(source, entry, args, max_steps, model, &recorded))
+    }
+
+    /// Like [`CampaignRunner::run`], but reuses an already-recorded
+    /// reference execution (typically served by a [`crate::TraceStore`])
+    /// instead of recording one — the memoised path of the matrix executor
+    /// and the store-aware artifact campaigns.
+    ///
+    /// `recorded` must be the reference of exactly this
+    /// `(source, entry, args, max_steps)` combination; see the
+    /// [`crate::trace_store`] determinism contract.
+    #[must_use]
+    pub fn run_recorded(
+        &self,
+        source: &dyn SimulatorSource,
+        entry: &str,
+        args: &[u32],
+        max_steps: u64,
+        model: &dyn FaultModel,
+        recorded: &RecordedReference,
+    ) -> CampaignReport {
         let regions = source.global_regions();
-        let memory_size = reference_sim.machine().memory_size();
         let ctx = CampaignContext {
-            trace: &trace,
-            program: &program,
+            trace: &recorded.trace,
+            program: &recorded.program,
             global_regions: &regions,
-            memory_size,
+            memory_size: recorded.memory_size,
         };
         let points = model.fault_points(&ctx);
-        let outcomes = self.execute(source, entry, args, max_steps, &trace.result, &points);
-        Ok(assemble_report(
+        let outcomes = self.execute(
+            source,
+            entry,
+            args,
+            max_steps,
+            &recorded.trace.result,
+            &points,
+        );
+        assemble_report(
             model.name(),
             entry,
             args,
-            &trace,
-            &program,
+            &recorded.trace,
+            &recorded.program,
             &points,
             &outcomes,
-        ))
+        )
     }
 
     /// Runs every fault point and returns `(outcome, faulted return value)`
     /// in fault-space order, sharded over the configured threads.
+    ///
+    /// Every injection runs on a freshly built simulator — this runner is
+    /// deliberately kept as the straightforward reference implementation the
+    /// matrix executor (which recycles simulators via
+    /// [`SimulatorSource::reset`] and schedules shards globally) is
+    /// byte-compared against.
     fn execute(
         &self,
         source: &dyn SimulatorSource,
@@ -186,18 +244,19 @@ impl CampaignRunner {
         reference: &secbranch_armv7m::ExecResult,
         points: &[FaultPoint],
     ) -> Vec<(Outcome, u32)> {
-        let run_one = |point: &FaultPoint| -> (Outcome, u32) {
-            let mut sim = source.fresh_simulator();
-            let mut hook = point.hook();
-            let result = sim.call_with_faults(entry, args, max_steps, &mut hook);
-            let outcome = classify(reference, &result);
-            let return_value = result.map_or(0, |r| r.return_value);
-            (outcome, return_value)
+        let run_chunk = |chunk: &[FaultPoint]| -> Vec<(Outcome, u32)> {
+            chunk
+                .iter()
+                .map(|point| {
+                    let mut sim = source.fresh_simulator();
+                    run_point(&mut sim, entry, args, max_steps, reference, point)
+                })
+                .collect()
         };
 
         let workers = self.threads.min(points.len().max(1));
         if workers <= 1 {
-            return points.iter().map(run_one).collect();
+            return run_chunk(points);
         }
         // Contiguous chunks, one per worker; joining in spawn order restores
         // the canonical fault-space order regardless of completion order.
@@ -205,7 +264,7 @@ impl CampaignRunner {
         thread::scope(|scope| {
             let handles: Vec<_> = points
                 .chunks(chunk_size)
-                .map(|chunk| scope.spawn(move || chunk.iter().map(run_one).collect::<Vec<_>>()))
+                .map(|chunk| scope.spawn(move || run_chunk(chunk)))
                 .collect();
             let mut outcomes = Vec::with_capacity(points.len());
             for handle in handles {
@@ -218,7 +277,7 @@ impl CampaignRunner {
 
 /// Folds the per-point outcomes (in canonical order) into the report:
 /// aggregate counters, per-location attribution and the escape list.
-fn assemble_report(
+pub(crate) fn assemble_report(
     model: String,
     entry: &str,
     args: &[u32],
@@ -294,7 +353,7 @@ fn nearest_label(program: &Program, pc: usize) -> String {
 mod tests {
     use super::*;
     use crate::model::{BranchInversion, InstructionSkip, RegisterBitFlip};
-    use secbranch_armv7m::{Cond, Operand2, ProgramBuilder, Reg, Target};
+    use secbranch_armv7m::{Cond, Instr, Operand2, ProgramBuilder, Reg, Target};
 
     /// `max(a, b)`: one conditional branch, returns the larger argument.
     fn max_simulator() -> Simulator {

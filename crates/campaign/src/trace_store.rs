@@ -1,0 +1,504 @@
+//! The [`TraceStore`]: memoised fault-free reference executions, keyed by
+//! `(artifact fingerprint, entry, args)`.
+//!
+//! Every campaign needs the reference execution of its target recorded step
+//! by step before a single fault can be placed: the [`ReferenceTrace`] is
+//! what fault models enumerate their spaces over and what outcomes are
+//! classified against. Recording costs a full (instrumented) execution, so
+//! a security matrix that attacks one artifact with N fault models would
+//! naively record the same trace N times. The store collapses those to one
+//! recording per distinct [`TraceKey`] and counts hits and misses, which the
+//! matrix reports surface.
+//!
+//! # Determinism contract
+//!
+//! A memoised trace stands in for a fresh recording, and shards of the
+//! matrix executor classify faulted runs against it, so two properties must
+//! hold:
+//!
+//! 1. **Executions are deterministic.** A [`SimulatorSource`] hands out
+//!    pristine simulators whose fault-free run of `entry(args)` is identical
+//!    every time (the simulator is a deterministic interpreter and sources
+//!    always start from the same initial state, so this holds by
+//!    construction).
+//! 2. **Keys identify behaviour.** The caller must choose
+//!    [`TraceKey::artifact`] so that it covers everything that influences
+//!    the execution: the compiled code, the globals image and the simulator
+//!    configuration (memory size and step budget). The facade derives it
+//!    from the pipeline fingerprint plus a module content hash; hand-rolled
+//!    keys must be equally discriminating, otherwise the store can serve a
+//!    trace recorded on a *different* program and every downstream
+//!    classification silently becomes garbage.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use secbranch_armv7m::{FaultAction, FaultHook, Instr, Machine, MachineState, Program, SimError};
+
+use crate::model::ReferenceTrace;
+use crate::runner::SimulatorSource;
+
+/// Upper bound on the number of machine checkpoints recorded along one
+/// reference trace. The recorder thins its checkpoint set online (doubling
+/// the interval whenever the budget is hit), so memory per trace stays
+/// bounded no matter how long the run is.
+pub const CHECKPOINT_BUDGET: usize = 48;
+
+/// Identity of one reference execution: which artifact ran, from which entry
+/// point, with which arguments.
+///
+/// See the [module docs](self) for the discrimination requirement on
+/// [`TraceKey::artifact`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct TraceKey {
+    /// A fingerprint of the executed artifact, covering code, data image and
+    /// simulator configuration.
+    pub artifact: String,
+    /// The entry function.
+    pub entry: String,
+    /// The call arguments.
+    pub args: Vec<u32>,
+}
+
+impl TraceKey {
+    /// Creates a key.
+    #[must_use]
+    pub fn new(artifact: impl Into<String>, entry: impl Into<String>, args: &[u32]) -> Self {
+        TraceKey {
+            artifact: artifact.into(),
+            entry: entry.into(),
+            args: args.to_vec(),
+        }
+    }
+}
+
+/// A machine checkpoint along a recorded reference execution: the full
+/// architectural state immediately *before* dynamic step `steps_done + 1`
+/// executed at instruction index `pc`.
+///
+/// Because a faulted run is identical to the reference up to its first
+/// injection (fault hooks are inert before their anchor step), an injection
+/// anchored at step `s` may start from any checkpoint with
+/// `steps_done < s` instead of re-executing the prefix — the fast-forward
+/// path of the matrix executor.
+#[derive(Debug)]
+pub struct TraceCheckpoint {
+    /// Dynamic steps executed before this checkpoint.
+    pub steps_done: u64,
+    /// The instruction index about to execute.
+    pub pc: u32,
+    /// The captured machine state.
+    pub state: MachineState,
+}
+
+/// One recorded reference execution plus the static context fault models
+/// need to build their spaces over it.
+#[derive(Debug)]
+pub struct RecordedReference {
+    /// The step-by-step trace of the fault-free run.
+    pub trace: ReferenceTrace,
+    /// The program that ran (shared with the recording simulator).
+    pub program: Arc<Program>,
+    /// Guest RAM size of the recording simulator in bytes.
+    pub memory_size: u32,
+    /// Machine checkpoints along the trace, in ascending `steps_done`
+    /// order, starting with the pre-step-1 state.
+    pub checkpoints: Vec<TraceCheckpoint>,
+}
+
+impl RecordedReference {
+    /// The latest checkpoint usable for an injection anchored at dynamic
+    /// step `anchor` — the one with the largest `steps_done < anchor`, so
+    /// the anchor step itself still executes (and the fault hook still
+    /// fires) after the fast-forward.
+    #[must_use]
+    pub fn checkpoint_before(&self, anchor: u64) -> Option<&TraceCheckpoint> {
+        let index = self
+            .checkpoints
+            .partition_point(|cp| cp.steps_done < anchor);
+        index.checked_sub(1).map(|i| &self.checkpoints[i])
+    }
+}
+
+/// Records the reference execution: the pc of every dynamic step, the steps
+/// at which conditional branches executed, and periodic machine checkpoints
+/// (every `interval` steps, thinned by doubling the interval whenever the
+/// [`CHECKPOINT_BUDGET`] is hit).
+#[derive(Debug)]
+struct TraceRecorder {
+    pcs: Vec<u32>,
+    conditional_steps: Vec<u64>,
+    checkpoints: Vec<TraceCheckpoint>,
+    checkpoints_enabled: bool,
+    interval: u64,
+}
+
+impl Default for TraceRecorder {
+    fn default() -> Self {
+        TraceRecorder {
+            pcs: Vec::new(),
+            conditional_steps: Vec::new(),
+            checkpoints: Vec::new(),
+            checkpoints_enabled: true,
+            interval: 64,
+        }
+    }
+}
+
+impl FaultHook for TraceRecorder {
+    fn before_execute(
+        &mut self,
+        step: u64,
+        pc: usize,
+        instr: &Instr,
+        machine: &mut Machine,
+    ) -> FaultAction {
+        self.pcs.push(pc as u32);
+        if matches!(instr, Instr::BCond { .. }) {
+            self.conditional_steps.push(step);
+        }
+        if self.checkpoints_enabled && (step - 1).is_multiple_of(self.interval) {
+            if self.checkpoints.len() == CHECKPOINT_BUDGET {
+                // Budget hit: keep every other checkpoint, double the
+                // interval. All retained `steps_done` stay multiples of the
+                // new interval, so the cadence remains uniform.
+                let mut index: usize = 0;
+                self.checkpoints.retain(|_| {
+                    index += 1;
+                    (index - 1).is_multiple_of(2)
+                });
+                self.interval *= 2;
+                if !(step - 1).is_multiple_of(self.interval) {
+                    return FaultAction::Continue;
+                }
+            }
+            self.checkpoints.push(TraceCheckpoint {
+                steps_done: step - 1,
+                pc: pc as u32,
+                state: machine.snapshot(),
+            });
+        }
+        FaultAction::Continue
+    }
+}
+
+/// Records the fault-free reference execution of `entry(args)` on a fresh
+/// simulator from `source`, including resume checkpoints (no memoisation —
+/// [`TraceStore::reference`] is the caching front end).
+///
+/// # Errors
+///
+/// Returns the [`SimError`] of the reference run if it fails.
+pub fn record_reference(
+    source: &dyn SimulatorSource,
+    entry: &str,
+    args: &[u32],
+    max_steps: u64,
+) -> Result<RecordedReference, SimError> {
+    record_reference_impl(source, entry, args, max_steps, true)
+}
+
+/// Like [`record_reference`] but without machine checkpoints — for callers
+/// that never fast-forward (the sequential [`crate::CampaignRunner`]
+/// reference path), so they do not pay for snapshots nobody reads.
+///
+/// # Errors
+///
+/// Returns the [`SimError`] of the reference run if it fails.
+pub fn record_reference_without_checkpoints(
+    source: &dyn SimulatorSource,
+    entry: &str,
+    args: &[u32],
+    max_steps: u64,
+) -> Result<RecordedReference, SimError> {
+    record_reference_impl(source, entry, args, max_steps, false)
+}
+
+fn record_reference_impl(
+    source: &dyn SimulatorSource,
+    entry: &str,
+    args: &[u32],
+    max_steps: u64,
+    with_checkpoints: bool,
+) -> Result<RecordedReference, SimError> {
+    let mut sim = source.fresh_simulator();
+    let mut recorder = TraceRecorder {
+        checkpoints_enabled: with_checkpoints,
+        ..TraceRecorder::default()
+    };
+    let result = sim.call_with_faults(entry, args, max_steps, &mut recorder)?;
+    Ok(RecordedReference {
+        trace: ReferenceTrace {
+            result,
+            pcs: recorder.pcs,
+            conditional_steps: recorder.conditional_steps,
+        },
+        program: Arc::clone(sim.shared_program()),
+        memory_size: sim.machine().memory_size(),
+        checkpoints: recorder.checkpoints,
+    })
+}
+
+/// A thread-safe memo of reference executions with hit/miss counters.
+///
+/// One store typically lives as long as a measurement session: every
+/// campaign and matrix run asks it for the reference of its
+/// `(artifact, entry, args)` cell and only the first request per key pays
+/// for a recording. Entries are handed out as [`Arc`]s, so N concurrent
+/// campaigns share one trace allocation.
+///
+/// Entries normally carry resume checkpoints for the matrix executor's
+/// fast-forward path; a store built with
+/// [`TraceStore::without_checkpoints`] records plain traces instead —
+/// the right choice for throwaway stores whose consumers never resume.
+#[derive(Debug)]
+pub struct TraceStore {
+    entries: Mutex<HashMap<TraceKey, Arc<RecordedReference>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    checkpoints: bool,
+}
+
+impl Default for TraceStore {
+    fn default() -> Self {
+        TraceStore {
+            entries: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            checkpoints: true,
+        }
+    }
+}
+
+impl TraceStore {
+    /// Creates an empty store (recordings include resume checkpoints).
+    #[must_use]
+    pub fn new() -> Self {
+        TraceStore::default()
+    }
+
+    /// Creates an empty store whose recordings skip machine checkpoints —
+    /// cheaper when no consumer fast-forwards (e.g. the sequential
+    /// [`crate::CampaignRunner`] path behind a throwaway store).
+    #[must_use]
+    pub fn without_checkpoints() -> Self {
+        TraceStore {
+            checkpoints: false,
+            ..TraceStore::default()
+        }
+    }
+
+    /// The reference execution for `key`, recorded on first request and
+    /// served from the memo afterwards.
+    ///
+    /// `entry`, `args` and `max_steps` describe how to record on a miss;
+    /// by the key contract they must be the execution `key` names (the
+    /// entry and args redundancy is deliberate — the store never parses
+    /// keys). Failed recordings are not cached: a later request with the
+    /// same key records again.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`SimError`] of the reference run if a recording fails.
+    pub fn reference(
+        &self,
+        key: &TraceKey,
+        source: &dyn SimulatorSource,
+        entry: &str,
+        args: &[u32],
+        max_steps: u64,
+    ) -> Result<Arc<RecordedReference>, SimError> {
+        Ok(self
+            .reference_traced(key, source, entry, args, max_steps)?
+            .0)
+    }
+
+    /// Like [`TraceStore::reference`], additionally reporting whether *this
+    /// request* was served from the memo (`true`) or recorded (`false`).
+    ///
+    /// This is the per-request truth the matrix executor attributes to its
+    /// cells — unlike a before/after diff of the global [`TraceStore::hits`]
+    /// counter, it cannot be skewed by concurrent users of a shared store.
+    ///
+    /// # Errors
+    ///
+    /// See [`TraceStore::reference`].
+    pub fn reference_traced(
+        &self,
+        key: &TraceKey,
+        source: &dyn SimulatorSource,
+        entry: &str,
+        args: &[u32],
+        max_steps: u64,
+    ) -> Result<(Arc<RecordedReference>, bool), SimError> {
+        if let Some(found) = self.entries.lock().expect("trace store poisoned").get(key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok((Arc::clone(found), true));
+        }
+        // Record outside the lock: recording is slow and deterministic, so a
+        // concurrent double-record wastes a little work but never changes the
+        // stored value. (Both recordings count as misses.)
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let recorded = Arc::new(record_reference_impl(
+            source,
+            entry,
+            args,
+            max_steps,
+            self.checkpoints,
+        )?);
+        let mut entries = self.entries.lock().expect("trace store poisoned");
+        let stored = entries
+            .entry(key.clone())
+            .or_insert_with(|| Arc::clone(&recorded));
+        Ok((Arc::clone(stored), false))
+    }
+
+    /// How many requests were served from the memo.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// How many requests had to record (including failed recordings).
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of distinct traces currently stored.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.lock().expect("trace store poisoned").len()
+    }
+
+    /// `true` if nothing has been recorded yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use secbranch_armv7m::{Cond, Operand2, ProgramBuilder, Reg, Simulator, Target};
+
+    fn max_simulator() -> Simulator {
+        let mut p = ProgramBuilder::new();
+        p.label("max");
+        p.push(Instr::Cmp {
+            rn: Reg::R0,
+            op2: Operand2::Reg(Reg::R1),
+        });
+        p.push(Instr::BCond {
+            cond: Cond::Hs,
+            target: Target::label("done"),
+        });
+        p.push(Instr::Mov {
+            rd: Reg::R0,
+            rm: Reg::R1,
+        });
+        p.label("done");
+        p.push(Instr::Bx { rm: Reg::Lr });
+        Simulator::new(p.assemble().expect("assembles"), 4096)
+    }
+
+    #[test]
+    fn recording_captures_pcs_and_conditionals() {
+        let recorded = record_reference(&max_simulator(), "max", &[7, 3], 100).expect("records");
+        assert_eq!(recorded.trace.result.return_value, 7);
+        assert_eq!(recorded.trace.pcs, vec![0, 1, 3], "taken branch path");
+        assert_eq!(recorded.trace.conditional_steps, vec![2]);
+        assert_eq!(recorded.memory_size, 4096);
+    }
+
+    #[test]
+    fn store_memoises_by_key_and_counts() {
+        let store = TraceStore::new();
+        let sim = max_simulator();
+        let key_a = TraceKey::new("art", "max", &[7, 3]);
+        let key_b = TraceKey::new("art", "max", &[3, 9]);
+
+        let first = store
+            .reference(&key_a, &sim, "max", &[7, 3], 100)
+            .expect("records");
+        let again = store
+            .reference(&key_a, &sim, "max", &[7, 3], 100)
+            .expect("memoised");
+        assert!(Arc::ptr_eq(&first, &again), "one allocation per key");
+        let other = store
+            .reference(&key_b, &sim, "max", &[3, 9], 100)
+            .expect("records");
+        assert_eq!(other.trace.result.return_value, 9);
+        assert_eq!((store.hits(), store.misses()), (1, 2));
+        assert_eq!(store.len(), 2);
+    }
+
+    #[test]
+    fn recording_takes_checkpoints_and_finds_the_one_before_an_anchor() {
+        let recorded = record_reference(&max_simulator(), "max", &[7, 3], 100).expect("records");
+        // Short run: one checkpoint, the pre-step-1 state.
+        assert_eq!(recorded.checkpoints.len(), 1);
+        assert_eq!(recorded.checkpoints[0].steps_done, 0);
+        assert_eq!(recorded.checkpoints[0].pc, 0, "entry instruction");
+        assert!(recorded.checkpoint_before(1).is_some());
+        assert!(
+            recorded.checkpoint_before(0).is_none(),
+            "no checkpoint strictly before step 0"
+        );
+    }
+
+    #[test]
+    fn checkpoint_thinning_respects_the_budget() {
+        // A long loop: many checkpoint opportunities, bounded retention.
+        let mut p = ProgramBuilder::new();
+        p.label("spin");
+        p.push(Instr::Add {
+            rd: Reg::R1,
+            rn: Reg::R1,
+            op2: Operand2::Imm(1),
+        });
+        p.push(Instr::Cmp {
+            rn: Reg::R1,
+            op2: Operand2::Reg(Reg::R0),
+        });
+        p.push(Instr::BCond {
+            cond: Cond::Lo,
+            target: Target::label("spin"),
+        });
+        p.push(Instr::Bx { rm: Reg::Lr });
+        let sim = Simulator::new(p.assemble().expect("assembles"), 4096);
+        let recorded = record_reference(&sim, "spin", &[20_000], 200_000).expect("records");
+        assert!(recorded.trace.steps() > 50_000);
+        assert!(recorded.checkpoints.len() <= CHECKPOINT_BUDGET);
+        assert!(
+            recorded.checkpoints.len() > CHECKPOINT_BUDGET / 4,
+            "still dense"
+        );
+        // Ascending and starting at the pre-step-1 state.
+        assert_eq!(recorded.checkpoints[0].steps_done, 0);
+        for pair in recorded.checkpoints.windows(2) {
+            assert!(pair[0].steps_done < pair[1].steps_done);
+        }
+        // The selected checkpoint is always strictly before the anchor.
+        for anchor in [1, 65, 1000, recorded.trace.steps()] {
+            let cp = recorded.checkpoint_before(anchor).expect("found");
+            assert!(cp.steps_done < anchor);
+        }
+    }
+
+    #[test]
+    fn failed_recordings_are_not_cached() {
+        let store = TraceStore::new();
+        let sim = max_simulator();
+        let key = TraceKey::new("art", "nope", &[]);
+        assert!(store.reference(&key, &sim, "nope", &[], 100).is_err());
+        assert_eq!(store.misses(), 1, "the failed attempt still recorded");
+        assert!(store.is_empty(), "no entry for the failure");
+        // The same key succeeds once the recording can.
+        let key_ok = TraceKey::new("art", "max", &[1, 2]);
+        assert!(store.reference(&key_ok, &sim, "max", &[1, 2], 100).is_ok());
+        assert_eq!(store.len(), 1);
+    }
+}

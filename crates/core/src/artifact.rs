@@ -3,6 +3,7 @@
 use secbranch_armv7m::{ExecResult, Simulator};
 use secbranch_campaign::{
     CampaignReport, CampaignRunner, FaultModel, InstructionSkip, RegisterBitFlip, SharedModule,
+    TraceKey, TraceStore,
 };
 use secbranch_codegen::CompiledModule;
 use secbranch_fault::SweepReport;
@@ -20,6 +21,7 @@ use crate::{BuildError, Measurement, SimConfig};
 pub struct Artifact {
     pipeline_label: String,
     fingerprint: String,
+    artifact_fingerprint: String,
     compiled: CompiledModule,
     sim: SimConfig,
 }
@@ -28,12 +30,14 @@ impl Artifact {
     pub(crate) fn new(
         pipeline_label: String,
         fingerprint: String,
+        artifact_fingerprint: String,
         compiled: CompiledModule,
         sim: SimConfig,
     ) -> Self {
         Artifact {
             pipeline_label,
             fingerprint,
+            artifact_fingerprint,
             compiled,
             sim,
         }
@@ -49,6 +53,22 @@ impl Artifact {
     #[must_use]
     pub fn fingerprint(&self) -> &str {
         &self.fingerprint
+    }
+
+    /// The fingerprint of this *artifact*: the pipeline fingerprint
+    /// qualified by a hash of the source module's content, so two different
+    /// modules built by one pipeline never share an identity. This is the
+    /// discrimination the [`TraceStore`] key contract demands.
+    #[must_use]
+    pub fn artifact_fingerprint(&self) -> &str {
+        &self.artifact_fingerprint
+    }
+
+    /// The trace-store key of this artifact's `entry(args)` reference
+    /// execution.
+    #[must_use]
+    pub fn trace_key(&self, entry: &str, args: &[u32]) -> TraceKey {
+        TraceKey::new(self.artifact_fingerprint.clone(), entry, args)
     }
 
     /// The simulator configuration executions of this artifact use.
@@ -146,6 +166,13 @@ impl Artifact {
     /// Like [`Artifact::campaign`], with an explicitly configured runner
     /// (e.g. a fixed thread count for determinism tests).
     ///
+    /// Routed through a throwaway [`TraceStore`]: a campaign always resolves
+    /// its reference execution via the store interface, whether or not the
+    /// caller keeps a store around to share recordings across campaigns
+    /// (for that, use [`Artifact::campaign_with_store`]). The throwaway
+    /// store records without resume checkpoints — the sequential runner
+    /// never fast-forwards, so snapshots would be pure overhead.
+    ///
     /// # Errors
     ///
     /// See [`Artifact::campaign`].
@@ -156,11 +183,46 @@ impl Artifact {
         args: &[u32],
         model: &dyn FaultModel,
     ) -> Result<CampaignReport, BuildError> {
+        self.campaign_with_store(
+            runner,
+            &TraceStore::without_checkpoints(),
+            entry,
+            args,
+            model,
+        )
+    }
+
+    /// Like [`Artifact::campaign_with`], resolving the reference execution
+    /// through a caller-owned [`TraceStore`]: N campaigns on one artifact
+    /// (different fault models, repeated runs) record the reference trace
+    /// once. Keys are derived via [`Artifact::trace_key`], so a store can
+    /// safely serve many artifacts at once.
+    ///
+    /// # Errors
+    ///
+    /// See [`Artifact::campaign`].
+    pub fn campaign_with_store(
+        &self,
+        runner: &CampaignRunner,
+        store: &TraceStore,
+        entry: &str,
+        args: &[u32],
+        model: &dyn FaultModel,
+    ) -> Result<CampaignReport, BuildError> {
         let source = SharedModule {
             compiled: &self.compiled,
             memory_size: self.sim.memory_size,
         };
-        Ok(runner.run(&source, entry, args, self.sim.max_steps, model)?)
+        let recorded = store
+            .reference(
+                &self.trace_key(entry, args),
+                &source,
+                entry,
+                args,
+                self.sim.max_steps,
+            )
+            .map_err(BuildError::Simulation)?;
+        Ok(runner.run_recorded(&source, entry, args, self.sim.max_steps, model, &recorded))
     }
 
     /// Runs the exhaustive single-instruction-skip sweep of the fault

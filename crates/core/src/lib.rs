@@ -23,7 +23,13 @@
 //!   (module name, pipeline fingerprint) and a structured, serialisable
 //!   [`Report`] of per-cell size/cycles/CFI/overhead numbers; and the
 //!   security matrix ([`Session::security_matrix`]): workloads × pipelines
-//!   × fault models into a [`SecurityReport`].
+//!   × fault models into a [`SecurityReport`], executed as *one* global job
+//!   graph — all artifacts batch-built first, every cell's fault space
+//!   flattened into shards on a shared worker pool
+//!   ([`campaign::MatrixExecutor`]), reference traces memoised per
+//!   (artifact, entry, args) in the session's [`campaign::TraceStore`], and
+//!   per-cell timings plus trace-cache counters reported in
+//!   [`MatrixStats`].
 //!
 //! The historical free functions [`build`] and [`measure`] remain as thin
 //! wrappers over [`Pipeline`] for existing call sites.
@@ -78,7 +84,7 @@ mod session;
 pub use artifact::Artifact;
 pub use pipeline::{Pipeline, SimConfig};
 pub use report::{overhead_cell, Report, ReportCell};
-pub use security::{SecurityCell, SecurityReport};
+pub use security::{MatrixStats, SecurityCell, SecurityReport};
 pub use session::{Session, Workload};
 
 use secbranch_armv7m::ExecResult;
@@ -260,6 +266,19 @@ impl Measurement {
     pub fn runtime_overhead_percent(&self, baseline: &Measurement) -> f64 {
         overhead_percent(self.result.cycles as f64, baseline.result.cycles as f64)
     }
+}
+
+/// A stable identity of a module's *content*, independent of the caller's
+/// naming: a hash of the printed IR. Printing is linear in module size and
+/// only paid per build/artifact request, which the build cache keeps rare.
+/// Shared by the [`Session`] build-cache key and the artifact fingerprint
+/// [`Pipeline::build`] stamps for the trace store.
+pub(crate) fn module_content_hash(module: &ir::Module) -> u64 {
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::{Hash, Hasher};
+    let mut hasher = DefaultHasher::new();
+    ir::printer::print_module(module).hash(&mut hasher);
+    hasher.finish()
 }
 
 pub(crate) fn overhead_percent(value: f64, baseline: f64) -> f64 {

@@ -244,16 +244,28 @@ impl Pipeline {
     /// Runs the middle-end passes on a copy of `module` and compiles the
     /// result into a reusable [`Artifact`].
     ///
+    /// The artifact is stamped with an *artifact fingerprint* — the pipeline
+    /// fingerprint qualified by a hash of the source module's content — that
+    /// uniquely identifies the produced executable (code, data image and
+    /// simulator configuration). The trace store keys reference traces on
+    /// it; see [`Artifact::artifact_fingerprint`].
+    ///
     /// # Errors
     ///
     /// Returns [`BuildError`] if a pass or the back end fails.
     pub fn build(&self, module: &Module) -> Result<Artifact, BuildError> {
+        let artifact_fingerprint = format!(
+            "{}|module={:016x}",
+            self.fingerprint(),
+            crate::module_content_hash(module)
+        );
         let mut module = module.clone();
         self.passes.run(&mut module)?;
         let compiled = compile(&module, &CodegenOptions { cfi: self.cfi })?;
         Ok(Artifact::new(
             self.label.clone(),
             self.fingerprint(),
+            artifact_fingerprint,
             compiled,
             self.sim,
         ))

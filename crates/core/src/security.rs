@@ -19,10 +19,56 @@ pub struct SecurityCell {
     pub report: CampaignReport,
 }
 
+/// Execution metadata of one security-matrix run: where the time went and
+/// how well the trace cache did.
+///
+/// Stats describe *how* a particular run executed, never *what* it
+/// computed: they are excluded from [`SecurityReport`]'s equality and from
+/// [`SecurityReport::to_json`], which is what lets reports stay
+/// byte-identical across thread counts while still carrying timings.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MatrixStats {
+    /// Worker threads of the run.
+    pub threads: usize,
+    /// Reference traces served from the trace store.
+    pub trace_hits: u64,
+    /// Reference traces that had to be recorded.
+    pub trace_misses: u64,
+    /// End-to-end wall time of the campaign phase in microseconds
+    /// (builds excluded).
+    pub total_wall_micros: u64,
+    /// Injection compute time per cell in microseconds, parallel to
+    /// [`SecurityReport::cells`]. Under the shared pool cells overlap in
+    /// wall time, so these sum to roughly `threads × total_wall_micros`.
+    pub cell_compute_micros: Vec<u64>,
+}
+
+impl MatrixStats {
+    /// Serialises the stats as a JSON object (hand-rolled: the offline
+    /// build has no serde).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let cells: Vec<String> = self
+            .cell_compute_micros
+            .iter()
+            .map(u64::to_string)
+            .collect();
+        format!(
+            "{{\"threads\":{},\"trace_hits\":{},\"trace_misses\":{},\
+             \"total_wall_micros\":{},\"cell_compute_micros\":[{}]}}",
+            self.threads,
+            self.trace_hits,
+            self.trace_misses,
+            self.total_wall_micros,
+            cells.join(","),
+        )
+    }
+}
+
 /// The structured result of a variants × fault-models security evaluation:
 /// for every workload, every pipeline is attacked by every model, and each
 /// cell keeps its full [`CampaignReport`].
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct SecurityReport {
     /// Workload names, in matrix order.
     pub workloads: Vec<String>,
@@ -32,6 +78,22 @@ pub struct SecurityReport {
     pub models: Vec<String>,
     /// All cells, in workload-major, pipeline-then-model order.
     pub cells: Vec<SecurityCell>,
+    /// Execution metadata (timings, trace-cache counters) of the run that
+    /// produced this report.
+    pub stats: MatrixStats,
+}
+
+/// Equality compares what the matrix *computed* (axes and cells), not how
+/// it ran: [`SecurityReport::stats`] is deliberately excluded, so the
+/// executor's byte-identical-to-sequential invariant is expressible as
+/// plain `==` even though two runs never share wall times.
+impl PartialEq for SecurityReport {
+    fn eq(&self, other: &Self) -> bool {
+        self.workloads == other.workloads
+            && self.pipelines == other.pipelines
+            && self.models == other.models
+            && self.cells == other.cells
+    }
 }
 
 impl SecurityReport {
@@ -78,6 +140,10 @@ impl SecurityReport {
     /// Serialises the matrix as a self-contained JSON document; each cell
     /// embeds its full campaign report (hand-rolled: the offline build has
     /// no serde).
+    ///
+    /// The output is fully deterministic — [`SecurityReport::stats`] is not
+    /// included (serialise it separately via [`MatrixStats::to_json`]), so
+    /// the same matrix produces byte-identical JSON at any thread count.
     #[must_use]
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\"cells\":[");

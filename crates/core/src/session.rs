@@ -1,14 +1,17 @@
-//! The [`Session`] matrix runner: workloads × pipelines with a build cache.
+//! The [`Session`] matrix runner: workloads × pipelines with a build cache,
+//! and the security matrix on the global fault-space scheduler.
 
-use std::collections::hash_map::DefaultHasher;
 use std::collections::{HashMap, HashSet};
-use std::hash::{Hash, Hasher};
+use std::time::Instant;
 
-use secbranch_campaign::{CampaignRunner, FaultModel};
+use secbranch_campaign::{
+    CampaignRunner, FaultModel, MatrixExecutor, MatrixJob, SharedModule, TraceStore,
+};
 use secbranch_ir::Module;
 
 use crate::{
-    Artifact, BuildError, Measurement, Pipeline, Report, ReportCell, SecurityCell, SecurityReport,
+    Artifact, BuildError, MatrixStats, Measurement, Pipeline, Report, ReportCell, SecurityCell,
+    SecurityReport,
 };
 
 /// A named executable workload: an IR module plus the entry point and
@@ -88,15 +91,7 @@ pub struct Session {
     artifacts: HashMap<(String, u64, String), Artifact>,
     builds: u64,
     cache_hits: u64,
-}
-
-/// A stable identity of the module's *content*, independent of the caller's
-/// naming: a hash of the printed IR. Printing is linear in module size and
-/// only paid per artifact request, which the build cache keeps rare.
-fn module_content_hash(module: &Module) -> u64 {
-    let mut hasher = DefaultHasher::new();
-    secbranch_ir::printer::print_module(module).hash(&mut hasher);
-    hasher.finish()
+    traces: TraceStore,
 }
 
 impl Session {
@@ -106,9 +101,18 @@ impl Session {
         Session::default()
     }
 
-    /// How many compilations this session has performed (cache misses).
+    /// How many compilations this session has performed (cache misses;
+    /// alias: [`Session::cache_misses`]).
     #[must_use]
     pub fn builds(&self) -> u64 {
+        self.builds
+    }
+
+    /// How many artifact requests missed the build cache and compiled. The
+    /// same count as [`Session::builds`], named from the cache's point of
+    /// view so callers can assert hit/miss pairs symmetrically.
+    #[must_use]
+    pub fn cache_misses(&self) -> u64 {
         self.builds
     }
 
@@ -116,6 +120,16 @@ impl Session {
     #[must_use]
     pub fn cache_hits(&self) -> u64 {
         self.cache_hits
+    }
+
+    /// The session's reference-trace store: security matrices and
+    /// store-aware campaigns record each (artifact, entry, args) reference
+    /// execution once per session, not once per fault model. The store's
+    /// own counters are session-lifetime totals; per-run deltas live in
+    /// [`SecurityReport::stats`].
+    #[must_use]
+    pub fn trace_store(&self) -> &TraceStore {
+        &self.traces
     }
 
     fn cached_artifact(
@@ -126,7 +140,7 @@ impl Session {
     ) -> Result<&Artifact, BuildError> {
         let key = (
             module_name.to_string(),
-            module_content_hash(module),
+            crate::module_content_hash(module),
             pipeline.fingerprint(),
         );
         // `entry().or_insert_with` cannot propagate build errors, hence the
@@ -234,32 +248,43 @@ impl Session {
     }
 
     /// Runs the full workloads × pipelines × fault-models security matrix
-    /// with a default (fully parallel) campaign runner. Builds are cached
-    /// exactly as in [`Session::run_matrix`], so measuring performance and
-    /// security of the same matrix compiles nothing twice.
+    /// on the global fault-space scheduler with all available parallelism.
+    /// Builds are cached exactly as in [`Session::run_matrix`], so measuring
+    /// performance and security of the same matrix compiles nothing twice.
+    ///
+    /// All artifacts are compiled (or fetched from the build cache) before
+    /// the first campaign starts; every cell's fault space is then flattened
+    /// into shards executed by one shared worker pool, with reference traces
+    /// memoised in the session's [`TraceStore`] — N fault models attacking
+    /// one artifact record its trace once. The returned report is
+    /// byte-identical to the sequential per-cell path
+    /// ([`Session::security_matrix_sequential_with`]) at any thread count;
+    /// [`SecurityReport::stats`] carries this run's wall time, per-cell
+    /// compute time and trace-cache counters.
     ///
     /// # Errors
     ///
-    /// Returns the first [`BuildError`] encountered (a failing build or a
-    /// failing fault-free reference run).
+    /// Returns the first [`BuildError`] encountered: a failing build (all
+    /// builds are attempted before any campaign), then a failing fault-free
+    /// reference run in matrix order.
     pub fn security_matrix(
         &mut self,
         workloads: &[Workload],
         pipelines: &[Pipeline],
         models: &[&dyn FaultModel],
     ) -> Result<SecurityReport, BuildError> {
-        self.security_matrix_with(&CampaignRunner::new(), workloads, pipelines, models)
+        self.security_matrix_with(&MatrixExecutor::new(), workloads, pipelines, models)
     }
 
     /// Like [`Session::security_matrix`], with an explicitly configured
-    /// campaign runner (e.g. a fixed thread count).
+    /// executor (e.g. a fixed thread count or shard size).
     ///
     /// # Errors
     ///
     /// See [`Session::security_matrix`].
     pub fn security_matrix_with(
         &mut self,
-        runner: &CampaignRunner,
+        executor: &MatrixExecutor,
         workloads: &[Workload],
         pipelines: &[Pipeline],
         models: &[&dyn FaultModel],
@@ -267,18 +292,75 @@ impl Session {
         let labels = disambiguated(pipelines.iter().map(Pipeline::label));
         let workload_names = disambiguated(workloads.iter().map(|w| w.name.as_str()));
         let model_names: Vec<String> = models.iter().map(|m| m.name()).collect();
-        let mut cells = Vec::with_capacity(workloads.len() * pipelines.len() * models.len());
-        for (workload, workload_name) in workloads.iter().zip(&workload_names) {
-            for (pipeline, label) in pipelines.iter().zip(&labels) {
-                let artifact = self.cached_artifact(&workload.name, &workload.module, pipeline)?;
-                for (model, model_name) in models.iter().zip(&model_names) {
-                    let report =
-                        artifact.campaign_with(runner, &workload.entry, &workload.args, *model)?;
+
+        // Batched builds: every artifact is compiled (or served from the
+        // cache) before any campaign starts. Artifacts are cheap clones —
+        // the compilation is `Arc`-shared with the cache entry.
+        let mut artifacts = Vec::with_capacity(workloads.len() * pipelines.len());
+        for workload in workloads {
+            for pipeline in pipelines {
+                artifacts.push(
+                    self.cached_artifact(&workload.name, &workload.module, pipeline)?
+                        .clone(),
+                );
+            }
+        }
+
+        // One job per cell, in the sequential path's workload-major,
+        // pipeline-then-model order (which is also the report's cell order).
+        let sources: Vec<SharedModule<'_>> = artifacts
+            .iter()
+            .map(|artifact| SharedModule {
+                compiled: artifact.compiled(),
+                memory_size: artifact.sim().memory_size,
+            })
+            .collect();
+        let mut jobs = Vec::with_capacity(artifacts.len() * models.len());
+        for (workload_index, workload) in workloads.iter().enumerate() {
+            for pipeline_index in 0..pipelines.len() {
+                let artifact_index = workload_index * pipelines.len() + pipeline_index;
+                let artifact = &artifacts[artifact_index];
+                for model in models {
+                    jobs.push(MatrixJob {
+                        source: &sources[artifact_index],
+                        key: artifact.trace_key(&workload.entry, &workload.args),
+                        entry: workload.entry.clone(),
+                        args: workload.args.clone(),
+                        max_steps: artifact.sim().max_steps,
+                        model: *model,
+                    });
+                }
+            }
+        }
+
+        let started = Instant::now();
+        let results = executor
+            .run(&jobs, &self.traces)
+            .map_err(BuildError::Simulation)?;
+        let total_wall_micros = started.elapsed().as_micros() as u64;
+
+        let mut stats = MatrixStats {
+            threads: executor.threads(),
+            total_wall_micros,
+            ..MatrixStats::default()
+        };
+        let mut cells = Vec::with_capacity(results.len());
+        let mut result_iter = results.into_iter();
+        for workload_name in &workload_names {
+            for label in &labels {
+                for model_name in &model_names {
+                    let result = result_iter.next().expect("one result per job");
+                    if result.trace_hit {
+                        stats.trace_hits += 1;
+                    } else {
+                        stats.trace_misses += 1;
+                    }
+                    stats.cell_compute_micros.push(result.compute_micros);
                     cells.push(SecurityCell {
                         workload: workload_name.clone(),
                         pipeline: label.clone(),
                         model: model_name.clone(),
-                        report,
+                        report: result.report,
                     });
                 }
             }
@@ -288,6 +370,69 @@ impl Session {
             pipelines: labels,
             models: model_names,
             cells,
+            stats,
+        })
+    }
+
+    /// The sequential reference implementation of the security matrix: cells
+    /// run strictly one after another through [`Artifact::campaign_with`],
+    /// each recording its own reference trace — the shape the matrix
+    /// executor is byte-compared against (and the baseline of the `campaign
+    /// --matrix` benchmark).
+    ///
+    /// Prefer [`Session::security_matrix`]; this path exists because the
+    /// executor's output-equality invariant needs an independent
+    /// implementation to be tested against.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`BuildError`] encountered (a failing build or a
+    /// failing fault-free reference run, interleaved in matrix order).
+    pub fn security_matrix_sequential_with(
+        &mut self,
+        runner: &CampaignRunner,
+        workloads: &[Workload],
+        pipelines: &[Pipeline],
+        models: &[&dyn FaultModel],
+    ) -> Result<SecurityReport, BuildError> {
+        let labels = disambiguated(pipelines.iter().map(Pipeline::label));
+        let workload_names = disambiguated(workloads.iter().map(|w| w.name.as_str()));
+        let model_names: Vec<String> = models.iter().map(|m| m.name()).collect();
+        let started = Instant::now();
+        let mut stats = MatrixStats {
+            threads: runner.threads(),
+            ..MatrixStats::default()
+        };
+        let mut cells = Vec::with_capacity(workloads.len() * pipelines.len() * models.len());
+        for (workload, workload_name) in workloads.iter().zip(&workload_names) {
+            for (pipeline, label) in pipelines.iter().zip(&labels) {
+                let artifact = self
+                    .cached_artifact(&workload.name, &workload.module, pipeline)?
+                    .clone();
+                for (model, model_name) in models.iter().zip(&model_names) {
+                    let cell_started = Instant::now();
+                    let report =
+                        artifact.campaign_with(runner, &workload.entry, &workload.args, *model)?;
+                    stats
+                        .cell_compute_micros
+                        .push(cell_started.elapsed().as_micros() as u64);
+                    stats.trace_misses += 1; // every cell records its own trace
+                    cells.push(SecurityCell {
+                        workload: workload_name.clone(),
+                        pipeline: label.clone(),
+                        model: model_name.clone(),
+                        report,
+                    });
+                }
+            }
+        }
+        stats.total_wall_micros = started.elapsed().as_micros() as u64;
+        Ok(SecurityReport {
+            workloads: workload_names,
+            pipelines: labels,
+            models: model_names,
+            cells,
+            stats,
         })
     }
 }

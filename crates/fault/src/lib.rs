@@ -26,5 +26,6 @@ pub mod simulation;
 
 pub use condition::{ConditionCampaign, ConditionOutcomeCounts, FaultLocation};
 pub use simulation::{
-    InstructionSkipSweep, Outcome, OutcomeCounts, RegisterBitFlipCampaign, SweepReport,
+    InstructionSkipSweep, Outcome, OutcomeCounts, RegisterBitFlipCampaign, SweepReport, TraceKey,
+    TraceStore,
 };

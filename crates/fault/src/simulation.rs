@@ -10,8 +10,10 @@ use secbranch_armv7m::{ExecResult, Simulator};
 use secbranch_campaign::{CampaignRunner, InstructionSkip, RegisterBitFlip};
 
 // The outcome classification lives in the campaign engine; re-exported here
-// so `secbranch_fault::{Outcome, OutcomeCounts}` keep working.
-pub use secbranch_campaign::{Outcome, OutcomeCounts};
+// so `secbranch_fault::{Outcome, OutcomeCounts}` keep working. The trace
+// store is re-exported for the `run_cached` adapters, which let legacy
+// sweep callers join the matrix executor's reference-trace memoisation.
+pub use secbranch_campaign::{Outcome, OutcomeCounts, TraceKey, TraceStore};
 
 /// Report of a sweep: the reference execution plus the outcome counters.
 ///
@@ -85,6 +87,34 @@ impl InstructionSkipSweep {
             self.max_steps,
             &InstructionSkip,
         )
+    }
+
+    /// Like [`InstructionSkipSweep::run`], resolving the reference execution
+    /// through a caller-owned [`TraceStore`]: repeated sweeps (or other
+    /// campaigns on the same target) record the reference trace once. The
+    /// caller provides the key and owns its discrimination contract — see
+    /// the trace-store docs in `secbranch-campaign`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the simulator error of the fault-free reference run if that
+    /// fails.
+    pub fn run_cached(
+        &self,
+        simulator: &Simulator,
+        store: &TraceStore,
+        key: &TraceKey,
+    ) -> Result<SweepReport, secbranch_armv7m::SimError> {
+        let recorded = store.reference(key, simulator, &self.entry, &self.args, self.max_steps)?;
+        let report = CampaignRunner::new().run_recorded(
+            simulator,
+            &self.entry,
+            &self.args,
+            self.max_steps,
+            &InstructionSkip,
+            &recorded,
+        );
+        Ok(SweepReport::from(&report))
     }
 }
 
@@ -242,6 +272,29 @@ mod tests {
         // A fresh campaign with the same seed reproduces the first run.
         let mut fresh = RegisterBitFlipCampaign::new("integer_compare", &[12, 13], 1_000_000, 42);
         assert_eq!(fresh.run(&sim, 100).expect("runs").counts, first.counts);
+    }
+
+    #[test]
+    fn cached_sweep_matches_and_memoises() {
+        let sim = protected_simulator();
+        let sweep = InstructionSkipSweep::new("integer_compare", &[1234, 4321], 1_000_000);
+        let plain = sweep.run(&sim).expect("runs");
+
+        let store = TraceStore::new();
+        let key = TraceKey::new(
+            "protected-integer-compare",
+            "integer_compare",
+            &[1234, 4321],
+        );
+        let first = sweep.run_cached(&sim, &store, &key).expect("runs");
+        let second = sweep.run_cached(&sim, &store, &key).expect("runs");
+        assert_eq!(first, plain, "the cached path reports the same numbers");
+        assert_eq!(second, plain);
+        assert_eq!(
+            (store.hits(), store.misses()),
+            (1, 1),
+            "one recording serves both sweeps"
+        );
     }
 
     #[test]

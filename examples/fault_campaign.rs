@@ -68,5 +68,34 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             );
         }
     }
+
+    // 4. A whole security matrix in one call: every cell's fault space is
+    // flattened onto one shared worker pool, and the reference trace of
+    // each artifact is recorded once no matter how many models attack it
+    // (the stats show the trace-cache doing its job).
+    use secbranch::campaign::{FaultModel, InstructionSkip};
+    use secbranch::{Session, Workload};
+    println!("\nsecurity matrix on the global fault-space scheduler:");
+    let workloads = [Workload::new(
+        "integer compare",
+        integer_compare_module(),
+        "integer_compare",
+        &[41, 999],
+    )];
+    let pipelines = [
+        Pipeline::for_variant(ProtectionVariant::Unprotected).with_max_steps(1_000_000),
+        Pipeline::for_variant(ProtectionVariant::AnCode).with_max_steps(1_000_000),
+    ];
+    let models: [&dyn FaultModel; 2] = [&InstructionSkip, &BranchInversion];
+    let mut session = Session::new();
+    let matrix = session.security_matrix(&workloads, &pipelines, &models)?;
+    print!("{}", matrix.render_table());
+    println!(
+        "  ({} cells, {} trace recordings + {} cache hits, {} µs wall)",
+        matrix.cells.len(),
+        matrix.stats.trace_misses,
+        matrix.stats.trace_hits,
+        matrix.stats.total_wall_micros
+    );
     Ok(())
 }

@@ -1,0 +1,189 @@
+//! The acceptance invariant of the matrix executor: one global fault-space
+//! scheduler over the whole security matrix produces **byte-identical**
+//! reports to the sequential per-cell path at any thread count and shard
+//! size, while recording each (artifact, entry, args) reference trace
+//! exactly once per matrix.
+
+use secbranch::campaign::{
+    BranchInversion, CampaignRunner, FaultModel, InstructionSkip, MatrixExecutor, RegisterBitFlip,
+};
+use secbranch::programs::{integer_compare_module, password_check_module};
+use secbranch::{Pipeline, ProtectionVariant, Session, Workload};
+
+fn grid_workloads() -> Vec<Workload> {
+    vec![
+        Workload::new(
+            "integer compare",
+            integer_compare_module(),
+            "integer_compare",
+            &[1234, 4321],
+        ),
+        Workload::new("password", password_check_module(8), "password_check", &[]),
+    ]
+}
+
+fn grid_pipelines() -> Vec<Pipeline> {
+    [
+        ProtectionVariant::Unprotected,
+        ProtectionVariant::CfiOnly,
+        ProtectionVariant::AnCode,
+    ]
+    .iter()
+    .map(|v| {
+        Pipeline::for_variant(*v)
+            .with_memory_size(1 << 16)
+            .with_max_steps(100_000)
+    })
+    .collect()
+}
+
+fn grid_models() -> Vec<Box<dyn FaultModel>> {
+    vec![
+        Box::new(InstructionSkip),
+        Box::new(BranchInversion),
+        Box::new(RegisterBitFlip {
+            trials: 120,
+            seed: 0xC0FFEE,
+        }),
+    ]
+}
+
+/// The tentpole invariant: executor output equals the sequential reference
+/// implementation — as structured reports *and* as serialised bytes — at 1,
+/// 2 and 8 worker threads, including a deliberately awkward shard size.
+///
+/// Both paths run in one session so they attack the *same* compiled
+/// artifacts (the build cache guarantees that); the comparison then
+/// isolates exactly what this PR changes — scheduling, simulator reuse,
+/// trace memoisation and checkpoint fast-forward — with compilation held
+/// fixed.
+#[test]
+fn executor_is_byte_identical_to_the_sequential_path_at_any_thread_count() {
+    let workloads = grid_workloads();
+    let pipelines = grid_pipelines();
+    let models = grid_models();
+    let model_refs: Vec<&dyn FaultModel> = models.iter().map(AsRef::as_ref).collect();
+
+    let mut session = Session::new();
+    let sequential = session
+        .security_matrix_sequential_with(
+            &CampaignRunner::new().with_threads(1),
+            &workloads,
+            &pipelines,
+            &model_refs,
+        )
+        .expect("sequential matrix runs");
+    assert_eq!(sequential.cells.len(), 18, "2 × 3 × 3 grid");
+
+    for threads in [1, 2, 8] {
+        let executor = MatrixExecutor::new()
+            .with_threads(threads)
+            .with_shard_size(7);
+        let report = session
+            .security_matrix_with(&executor, &workloads, &pipelines, &model_refs)
+            .expect("matrix runs");
+        assert_eq!(report, sequential, "{threads} threads: structured equality");
+        assert_eq!(
+            report.to_json(),
+            sequential.to_json(),
+            "{threads} threads: byte-identical JSON"
+        );
+        assert_eq!(report.stats.threads, threads);
+    }
+    assert_eq!(
+        session.cache_misses(),
+        6,
+        "all four matrix runs shared one compilation per artifact"
+    );
+}
+
+/// The trace store records each (artifact, entry, args) reference exactly
+/// once per matrix run — and not at all on a repeat run in the same
+/// session.
+#[test]
+fn trace_store_records_each_artifact_reference_exactly_once() {
+    let workloads = grid_workloads();
+    let pipelines = grid_pipelines();
+    let models = grid_models();
+    let model_refs: Vec<&dyn FaultModel> = models.iter().map(AsRef::as_ref).collect();
+
+    let mut session = Session::new();
+    let executor = MatrixExecutor::new().with_threads(2);
+    let report = session
+        .security_matrix_with(&executor, &workloads, &pipelines, &model_refs)
+        .expect("matrix runs");
+
+    // 2 workloads × 3 pipelines = 6 distinct artifacts; 3 models each.
+    assert_eq!(report.stats.trace_misses, 6, "one recording per artifact");
+    assert_eq!(report.stats.trace_hits, 12, "the other models reuse it");
+    assert_eq!(session.trace_store().misses(), 6);
+    assert_eq!(session.trace_store().hits(), 12);
+    assert_eq!(session.trace_store().len(), 6);
+    assert_eq!(report.stats.cell_compute_micros.len(), 18);
+
+    // The same matrix again in the same session: all hits, zero recordings.
+    let again = session
+        .security_matrix_with(&executor, &workloads, &pipelines, &model_refs)
+        .expect("matrix runs");
+    assert_eq!(again.stats.trace_misses, 0);
+    assert_eq!(again.stats.trace_hits, 18);
+    assert_eq!(session.trace_store().misses(), 6, "nothing re-recorded");
+    assert_eq!(again, report, "memoised matrix is identical");
+}
+
+/// Builds are batched before any campaign starts, through the session's
+/// ordinary build cache: running the performance matrix first means the
+/// security matrix compiles nothing.
+#[test]
+fn security_matrix_shares_the_session_build_cache() {
+    let workloads = grid_workloads();
+    let pipelines = grid_pipelines();
+    let models = grid_models();
+    let model_refs: Vec<&dyn FaultModel> = models.iter().map(AsRef::as_ref).collect();
+
+    let mut session = Session::new();
+    session
+        .run_matrix(&workloads, &pipelines)
+        .expect("performance matrix runs");
+    assert_eq!(session.cache_misses(), 6);
+    session
+        .security_matrix(&workloads, &pipelines, &model_refs)
+        .expect("security matrix runs");
+    assert_eq!(
+        session.cache_misses(),
+        6,
+        "security matrix recompiled nothing"
+    );
+    assert_eq!(session.cache_hits(), 6, "six artifacts served from cache");
+}
+
+/// The semantic headline of the paper survives the scheduler change:
+/// branch inversion escapes on the unprotected variant and is fully
+/// detected on the prototype.
+#[test]
+fn matrix_reproduces_the_branch_inversion_result() {
+    let workloads = grid_workloads();
+    let pipelines = grid_pipelines();
+    let models = grid_models();
+    let model_refs: Vec<&dyn FaultModel> = models.iter().map(AsRef::as_ref).collect();
+    let report = Session::new()
+        .security_matrix(&workloads, &pipelines, &model_refs)
+        .expect("matrix runs");
+
+    for workload in &report.workloads {
+        let unprotected = report
+            .cell(workload, "unprotected", "branch-invert")
+            .expect("cell");
+        assert!(
+            unprotected.report.counts.wrong_result_undetected > 0,
+            "{workload}: inverted branches must escape unprotected"
+        );
+        let prototype = report
+            .cell(workload, "prototype", "branch-invert")
+            .expect("cell");
+        assert_eq!(
+            prototype.report.counts.wrong_result_undetected, 0,
+            "{workload}: the encoded branch detects every inversion"
+        );
+    }
+}

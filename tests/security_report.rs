@@ -1,0 +1,198 @@
+//! `SecurityReport` serialisation coverage: the JSON document survives a
+//! hand-rolled structural parse (the offline build has no serde to
+//! round-trip through), `render_table` is asserted against its expected
+//! shape, and the stats side-channel stays out of the deterministic output.
+
+use secbranch::campaign::{BranchInversion, FaultModel, InstructionSkip, MatrixExecutor};
+use secbranch::programs::integer_compare_module;
+use secbranch::{Pipeline, ProtectionVariant, SecurityReport, Session, Workload};
+
+fn small_report() -> SecurityReport {
+    let workloads = [Workload::new(
+        "integer compare",
+        integer_compare_module(),
+        "integer_compare",
+        &[7, 9],
+    )];
+    let pipelines = [
+        Pipeline::for_variant(ProtectionVariant::Unprotected)
+            .with_memory_size(1 << 16)
+            .with_max_steps(100_000),
+        Pipeline::for_variant(ProtectionVariant::AnCode)
+            .with_memory_size(1 << 16)
+            .with_max_steps(100_000),
+    ];
+    let models: [&dyn FaultModel; 2] = [&InstructionSkip, &BranchInversion];
+    Session::new()
+        .security_matrix(&workloads, &pipelines, &models)
+        .expect("matrix runs")
+}
+
+/// A minimal structural JSON check: every quote-delimited string is left
+/// intact and outside of strings the braces/brackets nest correctly down
+/// to exactly zero. Returns the maximum depth as a sanity value.
+fn check_balanced(json: &str) -> usize {
+    let mut depth: i64 = 0;
+    let mut max_depth = 0usize;
+    let mut in_string = false;
+    let mut escaped = false;
+    for c in json.chars() {
+        if in_string {
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_string = false;
+            }
+            continue;
+        }
+        match c {
+            '"' => in_string = true,
+            '{' | '[' => {
+                depth += 1;
+                max_depth = max_depth.max(depth as usize);
+            }
+            '}' | ']' => {
+                depth -= 1;
+                assert!(depth >= 0, "closer without opener");
+            }
+            _ => {}
+        }
+    }
+    assert!(!in_string, "unterminated string");
+    assert_eq!(depth, 0, "unbalanced braces/brackets");
+    max_depth
+}
+
+#[test]
+fn json_output_passes_a_structural_parse() {
+    let report = small_report();
+    let json = report.to_json();
+
+    check_balanced(&json);
+    assert!(json.starts_with("{\"cells\":["));
+    assert!(json.ends_with("]}"));
+    // One object per cell, each carrying the four top-level keys.
+    let cells = report.cells.len();
+    assert_eq!(cells, 4, "1 workload × 2 pipelines × 2 models");
+    assert_eq!(json.matches("\"workload\":").count(), cells);
+    assert_eq!(json.matches("\"pipeline\":").count(), cells);
+    assert_eq!(
+        json.matches("\"model\":").count(),
+        2 * cells,
+        "once per cell label, once inside each embedded campaign report"
+    );
+    assert_eq!(json.matches("\"report\":").count(), cells);
+    // Every embedded campaign report serialises its counters and spaces.
+    assert_eq!(json.matches("\"escape_rate\":").count(), cells);
+    assert!(json.contains("\"model\":\"skip\""));
+    assert!(json.contains("\"model\":\"branch-invert\""));
+    assert!(json.contains("\"workload\":\"integer compare\""));
+    // Stats never leak into the deterministic document.
+    assert!(!json.contains("wall"));
+    assert!(!json.contains("trace_hits"));
+
+    // The stats serialise separately and are well-formed too.
+    let stats_json = report.stats.to_json();
+    check_balanced(&stats_json);
+    assert!(stats_json.contains("\"trace_hits\":"));
+    assert!(stats_json.contains("\"total_wall_micros\":"));
+    assert!(stats_json.contains("\"cell_compute_micros\":["));
+}
+
+#[test]
+fn json_strings_are_escaped_in_cell_labels() {
+    let workloads = [Workload::new(
+        "quote \" and tab\t",
+        integer_compare_module(),
+        "integer_compare",
+        &[1, 1],
+    )];
+    let pipelines = [Pipeline::for_variant(ProtectionVariant::Unprotected)
+        .with_memory_size(1 << 16)
+        .with_max_steps(100_000)];
+    let models: [&dyn FaultModel; 1] = [&BranchInversion];
+    let report = Session::new()
+        .security_matrix(&workloads, &pipelines, &models)
+        .expect("matrix runs");
+    let json = report.to_json();
+    check_balanced(&json);
+    assert!(json.contains("quote \\\" and tab\\t"));
+}
+
+#[test]
+fn render_table_has_the_expected_shape() {
+    let report = small_report();
+    let table = report.render_table();
+    let lines: Vec<&str> = table.lines().collect();
+
+    // Header plus one row per workload × pipeline (1 × 2).
+    assert_eq!(lines.len(), 3);
+    assert!(lines[0].contains("workload"));
+    assert!(lines[0].contains("pipeline"));
+    assert!(lines[0].contains("skip"));
+    assert!(lines[0].contains("branch-invert"));
+    for row in &lines[1..] {
+        assert!(row.contains("integer compare"));
+        assert_eq!(
+            row.matches(" | ").count(),
+            2,
+            "one column per model: {row:?}"
+        );
+        assert!(row.contains('%'), "cells render rates: {row:?}");
+    }
+
+    // Deterministic semantic snapshot: the unprotected row's
+    // branch-inversion cell escapes 100%, the prototype row's 0%.
+    let unprotected_row = lines[1];
+    assert!(unprotected_row.contains("unprotected"));
+    assert!(
+        unprotected_row.contains("(100.000%)"),
+        "unprotected branch inversion escapes: {unprotected_row:?}"
+    );
+    let prototype_row = lines[2];
+    assert!(prototype_row.contains("prototype"));
+    assert!(
+        prototype_row.contains("(0.000%)"),
+        "prototype detects inversions: {prototype_row:?}"
+    );
+
+    // The table is pure presentation: re-rendering is stable.
+    assert_eq!(table, report.render_table());
+}
+
+/// Equality ignores stats (two identical matrices never share wall times),
+/// but compares every cell.
+#[test]
+fn report_equality_ignores_stats_but_not_cells() {
+    let workloads = [Workload::new(
+        "integer compare",
+        integer_compare_module(),
+        "integer_compare",
+        &[7, 9],
+    )];
+    let pipelines = [Pipeline::for_variant(ProtectionVariant::Unprotected)
+        .with_memory_size(1 << 16)
+        .with_max_steps(100_000)];
+    let models: [&dyn FaultModel; 1] = [&InstructionSkip];
+    let executor = MatrixExecutor::new().with_threads(2);
+    let a = Session::new()
+        .security_matrix_with(&executor, &workloads, &pipelines, &models)
+        .expect("runs");
+    let b = Session::new()
+        .security_matrix_with(&executor, &workloads, &pipelines, &models)
+        .expect("runs");
+    assert_eq!(a, b, "identical matrices compare equal despite timings");
+
+    let different_args = [Workload::new(
+        "integer compare",
+        integer_compare_module(),
+        "integer_compare",
+        &[7, 7],
+    )];
+    let c = Session::new()
+        .security_matrix_with(&executor, &different_args, &pipelines, &models)
+        .expect("runs");
+    assert_ne!(a, c, "different cells must not compare equal");
+}

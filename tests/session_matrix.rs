@@ -52,6 +52,11 @@ fn table_three_matrix_compiles_each_module_once_per_fingerprint() {
         "each module × fingerprint compiled exactly once"
     );
     assert_eq!(session.cache_hits(), 0);
+    assert_eq!(
+        session.cache_misses(),
+        session.builds(),
+        "misses and builds are the same counter seen from both sides"
+    );
 
     // Semantic spot checks across the matrix.
     for pipeline in &report.pipelines {
@@ -89,6 +94,7 @@ fn table_three_matrix_compiles_each_module_once_per_fingerprint() {
         .run_matrix(&workloads, &pipelines)
         .expect("matrix runs");
     assert_eq!(session.builds(), 12, "second matrix run compiles nothing");
+    assert_eq!(session.cache_misses(), 12);
     assert_eq!(session.cache_hits(), 12);
     assert_eq!(report, again, "cached matrix is bit-identical");
 }
@@ -119,6 +125,7 @@ fn cache_is_keyed_by_fingerprint_not_by_label() {
         2,
         "identical fingerprints share one compilation"
     );
+    assert_eq!(session.cache_misses(), 2);
     assert_eq!(session.cache_hits(), 1);
     // Both labels appear in the report even though one build served them.
     assert!(report.cell("integer compare", "cfi").is_some());
@@ -182,6 +189,7 @@ fn cache_distinguishes_same_named_modules_by_content() {
     // Same name AND same content still hits the cache.
     session.measure(&small, &pipelines[0]).expect("runs");
     assert_eq!(session.builds(), 2);
+    assert_eq!(session.cache_misses(), 2);
     assert_eq!(session.cache_hits(), 1);
 
     // In a matrix, the duplicate workload name is disambiguated so both
