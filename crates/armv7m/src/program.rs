@@ -1,19 +1,30 @@
-//! Program construction and assembly (label resolution, size accounting).
+//! Program construction and assembly (label resolution, size accounting,
+//! per-instruction provenance).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::error::SimError;
 use crate::instr::{Instr, Target};
 
+/// The provenance tag of an instruction whose origin was never declared
+/// (see [`ProgramBuilder::set_origin`]).
+pub const DEFAULT_ORIGIN: &str = "isel";
+
 /// An assembled program: instructions with resolved branch targets plus the
-/// label map and the code-size accounting derived from the Thumb-2 size
-/// model.
+/// label map, the code-size accounting derived from the Thumb-2 size model,
+/// and a provenance tag per instruction.
+///
+/// The label map is an ordered [`BTreeMap`], so every way of walking a
+/// program — instructions, labels, listings — is deterministic; two
+/// assemblies of the same builder contents are byte-identical, which is what
+/// lets artifact listings serve as golden test fixtures.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Program {
     instrs: Vec<Instr>,
-    labels: HashMap<String, usize>,
+    labels: BTreeMap<String, usize>,
     sizes: Vec<u32>,
     label_of_instr: Vec<Option<String>>,
+    origin_of_instr: Vec<&'static str>,
 }
 
 impl Program {
@@ -41,9 +52,10 @@ impl Program {
         self.labels.get(name).copied()
     }
 
-    /// All labels and their instruction indices.
+    /// All labels and their instruction indices, in lexicographic label
+    /// order (a [`BTreeMap`], so iteration is deterministic).
     #[must_use]
-    pub fn labels(&self) -> &HashMap<String, usize> {
+    pub fn labels(&self) -> &BTreeMap<String, usize> {
         &self.labels
     }
 
@@ -85,6 +97,17 @@ impl Program {
         self.label_of_instr.get(index).and_then(|l| l.as_deref())
     }
 
+    /// The provenance tag of the instruction at `index`: the origin the
+    /// builder had declared when the instruction was pushed
+    /// ([`DEFAULT_ORIGIN`] if none was, or the index is out of range).
+    #[must_use]
+    pub fn origin_at(&self, index: usize) -> &'static str {
+        self.origin_of_instr
+            .get(index)
+            .copied()
+            .unwrap_or(DEFAULT_ORIGIN)
+    }
+
     /// A plain-text listing of the program (label lines plus one instruction
     /// per line) for debugging and golden tests.
     #[must_use]
@@ -99,18 +122,65 @@ impl Program {
         }
         out
     }
+
+    /// An annotated, byte-stable listing: per instruction the index, the
+    /// byte offset in the Thumb-2 size model, the rendered instruction and
+    /// its provenance tag, with label lines interleaved.
+    ///
+    /// Because every ingredient is deterministic (instructions and label
+    /// attachment come from the builder in push order, offsets from the size
+    /// model, origins from [`ProgramBuilder::set_origin`]), two builds of
+    /// the same program render the identical string — the property golden
+    /// snapshot tests and cross-session artifact comparisons rely on.
+    #[must_use]
+    pub fn annotated_listing(&self) -> String {
+        let mut out = String::new();
+        let mut offset = 0u32;
+        for (i, instr) in self.instrs.iter().enumerate() {
+            if let Some(label) = self.label_at(i) {
+                out.push_str(label);
+                out.push_str(":\n");
+            }
+            out.push_str(&format!(
+                "  {:4}  {:#06x}  {:<24}; {}\n",
+                i,
+                offset,
+                instr.to_string(),
+                self.origin_at(i),
+            ));
+            offset += self.sizes[i];
+        }
+        out
+    }
 }
 
 /// Builder collecting labels and instructions before assembly.
-#[derive(Debug, Clone, Default)]
+///
+/// The builder carries a *current origin* tag ([`ProgramBuilder::set_origin`],
+/// initially [`DEFAULT_ORIGIN`]); every pushed instruction is stamped with
+/// it, and the tags survive assembly as [`Program::origin_at`]. The back end
+/// uses this to attribute each machine instruction to the pipeline layer
+/// that required it (plain instruction selection, the AN Coder's encoded
+/// comparison, CFI instrumentation, …).
+#[derive(Debug, Clone)]
 pub struct ProgramBuilder {
     items: Vec<Item>,
+    origin: &'static str,
 }
 
 #[derive(Debug, Clone)]
 enum Item {
     Label(String),
-    Instr(Instr),
+    Instr(Instr, &'static str),
+}
+
+impl Default for ProgramBuilder {
+    fn default() -> Self {
+        ProgramBuilder {
+            items: Vec::new(),
+            origin: DEFAULT_ORIGIN,
+        }
+    }
 }
 
 impl ProgramBuilder {
@@ -125,12 +195,26 @@ impl ProgramBuilder {
         self.items.push(Item::Label(name.into()));
     }
 
-    /// Appends an instruction.
-    pub fn push(&mut self, instr: Instr) {
-        self.items.push(Item::Instr(instr));
+    /// Declares the provenance tag stamped on subsequently pushed
+    /// instructions (until the next call). Tags are `'static` strings by
+    /// design: they name fixed pipeline layers, not per-build data.
+    pub fn set_origin(&mut self, origin: &'static str) {
+        self.origin = origin;
     }
 
-    /// Appends all instructions of an iterator.
+    /// The currently declared provenance tag.
+    #[must_use]
+    pub fn origin(&self) -> &'static str {
+        self.origin
+    }
+
+    /// Appends an instruction (stamped with the current origin).
+    pub fn push(&mut self, instr: Instr) {
+        self.items.push(Item::Instr(instr, self.origin));
+    }
+
+    /// Appends all instructions of an iterator (each stamped with the
+    /// current origin).
     pub fn extend(&mut self, instrs: impl IntoIterator<Item = Instr>) {
         for i in instrs {
             self.push(i);
@@ -142,7 +226,7 @@ impl ProgramBuilder {
     pub fn instr_count(&self) -> usize {
         self.items
             .iter()
-            .filter(|i| matches!(i, Item::Instr(_)))
+            .filter(|i| matches!(i, Item::Instr(..)))
             .count()
     }
 
@@ -152,9 +236,10 @@ impl ProgramBuilder {
     ///
     /// Returns [`SimError::DuplicateLabel`] or [`SimError::UndefinedLabel`].
     pub fn assemble(self) -> Result<Program, SimError> {
-        let mut labels: HashMap<String, usize> = HashMap::new();
+        let mut labels: BTreeMap<String, usize> = BTreeMap::new();
         let mut instrs: Vec<Instr> = Vec::new();
         let mut label_of_instr: Vec<Option<String>> = Vec::new();
+        let mut origin_of_instr: Vec<&'static str> = Vec::new();
         let mut pending_labels: Vec<String> = Vec::new();
         for item in self.items {
             match item {
@@ -165,9 +250,10 @@ impl ProgramBuilder {
                     labels.insert(name.clone(), instrs.len());
                     pending_labels.push(name);
                 }
-                Item::Instr(i) => {
+                Item::Instr(i, origin) => {
                     instrs.push(i);
                     label_of_instr.push(pending_labels.first().cloned());
+                    origin_of_instr.push(origin);
                     pending_labels.clear();
                 }
             }
@@ -195,6 +281,7 @@ impl ProgramBuilder {
             labels,
             sizes,
             label_of_instr,
+            origin_of_instr,
         })
     }
 }
@@ -279,6 +366,42 @@ mod tests {
         assert!(listing.contains("start:"));
         assert!(listing.contains("loop:"));
         assert!(listing.contains("blo"));
+    }
+
+    #[test]
+    fn origins_are_stamped_and_survive_assembly() {
+        let mut p = ProgramBuilder::new();
+        p.label("f");
+        p.push(Instr::Nop); // default origin
+        p.set_origin("cfi");
+        p.push(Instr::Nop);
+        p.push(Instr::Nop);
+        p.set_origin("body");
+        p.push(Instr::Bx { rm: Reg::Lr });
+        assert_eq!(p.origin(), "body");
+        let program = p.assemble().expect("assembles");
+        assert_eq!(program.origin_at(0), DEFAULT_ORIGIN);
+        assert_eq!(program.origin_at(1), "cfi");
+        assert_eq!(program.origin_at(2), "cfi");
+        assert_eq!(program.origin_at(3), "body");
+        assert_eq!(program.origin_at(99), DEFAULT_ORIGIN, "out of range");
+    }
+
+    #[test]
+    fn annotated_listing_shows_offsets_labels_and_origins() {
+        let mut p = sample_builder();
+        p.set_origin("tail");
+        p.push(Instr::Nop);
+        let program = p.assemble().expect("assembles");
+        let listing = program.annotated_listing();
+        assert!(listing.contains("start:"));
+        assert!(listing.contains("loop:"));
+        assert!(listing.contains("; isel"));
+        assert!(listing.contains("; tail"));
+        // Byte offsets follow the size model: instruction 1 starts at 0x2.
+        assert!(listing.contains("0x0002"));
+        // Deterministic: rendering twice is byte-identical.
+        assert_eq!(listing, program.annotated_listing());
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //!
 //! The overhead arithmetic and formatting live in the `secbranch` facade
 //! ([`Measurement`](secbranch::Measurement) methods and
-//! [`overhead_cell`](secbranch::overhead_cell)); this crate only adds the
+//! [`overhead_cell`]); this crate only adds the
 //! CLI plumbing of the binaries and the host-side micro-benchmark harness
 //! used by the `benches/` targets (the offline build has no criterion).
 

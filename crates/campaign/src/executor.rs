@@ -89,7 +89,54 @@ struct Shard {
 type ShardOutput = (Vec<(Outcome, u32)>, u64);
 
 /// Executes whole security matrices on one shared worker pool with a
-/// memoised trace store. See the [module docs](self).
+/// memoised trace store (the scheduling scheme — trace memoisation,
+/// shard flattening, self-scheduling, canonical-order stitching — is
+/// described at the top of `executor.rs`).
+///
+/// # Example
+///
+/// Two fault models attacking one target become two [`MatrixJob`]s sharing
+/// a [`TraceKey`]; the reference trace is recorded once and both cells'
+/// fault spaces run on one pool:
+///
+/// ```
+/// use secbranch_armv7m::{Cond, Instr, Operand2, ProgramBuilder, Reg, Simulator, Target};
+/// use secbranch_campaign::{
+///     BranchInversion, InstructionSkip, MatrixExecutor, MatrixJob, TraceKey, TraceStore,
+/// };
+///
+/// # fn main() -> Result<(), secbranch_armv7m::SimError> {
+/// // max(a, b) — one unprotected conditional branch.
+/// let mut p = ProgramBuilder::new();
+/// p.label("max");
+/// p.push(Instr::Cmp { rn: Reg::R0, op2: Operand2::Reg(Reg::R1) });
+/// p.push(Instr::BCond { cond: Cond::Hs, target: Target::label("done") });
+/// p.push(Instr::Mov { rd: Reg::R0, rm: Reg::R1 });
+/// p.label("done");
+/// p.push(Instr::Bx { rm: Reg::Lr });
+/// let simulator = Simulator::new(p.assemble()?, 4096);
+///
+/// let jobs: Vec<MatrixJob> = [&InstructionSkip as _, &BranchInversion as _]
+///     .into_iter()
+///     .map(|model| MatrixJob {
+///         source: &simulator,
+///         key: TraceKey::new("max-artifact", "max", &[7, 3]),
+///         entry: "max".to_string(),
+///         args: vec![7, 3],
+///         max_steps: 100,
+///         model,
+///     })
+///     .collect();
+/// let store = TraceStore::new();
+/// let results = MatrixExecutor::new().with_threads(2).run(&jobs, &store)?;
+///
+/// assert_eq!(results.len(), 2);
+/// assert!(!results[0].trace_hit, "first cell records the reference");
+/// assert!(results[1].trace_hit, "second cell reuses it");
+/// assert_eq!(results[1].report.counts.wrong_result_undetected, 1);
+/// # Ok(())
+/// # }
+/// ```
 #[derive(Debug, Clone, Copy)]
 pub struct MatrixExecutor {
     threads: usize,

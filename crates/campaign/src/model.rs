@@ -62,6 +62,34 @@ pub struct CampaignContext<'a> {
 /// the canonical fault-space order: the runner preserves it in reports, so
 /// the same model over the same trace always produces the same report,
 /// independent of worker-thread count.
+///
+/// # Example
+///
+/// A custom model is a plain struct; here, an attacker that can only skip
+/// the *first* `k` dynamic instructions of a run:
+///
+/// ```
+/// use secbranch_campaign::{CampaignContext, FaultModel, FaultPoint};
+///
+/// struct EarlySkip {
+///     k: u64,
+/// }
+///
+/// impl FaultModel for EarlySkip {
+///     fn name(&self) -> String {
+///         format!("early-skip({})", self.k)
+///     }
+///     fn fault_points(&self, ctx: &CampaignContext<'_>) -> Vec<FaultPoint> {
+///         (1..=ctx.trace.steps().min(self.k))
+///             .map(|step| FaultPoint::Skip { step })
+///             .collect()
+///     }
+/// }
+/// ```
+///
+/// Anything implementing this trait plugs into
+/// [`crate::CampaignRunner::run`], [`crate::MatrixExecutor`] and the
+/// facade's `Artifact::campaign`/`Session::security_matrix`.
 pub trait FaultModel: Sync {
     /// The model's display name (stable; used in reports and matrix
     /// columns).

@@ -1,6 +1,32 @@
 //! Instruction selection, frame layout and CFI instrumentation.
+//!
+//! # Determinism
+//!
+//! The back end is *bit-deterministic*: compiling the same module with the
+//! same options always produces the identical [`CompiledModule`] — same
+//! instruction sequence, same labels, same stack-slot offsets, same rendered
+//! listing. Everything order-sensitive iterates deterministic structures
+//! (the module's function/global vectors, block lists in id order) or
+//! ordered maps ([`BTreeMap`]); no `HashMap` iteration order ever reaches
+//! the output. Reproducible artifacts are what let fingerprints, trace-store
+//! keys and golden listings be trusted across independent builds.
+//!
+//! # Provenance
+//!
+//! Every emitted instruction carries an origin tag
+//! ([`secbranch_armv7m::Program::origin_at`]) naming the pipeline layer that
+//! required it:
+//!
+//! * `"prologue"` / `"epilogue"` — frame setup and teardown,
+//! * `"body"` — plain instruction selection of IR operations,
+//! * `"an-coder"` — the encoded-comparison kernel of the AN Coder's
+//!   `enccmp` instruction (Algorithms 1 and 2),
+//! * `"cfi"` — GPSA state replacement at entries/after calls and the state
+//!   check before returns,
+//! * `"cfi-edge"` — the per-CFG-edge update stubs (including the
+//!   protected-branch condition merges of Section III).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use secbranch_armv7m::machine::{CFI_CHECK_ADDR, CFI_REPLACE_ADDR, CFI_UPDATE_ADDR};
@@ -49,13 +75,15 @@ pub struct CodegenOptions {
 pub struct CompiledModule {
     /// The assembled program (shared, immutable).
     pub program: Arc<Program>,
-    /// Addresses assigned to module globals.
-    pub global_addresses: HashMap<String, u32>,
+    /// Addresses assigned to module globals (ordered, so iteration —
+    /// e.g. for listings — is deterministic).
+    pub global_addresses: BTreeMap<String, u32>,
     /// Initial memory image: `(address, bytes)` pairs for the globals
     /// (shared, immutable; written into each fresh simulator's RAM).
     pub global_image: Arc<Vec<(u32, Vec<u8>)>>,
-    /// Code size of each function in bytes (Thumb-2 size model).
-    pub function_sizes: HashMap<String, u32>,
+    /// Code size of each function in bytes (Thumb-2 size model; ordered for
+    /// deterministic iteration).
+    pub function_sizes: BTreeMap<String, u32>,
 }
 
 impl CompiledModule {
@@ -106,8 +134,9 @@ impl CompiledModule {
 /// Returns [`CodegenError`] for unknown globals, unsupported constructs
 /// (un-lowered `switch`/`select`) and internal assembly failures.
 pub fn compile(module: &Module, options: &CodegenOptions) -> Result<CompiledModule, CodegenError> {
-    // Lay out globals.
-    let mut global_addresses = HashMap::new();
+    // Lay out globals (in module declaration order; the map is ordered by
+    // name but the address cursor follows the declaration sequence).
+    let mut global_addresses = BTreeMap::new();
     let mut global_image = Vec::new();
     let mut cursor = GLOBAL_BASE;
     for global in &module.globals {
@@ -143,7 +172,7 @@ pub fn compile(module: &Module, options: &CodegenOptions) -> Result<CompiledModu
 struct FunctionCompiler<'a> {
     function: &'a Function,
     options: &'a CodegenOptions,
-    globals: &'a HashMap<String, u32>,
+    globals: &'a BTreeMap<String, u32>,
     signatures: SignatureAssignment,
     local_offsets: Vec<u32>,
     spill_base: u32,
@@ -155,7 +184,7 @@ impl<'a> FunctionCompiler<'a> {
     fn new(
         function: &'a Function,
         options: &'a CodegenOptions,
-        globals: &'a HashMap<String, u32>,
+        globals: &'a BTreeMap<String, u32>,
     ) -> Self {
         let mut local_offsets = Vec::with_capacity(function.locals.len());
         let mut cursor = 0u32;
@@ -290,6 +319,7 @@ impl<'a> FunctionCompiler<'a> {
         p.label(self.function.name.clone());
 
         // Prologue: save LR, allocate the frame, spill parameters.
+        p.set_origin("prologue");
         p.push(Instr::Push {
             regs: vec![Reg::Lr],
         });
@@ -312,8 +342,10 @@ impl<'a> FunctionCompiler<'a> {
             self.emit_sp_store(p, param_regs[i], self.slot(*param));
         }
         if self.cfi_enabled() {
+            p.set_origin("cfi");
             self.emit_cfi_write_const(p, CFI_REPLACE_ADDR, self.signatures.signature(0));
         }
+        p.set_origin("prologue");
         p.push(Instr::B {
             target: Target::label(self.block_label(self.function.entry())),
         });
@@ -335,6 +367,7 @@ impl<'a> FunctionCompiler<'a> {
         }
 
         // Edge stubs (CFI updates on CFG edges).
+        p.set_origin("cfi-edge");
         for (label, body, target) in edge_stubs {
             p.label(label);
             p.extend(body);
@@ -352,6 +385,7 @@ impl<'a> FunctionCompiler<'a> {
         result: Option<ValueId>,
         block: BlockId,
     ) -> Result<(), CodegenError> {
+        p.set_origin("body");
         match op {
             Op::Bin { op, lhs, rhs } => {
                 self.emit_operand(p, Reg::R0, *lhs);
@@ -544,11 +578,13 @@ impl<'a> FunctionCompiler<'a> {
                 // signature (the state-replacement technique at call
                 // boundaries).
                 if self.cfi_enabled() {
+                    p.set_origin("cfi");
                     self.emit_cfi_write_const(
                         p,
                         CFI_REPLACE_ADDR,
                         self.signatures.signature(block.0 as usize),
                     );
+                    p.set_origin("body");
                 }
                 self.emit_result(p, Reg::R0, result);
             }
@@ -566,7 +602,9 @@ impl<'a> FunctionCompiler<'a> {
                 };
                 self.emit_operand(p, Reg::R0, first);
                 self.emit_operand(p, Reg::R1, second);
+                p.set_origin("an-coder");
                 p.extend(crate::snippet::encoded_compare_core(*pred, *a, *c));
+                p.set_origin("body");
                 self.emit_result(p, Reg::R2, result);
             }
         }
@@ -580,6 +618,7 @@ impl<'a> FunctionCompiler<'a> {
         term: &Terminator,
         edge_stubs: &mut Vec<(String, Vec<Instr>, String)>,
     ) -> Result<(), CodegenError> {
+        p.set_origin("body");
         match term {
             Terminator::Jump(target) => {
                 let dest = self.edge(block, *target, None, None, edge_stubs);
@@ -640,12 +679,14 @@ impl<'a> FunctionCompiler<'a> {
                     self.emit_operand(p, Reg::R0, *v);
                 }
                 if self.cfi_enabled() {
+                    p.set_origin("cfi");
                     self.emit_cfi_write_const(
                         p,
                         CFI_CHECK_ADDR,
                         self.signatures.signature(block.0 as usize),
                     );
                 }
+                p.set_origin("epilogue");
                 if self.frame_size < 4096 {
                     p.push(Instr::Add {
                         rd: Reg::Sp,
@@ -916,6 +957,78 @@ mod tests {
             &[7, 7],
         );
         assert_eq!(r.return_value, 1);
+    }
+
+    #[test]
+    fn compilation_is_bit_deterministic() {
+        use secbranch_passes::{standard_protection_pipeline, AnCoderConfig};
+
+        // The protected pipeline exercises every order-sensitive piece:
+        // shadow locals (Loop Decoupler), fresh values (AN Coder), edge
+        // stubs and slot allocation. Two independent compilations must be
+        // byte-identical, listings included.
+        let mut m = abs_diff_module();
+        m.function_mut("abs_diff").unwrap().attrs.protect_branches = true;
+        standard_protection_pipeline(AnCoderConfig::default())
+            .run(&mut m)
+            .expect("pipeline");
+        let options = CodegenOptions {
+            cfi: CfiLevel::Full,
+        };
+        let first = compile(&m, &options).expect("compiles");
+        let second = compile(&m, &options).expect("compiles");
+        assert_eq!(first.program, second.program);
+        assert_eq!(first.global_addresses, second.global_addresses);
+        assert_eq!(first.function_sizes, second.function_sizes);
+        assert_eq!(
+            first.program.annotated_listing(),
+            second.program.annotated_listing()
+        );
+    }
+
+    #[test]
+    fn provenance_tags_attribute_instructions_to_pipeline_layers() {
+        use secbranch_passes::{standard_protection_pipeline, AnCoderConfig};
+        use std::collections::BTreeSet;
+
+        let mut b = FunctionBuilder::new("check", 2);
+        b.protect_branches();
+        let grant = b.create_block("grant");
+        let deny = b.create_block("deny");
+        let cond = b.cmp(Predicate::Eq, b.param(0), b.param(1));
+        b.branch(cond, grant, deny);
+        b.switch_to(grant);
+        b.ret(Some(1u32.into()));
+        b.switch_to(deny);
+        b.ret(Some(0u32.into()));
+        let mut m = IrModule::new();
+        m.add_function(b.finish());
+        standard_protection_pipeline(AnCoderConfig::default())
+            .run(&mut m)
+            .expect("pipeline");
+
+        let compiled = compile(
+            &m,
+            &CodegenOptions {
+                cfi: CfiLevel::Full,
+            },
+        )
+        .expect("compiles");
+        let origins: BTreeSet<&str> = (0..compiled.program.len())
+            .map(|i| compiled.program.origin_at(i))
+            .collect();
+        for expected in [
+            "prologue", "body", "an-coder", "cfi", "cfi-edge", "epilogue",
+        ] {
+            assert!(origins.contains(expected), "missing origin {expected:?}");
+        }
+        // The encoded-compare kernel instructions (UDIV/MLS only ever come
+        // from Algorithm 1/2) are attributed to the AN Coder.
+        for (i, instr) in compiled.program.instructions().iter().enumerate() {
+            if matches!(instr, Instr::Udiv { .. } | Instr::Mls { .. }) {
+                assert_eq!(compiled.program.origin_at(i), "an-coder", "pc {i}");
+            }
+        }
     }
 
     #[test]

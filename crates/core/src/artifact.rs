@@ -8,7 +8,7 @@ use secbranch_campaign::{
 use secbranch_codegen::CompiledModule;
 use secbranch_fault::SweepReport;
 
-use crate::{BuildError, Measurement, SimConfig};
+use crate::{BuildError, Measurement, Provenance, SimConfig};
 
 /// A compiled module plus the metadata needed to run and measure it.
 ///
@@ -17,11 +17,39 @@ use crate::{BuildError, Measurement, SimConfig};
 /// [`Artifact::measure`] or fault campaign starts from a fresh simulator
 /// over the *same* compilation, so results are independent of call order
 /// and nothing is ever recompiled.
+///
+/// Compilation is bit-deterministic, so an artifact is fully auditable:
+/// [`Artifact::provenance`] records what produced it and
+/// [`Artifact::disassemble`] renders a byte-stable annotated listing.
+///
+/// ```
+/// use secbranch::{Pipeline, ProtectionVariant};
+/// use secbranch::programs::integer_compare_module;
+///
+/// # fn main() -> Result<(), secbranch::BuildError> {
+/// let module = integer_compare_module();
+/// let pipeline = Pipeline::for_variant(ProtectionVariant::AnCode);
+/// let artifact = pipeline.build(&module)?;
+///
+/// // One build, many executions.
+/// assert_eq!(artifact.run("integer_compare", &[3, 3])?.return_value, 1);
+/// assert_eq!(artifact.run("integer_compare", &[3, 4])?.return_value, 0);
+///
+/// // Rebuilding yields the identical artifact, bit for bit.
+/// let again = pipeline.build(&module)?;
+/// assert_eq!(artifact.artifact_fingerprint(), again.artifact_fingerprint());
+/// assert_eq!(artifact.disassemble(), again.disassemble());
+/// assert!(artifact.provenance().passes.contains(&"an-coder".to_string()));
+/// # Ok(())
+/// # }
+/// ```
 #[derive(Debug, Clone)]
 pub struct Artifact {
     pipeline_label: String,
-    fingerprint: String,
-    artifact_fingerprint: String,
+    /// The single home of the artifact's identity strings; the fingerprint
+    /// accessors read through it so label, audit record and trace-store key
+    /// can never desynchronise.
+    provenance: Provenance,
     compiled: CompiledModule,
     sim: SimConfig,
 }
@@ -29,15 +57,13 @@ pub struct Artifact {
 impl Artifact {
     pub(crate) fn new(
         pipeline_label: String,
-        fingerprint: String,
-        artifact_fingerprint: String,
+        provenance: Provenance,
         compiled: CompiledModule,
         sim: SimConfig,
     ) -> Self {
         Artifact {
             pipeline_label,
-            fingerprint,
-            artifact_fingerprint,
+            provenance,
             compiled,
             sim,
         }
@@ -52,7 +78,7 @@ impl Artifact {
     /// The fingerprint of the pipeline that built this artifact.
     #[must_use]
     pub fn fingerprint(&self) -> &str {
-        &self.fingerprint
+        &self.provenance.pipeline_fingerprint
     }
 
     /// The fingerprint of this *artifact*: the pipeline fingerprint
@@ -61,14 +87,51 @@ impl Artifact {
     /// discrimination the [`TraceStore`] key contract demands.
     #[must_use]
     pub fn artifact_fingerprint(&self) -> &str {
-        &self.artifact_fingerprint
+        &self.provenance.artifact_fingerprint
     }
 
     /// The trace-store key of this artifact's `entry(args)` reference
     /// execution.
     #[must_use]
     pub fn trace_key(&self, entry: &str, args: &[u32]) -> TraceKey {
-        TraceKey::new(self.artifact_fingerprint.clone(), entry, args)
+        TraceKey::new(self.provenance.artifact_fingerprint.clone(), entry, args)
+    }
+
+    /// The provenance record of this artifact: source module hash, pipeline
+    /// fingerprint, pass sequence and the combined artifact fingerprint.
+    /// Because compilation is bit-deterministic, this record fully
+    /// determines the artifact's bytes.
+    #[must_use]
+    pub fn provenance(&self) -> &Provenance {
+        &self.provenance
+    }
+
+    /// A stable, annotated disassembly of the compiled program: a
+    /// provenance comment header (module hash, pipeline fingerprint, pass
+    /// sequence, global data layout) followed by one line per instruction —
+    /// index, byte offset, rendered instruction and the originating
+    /// pipeline layer (`prologue`/`body`/`an-coder`/`cfi`/`cfi-edge`/
+    /// `epilogue`), with function and edge-stub labels interleaved.
+    ///
+    /// The listing depends only on the artifact's *identity* (not on its
+    /// label or on the session that built it): fingerprint-equal artifacts
+    /// disassemble to identical bytes, in this process or any other, which
+    /// is what makes listings usable as golden review fixtures.
+    #[must_use]
+    pub fn disassemble(&self) -> String {
+        let mut out = self.provenance.to_string();
+        for (name, addr) in &self.compiled.global_addresses {
+            let len = self
+                .compiled
+                .global_image
+                .iter()
+                .find(|(a, _)| a == addr)
+                .map_or(0, |(_, data)| data.len());
+            out.push_str(&format!("; global {name} @ {addr:#06x} ({len} bytes)\n"));
+        }
+        out.push('\n');
+        out.push_str(&self.compiled.program.annotated_listing());
+        out
     }
 
     /// The simulator configuration executions of this artifact use.

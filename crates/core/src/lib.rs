@@ -77,12 +77,14 @@ pub use secbranch_programs as programs;
 
 mod artifact;
 mod pipeline;
+mod provenance;
 mod report;
 mod security;
 mod session;
 
 pub use artifact::Artifact;
 pub use pipeline::{Pipeline, SimConfig};
+pub use provenance::Provenance;
 pub use report::{overhead_cell, Report, ReportCell};
 pub use security::{MatrixStats, SecurityCell, SecurityReport};
 pub use session::{Session, Workload};
@@ -274,11 +276,25 @@ impl Measurement {
 /// Shared by the [`Session`] build-cache key and the artifact fingerprint
 /// [`Pipeline::build`] stamps for the trace store.
 pub(crate) fn module_content_hash(module: &ir::Module) -> u64 {
-    use std::collections::hash_map::DefaultHasher;
-    use std::hash::{Hash, Hasher};
-    let mut hasher = DefaultHasher::new();
-    ir::printer::print_module(module).hash(&mut hasher);
-    hasher.finish()
+    fnv1a_64(ir::printer::print_module(module).as_bytes())
+}
+
+/// 64-bit FNV-1a. Hand-rolled on purpose: the fingerprint guarantee is
+/// *cross-build* (same module ⇒ same hash in any process, toolchain or
+/// platform), and `std`'s `DefaultHasher` explicitly reserves the right to
+/// change its algorithm between Rust releases — a silent toolchain bump
+/// would otherwise invalidate every persisted fingerprint and golden
+/// listing. FNV-1a is fixed by definition and byte-oriented, so it is
+/// endianness-independent too.
+pub(crate) fn fnv1a_64(bytes: &[u8]) -> u64 {
+    const OFFSET_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = OFFSET_BASIS;
+    for &byte in bytes {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(PRIME);
+    }
+    hash
 }
 
 pub(crate) fn overhead_percent(value: f64, baseline: f64) -> f64 {
@@ -340,6 +356,16 @@ pub fn measure(
 mod tests {
     use super::*;
     use secbranch_programs::{integer_compare_module, memcmp_module, GRANT};
+
+    #[test]
+    fn content_hash_is_a_fixed_function_of_the_bytes() {
+        // Standard FNV-1a 64 test vectors: the hash must never drift with
+        // the toolchain, or persisted fingerprints and golden listings
+        // silently invalidate.
+        assert_eq!(fnv1a_64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a_64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a_64(b"foobar"), 0x8594_4171_f739_67e8);
+    }
 
     #[test]
     fn variants_have_labels_and_table_order() {

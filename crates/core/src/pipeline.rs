@@ -9,7 +9,7 @@ use secbranch_passes::{
     DuplicationConfig, Pass, PassManager,
 };
 
-use crate::{Artifact, BuildError, Measurement, ProtectionVariant};
+use crate::{Artifact, BuildError, Measurement, ProtectionVariant, Provenance};
 
 /// Simulator configuration of a pipeline: how much guest memory an execution
 /// gets and how many dynamic instructions it may retire.
@@ -254,18 +254,20 @@ impl Pipeline {
     ///
     /// Returns [`BuildError`] if a pass or the back end fails.
     pub fn build(&self, module: &Module) -> Result<Artifact, BuildError> {
-        let artifact_fingerprint = format!(
-            "{}|module={:016x}",
-            self.fingerprint(),
-            crate::module_content_hash(module)
-        );
+        let module_hash = format!("{:016x}", crate::module_content_hash(module));
+        let pipeline_fingerprint = self.fingerprint();
+        let provenance = Provenance {
+            artifact_fingerprint: format!("{pipeline_fingerprint}|module={module_hash}"),
+            module_hash,
+            pipeline_fingerprint,
+            passes: self.pass_names().iter().map(|p| (*p).to_string()).collect(),
+        };
         let mut module = module.clone();
         self.passes.run(&mut module)?;
         let compiled = compile(&module, &CodegenOptions { cfi: self.cfi })?;
         Ok(Artifact::new(
             self.label.clone(),
-            self.fingerprint(),
-            artifact_fingerprint,
+            provenance,
             compiled,
             self.sim,
         ))

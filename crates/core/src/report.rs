@@ -5,7 +5,7 @@ use std::fmt::Write as _;
 
 use secbranch_campaign::json_string;
 
-use crate::Measurement;
+use crate::{Measurement, Provenance};
 
 /// Formats one Table III style cell: absolute value plus overhead percentage
 /// against a baseline (`"110 (+10.000%)"`), or just the absolute value when
@@ -42,6 +42,10 @@ pub struct ReportCell {
     /// Cycle-count overhead against the baseline pipeline, in percent.
     /// `None` for the baseline cells themselves.
     pub runtime_overhead_percent: Option<f64>,
+    /// The provenance of the artifact this cell was measured on (module
+    /// hash, pipeline fingerprint, pass sequence) — the audit trail tying
+    /// every reported number to one reproducible compilation.
+    pub provenance: Provenance,
 }
 
 /// The structured, serialisable result of [`crate::Session::run_matrix`]:
@@ -138,7 +142,8 @@ impl Report {
                 "{{\"workload\":{},\"pipeline\":{},\"code_size_bytes\":{},\
                  \"entry_size_bytes\":{},\"return_value\":{},\"cycles\":{},\
                  \"instructions\":{},\"cfi_checks\":{},\"cfi_violations\":{},\
-                 \"size_overhead_percent\":{},\"runtime_overhead_percent\":{}}}",
+                 \"size_overhead_percent\":{},\"runtime_overhead_percent\":{},\
+                 \"provenance\":{}}}",
                 json_string(&cell.workload),
                 json_string(&cell.pipeline),
                 m.code_size_bytes,
@@ -150,6 +155,7 @@ impl Report {
                 m.result.cfi_violations,
                 json_opt_f64(cell.size_overhead_percent),
                 json_opt_f64(cell.runtime_overhead_percent),
+                cell.provenance.to_json(),
             );
         }
         out.push_str("]}");

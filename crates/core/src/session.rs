@@ -219,7 +219,12 @@ impl Session {
         for (workload, workload_name) in workloads.iter().zip(&workload_names) {
             let mut baseline: Option<Measurement> = None;
             for (pipeline, label) in pipelines.iter().zip(&labels) {
-                let mut measurement = self.measure(workload, pipeline)?;
+                // Borrowed, not cloned: only the provenance record leaves
+                // this scope, so the per-cell deep copy of the compiled
+                // module is avoided on the reporting path.
+                let artifact = self.cached_artifact(&workload.name, &workload.module, pipeline)?;
+                let provenance = artifact.provenance().clone();
+                let mut measurement = artifact.measure(&workload.entry, &workload.args)?;
                 measurement.variant_label = label.clone();
                 let (size_overhead, runtime_overhead) = match &baseline {
                     Some(base) => (
@@ -237,6 +242,7 @@ impl Session {
                     measurement,
                     size_overhead_percent: size_overhead,
                     runtime_overhead_percent: runtime_overhead,
+                    provenance,
                 });
             }
         }

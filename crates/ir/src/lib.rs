@@ -18,7 +18,7 @@
 //!   back end,
 //! * a textual [`printer`] and [`parser`] for a human-readable exchange
 //!   format, and
-//! * [`cfg`] utilities (successors, predecessors, reverse post-order,
+//! * [`cfg`](mod@cfg) utilities (successors, predecessors, reverse post-order,
 //!   dominators) shared by the passes and the CFI instrumentation.
 //!
 //! The IR deliberately models an *unoptimised* (`-O0`-style) program: local

@@ -17,7 +17,7 @@
 //! change the (protected) trip-count decision, and the AN Coder can encode the
 //! comparison chain without touching the address arithmetic.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashSet};
 
 use secbranch_ir::{
     BlockId, Function, Inst, LocalId, MemWidth, Module, Op, Operand, Terminator, ValueId,
@@ -161,16 +161,22 @@ fn decouple_function(function: &mut Function) {
             feeds_other.insert(*local);
         }
     }
-    let coupled: Vec<LocalId> = feeds_comparison
+    // Sorted by slot id: shadow locals are allocated in this order, so the
+    // ids (and with them stack-frame offsets and downstream fresh-value
+    // numbering) never depend on hash-set iteration order — a requirement of
+    // the back end's bit-deterministic-compilation guarantee.
+    let mut coupled: Vec<LocalId> = feeds_comparison
         .intersection(&feeds_other)
         .copied()
         .collect();
+    coupled.sort_unstable();
     if coupled.is_empty() {
         return;
     }
 
-    // Allocate shadow locals.
-    let mut shadows: HashMap<LocalId, LocalId> = HashMap::new();
+    // Allocate shadow locals (ordered map: `shadows` is only probed today,
+    // but an ordered container keeps any future iteration deterministic).
+    let mut shadows: BTreeMap<LocalId, LocalId> = BTreeMap::new();
     for local in &coupled {
         let name = format!("{}.shadow", function.locals[local.0 as usize].name);
         let size = function.locals[local.0 as usize].size_bytes;
@@ -182,7 +188,7 @@ fn decouple_function(function: &mut Function) {
     // block's instruction list. `addr_to_local` maps a `localaddr` result to
     // its slot so the rewriting loop below does not need to re-inspect
     // definitions while mutating the function.
-    let mut addr_to_local: HashMap<ValueId, LocalId> = HashMap::new();
+    let mut addr_to_local: BTreeMap<ValueId, LocalId> = BTreeMap::new();
     for (_, block) in function.iter_blocks() {
         for inst in &block.insts {
             if let (Some(result), Op::LocalAddr { local }) = (inst.result, &inst.op) {
@@ -364,6 +370,76 @@ mod tests {
             .count();
         // i(2) + i.shadow(2) + acc(2) = 6
         assert_eq!(stores, 6);
+    }
+
+    /// Three coupled locals: each is loaded both into a protected comparison
+    /// and into address arithmetic, so all three get shadows. With hash-set
+    /// iteration the shadow allocation order (and with it local ids, names
+    /// and stack offsets) varied per run; the pass must be deterministic.
+    fn triple_coupled_module() -> Module {
+        let mut m = Module::new();
+        m.add_global("data", (0u8..32).collect(), false);
+        let mut b = FunctionBuilder::new("mix", 3);
+        b.protect_branches();
+        let locals: Vec<_> = ["i", "j", "k"].iter().map(|n| b.local(*n, 4)).collect();
+        for (index, local) in locals.iter().enumerate() {
+            b.store_local(*local, b.param(index));
+        }
+        let inner = b.create_block("inner");
+        let t = b.create_block("t");
+        let f = b.create_block("f");
+        // Comparison uses.
+        let iv = b.load_local(locals[0]);
+        let jv = b.load_local(locals[1]);
+        let c = b.cmp(Predicate::Ult, iv, jv);
+        b.branch(c, inner, f);
+        b.switch_to(inner);
+        let kv = b.load_local(locals[2]);
+        let c2 = b.cmp(Predicate::Ult, kv, 32u32);
+        b.branch(c2, t, f);
+        b.switch_to(t);
+        // Address uses of all three.
+        let base = b.global_addr("data");
+        let mut acc = b.bin(BinOp::Add, 0u32, 0u32);
+        for local in &locals {
+            let v = b.load_local(*local);
+            let addr = b.bin(BinOp::Add, base, v);
+            let byte = b.load_byte(addr);
+            acc = b.bin(BinOp::Add, acc, byte);
+        }
+        b.ret(Some(acc));
+        b.switch_to(f);
+        b.ret(Some(0u32.into()));
+        m.add_function(b.finish());
+        m
+    }
+
+    #[test]
+    fn decoupling_is_deterministic_across_runs() {
+        let reference = {
+            let mut m = triple_coupled_module();
+            LoopDecoupler::new().run(&mut m).expect("runs");
+            m
+        };
+        assert_eq!(
+            reference
+                .function("mix")
+                .unwrap()
+                .locals
+                .iter()
+                .filter(|l| l.name.ends_with(".shadow"))
+                .count(),
+            3,
+            "all three locals are coupled"
+        );
+        // Each repetition builds fresh hash sets (fresh RandomState); with
+        // order-dependent allocation this failed with high probability.
+        for _ in 0..16 {
+            let mut m = triple_coupled_module();
+            LoopDecoupler::new().run(&mut m).expect("runs");
+            verify::verify_module(&m).expect("valid");
+            assert_eq!(m, reference, "shadow allocation must be deterministic");
+        }
     }
 
     #[test]

@@ -1,0 +1,195 @@
+//! The bit-deterministic-compilation acceptance criteria: compiling the
+//! same module through the same pipeline in two *independent* sessions
+//! (fresh builds, fresh hash containers) yields identical artifact
+//! fingerprints, identical rendered program text and byte-identical
+//! reports.
+//!
+//! Before the ordered-map/sorted-iteration fix in `codegen`/`passes`, two
+//! builds of the same (module, pipeline) could emit semantically-equal
+//! programs with different stack-slot offsets, because shadow-local
+//! allocation in the Loop Decoupler rode on `HashSet` iteration order. Every
+//! test below repeats its comparison across fresh builds, so an
+//! order-dependence regression fails with overwhelming probability instead
+//! of flaking.
+
+use secbranch::campaign::{BranchInversion, FaultModel, InstructionSkip, MatrixExecutor};
+use secbranch::programs::{integer_compare_module, memcmp_module, password_check_module};
+use secbranch::{Pipeline, ProtectionVariant, Session, Workload};
+
+fn variant_pipelines() -> Vec<Pipeline> {
+    [
+        ProtectionVariant::Unprotected,
+        ProtectionVariant::CfiOnly,
+        ProtectionVariant::Duplication(6),
+        ProtectionVariant::AnCode,
+    ]
+    .iter()
+    .map(|v| {
+        Pipeline::for_variant(*v)
+            .with_memory_size(1 << 16)
+            .with_max_steps(100_000)
+    })
+    .collect()
+}
+
+/// `memcmp` drives the Loop Decoupler (its loop counter feeds both the
+/// protected trip-count comparison and the element addressing), which is
+/// exactly where the historical nondeterminism lived.
+fn determinism_workloads() -> Vec<Workload> {
+    vec![
+        Workload::new(
+            "integer compare",
+            integer_compare_module(),
+            "integer_compare",
+            &[1234, 4321],
+        ),
+        Workload::new("memcmp", memcmp_module(16), "memcmp_bench", &[]),
+        Workload::new("password", password_check_module(8), "password_check", &[]),
+    ]
+}
+
+/// Two separate `Session`s (fresh builds of everything) produce artifacts
+/// with identical fingerprints, identical compiled programs and identical
+/// rendered listings — for every workload under every variant, repeatedly.
+#[test]
+fn independent_sessions_build_bit_identical_artifacts() {
+    let workloads = determinism_workloads();
+    let pipelines = variant_pipelines();
+    for round in 0..4 {
+        let mut first = Session::new();
+        let mut second = Session::new();
+        for workload in &workloads {
+            for pipeline in &pipelines {
+                let a = first
+                    .artifact(&workload.name, &workload.module, pipeline)
+                    .expect("builds");
+                let b = second
+                    .artifact(&workload.name, &workload.module, pipeline)
+                    .expect("builds");
+                let context = format!(
+                    "round {round}, workload {:?}, pipeline {:?}",
+                    workload.name,
+                    pipeline.label()
+                );
+                assert_eq!(
+                    a.artifact_fingerprint(),
+                    b.artifact_fingerprint(),
+                    "{context}: fingerprints"
+                );
+                assert_eq!(a.provenance(), b.provenance(), "{context}: provenance");
+                assert_eq!(
+                    a.compiled().program,
+                    b.compiled().program,
+                    "{context}: instruction-for-instruction equality"
+                );
+                assert_eq!(
+                    a.compiled().global_addresses,
+                    b.compiled().global_addresses,
+                    "{context}: global layout"
+                );
+                assert_eq!(
+                    a.compiled().function_sizes,
+                    b.compiled().function_sizes,
+                    "{context}: function sizes"
+                );
+                assert_eq!(a.disassemble(), b.disassemble(), "{context}: listing text");
+            }
+        }
+    }
+}
+
+/// The matrix byte-identical invariant across *sessions*, not just across
+/// thread counts: a security matrix over artifacts compiled in one session
+/// equals — as structured reports and as serialised bytes — the same matrix
+/// over artifacts compiled in a different session, even at different worker
+/// counts.
+#[test]
+fn security_matrix_is_byte_identical_across_independent_sessions() {
+    let workloads = determinism_workloads();
+    let pipelines = variant_pipelines();
+    let models: Vec<Box<dyn FaultModel>> =
+        vec![Box::new(InstructionSkip), Box::new(BranchInversion)];
+    let model_refs: Vec<&dyn FaultModel> = models.iter().map(AsRef::as_ref).collect();
+
+    let reference = Session::new()
+        .security_matrix_with(
+            &MatrixExecutor::new().with_threads(1),
+            &workloads,
+            &pipelines,
+            &model_refs,
+        )
+        .expect("matrix runs");
+    for threads in [2, 4] {
+        let mut fresh_session = Session::new();
+        let report = fresh_session
+            .security_matrix_with(
+                &MatrixExecutor::new().with_threads(threads),
+                &workloads,
+                &pipelines,
+                &model_refs,
+            )
+            .expect("matrix runs");
+        assert_eq!(
+            fresh_session.cache_misses(),
+            (workloads.len() * pipelines.len()) as u64,
+            "the fresh session really recompiled every artifact"
+        );
+        assert_eq!(report, reference, "{threads} threads: structured equality");
+        assert_eq!(
+            report.to_json(),
+            reference.to_json(),
+            "{threads} threads: byte-identical JSON across sessions"
+        );
+        assert_eq!(
+            report.render_table(),
+            reference.render_table(),
+            "{threads} threads: identical rendered table"
+        );
+    }
+}
+
+/// The performance matrix (sizes, cycles, provenance records) serialises to
+/// the same bytes from two independent sessions: the simulator is
+/// deterministic and — with compilation bit-deterministic — so are the
+/// compiled artifacts behind every cell.
+#[test]
+fn performance_report_json_is_byte_identical_across_sessions() {
+    let workloads = determinism_workloads();
+    let pipelines = variant_pipelines();
+    let reference = Session::new()
+        .run_matrix(&workloads, &pipelines)
+        .expect("matrix runs");
+    for _ in 0..3 {
+        let report = Session::new()
+            .run_matrix(&workloads, &pipelines)
+            .expect("matrix runs");
+        assert_eq!(report, reference);
+        assert_eq!(report.to_json(), reference.to_json());
+        assert_eq!(report.render_table(), reference.render_table());
+    }
+    // The provenance audit trail is present in the serialised report.
+    let json = reference.to_json();
+    assert!(json.contains("\"provenance\":{\"module_hash\":"));
+    assert!(json.contains("\"passes\":["));
+}
+
+/// Trace-store keys can be trusted across sessions: the fingerprint a fresh
+/// build computes matches the one a different session computed for the same
+/// (module, pipeline), so a persisted trace store could be shared between
+/// independent builds.
+#[test]
+fn trace_keys_agree_across_sessions() {
+    let module = memcmp_module(16);
+    let pipeline = Pipeline::for_variant(ProtectionVariant::AnCode);
+    let a = Session::new()
+        .artifact("memcmp", &module, &pipeline)
+        .expect("builds");
+    let b = Session::new()
+        .artifact("memcmp", &module, &pipeline)
+        .expect("builds");
+    assert_eq!(
+        a.trace_key("memcmp_bench", &[]),
+        b.trace_key("memcmp_bench", &[]),
+        "identical keys from independent sessions"
+    );
+}

@@ -1,0 +1,122 @@
+//! Golden snapshot of a protected artifact's annotated disassembly.
+//!
+//! Compilation is bit-deterministic, so the full rendered listing of a
+//! fixed module under a fixed pipeline is a stable artifact: any drift —
+//! instruction selection, slot allocation, label naming, provenance tags,
+//! CFI stub layout — shows up as a readable diff in review instead of
+//! silently changing measured numbers.
+
+use secbranch::ir::builder::FunctionBuilder;
+use secbranch::ir::{Module, Predicate};
+use secbranch::{Pipeline, ProtectionVariant};
+
+/// The paper's running example: a password-check-shaped function with one
+/// protected equality branch.
+fn check_module() -> Module {
+    let mut b = FunctionBuilder::new("check", 2);
+    b.protect_branches();
+    let grant = b.create_block("grant");
+    let deny = b.create_block("deny");
+    let cond = b.cmp(Predicate::Eq, b.param(0), b.param(1));
+    b.branch(cond, grant, deny);
+    b.switch_to(grant);
+    b.ret(Some(1u32.into()));
+    b.switch_to(deny);
+    b.ret(Some(0u32.into()));
+    let mut m = Module::new();
+    m.add_function(b.finish());
+    m
+}
+
+#[test]
+fn protected_check_disassembly_matches_the_golden_listing() {
+    let artifact = Pipeline::for_variant(ProtectionVariant::AnCode)
+        .build(&check_module())
+        .expect("builds");
+    let listing = artifact.disassemble();
+    assert_eq!(
+        listing, GOLDEN,
+        "disassembly drifted from the golden listing"
+    );
+}
+
+const GOLDEN: &str = r#"; module: 86abf03a85cf8c9b
+; pipeline: cfi=Full;passes=[standard:an-coder(A=63877,Cord=29982,Ceq=14991,only_protected=true)];mem=1048576;steps=500000000
+; artifact: cfi=Full;passes=[standard:an-coder(A=63877,Cord=29982,Ceq=14991,only_protected=true)];mem=1048576;steps=500000000|module=86abf03a85cf8c9b
+; passes: [loop-decoupler, lower-select, lower-switch, an-coder, dce]
+
+check:
+     0  0x0000  push {lr}               ; prologue
+     1  0x0002  sub sp, sp, #32         ; prologue
+     2  0x0004  str r0, [sp, #0]        ; prologue
+     3  0x0006  str r1, [sp, #4]        ; prologue
+     4  0x0008  mov r3, #3484065116     ; cfi
+     5  0x0010  mov r12, #3758096392    ; cfi
+     6  0x0018  str r3, [r12, #0]       ; cfi
+     7  0x001c  b @8                    ; prologue
+check.bb0:
+     8  0x001e  ldr r0, [sp, #0]        ; body
+     9  0x0020  mov r1, #63877          ; body
+    10  0x0024  mul r2, r0, r1          ; body
+    11  0x0028  str r2, [sp, #12]       ; body
+    12  0x002a  ldr r0, [sp, #4]        ; body
+    13  0x002c  mov r1, #63877          ; body
+    14  0x0030  mul r2, r0, r1          ; body
+    15  0x0034  str r2, [sp, #16]       ; body
+    16  0x0036  ldr r0, [sp, #12]       ; body
+    17  0x0038  ldr r1, [sp, #16]       ; body
+    18  0x003a  mov r3, #14991          ; an-coder
+    19  0x003e  sub r2, r0, r1          ; an-coder
+    20  0x0040  sub r1, r1, r0          ; an-coder
+    21  0x0042  add r2, r2, r3          ; an-coder
+    22  0x0044  add r1, r1, r3          ; an-coder
+    23  0x0046  mov r3, #63877          ; an-coder
+    24  0x004a  udiv r0, r2, r3         ; an-coder
+    25  0x004e  mls r2, r0, r3, r2      ; an-coder
+    26  0x0052  udiv r0, r1, r3         ; an-coder
+    27  0x0056  mls r1, r0, r3, r1      ; an-coder
+    28  0x005a  add r2, r2, r1          ; an-coder
+    29  0x005c  str r2, [sp, #20]       ; body
+    30  0x005e  ldr r0, [sp, #20]       ; body
+    31  0x0060  mov r1, #29982          ; body
+    32  0x0064  cmp r0, r1              ; body
+    33  0x0066  mov r2, #1              ; body
+    34  0x0068  beq @36                 ; body
+    35  0x006a  mov r2, #0              ; body
+check.cmp1:
+    36  0x006c  str r2, [sp, #24]       ; body
+    37  0x006e  ldr r0, [sp, #24]       ; body
+    38  0x0070  cmp r0, #0              ; body
+    39  0x0072  bne @53                 ; body
+    40  0x0074  b @60                   ; body
+check.bb1:
+    41  0x0076  mov r0, #1              ; body
+    42  0x0078  mov r3, #3422861947     ; cfi
+    43  0x0080  mov r12, #3758096388    ; cfi
+    44  0x0088  str r3, [r12, #0]       ; cfi
+    45  0x008c  add sp, sp, #32         ; epilogue
+    46  0x008e  pop {pc}                ; epilogue
+check.bb2:
+    47  0x0090  mov r0, #0              ; body
+    48  0x0092  mov r3, #587282396      ; cfi
+    49  0x009a  mov r12, #3758096388    ; cfi
+    50  0x00a2  str r3, [r12, #0]       ; cfi
+    51  0x00a6  add sp, sp, #32         ; epilogue
+    52  0x00a8  pop {pc}                ; epilogue
+check.e0_1t:
+    53  0x00aa  ldr r2, [sp, #20]       ; cfi-edge
+    54  0x00ac  mov r12, #3758096384    ; cfi-edge
+    55  0x00b4  str r2, [r12, #0]       ; cfi-edge
+    56  0x00b8  mov r3, #61755961       ; cfi-edge
+    57  0x00c0  mov r12, #3758096384    ; cfi-edge
+    58  0x00c8  str r3, [r12, #0]       ; cfi-edge
+    59  0x00cc  b @41                   ; cfi-edge
+check.e0_2f:
+    60  0x00ce  ldr r2, [sp, #20]       ; cfi-edge
+    61  0x00d0  mov r12, #3758096384    ; cfi-edge
+    62  0x00d8  str r2, [r12, #0]       ; cfi-edge
+    63  0x00dc  mov r3, #3970637920     ; cfi-edge
+    64  0x00e4  mov r12, #3758096384    ; cfi-edge
+    65  0x00ec  str r3, [r12, #0]       ; cfi-edge
+    66  0x00f0  b @47                   ; cfi-edge
+"#;

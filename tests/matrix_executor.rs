@@ -97,6 +97,50 @@ fn executor_is_byte_identical_to_the_sequential_path_at_any_thread_count() {
     );
 }
 
+/// The PR 3 invariant compared runs over *one* session's artifacts because
+/// compilation was not yet bit-deterministic. With ordered maps in
+/// `codegen`/`passes` the invariant extends across builds: the executor in
+/// one session is byte-identical to the sequential path over artifacts
+/// compiled *independently* in another session.
+#[test]
+fn executor_is_byte_identical_to_the_sequential_path_across_sessions() {
+    let workloads = grid_workloads();
+    let pipelines = grid_pipelines();
+    let models = grid_models();
+    let model_refs: Vec<&dyn FaultModel> = models.iter().map(AsRef::as_ref).collect();
+
+    let mut sequential_session = Session::new();
+    let sequential = sequential_session
+        .security_matrix_sequential_with(
+            &CampaignRunner::new().with_threads(1),
+            &workloads,
+            &pipelines,
+            &model_refs,
+        )
+        .expect("sequential matrix runs");
+
+    let mut executor_session = Session::new();
+    let report = executor_session
+        .security_matrix_with(
+            &MatrixExecutor::new().with_threads(4).with_shard_size(7),
+            &workloads,
+            &pipelines,
+            &model_refs,
+        )
+        .expect("matrix runs");
+    assert_eq!(
+        executor_session.cache_misses(),
+        6,
+        "the executor session compiled its own artifacts"
+    );
+    assert_eq!(report, sequential, "cross-session structured equality");
+    assert_eq!(
+        report.to_json(),
+        sequential.to_json(),
+        "cross-session byte-identical JSON"
+    );
+}
+
 /// The trace store records each (artifact, entry, args) reference exactly
 /// once per matrix run — and not at all on a repeat run in the same
 /// session.
