@@ -10,28 +10,42 @@
 //! $ campaign --workload password_check --heatmap
 //! $ campaign --json
 //! $ campaign --matrix --json                  # scheduler-vs-sequential benchmark
+//! $ campaign --matrix --json --store grid     # …persisted: cold-vs-warm numbers
+//! $ campaign --store grid --store-stats       # validate + summarise a store dir
 //! ```
 //!
 //! `--matrix` benchmarks the matrix executor against the sequential
-//! per-cell path on a 2-workloads grid and emits machine-readable timings
-//! (cells, threads, wall time, trace-cache hits) — the source of
-//! `BENCH_matrix.json` in CI. Any failure (including a failing fault-free
-//! reference run) exits nonzero with the error on stderr.
+//! per-cell path on a fixed 4-workload grid and emits machine-readable
+//! timings (cells, threads, wall time, trace-cache hits) — the source of
+//! `BENCH_matrix.json` in CI. With `--store DIR` the grid additionally
+//! persists to a [`GridStore`]: the benchmark then runs the executor path
+//! twice (whatever state the directory is in, then guaranteed-warm from a
+//! fresh session) and reports cold-vs-warm wall time and hit rates;
+//! `--expect-warm` turns "the first pass was already fully warm" into an
+//! exit-code assertion for CI. Any failure (including a failing fault-free
+//! reference run or a report that differs between paths) exits nonzero
+//! with the error on stderr.
 
 use std::process::exit;
+use std::sync::Arc;
 
 use secbranch::campaign::{
     BranchInversion, CampaignRunner, DoubleInstructionSkip, FaultModel, InstructionSkip,
     MatrixExecutor, MemoryBitFlip, RegisterBitFlip,
 };
-use secbranch::programs::{integer_compare_module, memcmp_module, password_check_module};
-use secbranch::{Pipeline, ProtectionVariant, Session, Workload};
+use secbranch::programs::{
+    crc32_table_module, integer_compare_module, memcmp_module, password_check_module,
+    pin_retry_module,
+};
+use secbranch::store::GridStore;
+use secbranch::{MatrixStats, Pipeline, ProtectionVariant, SecurityReport, Session, Workload};
 
 fn usage(message: &str) -> ! {
     eprintln!("{message}");
     eprintln!(
         "usage: campaign [variant labels...] [--models LIST] [--trials N] [--threads N] \
-         [--max-steps N] [--workload NAME] [--matrix] [--json] [--heatmap]"
+         [--max-steps N] [--workload NAME] [--matrix] [--json] [--heatmap] \
+         [--store DIR] [--store-stats] [--expect-warm]"
     );
     eprintln!("  variant labels: unprotected cfi \"duplication(xN)\" prototype");
     eprintln!("  --models: comma list of skip,double-skip,register-flip,memory-flip,branch-invert");
@@ -41,8 +55,11 @@ fn usage(message: &str) -> ! {
         "  --max-steps: dynamic instruction budget per run (default 10000000; 200000 \
          under --matrix)"
     );
-    eprintln!("  --workload: integer_compare (default), memcmp, password_check");
+    eprintln!("  --workload: integer_compare (default), memcmp, password_check, crc32, pin_retry");
     eprintln!("  --matrix: benchmark the global scheduler against the sequential path");
+    eprintln!("  --store: persist traces and finished cells in a grid store at DIR");
+    eprintln!("  --store-stats: validate DIR and print its scan summary as JSON, then exit");
+    eprintln!("  --expect-warm: with --matrix --store, fail unless the first pass was fully warm");
     exit(2);
 }
 
@@ -81,6 +98,8 @@ fn workload_by_name(name: &str) -> Workload {
             "password_check",
             &[],
         ),
+        "crc32" => Workload::new("crc32 x16", crc32_table_module(16), "crc32_check", &[]),
+        "pin_retry" => Workload::new("pin retry", pin_retry_module(4, 3), "pin_check", &[]),
         other => usage(&format!("unknown workload {other:?}")),
     }
 }
@@ -103,6 +122,9 @@ struct Options {
     matrix: bool,
     json: bool,
     heatmap: bool,
+    store_dir: Option<String>,
+    store_stats: bool,
+    expect_warm: bool,
 }
 
 impl Options {
@@ -129,6 +151,9 @@ fn parse_args() -> Options {
         matrix: false,
         json: false,
         heatmap: false,
+        store_dir: None,
+        store_stats: false,
+        expect_warm: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -161,6 +186,9 @@ fn parse_args() -> Options {
             "--matrix" => options.matrix = true,
             "--json" => options.json = true,
             "--heatmap" => options.heatmap = true,
+            "--store" => options.store_dir = Some(value_of("--store")),
+            "--store-stats" => options.store_stats = true,
+            "--expect-warm" => options.expect_warm = true,
             flag if flag.starts_with("--") => usage(&format!("unknown flag {flag:?}")),
             label => match label.parse::<ProtectionVariant>() {
                 Ok(variant) => options.variants.push(variant),
@@ -183,6 +211,12 @@ fn parse_args() -> Options {
     if options.matrix && options.heatmap {
         usage("--matrix emits timings, not per-location heatmaps; drop --heatmap");
     }
+    if options.store_stats && options.store_dir.is_none() {
+        usage("--store-stats needs --store DIR to know which store to scan");
+    }
+    if options.expect_warm && !(options.matrix && options.store_dir.is_some()) {
+        usage("--expect-warm only applies to --matrix runs with --store");
+    }
     options
 }
 
@@ -199,6 +233,20 @@ fn pipelines_for(variants: &[ProtectionVariant], max_steps: u64) -> Vec<Pipeline
 
 fn main() {
     let options = parse_args();
+    let grid: Option<Arc<GridStore>> = options.store_dir.as_deref().map(|dir| {
+        Arc::new(GridStore::open(dir).unwrap_or_else(|e| fail("opening the grid store", &e)))
+    });
+
+    // Standalone store inspection: validate every record and summarise.
+    if options.store_stats {
+        let grid = grid.as_ref().expect("checked in parse_args");
+        let scan = grid
+            .scan()
+            .unwrap_or_else(|e| fail("scanning the grid store", &e));
+        println!("{}", scan.to_json());
+        return;
+    }
+
     let models: Vec<Box<dyn FaultModel>> = options
         .model_list
         .split(',')
@@ -212,7 +260,7 @@ fn main() {
     });
 
     if options.matrix {
-        run_matrix_benchmark(&options, &pipelines, &model_refs, &executor);
+        run_matrix_benchmark(&options, &pipelines, &model_refs, &executor, grid.as_ref());
         return;
     }
 
@@ -224,7 +272,13 @@ fn main() {
     )];
     let mut session = Session::new();
     let report = session
-        .security_matrix_with(&executor, &workloads, &pipelines, &model_refs)
+        .security_matrix_with(
+            &executor,
+            &workloads,
+            &pipelines,
+            &model_refs,
+            grid.as_ref(),
+        )
         .unwrap_or_else(|e| fail("security matrix", &e));
 
     if options.json {
@@ -239,6 +293,15 @@ fn main() {
         report.stats.trace_misses,
         report.cells.len(),
     );
+    if let Some(grid) = &grid {
+        println!(
+            "grid store {}: {} cell hit(s), {} trace disk hit(s), stats {}",
+            grid.root().display(),
+            report.stats.cell_hits,
+            report.stats.trace_disk_hits,
+            grid.stats().to_json(),
+        );
+    }
     println!("(cells: escaped/injections (escape rate); skip column = the historical sweep)");
     println!();
     println!("{}", report.render_table());
@@ -255,19 +318,68 @@ fn main() {
     }
 }
 
-/// The `--matrix` benchmark: one grid (2 workloads × variants × models),
-/// first on the sequential per-cell path, then on the global scheduler, in
-/// one session so both pay zero build time (the cache is pre-warmed) and
-/// the scheduler starts with a cold trace store.
+/// One executor pass of the `--matrix` benchmark, condensed for the JSON
+/// and text summaries.
+struct PassSummary {
+    wall_micros: u64,
+    trace_hits: u64,
+    trace_disk_hits: u64,
+    trace_misses: u64,
+    cell_hits: u64,
+    cell_misses: u64,
+}
+
+impl PassSummary {
+    fn of(stats: &MatrixStats) -> PassSummary {
+        PassSummary {
+            wall_micros: stats.total_wall_micros,
+            trace_hits: stats.trace_hits,
+            trace_disk_hits: stats.trace_disk_hits,
+            trace_misses: stats.trace_misses,
+            cell_hits: stats.cell_hits,
+            cell_misses: stats.cell_misses,
+        }
+    }
+
+    /// Fully warm: nothing recorded, nothing simulated.
+    fn is_warm(&self) -> bool {
+        self.trace_misses == 0 && self.cell_hits > 0 && self.cell_misses == 0
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"wall_micros\":{},\"trace_hits\":{},\"trace_disk_hits\":{},\
+             \"trace_misses\":{},\"cell_hits\":{},\"cell_misses\":{}}}",
+            self.wall_micros,
+            self.trace_hits,
+            self.trace_disk_hits,
+            self.trace_misses,
+            self.cell_hits,
+            self.cell_misses,
+        )
+    }
+}
+
+/// The `--matrix` benchmark: one fixed grid (4 workloads × variants ×
+/// models), first on the sequential per-cell path, then on the global
+/// scheduler, in one session so both pay zero build time (the cache is
+/// pre-warmed) and the scheduler starts with a cold trace store. With a
+/// grid store attached, a second executor pass runs from a *fresh* session
+/// (empty build cache aside, its trace store is empty too), so its numbers
+/// are the honest cold-vs-warm comparison: everything it has, it has from
+/// disk.
 fn run_matrix_benchmark(
     options: &Options,
     pipelines: &[Pipeline],
     models: &[&dyn FaultModel],
     executor: &MatrixExecutor,
+    grid: Option<&Arc<GridStore>>,
 ) {
     let workloads = [
         workload_by_name("integer_compare"),
         workload_by_name("password_check"),
+        workload_by_name("crc32"),
+        workload_by_name("pin_retry"),
     ];
     let mut session = Session::new();
 
@@ -292,20 +404,37 @@ fn run_matrix_benchmark(
         )
         .unwrap_or_else(|e| fail("sequential security matrix", &e));
     let matrix = session
-        .security_matrix_with(executor, &workloads, pipelines, models)
+        .security_matrix_with(executor, &workloads, pipelines, models, grid)
         .unwrap_or_else(|e| fail("matrix security matrix", &e));
+    assert_identical(&sequential, &matrix, "matrix executor");
+    let first = PassSummary::of(&matrix.stats);
 
-    let identical = sequential == matrix && sequential.to_json() == matrix.to_json();
-    if !identical {
+    // With a store: a second pass from a *fresh* session. Its in-memory
+    // caches are empty, so every hit it reports is a disk hit — the
+    // guaranteed-warm numbers.
+    let warm = grid.map(|grid| {
+        let warm_report = Session::new()
+            .security_matrix_with(executor, &workloads, pipelines, models, Some(grid))
+            .unwrap_or_else(|e| fail("warm security matrix", &e));
+        assert_identical(&sequential, &warm_report, "warm matrix executor");
+        PassSummary::of(&warm_report.stats)
+    });
+
+    if options.expect_warm && !first.is_warm() {
         fail(
-            "invariant",
-            &"matrix executor output differs from the sequential path",
+            "--expect-warm",
+            &format!(
+                "first pass was not fully warm: {} trace recording(s), {} cell hit(s), \
+                 {} computed cell(s)",
+                first.trace_misses, first.cell_hits, first.cell_misses
+            ),
         );
     }
-    let speedup = if matrix.stats.total_wall_micros == 0 {
+
+    let speedup = if first.wall_micros == 0 {
         0.0
     } else {
-        sequential.stats.total_wall_micros as f64 / matrix.stats.total_wall_micros as f64
+        sequential.stats.total_wall_micros as f64 / first.wall_micros as f64
     };
 
     if options.json {
@@ -315,13 +444,27 @@ fn run_matrix_benchmark(
             .iter()
             .map(u64::to_string)
             .collect();
+        let store_json = match (&warm, grid) {
+            (Some(warm), Some(grid)) => format!(
+                "{{\"dir\":{},\"first\":{},\"warm\":{},\"first_warm\":{},\
+                 \"runtime\":{}}}",
+                secbranch::campaign::json_string(&grid.root().display().to_string()),
+                first.to_json(),
+                warm.to_json(),
+                first.is_warm(),
+                grid.stats().to_json(),
+            ),
+            _ => "null".to_string(),
+        };
         println!(
             "{{\"grid\":{{\"workloads\":{},\"pipelines\":{},\"models\":{},\"cells\":{}}},\
              \"threads\":{},\"shard_size\":{},\"host_parallelism\":{},\"trials\":{},\
              \"max_steps\":{},\"build_micros\":{},\
              \"sequential\":{{\"wall_micros\":{},\"trace_hits\":0,\"trace_misses\":{}}},\
-             \"matrix\":{{\"wall_micros\":{},\"trace_hits\":{},\"trace_misses\":{},\
+             \"matrix\":{{\"wall_micros\":{},\"trace_hits\":{},\"trace_disk_hits\":{},\
+             \"trace_misses\":{},\"cell_hits\":{},\"cell_misses\":{},\
              \"cell_compute_micros\":[{}]}},\
+             \"store\":{store_json},\
              \"speedup\":{:.3},\"identical\":true}}",
             matrix.workloads.len(),
             matrix.pipelines.len(),
@@ -335,9 +478,12 @@ fn run_matrix_benchmark(
             build_micros,
             sequential.stats.total_wall_micros,
             sequential.stats.trace_misses,
-            matrix.stats.total_wall_micros,
-            matrix.stats.trace_hits,
-            matrix.stats.trace_misses,
+            first.wall_micros,
+            first.trace_hits,
+            first.trace_disk_hits,
+            first.trace_misses,
+            first.cell_hits,
+            first.cell_misses,
             cell_micros.join(","),
             speedup,
         );
@@ -357,11 +503,38 @@ fn run_matrix_benchmark(
         sequential.stats.total_wall_micros, sequential.stats.trace_misses,
     );
     println!(
-        "matrix executor:  {:>10} µs  ({} threads, {} trace recordings, {} cache hits)",
-        matrix.stats.total_wall_micros,
+        "matrix executor:  {:>10} µs  ({} threads, {} trace recordings, {} memory + {} disk \
+         trace hits, {} cell hits)",
+        first.wall_micros,
         executor.threads(),
-        matrix.stats.trace_misses,
-        matrix.stats.trace_hits,
+        first.trace_misses,
+        first.trace_hits,
+        first.trace_disk_hits,
+        first.cell_hits,
     );
+    if let Some(warm) = &warm {
+        let warm_speedup = if warm.wall_micros == 0 {
+            0.0
+        } else {
+            sequential.stats.total_wall_micros as f64 / warm.wall_micros as f64
+        };
+        println!(
+            "warm from store:  {:>10} µs  ({} cell hits, {} trace recordings, {warm_speedup:.2}x \
+             vs sequential)",
+            warm.wall_micros, warm.cell_hits, warm.trace_misses,
+        );
+    }
     println!("speedup: {speedup:.2}x  (reports byte-identical)");
+}
+
+/// Exits nonzero unless `report` matches the sequential reference both
+/// structurally and as serialised bytes — the invariant every executor
+/// pass (cold, store-attached, warm-from-disk) must uphold.
+fn assert_identical(sequential: &SecurityReport, report: &SecurityReport, label: &str) {
+    if sequential != report || sequential.to_json() != report.to_json() {
+        fail(
+            "invariant",
+            &format!("{label} output differs from the sequential path"),
+        );
+    }
 }

@@ -35,10 +35,11 @@ use std::time::Instant;
 use secbranch_armv7m::{SimError, Simulator};
 
 use crate::model::{CampaignContext, FaultModel};
+use crate::persist::CellKey;
 use crate::point::FaultPoint;
 use crate::report::{classify, CampaignReport, Outcome};
 use crate::runner::{assemble_report, run_point, SimulatorSource};
-use crate::trace_store::{RecordedReference, TraceKey, TraceStore};
+use crate::trace_store::{RecordedReference, TraceFetch, TraceKey, TraceStore};
 
 /// One cell of a security matrix, described as data: which target to attack
 /// (`source` + `key`), how to call it, and with which fault model.
@@ -65,14 +66,27 @@ pub struct MatrixJob<'a> {
 pub struct MatrixCellResult {
     /// The campaign report, byte-identical to the sequential path's.
     pub report: CampaignReport,
-    /// `true` if this cell's reference trace was served from the store
-    /// instead of recorded.
-    pub trace_hit: bool,
+    /// `true` if the whole cell was served from the trace store's
+    /// persistence backend — no reference fetch, no injection, zero
+    /// simulation.
+    pub cell_hit: bool,
+    /// How this cell's reference trace was obtained (`None` on a cell hit:
+    /// a cached cell needs no reference at all).
+    pub trace_fetch: Option<TraceFetch>,
     /// Injection compute time attributed to this cell, in microseconds
     /// (summed over its shards across all workers; under a shared pool the
     /// cells overlap in wall time, so these sum to roughly
-    /// `threads × elapsed wall time`).
+    /// `threads × elapsed wall time`). Zero on a cell hit.
     pub compute_micros: u64,
+}
+
+impl MatrixCellResult {
+    /// `true` if this cell's reference trace was served from a cache
+    /// (memory or disk) instead of recorded — vacuously true on a cell hit.
+    #[must_use]
+    pub fn trace_hit(&self) -> bool {
+        self.trace_fetch.map_or(self.cell_hit, TraceFetch::is_hit)
+    }
 }
 
 /// One contiguous slice of one job's fault space, the scheduling unit of
@@ -131,8 +145,8 @@ type ShardOutput = (Vec<(Outcome, u32)>, u64);
 /// let results = MatrixExecutor::new().with_threads(2).run(&jobs, &store)?;
 ///
 /// assert_eq!(results.len(), 2);
-/// assert!(!results[0].trace_hit, "first cell records the reference");
-/// assert!(results[1].trace_hit, "second cell reuses it");
+/// assert!(!results[0].trace_hit(), "first cell records the reference");
+/// assert!(results[1].trace_hit(), "second cell reuses it");
 /// assert_eq!(results[1].report.counts.wrong_result_undetected, 1);
 /// # Ok(())
 /// # }
@@ -199,30 +213,71 @@ impl MatrixExecutor {
     /// reference reports the *first* failing cell, exactly like the
     /// sequential path.
     ///
+    /// When the store has a persistence backend attached
+    /// ([`TraceStore::attach_backend`]), each job is first probed against
+    /// the backend's **cell cache** keyed by
+    /// `(artifact fingerprint, model fingerprint, entry, args)`: a hit
+    /// serves the persisted [`CampaignReport`] verbatim — no reference
+    /// fetch, no injections — and a computed cell is written back, so an
+    /// unchanged grid re-run does zero simulation. Cached reports are
+    /// byte-identical to recomputed ones (the backend's round-trip
+    /// contract), so the executor's output invariant is unaffected.
+    ///
     /// # Errors
     ///
-    /// Returns the [`SimError`] of the first failing reference run.
+    /// Returns the [`SimError`] of the first failing reference run (cells
+    /// served from the cache never run their reference, so a warm store can
+    /// mask a failure a cold run would report).
     pub fn run(
         &self,
         jobs: &[MatrixJob<'_>],
         store: &TraceStore,
     ) -> Result<Vec<MatrixCellResult>, SimError> {
-        // Phase 1: reference traces, memoised per key.
-        let mut recorded: Vec<Arc<RecordedReference>> = Vec::with_capacity(jobs.len());
-        let mut trace_hits: Vec<bool> = Vec::with_capacity(jobs.len());
-        for job in jobs {
-            let (reference, hit) = store.reference_traced(
+        // Phase 0: the persistent cell cache. `cached[i]` is Some when job
+        // i needs no execution at all.
+        let backend = store.backend();
+        let cell_keys: Vec<Option<CellKey>> = jobs
+            .iter()
+            .map(|job| {
+                backend.as_ref().map(|_| {
+                    CellKey::new(
+                        job.key.artifact.clone(),
+                        job.model.fingerprint(),
+                        job.entry.clone(),
+                        &job.args,
+                    )
+                })
+            })
+            .collect();
+        let mut cached: Vec<Option<CampaignReport>> = cell_keys
+            .iter()
+            .map(|key| match (&backend, key) {
+                (Some(backend), Some(key)) => backend.load_cell(key),
+                _ => None,
+            })
+            .collect();
+
+        // Phase 1: reference traces for the live (non-cached) jobs,
+        // memoised per key.
+        let mut recorded: Vec<Option<Arc<RecordedReference>>> = vec![None; jobs.len()];
+        let mut fetches: Vec<Option<TraceFetch>> = vec![None; jobs.len()];
+        for (index, job) in jobs.iter().enumerate() {
+            if cached[index].is_some() {
+                continue;
+            }
+            let (reference, fetch) = store.reference_traced(
                 &job.key,
                 job.source,
                 &job.entry,
                 &job.args,
                 job.max_steps,
             )?;
-            recorded.push(reference);
-            trace_hits.push(hit);
+            recorded[index] = Some(reference);
+            fetches[index] = Some(fetch);
         }
 
-        // Phase 2: fault spaces, in canonical per-model order.
+        // Phase 2: fault spaces, in canonical per-model order (empty for
+        // cached jobs — they schedule nothing).
         let regions: Vec<Vec<(u32, u32)>> =
             jobs.iter().map(|j| j.source.global_regions()).collect();
         let spaces: Vec<Vec<FaultPoint>> = jobs
@@ -230,6 +285,9 @@ impl MatrixExecutor {
             .zip(&recorded)
             .zip(&regions)
             .map(|((job, reference), regions)| {
+                let Some(reference) = reference else {
+                    return Vec::new();
+                };
                 let ctx = CampaignContext {
                     trace: &reference.trace,
                     program: &reference.program,
@@ -278,7 +336,9 @@ impl MatrixExecutor {
                 _ => *sim = Some((source_ids[shard.job], job.source.fresh_simulator())),
             }
             let (_, simulator) = sim.as_mut().expect("just installed");
-            let reference = &recorded[shard.job];
+            let reference = recorded[shard.job]
+                .as_ref()
+                .expect("only live jobs have shards");
             let started = Instant::now();
             let outcomes: Vec<(Outcome, u32)> = spaces[shard.job][shard.start..shard.end]
                 .iter()
@@ -336,7 +396,8 @@ impl MatrixExecutor {
         }
 
         // Phase 4: stitch outcomes back per job (shards of one job appear in
-        // fault-space order in the global list) and assemble the reports.
+        // fault-space order in the global list), assemble the reports, and
+        // write freshly computed cells back to the backend.
         let mut outcomes: Vec<Vec<(Outcome, u32)>> =
             spaces.iter().map(|s| Vec::with_capacity(s.len())).collect();
         let mut compute_micros = vec![0u64; jobs.len()];
@@ -348,18 +409,34 @@ impl MatrixExecutor {
         Ok(jobs
             .iter()
             .enumerate()
-            .map(|(index, job)| MatrixCellResult {
-                report: assemble_report(
+            .map(|(index, job)| {
+                if let Some(report) = cached[index].take() {
+                    return MatrixCellResult {
+                        report,
+                        cell_hit: true,
+                        trace_fetch: None,
+                        compute_micros: 0,
+                    };
+                }
+                let reference = recorded[index].as_ref().expect("live job");
+                let report = assemble_report(
                     job.model.name(),
                     &job.entry,
                     &job.args,
-                    &recorded[index].trace,
-                    &recorded[index].program,
+                    &reference.trace,
+                    &reference.program,
                     &spaces[index],
                     &outcomes[index],
-                ),
-                trace_hit: trace_hits[index],
-                compute_micros: compute_micros[index],
+                );
+                if let (Some(backend), Some(key)) = (&backend, &cell_keys[index]) {
+                    backend.store_cell(key, &report);
+                }
+                MatrixCellResult {
+                    report,
+                    cell_hit: false,
+                    trace_fetch: fetches[index],
+                    compute_micros: compute_micros[index],
+                }
             })
             .collect())
     }
@@ -449,12 +526,18 @@ mod tests {
             .run(&jobs, &store)
             .expect("runs");
         assert_eq!((store.hits(), store.misses()), (1, 1));
-        assert!(!results[0].trace_hit, "first cell records");
-        assert!(results[1].trace_hit, "second cell reuses");
+        assert!(!results[0].trace_hit(), "first cell records");
+        assert_eq!(results[0].trace_fetch, Some(TraceFetch::Recorded));
+        assert!(results[1].trace_hit(), "second cell reuses");
+        assert_eq!(results[1].trace_fetch, Some(TraceFetch::Memory));
+        assert!(
+            results.iter().all(|r| !r.cell_hit),
+            "no backend attached: nothing is served as a cached cell"
+        );
         // A second matrix over the same keys is all hits.
         let again = MatrixExecutor::new().run(&jobs, &store).expect("runs");
         assert_eq!((store.hits(), store.misses()), (3, 1));
-        assert!(again.iter().all(|r| r.trace_hit));
+        assert!(again.iter().all(|r| r.trace_hit()));
     }
 
     #[test]

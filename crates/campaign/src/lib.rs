@@ -31,6 +31,12 @@
 //!   `(artifact, entry, args)` ([`TraceKey`]) so N models attacking one
 //!   artifact record its trace once. Reports stay byte-identical to the
 //!   per-cell sequential path at any thread count.
+//! * **[`persist`]** — the persistence interface: a [`GridBackend`]
+//!   (implemented by `secbranch-store`'s disk-backed `GridStore`) attaches
+//!   behind a [`TraceStore`], which then warm-starts reference traces from
+//!   disk and writes fresh recordings back; the executor additionally
+//!   serves whole cells ([`CellKey`] → [`CampaignReport`]) from it, so an
+//!   unchanged grid re-run does zero simulation.
 //!
 //! # Example
 //!
@@ -63,6 +69,7 @@
 
 mod executor;
 mod model;
+pub mod persist;
 mod point;
 mod report;
 mod runner;
@@ -73,6 +80,7 @@ pub use model::{
     BranchInversion, CampaignContext, DoubleInstructionSkip, FaultModel, InstructionSkip,
     MemoryBitFlip, ReferenceTrace, RegisterBitFlip, FLIP_REGISTERS,
 };
+pub use persist::{CellKey, GridBackend, PersistedTrace};
 pub use point::{FaultPoint, PointHook};
 pub use report::{
     classify, json_string, rate, CampaignReport, EscapeRecord, LocationReport, Outcome,
@@ -81,7 +89,7 @@ pub use report::{
 pub use runner::{CampaignRunner, SharedModule, SimulatorSource};
 pub use trace_store::{
     record_reference, record_reference_without_checkpoints, RecordedReference, TraceCheckpoint,
-    TraceKey, TraceStore, CHECKPOINT_BUDGET,
+    TraceFetch, TraceKey, TraceStore, CHECKPOINT_BUDGET,
 };
 
 #[cfg(test)]

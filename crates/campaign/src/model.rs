@@ -97,6 +97,20 @@ pub trait FaultModel: Sync {
 
     /// Builds the fault space for one reference execution.
     fn fault_points(&self, ctx: &CampaignContext<'_>) -> Vec<FaultPoint>;
+
+    /// A stable identity of the model's *configuration*: persistent grid
+    /// stores key completed campaign cells by
+    /// `(artifact fingerprint, model fingerprint, entry, args)`, so the
+    /// fingerprint must cover everything that influences the fault space —
+    /// the model kind *and* every parameter (trial counts, seeds, bounds).
+    ///
+    /// The default returns [`FaultModel::name`], which is only correct for
+    /// parameterless models; models with configuration **must** override it
+    /// (all shipped parameterised models do), otherwise a persisted cell
+    /// computed under one configuration is silently served for another.
+    fn fingerprint(&self) -> String {
+        self.name()
+    }
 }
 
 /// Exhaustive single-instruction-skip model: every dynamic instruction of
@@ -142,6 +156,13 @@ impl Default for DoubleInstructionSkip {
 impl FaultModel for DoubleInstructionSkip {
     fn name(&self) -> String {
         "double-skip".to_string()
+    }
+
+    fn fingerprint(&self) -> String {
+        format!(
+            "double-skip(max={},seed={:#x})",
+            self.max_injections, self.seed
+        )
     }
 
     fn fault_points(&self, ctx: &CampaignContext<'_>) -> Vec<FaultPoint> {
@@ -202,6 +223,13 @@ impl FaultModel for RegisterBitFlip {
         "register-flip".to_string()
     }
 
+    fn fingerprint(&self) -> String {
+        format!(
+            "register-flip(trials={},seed={:#x})",
+            self.trials, self.seed
+        )
+    }
+
     fn fault_points(&self, ctx: &CampaignContext<'_>) -> Vec<FaultPoint> {
         let n = ctx.trace.steps();
         if n == 0 {
@@ -234,6 +262,10 @@ pub struct MemoryBitFlip {
 impl FaultModel for MemoryBitFlip {
     fn name(&self) -> String {
         "memory-flip".to_string()
+    }
+
+    fn fingerprint(&self) -> String {
+        format!("memory-flip(trials={},seed={:#x})", self.trials, self.seed)
     }
 
     fn fault_points(&self, ctx: &CampaignContext<'_>) -> Vec<FaultPoint> {
@@ -417,6 +449,59 @@ mod tests {
                 "addr 0x{addr:x} outside the global regions"
             );
         }
+    }
+
+    #[test]
+    fn fingerprints_cover_the_model_configuration() {
+        assert_eq!(InstructionSkip.fingerprint(), "skip");
+        assert_eq!(BranchInversion.fingerprint(), "branch-invert");
+        let a = RegisterBitFlip {
+            trials: 10,
+            seed: 1,
+        };
+        let b = RegisterBitFlip {
+            trials: 10,
+            seed: 2,
+        };
+        let c = RegisterBitFlip {
+            trials: 11,
+            seed: 1,
+        };
+        assert_ne!(a.fingerprint(), b.fingerprint(), "seed discriminates");
+        assert_ne!(a.fingerprint(), c.fingerprint(), "trials discriminate");
+        assert_eq!(
+            a.fingerprint(),
+            RegisterBitFlip {
+                trials: 10,
+                seed: 1
+            }
+            .fingerprint()
+        );
+        assert_ne!(
+            MemoryBitFlip {
+                trials: 10,
+                seed: 1
+            }
+            .fingerprint(),
+            RegisterBitFlip {
+                trials: 10,
+                seed: 1
+            }
+            .fingerprint(),
+            "model kind discriminates"
+        );
+        assert_ne!(
+            DoubleInstructionSkip {
+                max_injections: 5,
+                seed: 1
+            }
+            .fingerprint(),
+            DoubleInstructionSkip {
+                max_injections: 6,
+                seed: 1
+            }
+            .fingerprint(),
+        );
     }
 
     #[test]

@@ -37,6 +37,7 @@ use std::sync::{Arc, Mutex};
 use secbranch_armv7m::{FaultAction, FaultHook, Instr, Machine, MachineState, Program, SimError};
 
 use crate::model::ReferenceTrace;
+use crate::persist::GridBackend;
 use crate::runner::SimulatorSource;
 
 /// Upper bound on the number of machine checkpoints recorded along one
@@ -82,7 +83,7 @@ impl TraceKey {
 /// anchored at step `s` may start from any checkpoint with
 /// `steps_done < s` instead of re-executing the prefix — the fast-forward
 /// path of the matrix executor.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct TraceCheckpoint {
     /// Dynamic steps executed before this checkpoint.
     pub steps_done: u64,
@@ -240,6 +241,138 @@ fn record_reference_impl(
     })
 }
 
+/// How one [`TraceStore`] request was satisfied — the per-request truth the
+/// matrix executor attributes to its cells.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceFetch {
+    /// Served from the in-memory memo.
+    Memory,
+    /// Loaded from the attached persistence backend (disk warm start).
+    Disk,
+    /// Nothing cached anywhere: a fresh recording was made.
+    Recorded,
+}
+
+impl TraceFetch {
+    /// `true` when the request did *not* pay for a recording.
+    #[must_use]
+    pub fn is_hit(self) -> bool {
+        !matches!(self, TraceFetch::Recorded)
+    }
+}
+
+/// Approximate retained bytes of one checkpoint beyond its dirty RAM: the
+/// register file plus flags/CFI/bookkeeping. Only used for budget
+/// accounting, so "approximate" is fine — the dirty RAM dominates.
+const CHECKPOINT_FIXED_COST: usize = 96;
+
+fn checkpoint_cost(checkpoints: &[TraceCheckpoint]) -> usize {
+    checkpoints
+        .iter()
+        .map(|cp| cp.state.dirty_len() + CHECKPOINT_FIXED_COST)
+        .sum()
+}
+
+/// One memoised recording plus the bookkeeping the byte budget needs.
+#[derive(Debug)]
+struct StoreEntry {
+    reference: Arc<RecordedReference>,
+    /// Monotonic access tick of the last request (for LRU eviction).
+    last_used: u64,
+    /// Accounted checkpoint bytes of this entry (0 once evicted).
+    checkpoint_bytes: usize,
+}
+
+/// The lock-guarded interior of a [`TraceStore`].
+#[derive(Debug, Default)]
+struct StoreInner {
+    entries: HashMap<TraceKey, StoreEntry>,
+    tick: u64,
+    checkpoint_bytes: usize,
+    checkpoint_budget: Option<usize>,
+    backend: Option<Arc<dyn GridBackend>>,
+}
+
+impl StoreInner {
+    fn touch(&mut self, key: &TraceKey) {
+        self.tick += 1;
+        let tick = self.tick;
+        if let Some(entry) = self.entries.get_mut(key) {
+            entry.last_used = tick;
+        }
+    }
+
+    /// Inserts (or confirms) `reference` under `key` and enforces the
+    /// checkpoint byte budget by stripping checkpoints from the
+    /// least-recently-used entries. The traces themselves always stay —
+    /// only the resume snapshots are evictable, and consumers fall back to
+    /// full prefix re-execution without them. Stripped checkpoints are
+    /// *not* re-fetched on later hits (deliberately: re-loading them from
+    /// a backend would immediately re-violate the budget that evicted
+    /// them); they return only when the entry itself is dropped and
+    /// re-recorded in a fresh store.
+    fn insert(
+        &mut self,
+        key: &TraceKey,
+        reference: Arc<RecordedReference>,
+        evictions: &AtomicU64,
+    ) -> Arc<RecordedReference> {
+        self.tick += 1;
+        let tick = self.tick;
+        let stored = match self.entries.entry(key.clone()) {
+            std::collections::hash_map::Entry::Occupied(mut occupied) => {
+                // A concurrent recording won the race; keep the stored one.
+                occupied.get_mut().last_used = tick;
+                Arc::clone(&occupied.get().reference)
+            }
+            std::collections::hash_map::Entry::Vacant(vacant) => {
+                let cost = checkpoint_cost(&reference.checkpoints);
+                self.checkpoint_bytes += cost;
+                vacant.insert(StoreEntry {
+                    reference: Arc::clone(&reference),
+                    last_used: tick,
+                    checkpoint_bytes: cost,
+                });
+                reference
+            }
+        };
+        self.enforce_budget(evictions);
+        stored
+    }
+
+    fn enforce_budget(&mut self, evictions: &AtomicU64) {
+        let Some(budget) = self.checkpoint_budget else {
+            return;
+        };
+        while self.checkpoint_bytes > budget {
+            // Strictly LRU over the entries that still hold checkpoints —
+            // the freshly inserted entry included, if everything older has
+            // already been stripped.
+            let Some(victim) = self
+                .entries
+                .iter()
+                .filter(|(_, e)| e.checkpoint_bytes > 0)
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            else {
+                break;
+            };
+            let entry = self.entries.get_mut(&victim).expect("victim exists");
+            let old = &entry.reference;
+            let stripped = Arc::new(RecordedReference {
+                trace: old.trace.clone(),
+                program: Arc::clone(&old.program),
+                memory_size: old.memory_size,
+                checkpoints: Vec::new(),
+            });
+            self.checkpoint_bytes -= entry.checkpoint_bytes;
+            entry.checkpoint_bytes = 0;
+            entry.reference = stripped;
+            evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
 /// A thread-safe memo of reference executions with hit/miss counters.
 ///
 /// One store typically lives as long as a measurement session: every
@@ -252,20 +385,43 @@ fn record_reference_impl(
 /// fast-forward path; a store built with
 /// [`TraceStore::without_checkpoints`] records plain traces instead —
 /// the right choice for throwaway stores whose consumers never resume.
+///
+/// # Persistence (spill/attach)
+///
+/// [`TraceStore::attach_backend`] plugs a [`GridBackend`] (in practice the
+/// `GridStore` of `secbranch-store`) behind the memo: the current contents
+/// spill to the backend immediately, every later fresh recording is written
+/// through, and an in-memory miss consults the backend before recording —
+/// which is how a matrix run warm-starts from a store directory written by
+/// an earlier process. Fetch provenance is reported per request as
+/// [`TraceFetch`] and in the [`TraceStore::disk_hits`] counter.
+///
+/// # Bounding memory
+///
+/// [`TraceStore::set_checkpoint_budget`] caps the bytes retained by resume
+/// checkpoints. When an insertion exceeds the budget, checkpoints are
+/// stripped from the least-recently-used entries until it fits (counted by
+/// [`TraceStore::checkpoint_evictions`]); the traces themselves always
+/// stay, and consumers transparently fall back to full re-execution when a
+/// checkpoint is gone — output never changes, only speed.
 #[derive(Debug)]
 pub struct TraceStore {
-    entries: Mutex<HashMap<TraceKey, Arc<RecordedReference>>>,
+    inner: Mutex<StoreInner>,
     hits: AtomicU64,
+    disk_hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
     checkpoints: bool,
 }
 
 impl Default for TraceStore {
     fn default() -> Self {
         TraceStore {
-            entries: Mutex::new(HashMap::new()),
+            inner: Mutex::new(StoreInner::default()),
             hits: AtomicU64::new(0),
+            disk_hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
             checkpoints: true,
         }
     }
@@ -289,8 +445,69 @@ impl TraceStore {
         }
     }
 
+    /// Attaches a persistence backend: spills the current in-memory entries
+    /// to it, then keeps it consulted on every miss and written through on
+    /// every fresh recording. Attaching the same backend again (by
+    /// identity) is a no-op; attaching a different one replaces it and
+    /// spills again.
+    pub fn attach_backend(&self, backend: Arc<dyn GridBackend>) {
+        let mut inner = self.inner.lock().expect("trace store poisoned");
+        if let Some(current) = &inner.backend {
+            if Arc::ptr_eq(current, &backend) {
+                return;
+            }
+        }
+        for (key, entry) in &inner.entries {
+            backend.store_trace(key, &entry.reference);
+        }
+        inner.backend = Some(backend);
+    }
+
+    /// The currently attached persistence backend, if any.
+    #[must_use]
+    pub fn backend(&self) -> Option<Arc<dyn GridBackend>> {
+        self.inner
+            .lock()
+            .expect("trace store poisoned")
+            .backend
+            .clone()
+    }
+
+    /// Caps the bytes retained by resume checkpoints (`None` lifts the
+    /// cap). Applies immediately: if the store is already over the new
+    /// budget, LRU entries lose their checkpoints now.
+    pub fn set_checkpoint_budget(&self, budget: Option<usize>) {
+        let mut inner = self.inner.lock().expect("trace store poisoned");
+        inner.checkpoint_budget = budget;
+        inner.enforce_budget(&self.evictions);
+    }
+
+    /// The configured checkpoint byte budget, if any.
+    #[must_use]
+    pub fn checkpoint_budget(&self) -> Option<usize> {
+        self.inner
+            .lock()
+            .expect("trace store poisoned")
+            .checkpoint_budget
+    }
+
+    /// Bytes currently retained by resume checkpoints.
+    #[must_use]
+    pub fn checkpoint_bytes(&self) -> usize {
+        self.inner
+            .lock()
+            .expect("trace store poisoned")
+            .checkpoint_bytes
+    }
+
+    /// How many entries have had their checkpoints evicted by the budget.
+    #[must_use]
+    pub fn checkpoint_evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
     /// The reference execution for `key`, recorded on first request and
-    /// served from the memo afterwards.
+    /// served from the memo (or the attached backend) afterwards.
     ///
     /// `entry`, `args` and `max_steps` describe how to record on a miss;
     /// by the key contract they must be the execution `key` names (the
@@ -314,8 +531,8 @@ impl TraceStore {
             .0)
     }
 
-    /// Like [`TraceStore::reference`], additionally reporting whether *this
-    /// request* was served from the memo (`true`) or recorded (`false`).
+    /// Like [`TraceStore::reference`], additionally reporting how *this
+    /// request* was satisfied (memo, disk, or a fresh recording).
     ///
     /// This is the per-request truth the matrix executor attributes to its
     /// cells — unlike a before/after diff of the global [`TraceStore::hits`]
@@ -331,14 +548,32 @@ impl TraceStore {
         entry: &str,
         args: &[u32],
         max_steps: u64,
-    ) -> Result<(Arc<RecordedReference>, bool), SimError> {
-        if let Some(found) = self.entries.lock().expect("trace store poisoned").get(key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return Ok((Arc::clone(found), true));
+    ) -> Result<(Arc<RecordedReference>, TraceFetch), SimError> {
+        let backend = {
+            let mut inner = self.inner.lock().expect("trace store poisoned");
+            if let Some(entry) = inner.entries.get(key) {
+                let found = Arc::clone(&entry.reference);
+                inner.touch(key);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok((found, TraceFetch::Memory));
+            }
+            inner.backend.clone()
+        };
+        // Disk, then recording, both outside the lock: loads and recordings
+        // are slow and deterministic, so a concurrent duplicate wastes a
+        // little work but never changes the stored value.
+        if let Some(backend) = &backend {
+            if let Some(persisted) = backend.load_trace(key) {
+                // Reattach the program from the requesting source — by the
+                // key contract it is the program the trace was recorded on.
+                let program = Arc::clone(source.fresh_simulator().shared_program());
+                let loaded = Arc::new(persisted.into_recorded(program));
+                self.disk_hits.fetch_add(1, Ordering::Relaxed);
+                let mut inner = self.inner.lock().expect("trace store poisoned");
+                let stored = inner.insert(key, loaded, &self.evictions);
+                return Ok((stored, TraceFetch::Disk));
+            }
         }
-        // Record outside the lock: recording is slow and deterministic, so a
-        // concurrent double-record wastes a little work but never changes the
-        // stored value. (Both recordings count as misses.)
         self.misses.fetch_add(1, Ordering::Relaxed);
         let recorded = Arc::new(record_reference_impl(
             source,
@@ -347,17 +582,24 @@ impl TraceStore {
             max_steps,
             self.checkpoints,
         )?);
-        let mut entries = self.entries.lock().expect("trace store poisoned");
-        let stored = entries
-            .entry(key.clone())
-            .or_insert_with(|| Arc::clone(&recorded));
-        Ok((Arc::clone(stored), false))
+        if let Some(backend) = &backend {
+            backend.store_trace(key, &recorded);
+        }
+        let mut inner = self.inner.lock().expect("trace store poisoned");
+        let stored = inner.insert(key, recorded, &self.evictions);
+        Ok((stored, TraceFetch::Recorded))
     }
 
-    /// How many requests were served from the memo.
+    /// How many requests were served from the in-memory memo.
     #[must_use]
     pub fn hits(&self) -> u64 {
         self.hits.load(Ordering::Relaxed)
+    }
+
+    /// How many requests were served from the attached backend.
+    #[must_use]
+    pub fn disk_hits(&self) -> u64 {
+        self.disk_hits.load(Ordering::Relaxed)
     }
 
     /// How many requests had to record (including failed recordings).
@@ -369,7 +611,11 @@ impl TraceStore {
     /// Number of distinct traces currently stored.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.entries.lock().expect("trace store poisoned").len()
+        self.inner
+            .lock()
+            .expect("trace store poisoned")
+            .entries
+            .len()
     }
 
     /// `true` if nothing has been recorded yet.
@@ -382,6 +628,7 @@ impl TraceStore {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::persist::PersistedTrace;
     use secbranch_armv7m::{Cond, Operand2, ProgramBuilder, Reg, Simulator, Target};
 
     fn max_simulator() -> Simulator {
@@ -486,6 +733,138 @@ mod tests {
             let cp = recorded.checkpoint_before(anchor).expect("found");
             assert!(cp.steps_done < anchor);
         }
+    }
+
+    /// An in-memory [`GridBackend`] for exercising the spill/attach path
+    /// without touching the filesystem.
+    #[derive(Default)]
+    struct MapBackend {
+        traces: Mutex<HashMap<TraceKey, PersistedTrace>>,
+        cells: Mutex<HashMap<crate::persist::CellKey, crate::report::CampaignReport>>,
+    }
+
+    impl GridBackend for MapBackend {
+        fn load_trace(&self, key: &TraceKey) -> Option<PersistedTrace> {
+            self.traces.lock().unwrap().get(key).cloned()
+        }
+        fn store_trace(&self, key: &TraceKey, recorded: &RecordedReference) {
+            self.traces
+                .lock()
+                .unwrap()
+                .insert(key.clone(), PersistedTrace::from_recorded(recorded));
+        }
+        fn load_cell(
+            &self,
+            key: &crate::persist::CellKey,
+        ) -> Option<crate::report::CampaignReport> {
+            self.cells.lock().unwrap().get(key).cloned()
+        }
+        fn store_cell(
+            &self,
+            key: &crate::persist::CellKey,
+            report: &crate::report::CampaignReport,
+        ) {
+            self.cells
+                .lock()
+                .unwrap()
+                .insert(key.clone(), report.clone());
+        }
+    }
+
+    #[test]
+    fn attached_backend_receives_recordings_and_serves_misses() {
+        let sim = max_simulator();
+        let key = TraceKey::new("art", "max", &[7, 3]);
+        let backend = Arc::new(MapBackend::default());
+
+        // Write-through: a fresh recording lands on the backend.
+        let store = TraceStore::new();
+        store.attach_backend(Arc::clone(&backend) as Arc<dyn GridBackend>);
+        let (_, fetch) = store
+            .reference_traced(&key, &sim, "max", &[7, 3], 100)
+            .expect("records");
+        assert_eq!(fetch, TraceFetch::Recorded);
+        assert_eq!(backend.traces.lock().unwrap().len(), 1);
+
+        // A second store over the same backend warm-starts from it.
+        let warm = TraceStore::new();
+        warm.attach_backend(Arc::clone(&backend) as Arc<dyn GridBackend>);
+        let (reference, fetch) = warm
+            .reference_traced(&key, &sim, "max", &[7, 3], 100)
+            .expect("loads");
+        assert_eq!(fetch, TraceFetch::Disk);
+        assert_eq!(warm.misses(), 0, "nothing recorded");
+        assert_eq!(warm.disk_hits(), 1);
+        assert_eq!(reference.trace.result.return_value, 7);
+        assert_eq!(reference.memory_size, 4096);
+        // Loaded entries join the memo: the next request is a memory hit.
+        let (_, fetch) = warm
+            .reference_traced(&key, &sim, "max", &[7, 3], 100)
+            .expect("memoised");
+        assert_eq!(fetch, TraceFetch::Memory);
+    }
+
+    #[test]
+    fn attach_spills_existing_entries_and_is_idempotent() {
+        let sim = max_simulator();
+        let key = TraceKey::new("art", "max", &[4, 9]);
+        let store = TraceStore::new();
+        store
+            .reference(&key, &sim, "max", &[4, 9], 100)
+            .expect("records");
+        let backend = Arc::new(MapBackend::default());
+        store.attach_backend(Arc::clone(&backend) as Arc<dyn GridBackend>);
+        assert_eq!(
+            backend.traces.lock().unwrap().len(),
+            1,
+            "pre-existing entry spilled on attach"
+        );
+        store.attach_backend(Arc::clone(&backend) as Arc<dyn GridBackend>);
+        assert_eq!(backend.traces.lock().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn checkpoint_budget_strips_lru_entries_but_keeps_traces() {
+        let store = TraceStore::new();
+        let sim = max_simulator();
+        let key_a = TraceKey::new("art", "max", &[7, 3]);
+        let key_b = TraceKey::new("art", "max", &[3, 9]);
+        let a = store
+            .reference(&key_a, &sim, "max", &[7, 3], 100)
+            .expect("records");
+        assert!(!a.checkpoints.is_empty());
+        let bytes_after_one = store.checkpoint_bytes();
+        assert!(bytes_after_one > 0, "checkpoints are accounted");
+
+        // Touch A, record B, then set a budget that fits only one entry:
+        // B (less recently used than the just-touched... ) — LRU order is
+        // by last *request*, so after touching A again, B is the victim.
+        store
+            .reference(&key_b, &sim, "max", &[3, 9], 100)
+            .expect("records");
+        store
+            .reference(&key_a, &sim, "max", &[7, 3], 100)
+            .expect("hits");
+        store.set_checkpoint_budget(Some(bytes_after_one));
+        assert!(store.checkpoint_bytes() <= bytes_after_one);
+        assert_eq!(store.checkpoint_evictions(), 1);
+        assert_eq!(store.len(), 2, "traces always stay");
+        let a_now = store
+            .reference(&key_a, &sim, "max", &[7, 3], 100)
+            .expect("hits");
+        assert!(!a_now.checkpoints.is_empty(), "recently used entry kept");
+        let b_now = store
+            .reference(&key_b, &sim, "max", &[3, 9], 100)
+            .expect("hits");
+        assert!(b_now.checkpoints.is_empty(), "LRU entry stripped");
+        assert_eq!(
+            b_now.trace.result.return_value, 9,
+            "the trace itself survives eviction"
+        );
+
+        // A zero budget strips everything, including future recordings.
+        store.set_checkpoint_budget(Some(0));
+        assert_eq!(store.checkpoint_bytes(), 0);
     }
 
     #[test]

@@ -1,12 +1,15 @@
 //! The [`Artifact`]: one compilation, many executions and fault campaigns.
 
+use std::sync::Arc;
+
 use secbranch_armv7m::{ExecResult, Simulator};
 use secbranch_campaign::{
-    CampaignReport, CampaignRunner, FaultModel, InstructionSkip, RegisterBitFlip, SharedModule,
-    TraceKey, TraceStore,
+    CampaignReport, CampaignRunner, CellKey, FaultModel, GridBackend, InstructionSkip,
+    RegisterBitFlip, SharedModule, TraceKey, TraceStore,
 };
 use secbranch_codegen::CompiledModule;
 use secbranch_fault::SweepReport;
+use secbranch_store::GridStore;
 
 use crate::{BuildError, Measurement, Provenance, SimConfig};
 
@@ -252,6 +255,7 @@ impl Artifact {
             entry,
             args,
             model,
+            None,
         )
     }
 
@@ -260,6 +264,14 @@ impl Artifact {
     /// (different fault models, repeated runs) record the reference trace
     /// once. Keys are derived via [`Artifact::trace_key`], so a store can
     /// safely serve many artifacts at once.
+    ///
+    /// With `grid: Some(store)`, the campaign additionally persists: the
+    /// [`GridStore`] is attached behind `store` (traces warm-start from
+    /// disk and flush back), and the finished report itself is served from
+    /// — and written to — the grid's cell cache keyed by
+    /// `(artifact fingerprint, model fingerprint, entry, args)`. A warm
+    /// cell returns without a single simulated instruction, byte-identical
+    /// to a fresh computation.
     ///
     /// # Errors
     ///
@@ -271,7 +283,22 @@ impl Artifact {
         entry: &str,
         args: &[u32],
         model: &dyn FaultModel,
+        grid: Option<&Arc<GridStore>>,
     ) -> Result<CampaignReport, BuildError> {
+        let cell_key = grid.map(|_| {
+            CellKey::new(
+                self.artifact_fingerprint(),
+                model.fingerprint(),
+                entry,
+                args,
+            )
+        });
+        if let (Some(grid), Some(key)) = (grid, &cell_key) {
+            if let Some(report) = grid.get_cell(key) {
+                return Ok(report);
+            }
+            store.attach_backend(Arc::clone(grid) as Arc<dyn GridBackend>);
+        }
         let source = SharedModule {
             compiled: &self.compiled,
             memory_size: self.sim.memory_size,
@@ -285,7 +312,12 @@ impl Artifact {
                 self.sim.max_steps,
             )
             .map_err(BuildError::Simulation)?;
-        Ok(runner.run_recorded(&source, entry, args, self.sim.max_steps, model, &recorded))
+        let report =
+            runner.run_recorded(&source, entry, args, self.sim.max_steps, model, &recorded);
+        if let (Some(grid), Some(key)) = (grid, &cell_key) {
+            grid.put_cell(key, &report);
+        }
+        Ok(report)
     }
 
     /// Runs the exhaustive single-instruction-skip sweep of the fault

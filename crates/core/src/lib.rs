@@ -36,7 +36,13 @@
 //!
 //! The individual building blocks are re-exported under their own names
 //! ([`ancode`], [`ir`], [`passes`], [`cfi`], [`armv7m`], [`codegen`],
-//! [`fault`], [`programs`]).
+//! [`fault`], [`programs`], [`store`]).
+//!
+//! Security matrices and campaigns optionally persist their work: pass a
+//! [`store::GridStore`] to [`Session::security_matrix_with`] (or
+//! [`Artifact::campaign_with_store`]) and reference traces plus finished
+//! campaign cells survive the process — a warm re-run of an unchanged grid
+//! does zero simulation and returns byte-identical reports.
 //!
 //! # Example: protecting a password check
 //!
@@ -74,6 +80,7 @@ pub use secbranch_fault as fault;
 pub use secbranch_ir as ir;
 pub use secbranch_passes as passes;
 pub use secbranch_programs as programs;
+pub use secbranch_store as store;
 
 mod artifact;
 mod pipeline;

@@ -30,17 +30,30 @@ pub struct SecurityCell {
 pub struct MatrixStats {
     /// Worker threads of the run.
     pub threads: usize,
-    /// Reference traces served from the trace store.
+    /// Reference traces served from the in-memory trace store.
     pub trace_hits: u64,
+    /// Reference traces loaded from an attached persistent grid store.
+    pub trace_disk_hits: u64,
     /// Reference traces that had to be recorded.
     pub trace_misses: u64,
+    /// Whole cells served from the persistent grid store (zero simulation).
+    pub cell_hits: u64,
+    /// Cells that had to execute their fault space.
+    pub cell_misses: u64,
     /// End-to-end wall time of the campaign phase in microseconds
     /// (builds excluded).
     pub total_wall_micros: u64,
     /// Injection compute time per cell in microseconds, parallel to
     /// [`SecurityReport::cells`]. Under the shared pool cells overlap in
-    /// wall time, so these sum to roughly `threads × total_wall_micros`.
+    /// wall time, so these sum to roughly `threads × total_wall_micros`
+    /// (cache-served cells contribute zero).
     pub cell_compute_micros: Vec<u64>,
+    /// Bytes currently held by resume checkpoints in the session's trace
+    /// store (after this run).
+    pub store_checkpoint_bytes: u64,
+    /// Session-lifetime count of entries whose checkpoints were evicted by
+    /// the trace store's byte budget.
+    pub store_checkpoint_evictions: u64,
 }
 
 impl MatrixStats {
@@ -54,13 +67,20 @@ impl MatrixStats {
             .map(u64::to_string)
             .collect();
         format!(
-            "{{\"threads\":{},\"trace_hits\":{},\"trace_misses\":{},\
-             \"total_wall_micros\":{},\"cell_compute_micros\":[{}]}}",
+            "{{\"threads\":{},\"trace_hits\":{},\"trace_disk_hits\":{},\"trace_misses\":{},\
+             \"cell_hits\":{},\"cell_misses\":{},\"total_wall_micros\":{},\
+             \"cell_compute_micros\":[{}],\"store_checkpoint_bytes\":{},\
+             \"store_checkpoint_evictions\":{}}}",
             self.threads,
             self.trace_hits,
+            self.trace_disk_hits,
             self.trace_misses,
+            self.cell_hits,
+            self.cell_misses,
             self.total_wall_micros,
             cells.join(","),
+            self.store_checkpoint_bytes,
+            self.store_checkpoint_evictions,
         )
     }
 }

@@ -2,12 +2,15 @@
 //! and the security matrix on the global fault-space scheduler.
 
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 use std::time::Instant;
 
 use secbranch_campaign::{
-    CampaignRunner, FaultModel, MatrixExecutor, MatrixJob, SharedModule, TraceStore,
+    CampaignRunner, FaultModel, GridBackend, MatrixExecutor, MatrixJob, SharedModule, TraceFetch,
+    TraceStore,
 };
 use secbranch_ir::Module;
+use secbranch_store::GridStore;
 
 use crate::{
     Artifact, BuildError, MatrixStats, Measurement, Pipeline, Report, ReportCell, SecurityCell,
@@ -130,6 +133,27 @@ impl Session {
     #[must_use]
     pub fn trace_store(&self) -> &TraceStore {
         &self.traces
+    }
+
+    /// Attaches a persistent [`GridStore`] behind the session's trace
+    /// store: in-memory entries spill to disk, fresh recordings write
+    /// through, misses consult the disk first, and the matrix executor
+    /// serves whole cells from it. Equivalent to passing the store to every
+    /// [`Session::security_matrix_with`] call.
+    pub fn attach_grid(&mut self, grid: &Arc<GridStore>) {
+        self.traces
+            .attach_backend(Arc::clone(grid) as Arc<dyn GridBackend>);
+    }
+
+    /// Caps the bytes the session's trace store may retain in resume
+    /// checkpoints (`None` lifts the cap); excess checkpoints are evicted
+    /// least-recently-used first. Traces themselves always stay, so
+    /// reports never change — only the fast-forward speedup degrades.
+    /// Occupancy and evictions are reported in
+    /// [`MatrixStats::store_checkpoint_bytes`] /
+    /// [`MatrixStats::store_checkpoint_evictions`].
+    pub fn set_trace_checkpoint_budget(&mut self, budget: Option<usize>) {
+        self.traces.set_checkpoint_budget(budget);
     }
 
     fn cached_artifact(
@@ -279,11 +303,21 @@ impl Session {
         pipelines: &[Pipeline],
         models: &[&dyn FaultModel],
     ) -> Result<SecurityReport, BuildError> {
-        self.security_matrix_with(&MatrixExecutor::new(), workloads, pipelines, models)
+        self.security_matrix_with(&MatrixExecutor::new(), workloads, pipelines, models, None)
     }
 
     /// Like [`Session::security_matrix`], with an explicitly configured
-    /// executor (e.g. a fixed thread count or shard size).
+    /// executor (e.g. a fixed thread count or shard size) and an optional
+    /// persistent [`GridStore`].
+    ///
+    /// With `grid: Some(store)`, the store is attached behind the session's
+    /// trace store (see [`Session::attach_grid`]) before the run: reference
+    /// traces warm-start from disk and flush back, and whole cells keyed by
+    /// `(artifact fingerprint, model fingerprint, entry, args)` are served
+    /// from — and written to — the store, so re-running an unchanged grid
+    /// does zero simulation. The returned report is byte-identical whether
+    /// the store is absent, cold or warm; only
+    /// [`SecurityReport::stats`] reflects where the work went.
     ///
     /// # Errors
     ///
@@ -294,7 +328,11 @@ impl Session {
         workloads: &[Workload],
         pipelines: &[Pipeline],
         models: &[&dyn FaultModel],
+        grid: Option<&Arc<GridStore>>,
     ) -> Result<SecurityReport, BuildError> {
+        if let Some(grid) = grid {
+            self.attach_grid(grid);
+        }
         let labels = disambiguated(pipelines.iter().map(Pipeline::label));
         let workload_names = disambiguated(workloads.iter().map(|w| w.name.as_str()));
         let model_names: Vec<String> = models.iter().map(|m| m.name()).collect();
@@ -356,10 +394,16 @@ impl Session {
             for label in &labels {
                 for model_name in &model_names {
                     let result = result_iter.next().expect("one result per job");
-                    if result.trace_hit {
-                        stats.trace_hits += 1;
+                    if result.cell_hit {
+                        stats.cell_hits += 1;
                     } else {
-                        stats.trace_misses += 1;
+                        stats.cell_misses += 1;
+                    }
+                    match result.trace_fetch {
+                        Some(TraceFetch::Memory) => stats.trace_hits += 1,
+                        Some(TraceFetch::Disk) => stats.trace_disk_hits += 1,
+                        Some(TraceFetch::Recorded) => stats.trace_misses += 1,
+                        None => {} // cell hit: no reference was needed
                     }
                     stats.cell_compute_micros.push(result.compute_micros);
                     cells.push(SecurityCell {
@@ -371,6 +415,8 @@ impl Session {
                 }
             }
         }
+        stats.store_checkpoint_bytes = self.traces.checkpoint_bytes() as u64;
+        stats.store_checkpoint_evictions = self.traces.checkpoint_evictions();
         Ok(SecurityReport {
             workloads: workload_names,
             pipelines: labels,
@@ -423,6 +469,7 @@ impl Session {
                         .cell_compute_micros
                         .push(cell_started.elapsed().as_micros() as u64);
                     stats.trace_misses += 1; // every cell records its own trace
+                    stats.cell_misses += 1; // and executes its own fault space
                     cells.push(SecurityCell {
                         workload: workload_name.clone(),
                         pipeline: label.clone(),

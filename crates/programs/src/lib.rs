@@ -31,8 +31,9 @@ pub mod sha256;
 mod workloads;
 
 pub use workloads::{
-    bootloader_module, integer_compare_module, memcmp_module, password_check_module, BootImage,
-    BOOT_FAIL, BOOT_OK, DENY, GRANT,
+    bootloader_module, crc32_table_module, integer_compare_module, memcmp_module,
+    password_check_module, pin_retry_module, BootImage, BOOT_FAIL, BOOT_OK, DENY, GRANT,
+    PIN_LOCKED,
 };
 
 #[cfg(test)]

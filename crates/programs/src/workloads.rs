@@ -132,6 +132,177 @@ pub fn password_check_module(len: u32) -> Module {
     m
 }
 
+/// Return value of a PIN check that is locked out.
+pub const PIN_LOCKED: u32 = 0x10CC;
+
+/// Host-side CRC-32 (IEEE, reflected) — generates the guest lookup table
+/// and the expected digest embedded in [`crc32_table_module`].
+///
+/// Deliberately duplicates `secbranch_store::format::crc32`: this crate is
+/// a leaf (it depends only on `ir`) and must not grow a dependency on the
+/// persistence stack just to share thirty lines of table generation. Both
+/// copies pin the standard `0xCBF43926` check vector in their tests, so a
+/// divergence cannot go unnoticed.
+fn crc32_host(bytes: &[u8]) -> u32 {
+    let table = crc32_host_table();
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = table[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+fn crc32_host_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    for (i, entry) in table.iter_mut().enumerate() {
+        let mut c = i as u32;
+        for _ in 0..8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+        }
+        *entry = c;
+    }
+    table
+}
+
+/// The `crc32` integrity-check workload: a table-driven CRC-32 over a
+/// module-global message, compared against the embedded expected digest
+/// through a protected branch.
+///
+/// This exercises a scenario shape the other workloads do not: a dense
+/// *table lookup* inner loop (shift/mask/index arithmetic over a 1 KiB
+/// global table) feeding one security-critical accept/reject decision.
+/// `crc32_check()` returns 1 when the message matches its digest and 0
+/// otherwise; corrupting `crc_message` (or the digest) in guest memory
+/// before the call flips the decision.
+#[must_use]
+pub fn crc32_table_module(len: u32) -> Module {
+    let mut m = Module::new();
+    let table_bytes: Vec<u8> = crc32_host_table()
+        .iter()
+        .flat_map(|w| w.to_le_bytes())
+        .collect();
+    m.add_global("crc_table", table_bytes, false);
+    let message: Vec<u8> = (0..len).map(|i| (i * 31 + 7) as u8).collect();
+    let expected = crc32_host(&message);
+    m.add_global("crc_message", message, true);
+    m.add_global("crc_expected", expected.to_le_bytes().to_vec(), true);
+
+    // crc32_compute(ptr, len): the table-driven loop.
+    let mut b = FunctionBuilder::new("crc32_compute", 2);
+    b.protect_branches();
+    let (ptr, len_op) = (b.param(0), b.param(1));
+    let i = b.local("i", 4);
+    let crc = b.local("crc", 4);
+    b.store_local(i, 0u32);
+    b.store_local(crc, 0xFFFF_FFFFu32);
+    let header = b.create_block("header");
+    let body = b.create_block("body");
+    let done = b.create_block("done");
+    let table = b.global_addr("crc_table");
+    b.jump(header);
+    b.switch_to(header);
+    let iv = b.load_local(i);
+    let more = b.cmp(Predicate::Ult, iv, len_op);
+    b.branch(more, body, done);
+    b.switch_to(body);
+    let iv = b.load_local(i);
+    let p = b.bin(BinOp::Add, ptr, iv);
+    let byte = b.load_byte(p);
+    let c = b.load_local(crc);
+    let x = b.bin(BinOp::Xor, c, byte);
+    let index = b.bin(BinOp::And, x, 0xFFu32);
+    let offset = b.bin(BinOp::Shl, index, 2u32);
+    let slot = b.bin(BinOp::Add, table, offset);
+    let entry = b.load(slot);
+    let shifted = b.bin(BinOp::LShr, c, 8u32);
+    let next = b.bin(BinOp::Xor, shifted, entry);
+    b.store_local(crc, next);
+    let inext = b.bin(BinOp::Add, iv, 1u32);
+    b.store_local(i, inext);
+    b.jump(header);
+    b.switch_to(done);
+    let c = b.load_local(crc);
+    let out = b.bin(BinOp::Xor, c, 0xFFFF_FFFFu32);
+    b.ret(Some(out));
+    m.add_function(b.finish());
+
+    // crc32_check(): compute, compare, decide (the protected branch).
+    let mut b = FunctionBuilder::new("crc32_check", 0);
+    b.protect_branches();
+    let ok = b.create_block("ok");
+    let bad = b.create_block("bad");
+    let msg = b.global_addr("crc_message");
+    let computed = b.call("crc32_compute", &[msg, Operand::Const(len)]);
+    let expected_addr = b.global_addr("crc_expected");
+    let expected = b.load(expected_addr);
+    let cond = b.cmp(Predicate::Eq, computed, expected);
+    b.branch(cond, ok, bad);
+    b.switch_to(ok);
+    b.ret(Some(1u32.into()));
+    b.switch_to(bad);
+    b.ret(Some(0u32.into()));
+    m.add_function(b.finish());
+    m
+}
+
+/// The PIN-retry scenario: a password check with a persistent retry
+/// counter and lockout — the classic smartcard target of fault attacks
+/// (glitch the counter check or the comparison and extract the secret).
+///
+/// `pin_check()` consults the module-global `pin_attempts` counter first:
+/// at or beyond `max_retries` failed attempts it returns [`PIN_LOCKED`]
+/// without even comparing. Otherwise it compares `pin_entered` against
+/// `pin_stored` via the secure memcmp; a match resets the counter and
+/// returns [`GRANT`], a mismatch increments it and returns [`DENY`]. Both
+/// decisions — lockout and grant — ride on protected branches, and the
+/// counter state lives in guest memory across calls, so a fault campaign
+/// attacks exactly the state machine a real reader exposes.
+#[must_use]
+pub fn pin_retry_module(len: u32, max_retries: u32) -> Module {
+    let mut m = Module::new();
+    let pin: Vec<u8> = (0..len).map(|i| (0x30 + (i % 10)) as u8).collect();
+    m.add_global("pin_stored", pin.clone(), false);
+    m.add_global("pin_entered", pin, true);
+    m.add_global("pin_attempts", vec![0; 4], true);
+    add_memcmp_secure(&mut m);
+
+    let mut b = FunctionBuilder::new("pin_check", 0);
+    b.protect_branches();
+    let locked = b.create_block("locked");
+    let compare = b.create_block("compare");
+    let grant = b.create_block("grant");
+    let deny = b.create_block("deny");
+    let attempts_addr = b.global_addr("pin_attempts");
+    let attempts = b.load(attempts_addr);
+    let is_locked = b.cmp(Predicate::Uge, attempts, Operand::Const(max_retries));
+    b.branch(is_locked, locked, compare);
+    b.switch_to(locked);
+    b.ret(Some(PIN_LOCKED.into()));
+    b.switch_to(compare);
+    let stored = b.global_addr("pin_stored");
+    let entered = b.global_addr("pin_entered");
+    let equal = b.call("memcmp_secure", &[stored, entered, Operand::Const(len)]);
+    let cond = b.cmp(Predicate::Eq, equal, 1u32);
+    b.branch(cond, grant, deny);
+    b.switch_to(grant);
+    let attempts_addr = b.global_addr("pin_attempts");
+    b.store(attempts_addr, 0u32);
+    b.ret(Some(GRANT.into()));
+    b.switch_to(deny);
+    let attempts_addr = b.global_addr("pin_attempts");
+    let attempts = b.load(attempts_addr);
+    let bumped = b.bin(BinOp::Add, attempts, 1u32);
+    let attempts_addr = b.global_addr("pin_attempts");
+    b.store(attempts_addr, bumped);
+    b.ret(Some(DENY.into()));
+    m.add_function(b.finish());
+    m
+}
+
 /// A firmware image used by the bootloader macro-benchmark.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BootImage {
@@ -300,6 +471,102 @@ mod tests {
             interp.call("bootloader", &[]).unwrap().return_value,
             Some(BOOT_FAIL)
         );
+    }
+
+    #[test]
+    fn host_crc32_matches_the_standard_check_value() {
+        // The canonical IEEE CRC-32 test vector: if this drifts, every
+        // embedded `crc_expected` digest is wrong.
+        assert_eq!(crc32_host(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32_host(b""), 0);
+    }
+
+    #[test]
+    fn crc32_check_accepts_the_message_and_rejects_tampering() {
+        let m = crc32_table_module(24);
+        let mut interp = Interpreter::new(&m, InterpOptions::default());
+        assert_eq!(
+            interp.call("crc32_check", &[]).unwrap().return_value,
+            Some(1)
+        );
+
+        for position in [0u32, 11, 23] {
+            let mut interp = Interpreter::new(&m, InterpOptions::default());
+            let addr = interp.global_address("crc_message").unwrap() + position;
+            let original = interp.read_memory(addr, 1)[0];
+            interp.write_memory(addr, &[original ^ 0x80]);
+            assert_eq!(
+                interp.call("crc32_check", &[]).unwrap().return_value,
+                Some(0),
+                "flip at byte {position}"
+            );
+        }
+
+        // Tampering with the stored digest is also caught.
+        let mut interp = Interpreter::new(&m, InterpOptions::default());
+        let addr = interp.global_address("crc_expected").unwrap();
+        let original = interp.read_memory(addr, 1)[0];
+        interp.write_memory(addr, &[original ^ 1]);
+        assert_eq!(
+            interp.call("crc32_check", &[]).unwrap().return_value,
+            Some(0)
+        );
+    }
+
+    #[test]
+    fn pin_retry_counts_failures_and_locks_out() {
+        let m = pin_retry_module(4, 3);
+        let mut interp = Interpreter::new(&m, InterpOptions::default());
+        // Correct PIN: granted, counter stays reset.
+        assert_eq!(
+            interp.call("pin_check", &[]).unwrap().return_value,
+            Some(GRANT)
+        );
+
+        // Wrong PIN: denied max_retries times, then locked out — even with
+        // the correct PIN entered afterwards (the counter persists in guest
+        // memory across calls).
+        let entered = interp.global_address("pin_entered").unwrap();
+        let good = interp.read_memory(entered, 1)[0];
+        interp.write_memory(entered, &[good ^ 0xFF]);
+        for attempt in 0..3 {
+            assert_eq!(
+                interp.call("pin_check", &[]).unwrap().return_value,
+                Some(DENY),
+                "attempt {attempt}"
+            );
+        }
+        assert_eq!(
+            interp.call("pin_check", &[]).unwrap().return_value,
+            Some(PIN_LOCKED)
+        );
+        interp.write_memory(entered, &[good]);
+        assert_eq!(
+            interp.call("pin_check", &[]).unwrap().return_value,
+            Some(PIN_LOCKED),
+            "lockout is sticky"
+        );
+    }
+
+    #[test]
+    fn pin_retry_grant_resets_the_counter() {
+        let m = pin_retry_module(4, 3);
+        let mut interp = Interpreter::new(&m, InterpOptions::default());
+        let entered = interp.global_address("pin_entered").unwrap();
+        let attempts = interp.global_address("pin_attempts").unwrap();
+        let good = interp.read_memory(entered, 1)[0];
+
+        // Two failures, then a success: the counter must return to zero.
+        interp.write_memory(entered, &[good ^ 1]);
+        interp.call("pin_check", &[]).unwrap();
+        interp.call("pin_check", &[]).unwrap();
+        assert_eq!(interp.read_memory(attempts, 1)[0], 2);
+        interp.write_memory(entered, &[good]);
+        assert_eq!(
+            interp.call("pin_check", &[]).unwrap().return_value,
+            Some(GRANT)
+        );
+        assert_eq!(interp.read_memory(attempts, 1)[0], 0, "grant resets");
     }
 
     #[test]

@@ -1,0 +1,521 @@
+//! `secbranch-store` — a persistent, content-addressed grid store for
+//! reference traces and completed campaign cells.
+//!
+//! PR 4 made compilation bit-deterministic, which turned
+//! `artifact_fingerprint` into a sound *cross-process* cache key: the same
+//! (module, pipeline) produces the same fingerprint in any build. This
+//! crate is the disk layer that cashes that in. A [`GridStore`] is a
+//! directory holding two record families:
+//!
+//! * **reference traces** — the fault-free execution every campaign
+//!   classifies against, including its machine checkpoints, keyed by
+//!   `(artifact fingerprint, entry, args)`
+//!   ([`secbranch_campaign::TraceKey`]); and
+//! * **campaign cells** — finished
+//!   [`secbranch_campaign::CampaignReport`]s keyed by
+//!   `(artifact fingerprint, fault-model fingerprint, entry, args)`
+//!   ([`secbranch_campaign::CellKey`]).
+//!
+//! With a store attached, a re-run of an unchanged security matrix does
+//! **zero simulation**: every cell is served from disk, byte-identical to a
+//! fresh computation — across process restarts, between CI runs, and
+//! between independently compiled builds.
+//!
+//! # On-disk layout
+//!
+//! ```text
+//! <root>/
+//!   MANIFEST              magic + format version (rejects mismatches)
+//!   tmp/                  staging area for atomic writes
+//!   traces/<hash16>.rec   one reference trace per file
+//!   cells/<hash16>.rec    one campaign cell per file
+//! ```
+//!
+//! Records are *content-addressed*: the file name is the FNV-1a hash of the
+//! record's canonical key bytes — which are themselves fingerprints of the
+//! artifact and model content — so the same cell always lands in the same
+//! file and concurrent writers of the same key are idempotent. Every record
+//! carries a magic/version header and a CRC-32 over its payload
+//! ([`mod@format`]); writes go to `tmp/` and are published by an atomic rename,
+//! so a reader (or a second process sharing the directory) only ever sees
+//! complete records — a consistent snapshot, never a torn write. Damaged,
+//! truncated or foreign-version record files are dropped at load time and
+//! counted, never served.
+//!
+//! # Wiring
+//!
+//! [`GridStore`] implements
+//! [`secbranch_campaign::GridBackend`]; attach it to a
+//! [`secbranch_campaign::TraceStore`] (the facade's
+//! `Session::security_matrix_with` and `Artifact::campaign_with_store` take
+//! an `Option<&Arc<GridStore>>` and do this for you) and both record
+//! families flow automatically.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod format;
+
+use std::error::Error;
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use secbranch_campaign::{
+    CampaignReport, CellKey, GridBackend, PersistedTrace, RecordedReference, TraceKey,
+};
+
+use format::{fnv1a_64, frame_record, parse_record, RecordError, KIND_CELL, KIND_TRACE};
+
+/// Magic bytes of the store manifest.
+const MANIFEST_MAGIC: [u8; 8] = *b"SBGRIDMF";
+
+/// File name of the store manifest.
+const MANIFEST_NAME: &str = "MANIFEST";
+
+/// Errors opening or scanning a [`GridStore`].
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum StoreError {
+    /// Filesystem failure.
+    Io(io::Error),
+    /// The directory was written by a different format version; refusing to
+    /// read or write it (delete the directory or use a matching build).
+    VersionMismatch {
+        /// The version recorded in the manifest.
+        found: u32,
+        /// The version this build understands.
+        expected: u32,
+    },
+    /// The manifest exists but is not a manifest (wrong magic or truncated).
+    CorruptManifest,
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "grid store I/O failure: {e}"),
+            StoreError::VersionMismatch { found, expected } => write!(
+                f,
+                "grid store format version mismatch: directory has v{found}, \
+                 this build reads v{expected}"
+            ),
+            StoreError::CorruptManifest => f.write_str("grid store manifest is corrupt"),
+        }
+    }
+}
+
+impl Error for StoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for StoreError {
+    fn from(e: io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+/// A point-in-time snapshot of a store's runtime counters (everything this
+/// process observed since [`GridStore::open`]; the on-disk totals come from
+/// [`GridStore::scan`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Trace loads served from disk.
+    pub trace_hits: u64,
+    /// Trace loads that found nothing (or nothing intact).
+    pub trace_misses: u64,
+    /// Cell loads served from disk.
+    pub cell_hits: u64,
+    /// Cell loads that found nothing (or nothing intact).
+    pub cell_misses: u64,
+    /// Records written (published by rename).
+    pub writes: u64,
+    /// Writes skipped because an intact record already existed.
+    pub write_skips: u64,
+    /// Writes that failed on I/O (best-effort: callers keep going).
+    pub write_errors: u64,
+    /// Record files dropped as damaged (bad magic/CRC/truncation/foreign
+    /// version/key collision) during loads.
+    pub corrupt_dropped: u64,
+}
+
+impl StoreStats {
+    /// Serialises the counters as JSON (hand-rolled: the offline build has
+    /// no serde).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"trace_hits\":{},\"trace_misses\":{},\"cell_hits\":{},\"cell_misses\":{},\
+             \"writes\":{},\"write_skips\":{},\"write_errors\":{},\"corrupt_dropped\":{}}}",
+            self.trace_hits,
+            self.trace_misses,
+            self.cell_hits,
+            self.cell_misses,
+            self.writes,
+            self.write_skips,
+            self.write_errors,
+            self.corrupt_dropped,
+        )
+    }
+}
+
+/// What [`GridStore::scan`] found on disk: a full-directory validation
+/// pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScanReport {
+    /// Intact trace records.
+    pub trace_records: u64,
+    /// Intact cell records.
+    pub cell_records: u64,
+    /// Record files that failed validation (left in place; loads ignore
+    /// them and a later write of the same key replaces them).
+    pub corrupt_records: u64,
+    /// Total bytes of intact records (headers included).
+    pub total_bytes: u64,
+}
+
+impl ScanReport {
+    /// Serialises the scan as JSON (hand-rolled: the offline build has no
+    /// serde).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"format_version\":{},\"trace_records\":{},\"cell_records\":{},\
+             \"corrupt_records\":{},\"total_bytes\":{}}}",
+            format::FORMAT_VERSION,
+            self.trace_records,
+            self.cell_records,
+            self.corrupt_records,
+            self.total_bytes,
+        )
+    }
+}
+
+/// The disk-backed, content-addressed store (see the [crate docs](self) for
+/// layout and guarantees).
+///
+/// A `GridStore` is cheap to share behind an [`Arc`](std::sync::Arc) and
+/// safe to use from many threads and many processes at once: all methods
+/// take `&self`, writes are atomic renames, and loads only ever observe
+/// complete records.
+#[derive(Debug)]
+pub struct GridStore {
+    root: PathBuf,
+    tmp_counter: AtomicU64,
+    trace_hits: AtomicU64,
+    trace_misses: AtomicU64,
+    cell_hits: AtomicU64,
+    cell_misses: AtomicU64,
+    writes: AtomicU64,
+    write_skips: AtomicU64,
+    write_errors: AtomicU64,
+    corrupt_dropped: AtomicU64,
+}
+
+impl GridStore {
+    /// The on-disk format version this build reads and writes.
+    pub const FORMAT_VERSION: u32 = format::FORMAT_VERSION;
+
+    /// Opens (creating if necessary) the store rooted at `dir`.
+    ///
+    /// A fresh directory is initialised with a `MANIFEST` recording the
+    /// format version; an existing one is validated against it.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::VersionMismatch`] when the directory was written by a
+    /// different format version, [`StoreError::CorruptManifest`] when its
+    /// manifest is damaged, [`StoreError::Io`] on filesystem failure.
+    pub fn open(dir: impl AsRef<Path>) -> Result<GridStore, StoreError> {
+        let root = dir.as_ref().to_path_buf();
+        fs::create_dir_all(root.join("tmp"))?;
+        fs::create_dir_all(root.join("traces"))?;
+        fs::create_dir_all(root.join("cells"))?;
+        sweep_stale_staging(&root.join("tmp"));
+        let store = GridStore {
+            root,
+            tmp_counter: AtomicU64::new(0),
+            trace_hits: AtomicU64::new(0),
+            trace_misses: AtomicU64::new(0),
+            cell_hits: AtomicU64::new(0),
+            cell_misses: AtomicU64::new(0),
+            writes: AtomicU64::new(0),
+            write_skips: AtomicU64::new(0),
+            write_errors: AtomicU64::new(0),
+            corrupt_dropped: AtomicU64::new(0),
+        };
+        store.check_manifest()?;
+        Ok(store)
+    }
+
+    fn check_manifest(&self) -> Result<(), StoreError> {
+        let path = self.root.join(MANIFEST_NAME);
+        match fs::read(&path) {
+            Ok(bytes) => {
+                if bytes.len() != MANIFEST_MAGIC.len() + 4 || bytes[..8] != MANIFEST_MAGIC {
+                    return Err(StoreError::CorruptManifest);
+                }
+                let found = u32::from_le_bytes(bytes[8..12].try_into().expect("length checked"));
+                if found != Self::FORMAT_VERSION {
+                    return Err(StoreError::VersionMismatch {
+                        found,
+                        expected: Self::FORMAT_VERSION,
+                    });
+                }
+                Ok(())
+            }
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                let mut bytes = MANIFEST_MAGIC.to_vec();
+                bytes.extend_from_slice(&Self::FORMAT_VERSION.to_le_bytes());
+                // Atomic like every other write: a concurrent opener either
+                // sees no manifest (and writes the identical one) or a
+                // complete one.
+                self.publish(&path, &bytes).map_err(StoreError::Io)?;
+                Ok(())
+            }
+            Err(e) => Err(StoreError::Io(e)),
+        }
+    }
+
+    /// The directory this store lives in.
+    #[must_use]
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// A snapshot of this process's runtime counters.
+    #[must_use]
+    pub fn stats(&self) -> StoreStats {
+        StoreStats {
+            trace_hits: self.trace_hits.load(Ordering::Relaxed),
+            trace_misses: self.trace_misses.load(Ordering::Relaxed),
+            cell_hits: self.cell_hits.load(Ordering::Relaxed),
+            cell_misses: self.cell_misses.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+            write_skips: self.write_skips.load(Ordering::Relaxed),
+            write_errors: self.write_errors.load(Ordering::Relaxed),
+            corrupt_dropped: self.corrupt_dropped.load(Ordering::Relaxed),
+        }
+    }
+
+    fn trace_path(&self, key: &TraceKey) -> PathBuf {
+        let hash = fnv1a_64(&codec::encode_trace_key(key));
+        self.root.join("traces").join(format!("{hash:016x}.rec"))
+    }
+
+    fn cell_path(&self, key: &CellKey) -> PathBuf {
+        let hash = fnv1a_64(&codec::encode_cell_key(key));
+        self.root.join("cells").join(format!("{hash:016x}.rec"))
+    }
+
+    /// Writes `bytes` to `path` atomically: staged in `tmp/`, published by
+    /// rename.
+    fn publish(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        let staged = self.root.join("tmp").join(format!(
+            "{}.{}.tmp",
+            std::process::id(),
+            self.tmp_counter.fetch_add(1, Ordering::Relaxed),
+        ));
+        fs::write(&staged, bytes)?;
+        fs::rename(&staged, path)
+    }
+
+    /// Writes a framed record unless an *intact* one already exists
+    /// (records are content-addressed, so an intact record under this path
+    /// already holds this key's data); a damaged or foreign-version file is
+    /// overwritten — writes are how a store heals. Counts
+    /// writes/skips/errors.
+    fn put_record(&self, path: &Path, kind: u8, payload: &[u8]) {
+        if let Ok(existing) = fs::read(path) {
+            if parse_record(&existing, kind).is_ok() {
+                self.write_skips.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+        }
+        match self.publish(path, &frame_record(kind, payload)) {
+            Ok(()) => {
+                self.writes.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(_) => {
+                self.write_errors.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Reads and validates the record file at `path`; `None` when absent,
+    /// damaged or of a foreign version (damage is counted).
+    fn read_record(&self, path: &Path, kind: u8) -> Option<Vec<u8>> {
+        let bytes = match fs::read(path) {
+            Ok(bytes) => bytes,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return None,
+            Err(_) => {
+                self.corrupt_dropped.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+        };
+        match parse_record(&bytes, kind) {
+            Ok(payload) => Some(payload.to_vec()),
+            Err(RecordError::Corrupt | RecordError::Version(_)) => {
+                self.corrupt_dropped.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Loads the persisted trace for `key` (`None`: absent or not intact).
+    #[must_use]
+    pub fn get_trace(&self, key: &TraceKey) -> Option<PersistedTrace> {
+        let fetch = || {
+            let payload = self.read_record(&self.trace_path(key), KIND_TRACE)?;
+            let (stored_key, persisted) = match codec::decode_trace_payload(&payload) {
+                Ok(decoded) => decoded,
+                Err(_) => {
+                    self.corrupt_dropped.fetch_add(1, Ordering::Relaxed);
+                    return None;
+                }
+            };
+            // A 64-bit file-name collision must read as a miss, never as
+            // another key's trace.
+            (stored_key == *key).then_some(persisted)
+        };
+        let result = fetch();
+        match &result {
+            Some(_) => self.trace_hits.fetch_add(1, Ordering::Relaxed),
+            None => self.trace_misses.fetch_add(1, Ordering::Relaxed),
+        };
+        result
+    }
+
+    /// Persists a recording under `key` (skipped when an intact record for
+    /// this key already exists — same key means same content).
+    pub fn put_trace(&self, key: &TraceKey, recorded: &RecordedReference) {
+        let payload = codec::encode_trace_payload(key, recorded);
+        self.put_record(&self.trace_path(key), KIND_TRACE, &payload);
+    }
+
+    /// Loads the persisted campaign report for `key` (`None`: absent or not
+    /// intact).
+    #[must_use]
+    pub fn get_cell(&self, key: &CellKey) -> Option<CampaignReport> {
+        let fetch = || {
+            let payload = self.read_record(&self.cell_path(key), KIND_CELL)?;
+            let (stored_key, report) = match codec::decode_cell_payload(&payload) {
+                Ok(decoded) => decoded,
+                Err(_) => {
+                    self.corrupt_dropped.fetch_add(1, Ordering::Relaxed);
+                    return None;
+                }
+            };
+            (stored_key == *key).then_some(report)
+        };
+        let result = fetch();
+        match &result {
+            Some(_) => self.cell_hits.fetch_add(1, Ordering::Relaxed),
+            None => self.cell_misses.fetch_add(1, Ordering::Relaxed),
+        };
+        result
+    }
+
+    /// Persists a completed cell under `key` (skipped when an intact record
+    /// already exists).
+    pub fn put_cell(&self, key: &CellKey, report: &CampaignReport) {
+        let payload = codec::encode_cell_payload(key, report);
+        self.put_record(&self.cell_path(key), KIND_CELL, &payload);
+    }
+
+    /// Walks the whole directory and validates every record — the on-disk
+    /// truth behind `--store-stats`. Corrupt files are reported, not
+    /// deleted (a later write of the same key replaces them).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] when a directory cannot be listed (individual
+    /// unreadable files count as corrupt instead).
+    pub fn scan(&self) -> Result<ScanReport, StoreError> {
+        let mut report = ScanReport::default();
+        for (sub, kind, tally) in [("traces", KIND_TRACE, 0usize), ("cells", KIND_CELL, 1usize)] {
+            for entry in fs::read_dir(self.root.join(sub))? {
+                let path = entry?.path();
+                let Ok(bytes) = fs::read(&path) else {
+                    report.corrupt_records += 1;
+                    continue;
+                };
+                let intact = match parse_record(&bytes, kind) {
+                    Ok(payload) => match kind {
+                        KIND_TRACE => codec::decode_trace_payload(payload).is_ok(),
+                        _ => codec::decode_cell_payload(payload).is_ok(),
+                    },
+                    Err(_) => false,
+                };
+                if intact {
+                    if tally == 0 {
+                        report.trace_records += 1;
+                    } else {
+                        report.cell_records += 1;
+                    }
+                    report.total_bytes += bytes.len() as u64;
+                } else {
+                    report.corrupt_records += 1;
+                }
+            }
+        }
+        Ok(report)
+    }
+}
+
+/// How old a `tmp/` staging file must be before [`GridStore::open`] deletes
+/// it as the leftover of a crashed writer. Generous on purpose: a live
+/// writer stages and renames within milliseconds, so anything this old is
+/// dead — and racing a concurrent *fresh* write is impossible below the
+/// threshold.
+const STALE_STAGING_SECS: u64 = 600;
+
+/// Deletes staging files older than [`STALE_STAGING_SECS`] — a crashed or
+/// killed process leaves its `.tmp` files behind (publishes are
+/// write-then-rename), and nothing else ever removes them. Best effort:
+/// unreadable metadata or a lost delete race is simply skipped.
+fn sweep_stale_staging(tmp: &Path) {
+    let Ok(entries) = fs::read_dir(tmp) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let stale = entry
+            .metadata()
+            .and_then(|m| m.modified())
+            .ok()
+            .and_then(|modified| modified.elapsed().ok())
+            .is_some_and(|age| age.as_secs() > STALE_STAGING_SECS);
+        if stale {
+            let _ = fs::remove_file(entry.path());
+        }
+    }
+}
+
+/// The campaign engine talks to the store through this impl: loads fall
+/// back to `None` (recompute) and store failures are only counted — the
+/// grid store is an accelerator, never a correctness dependency.
+impl GridBackend for GridStore {
+    fn load_trace(&self, key: &TraceKey) -> Option<PersistedTrace> {
+        self.get_trace(key)
+    }
+
+    fn store_trace(&self, key: &TraceKey, recorded: &RecordedReference) {
+        self.put_trace(key, recorded);
+    }
+
+    fn load_cell(&self, key: &CellKey) -> Option<CampaignReport> {
+        self.get_cell(key)
+    }
+
+    fn store_cell(&self, key: &CellKey, report: &CampaignReport) {
+        self.put_cell(key, report);
+    }
+}

@@ -117,6 +117,7 @@ fn security_matrix_is_byte_identical_across_independent_sessions() {
             &workloads,
             &pipelines,
             &model_refs,
+            None,
         )
         .expect("matrix runs");
     for threads in [2, 4] {
@@ -127,6 +128,7 @@ fn security_matrix_is_byte_identical_across_independent_sessions() {
                 &workloads,
                 &pipelines,
                 &model_refs,
+                None,
             )
             .expect("matrix runs");
         assert_eq!(

@@ -80,7 +80,7 @@ fn executor_is_byte_identical_to_the_sequential_path_at_any_thread_count() {
             .with_threads(threads)
             .with_shard_size(7);
         let report = session
-            .security_matrix_with(&executor, &workloads, &pipelines, &model_refs)
+            .security_matrix_with(&executor, &workloads, &pipelines, &model_refs, None)
             .expect("matrix runs");
         assert_eq!(report, sequential, "{threads} threads: structured equality");
         assert_eq!(
@@ -126,6 +126,7 @@ fn executor_is_byte_identical_to_the_sequential_path_across_sessions() {
             &workloads,
             &pipelines,
             &model_refs,
+            None,
         )
         .expect("matrix runs");
     assert_eq!(
@@ -154,7 +155,7 @@ fn trace_store_records_each_artifact_reference_exactly_once() {
     let mut session = Session::new();
     let executor = MatrixExecutor::new().with_threads(2);
     let report = session
-        .security_matrix_with(&executor, &workloads, &pipelines, &model_refs)
+        .security_matrix_with(&executor, &workloads, &pipelines, &model_refs, None)
         .expect("matrix runs");
 
     // 2 workloads × 3 pipelines = 6 distinct artifacts; 3 models each.
@@ -167,7 +168,7 @@ fn trace_store_records_each_artifact_reference_exactly_once() {
 
     // The same matrix again in the same session: all hits, zero recordings.
     let again = session
-        .security_matrix_with(&executor, &workloads, &pipelines, &model_refs)
+        .security_matrix_with(&executor, &workloads, &pipelines, &model_refs, None)
         .expect("matrix runs");
     assert_eq!(again.stats.trace_misses, 0);
     assert_eq!(again.stats.trace_hits, 18);

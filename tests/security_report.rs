@@ -178,10 +178,10 @@ fn report_equality_ignores_stats_but_not_cells() {
     let models: [&dyn FaultModel; 1] = [&InstructionSkip];
     let executor = MatrixExecutor::new().with_threads(2);
     let a = Session::new()
-        .security_matrix_with(&executor, &workloads, &pipelines, &models)
+        .security_matrix_with(&executor, &workloads, &pipelines, &models, None)
         .expect("runs");
     let b = Session::new()
-        .security_matrix_with(&executor, &workloads, &pipelines, &models)
+        .security_matrix_with(&executor, &workloads, &pipelines, &models, None)
         .expect("runs");
     assert_eq!(a, b, "identical matrices compare equal despite timings");
 
@@ -192,7 +192,7 @@ fn report_equality_ignores_stats_but_not_cells() {
         &[7, 7],
     )];
     let c = Session::new()
-        .security_matrix_with(&executor, &different_args, &pipelines, &models)
+        .security_matrix_with(&executor, &different_args, &pipelines, &models, None)
         .expect("runs");
     assert_ne!(a, c, "different cells must not compare equal");
 }
