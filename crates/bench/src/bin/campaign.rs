@@ -12,6 +12,8 @@
 //! $ campaign --matrix --json                  # scheduler-vs-sequential benchmark
 //! $ campaign --matrix --json --store grid     # …persisted: cold-vs-warm numbers
 //! $ campaign --store grid --store-stats       # validate + summarise a store dir
+//! $ campaign --store grid --compact           # drop records of dead artifacts
+//! $ campaign --serve 127.0.0.1:7399 --store grid   # run the grid daemon
 //! ```
 //!
 //! `--matrix` benchmarks the matrix executor against the sequential
@@ -45,7 +47,7 @@ fn usage(message: &str) -> ! {
     eprintln!(
         "usage: campaign [variant labels...] [--models LIST] [--trials N] [--threads N] \
          [--max-steps N] [--workload NAME] [--matrix] [--json] [--heatmap] \
-         [--store DIR] [--store-stats] [--expect-warm]"
+         [--store DIR] [--store-stats] [--compact] [--expect-warm] [--serve ADDR]"
     );
     eprintln!("  variant labels: unprotected cfi \"duplication(xN)\" prototype");
     eprintln!("  --models: comma list of skip,double-skip,register-flip,memory-flip,branch-invert");
@@ -59,7 +61,15 @@ fn usage(message: &str) -> ! {
     eprintln!("  --matrix: benchmark the global scheduler against the sequential path");
     eprintln!("  --store: persist traces and finished cells in a grid store at DIR");
     eprintln!("  --store-stats: validate DIR and print its scan summary as JSON, then exit");
+    eprintln!(
+        "  --compact: with --store, drop records of artifacts outside the benchmark grid \
+         (fixed 4 workloads x the selected variants), print what was removed, then exit"
+    );
     eprintln!("  --expect-warm: with --matrix --store, fail unless the first pass was fully warm");
+    eprintln!(
+        "  --serve: run the grid daemon on ADDR (unix:PATH or host:port) until a client \
+         sends SHUTDOWN; honours --store, --threads and --max-steps (as the step cap)"
+    );
     exit(2);
 }
 
@@ -124,7 +134,9 @@ struct Options {
     heatmap: bool,
     store_dir: Option<String>,
     store_stats: bool,
+    compact: bool,
     expect_warm: bool,
+    serve: Option<String>,
 }
 
 impl Options {
@@ -153,7 +165,9 @@ fn parse_args() -> Options {
         heatmap: false,
         store_dir: None,
         store_stats: false,
+        compact: false,
         expect_warm: false,
+        serve: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -188,7 +202,9 @@ fn parse_args() -> Options {
             "--heatmap" => options.heatmap = true,
             "--store" => options.store_dir = Some(value_of("--store")),
             "--store-stats" => options.store_stats = true,
+            "--compact" => options.compact = true,
             "--expect-warm" => options.expect_warm = true,
+            "--serve" => options.serve = Some(value_of("--serve")),
             flag if flag.starts_with("--") => usage(&format!("unknown flag {flag:?}")),
             label => match label.parse::<ProtectionVariant>() {
                 Ok(variant) => options.variants.push(variant),
@@ -214,8 +230,14 @@ fn parse_args() -> Options {
     if options.store_stats && options.store_dir.is_none() {
         usage("--store-stats needs --store DIR to know which store to scan");
     }
+    if options.compact && options.store_dir.is_none() {
+        usage("--compact needs --store DIR to know which store to compact");
+    }
     if options.expect_warm && !(options.matrix && options.store_dir.is_some()) {
         usage("--expect-warm only applies to --matrix runs with --store");
+    }
+    if options.serve.is_some() && (options.matrix || options.store_stats || options.compact) {
+        usage("--serve runs the daemon; drop --matrix/--store-stats/--compact");
     }
     options
 }
@@ -233,9 +255,24 @@ fn pipelines_for(variants: &[ProtectionVariant], max_steps: u64) -> Vec<Pipeline
 
 fn main() {
     let options = parse_args();
+
+    // Daemon mode: serve grid requests until a client sends SHUTDOWN.
+    if let Some(addr) = &options.serve {
+        serve(addr, &options);
+        return;
+    }
+
     let grid: Option<Arc<GridStore>> = options.store_dir.as_deref().map(|dir| {
         Arc::new(GridStore::open(dir).unwrap_or_else(|e| fail("opening the grid store", &e)))
     });
+
+    // Standalone compaction: drop records of artifacts the benchmark grid
+    // can no longer produce, then summarise what remains.
+    if options.compact {
+        let grid = grid.as_ref().expect("checked in parse_args");
+        compact_store(grid, &options);
+        return;
+    }
 
     // Standalone store inspection: validate every record and summarise.
     if options.store_stats {
@@ -318,6 +355,59 @@ fn main() {
     }
 }
 
+/// Runs the grid daemon in the foreground, honouring `--store` (the
+/// persistent store), `--threads` (the worker pool) and `--max-steps` (the
+/// per-request step cap).
+fn serve(addr: &str, options: &Options) {
+    let config = secbranch_gridd::DaemonConfig {
+        workers: options.threads.unwrap_or(0),
+        store_dir: options.store_dir.as_ref().map(std::path::PathBuf::from),
+        max_steps_cap: options.max_steps.unwrap_or(10_000_000),
+        ..secbranch_gridd::DaemonConfig::default()
+    };
+    let daemon = secbranch_gridd::GridDaemon::bind(addr, config)
+        .unwrap_or_else(|e| fail("binding the grid daemon", &e));
+    eprintln!("gridd listening on {}", daemon.local_addr());
+    daemon.run().unwrap_or_else(|e| fail("grid daemon", &e));
+}
+
+/// `--compact`: rebuilds the benchmark grid's artifact fingerprints (the
+/// fixed 4 workloads under the selected variants and step budget — the
+/// `--matrix` default of 200k unless `--max-steps` overrides it), drops
+/// every store record whose artifact is not among them, and prints the
+/// removal counts next to a post-compaction scan.
+fn compact_store(grid: &Arc<GridStore>, options: &Options) {
+    let max_steps = options.max_steps.unwrap_or(200_000);
+    let pipelines = pipelines_for(&options.variants, max_steps);
+    let workloads = [
+        workload_by_name("integer_compare"),
+        workload_by_name("password_check"),
+        workload_by_name("crc32"),
+        workload_by_name("pin_retry"),
+    ];
+    let mut session = Session::new();
+    let mut live = std::collections::HashSet::new();
+    for workload in &workloads {
+        for pipeline in &pipelines {
+            let artifact = session
+                .artifact(&workload.name, &workload.module, pipeline)
+                .unwrap_or_else(|e| fail("building the live set", &e));
+            live.insert(artifact.artifact_fingerprint().to_string());
+        }
+    }
+    let report = grid
+        .compact(&live)
+        .unwrap_or_else(|e| fail("compacting the grid store", &e));
+    let scan = grid
+        .scan()
+        .unwrap_or_else(|e| fail("scanning the grid store", &e));
+    println!(
+        "{{\"compact\":{},\"scan\":{}}}",
+        report.to_json(),
+        scan.to_json()
+    );
+}
+
 /// One executor pass of the `--matrix` benchmark, condensed for the JSON
 /// and text summaries.
 struct PassSummary {
@@ -327,10 +417,16 @@ struct PassSummary {
     trace_misses: u64,
     cell_hits: u64,
     cell_misses: u64,
+    /// Reference traces the pass's session actually recorded (a
+    /// before/after delta of the session trace store's miss counter).
+    /// `trace_misses` above only counts recordings the executor could
+    /// *attribute to a cell* — a recording behind a served-warm cell is
+    /// invisible to it, so warmth is asserted on this counter too.
+    recordings: u64,
 }
 
 impl PassSummary {
-    fn of(stats: &MatrixStats) -> PassSummary {
+    fn of(stats: &MatrixStats, recordings: u64) -> PassSummary {
         PassSummary {
             wall_micros: stats.total_wall_micros,
             trace_hits: stats.trace_hits,
@@ -338,24 +434,30 @@ impl PassSummary {
             trace_misses: stats.trace_misses,
             cell_hits: stats.cell_hits,
             cell_misses: stats.cell_misses,
+            recordings,
         }
     }
 
-    /// Fully warm: nothing recorded, nothing simulated.
+    /// Fully warm: nothing recorded (per-cell attribution *and* the
+    /// session's recording counter), nothing simulated.
     fn is_warm(&self) -> bool {
-        self.trace_misses == 0 && self.cell_hits > 0 && self.cell_misses == 0
+        self.trace_misses == 0
+            && self.recordings == 0
+            && self.cell_hits > 0
+            && self.cell_misses == 0
     }
 
     fn to_json(&self) -> String {
         format!(
             "{{\"wall_micros\":{},\"trace_hits\":{},\"trace_disk_hits\":{},\
-             \"trace_misses\":{},\"cell_hits\":{},\"cell_misses\":{}}}",
+             \"trace_misses\":{},\"cell_hits\":{},\"cell_misses\":{},\"recordings\":{}}}",
             self.wall_micros,
             self.trace_hits,
             self.trace_disk_hits,
             self.trace_misses,
             self.cell_hits,
             self.cell_misses,
+            self.recordings,
         )
     }
 }
@@ -403,30 +505,35 @@ fn run_matrix_benchmark(
             models,
         )
         .unwrap_or_else(|e| fail("sequential security matrix", &e));
+    let misses_before = session.trace_store().misses();
     let matrix = session
         .security_matrix_with(executor, &workloads, pipelines, models, grid)
         .unwrap_or_else(|e| fail("matrix security matrix", &e));
     assert_identical(&sequential, &matrix, "matrix executor");
-    let first = PassSummary::of(&matrix.stats);
+    let first = PassSummary::of(
+        &matrix.stats,
+        session.trace_store().misses() - misses_before,
+    );
 
     // With a store: a second pass from a *fresh* session. Its in-memory
     // caches are empty, so every hit it reports is a disk hit — the
     // guaranteed-warm numbers.
     let warm = grid.map(|grid| {
-        let warm_report = Session::new()
+        let mut fresh = Session::new();
+        let warm_report = fresh
             .security_matrix_with(executor, &workloads, pipelines, models, Some(grid))
             .unwrap_or_else(|e| fail("warm security matrix", &e));
         assert_identical(&sequential, &warm_report, "warm matrix executor");
-        PassSummary::of(&warm_report.stats)
+        PassSummary::of(&warm_report.stats, fresh.trace_store().misses())
     });
 
     if options.expect_warm && !first.is_warm() {
         fail(
             "--expect-warm",
             &format!(
-                "first pass was not fully warm: {} trace recording(s), {} cell hit(s), \
-                 {} computed cell(s)",
-                first.trace_misses, first.cell_hits, first.cell_misses
+                "first pass was not fully warm: {} attributed trace recording(s), \
+                 {} session recording(s), {} cell hit(s), {} computed cell(s)",
+                first.trace_misses, first.recordings, first.cell_hits, first.cell_misses
             ),
         );
     }
@@ -536,5 +643,54 @@ fn assert_identical(sequential: &SecurityReport, report: &SecurityReport, label:
             "invariant",
             &format!("{label} output differs from the sequential path"),
         );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::PassSummary;
+
+    fn warm_pass() -> PassSummary {
+        PassSummary {
+            wall_micros: 10,
+            trace_hits: 0,
+            trace_disk_hits: 0,
+            trace_misses: 0,
+            cell_hits: 4,
+            cell_misses: 0,
+            recordings: 0,
+        }
+    }
+
+    #[test]
+    fn a_pass_is_warm_only_without_recordings_or_computed_cells() {
+        assert!(warm_pass().is_warm());
+
+        // A recording the executor could not attribute to any cell (all
+        // cells served warm) still disqualifies the pass: warm means the
+        // session wrote *nothing*, not just that no cell was computed.
+        let mut rerecorded = warm_pass();
+        rerecorded.recordings = 1;
+        assert!(!rerecorded.is_warm());
+
+        let mut attributed = warm_pass();
+        attributed.trace_misses = 1;
+        attributed.recordings = 1;
+        assert!(!attributed.is_warm());
+
+        let mut computed = warm_pass();
+        computed.cell_misses = 1;
+        assert!(!computed.is_warm());
+
+        let mut empty = warm_pass();
+        empty.cell_hits = 0;
+        assert!(!empty.is_warm(), "an empty pass proves nothing");
+    }
+
+    #[test]
+    fn pass_summaries_serialise_the_recording_counter() {
+        let mut pass = warm_pass();
+        pass.recordings = 3;
+        assert!(pass.to_json().contains("\"recordings\":3"));
     }
 }

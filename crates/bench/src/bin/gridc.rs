@@ -1,0 +1,319 @@
+//! `gridc` — the grid daemon's command-line client.
+//!
+//! Talks to a running `campaign --serve` daemon: sends grid requests
+//! (streaming per-cell progress to stderr), fetches statistics, benchmarks
+//! cold/warm/concurrent serving, and turns warm-serving expectations into
+//! exit codes for CI.
+//!
+//! ```console
+//! $ campaign --serve 127.0.0.1:7399 --store grid &   # elsewhere
+//! $ gridc --addr 127.0.0.1:7399                      # default benchmark grid
+//! $ gridc --addr 127.0.0.1:7399 --json               # full report JSON
+//! $ gridc --addr 127.0.0.1:7399 --expect-warm        # fail unless zero simulation
+//! $ gridc --addr 127.0.0.1:7399 --clients 4          # byte-identity under concurrency
+//! $ gridc --addr 127.0.0.1:7399 --bench              # cold/warm/concurrent timings
+//! $ gridc --addr 127.0.0.1:7399 --stats
+//! $ gridc --addr 127.0.0.1:7399 --shutdown
+//! ```
+
+use std::process::exit;
+use std::time::{Duration, Instant};
+
+use secbranch_gridd::{DoneFrame, GridClient, GridRequest};
+
+fn usage(message: &str) -> ! {
+    eprintln!("{message}");
+    eprintln!(
+        "usage: gridc --addr ADDR [--workloads LIST] [--variants LIST] [--models LIST] \
+         [--trials N] [--max-steps N] [--priority N] [--deadline-ms N] [--json] \
+         [--expect-warm] [--clients N] [--bench] [--stats] [--shutdown]"
+    );
+    eprintln!("  --addr: the daemon (unix:PATH or host:port); required");
+    eprintln!("  --workloads: comma list (default: the 4-workload benchmark grid)");
+    eprintln!("  --variants: comma list (default unprotected,cfi,prototype)");
+    eprintln!("  --models: comma list (default: all five fault models)");
+    eprintln!("  --trials: sampling budget (default 200)");
+    eprintln!("  --max-steps: per-execution step budget (default 200000)");
+    eprintln!("  --priority: request priority, higher runs earlier (default 0)");
+    eprintln!("  --deadline-ms: per-request wall budget, 0 = unbounded (default 0)");
+    eprintln!("  --json: print the full report JSON instead of the summary");
+    eprintln!("  --expect-warm: fail unless the daemon served everything without simulation");
+    eprintln!("  --clients N: send the grid from N concurrent connections, assert identity");
+    eprintln!("  --bench: cold pass, warm pass, concurrent pass; print BENCH JSON");
+    eprintln!("  --stats / --shutdown: print the daemon's (final) statistics snapshot");
+    exit(2);
+}
+
+fn fail(context: &str, error: &dyn std::fmt::Display) -> ! {
+    eprintln!("gridc failed ({context}): {error}");
+    exit(1);
+}
+
+struct Options {
+    addr: String,
+    workloads: Vec<String>,
+    variants: Vec<String>,
+    models: Vec<String>,
+    trials: u64,
+    max_steps: u64,
+    priority: u8,
+    deadline_ms: u64,
+    json: bool,
+    expect_warm: bool,
+    clients: usize,
+    bench: bool,
+    stats: bool,
+    shutdown: bool,
+}
+
+fn comma_list(value: &str) -> Vec<String> {
+    value
+        .split(',')
+        .filter(|s| !s.is_empty())
+        .map(|s| s.trim().to_string())
+        .collect()
+}
+
+fn parse_args() -> Options {
+    let mut options = Options {
+        addr: String::new(),
+        workloads: comma_list("integer_compare,password_check,crc32,pin_retry"),
+        variants: comma_list("unprotected,cfi,prototype"),
+        models: comma_list("skip,double-skip,register-flip,memory-flip,branch-invert"),
+        trials: 200,
+        max_steps: 200_000,
+        priority: 0,
+        deadline_ms: 0,
+        json: false,
+        expect_warm: false,
+        clients: 0,
+        bench: false,
+        stats: false,
+        shutdown: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value_of = |flag: &str| {
+            args.next()
+                .unwrap_or_else(|| usage(&format!("{flag} needs a value")))
+        };
+        macro_rules! int_of {
+            ($flag:expr) => {
+                value_of($flag)
+                    .parse()
+                    .unwrap_or_else(|_| usage(concat!($flag, " needs an integer")))
+            };
+        }
+        match arg.as_str() {
+            "--addr" => options.addr = value_of("--addr"),
+            "--workloads" => options.workloads = comma_list(&value_of("--workloads")),
+            "--variants" => options.variants = comma_list(&value_of("--variants")),
+            "--models" => options.models = comma_list(&value_of("--models")),
+            "--trials" => options.trials = int_of!("--trials"),
+            "--max-steps" => options.max_steps = int_of!("--max-steps"),
+            "--priority" => options.priority = int_of!("--priority"),
+            "--deadline-ms" => options.deadline_ms = int_of!("--deadline-ms"),
+            "--json" => options.json = true,
+            "--expect-warm" => options.expect_warm = true,
+            "--clients" => options.clients = int_of!("--clients"),
+            "--bench" => options.bench = true,
+            "--stats" => options.stats = true,
+            "--shutdown" => options.shutdown = true,
+            flag => usage(&format!("unknown flag {flag:?}")),
+        }
+    }
+    if options.addr.is_empty() {
+        usage("--addr is required");
+    }
+    options
+}
+
+fn request_of(options: &Options) -> GridRequest {
+    GridRequest {
+        priority: options.priority,
+        trials: options.trials,
+        max_steps: options.max_steps,
+        deadline_millis: options.deadline_ms,
+        workloads: options.workloads.clone(),
+        variants: options.variants.clone(),
+        models: options.models.clone(),
+    }
+}
+
+fn connect(addr: &str) -> GridClient {
+    GridClient::connect_with_retry(addr, 40, Duration::from_millis(250))
+        .unwrap_or_else(|e| fail("connecting", &e))
+}
+
+fn done_json(done: &DoneFrame) -> String {
+    format!(
+        "{{\"cells\":{},\"warm_cells\":{},\"computed_cells\":{},\"coalesced_cells\":{},\
+         \"recordings\":{},\"wall_micros\":{}}}",
+        done.cells,
+        done.warm_cells,
+        done.computed_cells,
+        done.coalesced_cells,
+        done.recordings,
+        done.wall_micros,
+    )
+}
+
+/// One grid request with per-cell progress on stderr.
+fn run_grid(client: &mut GridClient, request: &GridRequest, quiet: bool) -> DoneFrame {
+    client
+        .request_grid(request, |cell| {
+            if !quiet {
+                eprintln!(
+                    "cell {:>3}/{} {:<10} {} / {} / {}",
+                    cell.cell_index + 1,
+                    cell.total_cells,
+                    cell.served.label(),
+                    cell.workload,
+                    cell.pipeline,
+                    cell.model,
+                );
+            }
+        })
+        .unwrap_or_else(|e| fail("grid request", &e))
+}
+
+/// `--clients N`: the same grid from N concurrent connections; every
+/// report must be byte-identical. Returns the completion frames and the
+/// wall time of the whole fan-out.
+fn run_concurrent(options: &Options, clients: usize) -> (Vec<DoneFrame>, u64) {
+    let started = Instant::now();
+    let mut joins = Vec::new();
+    for _ in 0..clients {
+        let addr = options.addr.clone();
+        let request = request_of(options);
+        joins.push(std::thread::spawn(move || {
+            run_grid(&mut connect(&addr), &request, true)
+        }));
+    }
+    let results: Vec<DoneFrame> = joins
+        .into_iter()
+        .map(|join| {
+            join.join()
+                .unwrap_or_else(|_| fail("client thread", &"panicked"))
+        })
+        .collect();
+    let wall_micros = started.elapsed().as_micros() as u64;
+    for done in &results[1..] {
+        if done.report_json != results[0].report_json {
+            fail(
+                "concurrent identity",
+                &"clients received differing reports for one grid",
+            );
+        }
+    }
+    (results, wall_micros)
+}
+
+fn expect_warm(done: &DoneFrame) {
+    if done.recordings != 0 || done.computed_cells != 0 || done.warm_cells != done.cells {
+        fail(
+            "--expect-warm",
+            &format!(
+                "daemon simulated: {} computed cell(s), {} coalesced, {} recording(s), \
+                 {}/{} warm",
+                done.computed_cells,
+                done.coalesced_cells,
+                done.recordings,
+                done.warm_cells,
+                done.cells
+            ),
+        );
+    }
+}
+
+fn main() {
+    let options = parse_args();
+
+    if options.stats || options.shutdown {
+        let mut client = connect(&options.addr);
+        let snapshot = if options.shutdown {
+            client.shutdown().unwrap_or_else(|e| fail("shutdown", &e))
+        } else {
+            client.stats().unwrap_or_else(|e| fail("stats", &e))
+        };
+        println!("{}", snapshot.to_json());
+        return;
+    }
+
+    if options.bench {
+        run_benchmark(&options);
+        return;
+    }
+
+    if options.clients > 1 {
+        let (results, wall_micros) = run_concurrent(&options, options.clients);
+        println!(
+            "{{\"clients\":{},\"identical\":true,\"wall_micros\":{},\"results\":[{}]}}",
+            options.clients,
+            wall_micros,
+            results.iter().map(done_json).collect::<Vec<_>>().join(","),
+        );
+        return;
+    }
+
+    let request = request_of(&options);
+    let done = run_grid(&mut connect(&options.addr), &request, options.json);
+    if options.expect_warm {
+        expect_warm(&done);
+    }
+    if options.json {
+        println!("{}", done.report_json);
+    } else {
+        println!("{}", done_json(&done));
+    }
+}
+
+/// `--bench`: one pass against whatever state the daemon's store is in
+/// (cold on a fresh store), one guaranteed-warm pass, then a concurrent
+/// fan-out — the daemon-side analogue of `campaign --matrix --store`'s
+/// cold-vs-warm numbers, emitted as the BENCH_gridd JSON document.
+fn run_benchmark(options: &Options) {
+    let request = request_of(options);
+    let mut client = connect(&options.addr);
+    let first = run_grid(&mut client, &request, true);
+    let warm = run_grid(&mut client, &request, true);
+    if warm.report_json != first.report_json {
+        fail(
+            "benchmark identity",
+            &"warm report differs from the first pass",
+        );
+    }
+    let clients = if options.clients > 1 {
+        options.clients
+    } else {
+        4
+    };
+    let (concurrent, concurrent_wall) = run_concurrent(options, clients);
+    if concurrent[0].report_json != first.report_json {
+        fail(
+            "benchmark identity",
+            &"concurrent reports differ from the first pass",
+        );
+    }
+    let stats = client.stats().unwrap_or_else(|e| fail("stats", &e));
+    println!(
+        "{{\"grid\":{{\"workloads\":{},\"variants\":{},\"models\":{},\"cells\":{}}},\
+         \"trials\":{},\"max_steps\":{},\
+         \"first\":{},\"warm\":{},\"first_was_warm\":{},\"warm_was_warm\":{},\
+         \"concurrent\":{{\"clients\":{},\"wall_micros\":{},\"identical\":true}},\
+         \"daemon\":{}}}",
+        options.workloads.len(),
+        options.variants.len(),
+        options.models.len(),
+        first.cells,
+        options.trials,
+        options.max_steps,
+        done_json(&first),
+        done_json(&warm),
+        first.computed_cells == 0 && first.recordings == 0,
+        warm.computed_cells == 0 && warm.recordings == 0,
+        clients,
+        concurrent_wall,
+        stats.to_json(),
+    );
+}

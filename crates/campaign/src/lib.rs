@@ -73,6 +73,7 @@ pub mod persist;
 mod point;
 mod report;
 mod runner;
+mod service;
 pub mod trace_store;
 
 pub use executor::{MatrixCellResult, MatrixExecutor, MatrixJob};
@@ -86,7 +87,8 @@ pub use report::{
     classify, json_string, rate, CampaignReport, EscapeRecord, LocationReport, Outcome,
     OutcomeCounts,
 };
-pub use runner::{CampaignRunner, SharedModule, SimulatorSource};
+pub use runner::{CampaignRunner, OwnedModule, SharedModule, SimulatorSource};
+pub use service::{CellRequest, Completion, ExecutorPool, PoolStats};
 pub use trace_store::{
     record_reference, record_reference_without_checkpoints, RecordedReference, TraceCheckpoint,
     TraceFetch, TraceKey, TraceStore, CHECKPOINT_BUDGET,

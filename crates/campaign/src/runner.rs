@@ -100,6 +100,41 @@ impl SimulatorSource for SharedModule<'_> {
     }
 }
 
+/// An owning [`SimulatorSource`] over a [`CompiledModule`]: the same cheap
+/// fresh-simulator and in-place-reset behaviour as [`SharedModule`], but
+/// without a borrow — the variant long-lived services queue, since a
+/// [`CompiledModule`] is itself `Arc`-backed and cheap to own.
+#[derive(Debug, Clone)]
+pub struct OwnedModule {
+    /// The compilation to run.
+    pub compiled: CompiledModule,
+    /// Guest RAM size per simulator.
+    pub memory_size: u32,
+}
+
+impl OwnedModule {
+    fn as_shared(&self) -> SharedModule<'_> {
+        SharedModule {
+            compiled: &self.compiled,
+            memory_size: self.memory_size,
+        }
+    }
+}
+
+impl SimulatorSource for OwnedModule {
+    fn fresh_simulator(&self) -> Simulator {
+        self.as_shared().fresh_simulator()
+    }
+
+    fn reset(&self, sim: &mut Simulator) {
+        self.as_shared().reset(sim);
+    }
+
+    fn global_regions(&self) -> Vec<(u32, u32)> {
+        self.as_shared().global_regions()
+    }
+}
+
 /// Runs one fault point on a *pristine* simulator (freshly built or just
 /// reset): inject, execute, classify against the reference. The shared
 /// per-injection step of the [`CampaignRunner`] and the matrix executor.

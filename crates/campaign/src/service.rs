@@ -1,0 +1,462 @@
+//! The [`ExecutorPool`]: a long-lived, bounded, priority-ordered job queue
+//! in front of the matrix executor.
+//!
+//! [`crate::MatrixExecutor::run`] is a one-shot call: it borrows its jobs,
+//! runs the whole batch, and returns. A service that accepts grids from many
+//! clients needs the opposite shape — jobs that *own* their inputs
+//! ([`CellRequest`]), arrive one at a time with a priority, wait in a
+//! bounded queue, and complete through a callback whenever a worker gets to
+//! them. The pool provides exactly that decoupling while reusing the
+//! executor per cell, so every guarantee of the one-shot path carries over
+//! unchanged: the backend cell-cache probe (a warm cell does zero
+//! simulation), trace memoisation through the shared [`TraceStore`],
+//! canonical-order report assembly, and write-back of freshly computed
+//! cells.
+//!
+//! Scheduling is by descending priority, ties broken by submission order
+//! (FIFO within a priority class). [`ExecutorPool::submit`] blocks while the
+//! queue is at capacity — backpressure instead of unbounded growth. Dropping
+//! the pool shuts it down: workers finish their in-flight cell, queued jobs
+//! are discarded with their callbacks uninvoked (a waiter holding the other
+//! end of a channel observes the disconnect).
+
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::{self, JoinHandle};
+
+use secbranch_armv7m::SimError;
+
+use crate::executor::{MatrixCellResult, MatrixExecutor, MatrixJob};
+use crate::model::FaultModel;
+use crate::runner::SimulatorSource;
+use crate::trace_store::{TraceKey, TraceStore};
+
+/// One matrix cell as an owned value: what [`MatrixJob`] borrows, this
+/// carries, so it can cross a queue and outlive its submitter's stack frame.
+pub struct CellRequest {
+    /// The simulator source of the artifact under attack.
+    pub source: Arc<dyn SimulatorSource + Send + Sync>,
+    /// The trace-store identity of the reference execution.
+    pub key: TraceKey,
+    /// The entry function.
+    pub entry: String,
+    /// The call arguments.
+    pub args: Vec<u32>,
+    /// Dynamic instruction budget per execution.
+    pub max_steps: u64,
+    /// The fault model attacking this cell.
+    pub model: Arc<dyn FaultModel + Send + Sync>,
+}
+
+impl std::fmt::Debug for CellRequest {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CellRequest")
+            .field("key", &self.key)
+            .field("entry", &self.entry)
+            .field("args", &self.args)
+            .field("max_steps", &self.max_steps)
+            .field("model", &self.model.name())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Invoked exactly once with the cell's outcome — from a worker thread, so
+/// it must be `Send`. Never invoked for jobs still queued at shutdown.
+pub type Completion = Box<dyn FnOnce(Result<MatrixCellResult, SimError>) + Send + 'static>;
+
+/// Scheduling key of a queued job: descending priority, then FIFO.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct JobRank {
+    priority: u8,
+    seq: u64,
+}
+
+impl Ord for JobRank {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // BinaryHeap pops the maximum: higher priority wins, and within a
+        // priority class the *lower* sequence number (earlier submission)
+        // must rank higher.
+        self.priority
+            .cmp(&other.priority)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for JobRank {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+struct QueuedJob {
+    rank: JobRank,
+    request: CellRequest,
+    on_done: Completion,
+}
+
+impl PartialEq for QueuedJob {
+    fn eq(&self, other: &Self) -> bool {
+        self.rank == other.rank
+    }
+}
+impl Eq for QueuedJob {}
+impl Ord for QueuedJob {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.rank.cmp(&other.rank)
+    }
+}
+impl PartialOrd for QueuedJob {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+struct QueueState {
+    heap: BinaryHeap<QueuedJob>,
+    next_seq: u64,
+    shutdown: bool,
+}
+
+struct PoolShared {
+    store: Arc<TraceStore>,
+    queue: Mutex<QueueState>,
+    /// Signalled when the queue gains a job (or shuts down).
+    ready: Condvar,
+    /// Signalled when the queue loses a job (or shuts down).
+    space: Condvar,
+    capacity: usize,
+    submitted: AtomicU64,
+    in_flight: AtomicU64,
+    completed: AtomicU64,
+    errored: AtomicU64,
+    compute_micros: AtomicU64,
+}
+
+/// A point-in-time snapshot of the pool's counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Worker threads serving the queue.
+    pub workers: usize,
+    /// Maximum queued (not yet claimed) jobs before `submit` blocks.
+    pub capacity: usize,
+    /// Jobs currently waiting in the queue.
+    pub queued: usize,
+    /// Jobs claimed by a worker and not yet completed.
+    pub in_flight: u64,
+    /// Jobs accepted by `submit` over the pool's lifetime.
+    pub submitted: u64,
+    /// Jobs whose callback received an `Ok` result.
+    pub completed: u64,
+    /// Jobs whose callback received an `Err` (failing reference run).
+    pub errored: u64,
+    /// Injection compute time summed over all completed cells, in µs.
+    pub compute_micros: u64,
+}
+
+/// A shared worker pool executing [`CellRequest`]s one cell at a time, each
+/// through a single-threaded [`MatrixExecutor`] over one shared
+/// [`TraceStore`] — see the module docs for the scheduling and shutdown
+/// contract.
+pub struct ExecutorPool {
+    shared: Arc<PoolShared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for ExecutorPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExecutorPool")
+            .field("workers", &self.workers.len())
+            .field("capacity", &self.shared.capacity)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ExecutorPool {
+    /// A pool of `workers` threads (minimum 1) over `store`, admitting at
+    /// most `capacity` queued jobs (minimum 1) before `submit` blocks.
+    ///
+    /// The store is shared deliberately: attach a persistence backend to it
+    /// first and every cell the pool executes probes the cell cache and
+    /// memoises reference traces across jobs, exactly like a one-shot
+    /// [`MatrixExecutor::run`] batch.
+    #[must_use]
+    pub fn new(store: Arc<TraceStore>, workers: usize, capacity: usize) -> ExecutorPool {
+        let shared = Arc::new(PoolShared {
+            store,
+            queue: Mutex::new(QueueState {
+                heap: BinaryHeap::new(),
+                next_seq: 0,
+                shutdown: false,
+            }),
+            ready: Condvar::new(),
+            space: Condvar::new(),
+            capacity: capacity.max(1),
+            submitted: AtomicU64::new(0),
+            in_flight: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            errored: AtomicU64::new(0),
+            compute_micros: AtomicU64::new(0),
+        });
+        let workers = (0..workers.max(1))
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        ExecutorPool { shared, workers }
+    }
+
+    /// The shared trace store the pool executes against.
+    #[must_use]
+    pub fn store(&self) -> &Arc<TraceStore> {
+        &self.shared.store
+    }
+
+    /// Enqueues `request` at `priority` (higher runs earlier; ties are
+    /// FIFO), blocking while the queue is at capacity. `on_done` is invoked
+    /// from a worker thread with the cell's result.
+    ///
+    /// Returns `false` — with `on_done` dropped unused — if the pool has
+    /// already shut down.
+    pub fn submit(&self, priority: u8, request: CellRequest, on_done: Completion) -> bool {
+        let mut state = self.shared.queue.lock().expect("pool queue poisoned");
+        while state.heap.len() >= self.shared.capacity && !state.shutdown {
+            state = self.shared.space.wait(state).expect("pool queue poisoned");
+        }
+        if state.shutdown {
+            return false;
+        }
+        let rank = JobRank {
+            priority,
+            seq: state.next_seq,
+        };
+        state.next_seq += 1;
+        state.heap.push(QueuedJob {
+            rank,
+            request,
+            on_done,
+        });
+        self.shared.submitted.fetch_add(1, Ordering::Relaxed);
+        drop(state);
+        self.shared.ready.notify_one();
+        true
+    }
+
+    /// A snapshot of the pool's counters.
+    #[must_use]
+    pub fn stats(&self) -> PoolStats {
+        let queued = self
+            .shared
+            .queue
+            .lock()
+            .expect("pool queue poisoned")
+            .heap
+            .len();
+        PoolStats {
+            workers: self.workers.len(),
+            capacity: self.shared.capacity,
+            queued,
+            in_flight: self.shared.in_flight.load(Ordering::Relaxed),
+            submitted: self.shared.submitted.load(Ordering::Relaxed),
+            completed: self.shared.completed.load(Ordering::Relaxed),
+            errored: self.shared.errored.load(Ordering::Relaxed),
+            compute_micros: self.shared.compute_micros.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Drop for ExecutorPool {
+    fn drop(&mut self) {
+        {
+            let mut state = self.shared.queue.lock().expect("pool queue poisoned");
+            state.shutdown = true;
+            // Queued-but-unclaimed jobs are discarded: their completions are
+            // dropped, never called.
+            state.heap.clear();
+        }
+        self.shared.ready.notify_all();
+        self.shared.space.notify_all();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &PoolShared) {
+    loop {
+        let job = {
+            let mut state = shared.queue.lock().expect("pool queue poisoned");
+            loop {
+                if state.shutdown {
+                    return;
+                }
+                if let Some(job) = state.heap.pop() {
+                    break job;
+                }
+                state = shared.ready.wait(state).expect("pool queue poisoned");
+            }
+        };
+        shared.space.notify_one();
+        shared.in_flight.fetch_add(1, Ordering::Relaxed);
+
+        let QueuedJob {
+            request, on_done, ..
+        } = job;
+        // One single-threaded executor run per cell: the pool's parallelism
+        // is across cells, and every executor invariant (cell-cache probe,
+        // trace memo, canonical assembly, write-back) is inherited verbatim.
+        let source: &dyn SimulatorSource = &*request.source;
+        let model: &dyn FaultModel = &*request.model;
+        let matrix_job = MatrixJob {
+            source,
+            key: request.key.clone(),
+            entry: request.entry.clone(),
+            args: request.args.clone(),
+            max_steps: request.max_steps,
+            model,
+        };
+        let result = MatrixExecutor::new()
+            .with_threads(1)
+            .run(std::slice::from_ref(&matrix_job), &shared.store)
+            .map(|mut results| results.pop().expect("one job in, one result out"));
+        match &result {
+            Ok(cell) => {
+                shared
+                    .compute_micros
+                    .fetch_add(cell.compute_micros, Ordering::Relaxed);
+                shared.completed.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(_) => {
+                shared.errored.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        shared.in_flight.fetch_sub(1, Ordering::Relaxed);
+        on_done(result);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{BranchInversion, InstructionSkip};
+    use crate::runner::CampaignRunner;
+    use secbranch_armv7m::{Cond, Instr, Operand2, ProgramBuilder, Reg, Simulator, Target};
+    use std::sync::mpsc;
+
+    fn max_simulator() -> Simulator {
+        let mut p = ProgramBuilder::new();
+        p.label("max");
+        p.push(Instr::Cmp {
+            rn: Reg::R0,
+            op2: Operand2::Reg(Reg::R1),
+        });
+        p.push(Instr::BCond {
+            cond: Cond::Hs,
+            target: Target::label("done"),
+        });
+        p.push(Instr::Mov {
+            rd: Reg::R0,
+            rm: Reg::R1,
+        });
+        p.label("done");
+        p.push(Instr::Bx { rm: Reg::Lr });
+        Simulator::new(p.assemble().expect("assembles"), 4096)
+    }
+
+    fn request_for(model: Arc<dyn FaultModel + Send + Sync>) -> CellRequest {
+        CellRequest {
+            source: Arc::new(max_simulator()),
+            key: TraceKey::new("max-artifact", "max", &[7, 3]),
+            entry: "max".to_string(),
+            args: vec![7, 3],
+            max_steps: 100,
+            model,
+        }
+    }
+
+    #[test]
+    fn pooled_cells_match_the_sequential_runner() {
+        let store = Arc::new(TraceStore::new());
+        let pool = ExecutorPool::new(Arc::clone(&store), 2, 8);
+        let models: Vec<Arc<dyn FaultModel + Send + Sync>> =
+            vec![Arc::new(InstructionSkip), Arc::new(BranchInversion)];
+        let (tx, rx) = mpsc::channel();
+        for (index, model) in models.iter().enumerate() {
+            let tx = tx.clone();
+            assert!(pool.submit(
+                0,
+                request_for(Arc::clone(model)),
+                Box::new(move |result| tx.send((index, result)).expect("receiver alive")),
+            ));
+        }
+        drop(tx);
+        let mut results: Vec<Option<MatrixCellResult>> = vec![None, None];
+        for (index, result) in rx {
+            results[index] = Some(result.expect("cell runs"));
+        }
+
+        let runner = CampaignRunner::new().with_threads(1);
+        let sim = max_simulator();
+        for (result, model) in results.iter().zip(&models) {
+            let sequential = runner
+                .run(&sim, "max", &[7, 3], 100, &**model)
+                .expect("sequential runs");
+            let pooled = result.as_ref().expect("completed");
+            assert_eq!(pooled.report, sequential);
+            assert_eq!(pooled.report.to_json(), sequential.to_json());
+        }
+        // Both cells share one TraceKey: the reference was recorded once.
+        assert_eq!(store.misses(), 1);
+        let stats = pool.stats();
+        assert_eq!(stats.submitted, 2);
+        assert_eq!(stats.completed, 2);
+        assert_eq!(stats.errored, 0);
+    }
+
+    #[test]
+    fn failing_references_surface_through_the_callback() {
+        let pool = ExecutorPool::new(Arc::new(TraceStore::new()), 1, 4);
+        let mut bad = request_for(Arc::new(BranchInversion));
+        bad.entry = "nope".to_string();
+        bad.key = TraceKey::new("max-artifact", "nope", &[7, 3]);
+        let (tx, rx) = mpsc::channel();
+        pool.submit(
+            0,
+            bad,
+            Box::new(move |r| tx.send(r).expect("receiver alive")),
+        );
+        let result = rx.recv().expect("callback fired");
+        assert!(matches!(result, Err(SimError::UnknownEntryPoint { .. })));
+        assert_eq!(pool.stats().errored, 1);
+    }
+
+    #[test]
+    fn ranking_is_priority_then_fifo() {
+        let mut heap = BinaryHeap::new();
+        for (priority, seq) in [(0u8, 0u64), (2, 1), (1, 2), (2, 3), (0, 4)] {
+            heap.push(JobRank { priority, seq });
+        }
+        let order: Vec<(u8, u64)> = std::iter::from_fn(|| heap.pop())
+            .map(|r| (r.priority, r.seq))
+            .collect();
+        assert_eq!(order, vec![(2, 1), (2, 3), (1, 2), (0, 0), (0, 4)]);
+    }
+
+    #[test]
+    fn submissions_after_shutdown_are_refused() {
+        let store = Arc::new(TraceStore::new());
+        let pool = ExecutorPool::new(Arc::clone(&store), 1, 1);
+        drop(pool);
+        // A fresh pool over the same store still works — shutdown is
+        // per-pool, not per-store.
+        let pool = ExecutorPool::new(store, 1, 1);
+        let (tx, rx) = mpsc::channel();
+        assert!(pool.submit(
+            0,
+            request_for(Arc::new(BranchInversion)),
+            Box::new(move |r| tx.send(r).expect("receiver alive")),
+        ));
+        assert!(rx.recv().expect("callback fired").is_ok());
+    }
+}

@@ -1,0 +1,147 @@
+//! The daemon's request catalog: the names a [`GridRequest`] may use on
+//! each axis, resolved to the same constructors (modules, entries,
+//! arguments, model seeds, memory size) the `campaign` binary uses.
+//!
+//! Clients name cells, they never ship programs — the daemon only executes
+//! artifacts it can rebuild bit-deterministically itself, which is what
+//! makes its content-addressed cell cache shareable between the daemon and
+//! local runs: the same catalog name always reaches the same artifact
+//! fingerprint, so a grid served by the daemon is byte-identical to the
+//! same grid run locally.
+//!
+//! [`GridRequest`]: crate::protocol::GridRequest
+
+use std::sync::Arc;
+
+use secbranch::campaign::{
+    BranchInversion, DoubleInstructionSkip, FaultModel, InstructionSkip, MemoryBitFlip,
+    RegisterBitFlip,
+};
+use secbranch::programs::{
+    crc32_table_module, integer_compare_module, memcmp_module, password_check_module,
+    pin_retry_module,
+};
+use secbranch::{Pipeline, ProtectionVariant, Workload};
+
+/// Guest RAM size of every catalog pipeline, matching the `campaign`
+/// binary — part of the artifact fingerprint, so diverging here would
+/// split the cell cache.
+pub const MEMORY_SIZE: u32 = 1 << 18;
+
+/// The workload names the catalog resolves.
+pub const WORKLOADS: [&str; 5] = [
+    "integer_compare",
+    "memcmp",
+    "password_check",
+    "crc32",
+    "pin_retry",
+];
+
+/// The fault-model names the catalog resolves.
+pub const MODELS: [&str; 5] = [
+    "skip",
+    "double-skip",
+    "register-flip",
+    "memory-flip",
+    "branch-invert",
+];
+
+/// Resolves a workload name — module, entry point and arguments identical
+/// to the `campaign` binary's.
+#[must_use]
+pub fn workload(name: &str) -> Option<Workload> {
+    Some(match name {
+        "integer_compare" => Workload::new(
+            "integer compare",
+            integer_compare_module(),
+            "integer_compare",
+            &[1234, 4321],
+        ),
+        "memcmp" => Workload::new("memcmp x16", memcmp_module(16), "memcmp_bench", &[]),
+        "password_check" => Workload::new(
+            "password check",
+            password_check_module(8),
+            "password_check",
+            &[],
+        ),
+        "crc32" => Workload::new("crc32 x16", crc32_table_module(16), "crc32_check", &[]),
+        "pin_retry" => Workload::new("pin retry", pin_retry_module(4, 3), "pin_check", &[]),
+        _ => return None,
+    })
+}
+
+/// Resolves a fault-model name under the request's sampling budget — same
+/// seeds as the `campaign` binary, so the model *fingerprints* (which key
+/// persisted cells) match too.
+#[must_use]
+pub fn model(name: &str, trials: u64) -> Option<Arc<dyn FaultModel + Send + Sync>> {
+    Some(match name {
+        "skip" => Arc::new(InstructionSkip),
+        "double-skip" => Arc::new(DoubleInstructionSkip {
+            max_injections: trials,
+            seed: 0x2FA17,
+        }),
+        "register-flip" => Arc::new(RegisterBitFlip {
+            trials,
+            seed: 0xABCDEF,
+        }),
+        "memory-flip" => Arc::new(MemoryBitFlip {
+            trials,
+            seed: 0xFEED,
+        }),
+        "branch-invert" => Arc::new(BranchInversion),
+        _ => return None,
+    })
+}
+
+/// Resolves a protection-variant label (everything
+/// [`ProtectionVariant::from_str`] accepts, e.g. `unprotected`, `cfi`,
+/// `duplication(x3)`, `prototype`) to the catalog pipeline under the
+/// request's step budget.
+///
+/// [`ProtectionVariant::from_str`]: std::str::FromStr::from_str
+#[must_use]
+pub fn pipeline(label: &str, max_steps: u64) -> Option<Pipeline> {
+    let variant: ProtectionVariant = label.parse().ok()?;
+    Some(
+        Pipeline::for_variant(variant)
+            .with_memory_size(MEMORY_SIZE)
+            .with_max_steps(max_steps),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_advertised_name_resolves() {
+        for name in WORKLOADS {
+            assert!(workload(name).is_some(), "workload {name} must resolve");
+        }
+        for name in MODELS {
+            let resolved = model(name, 10).expect("model resolves");
+            assert_eq!(resolved.name(), name, "catalog names are model names");
+        }
+        for label in ["unprotected", "cfi", "duplication(x3)", "prototype"] {
+            assert!(pipeline(label, 1_000).is_some(), "variant {label} resolves");
+        }
+    }
+
+    #[test]
+    fn unknown_names_are_refused() {
+        assert!(workload("quicksort").is_none());
+        assert!(model("rowhammer", 10).is_none());
+        assert!(pipeline("duplication(x1)", 1_000).is_none());
+    }
+
+    #[test]
+    fn model_fingerprints_track_the_sampling_budget() {
+        let small = model("register-flip", 10).expect("resolves").fingerprint();
+        let large = model("register-flip", 20).expect("resolves").fingerprint();
+        assert_ne!(small, large, "budget is part of the cell identity");
+        let skip_a = model("skip", 10).expect("resolves").fingerprint();
+        let skip_b = model("skip", 20).expect("resolves").fingerprint();
+        assert_eq!(skip_a, skip_b, "exhaustive models ignore the budget");
+    }
+}

@@ -1,0 +1,352 @@
+//! End-to-end daemon tests: byte-identity of daemon-served grids against
+//! local runs, warm serving with zero simulation, single-flight under
+//! concurrent clients, protocol-version rejection, and per-request
+//! degradation.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+use std::thread;
+use std::time::Duration;
+
+use secbranch::campaign::{FaultModel, MatrixExecutor};
+use secbranch::{SecurityReport, Session};
+use secbranch_gridd::{
+    catalog, protocol, ClientError, DaemonConfig, GridClient, GridDaemon, GridRequest, Served,
+};
+
+static TEMP_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// A unique scratch directory, removed on drop.
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> TempDir {
+        let path = std::env::temp_dir().join(format!(
+            "secbranch-gridd-{tag}-{}-{}",
+            std::process::id(),
+            TEMP_COUNTER.fetch_add(1, Ordering::Relaxed),
+        ));
+        std::fs::create_dir_all(&path).expect("temp dir creates");
+        TempDir(path)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// A daemon on an ephemeral port, running on its own thread until the test
+/// shuts it down through a client.
+struct RunningDaemon {
+    addr: String,
+    runner: Option<thread::JoinHandle<std::io::Result<()>>>,
+}
+
+impl RunningDaemon {
+    fn start(config: DaemonConfig) -> RunningDaemon {
+        Self::start_on("127.0.0.1:0", config)
+    }
+
+    fn start_on(addr: &str, config: DaemonConfig) -> RunningDaemon {
+        let daemon = GridDaemon::bind(addr, config).expect("daemon binds");
+        let addr = daemon.local_addr().to_string();
+        RunningDaemon {
+            addr,
+            runner: Some(thread::spawn(move || daemon.run())),
+        }
+    }
+
+    fn client(&self) -> GridClient {
+        GridClient::connect_with_retry(&self.addr, 20, Duration::from_millis(25))
+            .expect("client connects")
+    }
+
+    fn stop(mut self) -> protocol::StatsSnapshot {
+        let stats = self.client().shutdown().expect("shutdown acknowledged");
+        self.runner
+            .take()
+            .expect("runner present")
+            .join()
+            .expect("accept loop joins")
+            .expect("accept loop exits cleanly");
+        stats
+    }
+}
+
+fn request(workloads: &[&str], variants: &[&str], models: &[&str], trials: u64) -> GridRequest {
+    GridRequest {
+        priority: 0,
+        trials,
+        max_steps: 200_000,
+        deadline_millis: 0,
+        workloads: workloads.iter().map(|s| (*s).to_string()).collect(),
+        variants: variants.iter().map(|s| (*s).to_string()).collect(),
+        models: models.iter().map(|s| (*s).to_string()).collect(),
+    }
+}
+
+/// The same grid run locally through `Session::security_matrix_with` — the
+/// reference every daemon-served report must match byte for byte.
+fn local_report(grid: &GridRequest) -> SecurityReport {
+    let workloads: Vec<_> = grid
+        .workloads
+        .iter()
+        .map(|name| catalog::workload(name).expect("known workload"))
+        .collect();
+    let pipelines: Vec<_> = grid
+        .variants
+        .iter()
+        .map(|label| catalog::pipeline(label, grid.max_steps).expect("known variant"))
+        .collect();
+    let models: Vec<_> = grid
+        .models
+        .iter()
+        .map(|name| catalog::model(name, grid.trials).expect("known model"))
+        .collect();
+    let model_refs: Vec<&dyn FaultModel> = models.iter().map(|m| &**m as &dyn FaultModel).collect();
+    Session::new()
+        .security_matrix_with(
+            &MatrixExecutor::new(),
+            &workloads,
+            &pipelines,
+            &model_refs,
+            None,
+        )
+        .expect("local matrix runs")
+}
+
+#[test]
+fn cold_then_warm_requests_match_a_local_run_byte_for_byte() {
+    let store = TempDir::new("cold-warm");
+    let daemon = RunningDaemon::start(DaemonConfig {
+        store_dir: Some(store.0.clone()),
+        ..DaemonConfig::default()
+    });
+    let grid = request(
+        &["integer_compare"],
+        &["unprotected", "prototype"],
+        &["skip", "branch-invert"],
+        100,
+    );
+    let expected_json = local_report(&grid).to_json();
+
+    // Cold: every cell is computed (nothing persisted yet), and the
+    // assembled report already matches the local run byte for byte.
+    let mut client = daemon.client();
+    let mut cold_cells = Vec::new();
+    let cold = client
+        .request_grid(&grid, |cell| cold_cells.push(cell.clone()))
+        .expect("cold grid serves");
+    assert_eq!(cold.cells, 4);
+    assert_eq!(cold.computed_cells, 4);
+    assert_eq!(cold.warm_cells, 0);
+    assert_eq!(cold.coalesced_cells, 0);
+    assert!(cold.recordings >= 2, "both artifacts record a reference");
+    assert_eq!(cold.report_json, expected_json);
+    assert_eq!(cold_cells.len(), 4);
+    assert!(cold_cells.iter().all(|c| c.served == Served::Computed));
+
+    // Warm: the same grid on a fresh connection does zero simulation —
+    // every cell streams from the store, nothing is recorded, and the
+    // report is still byte-identical.
+    let mut warm_client = daemon.client();
+    let mut warm_cells = Vec::new();
+    let warm = warm_client
+        .request_grid(&grid, |cell| warm_cells.push(cell.clone()))
+        .expect("warm grid serves");
+    assert_eq!(warm.warm_cells, 4);
+    assert_eq!(warm.computed_cells, 0);
+    assert_eq!(warm.recordings, 0, "warm serving records nothing");
+    assert_eq!(warm.report_json, expected_json);
+    assert_eq!(warm_cells.len(), 4);
+    assert!(warm_cells
+        .iter()
+        .all(|c| c.served == Served::StoreWarm && c.compute_micros == 0));
+    // Streamed cells carry the same per-cell reports the document embeds.
+    let report = local_report(&grid);
+    for cell in &warm_cells {
+        let local = &report.cells[cell.cell_index as usize];
+        assert_eq!(cell.workload, local.workload);
+        assert_eq!(cell.pipeline, local.pipeline);
+        assert_eq!(cell.model, local.model);
+        assert_eq!(cell.report, local.report);
+    }
+
+    let stats = daemon.stop();
+    assert_eq!(stats.requests, 2);
+    assert_eq!(stats.cells_requested, 8);
+    assert_eq!(stats.computed_cells, 4);
+    assert_eq!(stats.warm_cells, 4);
+    assert!(stats.store.is_some(), "store counters surface in STATS");
+}
+
+#[test]
+fn concurrent_clients_get_identical_reports_with_single_flight_computation() {
+    let store = TempDir::new("concurrent");
+    let daemon = RunningDaemon::start(DaemonConfig {
+        store_dir: Some(store.0.clone()),
+        ..DaemonConfig::default()
+    });
+    // One model per artifact: four distinct cold cells, each with its own
+    // reference trace, so "recorded exactly once" is exact, not racy.
+    let grid = request(
+        &["integer_compare", "pin_retry"],
+        &["unprotected", "cfi"],
+        &["skip"],
+        50,
+    );
+    let expected_json = local_report(&grid).to_json();
+
+    const CLIENTS: usize = 4;
+    let barrier = Arc::new(Barrier::new(CLIENTS));
+    let mut joins = Vec::new();
+    for _ in 0..CLIENTS {
+        let addr = daemon.addr.clone();
+        let grid = grid.clone();
+        let barrier = Arc::clone(&barrier);
+        joins.push(thread::spawn(move || {
+            let mut client = GridClient::connect_with_retry(&addr, 20, Duration::from_millis(25))
+                .expect("client connects");
+            barrier.wait();
+            client
+                .request_grid(&grid, |_| {})
+                .expect("concurrent grid serves")
+        }));
+    }
+    for join in joins {
+        let done = join.join().expect("client thread joins");
+        assert_eq!(done.cells, 4);
+        assert_eq!(
+            done.report_json, expected_json,
+            "every client's report is byte-identical to the local run"
+        );
+    }
+
+    let stats = daemon.stop();
+    assert_eq!(stats.requests, CLIENTS as u64);
+    assert_eq!(stats.cells_requested, 16);
+    assert_eq!(
+        stats.computed_cells, 4,
+        "each cold cell is computed exactly once across all clients"
+    );
+    assert_eq!(
+        stats.recordings, 4,
+        "each cold cell's reference trace is recorded exactly once"
+    );
+    assert_eq!(
+        stats.warm_cells + stats.coalesced_cells,
+        12,
+        "every other serving was store-warm or coalesced, never recomputed"
+    );
+    assert_eq!(stats.request_errors, 0);
+}
+
+#[test]
+fn foreign_protocol_versions_are_rejected_with_both_versions() {
+    let daemon = RunningDaemon::start(DaemonConfig::default());
+
+    // A hand-built STATS frame claiming protocol version 9.
+    let mut stream = std::net::TcpStream::connect(&daemon.addr).expect("connects");
+    let mut frame = Vec::new();
+    frame.extend_from_slice(b"SBGD");
+    frame.extend_from_slice(&9u32.to_le_bytes());
+    frame.push(2); // REQ_STATS
+    frame.extend_from_slice(&0u64.to_le_bytes());
+    frame.extend_from_slice(&secbranch::store::format::crc32(b"").to_le_bytes());
+    use std::io::Write as _;
+    stream.write_all(&frame).expect("frame sends");
+
+    let response = protocol::read_frame(&mut stream).expect("rejection arrives");
+    assert_eq!(response.kind, 20, "RESP_REJECT");
+    let reject = protocol::decode_reject(&response.payload).expect("decodes");
+    assert_eq!(reject.found, 9);
+    assert_eq!(reject.expected, protocol::PROTOCOL_VERSION);
+    // The daemon closed the connection after rejecting.
+    assert!(protocol::read_frame(&mut stream).is_err());
+
+    let stats = daemon.stop();
+    assert_eq!(stats.version_rejects, 1);
+}
+
+#[test]
+fn request_failures_degrade_per_request_not_per_daemon() {
+    let daemon = RunningDaemon::start(DaemonConfig {
+        max_cells_per_request: 4,
+        max_steps_cap: 1_000_000,
+        ..DaemonConfig::default()
+    });
+    let mut client = daemon.client();
+
+    // Unknown catalog names are refused...
+    let unknown = request(&["quicksort"], &["unprotected"], &["skip"], 10);
+    match client.request_grid(&unknown, |_| {}) {
+        Err(ClientError::Server(message)) => assert!(message.contains("quicksort")),
+        other => panic!("expected a server refusal, got {other:?}"),
+    }
+    // ...as are grids over the cell budget...
+    let oversized = request(
+        &["integer_compare"],
+        &["unprotected", "cfi", "prototype"],
+        &["skip", "branch-invert"],
+        10,
+    );
+    match client.request_grid(&oversized, |_| {}) {
+        Err(ClientError::Server(message)) => assert!(message.contains("limit")),
+        other => panic!("expected a server refusal, got {other:?}"),
+    }
+    // ...and step budgets over the cap...
+    let mut greedy = request(&["integer_compare"], &["unprotected"], &["skip"], 10);
+    greedy.max_steps = 2_000_000;
+    match client.request_grid(&greedy, |_| {}) {
+        Err(ClientError::Server(message)) => assert!(message.contains("max_steps")),
+        other => panic!("expected a server refusal, got {other:?}"),
+    }
+    // ...and duplicate axis entries, including two spellings of one variant.
+    let duplicated = request(
+        &["integer_compare"],
+        &["prototype", "ancode"],
+        &["skip"],
+        10,
+    );
+    match client.request_grid(&duplicated, |_| {}) {
+        Err(ClientError::Server(message)) => assert!(message.contains("duplicate")),
+        other => panic!("expected a server refusal, got {other:?}"),
+    }
+
+    // The connection (and the daemon) survive all of it: a valid request
+    // on the same connection still serves.
+    let valid = request(&["integer_compare"], &["unprotected"], &["skip"], 10);
+    let done = client.request_grid(&valid, |_| {}).expect("valid serves");
+    assert_eq!(done.cells, 1);
+    assert_eq!(done.report_json, local_report(&valid).to_json());
+
+    let stats = daemon.stop();
+    assert_eq!(stats.request_errors, 4);
+    assert_eq!(stats.requests, 1, "refused requests are not admitted");
+}
+
+#[cfg(unix)]
+#[test]
+fn unix_socket_transport_serves_and_cleans_up() {
+    let dir = TempDir::new("unix");
+    let socket = dir.0.join("gridd.sock");
+    let daemon = RunningDaemon::start_on(
+        &format!("unix:{}", socket.display()),
+        DaemonConfig::default(),
+    );
+    assert_eq!(daemon.addr, format!("unix:{}", socket.display()));
+
+    let mut client = daemon.client();
+    let grid = request(&["integer_compare"], &["unprotected"], &["skip"], 10);
+    let done = client.request_grid(&grid, |_| {}).expect("grid serves");
+    assert_eq!(done.report_json, local_report(&grid).to_json());
+    let stats = client.stats().expect("stats serve");
+    assert_eq!(stats.protocol_version, protocol::PROTOCOL_VERSION);
+    assert_eq!(stats.computed_cells, 1);
+
+    daemon.stop();
+    assert!(!socket.exists(), "socket file is removed on shutdown");
+}

@@ -226,22 +226,18 @@ pub fn decode_trace_payload(payload: &[u8]) -> Result<(TraceKey, PersistedTrace)
 
 // --- cell records ---------------------------------------------------------
 
-/// Encodes a cell record payload: the key, then the full campaign report.
-#[must_use]
-pub fn encode_cell_payload(key: &CellKey, report: &CampaignReport) -> Vec<u8> {
-    let mut w = Writer::new();
-    write_cell_key(&mut w, key);
+fn write_report(w: &mut Writer, report: &CampaignReport) {
     w.str(&report.model);
     w.str(&report.entry);
     w.u32s(&report.args);
-    write_exec_result(&mut w, &report.reference);
-    write_counts(&mut w, &report.counts);
+    write_exec_result(w, &report.reference);
+    write_counts(w, &report.counts);
     w.u32(report.locations.len() as u32);
     for loc in &report.locations {
         w.u64(loc.pc as u64);
         w.str(&loc.location);
         w.str(&loc.instruction);
-        write_counts(&mut w, &loc.counts);
+        write_counts(w, &loc.counts);
     }
     w.u32(report.escapes.len() as u32);
     for esc in &report.escapes {
@@ -251,22 +247,14 @@ pub fn encode_cell_payload(key: &CellKey, report: &CampaignReport) -> Vec<u8> {
         w.str(&esc.instruction);
         w.u32(esc.return_value);
     }
-    w.into_bytes()
 }
 
-/// Decodes a cell record payload.
-///
-/// # Errors
-///
-/// [`RecordError::Corrupt`] on any malformed byte sequence.
-pub fn decode_cell_payload(payload: &[u8]) -> Result<(CellKey, CampaignReport), RecordError> {
-    let mut r = Reader::new(payload);
-    let key = read_cell_key(&mut r)?;
+fn read_report(r: &mut Reader<'_>) -> Result<CampaignReport, RecordError> {
     let model = r.str()?;
     let entry = r.str()?;
     let args = r.u32s()?;
-    let reference = read_exec_result(&mut r)?;
-    let counts = read_counts(&mut r)?;
+    let reference = read_exec_result(r)?;
+    let counts = read_counts(r)?;
     let location_count = r.u32()? as usize;
     let mut locations = Vec::new();
     for _ in 0..location_count {
@@ -274,7 +262,7 @@ pub fn decode_cell_payload(payload: &[u8]) -> Result<(CellKey, CampaignReport), 
             pc: r.u64()? as usize,
             location: r.str()?,
             instruction: r.str()?,
-            counts: read_counts(&mut r)?,
+            counts: read_counts(r)?,
         });
     }
     let escape_count = r.u32()? as usize;
@@ -288,21 +276,74 @@ pub fn decode_cell_payload(payload: &[u8]) -> Result<(CellKey, CampaignReport), 
             return_value: r.u32()?,
         });
     }
+    Ok(CampaignReport {
+        model,
+        entry,
+        args,
+        reference,
+        counts,
+        locations,
+        escapes,
+    })
+}
+
+/// Encodes a campaign report alone (no key) — the per-cell streaming unit
+/// of the grid daemon's wire protocol.
+#[must_use]
+pub fn encode_report(report: &CampaignReport) -> Vec<u8> {
+    let mut w = Writer::new();
+    write_report(&mut w, report);
+    w.into_bytes()
+}
+
+/// Decodes a bare campaign report (the inverse of [`encode_report`]).
+///
+/// # Errors
+///
+/// [`RecordError::Corrupt`] on any malformed byte sequence.
+pub fn decode_report(payload: &[u8]) -> Result<CampaignReport, RecordError> {
+    let mut r = Reader::new(payload);
+    let report = read_report(&mut r)?;
     if !r.is_exhausted() {
         return Err(RecordError::Corrupt);
     }
-    Ok((
-        key,
-        CampaignReport {
-            model,
-            entry,
-            args,
-            reference,
-            counts,
-            locations,
-            escapes,
-        },
-    ))
+    Ok(report)
+}
+
+/// Encodes a cell record payload: the key, then the full campaign report.
+#[must_use]
+pub fn encode_cell_payload(key: &CellKey, report: &CampaignReport) -> Vec<u8> {
+    let mut w = Writer::new();
+    write_cell_key(&mut w, key);
+    write_report(&mut w, report);
+    w.into_bytes()
+}
+
+/// Decodes a cell record payload.
+///
+/// # Errors
+///
+/// [`RecordError::Corrupt`] on any malformed byte sequence.
+pub fn decode_cell_payload(payload: &[u8]) -> Result<(CellKey, CampaignReport), RecordError> {
+    let mut r = Reader::new(payload);
+    let key = read_cell_key(&mut r)?;
+    let report = read_report(&mut r)?;
+    if !r.is_exhausted() {
+        return Err(RecordError::Corrupt);
+    }
+    Ok((key, report))
+}
+
+/// Reads only the artifact fingerprint a record payload belongs to — both
+/// record families open with their key, and both keys open with the
+/// artifact fingerprint, so garbage collection can classify a record
+/// without decoding checkpoints or reports.
+///
+/// # Errors
+///
+/// [`RecordError::Corrupt`] when even the leading string is malformed.
+pub fn decode_record_artifact(payload: &[u8]) -> Result<String, RecordError> {
+    Reader::new(payload).str()
 }
 
 #[cfg(test)]

@@ -25,16 +25,21 @@
 //!
 //! ```text
 //! <root>/
-//!   MANIFEST              magic + format version (rejects mismatches)
-//!   tmp/                  staging area for atomic writes
-//!   traces/<hash16>.rec   one reference trace per file
-//!   cells/<hash16>.rec    one campaign cell per file
+//!   MANIFEST                   magic + format version (rejects mismatches)
+//!   tmp/                       staging area for atomic writes
+//!   traces/<hh>/<hash16>.rec   one reference trace per file
+//!   cells/<hh>/<hash16>.rec    one campaign cell per file
 //! ```
 //!
 //! Records are *content-addressed*: the file name is the FNV-1a hash of the
 //! record's canonical key bytes — which are themselves fingerprints of the
 //! artifact and model content — so the same cell always lands in the same
-//! file and concurrent writers of the same key are idempotent. Every record
+//! file and concurrent writers of the same key are idempotent. Each family
+//! fans out across 256 shard subdirectories named by the first byte of that
+//! hash (`<hh>` = its two hex digits), keeping directories small at
+//! million-record scale; directories written by the flat PR 5 layout are
+//! migrated transparently, one record at a time, whenever a record is
+//! touched. Every record
 //! carries a magic/version header and a CRC-32 over its payload
 //! ([`mod@format`]); writes go to `tmp/` and are published by an atomic rename,
 //! so a reader (or a second process sharing the directory) only ever sees
@@ -145,6 +150,9 @@ pub struct StoreStats {
     /// Record files dropped as damaged (bad magic/CRC/truncation/foreign
     /// version/key collision) during loads.
     pub corrupt_dropped: u64,
+    /// Flat-layout (PR 5) record files moved into their shard subdirectory
+    /// on first touch.
+    pub migrated: u64,
 }
 
 impl StoreStats {
@@ -154,7 +162,8 @@ impl StoreStats {
     pub fn to_json(&self) -> String {
         format!(
             "{{\"trace_hits\":{},\"trace_misses\":{},\"cell_hits\":{},\"cell_misses\":{},\
-             \"writes\":{},\"write_skips\":{},\"write_errors\":{},\"corrupt_dropped\":{}}}",
+             \"writes\":{},\"write_skips\":{},\"write_errors\":{},\"corrupt_dropped\":{},\
+             \"migrated\":{}}}",
             self.trace_hits,
             self.trace_misses,
             self.cell_hits,
@@ -163,6 +172,7 @@ impl StoreStats {
             self.write_skips,
             self.write_errors,
             self.corrupt_dropped,
+            self.migrated,
         )
     }
 }
@@ -199,6 +209,45 @@ impl ScanReport {
     }
 }
 
+/// What [`GridStore::compact`] did: removals by family, retained records,
+/// and bytes given back.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CompactReport {
+    /// Intact records whose artifact is in the live set (kept).
+    pub retained: u64,
+    /// Trace records removed as dead (artifact not in the live set).
+    pub removed_traces: u64,
+    /// Cell records removed as dead.
+    pub removed_cells: u64,
+    /// Records removed because they were too damaged to classify.
+    pub removed_corrupt: u64,
+    /// Total size of the removed files, in bytes.
+    pub reclaimed_bytes: u64,
+}
+
+impl CompactReport {
+    /// Total records removed, all reasons combined.
+    #[must_use]
+    pub fn removed(&self) -> u64 {
+        self.removed_traces + self.removed_cells + self.removed_corrupt
+    }
+
+    /// Serialises the compaction outcome as JSON (hand-rolled: the offline
+    /// build has no serde).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"retained\":{},\"removed_traces\":{},\"removed_cells\":{},\
+             \"removed_corrupt\":{},\"reclaimed_bytes\":{}}}",
+            self.retained,
+            self.removed_traces,
+            self.removed_cells,
+            self.removed_corrupt,
+            self.reclaimed_bytes,
+        )
+    }
+}
+
 /// The disk-backed, content-addressed store (see the [crate docs](self) for
 /// layout and guarantees).
 ///
@@ -218,6 +267,7 @@ pub struct GridStore {
     write_skips: AtomicU64,
     write_errors: AtomicU64,
     corrupt_dropped: AtomicU64,
+    migrated: AtomicU64,
 }
 
 impl GridStore {
@@ -251,6 +301,7 @@ impl GridStore {
             write_skips: AtomicU64::new(0),
             write_errors: AtomicU64::new(0),
             corrupt_dropped: AtomicU64::new(0),
+            migrated: AtomicU64::new(0),
         };
         store.check_manifest()?;
         Ok(store)
@@ -303,17 +354,45 @@ impl GridStore {
             write_skips: self.write_skips.load(Ordering::Relaxed),
             write_errors: self.write_errors.load(Ordering::Relaxed),
             corrupt_dropped: self.corrupt_dropped.load(Ordering::Relaxed),
+            migrated: self.migrated.load(Ordering::Relaxed),
         }
     }
 
+    /// The sharded path of a record: `<family>/<hh>/<hash16>.rec`, where
+    /// `<hh>` is the first byte of the key hash in hex. A flat-layout file
+    /// from PR 5 (`<family>/<hash16>.rec`) is migrated into its shard on
+    /// first touch — and if a sharded record already exists (another
+    /// process migrated or rewrote it first; records are content-addressed,
+    /// so both hold the same data), the flat leftover is removed instead.
+    fn record_path(&self, family: &str, hash: u64) -> PathBuf {
+        let family_root = self.root.join(family);
+        let sharded = family_root
+            .join(format!("{:02x}", hash >> 56))
+            .join(format!("{hash:016x}.rec"));
+        let flat = family_root.join(format!("{hash:016x}.rec"));
+        if flat.exists() {
+            if sharded.exists() {
+                let _ = fs::remove_file(&flat);
+            } else {
+                if let Some(shard_dir) = sharded.parent() {
+                    let _ = fs::create_dir_all(shard_dir);
+                }
+                // Losing the rename race to a concurrent migrator is fine:
+                // the winner put the identical record in place.
+                if fs::rename(&flat, &sharded).is_ok() {
+                    self.migrated.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        sharded
+    }
+
     fn trace_path(&self, key: &TraceKey) -> PathBuf {
-        let hash = fnv1a_64(&codec::encode_trace_key(key));
-        self.root.join("traces").join(format!("{hash:016x}.rec"))
+        self.record_path("traces", fnv1a_64(&codec::encode_trace_key(key)))
     }
 
     fn cell_path(&self, key: &CellKey) -> PathBuf {
-        let hash = fnv1a_64(&codec::encode_cell_key(key));
-        self.root.join("cells").join(format!("{hash:016x}.rec"))
+        self.record_path("cells", fnv1a_64(&codec::encode_cell_key(key)))
     }
 
     /// Writes `bytes` to `path` atomically: staged in `tmp/`, published by
@@ -339,6 +418,10 @@ impl GridStore {
                 self.write_skips.fetch_add(1, Ordering::Relaxed);
                 return;
             }
+        }
+        // Shard directories are created lazily, on first write into them.
+        if let Some(shard_dir) = path.parent() {
+            let _ = fs::create_dir_all(shard_dir);
         }
         match self.publish(path, &frame_record(kind, payload)) {
             Ok(()) => {
@@ -442,8 +525,7 @@ impl GridStore {
     pub fn scan(&self) -> Result<ScanReport, StoreError> {
         let mut report = ScanReport::default();
         for (sub, kind, tally) in [("traces", KIND_TRACE, 0usize), ("cells", KIND_CELL, 1usize)] {
-            for entry in fs::read_dir(self.root.join(sub))? {
-                let path = entry?.path();
+            for path in record_files(&self.root.join(sub))? {
                 let Ok(bytes) = fs::read(&path) else {
                     report.corrupt_records += 1;
                     continue;
@@ -469,6 +551,70 @@ impl GridStore {
         }
         Ok(report)
     }
+
+    /// Garbage collection: deletes every record whose artifact fingerprint
+    /// is *not* in `live`, plus any record too damaged to classify (a
+    /// record that cannot name its artifact can never be served anyway).
+    /// Retained records are untouched — compaction never rewrites, so it is
+    /// safe to run while readers and writers share the directory: they only
+    /// ever see a record present (intact) or absent (a clean miss).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] when a directory cannot be listed (individual
+    /// unreadable files are removed and counted as corrupt instead).
+    pub fn compact(
+        &self,
+        live: &std::collections::HashSet<String>,
+    ) -> Result<CompactReport, StoreError> {
+        let mut report = CompactReport::default();
+        for (sub, kind, family) in [("traces", KIND_TRACE, 0usize), ("cells", KIND_CELL, 1usize)] {
+            for path in record_files(&self.root.join(sub))? {
+                let size = fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+                let artifact = fs::read(&path)
+                    .ok()
+                    .and_then(|bytes| parse_record(&bytes, kind).ok().map(<[u8]>::to_vec))
+                    .and_then(|payload| codec::decode_record_artifact(&payload).ok());
+                match artifact {
+                    Some(artifact) if live.contains(&artifact) => report.retained += 1,
+                    Some(_) => {
+                        if fs::remove_file(&path).is_ok() {
+                            if family == 0 {
+                                report.removed_traces += 1;
+                            } else {
+                                report.removed_cells += 1;
+                            }
+                            report.reclaimed_bytes += size;
+                        }
+                    }
+                    None => {
+                        if fs::remove_file(&path).is_ok() {
+                            report.removed_corrupt += 1;
+                            report.reclaimed_bytes += size;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(report)
+    }
+}
+
+/// Every record file under a family directory: the 256 shard
+/// subdirectories plus any flat-layout leftovers at the top level.
+fn record_files(family_root: &Path) -> Result<Vec<PathBuf>, StoreError> {
+    let mut files = Vec::new();
+    for entry in fs::read_dir(family_root)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            for entry in fs::read_dir(&path)? {
+                files.push(entry?.path());
+            }
+        } else {
+            files.push(path);
+        }
+    }
+    Ok(files)
 }
 
 /// How old a `tmp/` staging file must be before [`GridStore::open`] deletes

@@ -63,11 +63,25 @@ fn max_simulator() -> Simulator {
     Simulator::new(p.assemble().expect("assembles"), 4096)
 }
 
+/// Every record file under a family directory — shard subdirectories plus
+/// any flat-layout files at the top level.
+fn record_files(dir: &std::path::Path, family: &str) -> Vec<PathBuf> {
+    let mut files = Vec::new();
+    for entry in fs::read_dir(dir.join(family)).expect("family dir exists") {
+        let path = entry.expect("entry").path();
+        if path.is_dir() {
+            for entry in fs::read_dir(&path).expect("shard dir readable") {
+                files.push(entry.expect("entry").path());
+            }
+        } else {
+            files.push(path);
+        }
+    }
+    files
+}
+
 fn sole_record_file(dir: &std::path::Path, family: &str) -> PathBuf {
-    let mut files: Vec<PathBuf> = fs::read_dir(dir.join(family))
-        .expect("family dir exists")
-        .map(|e| e.expect("entry").path())
-        .collect();
+    let mut files = record_files(dir, family);
     assert_eq!(files.len(), 1, "exactly one {family} record expected");
     files.pop().expect("one file")
 }
@@ -221,6 +235,130 @@ fn open_sweeps_stale_staging_files_but_not_fresh_ones() {
     if backdated {
         assert!(!stale.exists(), "stale staging files are swept at open");
     }
+}
+
+#[test]
+fn records_land_in_their_hash_shard() {
+    let dir = TempDir::new("sharded");
+    let sim = max_simulator();
+    let report = CampaignRunner::new()
+        .with_threads(1)
+        .run(&sim, "max", &[6, 2], 100, &BranchInversion)
+        .expect("campaign runs");
+    let key = CellKey::new("art-fp", "branch-invert", "max", &[6, 2]);
+    let store = GridStore::open(dir.path()).expect("opens");
+    store.put_cell(&key, &report);
+
+    let file = sole_record_file(dir.path(), "cells");
+    let shard = file
+        .parent()
+        .and_then(|p| p.file_name())
+        .and_then(|n| n.to_str())
+        .expect("shard dir name")
+        .to_string();
+    let stem = file
+        .file_stem()
+        .and_then(|n| n.to_str())
+        .expect("record file name");
+    assert_eq!(
+        shard,
+        stem[..2].to_string(),
+        "shard dir is the first byte of the key hash"
+    );
+    assert_eq!(store.stats().migrated, 0, "a fresh store migrates nothing");
+}
+
+#[test]
+fn flat_layout_records_are_migrated_on_read() {
+    let dir = TempDir::new("migrate");
+    let sim = max_simulator();
+    let report = CampaignRunner::new()
+        .with_threads(1)
+        .run(&sim, "max", &[4, 9], 100, &BranchInversion)
+        .expect("campaign runs");
+    let key = CellKey::new("art-fp", "branch-invert", "max", &[4, 9]);
+    let recorded = record_reference(&sim, "max", &[4, 9], 100).expect("records");
+    let trace_key = TraceKey::new("art-fp", "max", &[4, 9]);
+
+    // Write sharded records, then flatten them back into the PR 5 layout.
+    let store = GridStore::open(dir.path()).expect("opens");
+    store.put_cell(&key, &report);
+    store.put_trace(&trace_key, &recorded);
+    for family in ["cells", "traces"] {
+        let sharded = sole_record_file(dir.path(), family);
+        let flat = dir
+            .path()
+            .join(family)
+            .join(sharded.file_name().expect("file name"));
+        fs::rename(&sharded, &flat).expect("flattens");
+        fs::remove_dir(sharded.parent().expect("shard dir")).expect("removes empty shard");
+    }
+
+    // A fresh store serves both records and moves them into their shards.
+    let reopened = GridStore::open(dir.path()).expect("reopens");
+    assert_eq!(
+        reopened.get_cell(&key).expect("served via migration"),
+        report
+    );
+    assert!(reopened.get_trace(&trace_key).is_some());
+    assert_eq!(reopened.stats().migrated, 2);
+    for family in ["cells", "traces"] {
+        let file = sole_record_file(dir.path(), family);
+        assert!(
+            file.parent() != Some(&dir.path().join(family)),
+            "{family} record now lives in a shard subdirectory"
+        );
+    }
+    // The migration is one-time: a second read finds the sharded record.
+    assert_eq!(reopened.get_cell(&key).expect("still served"), report);
+    assert_eq!(reopened.stats().migrated, 2);
+    let scan = reopened.scan().expect("scans");
+    assert_eq!((scan.trace_records, scan.cell_records), (1, 1));
+}
+
+#[test]
+fn compaction_drops_dead_artifacts_and_keeps_live_ones() {
+    let dir = TempDir::new("compact");
+    let sim = max_simulator();
+    let report = CampaignRunner::new()
+        .with_threads(1)
+        .run(&sim, "max", &[3, 8], 100, &BranchInversion)
+        .expect("campaign runs");
+    let recorded = record_reference(&sim, "max", &[3, 8], 100).expect("records");
+
+    let store = GridStore::open(dir.path()).expect("opens");
+    for artifact in ["live-fp", "dead-fp"] {
+        store.put_trace(&TraceKey::new(artifact, "max", &[3, 8]), &recorded);
+        store.put_cell(
+            &CellKey::new(artifact, "branch-invert", "max", &[3, 8]),
+            &report,
+        );
+    }
+    // One unclassifiable file rides along and must be collected too.
+    fs::write(dir.path().join("cells").join("junk.rec"), b"not a record").expect("writable");
+
+    let live: std::collections::HashSet<String> = ["live-fp".to_string()].into_iter().collect();
+    let compacted = store.compact(&live).expect("compacts");
+    assert_eq!(compacted.retained, 2);
+    assert_eq!(compacted.removed_traces, 1);
+    assert_eq!(compacted.removed_cells, 1);
+    assert_eq!(compacted.removed_corrupt, 1);
+    assert_eq!(compacted.removed(), 3);
+    assert!(compacted.reclaimed_bytes > 0);
+
+    // The live records still load; the dead ones are clean misses.
+    assert!(store
+        .get_trace(&TraceKey::new("live-fp", "max", &[3, 8]))
+        .is_some());
+    assert!(store
+        .get_cell(&CellKey::new("live-fp", "branch-invert", "max", &[3, 8]))
+        .is_some());
+    assert!(store
+        .get_trace(&TraceKey::new("dead-fp", "max", &[3, 8]))
+        .is_none());
+    let scan = store.scan().expect("scans");
+    assert_eq!((scan.trace_records, scan.cell_records), (1, 1));
+    assert_eq!(scan.corrupt_records, 0);
 }
 
 #[test]
