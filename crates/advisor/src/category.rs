@@ -1,0 +1,429 @@
+//! Escape categorization: joining an escape's program counter back to the
+//! source-CFG context that explains *why* the fault slipped through.
+//!
+//! The join walks three layers that the rest of the toolchain already
+//! maintains for other reasons:
+//!
+//! 1. **pc → machine region.** The back end labels every function entry
+//!    (`fn`), basic block (`fn.bbN`), inline compare/select sequence
+//!    (`fn.cmpN` / `fn.selN`) and CFI edge stub (`fn.eF_Tk`); a linear scan
+//!    over those labels assigns each instruction index an enclosing
+//!    [`Site`](enum@self::FaultCategory).
+//! 2. **pc → provenance tag.** [`Program::origin_at`] names the emitter
+//!    (`prologue`, `body`, `an-coder`, `cfi`, `cfi-edge`, `epilogue`,
+//!    `skip-dup`), which distinguishes call/return machinery from block
+//!    bodies sharing the same label region.
+//! 3. **block → source CFG.** Dominator analysis over the *source* module
+//!    marks loop headers (back-edge targets), and the terminators mark
+//!    which blocks end in conditional branches — separating loop-condition
+//!    faults from plain if-then-else skips.
+//!
+//! Every escape receives **exactly one** [`FaultCategory`]; the rules are a
+//! priority chain, not overlapping heuristics, and the advisor's regression
+//! tests assert the totality.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use secbranch::armv7m::{Instr, Program};
+use secbranch::campaign::CampaignReport;
+use secbranch::codegen::HardenRegion;
+use secbranch::ir::cfg::{back_edges, Cfg, Dominators};
+use secbranch::ir::{BlockId, Module, Terminator};
+
+/// The structural cause of an escaping fault, derived from where in the
+/// compiled program the fault hit and what the source CFG looks like there.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum FaultCategory {
+    /// The fault corrupted a loop condition: a control transfer inside a
+    /// block that is a loop header (a dominator-analysis back-edge target)
+    /// or a jump feeding one, changing the trip count.
+    LoopCondition,
+    /// The fault skipped or inverted an if-then-else decision: a control
+    /// transfer in a non-loop block ending in a conditional branch.
+    IfThenElse,
+    /// The fault broke call/return integrity: a skipped `bl`, corrupted
+    /// prologue/epilogue frame or CFI-state machinery.
+    CallReturn,
+    /// The fault corrupted a data value (load, store, ALU) that later
+    /// decided the result without any control-flow damage.
+    DataCorruption,
+}
+
+impl FaultCategory {
+    /// Stable machine-readable key, used in reports and JSON.
+    #[must_use]
+    pub fn key(self) -> &'static str {
+        match self {
+            FaultCategory::LoopCondition => "loop-condition",
+            FaultCategory::IfThenElse => "if-then-else",
+            FaultCategory::CallReturn => "call-return",
+            FaultCategory::DataCorruption => "data-corruption",
+        }
+    }
+
+    /// The concrete countermeasure the advisor maps this category to.
+    ///
+    /// Branch categories need both the AN-coded condition (so an inverted
+    /// or skipped decision computes the wrong *symbol*) **and** CFI edge
+    /// linking (so the wrong symbol on the taken edge is detected — without
+    /// the GPSA state the encoded comparison alone detects nothing).
+    /// Call/return breaks are the CFI transfer case, and pure data faults
+    /// are masked by duplicating the idempotent instructions of the region.
+    #[must_use]
+    pub fn countermeasure(self) -> &'static str {
+        match self {
+            FaultCategory::LoopCondition => {
+                "an-code the loop condition, cfi-link its edges, skip-harden the header"
+            }
+            FaultCategory::IfThenElse => {
+                "an-code the branch, cfi-link its edges, skip-harden the block"
+            }
+            FaultCategory::CallReturn => "cfi the call/return edges, skip-harden the prologue",
+            FaultCategory::DataCorruption => {
+                "skip-harden the region (duplicate idempotent instructions)"
+            }
+        }
+    }
+}
+
+impl fmt::Display for FaultCategory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.key())
+    }
+}
+
+/// One escape joined back to its cause: category plus the source-level
+/// coordinate ([`HardenRegion`] within a function) the countermeasure
+/// should be applied to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CategorizedEscape {
+    /// The structural cause.
+    pub category: FaultCategory,
+    /// The enclosing function.
+    pub function: String,
+    /// The region within the function (prologue or source basic block).
+    pub region: HardenRegion,
+    /// The fault model that produced the escape (the campaign's model
+    /// fingerprint, e.g. `instruction-skip`).
+    pub model: String,
+    /// The faulted program counter (instruction index).
+    pub pc: usize,
+    /// Rendering of the faulted instruction.
+    pub instruction: String,
+    /// The campaign's description of the injected fault.
+    pub fault: String,
+}
+
+/// Renders a [`HardenRegion`] the way reports spell it.
+#[must_use]
+pub fn region_key(region: HardenRegion) -> String {
+    match region {
+        HardenRegion::Prologue => "prologue".to_string(),
+        HardenRegion::Block(b) => format!("bb{}", b.0),
+    }
+}
+
+/// What kind of control effect the machine instruction at a pc has.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PcKind {
+    Call,
+    CondBranch,
+    UncondBranch,
+    Other,
+}
+
+/// The enclosing label region of a pc.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Site {
+    /// Between the function label and its first block label: the prologue.
+    Prologue(String),
+    /// Inside block `bb` of the function (including its inline `cmp`/`sel`
+    /// sequences, which do not open a new region).
+    Block(String, BlockId),
+    /// Inside a CFI edge stub.
+    Edge(String),
+}
+
+/// Joins escape pcs of one compiled artifact back to source-CFG context.
+///
+/// Construct one per `(source module, compiled program)` pair; the
+/// selective pipeline keeps block ids stable, so the same source module
+/// serves every hardening round even though each round compiles a
+/// different program.
+#[derive(Debug)]
+pub struct Categorizer {
+    /// Per-pc enclosing site, from a linear scan over the program labels.
+    sites: Vec<Site>,
+    /// Per-pc provenance tag.
+    origins: Vec<&'static str>,
+    /// Per-pc instruction kind.
+    kinds: Vec<PcKind>,
+    /// Source blocks that are loop headers (back-edge targets), per function.
+    loop_heads: BTreeMap<String, BTreeSet<BlockId>>,
+    /// Source blocks ending in a conditional branch, per function.
+    cond_blocks: BTreeMap<String, BTreeSet<BlockId>>,
+    /// Unconditional jump targets (`block → successor`), per function.
+    jump_targets: BTreeMap<String, BTreeMap<BlockId, BlockId>>,
+}
+
+impl Categorizer {
+    /// Builds the join tables for one source module and its compiled
+    /// program.
+    #[must_use]
+    pub fn new(module: &Module, program: &Program) -> Self {
+        let mut loop_heads = BTreeMap::new();
+        let mut cond_blocks = BTreeMap::new();
+        let mut jump_targets = BTreeMap::new();
+        for function in &module.functions {
+            let cfg = Cfg::new(function);
+            let doms = Dominators::new(&cfg);
+            let heads: BTreeSet<BlockId> = back_edges(&cfg, &doms)
+                .into_iter()
+                .map(|(_, head)| head)
+                .collect();
+            let mut conds = BTreeSet::new();
+            let mut jumps = BTreeMap::new();
+            for (i, block) in function.blocks.iter().enumerate() {
+                let id = BlockId(u32::try_from(i).unwrap_or(u32::MAX));
+                match &block.terminator {
+                    Some(Terminator::Branch { .. }) => {
+                        conds.insert(id);
+                    }
+                    Some(Terminator::Jump(target)) => {
+                        jumps.insert(id, *target);
+                    }
+                    _ => {}
+                }
+            }
+            loop_heads.insert(function.name.clone(), heads);
+            cond_blocks.insert(function.name.clone(), conds);
+            jump_targets.insert(function.name.clone(), jumps);
+        }
+
+        // Labels at the same index apply shortest-first, so the more
+        // specific label (block over function entry) wins the scan state.
+        let mut labels_by_index: BTreeMap<usize, Vec<&str>> = BTreeMap::new();
+        for (label, &index) in program.labels() {
+            labels_by_index.entry(index).or_default().push(label);
+        }
+        for labels in labels_by_index.values_mut() {
+            labels.sort_by_key(|l| l.len());
+        }
+
+        let len = program.len();
+        let mut sites = Vec::with_capacity(len);
+        let mut current = Site::Prologue(String::new());
+        for pc in 0..len {
+            if let Some(labels) = labels_by_index.get(&pc) {
+                for label in labels {
+                    if let Some(site) = Self::parse_label(label) {
+                        current = site;
+                    }
+                }
+            }
+            sites.push(current.clone());
+        }
+
+        let origins = (0..len).map(|pc| program.origin_at(pc)).collect();
+        let kinds = program
+            .instructions()
+            .iter()
+            .map(|instr| match instr {
+                Instr::Bl { .. } => PcKind::Call,
+                Instr::BCond { .. } => PcKind::CondBranch,
+                Instr::B { .. } => PcKind::UncondBranch,
+                _ => PcKind::Other,
+            })
+            .collect();
+
+        Categorizer {
+            sites,
+            origins,
+            kinds,
+            loop_heads,
+            cond_blocks,
+            jump_targets,
+        }
+    }
+
+    /// Parses one back-end label into the site it opens. Inline `cmp`/`sel`
+    /// labels return `None`: they continue the current block region.
+    fn parse_label(label: &str) -> Option<Site> {
+        let Some((function, suffix)) = label.split_once('.') else {
+            return Some(Site::Prologue(label.to_string()));
+        };
+        if let Some(n) = suffix.strip_prefix("bb") {
+            if let Ok(n) = n.parse::<u32>() {
+                return Some(Site::Block(function.to_string(), BlockId(n)));
+            }
+        }
+        if suffix.starts_with('e') && suffix.contains('_') {
+            return Some(Site::Edge(function.to_string()));
+        }
+        None
+    }
+
+    /// `true` if the source block ends in a conditional branch (and can
+    /// therefore be AN-coded).
+    #[must_use]
+    pub fn is_conditional(&self, function: &str, block: BlockId) -> bool {
+        self.cond_blocks
+            .get(function)
+            .is_some_and(|set| set.contains(&block))
+    }
+
+    /// `true` if the source block is a loop header.
+    #[must_use]
+    pub fn is_loop_head(&self, function: &str, block: BlockId) -> bool {
+        self.loop_heads
+            .get(function)
+            .is_some_and(|set| set.contains(&block))
+    }
+
+    /// Categorizes every escape of a campaign report. Exactly one
+    /// [`CategorizedEscape`] per escape, in report order.
+    #[must_use]
+    pub fn categorize_report(&self, report: &CampaignReport) -> Vec<CategorizedEscape> {
+        report
+            .escapes
+            .iter()
+            .map(|escape| {
+                let (category, function, region) = self.categorize_pc(escape.pc);
+                CategorizedEscape {
+                    category,
+                    function,
+                    region,
+                    model: report.model.clone(),
+                    pc: escape.pc,
+                    instruction: escape.instruction.clone(),
+                    fault: escape.fault.clone(),
+                }
+            })
+            .collect()
+    }
+
+    /// The priority chain assigning one category to one faulted pc.
+    fn categorize_pc(&self, pc: usize) -> (FaultCategory, String, HardenRegion) {
+        let Some(site) = self.sites.get(pc) else {
+            // Out-of-program pc (runaway execution): the frame machinery
+            // lost control — treat as a call/return break of the entry.
+            let function = match self.sites.first() {
+                Some(Site::Prologue(f) | Site::Block(f, _) | Site::Edge(f)) => f.clone(),
+                None => String::new(),
+            };
+            return (FaultCategory::CallReturn, function, HardenRegion::Prologue);
+        };
+        let origin = self.origins.get(pc).copied().unwrap_or("isel");
+        let kind = self.kinds.get(pc).copied().unwrap_or(PcKind::Other);
+        let function = match site {
+            Site::Prologue(f) | Site::Block(f, _) | Site::Edge(f) => f.clone(),
+        };
+
+        // Rule 1: call/return machinery — CFI state updates, edge stubs,
+        // frame setup/teardown, and the call instruction itself.
+        if matches!(origin, "cfi" | "cfi-edge" | "prologue" | "epilogue")
+            || matches!(site, Site::Edge(_))
+            || kind == PcKind::Call
+        {
+            return (FaultCategory::CallReturn, function, HardenRegion::Prologue);
+        }
+
+        // Rule 2: outside any block label — residual prologue region.
+        let Site::Block(_, block) = site else {
+            return (FaultCategory::CallReturn, function, HardenRegion::Prologue);
+        };
+        let block = *block;
+        let region = HardenRegion::Block(block);
+
+        // Rule 3: control transfers, split by the source CFG.
+        match kind {
+            PcKind::CondBranch | PcKind::UncondBranch => {
+                if self.is_loop_head(&function, block) {
+                    return (FaultCategory::LoopCondition, function, region);
+                }
+                if kind == PcKind::UncondBranch {
+                    // A jump whose target is a loop header is the back
+                    // edge: skipping it changes the trip count.
+                    let target = self
+                        .jump_targets
+                        .get(&function)
+                        .and_then(|m| m.get(&block))
+                        .copied();
+                    if let Some(target) = target {
+                        if self.is_loop_head(&function, target) {
+                            return (FaultCategory::LoopCondition, function, region);
+                        }
+                    }
+                }
+                if self.is_conditional(&function, block) {
+                    return (FaultCategory::IfThenElse, function, region);
+                }
+                // A branch inside a compare sequence of a block that does
+                // not decide control (e.g. computing a boolean that is
+                // returned): the fault corrupts a value, not an edge.
+                (FaultCategory::DataCorruption, function, region)
+            }
+            // Rule 4: everything else corrupted a data value.
+            _ => (FaultCategory::DataCorruption, function, region),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use secbranch::programs::{memcmp_module, pin_retry_module};
+    use secbranch::Pipeline;
+
+    #[test]
+    fn label_parsing_distinguishes_the_backend_regions() {
+        assert_eq!(
+            Categorizer::parse_label("pin_check"),
+            Some(Site::Prologue("pin_check".to_string()))
+        );
+        assert_eq!(
+            Categorizer::parse_label("pin_check.bb3"),
+            Some(Site::Block("pin_check".to_string(), BlockId(3)))
+        );
+        assert_eq!(
+            Categorizer::parse_label("pin_check.e2_3t"),
+            Some(Site::Edge("pin_check".to_string()))
+        );
+        // Inline compare/select labels continue the current block.
+        assert_eq!(Categorizer::parse_label("pin_check.cmp4"), None);
+        assert_eq!(Categorizer::parse_label("pin_check.sel1"), None);
+    }
+
+    #[test]
+    fn loop_headers_and_conditional_blocks_come_from_the_source_cfg() {
+        let module = memcmp_module(8);
+        let artifact = Pipeline::new().build(&module).expect("builds");
+        let cat = Categorizer::new(&module, &artifact.compiled().program);
+        // memcmp_secure: bb1 is the loop header and branches conditionally.
+        assert!(cat.is_loop_head("memcmp_secure", BlockId(1)));
+        assert!(cat.is_conditional("memcmp_secure", BlockId(1)));
+        assert!(!cat.is_loop_head("memcmp_secure", BlockId(0)));
+        // bb3 compares bytes but heads no loop.
+        assert!(cat.is_conditional("memcmp_secure", BlockId(3)));
+        assert!(!cat.is_loop_head("memcmp_secure", BlockId(3)));
+    }
+
+    #[test]
+    fn every_pc_of_the_program_gets_exactly_one_category() {
+        let module = pin_retry_module(4, 3);
+        let artifact = Pipeline::new().build(&module).expect("builds");
+        let program = &artifact.compiled().program;
+        let cat = Categorizer::new(&module, program);
+        for pc in 0..program.len() {
+            // categorize_pc is total: no pc panics, every pc maps to one
+            // category and a region of the right function.
+            let (_, function, _) = cat.categorize_pc(pc);
+            assert!(!function.is_empty(), "pc {pc} resolved to no function");
+        }
+        // And a runaway pc past the program end still categorizes.
+        let (cat_kind, _, region) = cat.categorize_pc(program.len() + 100);
+        assert_eq!(cat_kind, FaultCategory::CallReturn);
+        assert_eq!(region, HardenRegion::Prologue);
+    }
+}

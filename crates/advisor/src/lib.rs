@@ -1,0 +1,57 @@
+//! Fault categorizer and countermeasure advisor with closed-loop selective
+//! hardening.
+//!
+//! The paper's evaluation applies each countermeasure to *whole functions*
+//! and reports the (considerable) overhead. This crate asks the inverse
+//! question: given a concrete fault campaign, **where** do faults actually
+//! escape, **why**, and what is the *cheapest* configuration of the same
+//! countermeasures that stops all of them?
+//!
+//! Three stages, each usable on its own:
+//!
+//! * [`Categorizer`] joins every escape of a
+//!   [`CampaignReport`](secbranch::campaign::CampaignReport) — via the
+//!   faulted pc, the back end's labels and provenance tags, and dominator
+//!   analysis over the source CFG — to exactly one [`FaultCategory`]:
+//!   loop-condition fault, if-then-else branch skip, call/return CFI
+//!   break, or data-value corruption.
+//! * [`RemediationReport`] maps each categorized location to a concrete
+//!   countermeasure (AN-code the condition, CFI the edges, skip-harden
+//!   the region) and renders the advice as a text table and JSON.
+//! * [`SelectiveHardening`] closes the loop: it applies the advice through
+//!   the selective pipeline knobs
+//!   ([`Pipeline::an_code_only`](secbranch::Pipeline::an_code_only),
+//!   [`cfi_only`](secbranch::Pipeline::cfi_only),
+//!   [`with_skip_hardening`](secbranch::Pipeline::with_skip_hardening)),
+//!   re-runs the campaign, and iterates until zero escapes — then measures
+//!   the found configuration against the paper's whole-function variants.
+//!
+//! Everything derives from campaign reports, which are byte-identical at
+//! any worker thread count; the advisor's JSON output therefore is too.
+//!
+//! ```
+//! use secbranch::programs::pin_retry_module;
+//! use secbranch::Workload;
+//! use secbranch_advisor::SelectiveHardening;
+//!
+//! # fn main() -> Result<(), secbranch::BuildError> {
+//! let workload = Workload::new("pin_retry", pin_retry_module(4, 3), "pin_check", &[]);
+//! let outcome = SelectiveHardening::new().advise(&workload)?;
+//! assert!(outcome.converged);
+//! assert!(outcome.selective.total_escapes() == 0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod category;
+mod hardening;
+mod report;
+
+pub use category::{region_key, CategorizedEscape, Categorizer, FaultCategory};
+pub use hardening::{
+    AdvisorOutcome, HardeningConfig, RoundRecord, SelectiveHardening, VariantOutcome,
+};
+pub use report::{RemediationEntry, RemediationReport};

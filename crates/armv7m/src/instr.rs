@@ -470,6 +470,58 @@ impl Instr {
         }
     }
 
+    /// `true` when executing the instruction twice in a row from the same
+    /// machine state is indistinguishable from executing it once — the
+    /// property that makes per-instruction duplication a sound hardening
+    /// against single instruction-skip faults (skip either copy and the
+    /// other still performs the work).
+    ///
+    /// The rules are purely structural:
+    ///
+    /// * moves, compares, branches and stores are idempotent (a taken branch
+    ///   leaves its duplicate unexecuted; an untaken one re-evaluates the
+    ///   same flags);
+    /// * loads are idempotent unless they overwrite their own base register;
+    /// * ALU operations are idempotent unless the destination is also a
+    ///   source (e.g. `add r0, r0, #1` counts up on every execution);
+    /// * calls and stack pushes/pops move `SP`/`LR` state and are never
+    ///   idempotent.
+    ///
+    /// Caveat: a store to a memory-mapped device register with
+    /// accumulating semantics (the CFI unit's UPDATE register) is *not*
+    /// semantically idempotent even though `STR` is structurally — callers
+    /// duplicating code must keep such stores out of duplicated regions
+    /// (the back end does: CFI edge stubs are emitted outside any hardened
+    /// region).
+    #[must_use]
+    pub fn is_idempotent(&self) -> bool {
+        match self {
+            Instr::MovImm { .. }
+            | Instr::Mov { .. }
+            | Instr::Cmp { .. }
+            | Instr::B { .. }
+            | Instr::BCond { .. }
+            | Instr::Bx { .. }
+            | Instr::Str { .. }
+            | Instr::Strb { .. }
+            | Instr::Nop => true,
+            Instr::Ldr { rt, rn, .. } | Instr::Ldrb { rt, rn, .. } => rt != rn,
+            Instr::Add { rd, rn, op2 }
+            | Instr::Sub { rd, rn, op2 }
+            | Instr::And { rd, rn, op2 }
+            | Instr::Orr { rd, rn, op2 }
+            | Instr::Eor { rd, rn, op2 }
+            | Instr::Lsl { rd, rn, op2 }
+            | Instr::Lsr { rd, rn, op2 }
+            | Instr::Asr { rd, rn, op2 } => {
+                rd != rn && !matches!(op2, Operand2::Reg(rm) if rm == rd)
+            }
+            Instr::Mul { rd, rn, rm } | Instr::Udiv { rd, rn, rm } => rd != rn && rd != rm,
+            Instr::Mls { rd, rn, rm, ra } => rd != rn && rd != rm && rd != ra,
+            Instr::Bl { .. } | Instr::Push { .. } | Instr::Pop { .. } => false,
+        }
+    }
+
     /// The branch/call target of control-transfer instructions.
     #[must_use]
     pub fn target(&self) -> Option<&Target> {
@@ -708,6 +760,91 @@ mod tests {
         *i.target_mut().expect("has target") = Target::Resolved(42);
         assert_eq!(i.target().and_then(Target::index), Some(42));
         assert_eq!(Instr::Nop.target(), None);
+    }
+
+    #[test]
+    fn idempotency_is_structural() {
+        // Destination disjoint from sources: safe to re-execute.
+        assert!(Instr::Add {
+            rd: Reg::R2,
+            rn: Reg::R0,
+            op2: Operand2::Reg(Reg::R1)
+        }
+        .is_idempotent());
+        // Destination is a source: each execution accumulates.
+        assert!(!Instr::Add {
+            rd: Reg::R0,
+            rn: Reg::R0,
+            op2: Operand2::Imm(1)
+        }
+        .is_idempotent());
+        assert!(!Instr::Sub {
+            rd: Reg::Sp,
+            rn: Reg::Sp,
+            op2: Operand2::Imm(16)
+        }
+        .is_idempotent());
+        assert!(!Instr::Eor {
+            rd: Reg::R2,
+            rn: Reg::R0,
+            op2: Operand2::Reg(Reg::R2)
+        }
+        .is_idempotent());
+        assert!(!Instr::Mls {
+            rd: Reg::R2,
+            rn: Reg::R3,
+            rm: Reg::R1,
+            ra: Reg::R2
+        }
+        .is_idempotent());
+        // Loads are safe unless they clobber their own base.
+        assert!(Instr::Ldr {
+            rt: Reg::R0,
+            rn: Reg::Sp,
+            offset: 8
+        }
+        .is_idempotent());
+        assert!(!Instr::Ldr {
+            rt: Reg::R3,
+            rn: Reg::R3,
+            offset: 0
+        }
+        .is_idempotent());
+        // Stores, moves, compares and branches re-execute harmlessly.
+        assert!(Instr::Str {
+            rt: Reg::R0,
+            rn: Reg::Sp,
+            offset: 8
+        }
+        .is_idempotent());
+        assert!(Instr::MovImm {
+            rd: Reg::R2,
+            imm: 0
+        }
+        .is_idempotent());
+        assert!(Instr::Cmp {
+            rn: Reg::R0,
+            op2: Operand2::Imm(0)
+        }
+        .is_idempotent());
+        assert!(Instr::B {
+            target: Target::label("x")
+        }
+        .is_idempotent());
+        assert!(Instr::Bx { rm: Reg::Lr }.is_idempotent());
+        // Calls and stack operations move SP/LR state.
+        assert!(!Instr::Bl {
+            target: Target::label("f")
+        }
+        .is_idempotent());
+        assert!(!Instr::Push {
+            regs: vec![Reg::Lr]
+        }
+        .is_idempotent());
+        assert!(!Instr::Pop {
+            regs: vec![Reg::Pc]
+        }
+        .is_idempotent());
     }
 
     #[test]

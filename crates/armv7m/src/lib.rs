@@ -52,7 +52,7 @@ mod simulator;
 pub use error::SimError;
 pub use instr::{Cond, Instr, Operand2, Reg, Target};
 pub use machine::{Flags, Machine, MachineState};
-pub use program::{Program, ProgramBuilder, DEFAULT_ORIGIN};
+pub use program::{Program, ProgramBuilder, DEFAULT_ORIGIN, SKIP_DUP_ORIGIN};
 pub use simulator::{ExecResult, FaultAction, FaultHook, NoFaults, Simulator};
 
 #[cfg(test)]

@@ -10,6 +10,11 @@ use crate::instr::{Instr, Target};
 /// (see [`ProgramBuilder::set_origin`]).
 pub const DEFAULT_ORIGIN: &str = "isel";
 
+/// The provenance tag stamped on the second copy of an instruction emitted
+/// by the builder's skip-hardening mode
+/// ([`ProgramBuilder::set_duplicate_idempotent`]).
+pub const SKIP_DUP_ORIGIN: &str = "skip-dup";
+
 /// An assembled program: instructions with resolved branch targets plus the
 /// label map, the code-size accounting derived from the Thumb-2 size model,
 /// and a provenance tag per instruction.
@@ -166,6 +171,7 @@ impl Program {
 pub struct ProgramBuilder {
     items: Vec<Item>,
     origin: &'static str,
+    duplicate: bool,
 }
 
 #[derive(Debug, Clone)]
@@ -179,6 +185,7 @@ impl Default for ProgramBuilder {
         ProgramBuilder {
             items: Vec::new(),
             origin: DEFAULT_ORIGIN,
+            duplicate: false,
         }
     }
 }
@@ -208,9 +215,33 @@ impl ProgramBuilder {
         self.origin
     }
 
-    /// Appends an instruction (stamped with the current origin).
+    /// Enables or disables skip-hardening duplication: while enabled, every
+    /// pushed instruction for which [`Instr::is_idempotent`] holds is
+    /// emitted *twice* (the duplicate stamped [`SKIP_DUP_ORIGIN`]), so a
+    /// single instruction-skip fault on either copy is masked by the other.
+    /// Non-idempotent instructions (calls, push/pop, accumulating ALU ops)
+    /// are emitted once as usual. Labels are unaffected — they still
+    /// resolve to the first copy.
+    pub fn set_duplicate_idempotent(&mut self, enabled: bool) {
+        self.duplicate = enabled;
+    }
+
+    /// Whether skip-hardening duplication is currently enabled.
+    #[must_use]
+    pub fn duplicate_idempotent(&self) -> bool {
+        self.duplicate
+    }
+
+    /// Appends an instruction (stamped with the current origin). Under
+    /// [`ProgramBuilder::set_duplicate_idempotent`], idempotent
+    /// instructions are appended twice.
     pub fn push(&mut self, instr: Instr) {
-        self.items.push(Item::Instr(instr, self.origin));
+        if self.duplicate && instr.is_idempotent() {
+            self.items.push(Item::Instr(instr.clone(), self.origin));
+            self.items.push(Item::Instr(instr, SKIP_DUP_ORIGIN));
+        } else {
+            self.items.push(Item::Instr(instr, self.origin));
+        }
     }
 
     /// Appends all instructions of an iterator (each stamped with the
@@ -416,5 +447,53 @@ mod tests {
         let mut p = ProgramBuilder::new();
         p.extend([Instr::Nop, Instr::Nop, Instr::Bx { rm: Reg::Lr }]);
         assert_eq!(p.instr_count(), 3);
+    }
+
+    #[test]
+    fn duplicate_mode_doubles_idempotent_instructions_only() {
+        let mut p = ProgramBuilder::new();
+        p.label("f");
+        p.set_duplicate_idempotent(true);
+        assert!(p.duplicate_idempotent());
+        p.push(Instr::MovImm {
+            rd: Reg::R0,
+            imm: 7,
+        }); // idempotent: duplicated
+        p.push(Instr::Add {
+            rd: Reg::R0,
+            rn: Reg::R0,
+            op2: Operand2::Imm(1),
+        }); // accumulating: single
+        p.set_duplicate_idempotent(false);
+        p.push(Instr::MovImm {
+            rd: Reg::R1,
+            imm: 9,
+        }); // mode off: single
+        p.push(Instr::Bx { rm: Reg::Lr });
+        let program = p.assemble().expect("assembles");
+        assert_eq!(program.len(), 5);
+        // The label still resolves to the first copy.
+        assert_eq!(program.label("f"), Some(0));
+        assert_eq!(
+            program.instructions()[0],
+            Instr::MovImm {
+                rd: Reg::R0,
+                imm: 7
+            }
+        );
+        assert_eq!(program.instructions()[0], program.instructions()[1]);
+        // The duplicate carries the dedicated provenance tag; the original
+        // keeps the builder's declared origin.
+        assert_eq!(program.origin_at(0), DEFAULT_ORIGIN);
+        assert_eq!(program.origin_at(1), SKIP_DUP_ORIGIN);
+        assert_eq!(program.origin_at(2), DEFAULT_ORIGIN);
+        assert_eq!(
+            program.instructions()[2],
+            Instr::Add {
+                rd: Reg::R0,
+                rn: Reg::R0,
+                op2: Operand2::Imm(1)
+            }
+        );
     }
 }

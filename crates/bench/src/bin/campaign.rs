@@ -41,13 +41,15 @@ use secbranch::programs::{
 };
 use secbranch::store::GridStore;
 use secbranch::{MatrixStats, Pipeline, ProtectionVariant, SecurityReport, Session, Workload};
+use secbranch_advisor::SelectiveHardening;
 
 fn usage(message: &str) -> ! {
     eprintln!("{message}");
     eprintln!(
         "usage: campaign [variant labels...] [--models LIST] [--trials N] [--threads N] \
          [--max-steps N] [--workload NAME] [--matrix] [--json] [--heatmap] \
-         [--store DIR] [--store-stats] [--compact] [--expect-warm] [--serve ADDR]"
+         [--advise] [--expect-zero-escapes] [--store DIR] [--store-stats] \
+         [--store-max-bytes N] [--compact] [--expect-warm] [--serve ADDR]"
     );
     eprintln!("  variant labels: unprotected cfi \"duplication(xN)\" prototype");
     eprintln!("  --models: comma list of skip,double-skip,register-flip,memory-flip,branch-invert");
@@ -59,8 +61,21 @@ fn usage(message: &str) -> ! {
     );
     eprintln!("  --workload: integer_compare (default), memcmp, password_check, crc32, pin_retry");
     eprintln!("  --matrix: benchmark the global scheduler against the sequential path");
+    eprintln!(
+        "  --advise: categorize escapes and run the closed selective-hardening loop on \
+         the --workload list (default password_check,pin_retry); honours --threads, \
+         --max-steps and --json"
+    );
+    eprintln!(
+        "  --expect-zero-escapes: with --advise, fail unless every loop converges with \
+         zero escapes under the selective configuration"
+    );
     eprintln!("  --store: persist traces and finished cells in a grid store at DIR");
     eprintln!("  --store-stats: validate DIR and print its scan summary as JSON, then exit");
+    eprintln!(
+        "  --store-max-bytes: with --store, evict oldest records until DIR fits the \
+         byte budget, print the eviction report as JSON, then exit"
+    );
     eprintln!(
         "  --compact: with --store, drop records of artifacts outside the benchmark grid \
          (fixed 4 workloads x the selected variants), print what was removed, then exit"
@@ -132,8 +147,11 @@ struct Options {
     matrix: bool,
     json: bool,
     heatmap: bool,
+    advise: bool,
+    expect_zero_escapes: bool,
     store_dir: Option<String>,
     store_stats: bool,
+    store_max_bytes: Option<u64>,
     compact: bool,
     expect_warm: bool,
     serve: Option<String>,
@@ -163,8 +181,11 @@ fn parse_args() -> Options {
         matrix: false,
         json: false,
         heatmap: false,
+        advise: false,
+        expect_zero_escapes: false,
         store_dir: None,
         store_stats: false,
+        store_max_bytes: None,
         compact: false,
         expect_warm: false,
         serve: None,
@@ -200,8 +221,17 @@ fn parse_args() -> Options {
             "--matrix" => options.matrix = true,
             "--json" => options.json = true,
             "--heatmap" => options.heatmap = true,
+            "--advise" => options.advise = true,
+            "--expect-zero-escapes" => options.expect_zero_escapes = true,
             "--store" => options.store_dir = Some(value_of("--store")),
             "--store-stats" => options.store_stats = true,
+            "--store-max-bytes" => {
+                options.store_max_bytes = Some(
+                    value_of("--store-max-bytes")
+                        .parse()
+                        .unwrap_or_else(|_| usage("--store-max-bytes needs an integer")),
+                );
+            }
             "--compact" => options.compact = true,
             "--expect-warm" => options.expect_warm = true,
             "--serve" => options.serve = Some(value_of("--serve")),
@@ -233,6 +263,15 @@ fn parse_args() -> Options {
     if options.compact && options.store_dir.is_none() {
         usage("--compact needs --store DIR to know which store to compact");
     }
+    if options.store_max_bytes.is_some() && options.store_dir.is_none() {
+        usage("--store-max-bytes needs --store DIR to know which store to evict from");
+    }
+    if options.advise && (options.matrix || options.heatmap || options.serve.is_some()) {
+        usage("--advise runs the selective-hardening loop; drop --matrix/--heatmap/--serve");
+    }
+    if options.expect_zero_escapes && !options.advise {
+        usage("--expect-zero-escapes only applies to --advise runs");
+    }
     if options.expect_warm && !(options.matrix && options.store_dir.is_some()) {
         usage("--expect-warm only applies to --matrix runs with --store");
     }
@@ -262,9 +301,34 @@ fn main() {
         return;
     }
 
+    // Advisor mode: categorize the escapes of each workload and close the
+    // selective-hardening loop.
+    if options.advise {
+        run_advise(&options);
+        return;
+    }
+
     let grid: Option<Arc<GridStore>> = options.store_dir.as_deref().map(|dir| {
         Arc::new(GridStore::open(dir).unwrap_or_else(|e| fail("opening the grid store", &e)))
     });
+
+    // Standalone eviction: trim the store to the byte budget, oldest
+    // records first, and report what was reclaimed.
+    if let Some(max_bytes) = options.store_max_bytes {
+        let grid = grid.as_ref().expect("checked in parse_args");
+        let report = grid
+            .evict_to(max_bytes)
+            .unwrap_or_else(|e| fail("evicting from the grid store", &e));
+        let scan = grid
+            .scan()
+            .unwrap_or_else(|e| fail("scanning the grid store", &e));
+        println!(
+            "{{\"max_bytes\":{max_bytes},\"evict\":{},\"scan\":{}}}",
+            report.to_json(),
+            scan.to_json()
+        );
+        return;
+    }
 
     // Standalone compaction: drop records of artifacts the benchmark grid
     // can no longer produce, then summarise what remains.
@@ -369,6 +433,59 @@ fn serve(addr: &str, options: &Options) {
         .unwrap_or_else(|e| fail("binding the grid daemon", &e));
     eprintln!("gridd listening on {}", daemon.local_addr());
     daemon.run().unwrap_or_else(|e| fail("grid daemon", &e));
+}
+
+/// `--advise`: categorizes every escaping fault of each named workload
+/// (comma list; default the two CI workloads) and closes the selective-
+/// hardening loop, printing the remediation report, the round progression
+/// and the selective-vs-full comparison — the source of
+/// `BENCH_advisor.json` in CI. With `--expect-zero-escapes` the process
+/// exits nonzero (after printing, so artifacts survive) unless every loop
+/// converged with zero escapes under the selective configuration.
+fn run_advise(options: &Options) {
+    let list = options
+        .workload_name
+        .clone()
+        .unwrap_or_else(|| "password_check,pin_retry".to_string());
+    let driver = SelectiveHardening::new()
+        .with_threads(options.threads.unwrap_or(1))
+        .with_max_steps(options.max_steps.unwrap_or(200_000));
+    let mut outcomes = Vec::new();
+    for name in list.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+        let workload = workload_by_name(name);
+        outcomes.push(
+            driver
+                .advise(&workload)
+                .unwrap_or_else(|e| fail("advise", &e)),
+        );
+    }
+    if outcomes.is_empty() {
+        usage("--advise needs at least one workload");
+    }
+    if options.json {
+        let parts: Vec<String> = outcomes.iter().map(|o| o.to_json()).collect();
+        println!("{{\"advise\":[{}]}}", parts.join(","));
+    } else {
+        for outcome in &outcomes {
+            println!("=== {} ===", outcome.workload);
+            println!("{}", outcome.render_summary());
+        }
+    }
+    if options.expect_zero_escapes {
+        for outcome in &outcomes {
+            if !outcome.converged || outcome.selective.total_escapes() != 0 {
+                fail(
+                    "--expect-zero-escapes",
+                    &format!(
+                        "{}: selective configuration left {} escape(s) (converged: {})",
+                        outcome.workload,
+                        outcome.selective.total_escapes(),
+                        outcome.converged
+                    ),
+                );
+            }
+        }
+    }
 }
 
 /// `--compact`: rebuilds the benchmark grid's artifact fingerprints (the

@@ -88,7 +88,7 @@ pub use report::{
     OutcomeCounts,
 };
 pub use runner::{CampaignRunner, OwnedModule, SharedModule, SimulatorSource};
-pub use service::{CellRequest, Completion, ExecutorPool, PoolStats};
+pub use service::{CellRequest, Completion, ExecutorPool, PoolError, PoolStats};
 pub use trace_store::{
     record_reference, record_reference_without_checkpoints, RecordedReference, TraceCheckpoint,
     TraceFetch, TraceKey, TraceStore, CHECKPOINT_BUDGET,

@@ -15,7 +15,11 @@
 //!
 //! Scheduling is by descending priority, ties broken by submission order
 //! (FIFO within a priority class). [`ExecutorPool::submit`] blocks while the
-//! queue is at capacity — backpressure instead of unbounded growth. Dropping
+//! queue is at capacity — backpressure instead of unbounded growth. A job
+//! may carry a [`CellRequest::deadline`]: a worker that claims it after
+//! that instant expires it instead of running it — the completion receives
+//! [`PoolError::DeadlineExpired`] (never a silent drop) and the pool counts
+//! it in [`PoolStats::expired`]. Dropping
 //! the pool shuts it down: workers finish their in-flight cell, queued jobs
 //! are discarded with their callbacks uninvoked (a waiter holding the other
 //! end of a channel observes the disconnect).
@@ -24,6 +28,7 @@ use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::{self, JoinHandle};
+use std::time::Instant;
 
 use secbranch_armv7m::SimError;
 
@@ -47,6 +52,12 @@ pub struct CellRequest {
     pub max_steps: u64,
     /// The fault model attacking this cell.
     pub model: Arc<dyn FaultModel + Send + Sync>,
+    /// If set, the instant after which this job — *while still queued* — is
+    /// expired instead of executed: a worker that claims it past this point
+    /// completes it with [`PoolError::DeadlineExpired`] without running any
+    /// simulation. A job already claimed before the deadline runs to
+    /// completion; the deadline bounds queue wait, not execution.
+    pub deadline: Option<Instant>,
 }
 
 impl std::fmt::Debug for CellRequest {
@@ -57,13 +68,43 @@ impl std::fmt::Debug for CellRequest {
             .field("args", &self.args)
             .field("max_steps", &self.max_steps)
             .field("model", &self.model.name())
+            .field("deadline", &self.deadline)
             .finish_non_exhaustive()
+    }
+}
+
+/// Why a pooled cell completed with an error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PoolError {
+    /// The fault-free reference run of the cell failed.
+    Sim(SimError),
+    /// The job was still queued when its [`CellRequest::deadline`] passed;
+    /// it was dropped without executing anything.
+    DeadlineExpired,
+}
+
+impl std::fmt::Display for PoolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PoolError::Sim(e) => write!(f, "reference run failed: {e}"),
+            PoolError::DeadlineExpired => {
+                write!(f, "deadline passed while the job was still queued")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PoolError {}
+
+impl From<SimError> for PoolError {
+    fn from(e: SimError) -> Self {
+        PoolError::Sim(e)
     }
 }
 
 /// Invoked exactly once with the cell's outcome — from a worker thread, so
 /// it must be `Send`. Never invoked for jobs still queued at shutdown.
-pub type Completion = Box<dyn FnOnce(Result<MatrixCellResult, SimError>) + Send + 'static>;
+pub type Completion = Box<dyn FnOnce(Result<MatrixCellResult, PoolError>) + Send + 'static>;
 
 /// Scheduling key of a queued job: descending priority, then FIFO.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -130,6 +171,7 @@ struct PoolShared {
     in_flight: AtomicU64,
     completed: AtomicU64,
     errored: AtomicU64,
+    expired: AtomicU64,
     compute_micros: AtomicU64,
 }
 
@@ -150,6 +192,10 @@ pub struct PoolStats {
     pub completed: u64,
     /// Jobs whose callback received an `Err` (failing reference run).
     pub errored: u64,
+    /// Jobs dropped unexecuted because their deadline passed while they
+    /// were still queued (their callbacks received
+    /// [`PoolError::DeadlineExpired`]).
+    pub expired: u64,
     /// Injection compute time summed over all completed cells, in µs.
     pub compute_micros: u64,
 }
@@ -196,6 +242,7 @@ impl ExecutorPool {
             in_flight: AtomicU64::new(0),
             completed: AtomicU64::new(0),
             errored: AtomicU64::new(0),
+            expired: AtomicU64::new(0),
             compute_micros: AtomicU64::new(0),
         });
         let workers = (0..workers.max(1))
@@ -261,6 +308,7 @@ impl ExecutorPool {
             submitted: self.shared.submitted.load(Ordering::Relaxed),
             completed: self.shared.completed.load(Ordering::Relaxed),
             errored: self.shared.errored.load(Ordering::Relaxed),
+            expired: self.shared.expired.load(Ordering::Relaxed),
             compute_micros: self.shared.compute_micros.load(Ordering::Relaxed),
         }
     }
@@ -298,11 +346,23 @@ fn worker_loop(shared: &PoolShared) {
             }
         };
         shared.space.notify_one();
-        shared.in_flight.fetch_add(1, Ordering::Relaxed);
 
         let QueuedJob {
             request, on_done, ..
         } = job;
+        // A deadline bounds queue wait: a job claimed after its deadline is
+        // expired here — completion invoked with an error, never silently
+        // dropped, so waiters coalesced onto the cell observe the outcome
+        // instead of hanging on a registration nobody will ever serve.
+        if request
+            .deadline
+            .is_some_and(|deadline| Instant::now() >= deadline)
+        {
+            shared.expired.fetch_add(1, Ordering::Relaxed);
+            on_done(Err(PoolError::DeadlineExpired));
+            continue;
+        }
+        shared.in_flight.fetch_add(1, Ordering::Relaxed);
         // One single-threaded executor run per cell: the pool's parallelism
         // is across cells, and every executor invariant (cell-cache probe,
         // trace memo, canonical assembly, write-back) is inherited verbatim.
@@ -319,7 +379,8 @@ fn worker_loop(shared: &PoolShared) {
         let result = MatrixExecutor::new()
             .with_threads(1)
             .run(std::slice::from_ref(&matrix_job), &shared.store)
-            .map(|mut results| results.pop().expect("one job in, one result out"));
+            .map(|mut results| results.pop().expect("one job in, one result out"))
+            .map_err(PoolError::Sim);
         match &result {
             Ok(cell) => {
                 shared
@@ -372,6 +433,7 @@ mod tests {
             args: vec![7, 3],
             max_steps: 100,
             model,
+            deadline: None,
         }
     }
 
@@ -427,8 +489,41 @@ mod tests {
             Box::new(move |r| tx.send(r).expect("receiver alive")),
         );
         let result = rx.recv().expect("callback fired");
-        assert!(matches!(result, Err(SimError::UnknownEntryPoint { .. })));
+        assert!(matches!(
+            result,
+            Err(PoolError::Sim(SimError::UnknownEntryPoint { .. }))
+        ));
         assert_eq!(pool.stats().errored, 1);
+    }
+
+    #[test]
+    fn expired_queued_jobs_complete_with_an_error_instead_of_running() {
+        let pool = ExecutorPool::new(Arc::new(TraceStore::new()), 1, 4);
+        let mut stale = request_for(Arc::new(InstructionSkip));
+        // By the time any worker claims the job, this instant has passed.
+        stale.deadline = Some(Instant::now());
+        let (tx, rx) = mpsc::channel();
+        assert!(pool.submit(
+            0,
+            stale,
+            Box::new(move |r| tx.send(r).expect("receiver alive")),
+        ));
+        let result = rx.recv().expect("expired jobs still fire their callback");
+        assert!(matches!(result, Err(PoolError::DeadlineExpired)));
+        let stats = pool.stats();
+        assert_eq!(stats.expired, 1);
+        assert_eq!(stats.completed, 0);
+        assert_eq!(stats.errored, 0);
+
+        // Expiry poisons nothing: a live job afterwards runs normally.
+        let (tx, rx) = mpsc::channel();
+        assert!(pool.submit(
+            0,
+            request_for(Arc::new(InstructionSkip)),
+            Box::new(move |r| tx.send(r).expect("receiver alive")),
+        ));
+        assert!(rx.recv().expect("callback fired").is_ok());
+        assert_eq!(pool.stats().completed, 1);
     }
 
     #[test]

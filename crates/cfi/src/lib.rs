@@ -52,7 +52,9 @@ mod monitor;
 mod signature;
 
 pub use monitor::{CfiMonitor, Violation};
-pub use signature::{edge_update, justifying_update, protected_edge_update, SignatureAssignment};
+pub use signature::{
+    edge_update, exit_signature, justifying_update, protected_edge_update, SignatureAssignment,
+};
 
 #[cfg(test)]
 mod crate_tests {

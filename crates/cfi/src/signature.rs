@@ -59,6 +59,40 @@ impl SignatureAssignment {
     }
 }
 
+/// The canonical *exit* signature of a function: the value a returning
+/// function replaces the CFI state with, after checking its final block's
+/// signature.
+///
+/// This makes state replacement at call boundaries *verified*: the caller
+/// checks `exit_signature(callee)` right after the `bl` before replacing
+/// the state with its own block signature. A skipped call leaves the
+/// caller's block signature in the CFI unit — which cannot equal the
+/// callee's exit signature — so the check latches a violation, closing the
+/// detection gap an unconditional replacement would leave.
+///
+/// Derived from the function name alone (salted differently from the block
+/// signatures of [`SignatureAssignment::derive`]), so caller and callee
+/// compute it independently.
+#[must_use]
+pub fn exit_signature(function_name: &str) -> u32 {
+    let mut seed = 0xcbf2_9ce4_8422_2325u64; // FNV offset basis
+    for byte in b"exit\0".iter().chain(function_name.as_bytes()) {
+        seed ^= u64::from(*byte);
+        seed = seed.wrapping_mul(0x0000_0100_0000_01B3); // FNV prime
+    }
+    let mut state = seed | 1;
+    loop {
+        // xorshift64* mixing, same generator as the block signatures.
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        let candidate = (state.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 32) as u32;
+        if candidate != 0 && candidate != u32::MAX {
+            return candidate;
+        }
+    }
+}
+
 /// The XOR constant instrumented code applies when following the ordinary CFG
 /// edge `pred -> succ`: it moves a correct state from `sig(pred)` to
 /// `sig(succ)`.
@@ -152,6 +186,22 @@ mod tests {
         let state =
             secondary ^ justifying_update(secondary, primary) ^ edge_update(primary, merged);
         assert_eq!(state, merged);
+    }
+
+    #[test]
+    fn exit_signatures_are_deterministic_and_distinct_from_block_signatures() {
+        assert_eq!(
+            exit_signature("memcmp_secure"),
+            exit_signature("memcmp_secure")
+        );
+        assert_ne!(exit_signature("memcmp_secure"), exit_signature("pin_check"));
+        assert_ne!(exit_signature("f"), 0);
+        // The exit value must differ from every block signature of the same
+        // function, or a skipped call could go unnoticed.
+        let sigs = SignatureAssignment::derive("memcmp_secure", 32);
+        for i in 0..32 {
+            assert_ne!(exit_signature("memcmp_secure"), sigs.signature(i));
+        }
     }
 
     #[test]

@@ -26,12 +26,12 @@
 //! * `"cfi-edge"` — the per-CFG-edge update stubs (including the
 //!   protected-branch condition merges of Section III).
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
 use secbranch_armv7m::machine::{CFI_CHECK_ADDR, CFI_REPLACE_ADDR, CFI_UPDATE_ADDR};
 use secbranch_armv7m::{Cond, Instr, Operand2, Program, ProgramBuilder, Reg, Simulator, Target};
-use secbranch_cfi::{edge_update, protected_edge_update, SignatureAssignment};
+use secbranch_cfi::{edge_update, exit_signature, protected_edge_update, SignatureAssignment};
 use secbranch_ir::{
     BinOp, BlockId, Function, LocalId, MemWidth, Module, Op, Operand, Predicate, Terminator,
     ValueId,
@@ -55,11 +55,41 @@ pub enum CfiLevel {
     Full,
 }
 
+/// A code region of one function that selective skip-hardening targets.
+///
+/// Regions are named in *source-IR* coordinates (the pipeline keeps IR
+/// block ids stable through the passes used for selective hardening), so an
+/// advisor that analysed the source CFG can request hardening without
+/// knowing anything about the emitted instruction sequence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum HardenRegion {
+    /// The function prologue: frame setup, parameter spills and the entry
+    /// branch.
+    Prologue,
+    /// One IR basic block's instruction selection and terminator.
+    Block(BlockId),
+}
+
 /// Code-generation options.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct CodegenOptions {
     /// CFI instrumentation level.
     pub cfi: CfiLevel,
+    /// When `Some`, CFI instrumentation (under [`CfiLevel::Full`]) is
+    /// emitted only for the named functions; `None` keeps the historical
+    /// whole-program behaviour. Callers scoping CFI must close the set over
+    /// the call graph themselves — GPSA state replacement couples caller
+    /// and callee at every call boundary, so an instrumented function
+    /// calling an uninstrumented one (or vice versa) would corrupt the
+    /// running signature.
+    pub cfi_functions: Option<BTreeSet<String>>,
+    /// Regions receiving skip-hardening duplication (function name → region
+    /// set): within each region every idempotent instruction is emitted
+    /// twice ([`secbranch_armv7m::ProgramBuilder::set_duplicate_idempotent`]),
+    /// masking any single instruction-skip fault on either copy. CFI edge
+    /// stubs are emitted outside all regions, so the CFI unit's
+    /// non-idempotent UPDATE writes are never duplicated.
+    pub harden: BTreeMap<String, BTreeSet<HardenRegion>>,
 }
 
 /// The output of the back end: an assembled program plus the data-layout
@@ -208,6 +238,31 @@ impl<'a> FunctionCompiler<'a> {
 
     fn cfi_enabled(&self) -> bool {
         matches!(self.options.cfi, CfiLevel::Full)
+            && self
+                .options
+                .cfi_functions
+                .as_ref()
+                .is_none_or(|names| names.contains(&self.function.name))
+    }
+
+    /// Whether the named callee is itself compiled with CFI — only then
+    /// will it leave its exit signature behind for the post-call check.
+    fn callee_cfi_enabled(&self, callee: &str) -> bool {
+        matches!(self.options.cfi, CfiLevel::Full)
+            && self
+                .options
+                .cfi_functions
+                .as_ref()
+                .is_none_or(|names| names.iter().any(|n| n == callee))
+    }
+
+    /// Whether `region` of this function was selected for skip-hardening
+    /// duplication.
+    fn hardened(&self, region: HardenRegion) -> bool {
+        self.options
+            .harden
+            .get(&self.function.name)
+            .is_some_and(|regions| regions.contains(&region))
     }
 
     fn slot(&self, value: ValueId) -> u32 {
@@ -320,6 +375,7 @@ impl<'a> FunctionCompiler<'a> {
 
         // Prologue: save LR, allocate the frame, spill parameters.
         p.set_origin("prologue");
+        p.set_duplicate_idempotent(self.hardened(HardenRegion::Prologue));
         p.push(Instr::Push {
             regs: vec![Reg::Lr],
         });
@@ -350,9 +406,12 @@ impl<'a> FunctionCompiler<'a> {
             target: Target::label(self.block_label(self.function.entry())),
         });
 
-        // Blocks.
+        // Blocks. Skip-hardening duplication is toggled per region: the
+        // whole block (instruction selection and terminator) is inside the
+        // region, edge stubs below are outside every region.
         let mut edge_stubs: Vec<(String, Vec<Instr>, String)> = Vec::new();
         for (block_id, block) in self.function.iter_blocks() {
+            p.set_duplicate_idempotent(self.hardened(HardenRegion::Block(block_id)));
             p.label(self.block_label(block_id));
             for inst in &block.insts {
                 self.emit_inst(p, &inst.op, inst.result, block_id)?;
@@ -365,6 +424,7 @@ impl<'a> FunctionCompiler<'a> {
             };
             self.emit_terminator(p, block_id, term, &mut edge_stubs)?;
         }
+        p.set_duplicate_idempotent(false);
 
         // Edge stubs (CFI updates on CFG edges).
         p.set_origin("cfi-edge");
@@ -574,11 +634,16 @@ impl<'a> FunctionCompiler<'a> {
                 p.push(Instr::Bl {
                     target: Target::label(callee.clone()),
                 });
-                // The callee replaced the CFI state; restore this block's
-                // signature (the state-replacement technique at call
-                // boundaries).
+                // Verified state replacement at the call boundary: a CFI'd
+                // callee leaves its canonical exit signature in the state,
+                // which is checked here before this block's signature is
+                // restored. A skipped `bl` leaves this block's own
+                // signature in the unit instead, so the check latches.
                 if self.cfi_enabled() {
                     p.set_origin("cfi");
+                    if self.callee_cfi_enabled(callee) {
+                        self.emit_cfi_write_const(p, CFI_CHECK_ADDR, exit_signature(callee));
+                    }
                     self.emit_cfi_write_const(
                         p,
                         CFI_REPLACE_ADDR,
@@ -684,6 +749,14 @@ impl<'a> FunctionCompiler<'a> {
                         p,
                         CFI_CHECK_ADDR,
                         self.signatures.signature(block.0 as usize),
+                    );
+                    // Normalise the per-path return state to the function's
+                    // canonical exit signature, so CFI'd callers can verify
+                    // the call actually executed before replacing the state.
+                    self.emit_cfi_write_const(
+                        p,
+                        CFI_REPLACE_ADDR,
+                        exit_signature(&self.function.name),
                     );
                 }
                 p.set_origin("epilogue");
@@ -818,7 +891,15 @@ mod tests {
         for (x, y) in [(9u32, 3u32), (3, 9), (7, 7), (0, 65_535)] {
             let expected = interp::run(&m, "abs_diff", &[x, y]).unwrap().return_value;
             for cfi in [CfiLevel::None, CfiLevel::Full] {
-                let r = compile_and_run(&m, &CodegenOptions { cfi }, "abs_diff", &[x, y]);
+                let r = compile_and_run(
+                    &m,
+                    &CodegenOptions {
+                        cfi,
+                        ..CodegenOptions::default()
+                    },
+                    "abs_diff",
+                    &[x, y],
+                );
                 assert_eq!(Some(r.return_value), expected, "{x},{y} cfi={cfi:?}");
             }
         }
@@ -831,6 +912,7 @@ mod tests {
             &m,
             &CodegenOptions {
                 cfi: CfiLevel::Full,
+                ..CodegenOptions::default()
             },
             "abs_diff",
             &[10, 3],
@@ -846,6 +928,7 @@ mod tests {
             &m,
             &CodegenOptions {
                 cfi: CfiLevel::None,
+                ..CodegenOptions::default()
             },
         )
         .expect("compiles");
@@ -853,6 +936,7 @@ mod tests {
             &m,
             &CodegenOptions {
                 cfi: CfiLevel::Full,
+                ..CodegenOptions::default()
             },
         )
         .expect("compiles");
@@ -905,7 +989,15 @@ mod tests {
         m.add_function(b.finish());
 
         for cfi in [CfiLevel::None, CfiLevel::Full] {
-            let r = compile_and_run(&m, &CodegenOptions { cfi }, "sum_table", &[8]);
+            let r = compile_and_run(
+                &m,
+                &CodegenOptions {
+                    cfi,
+                    ..CodegenOptions::default()
+                },
+                "sum_table",
+                &[8],
+            );
             assert_eq!(r.return_value, 36, "cfi={cfi:?}");
             if matches!(cfi, CfiLevel::Full) {
                 assert_eq!(r.cfi_violations, 0);
@@ -939,6 +1031,7 @@ mod tests {
                 &m,
                 &CodegenOptions {
                     cfi: CfiLevel::Full,
+                    ..CodegenOptions::default()
                 },
                 "check",
                 &[x, y],
@@ -952,6 +1045,7 @@ mod tests {
             &m,
             &CodegenOptions {
                 cfi: CfiLevel::None,
+                ..CodegenOptions::default()
             },
             "check",
             &[7, 7],
@@ -974,6 +1068,7 @@ mod tests {
             .expect("pipeline");
         let options = CodegenOptions {
             cfi: CfiLevel::Full,
+            ..CodegenOptions::default()
         };
         let first = compile(&m, &options).expect("compiles");
         let second = compile(&m, &options).expect("compiles");
@@ -1011,6 +1106,7 @@ mod tests {
             &m,
             &CodegenOptions {
                 cfi: CfiLevel::Full,
+                ..CodegenOptions::default()
             },
         )
         .expect("compiles");

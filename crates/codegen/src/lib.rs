@@ -45,7 +45,7 @@ mod isel;
 pub mod snippet;
 
 pub use error::CodegenError;
-pub use isel::{compile, CfiLevel, CodegenOptions, CompiledModule};
+pub use isel::{compile, CfiLevel, CodegenOptions, CompiledModule, HardenRegion};
 
 #[cfg(test)]
 mod crate_tests {

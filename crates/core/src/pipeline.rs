@@ -2,11 +2,13 @@
 //! first-class, replacing the hard-coded configuration of the historical
 //! `build`/`measure` free functions.
 
-use secbranch_codegen::{compile, CfiLevel, CodegenOptions};
-use secbranch_ir::Module;
+use std::collections::{BTreeMap, BTreeSet};
+
+use secbranch_codegen::{compile, CfiLevel, CodegenOptions, HardenRegion};
+use secbranch_ir::{BlockId, Module};
 use secbranch_passes::{
-    add_duplication_passes, add_standard_protection_passes, AnCoder, AnCoderConfig, Duplication,
-    DuplicationConfig, Pass, PassManager,
+    add_duplication_passes, add_standard_protection_passes, AnCoder, AnCoderConfig,
+    DeadCodeElimination, Duplication, DuplicationConfig, Pass, PassManager, SelectiveAnCoder,
 };
 
 use crate::{Artifact, BuildError, Measurement, ProtectionVariant, Provenance};
@@ -70,6 +72,11 @@ pub struct Pipeline {
     /// the raw material of [`Pipeline::fingerprint`].
     components: Vec<String>,
     cfi: CfiLevel,
+    /// When `Some`, CFI instrumentation is scoped to the named functions
+    /// (see [`CodegenOptions::cfi_functions`]).
+    cfi_functions: Option<BTreeSet<String>>,
+    /// Regions receiving skip-hardening duplication in the back end.
+    harden: BTreeMap<String, BTreeSet<HardenRegion>>,
     sim: SimConfig,
 }
 
@@ -89,6 +96,8 @@ impl Pipeline {
             passes: PassManager::new(),
             components: Vec::new(),
             cfi: CfiLevel::None,
+            cfi_functions: None,
+            harden: BTreeMap::new(),
             sim: SimConfig::default(),
         }
     }
@@ -145,6 +154,49 @@ impl Pipeline {
         // drift and silently conflate cache entries.
         self.components
             .push(format!("standard:{}", AnCoder::new(config).fingerprint()));
+        self
+    }
+
+    /// Appends *selective* AN-code protection: only the conditional branches
+    /// terminating the named `(function, block)` targets are rebuilt in the
+    /// encoded domain (followed by dead-code elimination of the replaced
+    /// plain comparisons). Unlike [`Pipeline::with_an_code`] this skips the
+    /// lowering pre-passes, so IR block ids stay stable — the coordinates an
+    /// advisor derived from the *source* CFG remain valid in the artifact.
+    #[must_use]
+    pub fn an_code_only(mut self, targets: BTreeMap<String, BTreeSet<BlockId>>) -> Self {
+        let pass = SelectiveAnCoder::new(targets);
+        self.components
+            .push(format!("selective:{}", pass.fingerprint()));
+        self.passes.add(pass);
+        self.passes.add(DeadCodeElimination::new());
+        self
+    }
+
+    /// Scopes CFI instrumentation (under [`CfiLevel::Full`]) to the named
+    /// functions; also raises the CFI level to `Full`. The set must be
+    /// closed over the call graph — GPSA state replacement couples caller
+    /// and callee, so partially instrumented call chains would corrupt the
+    /// running signature (see [`CodegenOptions::cfi_functions`]).
+    #[must_use]
+    pub fn cfi_only(mut self, functions: BTreeSet<String>) -> Self {
+        self.cfi = CfiLevel::Full;
+        self.cfi_functions = Some(functions);
+        self
+    }
+
+    /// Requests skip-hardening of the given code regions: within each region
+    /// the back end emits every idempotent instruction twice, masking any
+    /// single instruction-skip fault on either copy (merged into previously
+    /// requested regions).
+    #[must_use]
+    pub fn with_skip_hardening(
+        mut self,
+        regions: BTreeMap<String, BTreeSet<HardenRegion>>,
+    ) -> Self {
+        for (function, set) in regions {
+            self.harden.entry(function).or_default().extend(set);
+        }
         self
     }
 
@@ -232,13 +284,43 @@ impl Pipeline {
     /// The label is deliberately *not* part of the fingerprint.
     #[must_use]
     pub fn fingerprint(&self) -> String {
-        format!(
+        let mut fp = format!(
             "cfi={:?};passes=[{}];mem={};steps={}",
             self.cfi,
             self.components.join(","),
             self.sim.memory_size,
             self.sim.max_steps,
-        )
+        );
+        // The selective-hardening knobs extend the fingerprint only when
+        // set, so every pre-existing pipeline keeps its historical
+        // fingerprint — and with it, its entries in persistent build caches.
+        if let Some(functions) = &self.cfi_functions {
+            fp.push_str(";cfi_fns=[");
+            fp.push_str(&functions.iter().cloned().collect::<Vec<_>>().join(","));
+            fp.push(']');
+        }
+        if !self.harden.is_empty() {
+            fp.push_str(";harden=[");
+            let mut first = true;
+            for (function, regions) in &self.harden {
+                if !first {
+                    fp.push(',');
+                }
+                first = false;
+                fp.push_str(function);
+                fp.push(':');
+                let rendered: Vec<String> = regions
+                    .iter()
+                    .map(|r| match r {
+                        HardenRegion::Prologue => "pro".to_string(),
+                        HardenRegion::Block(b) => format!("bb{}", b.0),
+                    })
+                    .collect();
+                fp.push_str(&rendered.join("+"));
+            }
+            fp.push(']');
+        }
+        fp
     }
 
     /// Runs the middle-end passes on a copy of `module` and compiles the
@@ -264,7 +346,12 @@ impl Pipeline {
         };
         let mut module = module.clone();
         self.passes.run(&mut module)?;
-        let compiled = compile(&module, &CodegenOptions { cfi: self.cfi })?;
+        let options = CodegenOptions {
+            cfi: self.cfi,
+            cfi_functions: self.cfi_functions.clone(),
+            harden: self.harden.clone(),
+        };
+        let compiled = compile(&module, &options)?;
         Ok(Artifact::new(
             self.label.clone(),
             provenance,

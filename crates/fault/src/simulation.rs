@@ -191,6 +191,7 @@ mod tests {
             &module,
             &CodegenOptions {
                 cfi: CfiLevel::Full,
+                ..CodegenOptions::default()
             },
         )
         .expect("compiles")
@@ -203,6 +204,7 @@ mod tests {
             &module,
             &CodegenOptions {
                 cfi: CfiLevel::None,
+                ..CodegenOptions::default()
             },
         )
         .expect("compiles")

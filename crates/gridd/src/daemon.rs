@@ -40,11 +40,10 @@ use std::time::{Duration, Instant};
 
 use secbranch::campaign::{
     CampaignReport, CellKey, CellRequest, ExecutorPool, FaultModel, GridBackend, MatrixCellResult,
-    OwnedModule, SimulatorSource, TraceFetch, TraceKey, TraceStore,
+    OwnedModule, PoolError, SimulatorSource, TraceFetch, TraceKey, TraceStore,
 };
 use secbranch::store::GridStore;
 use secbranch::{MatrixStats, Pipeline, SecurityCell, SecurityReport, Session, Workload};
-use secbranch_armv7m::SimError;
 
 use crate::catalog;
 use crate::protocol::{
@@ -408,6 +407,11 @@ fn handle_grid(shared: &Arc<Shared>, stream: &mut Stream, payload: &[u8]) -> io:
     let mut compute_micros: Vec<u64> = vec![0; total as usize];
     let mut pending = 0u32;
     let mut admission_failure: Option<String> = None;
+    // The request's deadline governs both sides of a cold cell: the pool
+    // expires still-queued jobs past it, and the drain loop below stops
+    // waiting at the same instant.
+    let deadline = (request.deadline_millis > 0)
+        .then(|| started + Duration::from_millis(request.deadline_millis));
 
     // Admission, in canonical (workload-major, pipeline-then-model) order.
     'admission: for (windex, workload) in plan.workloads.iter().enumerate() {
@@ -476,6 +480,7 @@ fn handle_grid(shared: &Arc<Shared>, stream: &mut Stream, payload: &[u8]) -> io:
                         args: workload.args.clone(),
                         max_steps: request.max_steps,
                         model: Arc::clone(model),
+                        deadline,
                     };
                     let callback_shared = Arc::clone(shared);
                     let callback_key = cell_key.clone();
@@ -511,8 +516,6 @@ fn handle_grid(shared: &Arc<Shared>, stream: &mut Stream, payload: &[u8]) -> io:
 
     // Drain: stream each remaining cell as it completes, under the
     // request's deadline.
-    let deadline = (request.deadline_millis > 0)
-        .then(|| started + Duration::from_millis(request.deadline_millis));
     let mut failure = admission_failure;
     let mut recordings = 0u32;
     while failure.is_none() && pending > 0 {
@@ -680,7 +683,7 @@ fn refuse(shared: &Shared, stream: &mut Stream, message: &str) -> io::Result<()>
 /// Pool-callback side of single-flight: take the subscriber list (making
 /// the cell's identity free again — the store already holds the result,
 /// written back before this callback ran), account the outcome, fan out.
-fn complete_cell(shared: &Shared, key: &CellKey, result: Result<MatrixCellResult, SimError>) {
+fn complete_cell(shared: &Shared, key: &CellKey, result: Result<MatrixCellResult, PoolError>) {
     let waiters = shared
         .inflight
         .lock()
@@ -711,7 +714,9 @@ fn complete_cell(shared: &Shared, key: &CellKey, result: Result<MatrixCellResult
                 cell_hit: cell.cell_hit,
             })
         }
-        Err(e) => Err(format!("reference run failed: {e}")),
+        // `Display` for `PoolError` already distinguishes a failing
+        // reference run from a queue-deadline expiry.
+        Err(e) => Err(e.to_string()),
     };
     for waiter in waiters {
         // A waiter whose request already failed (deadline, transport) has
@@ -742,6 +747,7 @@ fn snapshot(shared: &Shared) -> StatsSnapshot {
         pool_submitted: pool.submitted,
         pool_completed: pool.completed,
         pool_errored: pool.errored,
+        pool_expired: pool.expired,
         pool_compute_micros: pool.compute_micros,
         trace_hits: traces.hits(),
         trace_disk_hits: traces.disk_hits(),

@@ -499,6 +499,9 @@ pub struct StatsSnapshot {
     pub pool_completed: u64,
     /// Jobs whose fault-free reference run failed.
     pub pool_errored: u64,
+    /// Jobs dropped unexecuted because the request deadline passed while
+    /// they were still queued.
+    pub pool_expired: u64,
     /// Injection compute time summed over all completed cells, in µs.
     pub pool_compute_micros: u64,
     /// Reference traces served from the in-memory trace store.
@@ -526,8 +529,9 @@ impl StatsSnapshot {
              \"recordings\":{},\"request_errors\":{},\"version_rejects\":{},\
              \"queue_depth\":{},\"in_flight\":{},\"workers\":{},\"queue_capacity\":{},\
              \"pool_submitted\":{},\"pool_completed\":{},\"pool_errored\":{},\
-             \"pool_compute_micros\":{},\"trace_hits\":{},\"trace_disk_hits\":{},\
-             \"trace_misses\":{},\"recent_cell_micros\":[{}],\"store\":{}}}",
+             \"pool_expired\":{},\"pool_compute_micros\":{},\"trace_hits\":{},\
+             \"trace_disk_hits\":{},\"trace_misses\":{},\
+             \"recent_cell_micros\":[{}],\"store\":{}}}",
             self.protocol_version,
             self.requests,
             self.cells_requested,
@@ -544,6 +548,7 @@ impl StatsSnapshot {
             self.pool_submitted,
             self.pool_completed,
             self.pool_errored,
+            self.pool_expired,
             self.pool_compute_micros,
             self.trace_hits,
             self.trace_disk_hits,
@@ -577,6 +582,7 @@ pub fn encode_stats(stats: &StatsSnapshot) -> Vec<u8> {
         stats.pool_submitted,
         stats.pool_completed,
         stats.pool_errored,
+        stats.pool_expired,
         stats.pool_compute_micros,
         stats.trace_hits,
         stats.trace_disk_hits,
@@ -634,6 +640,7 @@ pub fn decode_stats(payload: &[u8]) -> Result<StatsSnapshot, RecordError> {
         &mut stats.pool_submitted,
         &mut stats.pool_completed,
         &mut stats.pool_errored,
+        &mut stats.pool_expired,
         &mut stats.pool_compute_micros,
         &mut stats.trace_hits,
         &mut stats.trace_disk_hits,
@@ -780,6 +787,7 @@ mod tests {
             computed_cells: 15,
             coalesced_cells: 5,
             recordings: 6,
+            pool_expired: 4,
             recent_cell_micros: vec![10, 20, 30],
             store: Some(StoreStats {
                 cell_hits: 40,
@@ -791,6 +799,7 @@ mod tests {
         let decoded = decode_stats(&encode_stats(&stats)).expect("decodes");
         assert_eq!(decoded, stats);
         assert!(decoded.to_json().contains("\"coalesced_cells\":5"));
+        assert!(decoded.to_json().contains("\"pool_expired\":4"));
         assert!(decoded.to_json().contains("\"migrated\":2"));
 
         let stripped = StatsSnapshot::default();

@@ -154,8 +154,10 @@ fn protect_function(function: &mut Function, params: &Parameters, stats: &mut An
 
 /// Attempts to protect the conditional branch terminating `block`; returns
 /// the number of added instructions, or `Err(())` if the branch must stay
-/// unprotected.
-fn protect_branch(
+/// unprotected. Shared with the selective AN Coder
+/// (`crate::SelectiveAnCoder`), which applies it to an explicit target set
+/// instead of every conditional branch.
+pub(crate) fn protect_branch(
     function: &mut Function,
     block: BlockId,
     params: &Parameters,

@@ -20,6 +20,9 @@
 //! * [`Duplication`] — the baseline countermeasure: the conditional branch is
 //!   re-checked N times in a comparison tree (the paper duplicates six times
 //!   to match the 6-bit Hamming distance of the AN-code).
+//! * [`SelectiveAnCoder`] — the advisor's variant of the AN Coder: protects
+//!   an explicit `(function, block)` target set instead of every branch,
+//!   keeping block ids stable so source-CFG coordinates survive.
 //! * [`DeadCodeElimination`] — removes side-effect-free instructions whose
 //!   results are no longer used (e.g. comparison slices fully replaced by
 //!   their encoded twins).
@@ -63,6 +66,7 @@ mod loop_decoupler;
 mod lower_select;
 mod lower_switch;
 mod manager;
+mod selective;
 pub mod util;
 
 pub use an_coder::{AnCoder, AnCoderConfig, AnCoderStats};
@@ -73,6 +77,7 @@ pub use loop_decoupler::LoopDecoupler;
 pub use lower_select::LowerSelect;
 pub use lower_switch::LowerSwitch;
 pub use manager::{Pass, PassManager};
+pub use selective::SelectiveAnCoder;
 
 /// Appends the paper's protection passes (Figure 3 middle end) to an
 /// existing manager: Loop Decoupler, Lower Select, Lower Switch, AN Coder,

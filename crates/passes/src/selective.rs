@@ -1,0 +1,259 @@
+//! The selective AN Coder — region-targeted branch protection.
+//!
+//! The whole-function [`AnCoder`](crate::AnCoder) protects *every*
+//! conditional branch of a `protect_branches` function. The advisor's
+//! closed-loop selective hardening instead names exactly the branches whose
+//! unprotected versions let faults escape, and asks for protection of those
+//! alone. This pass applies the same transformation
+//! ([`crate::an_coder`]'s encoded comparison-slice rebuild) to an explicit
+//! `(function, block)` target set, ignoring the `protect_branches`
+//! annotation.
+//!
+//! Unlike the standard pipeline, the selective pass is meant to run
+//! **without** the lowering pre-passes (`LowerSelect`, `LowerSwitch`,
+//! `LoopDecoupler`): those create and renumber blocks, which would
+//! invalidate the source-CFG coordinates the advisor derived its targets
+//! from. The pass itself only appends instructions to existing blocks and
+//! rewrites their terminators, so block ids stay stable.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use secbranch_ancode::Parameters;
+use secbranch_ir::{BlockId, Module};
+
+use crate::an_coder::{protect_branch, AnCoderStats};
+use crate::error::PassError;
+use crate::manager::Pass;
+
+/// The selective AN Coder pass: protects exactly the conditional branches
+/// terminating the named `(function, block)` targets.
+#[derive(Debug, Clone)]
+pub struct SelectiveAnCoder {
+    params: Parameters,
+    targets: BTreeMap<String, BTreeSet<BlockId>>,
+}
+
+impl SelectiveAnCoder {
+    /// Creates the pass for the given target set (function name → blocks
+    /// whose terminating branches should be protected) with the paper's
+    /// default code parameters.
+    #[must_use]
+    pub fn new(targets: BTreeMap<String, BTreeSet<BlockId>>) -> Self {
+        SelectiveAnCoder {
+            params: Parameters::paper_defaults(),
+            targets,
+        }
+    }
+
+    /// Overrides the AN-code parameters.
+    #[must_use]
+    pub fn with_params(mut self, params: Parameters) -> Self {
+        self.params = params;
+        self
+    }
+
+    /// The target set.
+    #[must_use]
+    pub fn targets(&self) -> &BTreeMap<String, BTreeSet<BlockId>> {
+        &self.targets
+    }
+
+    /// Runs the pass and reports what it did. Targets naming a missing
+    /// function, a block without a conditional branch, or a branch whose
+    /// comparison slice cannot be encoded are counted in
+    /// [`AnCoderStats::skipped_branches`] rather than failing the pass — the
+    /// advisor cross-checks convergence by re-running the campaign, not by
+    /// trusting the transformation.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible, but returns a [`PassError`] for interface
+    /// consistency with [`Pass::run`].
+    pub fn run_with_stats(&self, module: &mut Module) -> Result<AnCoderStats, PassError> {
+        let mut stats = AnCoderStats::default();
+        for (name, blocks) in &self.targets {
+            let Some(function) = module.functions.iter_mut().find(|f| &f.name == name) else {
+                stats.skipped_branches += blocks.len();
+                continue;
+            };
+            for &block in blocks {
+                if block.0 as usize >= function.blocks.len() {
+                    stats.skipped_branches += 1;
+                    continue;
+                }
+                match protect_branch(function, block, &self.params) {
+                    Ok(added) => {
+                        stats.protected_branches += 1;
+                        stats.added_instructions += added;
+                    }
+                    Err(()) => stats.skipped_branches += 1,
+                }
+            }
+        }
+        Ok(stats)
+    }
+}
+
+impl Pass for SelectiveAnCoder {
+    fn name(&self) -> &'static str {
+        "selective-an-coder"
+    }
+
+    fn fingerprint(&self) -> String {
+        let mut targets = String::new();
+        for (name, blocks) in &self.targets {
+            if !targets.is_empty() {
+                targets.push(',');
+            }
+            targets.push_str(name);
+            targets.push(':');
+            for (i, block) in blocks.iter().enumerate() {
+                if i > 0 {
+                    targets.push('+');
+                }
+                targets.push_str(&format!("bb{}", block.0));
+            }
+        }
+        format!(
+            "selective-an-coder(A={},Cord={},Ceq={},targets=[{}])",
+            self.params.code().constant(),
+            self.params.ordering_constant(),
+            self.params.equality_constant(),
+            targets,
+        )
+    }
+
+    fn run(&self, module: &mut Module) -> Result<(), PassError> {
+        self.run_with_stats(module).map(|_| ())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use secbranch_ir::builder::FunctionBuilder;
+    use secbranch_ir::{interp, verify, Op, Predicate, Terminator};
+
+    /// Two independent protected-style branches in one function; block ids:
+    /// entry bb0 branches, bb1 branches, bb2/bb3/bb4 return.
+    fn two_branch_module() -> Module {
+        let mut b = FunctionBuilder::new("gate", 3);
+        let second = b.create_block("second");
+        let deny = b.create_block("deny");
+        let grant = b.create_block("grant");
+        let c0 = b.cmp(Predicate::Eq, b.param(0), b.param(1));
+        b.branch(c0, second, deny);
+        b.switch_to(second);
+        let c1 = b.cmp(Predicate::Eq, b.param(1), b.param(2));
+        b.branch(c1, grant, deny);
+        b.switch_to(grant);
+        b.ret(Some(1u32.into()));
+        b.switch_to(deny);
+        b.ret(Some(0u32.into()));
+        let mut m = Module::new();
+        m.add_function(b.finish());
+        m
+    }
+
+    fn targets(entries: &[(&str, &[u32])]) -> BTreeMap<String, BTreeSet<BlockId>> {
+        entries
+            .iter()
+            .map(|(name, blocks)| {
+                (
+                    (*name).to_string(),
+                    blocks.iter().map(|&b| BlockId(b)).collect(),
+                )
+            })
+            .collect()
+    }
+
+    fn protected_blocks(m: &Module, name: &str) -> Vec<u32> {
+        let f = m.function(name).expect("present");
+        f.blocks
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| {
+                matches!(
+                    b.terminator,
+                    Some(Terminator::Branch {
+                        protection: Some(_),
+                        ..
+                    })
+                )
+            })
+            .map(|(i, _)| u32::try_from(i).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn protects_exactly_the_targeted_blocks() {
+        let mut m = two_branch_module();
+        let pass = SelectiveAnCoder::new(targets(&[("gate", &[1])]));
+        let stats = pass.run_with_stats(&mut m).expect("runs");
+        verify::verify_module(&m).expect("valid after pass");
+        assert_eq!(stats.protected_branches, 1);
+        assert_eq!(stats.skipped_branches, 0);
+        assert_eq!(protected_blocks(&m, "gate"), vec![1]);
+
+        // Semantics preserved through the partially protected function.
+        for (args, expect) in [([7u32, 7, 7], 1u32), ([7, 7, 8], 0), ([7, 8, 8], 0)] {
+            assert_eq!(
+                interp::run(&m, "gate", &args).unwrap().return_value,
+                Some(expect),
+                "{args:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn annotation_is_ignored_and_untargeted_functions_are_untouched() {
+        // `gate` has no `protect_branches` attribute, yet its targeted
+        // branch is protected; targeting both blocks protects both.
+        let mut m = two_branch_module();
+        assert!(!m.function("gate").unwrap().attrs.protect_branches);
+        let pass = SelectiveAnCoder::new(targets(&[("gate", &[0, 1])]));
+        let stats = pass.run_with_stats(&mut m).expect("runs");
+        assert_eq!(stats.protected_branches, 2);
+        assert_eq!(protected_blocks(&m, "gate"), vec![0, 1]);
+        // The encoded compares carry the paper's parameters.
+        let f = m.function("gate").unwrap();
+        let enccmps = f
+            .blocks
+            .iter()
+            .flat_map(|b| &b.insts)
+            .filter(|i| matches!(i.op, Op::EncodedCompare { a: 63_877, .. }))
+            .count();
+        assert_eq!(enccmps, 2);
+    }
+
+    #[test]
+    fn bad_targets_are_counted_not_fatal() {
+        let mut m = two_branch_module();
+        // bb2 returns (no branch), bb9 does not exist, `ghost` neither.
+        let pass = SelectiveAnCoder::new(targets(&[("gate", &[2, 9]), ("ghost", &[0])]));
+        let stats = pass.run_with_stats(&mut m).expect("runs");
+        assert_eq!(stats.protected_branches, 0);
+        assert_eq!(stats.skipped_branches, 3);
+        assert!(protected_blocks(&m, "gate").is_empty());
+    }
+
+    #[test]
+    fn fingerprint_serialises_the_sorted_target_set() {
+        let pass = SelectiveAnCoder::new(targets(&[("zeta", &[3, 1]), ("alpha", &[0])]));
+        assert_eq!(
+            pass.fingerprint(),
+            "selective-an-coder(A=63877,Cord=29982,Ceq=14991,\
+             targets=[alpha:bb0,zeta:bb1+bb3])"
+        );
+    }
+
+    #[test]
+    fn block_ids_stay_stable_across_the_pass() {
+        let mut m = two_branch_module();
+        let before = m.function("gate").unwrap().blocks.len();
+        SelectiveAnCoder::new(targets(&[("gate", &[0])]))
+            .run(&mut m)
+            .expect("runs");
+        assert_eq!(m.function("gate").unwrap().blocks.len(), before);
+    }
+}

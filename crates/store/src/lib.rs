@@ -248,6 +248,32 @@ impl CompactReport {
     }
 }
 
+/// What [`GridStore::evict_to`] did: LRU eviction towards a byte budget.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EvictReport {
+    /// Record files examined across both families.
+    pub examined: u64,
+    /// Files deleted, oldest modification time first.
+    pub evicted: u64,
+    /// Total size of the deleted files, in bytes.
+    pub reclaimed_bytes: u64,
+    /// Bytes remaining on disk after eviction.
+    pub retained_bytes: u64,
+}
+
+impl EvictReport {
+    /// Serialises the eviction outcome as JSON (hand-rolled: the offline
+    /// build has no serde).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"examined\":{},\"evicted\":{},\"reclaimed_bytes\":{},\
+             \"retained_bytes\":{}}}",
+            self.examined, self.evicted, self.reclaimed_bytes, self.retained_bytes,
+        )
+    }
+}
+
 /// The disk-backed, content-addressed store (see the [crate docs](self) for
 /// layout and guarantees).
 ///
@@ -594,6 +620,60 @@ impl GridStore {
                         }
                     }
                 }
+            }
+        }
+        Ok(report)
+    }
+
+    /// Size-bounded LRU eviction: deletes record files — least recently
+    /// modified first — until at most `max_bytes` remain on disk across
+    /// both families. Modification time is the recency signal the store
+    /// already maintains (publishes are write-then-rename, so every record
+    /// carries the time it was produced); ties are broken by path so the
+    /// eviction order is deterministic.
+    ///
+    /// Like [`GridStore::compact`] this never rewrites retained records,
+    /// so it is safe to run while readers and writers share the directory:
+    /// a concurrent reader sees each record either present (intact) or
+    /// absent (a clean miss that recomputes).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] when a directory cannot be listed (an individual
+    /// file whose metadata or deletion fails is skipped and retained).
+    pub fn evict_to(&self, max_bytes: u64) -> Result<EvictReport, StoreError> {
+        let mut files = Vec::new();
+        let mut total: u64 = 0;
+        for sub in ["traces", "cells"] {
+            for path in record_files(&self.root.join(sub))? {
+                let Ok(meta) = fs::metadata(&path) else {
+                    continue;
+                };
+                let size = meta.len();
+                let modified = meta.modified().ok();
+                total += size;
+                files.push((modified, path, size));
+            }
+        }
+        let mut report = EvictReport {
+            examined: files.len() as u64,
+            retained_bytes: total,
+            ..EvictReport::default()
+        };
+        if total <= max_bytes {
+            return Ok(report);
+        }
+        // Oldest first; files with unreadable mtimes sort first (evicting
+        // them is the conservative choice), paths break ties.
+        files.sort_by(|a, b| (a.0, &a.1).cmp(&(b.0, &b.1)));
+        for (_, path, size) in files {
+            if report.retained_bytes <= max_bytes {
+                break;
+            }
+            if fs::remove_file(&path).is_ok() {
+                report.evicted += 1;
+                report.reclaimed_bytes += size;
+                report.retained_bytes -= size;
             }
         }
         Ok(report)

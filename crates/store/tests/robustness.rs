@@ -416,3 +416,58 @@ fn concurrent_openers_see_consistent_snapshots() {
     assert_eq!(scan.cell_records, 16);
     assert_eq!(scan.corrupt_records, 0);
 }
+
+#[test]
+fn eviction_trims_oldest_records_down_to_the_byte_budget() {
+    let dir = TempDir::new("evict");
+    let sim = max_simulator();
+    let report = CampaignRunner::new()
+        .with_threads(1)
+        .run(&sim, "max", &[3, 8], 100, &BranchInversion)
+        .expect("campaign runs");
+
+    let store = GridStore::open(dir.path()).expect("opens");
+    // Eight cell records, written oldest-to-newest with distinct mtimes
+    // (filetime granularity can be coarse, so space them explicitly).
+    let mut keys = Vec::new();
+    for i in 0..8u32 {
+        let key = CellKey::new(format!("fp-{i}"), "branch-invert", "max", &[3, 8]);
+        store.put_cell(&key, &report);
+        keys.push(key);
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+    let scan = store.scan().expect("scans");
+    assert_eq!(scan.cell_records, 8);
+    let total = scan.total_bytes;
+    let per_record = total / 8;
+
+    // A budget above the current footprint evicts nothing.
+    let idle = store.evict_to(total + 1).expect("evicts");
+    assert_eq!(idle.evicted, 0);
+    assert_eq!(idle.examined, 8);
+    assert_eq!(idle.retained_bytes, total);
+
+    // A budget of roughly half evicts the OLDEST records first.
+    let evicted = store.evict_to(total / 2).expect("evicts");
+    assert!(evicted.evicted >= 4, "evicted {} records", evicted.evicted);
+    assert!(evicted.retained_bytes <= total / 2);
+    assert_eq!(evicted.reclaimed_bytes + evicted.retained_bytes, total);
+    assert!(evicted.reclaimed_bytes >= evicted.evicted * (per_record - 64));
+    // LRU order: the newest records survive, the oldest are gone.
+    for (i, key) in keys.iter().enumerate() {
+        let present = store.get_cell(key).is_some();
+        if i >= 8 - (8 - evicted.evicted as usize) {
+            assert!(present, "record {i} (recent) must survive");
+        }
+    }
+    assert!(
+        store.get_cell(&keys[0]).is_none(),
+        "oldest record is evicted"
+    );
+    assert!(store.get_cell(&keys[7]).is_some(), "newest record survives");
+
+    // Everything still on disk is intact.
+    let rescan = store.scan().expect("scans");
+    assert_eq!(rescan.corrupt_records, 0);
+    assert_eq!(rescan.cell_records, 8 - evicted.evicted);
+}

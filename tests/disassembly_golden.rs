@@ -87,36 +87,42 @@ check.cmp1:
     36  0x006c  str r2, [sp, #24]       ; body
     37  0x006e  ldr r0, [sp, #24]       ; body
     38  0x0070  cmp r0, #0              ; body
-    39  0x0072  bne @53                 ; body
-    40  0x0074  b @60                   ; body
+    39  0x0072  bne @59                 ; body
+    40  0x0074  b @66                   ; body
 check.bb1:
     41  0x0076  mov r0, #1              ; body
     42  0x0078  mov r3, #3422861947     ; cfi
     43  0x0080  mov r12, #3758096388    ; cfi
     44  0x0088  str r3, [r12, #0]       ; cfi
-    45  0x008c  add sp, sp, #32         ; epilogue
-    46  0x008e  pop {pc}                ; epilogue
+    45  0x008c  mov r3, #840936749      ; cfi
+    46  0x0094  mov r12, #3758096392    ; cfi
+    47  0x009c  str r3, [r12, #0]       ; cfi
+    48  0x00a0  add sp, sp, #32         ; epilogue
+    49  0x00a2  pop {pc}                ; epilogue
 check.bb2:
-    47  0x0090  mov r0, #0              ; body
-    48  0x0092  mov r3, #587282396      ; cfi
-    49  0x009a  mov r12, #3758096388    ; cfi
-    50  0x00a2  str r3, [r12, #0]       ; cfi
-    51  0x00a6  add sp, sp, #32         ; epilogue
-    52  0x00a8  pop {pc}                ; epilogue
+    50  0x00a4  mov r0, #0              ; body
+    51  0x00a6  mov r3, #587282396      ; cfi
+    52  0x00ae  mov r12, #3758096388    ; cfi
+    53  0x00b6  str r3, [r12, #0]       ; cfi
+    54  0x00ba  mov r3, #840936749      ; cfi
+    55  0x00c2  mov r12, #3758096392    ; cfi
+    56  0x00ca  str r3, [r12, #0]       ; cfi
+    57  0x00ce  add sp, sp, #32         ; epilogue
+    58  0x00d0  pop {pc}                ; epilogue
 check.e0_1t:
-    53  0x00aa  ldr r2, [sp, #20]       ; cfi-edge
-    54  0x00ac  mov r12, #3758096384    ; cfi-edge
-    55  0x00b4  str r2, [r12, #0]       ; cfi-edge
-    56  0x00b8  mov r3, #61755961       ; cfi-edge
-    57  0x00c0  mov r12, #3758096384    ; cfi-edge
-    58  0x00c8  str r3, [r12, #0]       ; cfi-edge
-    59  0x00cc  b @41                   ; cfi-edge
+    59  0x00d2  ldr r2, [sp, #20]       ; cfi-edge
+    60  0x00d4  mov r12, #3758096384    ; cfi-edge
+    61  0x00dc  str r2, [r12, #0]       ; cfi-edge
+    62  0x00e0  mov r3, #61755961       ; cfi-edge
+    63  0x00e8  mov r12, #3758096384    ; cfi-edge
+    64  0x00f0  str r3, [r12, #0]       ; cfi-edge
+    65  0x00f4  b @41                   ; cfi-edge
 check.e0_2f:
-    60  0x00ce  ldr r2, [sp, #20]       ; cfi-edge
-    61  0x00d0  mov r12, #3758096384    ; cfi-edge
-    62  0x00d8  str r2, [r12, #0]       ; cfi-edge
-    63  0x00dc  mov r3, #3970637920     ; cfi-edge
-    64  0x00e4  mov r12, #3758096384    ; cfi-edge
-    65  0x00ec  str r3, [r12, #0]       ; cfi-edge
-    66  0x00f0  b @47                   ; cfi-edge
+    66  0x00f6  ldr r2, [sp, #20]       ; cfi-edge
+    67  0x00f8  mov r12, #3758096384    ; cfi-edge
+    68  0x0100  str r2, [r12, #0]       ; cfi-edge
+    69  0x0104  mov r3, #3970637920     ; cfi-edge
+    70  0x010c  mov r12, #3758096384    ; cfi-edge
+    71  0x0114  str r3, [r12, #0]       ; cfi-edge
+    72  0x0118  b @50                   ; cfi-edge
 "#;
