@@ -53,7 +53,10 @@ pub use error::SimError;
 pub use instr::{Cond, Instr, Operand2, Reg, Target};
 pub use machine::{Flags, Machine, MachineState};
 pub use program::{Program, ProgramBuilder, DEFAULT_ORIGIN, SKIP_DUP_ORIGIN};
-pub use simulator::{ExecResult, FaultAction, FaultHook, NoFaults, Simulator};
+pub use secbranch_cfi::CfiMonitor;
+pub use simulator::{
+    ExecResult, FaultAction, FaultHook, NoFaults, RunCursor, SegmentEnd, Simulator,
+};
 
 #[cfg(test)]
 mod crate_tests {

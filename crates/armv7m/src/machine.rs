@@ -446,6 +446,93 @@ impl Machine {
         &self.memory[addr as usize..(addr + len) as usize]
     }
 
+    /// `true` if the machine's full architectural state equals `state`:
+    /// registers, flags, the CFI unit (including its check/violation
+    /// counters) and every RAM byte.
+    ///
+    /// Memory equality is decided without touching untouched RAM: each of
+    /// the snapshot's dirty segments must match this machine's RAM
+    /// byte-for-byte, and every byte this machine has dirtied *outside*
+    /// those segments must be zero (RAM outside a machine's dirty windows
+    /// is zero by construction on both sides, so this is exact, not an
+    /// approximation).
+    ///
+    /// This is the reconvergence test of differential fault campaigns: a
+    /// faulted run whose state matches a reference checkpoint at the same
+    /// step count is guaranteed to finish exactly like the reference.
+    #[must_use]
+    pub fn state_matches(&self, state: &MachineState) -> bool {
+        self.cfi == state.cfi && self.core_state_matches(state)
+    }
+
+    /// `true` if the machine's *program-observable* state equals `state`:
+    /// like [`Machine::state_matches`], except the CFI unit is compared only
+    /// through what its MMIO window exposes — the signature state and the
+    /// violation count. The check counter (and the first-violation detail it
+    /// latches) has no load address, so it cannot influence where execution
+    /// goes next.
+    ///
+    /// Within a single run this is the periodicity test of endless-loop
+    /// detection: seeing the same program counter twice with
+    /// observably-equal state, and no fault hook left to fire, proves the
+    /// execution has entered a cycle it can never leave — every input to
+    /// the interpreter's next transition is equal, and the only bits
+    /// allowed to differ are monotone counters the program cannot read.
+    #[must_use]
+    pub fn state_repeats(&self, state: &MachineState) -> bool {
+        self.cfi.state() == state.cfi.state()
+            && self.cfi.violations() == state.cfi.violations()
+            && self.core_state_matches(state)
+    }
+
+    /// The CFI-agnostic part of [`Machine::state_matches`]: registers,
+    /// flags and every RAM byte.
+    fn core_state_matches(&self, state: &MachineState) -> bool {
+        if self.regs != state.regs || self.flags != state.flags {
+            return false;
+        }
+        for (base, bytes) in &state.segments {
+            let lo = *base as usize;
+            let Some(hi) = lo.checked_add(bytes.len()) else {
+                return false;
+            };
+            if hi > self.memory.len() || self.memory[lo..hi] != bytes[..] {
+                return false;
+            }
+        }
+        // Anything we dirtied beyond the snapshot's segments must have been
+        // written back to zero.
+        let mut covered: Vec<(usize, usize)> = state
+            .segments
+            .iter()
+            .map(|(base, bytes)| (*base as usize, *base as usize + bytes.len()))
+            .collect();
+        covered.sort_unstable();
+        for (lo, hi) in self.dirty_ranges() {
+            let mut cursor = lo;
+            for &(seg_lo, seg_hi) in &covered {
+                if seg_hi <= cursor {
+                    continue;
+                }
+                if seg_lo >= hi {
+                    break;
+                }
+                let gap_end = seg_lo.min(hi);
+                if cursor < gap_end && self.memory[cursor..gap_end].iter().any(|&b| b != 0) {
+                    return false;
+                }
+                cursor = cursor.max(seg_hi);
+                if cursor >= hi {
+                    break;
+                }
+            }
+            if cursor < hi && self.memory[cursor..hi].iter().any(|&b| b != 0) {
+                return false;
+            }
+        }
+        true
+    }
+
     /// Flips a single bit of a register (fault model).
     ///
     /// # Panics
@@ -574,6 +661,53 @@ mod tests {
         m.scrub();
         let fresh = Machine::new(1 << 16);
         assert_eq!(m.read_bytes(0, 1 << 16), fresh.read_bytes(0, 1 << 16));
+    }
+
+    #[test]
+    fn state_matches_detects_equality_and_every_divergence_kind() {
+        let mut m = Machine::new(4096);
+        m.set_reg(Reg::R1, 5);
+        m.store_word(64, 0xDEAD_BEEF).expect("in range");
+        m.cfi.replace(0x42);
+        let state = m.snapshot();
+        assert!(
+            m.state_matches(&state),
+            "a machine matches its own snapshot"
+        );
+
+        // A sibling restored from the snapshot matches too.
+        let mut sibling = Machine::new(4096);
+        sibling.restore(&state);
+        assert!(sibling.state_matches(&state));
+
+        // Register divergence.
+        sibling.set_reg(Reg::R2, 1);
+        assert!(!sibling.state_matches(&state));
+        sibling.set_reg(Reg::R2, 0);
+        assert!(sibling.state_matches(&state));
+
+        // Flag divergence.
+        sibling.flags.z = true;
+        assert!(!sibling.state_matches(&state));
+        sibling.flags.z = false;
+
+        // CFI divergence (counters count, not just the state register).
+        sibling.cfi.check(0x42);
+        assert!(!sibling.state_matches(&state), "check counter differs");
+        sibling.restore(&state);
+
+        // Memory divergence inside the snapshot's segment.
+        sibling.store_byte(64, 0x00).expect("in range");
+        assert!(!sibling.state_matches(&state));
+        sibling.store_word(64, 0xDEAD_BEEF).expect("in range");
+        assert!(sibling.state_matches(&state));
+
+        // Extra dirty bytes outside the segments: nonzero breaks equality,
+        // written-back-to-zero preserves it.
+        sibling.store_byte(3000, 7).expect("in range");
+        assert!(!sibling.state_matches(&state));
+        sibling.store_byte(3000, 0).expect("in range");
+        assert!(sibling.state_matches(&state));
     }
 
     #[test]

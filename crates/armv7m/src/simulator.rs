@@ -42,6 +42,17 @@ pub enum FaultAction {
     /// Skip the instruction (the instruction-skip fault model); the program
     /// counter advances and the skipped instruction costs one cycle.
     Skip,
+    /// End the run immediately with the [`SimError::StepLimitExceeded`]
+    /// error it is guaranteed to produce: the hook has proven the execution
+    /// can never halt (it observed an exact recurrence of the machine's
+    /// program-observable state at the same program counter with no further
+    /// faults pending, so the run is periodic from here on).
+    ///
+    /// The returned error carries the run's `max_steps` as its limit —
+    /// byte-identical to what running the remaining steps would return —
+    /// which is what lets differential campaign executors cut endless loops
+    /// short without perturbing any report.
+    DivergenceProven,
 }
 
 /// A fault-injection hook consulted before every instruction.
@@ -69,6 +80,71 @@ impl FaultHook for NoFaults {
     fn before_execute(&mut self, _: u64, _: usize, _: &Instr, _: &mut Machine) -> FaultAction {
         FaultAction::Continue
     }
+}
+
+/// A resumable execution position between two dynamic steps of one call,
+/// produced by [`Simulator::begin_call`], [`RunCursor::resumed`] or a
+/// paused [`Simulator::run_segment`].
+///
+/// The cursor carries everything the interpreter loop needs besides the
+/// [`Machine`] itself: the next instruction, the dynamic step count (which
+/// fault hooks and `max_steps` are keyed on), the cycle/retire counters
+/// accumulated so far in this call, and the CFI baselines captured when the
+/// call started. Running a call as one segment or as many produces
+/// bit-identical [`ExecResult`]s and errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunCursor {
+    pc: u64,
+    steps_done: u64,
+    cycles: u64,
+    retired: u64,
+    checks_before: u32,
+    violations_before: u32,
+}
+
+impl RunCursor {
+    /// A cursor resuming at instruction index `pc` after `steps_done`
+    /// dynamic steps, for a machine restored from a mid-run snapshot.
+    ///
+    /// The CFI baselines are zero — snapshots carry the prefix's monitor
+    /// counters, so the eventual [`ExecResult`] reports full-run CFI deltas
+    /// while `cycles`/`instructions` count only the resumed suffix, exactly
+    /// like [`Simulator::resume_with_faults`].
+    #[must_use]
+    pub fn resumed(pc: usize, steps_done: u64) -> Self {
+        RunCursor {
+            pc: pc as u64,
+            steps_done,
+            cycles: 0,
+            retired: 0,
+            checks_before: 0,
+            violations_before: 0,
+        }
+    }
+
+    /// The instruction index about to execute.
+    #[must_use]
+    pub fn pc(&self) -> usize {
+        self.pc as usize
+    }
+
+    /// Dynamic steps completed so far (the next step is `steps_done + 1`).
+    #[must_use]
+    pub fn steps_done(&self) -> u64 {
+        self.steps_done
+    }
+}
+
+/// How one [`Simulator::run_segment`] ended: the call completed (or will
+/// never complete — errors are returned as `Err` instead), or it paused at
+/// the requested step boundary and can be resumed with the returned cursor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SegmentEnd {
+    /// The program returned to the harness.
+    Done(ExecResult),
+    /// Execution paused after completing `pause_after` dynamic steps; the
+    /// machine holds the mid-run state and the cursor resumes it.
+    Paused(RunCursor),
 }
 
 /// A simulator instance: an assembled program plus machine state.
@@ -157,6 +233,24 @@ impl Simulator {
         max_steps: u64,
         faults: &mut dyn FaultHook,
     ) -> Result<ExecResult, SimError> {
+        let cursor = self.begin_call(entry, args)?;
+        match self.run_from(cursor, None, max_steps, faults)? {
+            SegmentEnd::Done(result) => Ok(result),
+            SegmentEnd::Paused(_) => unreachable!("no pause requested"),
+        }
+    }
+
+    /// Prepares a call without running it: validates the entry point,
+    /// loads the arguments into r0–r3 and resets sp/lr exactly as
+    /// [`Simulator::call`] does, and returns the cursor positioned before
+    /// dynamic step 1. Drive it with [`Simulator::run_segment`] — running
+    /// the segments back to back is bit-identical to one
+    /// [`Simulator::call_with_faults`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] for unknown entry points and too many arguments.
+    pub fn begin_call(&mut self, entry: &str, args: &[u32]) -> Result<RunCursor, SimError> {
         if args.len() > 4 {
             return Err(SimError::TooManyArguments { count: args.len() });
         }
@@ -173,17 +267,38 @@ impl Simulator {
         self.machine
             .set_reg(Reg::Sp, self.machine.memory_size() & !7);
         self.machine.set_reg(Reg::Lr, RETURN_MAGIC);
+        Ok(RunCursor {
+            pc: entry_index as u64,
+            steps_done: 0,
+            cycles: 0,
+            retired: 0,
+            checks_before: self.machine.cfi.checks(),
+            violations_before: self.machine.cfi.violations(),
+        })
+    }
 
-        let checks_before = self.machine.cfi.checks();
-        let violations_before = self.machine.cfi.violations();
-        self.run_from(
-            entry_index as u64,
-            0,
-            checks_before,
-            violations_before,
-            max_steps,
-            faults,
-        )
+    /// Runs from `cursor` until the call completes, `max_steps` total
+    /// dynamic steps are reached (an error, as in a full run), or —
+    /// when `pause_after` is given — `pause_after` dynamic steps have
+    /// completed, whichever comes first.
+    ///
+    /// Pausing is transparent: resuming the returned cursor continues the
+    /// call as if it had never paused, with identical results, counters and
+    /// error behaviour. This is the building block of differential fault
+    /// campaigns — pause at reference checkpoints to test for
+    /// reconvergence, or pause right after a fault to snapshot and fan out.
+    ///
+    /// # Errors
+    ///
+    /// See [`Simulator::call`].
+    pub fn run_segment(
+        &mut self,
+        cursor: RunCursor,
+        pause_after: Option<u64>,
+        max_steps: u64,
+        faults: &mut dyn FaultHook,
+    ) -> Result<SegmentEnd, SimError> {
+        self.run_from(cursor, pause_after, max_steps, faults)
     }
 
     /// Resumes execution mid-call: the machine must already hold the
@@ -210,42 +325,64 @@ impl Simulator {
         max_steps: u64,
         faults: &mut dyn FaultHook,
     ) -> Result<ExecResult, SimError> {
-        self.run_from(pc as u64, steps_done, 0, 0, max_steps, faults)
+        match self.run_from(RunCursor::resumed(pc, steps_done), None, max_steps, faults)? {
+            SegmentEnd::Done(result) => Ok(result),
+            SegmentEnd::Paused(_) => unreachable!("no pause requested"),
+        }
     }
 
-    /// The interpreter loop, shared by fresh calls and resumed runs.
+    /// The interpreter loop, shared by fresh calls, resumed runs and
+    /// paused/resumed segments.
     fn run_from(
         &mut self,
-        mut pc: u64,
-        start_steps: u64,
-        checks_before: u32,
-        violations_before: u32,
+        cursor: RunCursor,
+        pause_after: Option<u64>,
         max_steps: u64,
         faults: &mut dyn FaultHook,
-    ) -> Result<ExecResult, SimError> {
-        let mut cycles: u64 = 0;
-        let mut retired: u64 = 0;
-        let mut steps: u64 = start_steps;
+    ) -> Result<SegmentEnd, SimError> {
+        let RunCursor {
+            mut pc,
+            steps_done: mut steps,
+            mut cycles,
+            mut retired,
+            checks_before,
+            violations_before,
+        } = cursor;
+        // Hold the program through a local `Arc` so instructions can be
+        // borrowed while the fault hook borrows the machine mutably — one
+        // refcount bump per segment instead of an instruction clone per step.
+        let program = Arc::clone(&self.program);
 
         loop {
+            if pause_after.is_some_and(|pause| steps >= pause) {
+                return Ok(SegmentEnd::Paused(RunCursor {
+                    pc,
+                    steps_done: steps,
+                    cycles,
+                    retired,
+                    checks_before,
+                    violations_before,
+                }));
+            }
             if steps >= max_steps {
                 return Err(SimError::StepLimitExceeded { limit: max_steps });
             }
-            if pc as usize >= self.program.len() {
+            if pc as usize >= program.len() {
                 return Err(SimError::PcOutOfRange { pc });
             }
             let index = pc as usize;
-            // Clone the instruction so the fault hook can borrow the machine
-            // mutably; instructions are small.
-            let instr = self.program.instructions()[index].clone();
+            let instr = &program.instructions()[index];
             steps += 1;
-            match faults.before_execute(steps, index, &instr, &mut self.machine) {
+            match faults.before_execute(steps, index, instr, &mut self.machine) {
                 FaultAction::Skip => {
                     pc += 1;
                     cycles += 1;
                     continue;
                 }
                 FaultAction::Continue => {}
+                FaultAction::DivergenceProven => {
+                    return Err(SimError::StepLimitExceeded { limit: max_steps });
+                }
             }
             retired += 1;
             let mut next_pc = pc + 1;
@@ -253,7 +390,7 @@ impl Simulator {
             let mut udiv_operands = None;
             let mut halted = false;
 
-            match &instr {
+            match instr {
                 Instr::MovImm { rd, imm } => self.machine.set_reg(*rd, *imm),
                 Instr::Mov { rd, rm } => {
                     let v = self.machine.reg(*rm);
@@ -391,15 +528,15 @@ impl Simulator {
                 Instr::Nop => {}
             }
 
-            cycles += instruction_cycles(&instr, branch_taken, udiv_operands);
+            cycles += instruction_cycles(instr, branch_taken, udiv_operands);
             if halted {
-                return Ok(ExecResult {
+                return Ok(SegmentEnd::Done(ExecResult {
                     return_value: self.machine.reg(Reg::R0),
                     cycles,
                     instructions: retired,
                     cfi_checks: self.machine.cfi.checks() - checks_before,
                     cfi_violations: self.machine.cfi.violations() - violations_before,
-                });
+                }));
             }
             pc = next_pc;
         }
@@ -802,6 +939,76 @@ mod tests {
             ) => assert_eq!(a, b),
             other => panic!("expected matching step-limit errors, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn segmented_run_is_bit_identical_to_one_call() {
+        struct SkipAt(u64);
+        impl FaultHook for SkipAt {
+            fn before_execute(
+                &mut self,
+                step: u64,
+                _: usize,
+                _: &Instr,
+                _: &mut Machine,
+            ) -> FaultAction {
+                if step == self.0 {
+                    FaultAction::Skip
+                } else {
+                    FaultAction::Continue
+                }
+            }
+        }
+
+        let program = max_program();
+        let mut whole = Simulator::new(program.clone(), 4096);
+        let one_call = whole
+            .call_with_faults("max", &[7, 3], 100, &mut SkipAt(2))
+            .expect("runs");
+
+        // Pause after every single step; the stitched run must match exactly.
+        let mut segmented = Simulator::new(program.clone(), 4096);
+        let mut cursor = segmented.begin_call("max", &[7, 3]).expect("begins");
+        let result = loop {
+            let pause = cursor.steps_done() + 1;
+            match segmented
+                .run_segment(cursor, Some(pause), 100, &mut SkipAt(2))
+                .expect("runs")
+            {
+                SegmentEnd::Done(result) => break result,
+                SegmentEnd::Paused(next) => cursor = next,
+            }
+        };
+        assert_eq!(result, one_call);
+
+        // A pause boundary past the end never fires: Done comes straight back.
+        let mut late = Simulator::new(program.clone(), 4096);
+        let cursor = late.begin_call("max", &[7, 3]).expect("begins");
+        match late
+            .run_segment(cursor, Some(1_000), 100, &mut SkipAt(2))
+            .expect("runs")
+        {
+            SegmentEnd::Done(result) => assert_eq!(result, one_call),
+            SegmentEnd::Paused(_) => panic!("pause boundary past the end fired"),
+        }
+
+        // Step-limit errors surface identically through segments.
+        let mut p = ProgramBuilder::new();
+        p.label("spin");
+        p.push(Instr::B {
+            target: Target::label("spin"),
+        });
+        let spin = p.assemble().expect("assembles");
+        let mut sim = Simulator::new(spin, 1024);
+        let mut cursor = sim.begin_call("spin", &[]).expect("begins");
+        let err = loop {
+            match sim.run_segment(cursor, Some(cursor.steps_done() + 7), 50, &mut NoFaults) {
+                Ok(SegmentEnd::Paused(next)) => cursor = next,
+                Ok(SegmentEnd::Done(_)) => panic!("spin cannot finish"),
+                Err(e) => break e,
+            }
+        };
+        assert!(matches!(err, SimError::StepLimitExceeded { limit: 50 }));
     }
 
     #[test]

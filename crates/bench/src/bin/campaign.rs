@@ -47,7 +47,7 @@ fn usage(message: &str) -> ! {
     eprintln!("{message}");
     eprintln!(
         "usage: campaign [variant labels...] [--models LIST] [--trials N] [--threads N] \
-         [--max-steps N] [--workload NAME] [--matrix] [--json] [--heatmap] \
+         [--max-steps N] [--workload NAME] [--matrix] [--per-model] [--json] [--heatmap] \
          [--advise] [--expect-zero-escapes] [--store DIR] [--store-stats] \
          [--store-max-bytes N] [--compact] [--expect-warm] [--serve ADDR]"
     );
@@ -61,6 +61,10 @@ fn usage(message: &str) -> ! {
     );
     eprintln!("  --workload: integer_compare (default), memcmp, password_check, crc32, pin_retry");
     eprintln!("  --matrix: benchmark the global scheduler against the sequential path");
+    eprintln!(
+        "  --per-model: with --matrix, break the executor's compute time down per fault \
+         model (summed over the grid's cells)"
+    );
     eprintln!(
         "  --advise: categorize escapes and run the closed selective-hardening loop on \
          the --workload list (default password_check,pin_retry); honours --threads, \
@@ -145,6 +149,7 @@ struct Options {
     max_steps: Option<u64>,
     workload_name: Option<String>,
     matrix: bool,
+    per_model: bool,
     json: bool,
     heatmap: bool,
     advise: bool,
@@ -179,6 +184,7 @@ fn parse_args() -> Options {
         max_steps: None,
         workload_name: None,
         matrix: false,
+        per_model: false,
         json: false,
         heatmap: false,
         advise: false,
@@ -219,6 +225,7 @@ fn parse_args() -> Options {
             }
             "--workload" => options.workload_name = Some(value_of("--workload")),
             "--matrix" => options.matrix = true,
+            "--per-model" => options.per_model = true,
             "--json" => options.json = true,
             "--heatmap" => options.heatmap = true,
             "--advise" => options.advise = true,
@@ -256,6 +263,9 @@ fn parse_args() -> Options {
     }
     if options.matrix && options.heatmap {
         usage("--matrix emits timings, not per-location heatmaps; drop --heatmap");
+    }
+    if options.per_model && !options.matrix {
+        usage("--per-model breaks down --matrix timings; it needs --matrix");
     }
     if options.store_stats && options.store_dir.is_none() {
         usage("--store-stats needs --store DIR to know which store to scan");
@@ -661,6 +671,25 @@ fn run_matrix_benchmark(
         sequential.stats.total_wall_micros as f64 / first.wall_micros as f64
     };
 
+    // Per-model compute aggregation: cells are in workload-major,
+    // pipeline-then-model order, so a model's cells are every
+    // `models.len()`-th compute entry.
+    let per_model: Vec<(&str, u64)> = matrix
+        .models
+        .iter()
+        .enumerate()
+        .map(|(model_index, name)| {
+            let total = matrix
+                .stats
+                .cell_compute_micros
+                .iter()
+                .skip(model_index)
+                .step_by(matrix.models.len())
+                .sum();
+            (name.as_str(), total)
+        })
+        .collect();
+
     if options.json {
         let cell_micros: Vec<String> = matrix
             .stats
@@ -668,6 +697,20 @@ fn run_matrix_benchmark(
             .iter()
             .map(u64::to_string)
             .collect();
+        let per_model_json = if options.per_model {
+            let entries: Vec<String> = per_model
+                .iter()
+                .map(|(name, micros)| {
+                    format!(
+                        "{{\"model\":{},\"compute_micros\":{micros}}}",
+                        secbranch::campaign::json_string(name)
+                    )
+                })
+                .collect();
+            format!(",\"per_model\":[{}]", entries.join(","))
+        } else {
+            String::new()
+        };
         let store_json = match (&warm, grid) {
             (Some(warm), Some(grid)) => format!(
                 "{{\"dir\":{},\"first\":{},\"warm\":{},\"first_warm\":{},\
@@ -687,7 +730,8 @@ fn run_matrix_benchmark(
              \"sequential\":{{\"wall_micros\":{},\"trace_hits\":0,\"trace_misses\":{}}},\
              \"matrix\":{{\"wall_micros\":{},\"trace_hits\":{},\"trace_disk_hits\":{},\
              \"trace_misses\":{},\"cell_hits\":{},\"cell_misses\":{},\
-             \"cell_compute_micros\":[{}]}},\
+             \"cell_compute_micros\":[{}],\"snapshot_restores\":{},\
+             \"suffix_steps_saved\":{}{per_model_json}}},\
              \"store\":{store_json},\
              \"speedup\":{:.3},\"identical\":true}}",
             matrix.workloads.len(),
@@ -709,6 +753,8 @@ fn run_matrix_benchmark(
             first.cell_hits,
             first.cell_misses,
             cell_micros.join(","),
+            matrix.stats.snapshot_restores,
+            matrix.stats.suffix_steps_saved,
             speedup,
         );
         return;
@@ -736,6 +782,13 @@ fn run_matrix_benchmark(
         first.trace_disk_hits,
         first.cell_hits,
     );
+    if options.per_model {
+        let parts: Vec<String> = per_model
+            .iter()
+            .map(|(name, micros)| format!("{name}={micros}µs"))
+            .collect();
+        println!("per-model compute: {}", parts.join("  "));
+    }
     if let Some(warm) = &warm {
         let warm_speedup = if warm.wall_micros == 0 {
             0.0

@@ -67,7 +67,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod accel;
 mod executor;
+mod liveness;
 mod model;
 pub mod persist;
 mod point;
@@ -76,10 +78,11 @@ mod runner;
 mod service;
 pub mod trace_store;
 
-pub use executor::{MatrixCellResult, MatrixExecutor, MatrixJob};
+pub use executor::{MatrixCellResult, MatrixError, MatrixExecutor, MatrixJob};
+pub use liveness::{LivenessVerdict, SuffixIndex};
 pub use model::{
-    BranchInversion, CampaignContext, DoubleInstructionSkip, FaultModel, InstructionSkip,
-    MemoryBitFlip, ReferenceTrace, RegisterBitFlip, FLIP_REGISTERS,
+    BranchInversion, CampaignContext, DoubleInstructionSkip, FaultGroup, FaultModel,
+    InstructionSkip, MemoryBitFlip, ReferenceTrace, RegisterBitFlip, FLIP_REGISTERS,
 };
 pub use persist::{CellKey, GridBackend, PersistedTrace};
 pub use point::{FaultPoint, PointHook};
@@ -90,8 +93,8 @@ pub use report::{
 pub use runner::{CampaignRunner, OwnedModule, SharedModule, SimulatorSource};
 pub use service::{CellRequest, Completion, ExecutorPool, PoolError, PoolStats};
 pub use trace_store::{
-    record_reference, record_reference_without_checkpoints, RecordedReference, TraceCheckpoint,
-    TraceFetch, TraceKey, TraceStore, CHECKPOINT_BUDGET,
+    record_reference, record_reference_without_checkpoints, RecordedReference, SpineSnapshot,
+    TraceCheckpoint, TraceFetch, TraceKey, TraceStore, CHECKPOINT_BUDGET, DEFAULT_SNAPSHOT_BUDGET,
 };
 
 #[cfg(test)]

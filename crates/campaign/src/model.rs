@@ -1,6 +1,8 @@
 //! The [`FaultModel`] trait — an attacker model as an enumerable or
 //! samplable fault space — and the five shipped implementations.
 
+use std::collections::HashSet;
+
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use secbranch_armv7m::{ExecResult, Program, Reg};
@@ -52,6 +54,30 @@ pub struct CampaignContext<'a> {
     pub global_regions: &'a [(u32, u32)],
     /// Guest RAM size in bytes.
     pub memory_size: u32,
+}
+
+/// One batch of a model's fault plan: a contiguous range of the fault-point
+/// vector whose members share an execution prefix.
+///
+/// Groups with `shared_first: Some(step)` are multi-fault batches whose
+/// members all inject the same first fault at `step` — the executor runs the
+/// prefix (up to and including the first fault) once, snapshots, and fans
+/// the suffix candidates out from the snapshot. They are scheduled as an
+/// atomic unit. Groups with `shared_first: None` carry no prefix sharing and
+/// may be split freely across shards.
+///
+/// A plan always partitions `points` exactly: groups are contiguous,
+/// ascending and cover every index once, so report order (fault-space
+/// order) is untouched no matter how groups are scheduled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultGroup {
+    /// First point index of the group (inclusive).
+    pub start: usize,
+    /// One past the last point index of the group.
+    pub end: usize,
+    /// The dynamic step of the shared first fault, when the group's members
+    /// share one.
+    pub shared_first: Option<u64>,
 }
 
 /// An attacker model: a named fault space over one reference execution.
@@ -111,6 +137,22 @@ pub trait FaultModel: Sync {
     fn fingerprint(&self) -> String {
         self.name()
     }
+
+    /// Partitions `points` (as returned by [`FaultModel::fault_points`])
+    /// into execution groups. The default is a single splittable group — no
+    /// prefix sharing. Multi-fault models whose points share fault prefixes
+    /// override this to batch them (see [`FaultGroup`]); grouping changes
+    /// only how points are *executed*, never the report order.
+    fn plan(&self, points: &[FaultPoint]) -> Vec<FaultGroup> {
+        if points.is_empty() {
+            return Vec::new();
+        }
+        vec![FaultGroup {
+            start: 0,
+            end: points.len(),
+            shared_first: None,
+        }]
+    }
 }
 
 /// Exhaustive single-instruction-skip model: every dynamic instruction of
@@ -135,7 +177,12 @@ impl FaultModel for InstructionSkip {
 /// both skipped — the attacker that defeats plain temporal duplication.
 ///
 /// The full space is quadratic; when it exceeds `max_injections`, that many
-/// pairs are sampled deterministically from `seed` instead.
+/// pairs are sampled deterministically from `seed` instead. Sampling is
+/// *clustered by the first step*: firsts are drawn uniformly, then a batch
+/// of distinct seconds per first, so sampled points arrive grouped by
+/// `first` and the differential executor can share each first-fault prefix
+/// across its whole batch. (The previous sampler drew independent unordered
+/// pairs, which left almost nothing to share — average batch size ~1.)
 #[derive(Debug, Clone, Copy)]
 pub struct DoubleInstructionSkip {
     /// Upper bound on the number of injections before sampling kicks in.
@@ -159,15 +206,18 @@ impl FaultModel for DoubleInstructionSkip {
     }
 
     fn fingerprint(&self) -> String {
+        // v2: the sampler changed from independent unordered pairs to
+        // first-clustered batches — a different fault space under the same
+        // parameters, so persisted cells must not carry over.
         format!(
-            "double-skip(max={},seed={:#x})",
+            "double-skip-v2(max={},seed={:#x})",
             self.max_injections, self.seed
         )
     }
 
     fn fault_points(&self, ctx: &CampaignContext<'_>) -> Vec<FaultPoint> {
         let n = ctx.trace.steps();
-        if n < 2 {
+        if n < 2 || self.max_injections == 0 {
             return Vec::new();
         }
         let full = n * (n - 1) / 2;
@@ -180,24 +230,74 @@ impl FaultModel for DoubleInstructionSkip {
             }
             return points;
         }
+        // Clustered sampling: draw distinct firsts uniformly, then up to
+        // `width` distinct seconds per first (ascending within the batch).
+        // The width adapts so the total capacity of all firsts always covers
+        // the budget: sum over firsts of min(width, n - first) >= budget
+        // whenever the space is large enough to sample from.
+        let budget = self.max_injections;
+        let width = 16.max((2 * budget).div_ceil(n - 1));
         let mut rng = StdRng::seed_from_u64(self.seed);
-        (0..self.max_injections)
-            .map(|_| {
-                // Uniform over unordered pairs: draw two distinct steps and
-                // sort (drawing `second` conditioned on `first` would
-                // oversample late-first pairs by up to (n-1)x).
-                loop {
-                    let a = rng.gen_range(1..=n);
-                    let b = rng.gen_range(1..=n);
-                    if a != b {
-                        break FaultPoint::DoubleSkip {
-                            first: a.min(b),
-                            second: a.max(b),
-                        };
-                    }
+        let mut seen_firsts: HashSet<u64> = HashSet::new();
+        let mut points = Vec::with_capacity(budget as usize);
+        let mut remaining = budget;
+        while remaining > 0 {
+            let first = loop {
+                let f = rng.gen_range(1..n);
+                if seen_firsts.insert(f) {
+                    break f;
                 }
-            })
-            .collect()
+            };
+            let avail = n - first;
+            let take = width.min(avail).min(remaining);
+            if take == avail {
+                for second in (first + 1)..=n {
+                    points.push(FaultPoint::DoubleSkip { first, second });
+                }
+            } else {
+                let mut chosen: HashSet<u64> = HashSet::with_capacity(take as usize);
+                while (chosen.len() as u64) < take {
+                    chosen.insert(rng.gen_range(first + 1..=n));
+                }
+                let mut seconds: Vec<u64> = chosen.into_iter().collect();
+                seconds.sort_unstable();
+                for second in seconds {
+                    points.push(FaultPoint::DoubleSkip { first, second });
+                }
+            }
+            remaining -= take;
+        }
+        points
+    }
+
+    fn plan(&self, points: &[FaultPoint]) -> Vec<FaultGroup> {
+        let mut groups = Vec::new();
+        let mut start = 0;
+        while start < points.len() {
+            let FaultPoint::DoubleSkip { first, .. } = points[start] else {
+                // Foreign points (hand-built spaces): no sharing assumption.
+                groups.push(FaultGroup {
+                    start,
+                    end: start + 1,
+                    shared_first: None,
+                });
+                start += 1;
+                continue;
+            };
+            let mut end = start + 1;
+            while end < points.len()
+                && matches!(points[end], FaultPoint::DoubleSkip { first: f, .. } if f == first)
+            {
+                end += 1;
+            }
+            groups.push(FaultGroup {
+                start,
+                end,
+                shared_first: Some(first),
+            });
+            start = end;
+        }
+        groups
     }
 }
 
@@ -386,6 +486,90 @@ mod tests {
         }
         .fault_points(&ctx);
         assert_eq!(sampled, again, "sampling is seed-deterministic");
+    }
+
+    #[test]
+    fn double_skip_sampling_is_clustered_by_first() {
+        let (trace, program) = tiny_trace(400);
+        let ctx = ctx_of(&trace, &program);
+        let model = DoubleInstructionSkip {
+            max_injections: 500,
+            seed: 0x2FA17,
+        };
+        let points = model.fault_points(&ctx);
+        assert_eq!(points.len(), 500);
+
+        // Grouped by first: each first occupies one contiguous run, seconds
+        // strictly ascending inside it, and pairs stay in range.
+        let mut seen_firsts = HashSet::new();
+        let mut i = 0;
+        while i < points.len() {
+            let FaultPoint::DoubleSkip { first, second } = points[i] else {
+                panic!("wrong point kind");
+            };
+            assert!(seen_firsts.insert(first), "first {first} re-opened");
+            assert!((1..400).contains(&first));
+            let mut prev = second;
+            assert!(first < prev && prev <= 400);
+            i += 1;
+            while i < points.len()
+                && matches!(points[i], FaultPoint::DoubleSkip { first: f, .. } if f == first)
+            {
+                let FaultPoint::DoubleSkip { second, .. } = points[i] else {
+                    unreachable!()
+                };
+                assert!(second > prev, "seconds ascend within a batch");
+                assert!(second <= 400);
+                prev = second;
+                i += 1;
+            }
+        }
+        // Clustering is the point: far fewer groups than points.
+        assert!(
+            seen_firsts.len() * 4 <= points.len(),
+            "{} groups for {} points — no prefix sharing to exploit",
+            seen_firsts.len(),
+            points.len()
+        );
+        assert_eq!(points, model.fault_points(&ctx), "seed-deterministic");
+    }
+
+    #[test]
+    fn fault_plans_batch_shared_prefixes() {
+        let (trace, program) = tiny_trace(40);
+        let ctx = ctx_of(&trace, &program);
+
+        // Single-fault models: one splittable group.
+        let skips = InstructionSkip.fault_points(&ctx);
+        assert_eq!(
+            InstructionSkip.plan(&skips),
+            vec![FaultGroup {
+                start: 0,
+                end: skips.len(),
+                shared_first: None
+            }]
+        );
+        assert!(InstructionSkip.plan(&[]).is_empty());
+
+        // Double skip: one atomic group per run of equal firsts, covering
+        // the point vector exactly, in order.
+        let model = DoubleInstructionSkip {
+            max_injections: 100,
+            seed: 7,
+        };
+        let points = model.fault_points(&ctx);
+        let plan = model.plan(&points);
+        let mut cursor = 0;
+        for group in &plan {
+            assert_eq!(group.start, cursor, "contiguous cover");
+            assert!(group.end > group.start);
+            let first = group.shared_first.expect("double-skip groups share");
+            for p in &points[group.start..group.end] {
+                assert!(matches!(p, FaultPoint::DoubleSkip { first: f, .. } if *f == first));
+            }
+            cursor = group.end;
+        }
+        assert_eq!(cursor, points.len());
     }
 
     #[test]

@@ -69,6 +69,22 @@ impl FaultPoint {
         }
     }
 
+    /// The last dynamic step at which this fault can still act. After this
+    /// step the hook is inert, so once a faulted run's state matches the
+    /// reference at or beyond `last_fault_step`, the remainder of the run is
+    /// provably the reference suffix — the reconvergence test the
+    /// differential executor is built on.
+    #[must_use]
+    pub fn last_fault_step(&self) -> u64 {
+        match *self {
+            FaultPoint::Skip { step }
+            | FaultPoint::RegisterFlip { step, .. }
+            | FaultPoint::MemoryFlip { step, .. }
+            | FaultPoint::BranchInvert { step } => step,
+            FaultPoint::DoubleSkip { second, .. } => second,
+        }
+    }
+
     /// Builds the [`FaultHook`] executing this injection.
     #[must_use]
     pub fn hook(&self) -> PointHook {
@@ -220,6 +236,8 @@ mod tests {
             second: 9,
         };
         assert_eq!(p.anchor_step(), 3);
+        assert_eq!(p.last_fault_step(), 9);
+        assert_eq!(FaultPoint::Skip { step: 12 }.last_fault_step(), 12);
         assert_eq!(p.to_string(), "double-skip@3+9");
         assert_eq!(FaultPoint::Skip { step: 12 }.to_string(), "skip@12");
         assert_eq!(

@@ -16,8 +16,10 @@
 //! Scheduling is by descending priority, ties broken by submission order
 //! (FIFO within a priority class). [`ExecutorPool::submit`] blocks while the
 //! queue is at capacity — backpressure instead of unbounded growth. A job
-//! may carry a [`CellRequest::deadline`]: a worker that claims it after
-//! that instant expires it instead of running it — the completion receives
+//! may carry a [`CellRequest::deadline`], enforced both while queued (a
+//! worker that claims it late expires it instead of running it) and
+//! *during execution* (the executor stops claiming shards once the instant
+//! passes and discards partial work) — the completion receives
 //! [`PoolError::DeadlineExpired`] (never a silent drop) and the pool counts
 //! it in [`PoolStats::expired`]. Dropping
 //! the pool shuts it down: workers finish their in-flight cell, queued jobs
@@ -32,7 +34,7 @@ use std::time::Instant;
 
 use secbranch_armv7m::SimError;
 
-use crate::executor::{MatrixCellResult, MatrixExecutor, MatrixJob};
+use crate::executor::{MatrixCellResult, MatrixError, MatrixExecutor, MatrixJob};
 use crate::model::FaultModel;
 use crate::runner::SimulatorSource;
 use crate::trace_store::{TraceKey, TraceStore};
@@ -52,11 +54,14 @@ pub struct CellRequest {
     pub max_steps: u64,
     /// The fault model attacking this cell.
     pub model: Arc<dyn FaultModel + Send + Sync>,
-    /// If set, the instant after which this job — *while still queued* — is
-    /// expired instead of executed: a worker that claims it past this point
-    /// completes it with [`PoolError::DeadlineExpired`] without running any
-    /// simulation. A job already claimed before the deadline runs to
-    /// completion; the deadline bounds queue wait, not execution.
+    /// If set, the instant after which this job is expired instead of run
+    /// to completion. A worker that claims it past this point completes it
+    /// with [`PoolError::DeadlineExpired`] without running any simulation;
+    /// a job claimed in time is still abandoned mid-run if the deadline
+    /// passes during execution — the executor checks the clock between
+    /// shards ([`crate::MatrixExecutor::run_with_deadline`]) and discards
+    /// partial work. Either way the completion observes the error, and the
+    /// pool counts the job in [`PoolStats::expired`].
     pub deadline: Option<Instant>,
 }
 
@@ -78,8 +83,9 @@ impl std::fmt::Debug for CellRequest {
 pub enum PoolError {
     /// The fault-free reference run of the cell failed.
     Sim(SimError),
-    /// The job was still queued when its [`CellRequest::deadline`] passed;
-    /// it was dropped without executing anything.
+    /// The [`CellRequest::deadline`] passed — either while the job was
+    /// still queued (dropped without executing anything) or mid-run (the
+    /// executor stopped between shards and discarded partial work).
     DeadlineExpired,
 }
 
@@ -88,7 +94,7 @@ impl std::fmt::Display for PoolError {
         match self {
             PoolError::Sim(e) => write!(f, "reference run failed: {e}"),
             PoolError::DeadlineExpired => {
-                write!(f, "deadline passed while the job was still queued")
+                write!(f, "deadline passed before the job could finish")
             }
         }
     }
@@ -350,10 +356,12 @@ fn worker_loop(shared: &PoolShared) {
         let QueuedJob {
             request, on_done, ..
         } = job;
-        // A deadline bounds queue wait: a job claimed after its deadline is
-        // expired here — completion invoked with an error, never silently
-        // dropped, so waiters coalesced onto the cell observe the outcome
-        // instead of hanging on a registration nobody will ever serve.
+        // First deadline stage: a job claimed after its deadline is expired
+        // here without running anything — completion invoked with an error,
+        // never silently dropped, so waiters coalesced onto the cell observe
+        // the outcome instead of hanging on a registration nobody will ever
+        // serve. (The second stage is inside the executor, which stops
+        // claiming shards once the deadline passes mid-run.)
         if request
             .deadline
             .is_some_and(|deadline| Instant::now() >= deadline)
@@ -378,15 +386,25 @@ fn worker_loop(shared: &PoolShared) {
         };
         let result = MatrixExecutor::new()
             .with_threads(1)
-            .run(std::slice::from_ref(&matrix_job), &shared.store)
+            .run_with_deadline(
+                std::slice::from_ref(&matrix_job),
+                &shared.store,
+                request.deadline,
+            )
             .map(|mut results| results.pop().expect("one job in, one result out"))
-            .map_err(PoolError::Sim);
+            .map_err(|e| match e {
+                MatrixError::Sim(e) => PoolError::Sim(e),
+                MatrixError::DeadlineExpired => PoolError::DeadlineExpired,
+            });
         match &result {
             Ok(cell) => {
                 shared
                     .compute_micros
                     .fetch_add(cell.compute_micros, Ordering::Relaxed);
                 shared.completed.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(PoolError::DeadlineExpired) => {
+                shared.expired.fetch_add(1, Ordering::Relaxed);
             }
             Err(_) => {
                 shared.errored.fetch_add(1, Ordering::Relaxed);
@@ -524,6 +542,64 @@ mod tests {
         ));
         assert!(rx.recv().expect("callback fired").is_ok());
         assert_eq!(pool.stats().completed, 1);
+    }
+
+    #[test]
+    fn deadlines_expire_mid_run_between_shards() {
+        // A counting loop with a five-figure fault space: far more work
+        // than a 10 ms deadline allows. The worker claims the job in time,
+        // the executor abandons the batch between shards once the instant
+        // passes, and the pool reports the job as expired — not errored,
+        // and never with a truncated report.
+        let mut p = ProgramBuilder::new();
+        p.label("spin");
+        p.push(Instr::MovImm {
+            rd: Reg::R2,
+            imm: 0,
+        });
+        p.label("loop");
+        p.push(Instr::Add {
+            rd: Reg::R2,
+            rn: Reg::R2,
+            op2: Operand2::Imm(1),
+        });
+        p.push(Instr::Cmp {
+            rn: Reg::R2,
+            op2: Operand2::Reg(Reg::R0),
+        });
+        p.push(Instr::BCond {
+            cond: Cond::Lo,
+            target: Target::label("loop"),
+        });
+        p.push(Instr::Mov {
+            rd: Reg::R0,
+            rm: Reg::R2,
+        });
+        p.push(Instr::Bx { rm: Reg::Lr });
+        let sim = Simulator::new(p.assemble().expect("assembles"), 4096);
+
+        let pool = ExecutorPool::new(Arc::new(TraceStore::new()), 1, 4);
+        let slow = CellRequest {
+            source: Arc::new(sim),
+            key: TraceKey::new("spin-artifact", "spin", &[10_000]),
+            entry: "spin".to_string(),
+            args: vec![10_000],
+            max_steps: 50_000,
+            model: Arc::new(InstructionSkip),
+            deadline: Some(Instant::now() + std::time::Duration::from_millis(10)),
+        };
+        let (tx, rx) = mpsc::channel();
+        assert!(pool.submit(
+            0,
+            slow,
+            Box::new(move |r| tx.send(r).expect("receiver alive")),
+        ));
+        let result = rx.recv().expect("expired jobs still fire their callback");
+        assert!(matches!(result, Err(PoolError::DeadlineExpired)));
+        let stats = pool.stats();
+        assert_eq!(stats.expired, 1);
+        assert_eq!(stats.completed, 0);
+        assert_eq!(stats.errored, 0);
     }
 
     #[test]

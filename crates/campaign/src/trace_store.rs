@@ -46,6 +46,11 @@ use crate::runner::SimulatorSource;
 /// bounded no matter how long the run is.
 pub const CHECKPOINT_BUDGET: usize = 48;
 
+/// Default byte budget for cached spine snapshots (see
+/// [`TraceStore::cache_spine_snapshot`]): enough for the snapshots of a
+/// typical matrix run while bounding worst-case retention.
+pub const DEFAULT_SNAPSHOT_BUDGET: usize = 4 << 20;
+
 /// Identity of one reference execution: which artifact ran, from which entry
 /// point, with which arguments.
 ///
@@ -283,14 +288,54 @@ struct StoreEntry {
     checkpoint_bytes: usize,
 }
 
+/// A resumable machine state captured *after* applying the shared first
+/// fault of a grouped multi-fault batch: the spine position the executor
+/// fans second-fault candidates out from (cached under the
+/// [`TraceStore`]'s snapshot budget, keyed by trace and first-fault step).
+#[derive(Debug)]
+pub struct SpineSnapshot {
+    /// The instruction index about to execute.
+    pub pc: u32,
+    /// Dynamic steps completed (the shared first fault's step).
+    pub steps_done: u64,
+    /// The captured machine state, first fault applied.
+    pub state: MachineState,
+}
+
+/// One cached spine snapshot plus LRU bookkeeping.
+#[derive(Debug)]
+struct SnapshotEntry {
+    snapshot: Arc<SpineSnapshot>,
+    last_used: u64,
+    bytes: usize,
+}
+
 /// The lock-guarded interior of a [`TraceStore`].
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct StoreInner {
     entries: HashMap<TraceKey, StoreEntry>,
+    snapshots: HashMap<(TraceKey, u64), SnapshotEntry>,
     tick: u64,
     checkpoint_bytes: usize,
     checkpoint_budget: Option<usize>,
+    snapshot_bytes: usize,
+    snapshot_budget: Option<usize>,
     backend: Option<Arc<dyn GridBackend>>,
+}
+
+impl Default for StoreInner {
+    fn default() -> Self {
+        StoreInner {
+            entries: HashMap::new(),
+            snapshots: HashMap::new(),
+            tick: 0,
+            checkpoint_bytes: 0,
+            checkpoint_budget: None,
+            snapshot_bytes: 0,
+            snapshot_budget: Some(DEFAULT_SNAPSHOT_BUDGET),
+            backend: None,
+        }
+    }
 }
 
 impl StoreInner {
@@ -338,6 +383,58 @@ impl StoreInner {
         };
         self.enforce_budget(evictions);
         stored
+    }
+
+    fn cache_snapshot(
+        &mut self,
+        key: &TraceKey,
+        first: u64,
+        snapshot: Arc<SpineSnapshot>,
+        evictions: &AtomicU64,
+    ) {
+        self.tick += 1;
+        let tick = self.tick;
+        let bytes = snapshot.state.dirty_len() + CHECKPOINT_FIXED_COST;
+        if self.snapshot_budget.is_some_and(|budget| bytes > budget) {
+            // Larger than the whole budget: caching it would immediately
+            // evict it (and possibly everything else first).
+            return;
+        }
+        match self.snapshots.entry((key.clone(), first)) {
+            std::collections::hash_map::Entry::Occupied(mut occupied) => {
+                // A concurrent worker computed the same snapshot; keep the
+                // stored one (both are deterministic replays of one spine).
+                occupied.get_mut().last_used = tick;
+            }
+            std::collections::hash_map::Entry::Vacant(vacant) => {
+                self.snapshot_bytes += bytes;
+                vacant.insert(SnapshotEntry {
+                    snapshot,
+                    last_used: tick,
+                    bytes,
+                });
+            }
+        }
+        self.enforce_snapshot_budget(evictions);
+    }
+
+    fn enforce_snapshot_budget(&mut self, evictions: &AtomicU64) {
+        let Some(budget) = self.snapshot_budget else {
+            return;
+        };
+        while self.snapshot_bytes > budget {
+            let Some(victim) = self
+                .snapshots
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            else {
+                break;
+            };
+            let entry = self.snapshots.remove(&victim).expect("victim exists");
+            self.snapshot_bytes -= entry.bytes;
+            evictions.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     fn enforce_budget(&mut self, evictions: &AtomicU64) {
@@ -411,6 +508,7 @@ pub struct TraceStore {
     disk_hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+    snapshot_evictions: AtomicU64,
     checkpoints: bool,
 }
 
@@ -422,6 +520,7 @@ impl Default for TraceStore {
             disk_hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            snapshot_evictions: AtomicU64::new(0),
             checkpoints: true,
         }
     }
@@ -504,6 +603,56 @@ impl TraceStore {
     #[must_use]
     pub fn checkpoint_evictions(&self) -> u64 {
         self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Caches the spine snapshot of a grouped multi-fault batch — the
+    /// machine state right after the shared first fault at step `first` of
+    /// the trace `key` names — and enforces the snapshot byte budget by
+    /// evicting least-recently-used snapshots.
+    ///
+    /// Purely an accelerator: a later
+    /// [`TraceStore::spine_snapshot`] hit spares re-executing the
+    /// checkpoint-to-first-fault prefix, an eviction merely re-pays it.
+    /// Reports are byte-identical either way.
+    pub fn cache_spine_snapshot(&self, key: &TraceKey, first: u64, snapshot: Arc<SpineSnapshot>) {
+        let mut inner = self.inner.lock().expect("trace store poisoned");
+        inner.cache_snapshot(key, first, snapshot, &self.snapshot_evictions);
+    }
+
+    /// The cached spine snapshot for `(key, first)`, if it survived the
+    /// budget.
+    #[must_use]
+    pub fn spine_snapshot(&self, key: &TraceKey, first: u64) -> Option<Arc<SpineSnapshot>> {
+        let mut inner = self.inner.lock().expect("trace store poisoned");
+        inner.tick += 1;
+        let tick = inner.tick;
+        let entry = inner.snapshots.get_mut(&(key.clone(), first))?;
+        entry.last_used = tick;
+        Some(Arc::clone(&entry.snapshot))
+    }
+
+    /// Caps the bytes retained by cached spine snapshots (`None` lifts the
+    /// cap; the default is [`DEFAULT_SNAPSHOT_BUDGET`]). Applies
+    /// immediately.
+    pub fn set_snapshot_budget(&self, budget: Option<usize>) {
+        let mut inner = self.inner.lock().expect("trace store poisoned");
+        inner.snapshot_budget = budget;
+        inner.enforce_snapshot_budget(&self.snapshot_evictions);
+    }
+
+    /// Bytes currently retained by cached spine snapshots.
+    #[must_use]
+    pub fn snapshot_bytes(&self) -> usize {
+        self.inner
+            .lock()
+            .expect("trace store poisoned")
+            .snapshot_bytes
+    }
+
+    /// How many spine snapshots the budget has evicted.
+    #[must_use]
+    pub fn snapshot_evictions(&self) -> u64 {
+        self.snapshot_evictions.load(Ordering::Relaxed)
     }
 
     /// The reference execution for `key`, recorded on first request and
@@ -865,6 +1014,48 @@ mod tests {
         // A zero budget strips everything, including future recordings.
         store.set_checkpoint_budget(Some(0));
         assert_eq!(store.checkpoint_bytes(), 0);
+    }
+
+    #[test]
+    fn spine_snapshots_are_cached_lru_under_their_own_budget() {
+        let store = TraceStore::new();
+        let key = TraceKey::new("art", "max", &[7, 3]);
+        let other = TraceKey::new("art", "max", &[3, 9]);
+
+        let snap = |sim: &mut Simulator| {
+            Arc::new(SpineSnapshot {
+                pc: 1,
+                steps_done: 1,
+                state: sim.machine().snapshot(),
+            })
+        };
+        let mut sim = max_simulator();
+        sim.machine_mut().write_bytes(64, &[1, 2, 3, 4]);
+
+        assert!(store.spine_snapshot(&key, 1).is_none());
+        store.cache_spine_snapshot(&key, 1, snap(&mut sim));
+        store.cache_spine_snapshot(&key, 9, snap(&mut sim));
+        store.cache_spine_snapshot(&other, 1, snap(&mut sim));
+        let bytes = store.snapshot_bytes();
+        assert!(bytes > 0, "snapshots are accounted");
+        let got = store.spine_snapshot(&key, 1).expect("cached");
+        assert_eq!(got.steps_done, 1);
+        assert!(store.spine_snapshot(&key, 2).is_none(), "keyed by first");
+
+        // A budget fitting two entries evicts the least recently used —
+        // (key, 9), since (key, 1) was just re-read.
+        let per_entry = bytes / 3;
+        store.set_snapshot_budget(Some(2 * per_entry + 1));
+        assert_eq!(store.snapshot_evictions(), 1);
+        assert!(store.spine_snapshot(&key, 9).is_none(), "LRU evicted");
+        assert!(store.spine_snapshot(&key, 1).is_some());
+        assert!(store.spine_snapshot(&other, 1).is_some());
+
+        // A snapshot larger than the whole budget is not cached at all.
+        store.set_snapshot_budget(Some(1));
+        assert_eq!(store.snapshot_bytes(), 0, "budget drop evicts the rest");
+        store.cache_spine_snapshot(&key, 5, snap(&mut sim));
+        assert!(store.spine_snapshot(&key, 5).is_none());
     }
 
     #[test]

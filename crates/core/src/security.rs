@@ -54,6 +54,14 @@ pub struct MatrixStats {
     /// Session-lifetime count of entries whose checkpoints were evicted by
     /// the trace store's byte budget.
     pub store_checkpoint_evictions: u64,
+    /// Spine-snapshot restores across all cells: grouped multi-fault
+    /// batches that resumed from a saved post-first-fault machine state
+    /// instead of re-executing the shared prefix.
+    pub snapshot_restores: u64,
+    /// Reference-suffix steps the differential executor avoided executing
+    /// across all cells (liveness-pruned injections plus runs cut short at
+    /// a reconvergent checkpoint).
+    pub suffix_steps_saved: u64,
 }
 
 impl MatrixStats {
@@ -70,7 +78,8 @@ impl MatrixStats {
             "{{\"threads\":{},\"trace_hits\":{},\"trace_disk_hits\":{},\"trace_misses\":{},\
              \"cell_hits\":{},\"cell_misses\":{},\"total_wall_micros\":{},\
              \"cell_compute_micros\":[{}],\"store_checkpoint_bytes\":{},\
-             \"store_checkpoint_evictions\":{}}}",
+             \"store_checkpoint_evictions\":{},\"snapshot_restores\":{},\
+             \"suffix_steps_saved\":{}}}",
             self.threads,
             self.trace_hits,
             self.trace_disk_hits,
@@ -81,6 +90,8 @@ impl MatrixStats {
             cells.join(","),
             self.store_checkpoint_bytes,
             self.store_checkpoint_evictions,
+            self.snapshot_restores,
+            self.suffix_steps_saved,
         )
     }
 }

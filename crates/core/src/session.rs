@@ -406,6 +406,8 @@ impl Session {
                         None => {} // cell hit: no reference was needed
                     }
                     stats.cell_compute_micros.push(result.compute_micros);
+                    stats.snapshot_restores += result.snapshot_restores;
+                    stats.suffix_steps_saved += result.suffix_steps_saved;
                     cells.push(SecurityCell {
                         workload: workload_name.clone(),
                         pipeline: label.clone(),

@@ -5,7 +5,8 @@
 //! exactly once per matrix.
 
 use secbranch::campaign::{
-    BranchInversion, CampaignRunner, FaultModel, InstructionSkip, MatrixExecutor, RegisterBitFlip,
+    BranchInversion, CampaignRunner, DoubleInstructionSkip, FaultModel, InstructionSkip,
+    MatrixExecutor, RegisterBitFlip,
 };
 use secbranch::programs::{integer_compare_module, password_check_module};
 use secbranch::{Pipeline, ProtectionVariant, Session, Workload};
@@ -174,6 +175,36 @@ fn trace_store_records_each_artifact_reference_exactly_once() {
     assert_eq!(again.stats.trace_hits, 18);
     assert_eq!(session.trace_store().misses(), 6, "nothing re-recorded");
     assert_eq!(again, report, "memoised matrix is identical");
+}
+
+/// The differential-resume tentpole, asserted through the `MatrixStats`
+/// counters it introduced: a double-skip cell executes grouped fault
+/// points by restoring a first-fault machine snapshot instead of
+/// re-running the shared prefix, so the matrix must report snapshot
+/// restores and a nonzero count of reference-suffix steps it never
+/// re-executed. Fails against pre-fan-out code, where every second-fault
+/// candidate replayed from the entry point (both counters zero).
+#[test]
+fn double_skip_fans_out_from_first_fault_snapshots() {
+    let workloads = grid_workloads();
+    let pipelines = grid_pipelines();
+    let models: Vec<Box<dyn FaultModel>> = vec![Box::new(DoubleInstructionSkip::default())];
+    let model_refs: Vec<&dyn FaultModel> = models.iter().map(AsRef::as_ref).collect();
+
+    let mut session = Session::new();
+    let executor = MatrixExecutor::new().with_threads(2);
+    let report = session
+        .security_matrix_with(&executor, &workloads, &pipelines, &model_refs, None)
+        .expect("matrix runs");
+
+    assert!(
+        report.stats.snapshot_restores > 0,
+        "grouped double-skip points must resume from first-fault snapshots"
+    );
+    assert!(
+        report.stats.suffix_steps_saved > 0,
+        "fan-out must eliminate re-executed prefix steps"
+    );
 }
 
 /// Builds are batched before any campaign starts, through the session's
