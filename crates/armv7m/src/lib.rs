@@ -48,6 +48,7 @@ mod instr;
 pub mod machine;
 pub mod program;
 mod simulator;
+mod uop;
 
 pub use error::SimError;
 pub use instr::{Cond, Instr, Operand2, Reg, Target};
@@ -57,6 +58,7 @@ pub use secbranch_cfi::CfiMonitor;
 pub use simulator::{
     ExecResult, FaultAction, FaultHook, NoFaults, RunCursor, SegmentEnd, Simulator,
 };
+pub use uop::DecodedProgram;
 
 #[cfg(test)]
 mod crate_tests {

@@ -210,6 +210,13 @@ impl Machine {
             return;
         }
         let hi = addr + len;
+        // Fast path: the write lands inside an existing window — the
+        // steady state of any loop re-writing its stack frame or globals.
+        for &(w_lo, w_hi) in &self.dirty {
+            if addr >= w_lo && hi <= w_hi {
+                return;
+            }
+        }
         let mut nearest = 0usize;
         let mut nearest_gap = u32::MAX;
         for (index, &(w_lo, w_hi)) in self.dirty.iter().enumerate() {
@@ -319,6 +326,23 @@ impl Machine {
     /// Writes a register.
     pub fn set_reg(&mut self, r: Reg, value: u32) {
         self.regs[r.index()] = value;
+    }
+
+    /// Reads a register by architectural index. The micro-op fast path:
+    /// indices are pre-validated (< 16) at decode time, so the `& 15` is a
+    /// no-op that exists purely to erase the bounds-check branch from the
+    /// interpreter's hottest loop.
+    #[inline]
+    #[must_use]
+    pub(crate) fn reg_index(&self, index: u8) -> u32 {
+        self.regs[usize::from(index) & 15]
+    }
+
+    /// Writes a register by architectural index (micro-op fast path; see
+    /// [`Machine::reg_index`] for the masking).
+    #[inline]
+    pub(crate) fn set_reg_index(&mut self, index: u8, value: u32) {
+        self.regs[usize::from(index) & 15] = value;
     }
 
     /// Size of RAM in bytes.

@@ -2,9 +2,11 @@
 //! per-instruction provenance).
 
 use std::collections::BTreeMap;
+use std::sync::OnceLock;
 
 use crate::error::SimError;
 use crate::instr::{Instr, Target};
+use crate::uop::DecodedProgram;
 
 /// The provenance tag of an instruction whose origin was never declared
 /// (see [`ProgramBuilder::set_origin`]).
@@ -23,14 +25,48 @@ pub const SKIP_DUP_ORIGIN: &str = "skip-dup";
 /// program — instructions, labels, listings — is deterministic; two
 /// assemblies of the same builder contents are byte-identical, which is what
 /// lets artifact listings serve as golden test fixtures.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug)]
 pub struct Program {
     instrs: Vec<Instr>,
     labels: BTreeMap<String, usize>,
     sizes: Vec<u32>,
     label_of_instr: Vec<Option<String>>,
     origin_of_instr: Vec<&'static str>,
+    /// The lazily decoded micro-op form ([`Program::decoded`]). Derived
+    /// data: excluded from [`Clone`] and equality, never serialised, never
+    /// part of an artifact fingerprint.
+    decoded: OnceLock<DecodedProgram>,
 }
+
+impl Clone for Program {
+    fn clone(&self) -> Self {
+        // The decode cache is intentionally not cloned: a clone re-decodes
+        // lazily if (and only if) it is ever executed. Programs are shared
+        // via `Arc` on every hot path, so clones are cold-path copies.
+        Program {
+            instrs: self.instrs.clone(),
+            labels: self.labels.clone(),
+            sizes: self.sizes.clone(),
+            label_of_instr: self.label_of_instr.clone(),
+            origin_of_instr: self.origin_of_instr.clone(),
+            decoded: OnceLock::new(),
+        }
+    }
+}
+
+impl PartialEq for Program {
+    fn eq(&self, other: &Self) -> bool {
+        // Equality is over the assembled content only — whether a decode
+        // cache happens to be populated is an execution-history artifact.
+        self.instrs == other.instrs
+            && self.labels == other.labels
+            && self.sizes == other.sizes
+            && self.label_of_instr == other.label_of_instr
+            && self.origin_of_instr == other.origin_of_instr
+    }
+}
+
+impl Eq for Program {}
 
 impl Program {
     /// The instructions of the program.
@@ -111,6 +147,28 @@ impl Program {
             .get(index)
             .copied()
             .unwrap_or(DEFAULT_ORIGIN)
+    }
+
+    /// The pre-decoded micro-op form of the program, decoded on first use
+    /// and cached for the lifetime of the program (thread-safe — concurrent
+    /// campaign workers sharing one `Arc<Program>` decode at most once).
+    ///
+    /// The decoded form is derived data: it never leaves the process, is
+    /// never hashed into fingerprints, and does not participate in program
+    /// equality or cloning.
+    #[must_use]
+    pub fn decoded(&self) -> &DecodedProgram {
+        self.decoded.get_or_init(|| DecodedProgram::decode(self))
+    }
+
+    /// Decode-cost accounting: `(micro-ops, decode microseconds)` if this
+    /// program has been decoded, `None` if the cache is still empty.
+    /// Campaign statistics aggregate this over a matrix's artifacts.
+    #[must_use]
+    pub fn decode_stats(&self) -> Option<(u64, u64)> {
+        self.decoded
+            .get()
+            .map(|d| (d.len() as u64, d.decode_micros()))
     }
 
     /// A plain-text listing of the program (label lines plus one instruction
@@ -313,6 +371,7 @@ impl ProgramBuilder {
             sizes,
             label_of_instr,
             origin_of_instr,
+            decoded: OnceLock::new(),
         })
     }
 }

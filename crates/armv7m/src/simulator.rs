@@ -3,11 +3,12 @@
 
 use std::sync::Arc;
 
-use crate::cycles::instruction_cycles;
+use crate::cycles::{instruction_cycles, udiv_cycles};
 use crate::error::SimError;
 use crate::instr::{Instr, Operand2, Reg, Target};
 use crate::machine::{Machine, RETURN_MAGIC};
 use crate::program::Program;
+use crate::uop::{Uop, LR_INDEX, PC_INDEX, SP_INDEX};
 
 /// Result of running a program until it returned to the harness.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -154,27 +155,68 @@ pub enum SegmentEnd {
 /// allocates only a fresh [`Machine`], never a copy of the code. This is
 /// what makes the fault campaigns — millions of injections, each on a
 /// pristine simulator — cheap.
+///
+/// Two interpreters back the same public API. [`Simulator::new`] and
+/// [`Simulator::from_shared`] execute the pre-decoded micro-op form
+/// ([`Program::decoded`]); [`Simulator::reference`] retains the original
+/// `Instr`-level interpreter as an independent oracle. Both produce
+/// bit-identical [`ExecResult`]s, errors, cycle counts and machine states —
+/// the differential fuzz harness (`tests/interp_differential.rs`) holds
+/// them to that.
 #[derive(Debug, Clone)]
 pub struct Simulator {
     program: Arc<Program>,
     machine: Machine,
+    use_uops: bool,
 }
 
 impl Simulator {
-    /// Creates a simulator with `memory_size` bytes of RAM.
+    /// Creates a simulator with `memory_size` bytes of RAM, executing the
+    /// pre-decoded micro-op form of the program.
     #[must_use]
     pub fn new(program: Program, memory_size: u32) -> Self {
         Simulator::from_shared(Arc::new(program), memory_size)
     }
 
     /// Creates a simulator over an already-shared program: only the
-    /// [`Machine`] is allocated, the code is reference-counted.
+    /// [`Machine`] is allocated, the code is reference-counted. The decoded
+    /// micro-op form is shared through the same `Arc`, so sibling
+    /// simulators decode at most once between them.
     #[must_use]
     pub fn from_shared(program: Arc<Program>, memory_size: u32) -> Self {
         Simulator {
             program,
             machine: Machine::new(memory_size),
+            use_uops: true,
         }
+    }
+
+    /// Creates a simulator that executes via the retained `Instr`-level
+    /// reference interpreter instead of the micro-op dispatch.
+    ///
+    /// The reference path shares no code with the decoder or the micro-op
+    /// loop, which makes it an independent oracle: any decode or dispatch
+    /// bug shows up as a divergence between the two interpreters.
+    #[must_use]
+    pub fn reference(program: Program, memory_size: u32) -> Self {
+        Simulator::reference_from_shared(Arc::new(program), memory_size)
+    }
+
+    /// Like [`Simulator::reference`], over an already-shared program.
+    #[must_use]
+    pub fn reference_from_shared(program: Arc<Program>, memory_size: u32) -> Self {
+        Simulator {
+            program,
+            machine: Machine::new(memory_size),
+            use_uops: false,
+        }
+    }
+
+    /// `true` if this simulator runs the `Instr`-level reference
+    /// interpreter rather than the micro-op dispatch.
+    #[must_use]
+    pub fn is_reference(&self) -> bool {
+        !self.use_uops
     }
 
     /// The program being executed.
@@ -223,15 +265,19 @@ impl Simulator {
     /// Like [`Simulator::call`], but consults `faults` before every
     /// instruction.
     ///
+    /// Generic over the hook type so concrete hooks inline into the
+    /// interpreter loop (`&mut dyn FaultHook` still works — the dynamic
+    /// call is simply paid per step in that case).
+    ///
     /// # Errors
     ///
     /// See [`Simulator::call`].
-    pub fn call_with_faults(
+    pub fn call_with_faults<F: FaultHook + ?Sized>(
         &mut self,
         entry: &str,
         args: &[u32],
         max_steps: u64,
-        faults: &mut dyn FaultHook,
+        faults: &mut F,
     ) -> Result<ExecResult, SimError> {
         let cursor = self.begin_call(entry, args)?;
         match self.run_from(cursor, None, max_steps, faults)? {
@@ -291,12 +337,12 @@ impl Simulator {
     /// # Errors
     ///
     /// See [`Simulator::call`].
-    pub fn run_segment(
+    pub fn run_segment<F: FaultHook + ?Sized>(
         &mut self,
         cursor: RunCursor,
         pause_after: Option<u64>,
         max_steps: u64,
-        faults: &mut dyn FaultHook,
+        faults: &mut F,
     ) -> Result<SegmentEnd, SimError> {
         self.run_from(cursor, pause_after, max_steps, faults)
     }
@@ -318,12 +364,12 @@ impl Simulator {
     /// # Errors
     ///
     /// See [`Simulator::call`].
-    pub fn resume_with_faults(
+    pub fn resume_with_faults<F: FaultHook + ?Sized>(
         &mut self,
         pc: usize,
         steps_done: u64,
         max_steps: u64,
-        faults: &mut dyn FaultHook,
+        faults: &mut F,
     ) -> Result<ExecResult, SimError> {
         match self.run_from(RunCursor::resumed(pc, steps_done), None, max_steps, faults)? {
             SegmentEnd::Done(result) => Ok(result),
@@ -331,14 +377,353 @@ impl Simulator {
         }
     }
 
-    /// The interpreter loop, shared by fresh calls, resumed runs and
-    /// paused/resumed segments.
-    fn run_from(
+    /// The interpreter entry point, shared by fresh calls, resumed runs
+    /// and paused/resumed segments: dispatches to the micro-op loop or the
+    /// retained reference loop, which are step-for-step interchangeable.
+    fn run_from<F: FaultHook + ?Sized>(
         &mut self,
         cursor: RunCursor,
         pause_after: Option<u64>,
         max_steps: u64,
-        faults: &mut dyn FaultHook,
+        faults: &mut F,
+    ) -> Result<SegmentEnd, SimError> {
+        if self.use_uops {
+            self.run_from_uops(cursor, pause_after, max_steps, faults)
+        } else {
+            self.run_from_reference(cursor, pause_after, max_steps, faults)
+        }
+    }
+
+    /// The micro-op interpreter loop: one pre-decoded [`Uop`] per
+    /// instruction, register indices and branch targets already resolved,
+    /// constant cycle costs baked in. Check ordering, fault-hook protocol,
+    /// partial-effect-then-error semantics and every counter are identical
+    /// to [`Simulator::run_from_reference`] — the fuzz harness proves it.
+    fn run_from_uops<F: FaultHook + ?Sized>(
+        &mut self,
+        cursor: RunCursor,
+        pause_after: Option<u64>,
+        max_steps: u64,
+        faults: &mut F,
+    ) -> Result<SegmentEnd, SimError> {
+        let RunCursor {
+            mut pc,
+            steps_done: mut steps,
+            mut cycles,
+            mut retired,
+            checks_before,
+            violations_before,
+        } = cursor;
+        // As in the reference loop: hold the program through a local `Arc`
+        // so the micro-ops (and the `Instr`s handed to fault hooks) can be
+        // borrowed while the hook borrows the machine mutably.
+        let program = Arc::clone(&self.program);
+        let uops = program.decoded().uops();
+        let instrs = program.instructions();
+
+        // Fold the pause boundary and the step limit into a single sentinel
+        // so the hot loop pays one compare per step; the slow branch below
+        // disambiguates in the original order (pause first, then limit).
+        let boundary = pause_after.unwrap_or(u64::MAX).min(max_steps);
+        loop {
+            if steps >= boundary {
+                if pause_after.is_some_and(|pause| steps >= pause) {
+                    return Ok(SegmentEnd::Paused(RunCursor {
+                        pc,
+                        steps_done: steps,
+                        cycles,
+                        retired,
+                        checks_before,
+                        violations_before,
+                    }));
+                }
+                return Err(SimError::StepLimitExceeded { limit: max_steps });
+            }
+            let index = pc as usize;
+            // One fused fetch+bounds check for both views of the
+            // instruction (`decode` guarantees the arrays are 1:1).
+            let (Some(uop), Some(instr)) = (uops.get(index), instrs.get(index)) else {
+                return Err(SimError::PcOutOfRange { pc });
+            };
+            steps += 1;
+            // Fault hooks keep seeing the original `Instr` (BranchInversion
+            // pattern-matches `Instr::BCond`), never the decoded form.
+            match faults.before_execute(steps, index, instr, &mut self.machine) {
+                FaultAction::Skip => {
+                    pc += 1;
+                    cycles += 1;
+                    continue;
+                }
+                FaultAction::Continue => {}
+                FaultAction::DivergenceProven => {
+                    return Err(SimError::StepLimitExceeded { limit: max_steps });
+                }
+            }
+            retired += 1;
+            let mut next_pc = pc + 1;
+            let mut halted = false;
+
+            match uop {
+                Uop::MovImm { rd, imm, cycles: c } => {
+                    self.machine.set_reg_index(*rd, *imm);
+                    cycles += u64::from(*c);
+                }
+                Uop::Mov { rd, rm } => {
+                    let v = self.machine.reg_index(*rm);
+                    self.machine.set_reg_index(*rd, v);
+                    cycles += 1;
+                }
+                Uop::AddR { rd, rn, rm } => {
+                    let v = self
+                        .machine
+                        .reg_index(*rn)
+                        .wrapping_add(self.machine.reg_index(*rm));
+                    self.machine.set_reg_index(*rd, v);
+                    cycles += 1;
+                }
+                Uop::AddI { rd, rn, imm } => {
+                    let v = self.machine.reg_index(*rn).wrapping_add(*imm);
+                    self.machine.set_reg_index(*rd, v);
+                    cycles += 1;
+                }
+                Uop::SubR { rd, rn, rm } => {
+                    let v = self
+                        .machine
+                        .reg_index(*rn)
+                        .wrapping_sub(self.machine.reg_index(*rm));
+                    self.machine.set_reg_index(*rd, v);
+                    cycles += 1;
+                }
+                Uop::SubI { rd, rn, imm } => {
+                    let v = self.machine.reg_index(*rn).wrapping_sub(*imm);
+                    self.machine.set_reg_index(*rd, v);
+                    cycles += 1;
+                }
+                Uop::AndR { rd, rn, rm } => {
+                    let v = self.machine.reg_index(*rn) & self.machine.reg_index(*rm);
+                    self.machine.set_reg_index(*rd, v);
+                    cycles += 1;
+                }
+                Uop::AndI { rd, rn, imm } => {
+                    let v = self.machine.reg_index(*rn) & *imm;
+                    self.machine.set_reg_index(*rd, v);
+                    cycles += 1;
+                }
+                Uop::OrrR { rd, rn, rm } => {
+                    let v = self.machine.reg_index(*rn) | self.machine.reg_index(*rm);
+                    self.machine.set_reg_index(*rd, v);
+                    cycles += 1;
+                }
+                Uop::OrrI { rd, rn, imm } => {
+                    let v = self.machine.reg_index(*rn) | *imm;
+                    self.machine.set_reg_index(*rd, v);
+                    cycles += 1;
+                }
+                Uop::EorR { rd, rn, rm } => {
+                    let v = self.machine.reg_index(*rn) ^ self.machine.reg_index(*rm);
+                    self.machine.set_reg_index(*rd, v);
+                    cycles += 1;
+                }
+                Uop::EorI { rd, rn, imm } => {
+                    let v = self.machine.reg_index(*rn) ^ *imm;
+                    self.machine.set_reg_index(*rd, v);
+                    cycles += 1;
+                }
+                Uop::LslR { rd, rn, rm } => {
+                    let v = self
+                        .machine
+                        .reg_index(*rn)
+                        .wrapping_shl(self.machine.reg_index(*rm) & 31);
+                    self.machine.set_reg_index(*rd, v);
+                    cycles += 1;
+                }
+                Uop::LslI { rd, rn, imm } => {
+                    let v = self.machine.reg_index(*rn).wrapping_shl(*imm & 31);
+                    self.machine.set_reg_index(*rd, v);
+                    cycles += 1;
+                }
+                Uop::LsrR { rd, rn, rm } => {
+                    let v = self
+                        .machine
+                        .reg_index(*rn)
+                        .wrapping_shr(self.machine.reg_index(*rm) & 31);
+                    self.machine.set_reg_index(*rd, v);
+                    cycles += 1;
+                }
+                Uop::LsrI { rd, rn, imm } => {
+                    let v = self.machine.reg_index(*rn).wrapping_shr(*imm & 31);
+                    self.machine.set_reg_index(*rd, v);
+                    cycles += 1;
+                }
+                Uop::AsrR { rd, rn, rm } => {
+                    let v = (self.machine.reg_index(*rn) as i32)
+                        .wrapping_shr(self.machine.reg_index(*rm) & 31)
+                        as u32;
+                    self.machine.set_reg_index(*rd, v);
+                    cycles += 1;
+                }
+                Uop::AsrI { rd, rn, imm } => {
+                    let v = (self.machine.reg_index(*rn) as i32).wrapping_shr(*imm & 31) as u32;
+                    self.machine.set_reg_index(*rd, v);
+                    cycles += 1;
+                }
+                Uop::Mul { rd, rn, rm } => {
+                    let v = self
+                        .machine
+                        .reg_index(*rn)
+                        .wrapping_mul(self.machine.reg_index(*rm));
+                    self.machine.set_reg_index(*rd, v);
+                    cycles += 1;
+                }
+                Uop::Mls { rd, rn, rm, ra } => {
+                    let v = self.machine.reg_index(*ra).wrapping_sub(
+                        self.machine
+                            .reg_index(*rn)
+                            .wrapping_mul(self.machine.reg_index(*rm)),
+                    );
+                    self.machine.set_reg_index(*rd, v);
+                    cycles += 2;
+                }
+                Uop::Udiv { rd, rn, rm } => {
+                    let n = self.machine.reg_index(*rn);
+                    let d = self.machine.reg_index(*rm);
+                    self.machine
+                        .set_reg_index(*rd, n.checked_div(d).unwrap_or(0));
+                    cycles += udiv_cycles(n, d);
+                }
+                Uop::CmpR { rn, rm } => {
+                    let lhs = self.machine.reg_index(*rn);
+                    let rhs = self.machine.reg_index(*rm);
+                    self.machine.flags.set_from_cmp(lhs, rhs);
+                    cycles += 1;
+                }
+                Uop::CmpI { rn, imm } => {
+                    let lhs = self.machine.reg_index(*rn);
+                    self.machine.flags.set_from_cmp(lhs, *imm);
+                    cycles += 1;
+                }
+                Uop::B { dest } => {
+                    next_pc = u64::from(*dest);
+                    cycles += 2;
+                }
+                Uop::BCond { cond, dest } => {
+                    if self.machine.flags.condition_holds(*cond) {
+                        next_pc = u64::from(*dest);
+                        cycles += 2;
+                    } else {
+                        cycles += 1;
+                    }
+                }
+                Uop::Bl { dest } => {
+                    self.machine.set_reg_index(LR_INDEX, (pc + 1) as u32);
+                    next_pc = u64::from(*dest);
+                    cycles += 3;
+                }
+                Uop::BUnres { .. } => return Err(SimError::UnresolvedTarget),
+                Uop::BCondUnres { cond, .. } => {
+                    if self.machine.flags.condition_holds(*cond) {
+                        return Err(SimError::UnresolvedTarget);
+                    }
+                    cycles += 1;
+                }
+                Uop::BlUnres { .. } => {
+                    // The reference writes lr before noticing the target
+                    // never resolved; the partial effect is preserved.
+                    self.machine.set_reg_index(LR_INDEX, (pc + 1) as u32);
+                    return Err(SimError::UnresolvedTarget);
+                }
+                Uop::Bx { rm } => {
+                    let dest = self.machine.reg_index(*rm);
+                    if dest == RETURN_MAGIC {
+                        halted = true;
+                    } else {
+                        next_pc = u64::from(dest);
+                    }
+                    cycles += 3;
+                }
+                Uop::Ldr { rt, rn, offset } => {
+                    let addr = self.machine.reg_index(*rn).wrapping_add(*offset as u32);
+                    let v = self.machine.load_word(addr)?;
+                    self.machine.set_reg_index(*rt, v);
+                    cycles += 2;
+                }
+                Uop::Str { rt, rn, offset } => {
+                    let addr = self.machine.reg_index(*rn).wrapping_add(*offset as u32);
+                    let v = self.machine.reg_index(*rt);
+                    self.machine.store_word(addr, v)?;
+                    cycles += 2;
+                }
+                Uop::Ldrb { rt, rn, offset } => {
+                    let addr = self.machine.reg_index(*rn).wrapping_add(*offset as u32);
+                    let v = self.machine.load_byte(addr)?;
+                    self.machine.set_reg_index(*rt, v);
+                    cycles += 2;
+                }
+                Uop::Strb { rt, rn, offset } => {
+                    let addr = self.machine.reg_index(*rn).wrapping_add(*offset as u32);
+                    let v = self.machine.reg_index(*rt);
+                    self.machine.store_byte(addr, v)?;
+                    cycles += 2;
+                }
+                Uop::Push {
+                    sorted, cycles: c, ..
+                } => {
+                    let sp = self
+                        .machine
+                        .reg_index(SP_INDEX)
+                        .wrapping_sub(4 * sorted.len() as u32);
+                    self.machine.set_reg_index(SP_INDEX, sp);
+                    for (i, r) in sorted.iter().enumerate() {
+                        let v = self.machine.reg_index(*r);
+                        self.machine.store_word(sp + 4 * i as u32, v)?;
+                    }
+                    cycles += u64::from(*c);
+                }
+                Uop::Pop {
+                    sorted, cycles: c, ..
+                } => {
+                    let sp = self.machine.reg_index(SP_INDEX);
+                    for (i, r) in sorted.iter().enumerate() {
+                        let v = self.machine.load_word(sp + 4 * i as u32)?;
+                        if *r == PC_INDEX {
+                            if v == RETURN_MAGIC {
+                                halted = true;
+                            } else {
+                                next_pc = u64::from(v);
+                            }
+                        } else {
+                            self.machine.set_reg_index(*r, v);
+                        }
+                    }
+                    self.machine
+                        .set_reg_index(SP_INDEX, sp.wrapping_add(4 * sorted.len() as u32));
+                    cycles += u64::from(*c);
+                }
+                Uop::Nop => cycles += 1,
+            }
+
+            if halted {
+                return Ok(SegmentEnd::Done(ExecResult {
+                    return_value: self.machine.reg(Reg::R0),
+                    cycles,
+                    instructions: retired,
+                    cfi_checks: self.machine.cfi.checks() - checks_before,
+                    cfi_violations: self.machine.cfi.violations() - violations_before,
+                }));
+            }
+            pc = next_pc;
+        }
+    }
+
+    /// The retained `Instr`-level interpreter loop — the independent
+    /// reference implementation behind [`Simulator::reference`]. Kept
+    /// byte-for-byte as it was before the micro-op rewrite.
+    fn run_from_reference<F: FaultHook + ?Sized>(
+        &mut self,
+        cursor: RunCursor,
+        pause_after: Option<u64>,
+        max_steps: u64,
+        faults: &mut F,
     ) -> Result<SegmentEnd, SimError> {
         let RunCursor {
             mut pc,

@@ -731,7 +731,8 @@ fn run_matrix_benchmark(
              \"matrix\":{{\"wall_micros\":{},\"trace_hits\":{},\"trace_disk_hits\":{},\
              \"trace_misses\":{},\"cell_hits\":{},\"cell_misses\":{},\
              \"cell_compute_micros\":[{}],\"snapshot_restores\":{},\
-             \"suffix_steps_saved\":{}{per_model_json}}},\
+             \"suffix_steps_saved\":{},\"decoded_programs\":{},\"decoded_uops\":{},\
+             \"decode_micros\":{}{per_model_json}}},\
              \"store\":{store_json},\
              \"speedup\":{:.3},\"identical\":true}}",
             matrix.workloads.len(),
@@ -755,6 +756,9 @@ fn run_matrix_benchmark(
             cell_micros.join(","),
             matrix.stats.snapshot_restores,
             matrix.stats.suffix_steps_saved,
+            matrix.stats.decoded_programs,
+            matrix.stats.decoded_uops,
+            matrix.stats.decode_micros,
             speedup,
         );
         return;

@@ -26,7 +26,7 @@ fn usage(message: &str) -> ! {
     eprintln!(
         "usage: gridc --addr ADDR [--workloads LIST] [--variants LIST] [--models LIST] \
          [--trials N] [--max-steps N] [--priority N] [--deadline-ms N] [--json] \
-         [--expect-warm] [--clients N] [--bench] [--stats] [--shutdown]"
+         [--expect-warm] [--clients N] [--bench] [--cold] [--stats] [--shutdown]"
     );
     eprintln!("  --addr: the daemon (unix:PATH or host:port); required");
     eprintln!("  --workloads: comma list (default: the 4-workload benchmark grid)");
@@ -40,6 +40,11 @@ fn usage(message: &str) -> ! {
     eprintln!("  --expect-warm: fail unless the daemon served everything without simulation");
     eprintln!("  --clients N: send the grid from N concurrent connections, assert identity");
     eprintln!("  --bench: cold pass, warm pass, concurrent pass; print BENCH JSON");
+    eprintln!(
+        "  --cold: make the daemon ignore (not delete) its cell cache for the request \
+         (under --bench: the first pass only), so a pre-populated store still yields \
+         a genuine cold measurement"
+    );
     eprintln!("  --stats / --shutdown: print the daemon's (final) statistics snapshot");
     exit(2);
 }
@@ -62,6 +67,7 @@ struct Options {
     expect_warm: bool,
     clients: usize,
     bench: bool,
+    cold: bool,
     stats: bool,
     shutdown: bool,
 }
@@ -88,6 +94,7 @@ fn parse_args() -> Options {
         expect_warm: false,
         clients: 0,
         bench: false,
+        cold: false,
         stats: false,
         shutdown: false,
     };
@@ -117,6 +124,7 @@ fn parse_args() -> Options {
             "--expect-warm" => options.expect_warm = true,
             "--clients" => options.clients = int_of!("--clients"),
             "--bench" => options.bench = true,
+            "--cold" => options.cold = true,
             "--stats" => options.stats = true,
             "--shutdown" => options.shutdown = true,
             flag => usage(&format!("unknown flag {flag:?}")),
@@ -128,7 +136,7 @@ fn parse_args() -> Options {
     options
 }
 
-fn request_of(options: &Options) -> GridRequest {
+fn request_of(options: &Options, cold: bool) -> GridRequest {
     GridRequest {
         priority: options.priority,
         trials: options.trials,
@@ -137,6 +145,7 @@ fn request_of(options: &Options) -> GridRequest {
         workloads: options.workloads.clone(),
         variants: options.variants.clone(),
         models: options.models.clone(),
+        cold,
     }
 }
 
@@ -180,12 +189,12 @@ fn run_grid(client: &mut GridClient, request: &GridRequest, quiet: bool) -> Done
 /// `--clients N`: the same grid from N concurrent connections; every
 /// report must be byte-identical. Returns the completion frames and the
 /// wall time of the whole fan-out.
-fn run_concurrent(options: &Options, clients: usize) -> (Vec<DoneFrame>, u64) {
+fn run_concurrent(options: &Options, clients: usize, cold: bool) -> (Vec<DoneFrame>, u64) {
     let started = Instant::now();
     let mut joins = Vec::new();
     for _ in 0..clients {
         let addr = options.addr.clone();
-        let request = request_of(options);
+        let request = request_of(options, cold);
         joins.push(std::thread::spawn(move || {
             run_grid(&mut connect(&addr), &request, true)
         }));
@@ -246,7 +255,7 @@ fn main() {
     }
 
     if options.clients > 1 {
-        let (results, wall_micros) = run_concurrent(&options, options.clients);
+        let (results, wall_micros) = run_concurrent(&options, options.clients, options.cold);
         println!(
             "{{\"clients\":{},\"identical\":true,\"wall_micros\":{},\"results\":[{}]}}",
             options.clients,
@@ -256,7 +265,7 @@ fn main() {
         return;
     }
 
-    let request = request_of(&options);
+    let request = request_of(&options, options.cold);
     let done = run_grid(&mut connect(&options.addr), &request, options.json);
     if options.expect_warm {
         expect_warm(&done);
@@ -269,14 +278,15 @@ fn main() {
 }
 
 /// `--bench`: one pass against whatever state the daemon's store is in
-/// (cold on a fresh store), one guaranteed-warm pass, then a concurrent
-/// fan-out — the daemon-side analogue of `campaign --matrix --store`'s
-/// cold-vs-warm numbers, emitted as the BENCH_gridd JSON document.
+/// (cold on a fresh store, forced cold with `--cold` — the daemon ignores
+/// its pre-populated cell cache for that pass without deleting it), one
+/// guaranteed-warm pass, then a concurrent fan-out — the daemon-side
+/// analogue of `campaign --matrix --store`'s cold-vs-warm numbers, emitted
+/// as the BENCH_gridd JSON document.
 fn run_benchmark(options: &Options) {
-    let request = request_of(options);
     let mut client = connect(&options.addr);
-    let first = run_grid(&mut client, &request, true);
-    let warm = run_grid(&mut client, &request, true);
+    let first = run_grid(&mut client, &request_of(options, options.cold), true);
+    let warm = run_grid(&mut client, &request_of(options, false), true);
     if warm.report_json != first.report_json {
         fail(
             "benchmark identity",
@@ -288,7 +298,7 @@ fn run_benchmark(options: &Options) {
     } else {
         4
     };
-    let (concurrent, concurrent_wall) = run_concurrent(options, clients);
+    let (concurrent, concurrent_wall) = run_concurrent(options, clients, false);
     if concurrent[0].report_json != first.report_json {
         fail(
             "benchmark identity",
@@ -298,7 +308,7 @@ fn run_benchmark(options: &Options) {
     let stats = client.stats().unwrap_or_else(|e| fail("stats", &e));
     println!(
         "{{\"grid\":{{\"workloads\":{},\"variants\":{},\"models\":{},\"cells\":{}}},\
-         \"trials\":{},\"max_steps\":{},\
+         \"trials\":{},\"max_steps\":{},\"cold\":{},\
          \"first\":{},\"warm\":{},\"first_was_warm\":{},\"warm_was_warm\":{},\
          \"concurrent\":{{\"clients\":{},\"wall_micros\":{},\"identical\":true}},\
          \"daemon\":{}}}",
@@ -308,6 +318,7 @@ fn run_benchmark(options: &Options) {
         first.cells,
         options.trials,
         options.max_steps,
+        options.cold,
         done_json(&first),
         done_json(&warm),
         first.computed_cells == 0 && first.recordings == 0,

@@ -272,6 +272,15 @@ fn udiv(n: Val, d: Val, k: i128) -> Val {
         Some(0) => Val::con(0),
         Some(dc) => match n {
             Val::Affine { base, slope: 0 } => Val::con(base / dc),
+            // A numerator marching by whole multiples of the divisor has
+            // an exactly affine quotient: `(base + s·m·k) / m = base/m +
+            // s·k` (the numerator is in-range and non-negative for the
+            // whole horizon by the `Affine` invariant). AN-coded values
+            // move this way — keeping them affine lets the `UDIV`+`MLS`
+            // remainder fold to a period-invariant constant downstream.
+            Val::Affine { base, slope } if slope % i64::from(dc) == 0 => {
+                mk(i128::from(base / dc), i128::from(slope / i64::from(dc)), k)
+            }
             Val::Affine { base, slope } => Val::Quot {
                 base,
                 slope,

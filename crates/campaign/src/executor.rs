@@ -70,7 +70,7 @@ use crate::accel;
 use crate::liveness::{LivenessVerdict, SuffixIndex};
 use crate::model::{CampaignContext, FaultGroup, FaultModel};
 use crate::persist::CellKey;
-use crate::point::FaultPoint;
+use crate::point::{with_point_hook, FaultPoint, SkipHook};
 use crate::report::{classify, CampaignReport, Outcome};
 use crate::runner::{assemble_report, SimulatorSource};
 use crate::trace_store::{RecordedReference, SpineSnapshot, TraceFetch, TraceKey, TraceStore};
@@ -224,8 +224,9 @@ const MEMO_DEEP_CAP: u32 = 2;
 /// consulted at all: most overshoots are terminating runs a few thousand
 /// steps from their exit, and even a failed proof attempt costs a
 /// discovery walk. A true runaway pays this once against the ~200k steps
-/// a proof saves.
-const PROVE_OVERSHOOT: u64 = 65_536;
+/// a proof saves; the memo caps keep mis-fired attempts bounded per
+/// shard, so a short fuse costs little even on prover-resistant loops.
+const PROVE_OVERSHOOT: u64 = 8_192;
 
 /// Per-shard record of how the prover has fared at one anchor pc.
 #[derive(Default, Clone, Copy)]
@@ -262,12 +263,12 @@ const CYCLE_GUARD_WINDOW: u64 = 64;
 /// `O(log max_steps)` attempts.
 ///
 /// Healthy runs halt before the watch point and never pay for a snapshot.
-struct CycleGuard<'h> {
+struct CycleGuard<'h, H: FaultHook + ?Sized> {
     /// Shared prover scoreboard for the shard, keyed by anchor pc.
     memo: &'h RefCell<HashMap<usize, ProveMemo>>,
     /// Shard-shared scratch simulator for the prover's discovery walks.
     scratch: &'h RefCell<Simulator>,
-    inner: &'h mut dyn FaultHook,
+    inner: &'h mut H,
     /// First step eligible for anchoring: past the last injected fault (the
     /// inner hook returns only `Continue` from here on) and past the
     /// reference length.
@@ -293,9 +294,9 @@ struct CycleGuard<'h> {
     steps_saved: u64,
 }
 
-impl<'h> CycleGuard<'h> {
+impl<'h, H: FaultHook + ?Sized> CycleGuard<'h, H> {
     fn new(
-        inner: &'h mut dyn FaultHook,
+        inner: &'h mut H,
         watch_from: u64,
         program: Arc<Program>,
         max_steps: u64,
@@ -324,9 +325,18 @@ impl<'h> CycleGuard<'h> {
         self.steps_saved += self.max_steps.saturating_sub(step.saturating_sub(1));
         FaultAction::DivergenceProven
     }
+
+    /// Whether `instr`'s pc may serve as an anchor: the symbolic prover
+    /// replays candidate periods from the anchor, and a conditional branch
+    /// consumes flags set *before* the period starts — a walk from such a
+    /// pc can never be proven. Anchoring one step later loses nothing (the
+    /// loop's arrivals are merely phase-shifted).
+    fn anchorable(instr: &Instr) -> bool {
+        !matches!(instr, Instr::BCond { .. })
+    }
 }
 
-impl FaultHook for CycleGuard<'_> {
+impl<H: FaultHook + ?Sized> FaultHook for CycleGuard<'_, H> {
     fn before_execute(
         &mut self,
         step: u64,
@@ -400,13 +410,17 @@ impl FaultHook for CycleGuard<'_> {
                         self.failed_proves += 1;
                     }
                 }
-                if step - anchor_step >= self.window {
+                if step - anchor_step >= self.window && Self::anchorable(instr) {
                     self.window *= 2;
                     self.anchor = Some((pc, step, machine.snapshot()));
                     self.tried_prove = false;
                 }
             }
-            None => self.anchor = Some((pc, step, machine.snapshot())),
+            None => {
+                if Self::anchorable(instr) {
+                    self.anchor = Some((pc, step, machine.snapshot()));
+                }
+            }
         }
         FaultAction::Continue
     }
@@ -478,7 +492,6 @@ impl CellExec<'_> {
                 return self.reference_outcome();
             }
         }
-        let mut hook = point.hook();
         let cursor = if let Some(cp) = self.reference.checkpoint_before(point.anchor_step()) {
             sim.machine_mut().restore(&cp.state);
             RunCursor::resumed(cp.pc as usize, cp.steps_done)
@@ -489,7 +502,9 @@ impl CellExec<'_> {
                 Err(e) => return (classify(&self.reference.trace.result, &Err(e)), 0),
             }
         };
-        self.run_from_cursor(sim, cursor, &mut hook, point.last_fault_step(), stats)
+        with_point_hook!(point, hook => {
+            self.run_from_cursor(sim, cursor, &mut hook, point.last_fault_step(), stats)
+        })
     }
 
     /// Executes from `cursor` to completion, pausing at every reference
@@ -504,11 +519,11 @@ impl CellExec<'_> {
     /// loop ends immediately with the step-limit error it was guaranteed to
     /// produce, instead of burning the remaining step budget one
     /// instruction at a time.
-    fn run_from_cursor(
+    fn run_from_cursor<H: FaultHook + ?Sized>(
         &self,
         sim: &mut Simulator,
         mut cursor: RunCursor,
-        hook: &mut dyn FaultHook,
+        hook: &mut H,
         last_fault_step: u64,
         stats: &mut ShardStats,
     ) -> (Outcome, u32) {
@@ -624,7 +639,7 @@ impl CellExec<'_> {
         stats: &mut ShardStats,
     ) {
         let reference = &self.reference.trace.result;
-        let mut spine_hook = FaultPoint::Skip { step: first }.hook();
+        let mut spine_hook = SkipHook { step: first };
         let fill = |out: &mut [Option<(Outcome, u32)>], from: usize, value: (Outcome, u32)| {
             for &(slot, _) in &fan[from..] {
                 out[slot] = Some(value);
@@ -728,15 +743,18 @@ impl CellExec<'_> {
                     }
                 }
             }
-            let mut hook = points[slot].hook();
             if index + 1 == fan.len() {
                 // No later member restores this position: run in place.
-                out[slot] = Some(self.run_from_cursor(sim, cursor, &mut hook, second, stats));
+                out[slot] = Some(with_point_hook!(&points[slot], hook => {
+                    self.run_from_cursor(sim, cursor, &mut hook, second, stats)
+                }));
                 return;
             }
             let snap_state = sim.machine().snapshot();
             let snap_cursor = cursor;
-            out[slot] = Some(self.run_from_cursor(sim, cursor, &mut hook, second, stats));
+            out[slot] = Some(with_point_hook!(&points[slot], hook => {
+                self.run_from_cursor(sim, cursor, &mut hook, second, stats)
+            }));
             sim.machine_mut().restore(&snap_state);
             cursor = snap_cursor;
             stats.snapshot_restores += 1;
@@ -827,6 +845,7 @@ fn fallback_plan(points_len: usize) -> Vec<FaultGroup> {
 pub struct MatrixExecutor {
     threads: usize,
     shard_size: usize,
+    ignore_cell_cache: bool,
 }
 
 impl Default for MatrixExecutor {
@@ -846,6 +865,7 @@ impl MatrixExecutor {
         MatrixExecutor {
             threads: thread::available_parallelism().map_or(1, usize::from),
             shard_size: MatrixExecutor::DEFAULT_SHARD_SIZE,
+            ignore_cell_cache: false,
         }
     }
 
@@ -861,6 +881,19 @@ impl MatrixExecutor {
     #[must_use]
     pub fn with_shard_size(mut self, shard_size: usize) -> Self {
         self.shard_size = shard_size.max(1);
+        self
+    }
+
+    /// When set, the persistent cell cache is *ignored* (not deleted) on
+    /// load: every cell executes its fault space from scratch, but computed
+    /// cells are still written back, so the cache ends the run at least as
+    /// warm as it started. Output-invariant (cached reports are
+    /// byte-identical to recomputed ones by the backend's round-trip
+    /// contract); used by benchmark paths to measure genuine cold-path cost
+    /// against a pre-populated store.
+    #[must_use]
+    pub fn with_cell_cache_ignored(mut self, ignore: bool) -> Self {
+        self.ignore_cell_cache = ignore;
         self
     }
 
@@ -951,7 +984,7 @@ impl MatrixExecutor {
         let mut cached: Vec<Option<CampaignReport>> = cell_keys
             .iter()
             .map(|key| match (&backend, key) {
-                (Some(backend), Some(key)) => backend.load_cell(key),
+                (Some(backend), Some(key)) if !self.ignore_cell_cache => backend.load_cell(key),
                 _ => None,
             })
             .collect();

@@ -146,8 +146,9 @@ pub(crate) fn run_point(
     reference: &secbranch_armv7m::ExecResult,
     point: &FaultPoint,
 ) -> (Outcome, u32) {
-    let mut hook = point.hook();
-    let result = sim.call_with_faults(entry, args, max_steps, &mut hook);
+    let result = crate::point::with_point_hook!(point, hook => {
+        sim.call_with_faults(entry, args, max_steps, &mut hook)
+    });
     let outcome = classify(reference, &result);
     let return_value = result.map_or(0, |r| r.return_value);
     (outcome, return_value)

@@ -63,6 +63,12 @@ pub struct CellRequest {
     /// partial work. Either way the completion observes the error, and the
     /// pool counts the job in [`PoolStats::expired`].
     pub deadline: Option<Instant>,
+    /// When set, the worker's executor ignores (without deleting) the
+    /// persistent cell cache for this job
+    /// ([`MatrixExecutor::with_cell_cache_ignored`]): the cell executes its
+    /// fault space from scratch and is written back as usual. Used by
+    /// cold-path benchmarks against a pre-populated store.
+    pub cold: bool,
 }
 
 impl std::fmt::Debug for CellRequest {
@@ -74,6 +80,7 @@ impl std::fmt::Debug for CellRequest {
             .field("max_steps", &self.max_steps)
             .field("model", &self.model.name())
             .field("deadline", &self.deadline)
+            .field("cold", &self.cold)
             .finish_non_exhaustive()
     }
 }
@@ -386,6 +393,7 @@ fn worker_loop(shared: &PoolShared) {
         };
         let result = MatrixExecutor::new()
             .with_threads(1)
+            .with_cell_cache_ignored(request.cold)
             .run_with_deadline(
                 std::slice::from_ref(&matrix_job),
                 &shared.store,
@@ -452,6 +460,7 @@ mod tests {
             max_steps: 100,
             model,
             deadline: None,
+            cold: false,
         }
     }
 
@@ -587,6 +596,7 @@ mod tests {
             max_steps: 50_000,
             model: Arc::new(InstructionSkip),
             deadline: Some(Instant::now() + std::time::Duration::from_millis(10)),
+            cold: false,
         };
         let (tx, rx) = mpsc::channel();
         assert!(pool.submit(

@@ -62,6 +62,16 @@ pub struct MatrixStats {
     /// across all cells (liveness-pruned injections plus runs cut short at
     /// a reconvergent checkpoint).
     pub suffix_steps_saved: u64,
+    /// Artifacts whose program was decoded into micro-ops during (or
+    /// before) this run. Decode happens once per `Arc<Program>` no matter
+    /// how many workers share it; the decoded form is derived data and
+    /// never part of the report.
+    pub decoded_programs: u64,
+    /// Total micro-ops across those decoded programs (equals their total
+    /// instruction count — the decoder is 1:1).
+    pub decoded_uops: u64,
+    /// Total wall-clock microseconds spent decoding those programs.
+    pub decode_micros: u64,
 }
 
 impl MatrixStats {
@@ -79,7 +89,8 @@ impl MatrixStats {
              \"cell_hits\":{},\"cell_misses\":{},\"total_wall_micros\":{},\
              \"cell_compute_micros\":[{}],\"store_checkpoint_bytes\":{},\
              \"store_checkpoint_evictions\":{},\"snapshot_restores\":{},\
-             \"suffix_steps_saved\":{}}}",
+             \"suffix_steps_saved\":{},\"decoded_programs\":{},\
+             \"decoded_uops\":{},\"decode_micros\":{}}}",
             self.threads,
             self.trace_hits,
             self.trace_disk_hits,
@@ -92,6 +103,9 @@ impl MatrixStats {
             self.store_checkpoint_evictions,
             self.snapshot_restores,
             self.suffix_steps_saved,
+            self.decoded_programs,
+            self.decoded_uops,
+            self.decode_micros,
         )
     }
 }

@@ -419,6 +419,21 @@ impl Session {
         }
         stats.store_checkpoint_bytes = self.traces.checkpoint_bytes() as u64;
         stats.store_checkpoint_evictions = self.traces.checkpoint_evictions();
+        // Decode-cost accounting: each artifact's program decodes into
+        // micro-ops at most once (cached in the `Arc<Program>` all workers
+        // share); cells served entirely from a warm store never decode.
+        let mut decoded_seen = HashSet::new();
+        for artifact in &artifacts {
+            let program = &artifact.compiled().program;
+            if !decoded_seen.insert(Arc::as_ptr(program)) {
+                continue;
+            }
+            if let Some((uops, micros)) = program.decode_stats() {
+                stats.decoded_programs += 1;
+                stats.decoded_uops += uops;
+                stats.decode_micros += micros;
+            }
+        }
         Ok(SecurityReport {
             workloads: workload_names,
             pipelines: labels,
@@ -458,6 +473,7 @@ impl Session {
             ..MatrixStats::default()
         };
         let mut cells = Vec::with_capacity(workloads.len() * pipelines.len() * models.len());
+        let mut decoded_seen = HashSet::new();
         for (workload, workload_name) in workloads.iter().zip(&workload_names) {
             for (pipeline, label) in pipelines.iter().zip(&labels) {
                 let artifact = self
@@ -478,6 +494,14 @@ impl Session {
                         model: model_name.clone(),
                         report,
                     });
+                }
+                let program = &artifact.compiled().program;
+                if decoded_seen.insert(Arc::as_ptr(program)) {
+                    if let Some((uops, micros)) = program.decode_stats() {
+                        stats.decoded_programs += 1;
+                        stats.decoded_uops += uops;
+                        stats.decode_micros += micros;
+                    }
                 }
             }
         }

@@ -442,6 +442,7 @@ fn handle_grid(shared: &Arc<Shared>, stream: &mut Stream, payload: &[u8]) -> io:
                 } else if let Some(report) = shared
                     .grid
                     .as_deref()
+                    .filter(|_| !request.cold)
                     .and_then(|grid| grid.load_cell(&cell_key))
                 {
                     drop(inflight);
@@ -481,6 +482,7 @@ fn handle_grid(shared: &Arc<Shared>, stream: &mut Stream, payload: &[u8]) -> io:
                         max_steps: request.max_steps,
                         model: Arc::clone(model),
                         deadline,
+                        cold: request.cold,
                     };
                     let callback_shared = Arc::clone(shared);
                     let callback_key = cell_key.clone();

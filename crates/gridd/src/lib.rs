@@ -44,6 +44,7 @@
 //!         workloads: vec!["integer_compare".into()],
 //!         variants: vec!["unprotected".into(), "prototype".into()],
 //!         models: vec!["skip".into(), "branch-invert".into()],
+//!         cold: false,
 //!     },
 //!     |cell| eprintln!("cell {}/{} {}", cell.cell_index + 1, cell.total_cells, cell.served.label()),
 //! )?;

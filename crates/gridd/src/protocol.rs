@@ -20,9 +20,9 @@
 //! ```
 //!
 //! A frame of a foreign protocol version is answered with a
-//! [`RejectFrame`] and the connection is closed — clients of a future
-//! protocol get a machine-readable "speak v1" instead of a hang or a
-//! misparse. Payload contents are encoded with the same
+//! [`RejectFrame`] and the connection is closed — clients of a foreign
+//! protocol get a machine-readable "speak my version" instead of a hang
+//! or a misparse. Payload contents are encoded with the same
 //! [`Writer`]/[`Reader`] primitives the store records use.
 
 use std::io::{self, Read, Write};
@@ -36,7 +36,9 @@ pub const MAGIC: [u8; 4] = *b"SBGD";
 
 /// The protocol version this build speaks. Bump on any frame or payload
 /// layout change — peers refuse other versions instead of misparsing them.
-pub const PROTOCOL_VERSION: u32 = 1;
+/// v2 added [`GridRequest::cold`] (the decoders reject trailing bytes, so
+/// the field could not ride on v1 frames).
+pub const PROTOCOL_VERSION: u32 = 2;
 
 /// Upper bound on a frame payload; a corrupted or hostile length prefix
 /// fails the read instead of triggering a giant allocation.
@@ -195,6 +197,12 @@ pub struct GridRequest {
     pub variants: Vec<String>,
     /// Fault model names (e.g. `skip`, `branch-invert`).
     pub models: Vec<String>,
+    /// When set, the daemon ignores (without deleting) any cached cells in
+    /// its persistent grid store and computes every cell of this request
+    /// from scratch. Write-back still happens, so a cold request re-warms
+    /// the store for its successors. Used by benchmark clients to measure
+    /// genuine cold-path cost against a pre-populated store.
+    pub cold: bool,
 }
 
 fn write_names(w: &mut Writer, names: &[String]) {
@@ -220,6 +228,7 @@ pub fn encode_grid_request(request: &GridRequest) -> Vec<u8> {
     write_names(&mut w, &request.workloads);
     write_names(&mut w, &request.variants);
     write_names(&mut w, &request.models);
+    w.u8(u8::from(request.cold));
     w.into_bytes()
 }
 
@@ -238,6 +247,11 @@ pub fn decode_grid_request(payload: &[u8]) -> Result<GridRequest, RecordError> {
         workloads: read_names(&mut r)?,
         variants: read_names(&mut r)?,
         models: read_names(&mut r)?,
+        cold: match r.u8()? {
+            0 => false,
+            1 => true,
+            _ => return Err(RecordError::Corrupt),
+        },
     };
     if !r.is_exhausted() {
         return Err(RecordError::Corrupt);
@@ -689,6 +703,7 @@ mod tests {
             workloads: vec!["integer_compare".to_string(), "crc32".to_string()],
             variants: vec!["unprotected".to_string(), "prototype".to_string()],
             models: vec!["skip".to_string(), "branch-invert".to_string()],
+            cold: true,
         }
     }
 

@@ -85,6 +85,7 @@ fn request(workloads: &[&str], variants: &[&str], models: &[&str], trials: u64) 
         workloads: workloads.iter().map(|s| (*s).to_string()).collect(),
         variants: variants.iter().map(|s| (*s).to_string()).collect(),
         models: models.iter().map(|s| (*s).to_string()).collect(),
+        cold: false,
     }
 }
 
@@ -181,6 +182,46 @@ fn cold_then_warm_requests_match_a_local_run_byte_for_byte() {
     assert_eq!(stats.computed_cells, 4);
     assert_eq!(stats.warm_cells, 4);
     assert!(stats.store.is_some(), "store counters surface in STATS");
+}
+
+#[test]
+fn cold_requests_recompute_against_a_warm_store_without_deleting_it() {
+    let store = TempDir::new("forced-cold");
+    let daemon = RunningDaemon::start(DaemonConfig {
+        store_dir: Some(store.0.clone()),
+        ..DaemonConfig::default()
+    });
+    let grid = request(&["integer_compare"], &["unprotected"], &["skip"], 50);
+    let expected_json = local_report(&grid).to_json();
+
+    let mut client = daemon.client();
+    let first = client
+        .request_grid(&grid, |_| {})
+        .expect("cold grid serves");
+    assert_eq!(first.computed_cells, 1);
+
+    // The store is warm now, but a cold-flagged request must ignore it and
+    // compute the cell again — byte-identically.
+    let mut forced = grid.clone();
+    forced.cold = true;
+    let mut served = Vec::new();
+    let recomputed = client
+        .request_grid(&forced, |cell| served.push(cell.served))
+        .expect("forced-cold grid serves");
+    assert_eq!(recomputed.computed_cells, 1);
+    assert_eq!(recomputed.warm_cells, 0);
+    assert_eq!(recomputed.report_json, expected_json);
+    assert_eq!(served, vec![Served::Computed]);
+
+    // Ignoring is not deleting: a plain request afterwards is fully warm.
+    let warm = client
+        .request_grid(&grid, |_| {})
+        .expect("warm grid serves");
+    assert_eq!(warm.warm_cells, 1);
+    assert_eq!(warm.computed_cells, 0);
+    assert_eq!(warm.report_json, expected_json);
+
+    daemon.stop();
 }
 
 #[test]

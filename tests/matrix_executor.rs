@@ -207,6 +207,46 @@ fn double_skip_fans_out_from_first_fault_snapshots() {
     );
 }
 
+/// The micro-op tentpole, asserted through the decode counters it added to
+/// `MatrixStats`: every distinct program in the matrix is pre-decoded into
+/// micro-ops exactly once (shared through its `Arc<Program>` across all
+/// cells, threads and fault models), and the decode work is visible in the
+/// stats without ever entering the report body — `SecurityReport` equality
+/// and JSON ignore stats, so the 1/2/8-thread byte-identity test above
+/// holds unchanged. Fails against pre-micro-op code, where no decode
+/// happened and the counters did not exist.
+#[test]
+fn matrix_decodes_each_program_once_and_reports_the_cost() {
+    let workloads = grid_workloads();
+    let pipelines = grid_pipelines();
+    let models = grid_models();
+    let model_refs: Vec<&dyn FaultModel> = models.iter().map(AsRef::as_ref).collect();
+
+    let mut session = Session::new();
+    let executor = MatrixExecutor::new().with_threads(2);
+    let report = session
+        .security_matrix_with(&executor, &workloads, &pipelines, &model_refs, None)
+        .expect("matrix runs");
+
+    // 2 workloads × 3 pipelines = 6 distinct programs, decoded once each
+    // regardless of the 3 models (18 cells) that execute them.
+    assert_eq!(report.stats.decoded_programs, 6, "one decode per program");
+    assert!(
+        report.stats.decoded_uops > 0,
+        "decoded programs contain micro-ops"
+    );
+
+    // A repeat run reuses the per-program decode cache: the same programs
+    // are counted (they are still the matrix's working set) but the uop
+    // count is identical — nothing was re-decoded into a different shape.
+    let again = session
+        .security_matrix_with(&executor, &workloads, &pipelines, &model_refs, None)
+        .expect("matrix runs");
+    assert_eq!(again.stats.decoded_programs, 6);
+    assert_eq!(again.stats.decoded_uops, report.stats.decoded_uops);
+    assert_eq!(again, report, "decode stats never leak into the report");
+}
+
 /// Builds are batched before any campaign starts, through the session's
 /// ordinary build cache: running the performance matrix first means the
 /// security matrix compiles nothing.
