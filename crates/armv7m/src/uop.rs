@@ -30,8 +30,6 @@
 //! wildcard arm: adding an [`Instr`] variant without a micro-op fails to
 //! compile instead of silently falling back to anything.
 
-use std::time::Instant;
-
 use crate::cycles::instruction_cycles;
 use crate::instr::{Cond, Instr, Operand2, Reg, Target};
 use crate::program::Program;
@@ -152,13 +150,19 @@ pub struct DecodedProgram {
 
 impl DecodedProgram {
     /// Decodes every instruction of `program` into exactly one micro-op.
+    ///
+    /// Timed against the shared `secbranch-obs` monotonic clock and traced
+    /// as a `decode` span — one per program lifetime (the `OnceLock` in
+    /// [`Program::decoded`] guarantees at most one decode per `Arc`), so
+    /// the hot uop dispatch loop itself carries no instrumentation.
     #[must_use]
     pub(crate) fn decode(program: &Program) -> Self {
-        let started = Instant::now();
+        let _span = secbranch_obs::span_with("decode", || format!("{} instrs", program.len()));
+        let started = secbranch_obs::monotonic_micros();
         let uops = program.instructions().iter().map(decode_instr).collect();
         DecodedProgram {
             uops,
-            decode_micros: started.elapsed().as_micros() as u64,
+            decode_micros: secbranch_obs::monotonic_micros().saturating_sub(started),
         }
     }
 

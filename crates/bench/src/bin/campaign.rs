@@ -49,7 +49,8 @@ fn usage(message: &str) -> ! {
         "usage: campaign [variant labels...] [--models LIST] [--trials N] [--threads N] \
          [--max-steps N] [--workload NAME] [--matrix] [--per-model] [--json] [--heatmap] \
          [--advise] [--expect-zero-escapes] [--store DIR] [--store-stats] \
-         [--store-max-bytes N] [--compact] [--expect-warm] [--serve ADDR]"
+         [--store-max-bytes N] [--compact] [--expect-warm] [--serve ADDR] \
+         [--trace FILE] [--slow-cell-micros N]"
     );
     eprintln!("  variant labels: unprotected cfi \"duplication(xN)\" prototype");
     eprintln!("  --models: comma list of skip,double-skip,register-flip,memory-flip,branch-invert");
@@ -88,6 +89,15 @@ fn usage(message: &str) -> ! {
     eprintln!(
         "  --serve: run the grid daemon on ADDR (unix:PATH or host:port) until a client \
          sends SHUTDOWN; honours --store, --threads and --max-steps (as the step cap)"
+    );
+    eprintln!(
+        "  --trace: write a Chrome trace-event JSON of the run's instrumented phases \
+         to FILE (load it in Perfetto / chrome://tracing); timing-only, never \
+         affects reports"
+    );
+    eprintln!(
+        "  --slow-cell-micros: with --serve, log one stderr line per computed cell \
+         at or over N microseconds (0 = off, the default)"
     );
     exit(2);
 }
@@ -160,6 +170,8 @@ struct Options {
     compact: bool,
     expect_warm: bool,
     serve: Option<String>,
+    trace_path: Option<String>,
+    slow_cell_micros: u64,
 }
 
 impl Options {
@@ -195,6 +207,8 @@ fn parse_args() -> Options {
         compact: false,
         expect_warm: false,
         serve: None,
+        trace_path: None,
+        slow_cell_micros: 0,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -242,6 +256,12 @@ fn parse_args() -> Options {
             "--compact" => options.compact = true,
             "--expect-warm" => options.expect_warm = true,
             "--serve" => options.serve = Some(value_of("--serve")),
+            "--trace" => options.trace_path = Some(value_of("--trace")),
+            "--slow-cell-micros" => {
+                options.slow_cell_micros = value_of("--slow-cell-micros")
+                    .parse()
+                    .unwrap_or_else(|_| usage("--slow-cell-micros needs an integer"));
+            }
             flag if flag.starts_with("--") => usage(&format!("unknown flag {flag:?}")),
             label => match label.parse::<ProtectionVariant>() {
                 Ok(variant) => options.variants.push(variant),
@@ -287,6 +307,18 @@ fn parse_args() -> Options {
     }
     if options.serve.is_some() && (options.matrix || options.store_stats || options.compact) {
         usage("--serve runs the daemon; drop --matrix/--store-stats/--compact");
+    }
+    if options.trace_path.is_some()
+        && (options.serve.is_some()
+            || options.advise
+            || options.store_stats
+            || options.compact
+            || options.store_max_bytes.is_some())
+    {
+        usage("--trace records a campaign run; it does not apply to store/daemon modes");
+    }
+    if options.slow_cell_micros != 0 && options.serve.is_none() {
+        usage("--slow-cell-micros configures the daemon; it needs --serve");
     }
     options
 }
@@ -358,6 +390,11 @@ fn main() {
         return;
     }
 
+    // With `--trace`, every instrumented phase of the run below lands in
+    // this sink; the file is written after the campaign so tracing never
+    // sits between the executor and its wall-clock numbers.
+    let trace_sink = install_trace(&options);
+
     let models: Vec<Box<dyn FaultModel>> = options
         .model_list
         .split(',')
@@ -372,6 +409,7 @@ fn main() {
 
     if options.matrix {
         run_matrix_benchmark(&options, &pipelines, &model_refs, &executor, grid.as_ref());
+        export_trace(&options, trace_sink);
         return;
     }
 
@@ -391,6 +429,7 @@ fn main() {
             grid.as_ref(),
         )
         .unwrap_or_else(|e| fail("security matrix", &e));
+    export_trace(&options, trace_sink);
 
     if options.json {
         println!("{}", report.to_json());
@@ -429,14 +468,43 @@ fn main() {
     }
 }
 
+/// `--trace`: builds a session-level span sink and arms the thread-local
+/// tracing hooks. Returns `None` when tracing was not requested, in which
+/// case every span in the codebase stays a no-op.
+fn install_trace(options: &Options) -> Option<Arc<secbranch::obs::TraceSink>> {
+    options.trace_path.as_ref().map(|_| {
+        let sink = Arc::new(secbranch::obs::TraceSink::new());
+        secbranch::obs::install_sink(&sink);
+        sink
+    })
+}
+
+/// Drains the trace sink into a Chrome trace-event JSON file. The
+/// single-threaded executor path runs on this thread, so its buffered
+/// spans must be flushed explicitly before the drain (scoped workers flush
+/// on exit).
+fn export_trace(options: &Options, sink: Option<Arc<secbranch::obs::TraceSink>>) {
+    let (Some(path), Some(sink)) = (options.trace_path.as_deref(), sink) else {
+        return;
+    };
+    secbranch::obs::flush_thread();
+    secbranch::obs::uninstall_sink();
+    let events = sink.take_events();
+    std::fs::write(path, secbranch::obs::chrome_trace_json(&events))
+        .unwrap_or_else(|e| fail("writing the trace file", &e));
+    eprintln!("trace: {} span(s) written to {path}", events.len());
+}
+
 /// Runs the grid daemon in the foreground, honouring `--store` (the
-/// persistent store), `--threads` (the worker pool) and `--max-steps` (the
-/// per-request step cap).
+/// persistent store), `--threads` (the worker pool), `--max-steps` (the
+/// per-request step cap) and `--slow-cell-micros` (structured slow-cell
+/// logging).
 fn serve(addr: &str, options: &Options) {
     let config = secbranch_gridd::DaemonConfig {
         workers: options.threads.unwrap_or(0),
         store_dir: options.store_dir.as_ref().map(std::path::PathBuf::from),
         max_steps_cap: options.max_steps.unwrap_or(10_000_000),
+        slow_cell_micros: options.slow_cell_micros,
         ..secbranch_gridd::DaemonConfig::default()
     };
     let daemon = secbranch_gridd::GridDaemon::bind(addr, config)
@@ -732,7 +800,7 @@ fn run_matrix_benchmark(
              \"trace_misses\":{},\"cell_hits\":{},\"cell_misses\":{},\
              \"cell_compute_micros\":[{}],\"snapshot_restores\":{},\
              \"suffix_steps_saved\":{},\"decoded_programs\":{},\"decoded_uops\":{},\
-             \"decode_micros\":{}{per_model_json}}},\
+             \"decode_micros\":{},\"compute_histogram\":{}{per_model_json}}},\
              \"store\":{store_json},\
              \"speedup\":{:.3},\"identical\":true}}",
             matrix.workloads.len(),
@@ -759,6 +827,7 @@ fn run_matrix_benchmark(
             matrix.stats.decoded_programs,
             matrix.stats.decoded_uops,
             matrix.stats.decode_micros,
+            matrix.stats.compute_histogram().to_json(),
             speedup,
         );
         return;
@@ -793,6 +862,14 @@ fn run_matrix_benchmark(
             .collect();
         println!("per-model compute: {}", parts.join("  "));
     }
+    let histogram = matrix.stats.compute_histogram();
+    println!(
+        "cell compute:     p50 ≤{} µs, p95 ≤{} µs, p99 ≤{} µs over {} cells",
+        histogram.quantile(0.50),
+        histogram.quantile(0.95),
+        histogram.quantile(0.99),
+        histogram.count,
+    );
     if let Some(warm) = &warm {
         let warm_speedup = if warm.wall_micros == 0 {
             0.0

@@ -12,21 +12,25 @@
 //! $ gridc --addr 127.0.0.1:7399 --expect-warm        # fail unless zero simulation
 //! $ gridc --addr 127.0.0.1:7399 --clients 4          # byte-identity under concurrency
 //! $ gridc --addr 127.0.0.1:7399 --bench              # cold/warm/concurrent timings
-//! $ gridc --addr 127.0.0.1:7399 --stats
+//! $ gridc --addr 127.0.0.1:7399 --stats              # human-readable table
+//! $ gridc --addr 127.0.0.1:7399 --stats --json       # raw snapshot JSON
+//! $ gridc --addr 127.0.0.1:7399 --metrics            # Prometheus-style exposition
 //! $ gridc --addr 127.0.0.1:7399 --shutdown
 //! ```
 
+use std::fmt::Write as _;
 use std::process::exit;
 use std::time::{Duration, Instant};
 
-use secbranch_gridd::{DoneFrame, GridClient, GridRequest};
+use secbranch_gridd::{protocol::StatsSnapshot, DoneFrame, GridClient, GridRequest};
 
 fn usage(message: &str) -> ! {
     eprintln!("{message}");
     eprintln!(
         "usage: gridc --addr ADDR [--workloads LIST] [--variants LIST] [--models LIST] \
          [--trials N] [--max-steps N] [--priority N] [--deadline-ms N] [--json] \
-         [--expect-warm] [--clients N] [--bench] [--cold] [--stats] [--shutdown]"
+         [--expect-warm] [--clients N] [--bench] [--cold] [--stats] [--metrics] \
+         [--shutdown]"
     );
     eprintln!("  --addr: the daemon (unix:PATH or host:port); required");
     eprintln!("  --workloads: comma list (default: the 4-workload benchmark grid)");
@@ -45,7 +49,12 @@ fn usage(message: &str) -> ! {
          (under --bench: the first pass only), so a pre-populated store still yields \
          a genuine cold measurement"
     );
-    eprintln!("  --stats / --shutdown: print the daemon's (final) statistics snapshot");
+    eprintln!(
+        "  --stats: print a human-readable summary of the daemon's statistics \
+         (with --json: the raw snapshot JSON)"
+    );
+    eprintln!("  --metrics: print the daemon's metrics registry (Prometheus text format)");
+    eprintln!("  --shutdown: shut the daemon down; print its final snapshot JSON");
     exit(2);
 }
 
@@ -69,6 +78,7 @@ struct Options {
     bench: bool,
     cold: bool,
     stats: bool,
+    metrics: bool,
     shutdown: bool,
 }
 
@@ -96,6 +106,7 @@ fn parse_args() -> Options {
         bench: false,
         cold: false,
         stats: false,
+        metrics: false,
         shutdown: false,
     };
     let mut args = std::env::args().skip(1);
@@ -126,6 +137,7 @@ fn parse_args() -> Options {
             "--bench" => options.bench = true,
             "--cold" => options.cold = true,
             "--stats" => options.stats = true,
+            "--metrics" => options.metrics = true,
             "--shutdown" => options.shutdown = true,
             flag => usage(&format!("unknown flag {flag:?}")),
         }
@@ -238,6 +250,13 @@ fn expect_warm(done: &DoneFrame) {
 fn main() {
     let options = parse_args();
 
+    if options.metrics {
+        let mut client = connect(&options.addr);
+        let exposition = client.metrics().unwrap_or_else(|e| fail("metrics", &e));
+        print!("{exposition}");
+        return;
+    }
+
     if options.stats || options.shutdown {
         let mut client = connect(&options.addr);
         let snapshot = if options.shutdown {
@@ -245,7 +264,14 @@ fn main() {
         } else {
             client.stats().unwrap_or_else(|e| fail("stats", &e))
         };
-        println!("{}", snapshot.to_json());
+        // `--json` (and `--shutdown`, whose snapshot CI parses) stays the
+        // raw snapshot serialisation, byte for byte; the table is a
+        // human-only rendering of the same numbers.
+        if options.stats && !options.json {
+            print!("{}", render_stats_table(&snapshot));
+        } else {
+            println!("{}", snapshot.to_json());
+        }
         return;
     }
 
@@ -275,6 +301,85 @@ fn main() {
     } else {
         println!("{}", done_json(&done));
     }
+}
+
+/// Percentage of `part` in `whole`, `-` when nothing happened yet.
+fn rate(part: u64, whole: u64) -> String {
+    if whole == 0 {
+        "-".to_string()
+    } else {
+        format!("{:.1}%", part as f64 * 100.0 / whole as f64)
+    }
+}
+
+/// `--stats` without `--json`: the snapshot as a table a human can read at
+/// a glance — serving and pool state, cache hit rates, and compute-time
+/// percentiles over the daemon's recent-cell window.
+fn render_stats_table(s: &StatsSnapshot) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "grid daemon statistics (protocol v{})",
+        s.protocol_version
+    );
+    let _ = writeln!(
+        out,
+        "  requests         {:>10}   ({} refused/failed, {} version rejects)",
+        s.requests, s.request_errors, s.version_rejects,
+    );
+    let _ = writeln!(
+        out,
+        "  cells            {:>10}   ({} warm, {} computed, {} coalesced)",
+        s.cells_requested, s.warm_cells, s.computed_cells, s.coalesced_cells,
+    );
+    let _ = writeln!(
+        out,
+        "  pool             {:>10}   workers, {}/{} queued, {} in flight",
+        s.workers, s.queue_depth, s.queue_capacity, s.in_flight,
+    );
+    let _ = writeln!(
+        out,
+        "  pool jobs        {:>10}   submitted ({} completed, {} errored, {} expired)",
+        s.pool_submitted, s.pool_completed, s.pool_errored, s.pool_expired,
+    );
+    let _ = writeln!(
+        out,
+        "  cell hit rate    {:>10}   ({} of {} cells served without simulation)",
+        rate(s.warm_cells + s.coalesced_cells, s.cells_requested),
+        s.warm_cells + s.coalesced_cells,
+        s.cells_requested,
+    );
+    let trace_total = s.trace_hits + s.trace_disk_hits + s.trace_misses;
+    let _ = writeln!(
+        out,
+        "  trace hit rate   {:>10}   ({} memory + {} disk hits, {} recorded)",
+        rate(s.trace_hits + s.trace_disk_hits, trace_total),
+        s.trace_hits,
+        s.trace_disk_hits,
+        s.trace_misses,
+    );
+    let _ = writeln!(
+        out,
+        "  executor         {:>10}   snapshot restores, {} suffix steps saved, \
+         {} programs decoded ({} µs)",
+        s.snapshot_restores, s.suffix_steps_saved, s.decoded_programs, s.decode_micros,
+    );
+    let mut recent = s.recent_cell_micros.clone();
+    recent.sort_unstable();
+    let _ = writeln!(
+        out,
+        "  compute time     {:>10}   µs total; recent cells p50 {} / p95 {} / p99 {} µs \
+         (window of {})",
+        s.pool_compute_micros,
+        secbranch::obs::percentile(&recent, 0.50),
+        secbranch::obs::percentile(&recent, 0.95),
+        secbranch::obs::percentile(&recent, 0.99),
+        recent.len(),
+    );
+    if let Some(store) = &s.store {
+        let _ = writeln!(out, "  store            {}", store.to_json());
+    }
+    out
 }
 
 /// `--bench`: one pass against whatever state the daemon's store is in

@@ -53,7 +53,7 @@
 //! state a fresh simulator would have (see the [`crate::trace_store`]
 //! determinism contract).
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -368,6 +368,8 @@ impl<H: FaultHook + ?Sized> FaultHook for CycleGuard<'_, H> {
                         && step >= self.watch_from.saturating_add(PROVE_OVERSHOOT)
                     {
                         self.tried_prove = true;
+                        let _span =
+                            secbranch_obs::span_with("prover", || format!("pc {pc} step {step}"));
                         let scratch = &mut *self.scratch.borrow_mut();
                         let mut outcome = accel::prove_divergence(
                             &self.program,
@@ -453,6 +455,13 @@ struct CellExec<'a> {
     prove_memo: RefCell<HashMap<usize, ProveMemo>>,
     /// Scratch simulator the prover replays run futures on.
     scratch: RefCell<Simulator>,
+    /// Whether a `fast_forward` span has been recorded for this shard;
+    /// checkpoint restores happen per fault point, so tracing each one would
+    /// dwarf the work being traced. One representative span per shard keeps
+    /// the phase visible without measurable overhead.
+    ff_traced: Cell<bool>,
+    /// Same sampling discipline for `snapshot_restore` spans.
+    restore_traced: Cell<bool>,
 }
 
 impl CellExec<'_> {
@@ -493,6 +502,11 @@ impl CellExec<'_> {
             }
         }
         let cursor = if let Some(cp) = self.reference.checkpoint_before(point.anchor_step()) {
+            let _span = if secbranch_obs::enabled() && !self.ff_traced.replace(true) {
+                secbranch_obs::span("fast_forward")
+            } else {
+                secbranch_obs::Span::disabled()
+            };
             sim.machine_mut().restore(&cp.state);
             RunCursor::resumed(cp.pc as usize, cp.steps_done)
         } else {
@@ -647,6 +661,11 @@ impl CellExec<'_> {
         };
 
         let mut cursor = if let Some(snap) = self.store.spine_snapshot(&self.job.key, first) {
+            let _span = if secbranch_obs::enabled() && !self.restore_traced.replace(true) {
+                secbranch_obs::span("snapshot_restore")
+            } else {
+                secbranch_obs::Span::disabled()
+            };
             sim.machine_mut().restore(&snap.state);
             stats.snapshot_restores += 1;
             RunCursor::resumed(snap.pc as usize, snap.steps_done)
@@ -755,7 +774,14 @@ impl CellExec<'_> {
             out[slot] = Some(with_point_hook!(&points[slot], hook => {
                 self.run_from_cursor(sim, cursor, &mut hook, second, stats)
             }));
-            sim.machine_mut().restore(&snap_state);
+            {
+                let _span = if secbranch_obs::enabled() && !self.restore_traced.replace(true) {
+                    secbranch_obs::span("snapshot_restore")
+                } else {
+                    secbranch_obs::Span::disabled()
+                };
+                sim.machine_mut().restore(&snap_state);
+            }
             cursor = snap_cursor;
             stats.snapshot_restores += 1;
         }
@@ -1122,6 +1148,9 @@ impl MatrixExecutor {
 
         let run_shard = |shard: Shard, sim: &mut Option<(usize, Simulator)>| {
             let job = &jobs[shard.job];
+            let _span = secbranch_obs::span_with("shard", || {
+                format!("{} {}", job.key.artifact, job.model.name())
+            });
             // Reuse the worker's simulator when the previous shard was on
             // the same artifact; rebuild otherwise. Reset/restore brings it
             // back to pristine state either way.
@@ -1139,6 +1168,8 @@ impl MatrixExecutor {
                 store,
                 prove_memo: RefCell::new(HashMap::new()),
                 scratch: RefCell::new(job.source.fresh_simulator()),
+                ff_traced: Cell::new(false),
+                restore_traced: Cell::new(false),
             };
             let cpu_start = thread_cpu_micros();
             let started = Instant::now();

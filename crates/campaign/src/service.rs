@@ -213,6 +213,23 @@ pub struct PoolStats {
     pub compute_micros: u64,
 }
 
+impl PoolStats {
+    /// Registers this snapshot's counters and gauges under the
+    /// `secbranch_pool_*` prefix. Derived observability data only — never
+    /// part of reports, fingerprints, or persistence.
+    pub fn register_into(&self, registry: &mut secbranch_obs::Registry) {
+        registry.gauge("secbranch_pool_workers", self.workers as u64);
+        registry.gauge("secbranch_pool_capacity", self.capacity as u64);
+        registry.gauge("secbranch_pool_queued", self.queued as u64);
+        registry.gauge("secbranch_pool_in_flight", self.in_flight);
+        registry.counter("secbranch_pool_submitted_total", self.submitted);
+        registry.counter("secbranch_pool_completed_total", self.completed);
+        registry.counter("secbranch_pool_errored_total", self.errored);
+        registry.counter("secbranch_pool_expired_total", self.expired);
+        registry.counter("secbranch_pool_compute_micros_total", self.compute_micros);
+    }
+}
+
 /// A shared worker pool executing [`CellRequest`]s one cell at a time, each
 /// through a single-threaded [`MatrixExecutor`] over one shared
 /// [`TraceStore`] — see the module docs for the scheduling and shutdown

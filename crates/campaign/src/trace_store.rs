@@ -724,19 +724,50 @@ impl TraceStore {
             }
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
-        let recorded = Arc::new(record_reference_impl(
-            source,
-            entry,
-            args,
-            max_steps,
-            self.checkpoints,
-        )?);
+        let recorded = {
+            let _span =
+                secbranch_obs::span_with("reference", || format!("{} {}", key.artifact, entry));
+            Arc::new(record_reference_impl(
+                source,
+                entry,
+                args,
+                max_steps,
+                self.checkpoints,
+            )?)
+        };
         if let Some(backend) = &backend {
             backend.store_trace(key, &recorded);
         }
         let mut inner = self.inner.lock().expect("trace store poisoned");
         let stored = inner.insert(key, recorded, &self.evictions);
         Ok((stored, TraceFetch::Recorded))
+    }
+
+    /// Registers the store's counters into an observability
+    /// [`Registry`](secbranch_obs::Registry) (`secbranch_trace_store_*`
+    /// series): the memo hit/miss/disk counters plus checkpoint and
+    /// snapshot retention as gauges.
+    pub fn register_into(&self, registry: &mut secbranch_obs::Registry) {
+        registry.counter("secbranch_trace_store_hits_total", self.hits());
+        registry.counter("secbranch_trace_store_disk_hits_total", self.disk_hits());
+        registry.counter("secbranch_trace_store_misses_total", self.misses());
+        registry.counter(
+            "secbranch_trace_store_checkpoint_evictions_total",
+            self.checkpoint_evictions(),
+        );
+        registry.counter(
+            "secbranch_trace_store_snapshot_evictions_total",
+            self.snapshot_evictions(),
+        );
+        registry.gauge("secbranch_trace_store_entries", self.len() as u64);
+        registry.gauge(
+            "secbranch_trace_store_checkpoint_bytes",
+            self.checkpoint_bytes() as u64,
+        );
+        registry.gauge(
+            "secbranch_trace_store_snapshot_bytes",
+            self.snapshot_bytes() as u64,
+        );
     }
 
     /// How many requests were served from the in-memory memo.

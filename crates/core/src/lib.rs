@@ -36,7 +36,7 @@
 //!
 //! The individual building blocks are re-exported under their own names
 //! ([`ancode`], [`ir`], [`passes`], [`cfi`], [`armv7m`], [`codegen`],
-//! [`fault`], [`programs`], [`store`]).
+//! [`fault`], [`programs`], [`store`], [`obs`]).
 //!
 //! Security matrices and campaigns optionally persist their work: pass a
 //! [`store::GridStore`] to [`Session::security_matrix_with`] (or
@@ -78,6 +78,7 @@ pub use secbranch_cfi as cfi;
 pub use secbranch_codegen as codegen;
 pub use secbranch_fault as fault;
 pub use secbranch_ir as ir;
+pub use secbranch_obs as obs;
 pub use secbranch_passes as passes;
 pub use secbranch_programs as programs;
 pub use secbranch_store as store;

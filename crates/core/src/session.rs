@@ -170,6 +170,9 @@ impl Session {
         // `entry().or_insert_with` cannot propagate build errors, hence the
         // explicit two-step lookup.
         if !self.artifacts.contains_key(&key) {
+            let _span = secbranch_obs::span_with("build", || {
+                format!("{module_name} [{}]", pipeline.label())
+            });
             let artifact = pipeline.build(module)?;
             self.builds += 1;
             self.artifacts.insert(key.clone(), artifact);

@@ -13,7 +13,8 @@ use std::time::Duration;
 use crate::protocol::{
     decode_cell, decode_done, decode_reject, decode_stats, encode_grid_request, read_frame,
     write_frame, CellFrame, DoneFrame, GridRequest, StatsSnapshot, WireError, REQ_GRID,
-    REQ_SHUTDOWN, REQ_STATS, RESP_CELL, RESP_DONE, RESP_ERROR, RESP_REJECT, RESP_STATS,
+    REQ_METRICS, REQ_SHUTDOWN, REQ_STATS, RESP_CELL, RESP_DONE, RESP_ERROR, RESP_METRICS,
+    RESP_REJECT, RESP_STATS,
 };
 use crate::transport::{self, Stream};
 
@@ -171,11 +172,28 @@ impl GridClient {
         self.round_trip(REQ_SHUTDOWN)
     }
 
+    /// Fetches the daemon's metrics registry as a Prometheus-style text
+    /// exposition (v3 only; an older daemon answers with a rejection).
+    ///
+    /// # Errors
+    ///
+    /// Transport/protocol failures, [`ClientError::Rejected`] against a
+    /// pre-v3 daemon, or a daemon-side error frame.
+    pub fn metrics(&mut self) -> Result<String, ClientError> {
+        write_frame(&mut self.stream, REQ_METRICS, b"")?;
+        let frame = read_frame(&mut self.stream)?;
+        match frame.kind {
+            RESP_METRICS => String::from_utf8(frame.payload)
+                .map_err(|_| ClientError::Protocol("bad metrics frame".to_string())),
+            kind => Err(unexpected(kind, &frame.payload)),
+        }
+    }
+
     fn round_trip(&mut self, kind: u8) -> Result<StatsSnapshot, ClientError> {
         write_frame(&mut self.stream, kind, b"")?;
         let frame = read_frame(&mut self.stream)?;
         match frame.kind {
-            RESP_STATS => decode_stats(&frame.payload)
+            RESP_STATS => decode_stats(&frame.payload, frame.version)
                 .map_err(|_| ClientError::Protocol("bad stats frame".to_string())),
             kind => Err(unexpected(kind, &frame.payload)),
         }

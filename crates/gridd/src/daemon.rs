@@ -31,7 +31,7 @@
 //! content-addressed, a client retrying after any of these is idempotent —
 //! whatever was computed before the failure is served warm on the retry.
 
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 use std::io;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -42,15 +42,16 @@ use secbranch::campaign::{
     CampaignReport, CellKey, CellRequest, ExecutorPool, FaultModel, GridBackend, MatrixCellResult,
     OwnedModule, PoolError, SimulatorSource, TraceFetch, TraceKey, TraceStore,
 };
+use secbranch::obs::{Histogram, Registry};
 use secbranch::store::GridStore;
 use secbranch::{MatrixStats, Pipeline, SecurityCell, SecurityReport, Session, Workload};
 
 use crate::catalog;
 use crate::protocol::{
     decode_grid_request, encode_cell, encode_done, encode_reject, encode_stats, read_frame,
-    write_frame, CellFrame, DoneFrame, GridRequest, RejectFrame, Served, StatsSnapshot, WireError,
-    PROTOCOL_VERSION, REQ_GRID, REQ_SHUTDOWN, REQ_STATS, RESP_CELL, RESP_DONE, RESP_ERROR,
-    RESP_REJECT, RESP_STATS,
+    write_frame, write_frame_versioned, CellFrame, DoneFrame, GridRequest, RejectFrame, Served,
+    StatsSnapshot, WireError, PROTOCOL_VERSION, REQ_GRID, REQ_METRICS, REQ_SHUTDOWN, REQ_STATS,
+    RESP_CELL, RESP_DONE, RESP_ERROR, RESP_METRICS, RESP_REJECT, RESP_STATS,
 };
 use crate::transport::{self, Listener, Stream};
 
@@ -75,6 +76,11 @@ pub struct DaemonConfig {
     pub max_cells_per_request: usize,
     /// Largest per-execution step budget a request may ask for.
     pub max_steps_cap: u64,
+    /// When non-zero, every computed cell whose injection compute time
+    /// reaches this many microseconds is logged to stderr as one
+    /// structured line (cell key, compute µs, trace source, snapshot
+    /// restores). `0` (the default) disables the log.
+    pub slow_cell_micros: u64,
 }
 
 impl Default for DaemonConfig {
@@ -85,6 +91,7 @@ impl Default for DaemonConfig {
             store_dir: None,
             max_cells_per_request: 1024,
             max_steps_cap: 10_000_000,
+            slow_cell_micros: 0,
         }
     }
 }
@@ -128,6 +135,17 @@ struct Shared {
     recordings: AtomicU64,
     request_errors: AtomicU64,
     version_rejects: AtomicU64,
+    snapshot_restores: AtomicU64,
+    suffix_steps_saved: AtomicU64,
+    decoded_programs: AtomicU64,
+    decode_micros: AtomicU64,
+    /// Program identities (`Arc` data pointers of the daemon's build-cached
+    /// programs) whose decode cost is already accounted, so re-runs of an
+    /// artifact never double-count the one decode it paid.
+    decode_seen: Mutex<HashSet<usize>>,
+    /// Per-fault-model latency histograms of computed cells, for the
+    /// `METRICS` exposition. Derived observability data only.
+    model_micros: Mutex<BTreeMap<String, Arc<Histogram>>>,
 }
 
 /// The daemon: bind, then [`GridDaemon::run`] the accept loop (usually on
@@ -191,6 +209,12 @@ impl GridDaemon {
                 recordings: AtomicU64::new(0),
                 request_errors: AtomicU64::new(0),
                 version_rejects: AtomicU64::new(0),
+                snapshot_restores: AtomicU64::new(0),
+                suffix_steps_saved: AtomicU64::new(0),
+                decoded_programs: AtomicU64::new(0),
+                decode_micros: AtomicU64::new(0),
+                decode_seen: Mutex::new(HashSet::new()),
+                model_micros: Mutex::new(BTreeMap::new()),
             }),
         })
     }
@@ -227,19 +251,51 @@ impl GridDaemon {
 }
 
 /// One connection: a loop of request frames until the peer disconnects,
-/// breaks framing, or speaks the wrong protocol version.
+/// breaks framing, or speaks the wrong protocol version. Every reply is
+/// framed (and, for stats, encoded) at the peer's version, so a
+/// [`MIN_PROTOCOL_VERSION`](crate::protocol::MIN_PROTOCOL_VERSION) client
+/// keeps working against a newer daemon.
 fn handle_connection(shared: &Arc<Shared>, mut stream: Stream) {
     loop {
         match read_frame(&mut stream) {
             Ok(frame) => {
+                let version = frame.version;
                 let served = match frame.kind {
-                    REQ_GRID => handle_grid(shared, &mut stream, &frame.payload),
-                    REQ_STATS => {
-                        write_frame(&mut stream, RESP_STATS, &encode_stats(&snapshot(shared)))
+                    REQ_GRID => handle_grid(shared, &mut stream, version, &frame.payload),
+                    REQ_STATS => write_frame_versioned(
+                        &mut stream,
+                        version,
+                        RESP_STATS,
+                        &encode_stats(&snapshot(shared), version),
+                    ),
+                    REQ_METRICS if version >= 3 => write_frame_versioned(
+                        &mut stream,
+                        version,
+                        RESP_METRICS,
+                        render_metrics(shared).as_bytes(),
+                    ),
+                    REQ_METRICS => {
+                        // The frame kind arrived in v3: a v2 peer asking
+                        // for it gets a machine-readable rejection of the
+                        // *frame* — the connection stays usable.
+                        shared.version_rejects.fetch_add(1, Ordering::Relaxed);
+                        write_frame_versioned(
+                            &mut stream,
+                            version,
+                            RESP_REJECT,
+                            &encode_reject(RejectFrame {
+                                found: version,
+                                expected: PROTOCOL_VERSION,
+                            }),
+                        )
                     }
                     REQ_SHUTDOWN => {
-                        let _ =
-                            write_frame(&mut stream, RESP_STATS, &encode_stats(&snapshot(shared)));
+                        let _ = write_frame_versioned(
+                            &mut stream,
+                            version,
+                            RESP_STATS,
+                            &encode_stats(&snapshot(shared), version),
+                        );
                         shared.shutdown.store(true, Ordering::SeqCst);
                         // The accept loop is blocked in accept(); a
                         // throwaway connection wakes it to observe the flag.
@@ -248,7 +304,7 @@ fn handle_connection(shared: &Arc<Shared>, mut stream: Stream) {
                     }
                     kind => {
                         let message = format!("unsupported request kind {kind}");
-                        write_frame(&mut stream, RESP_ERROR, message.as_bytes())
+                        write_frame_versioned(&mut stream, version, RESP_ERROR, message.as_bytes())
                     }
                 };
                 if served.is_err() {
@@ -385,15 +441,21 @@ fn plan_request(shared: &Shared, request: &GridRequest) -> Result<Plan, String> 
 /// `Ok` means the connection is still usable — request-level failures
 /// answer with an error frame and return `Ok`. `Err` is a transport
 /// failure.
-fn handle_grid(shared: &Arc<Shared>, stream: &mut Stream, payload: &[u8]) -> io::Result<()> {
+fn handle_grid(
+    shared: &Arc<Shared>,
+    stream: &mut Stream,
+    version: u32,
+    payload: &[u8],
+) -> io::Result<()> {
+    let _span = secbranch::obs::span("request");
     let started = Instant::now();
     let request = match decode_grid_request(payload) {
         Ok(request) => request,
-        Err(_) => return refuse(shared, stream, "malformed grid request payload"),
+        Err(_) => return refuse(shared, stream, version, "malformed grid request payload"),
     };
     let plan = match plan_request(shared, &request) {
         Ok(plan) => plan,
-        Err(message) => return refuse(shared, stream, &message),
+        Err(message) => return refuse(shared, stream, version, &message),
     };
     shared.requests.fetch_add(1, Ordering::Relaxed);
 
@@ -414,6 +476,7 @@ fn handle_grid(shared: &Arc<Shared>, stream: &mut Stream, payload: &[u8]) -> io:
         .then(|| started + Duration::from_millis(request.deadline_millis));
 
     // Admission, in canonical (workload-major, pipeline-then-model) order.
+    let admission_span = secbranch::obs::span_with("admission", || format!("{total} cells"));
     'admission: for (windex, workload) in plan.workloads.iter().enumerate() {
         for (pindex, pipeline) in plan.pipelines.iter().enumerate() {
             let artifact_index = windex * plan.pipelines.len() + pindex;
@@ -448,8 +511,9 @@ fn handle_grid(shared: &Arc<Shared>, stream: &mut Stream, payload: &[u8]) -> io:
                     drop(inflight);
                     roles.push(Served::StoreWarm);
                     shared.warm_cells.fetch_add(1, Ordering::Relaxed);
-                    write_frame(
+                    write_frame_versioned(
                         stream,
+                        version,
                         RESP_CELL,
                         &encode_cell(&CellFrame {
                             cell_index: index,
@@ -486,11 +550,12 @@ fn handle_grid(shared: &Arc<Shared>, stream: &mut Stream, payload: &[u8]) -> io:
                     };
                     let callback_shared = Arc::clone(shared);
                     let callback_key = cell_key.clone();
+                    let callback_model = model.name();
                     let accepted = shared.pool.submit(
                         request.priority,
                         cell_request,
                         Box::new(move |result| {
-                            complete_cell(&callback_shared, &callback_key, result);
+                            complete_cell(&callback_shared, &callback_key, &callback_model, result);
                         }),
                     );
                     if !accepted {
@@ -515,9 +580,11 @@ fn handle_grid(shared: &Arc<Shared>, stream: &mut Stream, payload: &[u8]) -> io:
         }
     }
     drop(tx);
+    drop(admission_span);
 
     // Drain: stream each remaining cell as it completes, under the
     // request's deadline.
+    let stream_span = secbranch::obs::span_with("stream", || format!("{pending} pending"));
     let mut failure = admission_failure;
     let mut recordings = 0u32;
     while failure.is_none() && pending > 0 {
@@ -569,8 +636,9 @@ fn handle_grid(shared: &Arc<Shared>, stream: &mut Stream, payload: &[u8]) -> io:
                     }
                 }
                 let (workload, pipeline, model) = cell_labels(&plan, index);
-                write_frame(
+                write_frame_versioned(
                     stream,
+                    version,
                     RESP_CELL,
                     &encode_cell(&CellFrame {
                         cell_index: index,
@@ -590,8 +658,31 @@ fn handle_grid(shared: &Arc<Shared>, stream: &mut Stream, payload: &[u8]) -> io:
             }
         }
     }
+    drop(stream_span);
     if let Some(message) = failure {
-        return refuse(shared, stream, &message);
+        return refuse(shared, stream, version, &message);
+    }
+
+    // Decode-cost accounting, exactly like a local matrix run: each
+    // build-cached program decodes at most once no matter how many
+    // requests exercise it, so the counters only move the first time a
+    // decoded program is seen.
+    {
+        let mut seen = shared.decode_seen.lock().expect("decode_seen poisoned");
+        for (source, _, _) in &plan.artifacts {
+            let program = &source.compiled.program;
+            let identity = Arc::as_ptr(program) as *const () as usize;
+            if seen.contains(&identity) {
+                continue;
+            }
+            // A program served entirely warm has not decoded yet; leave it
+            // unmarked so the request that eventually decodes it counts it.
+            if let Some((_, micros)) = program.decode_stats() {
+                seen.insert(identity);
+                shared.decoded_programs.fetch_add(1, Ordering::Relaxed);
+                shared.decode_micros.fetch_add(micros, Ordering::Relaxed);
+            }
+        }
     }
 
     // Assemble the canonical report — identical in shape (and bytes) to a
@@ -639,8 +730,9 @@ fn handle_grid(shared: &Arc<Shared>, stream: &mut Stream, payload: &[u8]) -> io:
             ..MatrixStats::default()
         },
     };
-    write_frame(
+    write_frame_versioned(
         stream,
+        version,
         RESP_DONE,
         &encode_done(&DoneFrame {
             report_json: report.to_json(),
@@ -677,15 +769,20 @@ fn deadline_message(request: &GridRequest) -> String {
 }
 
 /// Answers a request-level failure and keeps the connection.
-fn refuse(shared: &Shared, stream: &mut Stream, message: &str) -> io::Result<()> {
+fn refuse(shared: &Shared, stream: &mut Stream, version: u32, message: &str) -> io::Result<()> {
     shared.request_errors.fetch_add(1, Ordering::Relaxed);
-    write_frame(stream, RESP_ERROR, message.as_bytes())
+    write_frame_versioned(stream, version, RESP_ERROR, message.as_bytes())
 }
 
 /// Pool-callback side of single-flight: take the subscriber list (making
 /// the cell's identity free again — the store already holds the result,
 /// written back before this callback ran), account the outcome, fan out.
-fn complete_cell(shared: &Shared, key: &CellKey, result: Result<MatrixCellResult, PoolError>) {
+fn complete_cell(
+    shared: &Shared,
+    key: &CellKey,
+    model_name: &str,
+    result: Result<MatrixCellResult, PoolError>,
+) {
     let waiters = shared
         .inflight
         .lock()
@@ -702,6 +799,41 @@ fn complete_cell(shared: &Shared, key: &CellKey, result: Result<MatrixCellResult
             let recorded = cell.trace_fetch == Some(TraceFetch::Recorded);
             if recorded {
                 shared.recordings.fetch_add(1, Ordering::Relaxed);
+            }
+            shared
+                .snapshot_restores
+                .fetch_add(cell.snapshot_restores, Ordering::Relaxed);
+            shared
+                .suffix_steps_saved
+                .fetch_add(cell.suffix_steps_saved, Ordering::Relaxed);
+            if !cell.cell_hit {
+                shared
+                    .model_micros
+                    .lock()
+                    .expect("model_micros poisoned")
+                    .entry(model_name.to_string())
+                    .or_insert_with(|| Arc::new(Histogram::new()))
+                    .observe(cell.compute_micros);
+            }
+            let slow_after = shared.config.slow_cell_micros;
+            if slow_after > 0 && !cell.cell_hit && cell.compute_micros >= slow_after {
+                let trace_source = match cell.trace_fetch {
+                    Some(TraceFetch::Memory) => "memory",
+                    Some(TraceFetch::Disk) => "disk",
+                    Some(TraceFetch::Recorded) => "recorded",
+                    None => "none",
+                };
+                eprintln!(
+                    "slow-cell artifact={} model={} entry={} args={:?} \
+                     compute_micros={} trace_source={} snapshot_restores={}",
+                    key.artifact,
+                    model_name,
+                    key.entry,
+                    key.args,
+                    cell.compute_micros,
+                    trace_source,
+                    cell.snapshot_restores,
+                );
             }
             let mut recent = shared.recent.lock().expect("recent poisoned");
             if recent.len() == RECENT_CELLS {
@@ -754,6 +886,10 @@ fn snapshot(shared: &Shared) -> StatsSnapshot {
         trace_hits: traces.hits(),
         trace_disk_hits: traces.disk_hits(),
         trace_misses: traces.misses(),
+        decoded_programs: shared.decoded_programs.load(Ordering::Relaxed),
+        decode_micros: shared.decode_micros.load(Ordering::Relaxed),
+        snapshot_restores: shared.snapshot_restores.load(Ordering::Relaxed),
+        suffix_steps_saved: shared.suffix_steps_saved.load(Ordering::Relaxed),
         recent_cell_micros: shared
             .recent
             .lock()
@@ -763,4 +899,79 @@ fn snapshot(shared: &Shared) -> StatsSnapshot {
             .collect(),
         store: shared.grid.as_ref().map(|grid| grid.stats()),
     }
+}
+
+/// The `METRICS` surface: every counter family of the daemon — its own
+/// request/cell counters, the pool, the trace store, the persistent store
+/// (when attached) and per-model compute-latency histograms — rendered as
+/// a Prometheus-style text exposition. Derived observability data only;
+/// nothing here feeds reports, fingerprints or persistence.
+fn render_metrics(shared: &Shared) -> String {
+    let mut registry = Registry::new();
+    registry.counter(
+        "secbranch_gridd_requests_total",
+        shared.requests.load(Ordering::Relaxed),
+    );
+    registry.counter(
+        "secbranch_gridd_cells_requested_total",
+        shared.cells_requested.load(Ordering::Relaxed),
+    );
+    registry.counter(
+        "secbranch_gridd_warm_cells_total",
+        shared.warm_cells.load(Ordering::Relaxed),
+    );
+    registry.counter(
+        "secbranch_gridd_computed_cells_total",
+        shared.computed_cells.load(Ordering::Relaxed),
+    );
+    registry.counter(
+        "secbranch_gridd_coalesced_cells_total",
+        shared.coalesced_cells.load(Ordering::Relaxed),
+    );
+    registry.counter(
+        "secbranch_gridd_recordings_total",
+        shared.recordings.load(Ordering::Relaxed),
+    );
+    registry.counter(
+        "secbranch_gridd_request_errors_total",
+        shared.request_errors.load(Ordering::Relaxed),
+    );
+    registry.counter(
+        "secbranch_gridd_version_rejects_total",
+        shared.version_rejects.load(Ordering::Relaxed),
+    );
+    registry.counter(
+        "secbranch_gridd_snapshot_restores_total",
+        shared.snapshot_restores.load(Ordering::Relaxed),
+    );
+    registry.counter(
+        "secbranch_gridd_suffix_steps_saved_total",
+        shared.suffix_steps_saved.load(Ordering::Relaxed),
+    );
+    registry.counter(
+        "secbranch_gridd_decoded_programs_total",
+        shared.decoded_programs.load(Ordering::Relaxed),
+    );
+    registry.counter(
+        "secbranch_gridd_decode_micros_total",
+        shared.decode_micros.load(Ordering::Relaxed),
+    );
+    shared.pool.stats().register_into(&mut registry);
+    shared.pool.store().register_into(&mut registry);
+    if let Some(grid) = &shared.grid {
+        grid.stats().register_into(&mut registry);
+    }
+    for (model, histogram) in shared
+        .model_micros
+        .lock()
+        .expect("model_micros poisoned")
+        .iter()
+    {
+        registry.histogram_with(
+            "secbranch_cell_compute_micros",
+            &[("model", model)],
+            &histogram.snapshot(),
+        );
+    }
+    registry.render_prometheus()
 }

@@ -37,8 +37,17 @@ pub const MAGIC: [u8; 4] = *b"SBGD";
 /// The protocol version this build speaks. Bump on any frame or payload
 /// layout change — peers refuse other versions instead of misparsing them.
 /// v2 added [`GridRequest::cold`] (the decoders reject trailing bytes, so
-/// the field could not ride on v1 frames).
-pub const PROTOCOL_VERSION: u32 = 2;
+/// the field could not ride on v1 frames). v3 added the `REQ_METRICS` /
+/// `RESP_METRICS` exchange and four executor counters to
+/// [`StatsSnapshot`]; v2 peers are still served (see
+/// [`MIN_PROTOCOL_VERSION`]) — every reply is framed and encoded at the
+/// peer's version, with the v3-only stats fields left off v2 payloads.
+pub const PROTOCOL_VERSION: u32 = 3;
+
+/// The oldest protocol version this build still serves. Frames between
+/// here and [`PROTOCOL_VERSION`] are accepted and answered at the peer's
+/// version; anything older (or newer) is rejected with a [`RejectFrame`].
+pub const MIN_PROTOCOL_VERSION: u32 = 2;
 
 /// Upper bound on a frame payload; a corrupted or hostile length prefix
 /// fails the read instead of triggering a giant allocation.
@@ -54,6 +63,11 @@ pub const REQ_STATS: u8 = 2;
 /// Client → daemon: stop accepting connections (empty payload); answered
 /// with a final [`StatsSnapshot`].
 pub const REQ_SHUTDOWN: u8 = 3;
+/// Client → daemon: return a Prometheus-style text exposition of the
+/// daemon's metrics registry (empty payload). v3 only — a v2 peer sending
+/// this kind gets a [`RejectFrame`] for the frame, without losing the
+/// connection.
+pub const REQ_METRICS: u8 = 4;
 
 /// Daemon → client: one finished cell of the running grid request
 /// (a [`CellFrame`] payload), streamed as soon as the cell is available.
@@ -65,8 +79,12 @@ pub const RESP_STATS: u8 = 18;
 /// Daemon → client: the request failed (a UTF-8 message payload).
 pub const RESP_ERROR: u8 = 19;
 /// Daemon → client: protocol version mismatch (a [`RejectFrame`] payload);
-/// the daemon closes the connection after sending it.
+/// the daemon closes the connection after sending it — except for a v2
+/// peer's [`REQ_METRICS`], which is rejected per-frame with the
+/// connection kept open.
 pub const RESP_REJECT: u8 = 20;
+/// Daemon → client: a Prometheus-style text exposition (UTF-8 payload).
+pub const RESP_METRICS: u8 = 21;
 
 /// Why reading a frame from the wire failed.
 #[derive(Debug)]
@@ -115,21 +133,40 @@ impl From<RecordError> for WireError {
 /// One frame as read off the wire.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Frame {
+    /// The protocol version the frame carried (within
+    /// [`MIN_PROTOCOL_VERSION`]..=[`PROTOCOL_VERSION`]).
+    pub version: u32,
     /// The kind tag (one of the `REQ_*`/`RESP_*` constants).
     pub kind: u8,
     /// The raw payload bytes.
     pub payload: Vec<u8>,
 }
 
-/// Writes one frame.
+/// Writes one frame at this build's own [`PROTOCOL_VERSION`].
 ///
 /// # Errors
 ///
 /// Propagates stream I/O failures.
 pub fn write_frame(stream: &mut impl Write, kind: u8, payload: &[u8]) -> io::Result<()> {
+    write_frame_versioned(stream, PROTOCOL_VERSION, kind, payload)
+}
+
+/// Writes one frame stamped with an explicit protocol version — how the
+/// daemon answers a [`MIN_PROTOCOL_VERSION`] peer in the version it
+/// speaks.
+///
+/// # Errors
+///
+/// Propagates stream I/O failures.
+pub fn write_frame_versioned(
+    stream: &mut impl Write,
+    version: u32,
+    kind: u8,
+    payload: &[u8],
+) -> io::Result<()> {
     let mut header = Vec::with_capacity(HEADER_LEN + payload.len());
     header.extend_from_slice(&MAGIC);
-    header.extend_from_slice(&PROTOCOL_VERSION.to_le_bytes());
+    header.extend_from_slice(&version.to_le_bytes());
     header.push(kind);
     header.extend_from_slice(&(payload.len() as u64).to_le_bytes());
     header.extend_from_slice(&crc32(payload).to_le_bytes());
@@ -144,7 +181,8 @@ pub fn write_frame(stream: &mut impl Write, kind: u8, payload: &[u8]) -> io::Res
 ///
 /// [`WireError::Io`] on stream failure (including a clean peer disconnect,
 /// which surfaces as `UnexpectedEof`), [`WireError::VersionMismatch`] when
-/// the frame carries a foreign protocol version,
+/// the frame carries a version outside
+/// [`MIN_PROTOCOL_VERSION`]..=[`PROTOCOL_VERSION`],
 /// [`WireError::Corrupt`] on bad magic, an oversized length or a CRC
 /// mismatch.
 pub fn read_frame(stream: &mut impl Read) -> Result<Frame, WireError> {
@@ -154,7 +192,7 @@ pub fn read_frame(stream: &mut impl Read) -> Result<Frame, WireError> {
         return Err(WireError::Corrupt);
     }
     let version = u32::from_le_bytes(header[4..8].try_into().expect("length checked"));
-    if version != PROTOCOL_VERSION {
+    if !(MIN_PROTOCOL_VERSION..=PROTOCOL_VERSION).contains(&version) {
         return Err(WireError::VersionMismatch {
             found: version,
             expected: PROTOCOL_VERSION,
@@ -171,7 +209,11 @@ pub fn read_frame(stream: &mut impl Read) -> Result<Frame, WireError> {
     if crc32(&payload) != crc {
         return Err(WireError::Corrupt);
     }
-    Ok(Frame { kind, payload })
+    Ok(Frame {
+        version,
+        kind,
+        payload,
+    })
 }
 
 // --- grid requests --------------------------------------------------------
@@ -524,6 +566,16 @@ pub struct StatsSnapshot {
     pub trace_disk_hits: u64,
     /// Reference traces that had to be recorded.
     pub trace_misses: u64,
+    /// Distinct programs decoded into micro-ops by the daemon's executors
+    /// (v3; encoded as zero-left-off on v2 frames).
+    pub decoded_programs: u64,
+    /// Wall-clock microseconds spent in those decodes (v3).
+    pub decode_micros: u64,
+    /// Spine-snapshot restores across all computed cells (v3).
+    pub snapshot_restores: u64,
+    /// Reference-suffix steps the differential executors avoided
+    /// executing (v3).
+    pub suffix_steps_saved: u64,
     /// Compute µs of the most recently completed cells (newest last).
     pub recent_cell_micros: Vec<u64>,
     /// The attached grid store's runtime counters (`None` when the daemon
@@ -544,7 +596,8 @@ impl StatsSnapshot {
              \"queue_depth\":{},\"in_flight\":{},\"workers\":{},\"queue_capacity\":{},\
              \"pool_submitted\":{},\"pool_completed\":{},\"pool_errored\":{},\
              \"pool_expired\":{},\"pool_compute_micros\":{},\"trace_hits\":{},\
-             \"trace_disk_hits\":{},\"trace_misses\":{},\
+             \"trace_disk_hits\":{},\"trace_misses\":{},\"decoded_programs\":{},\
+             \"decode_micros\":{},\"snapshot_restores\":{},\"suffix_steps_saved\":{},\
              \"recent_cell_micros\":[{}],\"store\":{}}}",
             self.protocol_version,
             self.requests,
@@ -567,6 +620,10 @@ impl StatsSnapshot {
             self.trace_hits,
             self.trace_disk_hits,
             self.trace_misses,
+            self.decoded_programs,
+            self.decode_micros,
+            self.snapshot_restores,
+            self.suffix_steps_saved,
             recent.join(","),
             self.store
                 .as_ref()
@@ -575,9 +632,11 @@ impl StatsSnapshot {
     }
 }
 
-/// Encodes a [`StatsSnapshot`] payload.
+/// Encodes a [`StatsSnapshot`] payload for a peer speaking `version`.
+/// The four executor counters added in v3 are left off v2 payloads —
+/// the decoders reject trailing bytes, so they cannot ride along.
 #[must_use]
-pub fn encode_stats(stats: &StatsSnapshot) -> Vec<u8> {
+pub fn encode_stats(stats: &StatsSnapshot, version: u32) -> Vec<u8> {
     let mut w = Writer::new();
     w.u32(stats.protocol_version);
     for v in [
@@ -604,6 +663,12 @@ pub fn encode_stats(stats: &StatsSnapshot) -> Vec<u8> {
     ] {
         w.u64(v);
     }
+    if version >= 3 {
+        w.u64(stats.decoded_programs);
+        w.u64(stats.decode_micros);
+        w.u64(stats.snapshot_restores);
+        w.u64(stats.suffix_steps_saved);
+    }
     w.u64s(&stats.recent_cell_micros);
     match &stats.store {
         None => w.u8(0),
@@ -627,12 +692,13 @@ pub fn encode_stats(stats: &StatsSnapshot) -> Vec<u8> {
     w.into_bytes()
 }
 
-/// Decodes a [`StatsSnapshot`] payload.
+/// Decodes a [`StatsSnapshot`] payload encoded for a peer speaking
+/// `version`; on a v2 payload the v3-only counters stay zero.
 ///
 /// # Errors
 ///
 /// [`RecordError::Corrupt`] on any malformed byte sequence.
-pub fn decode_stats(payload: &[u8]) -> Result<StatsSnapshot, RecordError> {
+pub fn decode_stats(payload: &[u8], version: u32) -> Result<StatsSnapshot, RecordError> {
     let mut r = Reader::new(payload);
     let mut stats = StatsSnapshot {
         protocol_version: r.u32()?,
@@ -661,6 +727,12 @@ pub fn decode_stats(payload: &[u8]) -> Result<StatsSnapshot, RecordError> {
         &mut stats.trace_misses,
     ] {
         *field = r.u64()?;
+    }
+    if version >= 3 {
+        stats.decoded_programs = r.u64()?;
+        stats.decode_micros = r.u64()?;
+        stats.snapshot_restores = r.u64()?;
+        stats.suffix_steps_saved = r.u64()?;
     }
     stats.recent_cell_micros = r.u64s()?;
     stats.store = match r.u8()? {
@@ -803,6 +875,10 @@ mod tests {
             coalesced_cells: 5,
             recordings: 6,
             pool_expired: 4,
+            decoded_programs: 9,
+            decode_micros: 1_234,
+            snapshot_restores: 77,
+            suffix_steps_saved: 88_888,
             recent_cell_micros: vec![10, 20, 30],
             store: Some(StoreStats {
                 cell_hits: 40,
@@ -811,17 +887,77 @@ mod tests {
             }),
             ..StatsSnapshot::default()
         };
-        let decoded = decode_stats(&encode_stats(&stats)).expect("decodes");
+        let decoded = decode_stats(&encode_stats(&stats, PROTOCOL_VERSION), PROTOCOL_VERSION)
+            .expect("decodes");
         assert_eq!(decoded, stats);
         assert!(decoded.to_json().contains("\"coalesced_cells\":5"));
         assert!(decoded.to_json().contains("\"pool_expired\":4"));
         assert!(decoded.to_json().contains("\"migrated\":2"));
+        assert!(decoded.to_json().contains("\"decoded_programs\":9"));
+        assert!(decoded.to_json().contains("\"decode_micros\":1234"));
+        assert!(decoded.to_json().contains("\"snapshot_restores\":77"));
+        assert!(decoded.to_json().contains("\"suffix_steps_saved\":88888"));
 
         let stripped = StatsSnapshot::default();
         assert_eq!(
-            decode_stats(&encode_stats(&stripped)).expect("decodes"),
+            decode_stats(&encode_stats(&stripped, PROTOCOL_VERSION), PROTOCOL_VERSION)
+                .expect("decodes"),
             stripped
         );
         assert!(stripped.to_json().contains("\"store\":null"));
+    }
+
+    #[test]
+    fn v2_stats_payloads_drop_the_executor_counters_cleanly() {
+        let stats = StatsSnapshot {
+            protocol_version: PROTOCOL_VERSION,
+            requests: 3,
+            decoded_programs: 9,
+            decode_micros: 1_234,
+            snapshot_restores: 77,
+            suffix_steps_saved: 88_888,
+            recent_cell_micros: vec![42],
+            ..StatsSnapshot::default()
+        };
+        // A v2 payload carries no executor counters: the decoder (told it
+        // is v2) leaves them zero, and every other field round-trips.
+        let v2 = encode_stats(&stats, 2);
+        let decoded = decode_stats(&v2, 2).expect("decodes");
+        assert_eq!(decoded.requests, 3);
+        assert_eq!(decoded.recent_cell_micros, vec![42]);
+        assert_eq!(decoded.decoded_programs, 0);
+        assert_eq!(decoded.suffix_steps_saved, 0);
+        // The two layouts genuinely differ — the fields are not silently
+        // appended where a v2 decoder would choke on them.
+        assert_eq!(
+            encode_stats(&stats, PROTOCOL_VERSION).len(),
+            v2.len() + 4 * 8
+        );
+        // Mismatched framing fails cleanly instead of misparsing.
+        assert_eq!(
+            decode_stats(&v2, PROTOCOL_VERSION),
+            Err(RecordError::Corrupt)
+        );
+    }
+
+    #[test]
+    fn frames_of_every_served_version_are_accepted() {
+        for version in [MIN_PROTOCOL_VERSION, PROTOCOL_VERSION] {
+            let mut wire = Vec::new();
+            write_frame_versioned(&mut wire, version, REQ_STATS, b"").expect("writes");
+            let frame = read_frame(&mut wire.as_slice()).expect("reads");
+            assert_eq!(frame.version, version);
+            assert_eq!(frame.kind, REQ_STATS);
+        }
+        // One below the floor and one above the ceiling are both foreign.
+        for version in [MIN_PROTOCOL_VERSION - 1, PROTOCOL_VERSION + 1] {
+            let mut wire = Vec::new();
+            write_frame_versioned(&mut wire, version, REQ_STATS, b"").expect("writes");
+            assert!(matches!(
+                read_frame(&mut wire.as_slice()),
+                Err(WireError::VersionMismatch { found, expected: PROTOCOL_VERSION })
+                    if found == version
+            ));
+        }
     }
 }

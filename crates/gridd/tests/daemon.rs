@@ -369,6 +369,84 @@ fn request_failures_degrade_per_request_not_per_daemon() {
     assert_eq!(stats.requests, 1, "refused requests are not admitted");
 }
 
+#[test]
+fn metrics_expose_pool_store_and_executor_series() {
+    let store = TempDir::new("metrics");
+    let daemon = RunningDaemon::start(DaemonConfig {
+        store_dir: Some(store.0.clone()),
+        ..DaemonConfig::default()
+    });
+    let grid = request(&["integer_compare"], &["unprotected"], &["skip"], 50);
+
+    let mut client = daemon.client();
+    client.request_grid(&grid, |_| {}).expect("grid serves");
+    let exposition = client.metrics().expect("metrics serve");
+
+    // Daemon counters, pool gauges, trace-store counters, persistent-store
+    // counters and the per-model compute histogram all render in one
+    // Prometheus-style exposition.
+    assert!(exposition.contains("secbranch_gridd_requests_total 1"));
+    assert!(exposition.contains("secbranch_gridd_computed_cells_total 1"));
+    assert!(exposition.contains("secbranch_pool_workers"));
+    assert!(exposition.contains("secbranch_trace_store_misses_total"));
+    assert!(exposition.contains("secbranch_store_"));
+    assert!(exposition.contains("secbranch_cell_compute_micros_bucket{model=\"skip\""));
+    assert!(exposition.contains("# TYPE secbranch_gridd_requests_total counter"));
+    // The computed cell observed exactly one compute-time sample.
+    assert!(exposition.contains("secbranch_cell_compute_micros_count{model=\"skip\"} 1"));
+
+    // The connection survives the metrics round-trip, and the v3 STATS
+    // snapshot carries the executor counters end to end.
+    let stats = client.stats().expect("stats serve");
+    assert!(
+        stats.decoded_programs >= 1,
+        "the computed cell decoded its program"
+    );
+    let json = stats.to_json();
+    assert!(json.contains("\"decoded_programs\":"));
+    assert!(json.contains("\"decode_micros\":"));
+    assert!(json.contains("\"snapshot_restores\":"));
+    assert!(json.contains("\"suffix_steps_saved\":"));
+
+    daemon.stop();
+}
+
+#[test]
+fn v2_clients_survive_a_metrics_rejection_and_keep_their_connection() {
+    let daemon = RunningDaemon::start(DaemonConfig::default());
+
+    let mut stream = std::net::TcpStream::connect(&daemon.addr).expect("connects");
+    protocol::write_frame_versioned(&mut stream, 2, protocol::REQ_METRICS, b"")
+        .expect("v2 metrics request sends");
+
+    // METRICS is a v3 frame: a v2 peer is told so with a rejection carrying
+    // both versions...
+    let response = protocol::read_frame(&mut stream).expect("rejection arrives");
+    assert_eq!(response.kind, 20, "RESP_REJECT");
+    let reject = protocol::decode_reject(&response.payload).expect("decodes");
+    assert_eq!(reject.found, 2);
+    assert_eq!(reject.expected, protocol::PROTOCOL_VERSION);
+
+    // ...but unlike a foreign-version frame the connection stays open: a
+    // v2 STATS request on the same stream is answered in kind, with the
+    // v3-only executor counters cleanly absent from the payload.
+    protocol::write_frame_versioned(&mut stream, 2, protocol::REQ_STATS, b"")
+        .expect("v2 stats request sends");
+    let response = protocol::read_frame(&mut stream).expect("stats arrive");
+    assert_eq!(response.kind, 18, "RESP_STATS");
+    assert_eq!(
+        response.version, 2,
+        "replies are framed at the peer's version"
+    );
+    let stats = protocol::decode_stats(&response.payload, response.version).expect("v2 decodes");
+    assert_eq!(stats.protocol_version, protocol::PROTOCOL_VERSION);
+    assert_eq!(stats.decoded_programs, 0, "v3-only fields stay zero for v2");
+    drop(stream);
+
+    let stats = daemon.stop();
+    assert_eq!(stats.version_rejects, 1);
+}
+
 #[cfg(unix)]
 #[test]
 fn unix_socket_transport_serves_and_cleans_up() {

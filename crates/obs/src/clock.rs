@@ -1,0 +1,35 @@
+//! The process-wide monotonic clock all span timestamps are taken from.
+
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// The shared origin. Initialised on first use; every later reading is
+/// relative to it, so timestamps from different threads compare directly.
+static ORIGIN: OnceLock<Instant> = OnceLock::new();
+
+/// Microseconds elapsed since the first call in this process.
+///
+/// Monotonic (backed by [`Instant`]) and shared across threads: two calls
+/// observe the same origin, so `a < b` means a happened before b was read.
+/// The first call anywhere fixes the origin at "now" and returns a small
+/// number.
+#[must_use]
+pub fn monotonic_micros() -> u64 {
+    ORIGIN.get_or_init(Instant::now).elapsed().as_micros() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_is_monotonic_and_shared() {
+        let a = monotonic_micros();
+        let b = monotonic_micros();
+        assert!(b >= a);
+        let from_thread = std::thread::spawn(monotonic_micros)
+            .join()
+            .expect("thread runs");
+        assert!(from_thread >= a, "one origin across threads");
+    }
+}

@@ -1,0 +1,424 @@
+//! The metrics registry: counters, gauges, fixed-bucket latency histograms,
+//! and a deterministic Prometheus-style text renderer.
+//!
+//! The per-layer stat structs (`MatrixStats`, `PoolStats`, `StoreStats`,
+//! the daemon's counters) each implement a `register_into(&mut Registry)`
+//! that maps their fields onto this one schema; exporters then render the
+//! registry instead of every layer hand-rolling its own aggregation.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The fixed microsecond bucket upper bounds every latency histogram uses
+/// (a final overflow bucket catches everything above the last bound).
+/// Sharing one bound set is what makes histogram merging across shards,
+/// sessions and daemons plain element-wise addition.
+pub const BUCKET_BOUNDS: [u64; 19] = [
+    1, 2, 5, 10, 20, 50, 100, 200, 500, 1_000, 2_000, 5_000, 10_000, 20_000, 50_000, 100_000,
+    200_000, 500_000, 1_000_000,
+];
+
+/// Bucket count including the overflow bucket.
+const BUCKETS: usize = BUCKET_BOUNDS.len() + 1;
+
+/// A thread-safe fixed-bucket latency histogram (microsecond samples).
+///
+/// Observation is lock-free (relaxed atomics — counters are derived data,
+/// exact cross-thread ordering is irrelevant); reading goes through
+/// [`Histogram::snapshot`].
+#[derive(Debug, Default)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    sum: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Records one sample of `micros`.
+    pub fn observe(&self, micros: u64) {
+        let index = BUCKET_BOUNDS
+            .iter()
+            .position(|&bound| micros <= bound)
+            .unwrap_or(BUCKETS - 1);
+        self.buckets[index].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(micros, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of the bucket counts.
+    #[must_use]
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = [0u64; BUCKETS];
+        for (out, bucket) in buckets.iter_mut().zip(&self.buckets) {
+            *out = bucket.load(Ordering::Relaxed);
+        }
+        HistogramSnapshot {
+            buckets,
+            sum: self.sum.load(Ordering::Relaxed),
+            count: self.count.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// An immutable histogram reading: per-bucket counts plus sum and count.
+///
+/// Snapshots form a commutative monoid under [`HistogramSnapshot::merge`]
+/// (element-wise addition), so shard-local histograms can be combined in
+/// any grouping — the associativity the cross-shard tests enforce.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    buckets: [u64; BUCKETS],
+    /// Sum of all observed samples (microseconds).
+    pub sum: u64,
+    /// Number of observed samples.
+    pub count: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot {
+            buckets: [0; BUCKETS],
+            sum: 0,
+            count: 0,
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Builds a snapshot from raw samples (equivalent to observing each).
+    #[must_use]
+    pub fn from_samples(samples: &[u64]) -> Self {
+        let histogram = Histogram::new();
+        for &sample in samples {
+            histogram.observe(sample);
+        }
+        histogram.snapshot()
+    }
+
+    /// Element-wise addition — the associative, commutative merge.
+    #[must_use]
+    pub fn merge(mut self, other: &HistogramSnapshot) -> Self {
+        for (mine, theirs) in self.buckets.iter_mut().zip(&other.buckets) {
+            *mine += theirs;
+        }
+        self.sum += other.sum;
+        self.count += other.count;
+        self
+    }
+
+    /// Cumulative count at and below each bound, Prometheus `le` order
+    /// (ending with the `+Inf` bucket, whose cumulative count equals
+    /// [`HistogramSnapshot::count`]).
+    #[must_use]
+    pub fn cumulative(&self) -> [u64; BUCKETS] {
+        let mut cumulative = self.buckets;
+        for i in 1..BUCKETS {
+            cumulative[i] += cumulative[i - 1];
+        }
+        cumulative
+    }
+
+    /// The upper bound of the bucket containing quantile `q` (0.0–1.0):
+    /// the smallest bound whose cumulative count reaches `q * count`.
+    /// Samples above the last bound report that last finite bound. Returns
+    /// 0 for an empty histogram.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (index, &bucket) in self.buckets.iter().enumerate() {
+            seen += bucket;
+            if seen >= rank {
+                return BUCKET_BOUNDS
+                    .get(index)
+                    .copied()
+                    .unwrap_or(BUCKET_BOUNDS[BUCKET_BOUNDS.len() - 1]);
+            }
+        }
+        BUCKET_BOUNDS[BUCKET_BOUNDS.len() - 1]
+    }
+
+    /// Serialises the snapshot as a JSON object: bucket-estimated
+    /// `p50`/`p90`/`p95`/`p99`, `sum`, `count`, and the non-empty buckets
+    /// as `{"le":bound,"count":n}` pairs (`"le":null` is the overflow
+    /// bucket). Hand-rolled: the offline build has no serde.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut buckets = String::new();
+        let mut first = true;
+        for (index, &count) in self.buckets.iter().enumerate() {
+            if count == 0 {
+                continue;
+            }
+            if !first {
+                buckets.push(',');
+            }
+            first = false;
+            match BUCKET_BOUNDS.get(index) {
+                Some(bound) => buckets.push_str(&format!("{{\"le\":{bound},\"count\":{count}}}")),
+                None => buckets.push_str(&format!("{{\"le\":null,\"count\":{count}}}")),
+            }
+        }
+        format!(
+            "{{\"count\":{},\"sum\":{},\"p50\":{},\"p90\":{},\"p95\":{},\"p99\":{},\
+             \"buckets\":[{buckets}]}}",
+            self.count,
+            self.sum,
+            self.quantile(0.50),
+            self.quantile(0.90),
+            self.quantile(0.95),
+            self.quantile(0.99),
+        )
+    }
+}
+
+/// The exact nearest-rank percentile of a **sorted ascending** slice: the
+/// smallest element whose rank covers quantile `q` (0.0–1.0). Returns 0
+/// for an empty slice. Used where raw samples are available (e.g. the
+/// daemon's recent-cell ring) and bucket resolution would waste precision.
+#[must_use]
+pub fn percentile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// One registry entry key: metric name plus rendered label pairs
+/// (`model="skip"`), empty for unlabelled series. Both `String`s so the
+/// [`BTreeMap`] ordering makes rendering deterministic.
+type SeriesKey = (String, String);
+
+/// A metrics registry: the single schema every layer's counters register
+/// into, rendered as Prometheus-style text exposition.
+///
+/// A registry is built per export (cheap — it is a handful of `BTreeMap`
+/// inserts over already-maintained atomic counters), so there is no global
+/// registration step and no lifetime coupling between layers.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: BTreeMap<SeriesKey, u64>,
+    gauges: BTreeMap<SeriesKey, u64>,
+    histograms: BTreeMap<SeriesKey, HistogramSnapshot>,
+}
+
+fn render_labels(labels: &[(&str, &str)]) -> String {
+    labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{v}\""))
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Registers a monotonic counter value.
+    pub fn counter(&mut self, name: &str, value: u64) {
+        self.counter_with(name, &[], value);
+    }
+
+    /// Registers a labelled counter value.
+    pub fn counter_with(&mut self, name: &str, labels: &[(&str, &str)], value: u64) {
+        self.counters
+            .insert((name.to_string(), render_labels(labels)), value);
+    }
+
+    /// Registers a point-in-time gauge value.
+    pub fn gauge(&mut self, name: &str, value: u64) {
+        self.gauge_with(name, &[], value);
+    }
+
+    /// Registers a labelled gauge value.
+    pub fn gauge_with(&mut self, name: &str, labels: &[(&str, &str)], value: u64) {
+        self.gauges
+            .insert((name.to_string(), render_labels(labels)), value);
+    }
+
+    /// Registers a histogram snapshot.
+    pub fn histogram(&mut self, name: &str, snapshot: &HistogramSnapshot) {
+        self.histogram_with(name, &[], snapshot);
+    }
+
+    /// Registers a labelled histogram snapshot.
+    pub fn histogram_with(
+        &mut self,
+        name: &str,
+        labels: &[(&str, &str)],
+        snapshot: &HistogramSnapshot,
+    ) {
+        self.histograms
+            .insert((name.to_string(), render_labels(labels)), *snapshot);
+    }
+
+    /// Renders the registry as Prometheus text exposition: one `# TYPE`
+    /// line per metric name, series sorted by name then labels, histograms
+    /// expanded into cumulative `_bucket{le=...}` series plus `_sum` and
+    /// `_count`. Deterministic: the same registry contents always render
+    /// the same bytes.
+    #[must_use]
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        let render_plain = |family: &BTreeMap<SeriesKey, u64>, kind: &str, out: &mut String| {
+            let mut last_name: Option<&str> = None;
+            for ((name, labels), value) in family {
+                if last_name != Some(name.as_str()) {
+                    out.push_str(&format!("# TYPE {name} {kind}\n"));
+                    last_name = Some(name.as_str());
+                }
+                if labels.is_empty() {
+                    out.push_str(&format!("{name} {value}\n"));
+                } else {
+                    out.push_str(&format!("{name}{{{labels}}} {value}\n"));
+                }
+            }
+        };
+        render_plain(&self.counters, "counter", &mut out);
+        render_plain(&self.gauges, "gauge", &mut out);
+        let mut last_name: Option<&str> = None;
+        for ((name, labels), snapshot) in &self.histograms {
+            if last_name != Some(name.as_str()) {
+                out.push_str(&format!("# TYPE {name} histogram\n"));
+                last_name = Some(name.as_str());
+            }
+            let prefix = if labels.is_empty() {
+                String::new()
+            } else {
+                format!("{labels},")
+            };
+            let cumulative = snapshot.cumulative();
+            for (index, &count) in cumulative.iter().enumerate() {
+                let le = match BUCKET_BOUNDS.get(index) {
+                    Some(bound) => bound.to_string(),
+                    None => "+Inf".to_string(),
+                };
+                out.push_str(&format!("{name}_bucket{{{prefix}le=\"{le}\"}} {count}\n"));
+            }
+            let suffix_labels = if labels.is_empty() {
+                String::new()
+            } else {
+                format!("{{{labels}}}")
+            };
+            out.push_str(&format!("{name}_sum{suffix_labels} {}\n", snapshot.sum));
+            out.push_str(&format!("{name}_count{suffix_labels} {}\n", snapshot.count));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_sum_and_quantiles() {
+        let h = Histogram::new();
+        for sample in [1, 3, 40, 150, 800, 30_000, 5_000_000] {
+            h.observe(sample);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 7);
+        assert_eq!(snap.sum, 5_030_994);
+        let cumulative = snap.cumulative();
+        assert_eq!(cumulative[BUCKETS - 1], 7, "+Inf bucket sees everything");
+        assert_eq!(snap.quantile(0.0), 1);
+        assert_eq!(snap.quantile(0.5), 200, "150 lands in the le=200 bucket");
+        assert_eq!(
+            snap.quantile(1.0),
+            1_000_000,
+            "overflow reports the last finite bound"
+        );
+        assert_eq!(HistogramSnapshot::default().quantile(0.5), 0);
+    }
+
+    #[test]
+    fn histogram_merge_is_associative_and_commutative() {
+        // Three shard-local histograms over different sample mixes.
+        let a = HistogramSnapshot::from_samples(&[1, 7, 300, 40_000]);
+        let b = HistogramSnapshot::from_samples(&[2, 2, 9_000_000]);
+        let c = HistogramSnapshot::from_samples(&[55, 123_456]);
+        let left = a.merge(&b).merge(&c);
+        let right = a.merge(&b.merge(&c));
+        assert_eq!(left, right, "associative");
+        assert_eq!(b.merge(&a), a.merge(&b), "commutative");
+        assert_eq!(
+            left,
+            HistogramSnapshot::from_samples(&[1, 7, 300, 40_000, 2, 2, 9_000_000, 55, 123_456]),
+            "merging shards equals observing the union"
+        );
+        assert_eq!(left.merge(&HistogramSnapshot::default()), left, "identity");
+    }
+
+    #[test]
+    fn exact_percentiles_use_nearest_rank() {
+        let samples = [10, 20, 30, 40, 50, 60, 70, 80, 90, 100];
+        assert_eq!(percentile(&samples, 0.50), 50);
+        assert_eq!(percentile(&samples, 0.95), 100);
+        assert_eq!(percentile(&samples, 0.99), 100);
+        assert_eq!(percentile(&samples, 0.0), 10);
+        assert_eq!(percentile(&[], 0.5), 0);
+        assert_eq!(percentile(&[7], 0.5), 7);
+    }
+
+    #[test]
+    fn prometheus_rendering_is_deterministic_and_typed() {
+        let mut registry = Registry::new();
+        registry.counter("secbranch_requests_total", 3);
+        registry.counter_with("secbranch_cells_total", &[("kind", "warm")], 5);
+        registry.counter_with("secbranch_cells_total", &[("kind", "cold")], 2);
+        registry.gauge("secbranch_queue_depth", 1);
+        let snap = HistogramSnapshot::from_samples(&[3, 700]);
+        registry.histogram_with("secbranch_cell_micros", &[("model", "skip")], &snap);
+        let text = registry.render_prometheus();
+        assert!(text.contains("# TYPE secbranch_requests_total counter\n"));
+        assert!(text.contains("secbranch_requests_total 3\n"));
+        assert!(text.contains("secbranch_cells_total{kind=\"cold\"} 2\n"));
+        assert!(text.contains("secbranch_cells_total{kind=\"warm\"} 5\n"));
+        assert!(text.contains("# TYPE secbranch_queue_depth gauge\n"));
+        assert!(text.contains("# TYPE secbranch_cell_micros histogram\n"));
+        assert!(text.contains("secbranch_cell_micros_bucket{model=\"skip\",le=\"5\"} 1\n"));
+        assert!(text.contains("secbranch_cell_micros_bucket{model=\"skip\",le=\"+Inf\"} 2\n"));
+        assert!(text.contains("secbranch_cell_micros_sum{model=\"skip\"} 703\n"));
+        assert!(text.contains("secbranch_cell_micros_count{model=\"skip\"} 2\n"));
+        assert_eq!(
+            text.matches("# TYPE secbranch_cells_total").count(),
+            1,
+            "one TYPE line per family"
+        );
+        let again = {
+            let mut r = Registry::new();
+            r.histogram_with("secbranch_cell_micros", &[("model", "skip")], &snap);
+            r.counter_with("secbranch_cells_total", &[("kind", "cold")], 2);
+            r.counter_with("secbranch_cells_total", &[("kind", "warm")], 5);
+            r.counter("secbranch_requests_total", 3);
+            r.gauge("secbranch_queue_depth", 1);
+            r.render_prometheus()
+        };
+        assert_eq!(text, again, "insertion order does not matter");
+    }
+
+    #[test]
+    fn snapshot_json_summarises_percentiles_and_buckets() {
+        let snap = HistogramSnapshot::from_samples(&[3, 3, 700]);
+        let json = snap.to_json();
+        assert!(json.starts_with("{\"count\":3,\"sum\":706,"));
+        assert!(json.contains("\"p50\":5"));
+        assert!(json.contains("\"buckets\":[{\"le\":5,\"count\":2},{\"le\":1000,\"count\":1}]"));
+        let empty = HistogramSnapshot::default().to_json();
+        assert!(empty.contains("\"buckets\":[]"));
+    }
+}

@@ -156,6 +156,24 @@ pub struct StoreStats {
 }
 
 impl StoreStats {
+    /// Registers the counters into an observability [`secbranch_obs::Registry`]
+    /// (`secbranch_store_*` series) — the daemon's `METRICS` exposition
+    /// and any other exporter read them through this one schema.
+    pub fn register_into(&self, registry: &mut secbranch_obs::Registry) {
+        registry.counter("secbranch_store_trace_hits_total", self.trace_hits);
+        registry.counter("secbranch_store_trace_misses_total", self.trace_misses);
+        registry.counter("secbranch_store_cell_hits_total", self.cell_hits);
+        registry.counter("secbranch_store_cell_misses_total", self.cell_misses);
+        registry.counter("secbranch_store_writes_total", self.writes);
+        registry.counter("secbranch_store_write_skips_total", self.write_skips);
+        registry.counter("secbranch_store_write_errors_total", self.write_errors);
+        registry.counter(
+            "secbranch_store_corrupt_dropped_total",
+            self.corrupt_dropped,
+        );
+        registry.counter("secbranch_store_migrated_total", self.migrated);
+    }
+
     /// Serialises the counters as JSON (hand-rolled: the offline build has
     /// no serde).
     #[must_use]
@@ -482,6 +500,7 @@ impl GridStore {
     /// Loads the persisted trace for `key` (`None`: absent or not intact).
     #[must_use]
     pub fn get_trace(&self, key: &TraceKey) -> Option<PersistedTrace> {
+        let _span = secbranch_obs::span_with("store_read", || format!("trace {}", key.artifact));
         let fetch = || {
             let payload = self.read_record(&self.trace_path(key), KIND_TRACE)?;
             let (stored_key, persisted) = match codec::decode_trace_payload(&payload) {
@@ -506,6 +525,7 @@ impl GridStore {
     /// Persists a recording under `key` (skipped when an intact record for
     /// this key already exists — same key means same content).
     pub fn put_trace(&self, key: &TraceKey, recorded: &RecordedReference) {
+        let _span = secbranch_obs::span_with("store_write", || format!("trace {}", key.artifact));
         let payload = codec::encode_trace_payload(key, recorded);
         self.put_record(&self.trace_path(key), KIND_TRACE, &payload);
     }
@@ -514,6 +534,7 @@ impl GridStore {
     /// intact).
     #[must_use]
     pub fn get_cell(&self, key: &CellKey) -> Option<CampaignReport> {
+        let _span = secbranch_obs::span_with("store_read", || format!("cell {}", key.artifact));
         let fetch = || {
             let payload = self.read_record(&self.cell_path(key), KIND_CELL)?;
             let (stored_key, report) = match codec::decode_cell_payload(&payload) {
@@ -536,6 +557,7 @@ impl GridStore {
     /// Persists a completed cell under `key` (skipped when an intact record
     /// already exists).
     pub fn put_cell(&self, key: &CellKey, report: &CampaignReport) {
+        let _span = secbranch_obs::span_with("store_write", || format!("cell {}", key.artifact));
         let payload = codec::encode_cell_payload(key, report);
         self.put_record(&self.cell_path(key), KIND_CELL, &payload);
     }
